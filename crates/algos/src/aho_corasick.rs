@@ -1,0 +1,263 @@
+//! Aho-Corasick multi-pattern automaton (Aho & Corasick, 1975).
+//!
+//! The paper's first RaftLib search kernel (§5): excellent for multiple
+//! simultaneous patterns, but — as the paper's Figure 10 shows — its
+//! byte-at-a-time automaton walk makes it the pipeline bottleneck compared
+//! to the skip-loop searchers. We reproduce that property faithfully: this
+//! implementation visits every haystack byte exactly once.
+//!
+//! Construction follows the textbook goto/fail/output scheme, then flattens
+//! into a dense next-state table (256 entries per state) for branch-free
+//! scanning — the standard "DFA" form.
+
+use crate::{Match, Matcher};
+
+/// Marker for "no state".
+const NONE: u32 = u32::MAX;
+
+/// A compiled multi-pattern automaton.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// Dense transition table: `next[state * 256 + byte]`.
+    next: Vec<u32>,
+    /// For each state, the list of pattern indices ending there.
+    outputs: Vec<Vec<u32>>,
+    /// Original pattern lengths (to compute match start offsets).
+    pattern_lens: Vec<usize>,
+    max_len: usize,
+}
+
+impl AhoCorasick {
+    /// Compile an automaton over `patterns`. Panics if any pattern is empty
+    /// or the set is empty.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        assert!(!patterns.is_empty(), "need at least one pattern");
+        let patterns: Vec<&[u8]> = patterns.iter().map(|p| p.as_ref()).collect();
+        assert!(
+            patterns.iter().all(|p| !p.is_empty()),
+            "empty patterns are not searchable"
+        );
+
+        // --- Phase 1: trie (goto function) ---------------------------------
+        // states stored as sparse child maps during construction
+        let mut children: Vec<Vec<(u8, u32)>> = vec![Vec::new()];
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new()];
+        for (pi, pat) in patterns.iter().enumerate() {
+            let mut state = 0u32;
+            for &b in *pat {
+                state = match children[state as usize].iter().find(|(c, _)| *c == b) {
+                    Some((_, s)) => *s,
+                    None => {
+                        let s = children.len() as u32;
+                        children.push(Vec::new());
+                        outputs.push(Vec::new());
+                        children[state as usize].push((b, s));
+                        s
+                    }
+                };
+            }
+            outputs[state as usize].push(pi as u32);
+        }
+        let n_states = children.len();
+
+        // --- Phase 2: fail links (BFS) --------------------------------------
+        let mut fail = vec![0u32; n_states];
+        let mut queue = std::collections::VecDeque::new();
+        for &(_, s) in &children[0] {
+            fail[s as usize] = 0;
+            queue.push_back(s);
+        }
+        while let Some(u) = queue.pop_front() {
+            // Clone the child list to appease the borrow checker; sizes are
+            // tiny (≤ alphabet).
+            let kids = children[u as usize].clone();
+            for (b, v) in kids {
+                // Walk fail links until a state with a b-child (or root).
+                let mut f = fail[u as usize];
+                let fnext = loop {
+                    if let Some((_, s)) = children[f as usize].iter().find(|(c, _)| *c == b) {
+                        break *s;
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = fail[f as usize];
+                };
+                fail[v as usize] = fnext;
+                // Merge outputs along the fail chain (suffix matches).
+                let merged: Vec<u32> = outputs[fnext as usize].clone();
+                outputs[v as usize].extend(merged);
+                queue.push_back(v);
+            }
+        }
+
+        // --- Phase 3: flatten to dense DFA ----------------------------------
+        let mut next = vec![NONE; n_states * 256];
+        // Root: missing transitions loop to root.
+        next[..256].fill(0);
+        for &(b, s) in &children[0] {
+            next[b as usize] = s;
+        }
+        // BFS again so fail targets are already dense when we copy them.
+        let mut queue = std::collections::VecDeque::new();
+        for &(_, s) in &children[0] {
+            queue.push_back(s);
+        }
+        let mut visited = vec![false; n_states];
+        visited[0] = true;
+        while let Some(u) = queue.pop_front() {
+            if visited[u as usize] {
+                continue;
+            }
+            visited[u as usize] = true;
+            let base = u as usize * 256;
+            let fbase = fail[u as usize] as usize * 256;
+            for b in 0..256usize {
+                next[base + b] = next[fbase + b];
+            }
+            for &(b, s) in &children[u as usize] {
+                next[base + b as usize] = s;
+                queue.push_back(s);
+            }
+        }
+
+        let pattern_lens: Vec<usize> = patterns.iter().map(|p| p.len()).collect();
+        let max_len = *pattern_lens.iter().max().unwrap();
+        AhoCorasick {
+            next,
+            outputs,
+            pattern_lens,
+            max_len,
+        }
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of patterns compiled in.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lens.len()
+    }
+}
+
+impl Matcher for AhoCorasick {
+    fn max_pattern_len(&self) -> usize {
+        self.max_len
+    }
+
+    fn find_into(&self, hay: &[u8], base: u64, min_end: usize, out: &mut Vec<Match>) {
+        let mut state = 0u32;
+        // Scan from the beginning of the chunk so the automaton is warm when
+        // we reach the logical region; suppress matches whose END falls in
+        // the overlap prefix (the previous chunk owned those).
+        for (i, &b) in hay.iter().enumerate() {
+            state = self.next[state as usize * 256 + b as usize];
+            let outs = &self.outputs[state as usize];
+            if !outs.is_empty() && i + 1 > min_end {
+                for &pi in outs {
+                    let len = self.pattern_lens[pi as usize];
+                    out.push(Match {
+                        offset: base + (i + 1 - len) as u64,
+                        pattern: pi,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::Naive;
+
+    fn check<P: AsRef<[u8]>>(hay: &[u8], pats: &[P]) {
+        let ac = AhoCorasick::new(pats);
+        let nv = Naive::new(pats);
+        let mut a = ac.find_all(hay);
+        let mut n = nv.find_all(hay);
+        a.sort();
+        n.sort();
+        assert_eq!(a, n, "hay={:?}", String::from_utf8_lossy(hay));
+    }
+
+    #[test]
+    fn classic_example() {
+        // The canonical example from the 1975 paper.
+        check(b"ushers", &["he", "she", "his", "hers"]);
+        let ac = AhoCorasick::new(&["he", "she", "his", "hers"]);
+        let mut found = ac.find_all(b"ushers");
+        found.sort();
+        assert_eq!(
+            found,
+            vec![
+                Match { offset: 1, pattern: 1 }, // she
+                Match { offset: 2, pattern: 0 }, // he
+                Match { offset: 2, pattern: 3 }, // hers
+            ]
+        );
+    }
+
+    #[test]
+    fn single_pattern_degenerates_correctly() {
+        check(b"abababab", &["abab"]);
+        check(b"aaaa", &["aa"]);
+    }
+
+    #[test]
+    fn nested_patterns() {
+        check(b"aabaabaaab", &["a", "aa", "aab"]);
+    }
+
+    #[test]
+    fn patterns_sharing_prefixes_and_suffixes() {
+        check(
+            b"the cathedral cat sat on the catapult",
+            &["cat", "catapult", "at", "hedral"],
+        );
+    }
+
+    #[test]
+    fn no_match() {
+        let ac = AhoCorasick::new(&["qqq"]);
+        assert!(ac.find_all(b"aaaaaa").is_empty());
+    }
+
+    #[test]
+    fn min_end_suppresses_prefix_matches() {
+        let ac = AhoCorasick::new(&["ab"]);
+        let mut out = Vec::new();
+        // min_end = 2: the occurrence ending at 2 is the previous chunk's.
+        ac.find_into(b"abab", 0, 2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].offset, 2);
+    }
+
+    #[test]
+    fn match_crossing_chunk_boundary_is_ours() {
+        // A match that starts inside the overlap prefix but ends after it
+        // belongs to this chunk — the previous chunk never saw its tail.
+        let ac = AhoCorasick::new(&["xyz"]);
+        let mut out = Vec::new();
+        ac.find_into(b"axyzb", 0, 2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].offset, 1);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let pats: Vec<Vec<u8>> = vec![vec![0u8, 255, 0], vec![255, 255]];
+        let hay = [0u8, 255, 0, 255, 255, 0, 255, 0];
+        check(&hay, &pats);
+    }
+
+    #[test]
+    fn state_count_reasonable() {
+        let ac = AhoCorasick::new(&["abc", "abd"]);
+        // root + a + ab + abc + abd = 5
+        assert_eq!(ac.state_count(), 5);
+        assert_eq!(ac.pattern_count(), 2);
+    }
+}

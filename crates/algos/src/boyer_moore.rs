@@ -1,0 +1,167 @@
+//! Full Boyer-Moore single-pattern matcher (bad character + good suffix).
+//!
+//! The paper's Apache Spark comparator ran "a text matching application
+//! implemented using the Boyer-Moore algorithm implemented in Scala" (§5);
+//! our mini batch-task engine runs this implementation for the Figure 10
+//! "Spark" series.
+
+use crate::{Match, Matcher};
+
+/// Precomputed Boyer-Moore searcher for one pattern.
+#[derive(Debug, Clone)]
+pub struct BoyerMoore {
+    pattern: Vec<u8>,
+    /// Rightmost position of each byte in the pattern (bad-character rule).
+    bad_char: [isize; 256],
+    /// Good-suffix shift table.
+    good_suffix: Vec<usize>,
+}
+
+impl BoyerMoore {
+    /// Build the shift tables for `pattern`. Panics on an empty pattern.
+    pub fn new(pattern: impl AsRef<[u8]>) -> Self {
+        let pattern = pattern.as_ref().to_vec();
+        assert!(!pattern.is_empty(), "empty patterns are not searchable");
+        let m = pattern.len();
+
+        let mut bad_char = [-1isize; 256];
+        for (i, &b) in pattern.iter().enumerate() {
+            bad_char[b as usize] = i as isize;
+        }
+
+        // Good-suffix preprocessing via the classic border-position method
+        // (Knuth-Morris-Pratt-style borders of the reversed pattern).
+        let mut shift = vec![0usize; m + 1];
+        let mut border = vec![0usize; m + 1];
+        // Case 1: matching suffix occurs elsewhere in the pattern.
+        let mut i = m;
+        let mut j = m + 1;
+        border[i] = j;
+        while i > 0 {
+            while j <= m && pattern[i - 1] != pattern[j - 1] {
+                if shift[j] == 0 {
+                    shift[j] = j - i;
+                }
+                j = border[j];
+            }
+            i -= 1;
+            j -= 1;
+            border[i] = j;
+        }
+        // Case 2: only a prefix of the pattern matches a suffix of the
+        // matching suffix. (Index form mirrors the textbook presentation.)
+        j = border[0];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..=m {
+            if shift[i] == 0 {
+                shift[i] = j;
+            }
+            if i == j {
+                j = border[j];
+            }
+        }
+
+        BoyerMoore {
+            pattern,
+            bad_char,
+            good_suffix: shift,
+        }
+    }
+
+    /// The pattern being searched.
+    pub fn pattern(&self) -> &[u8] {
+        &self.pattern
+    }
+}
+
+impl Matcher for BoyerMoore {
+    fn max_pattern_len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    fn find_into(&self, hay: &[u8], base: u64, min_end: usize, out: &mut Vec<Match>) {
+        let m = self.pattern.len();
+        let n = hay.len();
+        if n < m {
+            return;
+        }
+        // First window whose end (s + m) can exceed min_end.
+        let mut s = min_end.saturating_sub(m - 1);
+        while s + m <= n {
+            let mut j = m as isize - 1;
+            while j >= 0 && self.pattern[j as usize] == hay[s + j as usize] {
+                j -= 1;
+            }
+            if j < 0 {
+                out.push(Match {
+                    offset: base + s as u64,
+                    pattern: 0,
+                });
+                s += self.good_suffix[0];
+            } else {
+                let bc = self.bad_char[hay[s + j as usize] as usize];
+                let bad_shift = (j - bc).max(1) as usize;
+                let good_shift = self.good_suffix[j as usize + 1];
+                s += bad_shift.max(good_shift);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::Naive;
+
+    #[test]
+    fn agrees_with_naive_on_basics() {
+        for (hay, pat) in [
+            (&b"hello world hello"[..], &b"hello"[..]),
+            (b"aaaaaa", b"aa"),
+            (b"abcabcabc", b"cab"),
+            (b"GCATCGCAGAGAGTATACAGTACG", b"GCAGAGAG"),
+            (b"no match here", b"xyz"),
+            (b"x", b"x"),
+            (b"", b"x"),
+            (b"ababab", b"abab"),
+        ] {
+            let bm = BoyerMoore::new(pat);
+            let n = Naive::new(&[pat]);
+            assert_eq!(
+                bm.find_all(hay),
+                n.find_all(hay),
+                "hay={:?} pat={:?}",
+                std::str::from_utf8(hay),
+                std::str::from_utf8(pat)
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_matches_found() {
+        let bm = BoyerMoore::new("abab");
+        let offs: Vec<u64> = bm.find_all(b"abababab").iter().map(|m| m.offset).collect();
+        assert_eq!(offs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn good_suffix_table_is_never_zero() {
+        for pat in ["a", "ab", "aa", "abcab", "aaaa", "abacabad"] {
+            let bm = BoyerMoore::new(pat);
+            assert!(
+                bm.good_suffix.iter().all(|&s| s > 0),
+                "pattern {pat:?} produced a zero shift: {:?}",
+                bm.good_suffix
+            );
+        }
+    }
+
+    #[test]
+    fn min_end_respected() {
+        let bm = BoyerMoore::new("aa");
+        let mut out = Vec::new();
+        // min_end = 2: matches ending at >2, i.e. starting at 1 and 2.
+        bm.find_into(b"aaaa", 0, 2, &mut out);
+        assert_eq!(out.iter().map(|m| m.offset).collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Dense matrix multiply — the workload behind the paper's Figure 4.
+//!
+//! The queue-sizing experiment streams matrix blocks through a
+//! source → multiply → sink pipeline and measures total execution time as a
+//! function of the per-queue buffer size. The multiply itself is a simple
+//! cache-blocked kernel; what Figure 4 measures is the *queueing* behaviour
+//! around it, so fidelity of the pipeline matters more than GEMM peak.
+
+/// A square row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub struct Matrix {
+    /// Dimension (rows == cols == n).
+    pub n: usize,
+    /// Row-major data, length `n * n`.
+    pub data: Vec<f32>,
+}
+
+
+impl Matrix {
+    /// Zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix with every element computed by `f(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { n, data }
+    }
+
+    /// Deterministic pseudo-random matrix (splitmix-style hash of indices).
+    pub fn random(n: usize, seed: u64) -> Self {
+        Matrix::from_fn(n, |i, j| {
+            let mut x = seed
+                .wrapping_add((i as u64) << 32)
+                .wrapping_add(j as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+            x ^= x >> 27;
+            // map to [-1, 1)
+            ((x >> 11) as f32 / (1u64 << 53) as f32) * 2.0 - 1.0
+        })
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.n + j]
+    }
+
+    /// Size of the payload in bytes (what a stream queue slot carries).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Naive triple loop — the testing oracle.
+pub fn multiply_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n, b.n, "dimension mismatch");
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            c.data[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Cache-blocked multiply with the i-k-j loop order (unit-stride inner
+/// loop). `block` is the tile edge; 64 is a good default for f32.
+pub fn multiply_blocked(a: &Matrix, b: &Matrix, block: usize) -> Matrix {
+    assert_eq!(a.n, b.n, "dimension mismatch");
+    let n = a.n;
+    let block = block.max(1);
+    let mut c = Matrix::zeros(n);
+    for ii in (0..n).step_by(block) {
+        for kk in (0..n).step_by(block) {
+            for jj in (0..n).step_by(block) {
+                let i_end = (ii + block).min(n);
+                let k_end = (kk + block).min(n);
+                let j_end = (jj + block).min(n);
+                for i in ii..i_end {
+                    for k in kk..k_end {
+                        let aik = a.data[i * n + k];
+                        let (crow, brow) = (&mut c.data[i * n..], &b.data[k * n..]);
+                        for j in jj..j_end {
+                            crow[j] += aik * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// A unit of pipeline work for the Figure 4 experiment: multiply `a * b`.
+#[derive(Debug, Clone, Default)]
+pub struct MatPair {
+    /// Left operand.
+    pub a: Matrix,
+    /// Right operand.
+    pub b: Matrix,
+}
+
+impl MatPair {
+    /// Deterministic pair for stream index `idx`.
+    pub fn generate(n: usize, idx: u64) -> Self {
+        MatPair {
+            a: Matrix::random(n, idx * 2 + 1),
+            b: Matrix::random(n, idx * 2 + 2),
+        }
+    }
+
+    /// Execute the multiply.
+    pub fn run(&self, block: usize) -> Matrix {
+        multiply_blocked(&self.a, &self.b, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(x: &Matrix, y: &Matrix) -> bool {
+        x.n == y.n
+            && x.data
+                .iter()
+                .zip(&y.data)
+                .all(|(a, b)| (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs())))
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(16, 42);
+        let i = Matrix::identity(16);
+        assert!(close(&multiply_naive(&a, &i), &a));
+        assert!(close(&multiply_blocked(&a, &i, 4), &a));
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        for n in [1usize, 2, 7, 16, 33] {
+            for block in [1usize, 4, 8, 64] {
+                let a = Matrix::random(n, 1);
+                let b = Matrix::random(n, 2);
+                let naive = multiply_naive(&a, &b);
+                let blocked = multiply_blocked(&a, &b, block);
+                assert!(close(&naive, &blocked), "n={n} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(Matrix::random(8, 7), Matrix::random(8, 7));
+        assert_ne!(Matrix::random(8, 7), Matrix::random(8, 8));
+    }
+
+    #[test]
+    fn byte_size() {
+        assert_eq!(Matrix::zeros(10).byte_size(), 400);
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let p = MatPair::generate(8, 3);
+        let c = p.run(4);
+        assert!(close(&c, &multiply_naive(&p.a, &p.b)));
+    }
+
+    #[test]
+    fn zero_dim_matrix() {
+        let a = Matrix::zeros(0);
+        let b = Matrix::zeros(0);
+        let c = multiply_blocked(&a, &b, 8);
+        assert_eq!(c.n, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Rabin-Karp multi-pattern matcher (rolling hash).
+//!
+//! Not in the paper's Figure 10 line-up, but the standard third point in
+//! the exact-matching design space: Aho-Corasick pays per-byte automaton
+//! work, Boyer-Moore skips, Rabin-Karp *hashes* — O(n) expected with a tiny
+//! constant for same-length pattern sets, and the natural choice when
+//! patterns are numerous and equal-length. Included for the ablation
+//! benches and as another `AlgoSet` alternative.
+//!
+//! Restriction: all patterns must share one length (the classic
+//! single-window formulation); [`RabinKarp::new`] enforces it.
+
+use std::collections::HashMap;
+
+use crate::{Match, Matcher};
+
+const BASE: u64 = 257;
+
+/// Multi-pattern rolling-hash matcher over equal-length patterns.
+#[derive(Debug, Clone)]
+pub struct RabinKarp {
+    /// hash -> pattern indices with that hash (collision chain).
+    table: HashMap<u64, Vec<u32>>,
+    patterns: Vec<Vec<u8>>,
+    len: usize,
+    /// BASE^(len-1), for removing the outgoing byte.
+    pow: u64,
+}
+
+impl RabinKarp {
+    /// Compile a set of equal-length patterns. Panics if the set is empty,
+    /// any pattern is empty, or lengths differ.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        assert!(!patterns.is_empty(), "need at least one pattern");
+        let patterns: Vec<Vec<u8>> = patterns.iter().map(|p| p.as_ref().to_vec()).collect();
+        let len = patterns[0].len();
+        assert!(len > 0, "empty patterns are not searchable");
+        assert!(
+            patterns.iter().all(|p| p.len() == len),
+            "Rabin-Karp requires equal-length patterns"
+        );
+        let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, p) in patterns.iter().enumerate() {
+            table.entry(Self::hash(p)).or_default().push(i as u32);
+        }
+        let mut pow = 1u64;
+        for _ in 1..len {
+            pow = pow.wrapping_mul(BASE);
+        }
+        RabinKarp {
+            table,
+            patterns,
+            len,
+            pow,
+        }
+    }
+
+    fn hash(window: &[u8]) -> u64 {
+        window
+            .iter()
+            .fold(0u64, |h, &b| h.wrapping_mul(BASE).wrapping_add(b as u64))
+    }
+
+    /// Number of patterns compiled in.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+impl Matcher for RabinKarp {
+    fn max_pattern_len(&self) -> usize {
+        self.len
+    }
+
+    fn find_into(&self, hay: &[u8], base: u64, min_end: usize, out: &mut Vec<Match>) {
+        let m = self.len;
+        let n = hay.len();
+        if n < m {
+            return;
+        }
+        let start = min_end.saturating_sub(m - 1);
+        let mut h = Self::hash(&hay[start..start + m]);
+        let mut i = start;
+        loop {
+            if let Some(cands) = self.table.get(&h) {
+                for &pi in cands {
+                    if hay[i..i + m] == self.patterns[pi as usize][..] {
+                        out.push(Match {
+                            offset: base + i as u64,
+                            pattern: pi,
+                        });
+                    }
+                }
+            }
+            if i + m >= n {
+                break;
+            }
+            // roll: remove hay[i], append hay[i+m]
+            h = h
+                .wrapping_sub((hay[i] as u64).wrapping_mul(self.pow))
+                .wrapping_mul(BASE)
+                .wrapping_add(hay[i + m] as u64);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::Naive;
+
+    fn check<P: AsRef<[u8]>>(hay: &[u8], pats: &[P]) {
+        let rk = RabinKarp::new(pats);
+        let nv = Naive::new(pats);
+        let mut a = rk.find_all(hay);
+        let mut b = nv.find_all(hay);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "hay={:?}", String::from_utf8_lossy(hay));
+    }
+
+    #[test]
+    fn agrees_with_naive_single() {
+        check(b"hello world hello", &["hello"]);
+        check(b"aaaaaa", &["aa"]);
+        check(b"abcabcabc", &["cab"]);
+        check(b"no match here", &["xyz"]);
+        check(b"x", &["x"]);
+    }
+
+    #[test]
+    fn agrees_with_naive_multi() {
+        check(b"ushers rush crush", &["sher", "rush", "hers"]);
+        check(b"aabbaabb", &["aabb", "abba", "bbaa"]);
+    }
+
+    #[test]
+    fn hash_collisions_are_verified() {
+        // Craft patterns likely to collide modulo wrapping arithmetic: even
+        // if hashes collide, the verify step must reject non-matches.
+        let pats: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i, 255 - i, i ^ 0x55]).collect();
+        let hay: Vec<u8> = (0..255u8).cycle().take(4000).collect();
+        check(&hay, &pats);
+    }
+
+    #[test]
+    fn short_haystack() {
+        let rk = RabinKarp::new(&["abc"]);
+        assert!(rk.find_all(b"ab").is_empty());
+        assert!(rk.find_all(b"").is_empty());
+    }
+
+    #[test]
+    fn min_end_semantics_match_trait() {
+        let rk = RabinKarp::new(&["ab"]);
+        let mut out = Vec::new();
+        rk.find_into(b"abab", 0, 2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].offset, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn unequal_lengths_rejected() {
+        RabinKarp::new(&["ab", "abc"]);
+    }
+
+    #[test]
+    fn chunked_scan_equals_monolithic() {
+        use crate::split_chunks;
+        let hay: Vec<u8> = b"abcaabbccabcabc".repeat(40);
+        let rk = RabinKarp::new(&["abc", "bca"]);
+        let mut whole = rk.find_all(&hay);
+        whole.sort();
+        let mut chunked = Vec::new();
+        for c in split_chunks(hay.len(), 5, rk.overlap()) {
+            rk.find_into(&hay[c.start..c.end], c.start as u64, c.min_end, &mut chunked);
+        }
+        chunked.sort();
+        assert_eq!(whole, chunked);
+    }
+}

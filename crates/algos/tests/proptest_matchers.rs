@@ -1,0 +1,142 @@
+//! Property tests: every optimized matcher agrees with the brute-force
+//! oracle on arbitrary inputs, and chunked scanning (the streaming mode the
+//! RaftLib pipelines use) finds exactly the matches a monolithic scan does.
+
+use proptest::prelude::*;
+use raft_algos::naive::Naive;
+use raft_algos::{split_chunks, AhoCorasick, BoyerMoore, Horspool, Match, Matcher, MemMem};
+
+/// Small alphabet so collisions and overlaps actually happen.
+fn small_text() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..300)
+}
+
+fn small_pattern() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..8)
+}
+
+fn wide_text() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..300)
+}
+
+fn wide_pattern() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..10)
+}
+
+fn sorted(mut v: Vec<Match>) -> Vec<Match> {
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn horspool_agrees_with_naive(hay in small_text(), pat in small_pattern()) {
+        let h = Horspool::new(&pat);
+        let n = Naive::new(&[&pat]);
+        prop_assert_eq!(h.find_all(&hay), n.find_all(&hay));
+    }
+
+    #[test]
+    fn horspool_agrees_on_binary(hay in wide_text(), pat in wide_pattern()) {
+        let h = Horspool::new(&pat);
+        let n = Naive::new(&[&pat]);
+        prop_assert_eq!(h.find_all(&hay), n.find_all(&hay));
+    }
+
+    #[test]
+    fn boyer_moore_agrees_with_naive(hay in small_text(), pat in small_pattern()) {
+        let b = BoyerMoore::new(&pat);
+        let n = Naive::new(&[&pat]);
+        prop_assert_eq!(b.find_all(&hay), n.find_all(&hay));
+    }
+
+    #[test]
+    fn boyer_moore_agrees_on_binary(hay in wide_text(), pat in wide_pattern()) {
+        let b = BoyerMoore::new(&pat);
+        let n = Naive::new(&[&pat]);
+        prop_assert_eq!(b.find_all(&hay), n.find_all(&hay));
+    }
+
+    #[test]
+    fn memmem_agrees_with_naive(hay in small_text(), pat in small_pattern()) {
+        let m = MemMem::new(&pat);
+        let n = Naive::new(&[&pat]);
+        prop_assert_eq!(m.find_all(&hay), n.find_all(&hay));
+    }
+
+    #[test]
+    fn memmem_agrees_on_binary(hay in wide_text(), pat in wide_pattern()) {
+        let m = MemMem::new(&pat);
+        let n = Naive::new(&[&pat]);
+        prop_assert_eq!(m.find_all(&hay), n.find_all(&hay));
+    }
+
+    #[test]
+    fn aho_corasick_agrees_with_naive(
+        hay in small_text(),
+        pats in proptest::collection::vec(small_pattern(), 1..5),
+    ) {
+        let ac = AhoCorasick::new(&pats);
+        let n = Naive::new(&pats);
+        prop_assert_eq!(sorted(ac.find_all(&hay)), sorted(n.find_all(&hay)));
+    }
+
+    #[test]
+    fn aho_corasick_agrees_on_binary(
+        hay in wide_text(),
+        pats in proptest::collection::vec(wide_pattern(), 1..5),
+    ) {
+        let ac = AhoCorasick::new(&pats);
+        let n = Naive::new(&pats);
+        prop_assert_eq!(sorted(ac.find_all(&hay)), sorted(n.find_all(&hay)));
+    }
+
+    /// Chunked scanning == monolithic scanning, for every matcher and any
+    /// chunk count. This is the invariant the parallel search pipelines
+    /// (Figure 10) rely on.
+    #[test]
+    fn chunked_equals_monolithic(
+        hay in small_text(),
+        pat in small_pattern(),
+        n_chunks in 1usize..8,
+    ) {
+        let matchers: Vec<Box<dyn Matcher>> = vec![
+            Box::new(Horspool::new(&pat)),
+            Box::new(BoyerMoore::new(&pat)),
+            Box::new(MemMem::new(&pat)),
+            Box::new(AhoCorasick::new(&[&pat])),
+            Box::new(Naive::new(&[&pat])),
+        ];
+        for m in &matchers {
+            let whole = sorted(m.find_all(&hay));
+            let chunks = split_chunks(hay.len(), n_chunks, m.overlap());
+            let mut chunked = Vec::new();
+            for c in &chunks {
+                m.find_into(&hay[c.start..c.end], c.start as u64, c.min_end, &mut chunked);
+            }
+            prop_assert_eq!(
+                whole, sorted(chunked),
+                "chunked scan diverged: n_chunks={} pat={:?}", n_chunks, &pat
+            );
+        }
+    }
+
+    /// Multi-pattern chunked AC also equals monolithic.
+    #[test]
+    fn chunked_aho_corasick_multi(
+        hay in small_text(),
+        pats in proptest::collection::vec(small_pattern(), 1..4),
+        n_chunks in 1usize..6,
+    ) {
+        let ac = AhoCorasick::new(&pats);
+        let whole = sorted(ac.find_all(&hay));
+        let chunks = split_chunks(hay.len(), n_chunks, ac.overlap());
+        let mut chunked = Vec::new();
+        for c in &chunks {
+            ac.find_into(&hay[c.start..c.end], c.start as u64, c.min_end, &mut chunked);
+        }
+        prop_assert_eq!(whole, sorted(chunked));
+    }
+}

@@ -1,0 +1,51 @@
+//! LZ link-compression codec throughput and ratio (§4.2 future work):
+//! compress/decompress MB/s on the synthetic text corpus and on random
+//! bytes, plus the frame wrapper's raw-fallback overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use raft_algos::corpus::{generate, CorpusSpec};
+use raft_net::compress::{compress, compress_frame, decompress};
+
+fn bench_compress(c: &mut Criterion) {
+    let text = generate(&CorpusSpec {
+        size: 1 << 20,
+        ..Default::default()
+    })
+    .data;
+    let random: Vec<u8> = {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        (0..1 << 20).map(|_| rng.gen()).collect()
+    };
+
+    let lz_text = compress(&text);
+    eprintln!(
+        "corpus compression ratio: {:.2}x ({} -> {} bytes)",
+        text.len() as f64 / lz_text.len() as f64,
+        text.len(),
+        lz_text.len()
+    );
+
+    let mut g = c.benchmark_group("lz_codec");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("compress_text_1mb", |b| b.iter(|| compress(&text)));
+    g.bench_function("compress_random_1mb", |b| b.iter(|| compress(&random)));
+    g.bench_function("decompress_text_1mb", |b| {
+        b.iter(|| decompress(&lz_text, text.len()).unwrap())
+    });
+    g.bench_function("frame_wrapper_random_fallback", |b| {
+        let payload = bytes::Bytes::from(random.clone());
+        b.iter(|| compress_frame(&payload));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10);
+    targets = bench_compress
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Ablation: fixed lock-free SPSC vs. the resizable FIFO.
+//!
+//! The resizable ring pays a shared `RwLock` acquisition per operation to
+//! make the monitor's dynamic resizing possible (§4). This bench prices
+//! that flexibility: same workload over `BoundedSpsc` (fixed) and `Fifo`
+//! (resizable), single-threaded ping-pong and cross-thread streaming.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use raft_buffer::{fifo_with, BoundedSpsc, FifoConfig};
+
+const BATCH: u64 = 10_000;
+
+fn bench_fifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fifo_pingpong");
+    g.throughput(Throughput::Elements(BATCH));
+
+    g.bench_function(BenchmarkId::new("bounded_spsc", BATCH), |b| {
+        let (mut p, mut cns) = BoundedSpsc::<u64>::new(1024);
+        b.iter(|| {
+            for i in 0..BATCH {
+                while p.try_push(i).is_err() {
+                    let _ = cns.try_pop();
+                }
+                if i % 4 == 0 {
+                    let _ = cns.try_pop();
+                }
+            }
+            while cns.try_pop().is_ok() {}
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("resizable_fifo", BATCH), |b| {
+        let (_f, mut p, mut cns) = fifo_with::<u64>(FifoConfig::fixed(1024));
+        b.iter(|| {
+            for i in 0..BATCH {
+                while p.try_push(i).is_err() {
+                    let _ = cns.try_pop();
+                }
+                if i % 4 == 0 {
+                    let _ = cns.try_pop();
+                }
+            }
+            while cns.try_pop().is_ok() {}
+        });
+    });
+
+    g.finish();
+
+    let mut g = c.benchmark_group("fifo_cross_thread");
+    g.throughput(Throughput::Elements(BATCH * 10));
+    g.sample_size(10);
+
+    g.bench_function("bounded_spsc", |b| {
+        b.iter(|| {
+            let (mut p, mut cns) = BoundedSpsc::<u64>::new(1024);
+            let t = std::thread::spawn(move || {
+                for i in 0..BATCH * 10 {
+                    p.push(i).unwrap();
+                }
+            });
+            let mut n = 0u64;
+            while cns.pop().is_ok() {
+                n += 1;
+            }
+            t.join().unwrap();
+            assert_eq!(n, BATCH * 10);
+        });
+    });
+
+    g.bench_function("resizable_fifo", |b| {
+        b.iter(|| {
+            let (_f, mut p, mut cns) = fifo_with::<u64>(FifoConfig::fixed(1024));
+            let t = std::thread::spawn(move || {
+                for i in 0..BATCH * 10 {
+                    p.push(i).unwrap();
+                }
+            });
+            let mut n = 0u64;
+            while cns.pop().is_ok() {
+                n += 1;
+            }
+            t.join().unwrap();
+            assert_eq!(n, BATCH * 10);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fifo
+}
+criterion_main!(benches);

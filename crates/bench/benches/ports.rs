@@ -1,0 +1,52 @@
+//  Config structs are assembled field-by-field in tests/benches for clarity.
+#![allow(clippy::field_reassign_with_default)]
+//! Per-item overhead of the full runtime path: kernel `run()` dispatch +
+//! typed port access + FIFO hop, measured end-to-end through small
+//! pipelines of increasing depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use raft_kernels::{Count, Generate, Map};
+use raftlib::prelude::*;
+
+const ITEMS: u64 = 100_000;
+
+fn pipeline(depth: usize) -> std::time::Duration {
+    let mut cfg = MapConfig::default();
+    cfg.monitor = MonitorConfig::disabled();
+    cfg.fifo = FifoConfig::fixed(1024);
+    let mut map = RaftMap::with_config(cfg);
+    let src = map.add(Generate::new(0..ITEMS).with_batch(512));
+    let mut prev = src;
+    for _ in 0..depth {
+        let stage = map.add(Map::new(|x: u64| x.wrapping_add(1)));
+        map.connect(prev, stage).unwrap();
+        prev = stage;
+    }
+    let (count, n) = Count::<u64>::new();
+    let sink = map.add(count);
+    map.connect(prev, sink).unwrap();
+    let report = map.exe().unwrap();
+    assert_eq!(n.load(std::sync::atomic::Ordering::Relaxed), ITEMS);
+    report.elapsed
+}
+
+fn bench_ports(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_depth");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ITEMS));
+    for depth in [0usize, 1, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| pipeline(d));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_ports
+}
+criterion_main!(benches);

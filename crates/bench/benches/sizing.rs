@@ -1,0 +1,54 @@
+//! Ablation: the two buffer-sizing options of §4 — branch-and-bound search
+//! vs. analytic (M/M/1/K) modeling.
+//!
+//! Branch-and-bound evaluates a real (here: simulated) execution per probe;
+//! the analytic route needs only the measured arrival/service rates. The
+//! bench measures both the wall cost of choosing a size and reports (via
+//! assertions) that both land in the same neighbourhood on a Figure-4-like
+//! cost bowl.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raft_model::queues::MM1K;
+use raft_model::sizing::{analytic_mm1k, branch_and_bound};
+
+/// Figure-4-shaped cost (seconds) for a queue of `cap` elements, derived
+/// from an M/M/1/K blocking model plus a linear cache penalty: blocking
+/// serializes the pipeline; size costs cache.
+fn simulated_exec_time(cap: usize) -> f64 {
+    let q = MM1K::new(90.0, 100.0, cap.min(1 << 20) as u32);
+    let base = 10.0;
+    let blocking_penalty = 40.0 * q.blocking_probability();
+    let cache_penalty = 1e-5 * cap as f64;
+    base + blocking_penalty + cache_penalty
+}
+
+fn bench_sizing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_sizing");
+
+    g.bench_function("branch_and_bound", |b| {
+        b.iter(|| {
+            let r = branch_and_bound(1, 1 << 16, simulated_exec_time);
+            assert!(r.capacity >= 16, "picked a blocking-heavy size: {r:?}");
+            r
+        });
+    });
+
+    g.bench_function("analytic_mm1k", |b| {
+        b.iter(|| {
+            let k = analytic_mm1k(90.0, 100.0, 1e-3, 1 << 16);
+            assert!(k >= 16);
+            k
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sizing
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! §5's algorithm-swap experiment: "Manually changing the algorithm RaftLib
+//! used to Boyer-Moore-Horspool, the performance improved drastically ...
+//! The change in performance when swapping algorithms indicates that the
+//! algorithm itself (Aho-Corasick) was the bottleneck."
+//!
+//! The search kernel is an `AlgoSet` of {Aho-Corasick, Horspool} behind one
+//! port signature (§4.2's synonymous kernel grouping). We scan the corpus
+//! once with each fixed algorithm, then once swapping AC → BMH at the
+//! halfway point, and report throughput for all three runs.
+//!
+//! ```sh
+//! cargo run -p raft-bench --release --bin algo_swap [corpus_mb]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use raft_algos::corpus::{generate, CorpusSpec};
+use raft_algos::{AhoCorasick, Horspool, Matcher};
+use raft_bench::measure::gbps;
+use raft_kernels::{ByteChunk, ByteChunkSource, Map};
+use raftlib::prelude::*;
+
+/// Search kernel over an injected matcher, counting bytes it scanned into a
+/// shared counter (progress instrumentation for the swap trigger).
+fn search_kernel(
+    matcher: Arc<dyn Matcher>,
+    scanned: Arc<AtomicU64>,
+) -> impl Kernel {
+    Map::new(move |chunk: ByteChunk| {
+        let mut found = Vec::new();
+        matcher.find_into(chunk.as_slice(), chunk.base(), chunk.min_end, &mut found);
+        scanned.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        found.len() as u64
+    })
+}
+
+struct RunResult {
+    secs: f64,
+    matches: u64,
+}
+
+fn run(
+    data: &Arc<Vec<u8>>,
+    needle: &[u8],
+    swap_at_half: bool,
+    start_algo: usize,
+) -> RunResult {
+    let scanned = Arc::new(AtomicU64::new(0));
+    let ac: Box<dyn Kernel> = Box::new(search_kernel(
+        Arc::new(AhoCorasick::new(&[needle])),
+        scanned.clone(),
+    ));
+    let bmh: Box<dyn Kernel> = Box::new(search_kernel(
+        Arc::new(Horspool::new(needle)),
+        scanned.clone(),
+    ));
+    let set = AlgoSet::new("search", vec![ac, bmh]);
+    let switch = set.switch();
+    switch.select(start_algo);
+
+    let overlap = Horspool::new(needle).overlap().max(AhoCorasick::new(&[needle]).overlap());
+    let mut map = RaftMap::new();
+    let reader = map.add(ByteChunkSource::new(data.clone(), 1 << 20, overlap));
+    let search = map.add(set);
+    let (sum, matches) = raft_kernels::Fold::new(0u64, |acc: &mut u64, v: u64| *acc += v);
+    let sink = map.add(sum);
+    map.link(reader, "out", search, "in").expect("link");
+    map.link(search, "out", sink, "in").expect("link");
+
+    // Swap controller: when half the corpus has been scanned, switch to BMH.
+    let total = data.len() as u64;
+    let controller = swap_at_half.then(|| {
+        let scanned = scanned.clone();
+        std::thread::spawn(move || loop {
+            if scanned.load(Ordering::Relaxed) >= total / 2 {
+                switch.select(1); // BMH
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        })
+    });
+
+    let t0 = Instant::now();
+    map.exe().expect("run");
+    let secs = t0.elapsed().as_secs_f64();
+    if let Some(c) = controller {
+        let _ = c.join();
+    }
+    let total_matches = *matches.lock().unwrap();
+    RunResult {
+        secs,
+        matches: total_matches,
+    }
+}
+
+fn main() {
+    let corpus_mb: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(raft_bench::corpus_mb_default());
+    eprintln!("generating {corpus_mb} MB corpus ...");
+    let c = generate(&CorpusSpec {
+        size: corpus_mb << 20,
+        matches_per_mb: 10.0,
+        ..Default::default()
+    });
+    let expected = c.planted.len() as u64;
+    let data = Arc::new(c.data);
+    let bytes = data.len();
+
+    println!("§5 algorithm swap (corpus {corpus_mb} MB, single search kernel):");
+    println!("{:-<64}", "");
+    let mut rows = Vec::new();
+    for (label, swap, start) in [
+        ("Aho-Corasick only", false, 0),
+        ("swap AC->BMH at 50%", true, 0),
+        ("Horspool only", false, 1),
+    ] {
+        let r = run(&data, &c.needle, swap, start);
+        assert_eq!(r.matches, expected, "{label} miscounted");
+        println!(
+            "{:<22} {:>8.3} s   {:>8.3} GB/s   matches={} ok",
+            label,
+            r.secs,
+            gbps(bytes, std::time::Duration::from_secs_f64(r.secs)),
+            r.matches
+        );
+        rows.push((label, r.secs));
+    }
+    println!("{:-<64}", "");
+    let ac = rows[0].1;
+    let swapped = rows[1].1;
+    let bmh = rows[2].1;
+    println!(
+        "speedup swapping mid-run: {:.2}x over AC-only; full BMH: {:.2}x \
+         (the AC automaton was the bottleneck, as in the paper)",
+        ac / swapped,
+        ac / bmh
+    );
+}

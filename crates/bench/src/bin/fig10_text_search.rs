@@ -1,0 +1,178 @@
+//! Figure 10 — exact string-match throughput (GB/s) vs. utilized cores for
+//! four systems: GNU grep + GNU Parallel, Apache Spark Boyer-Moore, RaftLib
+//! Aho-Corasick, RaftLib Boyer-Moore-Horspool.
+//!
+//! Two series per system:
+//!
+//! * **measured** — real execution on this host with 1..=N worker threads
+//!   (N = detected cores, override with the second argument); every run's
+//!   match count is verified against the corpus ground truth;
+//! * **modeled** — the paper's own flow-model methodology (§4.1, refs
+//!   \[8,10\]): this host's measured single-core service rate pushed through
+//!   `raft_model::scaling` to the paper's 16 cores, reproducing the
+//!   figure's *shape* (who wins, crossovers, saturation) regardless of how
+//!   many physical cores this machine has.
+//!
+//! ```sh
+//! cargo run -p raft-bench --release --bin fig10_text_search [corpus_mb] [max_cores]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use raft_algos::corpus::{generate, CorpusSpec};
+use raft_bench::comparators::{grep_parallel, SparkLike};
+use raft_bench::measure::gbps;
+use raft_bench::pipelines::{raftlib_search, search_matcher};
+use raft_bench::{core_sweep, corpus_mb_default};
+use raft_model::scaling::figure10;
+
+fn main() {
+    let corpus_mb: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(corpus_mb_default);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1);
+    let max_cores: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(host_cores.max(4));
+
+    eprintln!("generating {corpus_mb} MB corpus ...");
+    let spec = CorpusSpec {
+        size: corpus_mb << 20,
+        matches_per_mb: 10.0,
+        ..Default::default()
+    };
+    let corpus = generate(&spec);
+    let expected = corpus.planted.len();
+    let needle = corpus.needle.clone();
+    let data = Arc::new(corpus.data);
+    let bytes = data.len();
+    eprintln!(
+        "corpus ready: {bytes} bytes, {expected} planted matches, needle {:?}",
+        String::from_utf8_lossy(&needle)
+    );
+    eprintln!("host cores: {host_cores}; sweeping 1..={max_cores} workers\n");
+
+    let sweep = core_sweep(max_cores);
+    let chunk = 1 << 20;
+
+    println!("Figure 10 (measured on this host, {corpus_mb} MB corpus, GB/s):");
+    println!("{:-<70}", "");
+    println!(
+        "{:>7} | {:>13} {:>13} {:>13} {:>13}",
+        "cores", "grep+par", "spark(BM)", "raft(AC)", "raft(BMH)"
+    );
+    println!("{:-<70}", "");
+
+    // single-core rates captured for the modeled series
+    let mut single = [0.0f64; 4];
+
+    for &k in &sweep {
+        // (a) grep + GNU Parallel
+        let t0 = Instant::now();
+        let run = grep_parallel(&data, &needle, k);
+        let g_grep = gbps(bytes, t0.elapsed());
+        assert_eq!(run.matches.len(), expected, "grep_parallel miscounted");
+
+        // (b) Spark-like Boyer-Moore
+        let engine = SparkLike::default();
+        let t0 = Instant::now();
+        let run = engine.run(&data, &needle, k);
+        let g_spark = gbps(bytes, t0.elapsed());
+        assert_eq!(run.matches.len(), expected, "spark-like miscounted");
+
+        // (c) RaftLib + Aho-Corasick
+        let t0 = Instant::now();
+        let (n, _) = raftlib_search(&data, search_matcher("ac", &needle), k, chunk);
+        let g_ac = gbps(bytes, t0.elapsed());
+        assert_eq!(n as usize, expected, "raft AC miscounted");
+
+        // (d) RaftLib + Boyer-Moore-Horspool
+        let t0 = Instant::now();
+        let (n, _) = raftlib_search(&data, search_matcher("bmh", &needle), k, chunk);
+        let g_bmh = gbps(bytes, t0.elapsed());
+        assert_eq!(n as usize, expected, "raft BMH miscounted");
+
+        if k == 1 {
+            single = [g_grep, g_spark, g_ac, g_bmh];
+        }
+        println!(
+            "{:>7} | {:>13.3} {:>13.3} {:>13.3} {:>13.3}",
+            k, g_grep, g_spark, g_ac, g_bmh
+        );
+    }
+    println!("{:-<70}", "");
+    println!("all match counts verified against ground truth ({expected})\n");
+
+    // ---- modeled series: this host's single-core rates, the paper's    ----
+    // ---- scaling shapes, 1..16 cores                                   ----
+    let models = [
+        ("grep+par", figure10::grep_parallel(single[0])),
+        ("spark(BM)", figure10::spark_boyer_moore(single[1])),
+        ("raft(AC)", figure10::raftlib_aho_corasick(single[2])),
+        ("raft(BMH)", figure10::raftlib_horspool(single[3])),
+    ];
+    println!("Figure 10 (modeled to 16 cores from measured single-core rates, GB/s):");
+    println!("{:-<70}", "");
+    println!(
+        "{:>7} | {:>13} {:>13} {:>13} {:>13}",
+        "cores", models[0].0, models[1].0, models[2].0, models[3].0
+    );
+    println!("{:-<70}", "");
+    for k in 1..=16u32 {
+        println!(
+            "{:>7} | {:>13.3} {:>13.3} {:>13.3} {:>13.3}",
+            k,
+            models[0].1.throughput(k),
+            models[1].1.throughput(k),
+            models[2].1.throughput(k),
+            models[3].1.throughput(k),
+        );
+    }
+    println!("{:-<70}", "");
+
+    // ---- the original figure, from the paper's own reported rates ---------
+    let paper = [
+        (
+            "grep+par",
+            figure10::grep_parallel(figure10::paper_rates::GREP),
+        ),
+        (
+            "spark(BM)",
+            figure10::spark_boyer_moore(figure10::paper_rates::SPARK),
+        ),
+        (
+            "raft(AC)",
+            figure10::raftlib_aho_corasick(figure10::paper_rates::RAFT_AC),
+        ),
+        (
+            "raft(BMH)",
+            figure10::raftlib_horspool(figure10::paper_rates::RAFT_BMH),
+        ),
+    ];
+    println!("\nFigure 10 (paper's reported single-core rates, modeled, GB/s):");
+    println!("{:-<70}", "");
+    for k in [1u32, 2, 4, 8, 10, 12, 16] {
+        println!(
+            "{:>7} | {:>13.3} {:>13.3} {:>13.3} {:>13.3}",
+            k,
+            paper[0].1.throughput(k),
+            paper[1].1.throughput(k),
+            paper[2].1.throughput(k),
+            paper[3].1.throughput(k),
+        );
+    }
+    println!("{:-<70}", "");
+    println!(
+        "paper's reading holds: grep wins at 1 core ({:.2} GB/s), BMH saturates the\n\
+         memory system near 10 cores (~{:.1} GB/s), Spark ~{:.1}, AC ~{:.1} at 16.",
+        paper[0].1.throughput(1),
+        paper[3].1.throughput(10),
+        paper[1].1.throughput(16),
+        paper[2].1.throughput(16),
+    );
+}

@@ -1,0 +1,81 @@
+//! Figure 4 — matrix-multiply execution time vs. per-queue buffer size.
+//!
+//! The paper streams a matrix-multiply application while sweeping the
+//! (equal) size of every queue, plotting mean execution time with 5th/95th
+//! percentile bands: undersized queues serialize the pipeline, and past
+//! ~8 MB the time creeps up again and the variance widens (cache and
+//! paging pressure).
+//!
+//! ```sh
+//! cargo run -p raft-bench --release --bin fig4_queue_size [reps] [n_matrices] [dim]
+//! ```
+//!
+//! Environment: `FIG4_REPS`, `FIG4_N`, `FIG4_DIM` override likewise.
+
+use raft_bench::measure::{fmt_secs, sample};
+use raft_bench::pipelines::matmul_pipeline;
+
+fn arg_or(n: usize, env: &str, default: usize) -> usize {
+    std::env::args()
+        .nth(n)
+        .or_else(|| std::env::var(env).ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let reps = arg_or(1, "FIG4_REPS", 9);
+    let n_matrices = arg_or(2, "FIG4_N", 48) as u64;
+    let dim = arg_or(3, "FIG4_DIM", 96);
+
+    // Element payload = one MatPair = 2 matrices of dim² f32.
+    let pair_bytes = 2 * dim * dim * 4;
+    println!("Figure 4: queue size vs execution time (matrix multiply)");
+    println!(
+        "workload: {n_matrices} multiplies of {dim}x{dim} f32 ({} KB per stream element), {reps} reps/point"
+    , pair_bytes / 1024);
+    println!("{:-<74}", "");
+    println!(
+        "{:>12} {:>12} | {:>10} {:>10} {:>10} {:>10}",
+        "capacity", "bytes/queue", "mean s", "p5 s", "p95 s", "max s"
+    );
+    println!("{:-<74}", "");
+
+    // Sweep capacities in elements; bytes = capacity × pair size. The
+    // paper's x axis runs from KBs to tens of MBs.
+    let mut rows = Vec::new();
+    for cap in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let s = sample(reps, || {
+            matmul_pipeline(n_matrices, dim, cap);
+        });
+        println!(
+            "{:>12} {:>12} | {:>10} {:>10} {:>10} {:>10}",
+            cap,
+            cap * pair_bytes,
+            fmt_secs(s.mean),
+            fmt_secs(s.p5),
+            fmt_secs(s.p95),
+            fmt_secs(s.max),
+        );
+        rows.push((cap, s));
+    }
+    println!("{:-<74}", "");
+
+    // Shape commentary matching the paper's reading of the figure.
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.mean.cmp(&b.1.mean))
+        .unwrap();
+    let tiny = &rows[0];
+    let huge = rows.last().unwrap();
+    println!(
+        "minimum at capacity {} ({} KB/queue); tiny queue ({}) is {:.2}x slower; \
+         largest queue ({}) is {:.2}x the minimum",
+        best.0,
+        best.0 * pair_bytes / 1024,
+        tiny.0,
+        tiny.1.mean.as_secs_f64() / best.1.mean.as_secs_f64(),
+        huge.0,
+        huge.1.mean.as_secs_f64() / best.1.mean.as_secs_f64(),
+    );
+}

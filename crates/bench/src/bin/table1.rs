@@ -1,0 +1,74 @@
+//! Table 1 — Summary of Benchmarking Hardware.
+//!
+//! Prints the paper's row and the detected equivalent for this host, so
+//! every other harness's numbers can be read in context.
+//!
+//! ```sh
+//! cargo run -p raft-bench --bin table1
+//! ```
+
+fn read_file(path: &str) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+fn cpu_model() -> String {
+    read_file("/proc/cpuinfo")
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split(':').nth(1).unwrap_or("?").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown CPU".to_string())
+}
+
+fn total_ram_gb() -> f64 {
+    read_file("/proc/meminfo")
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("MemTotal")).map(|l| {
+                let kb: f64 = l
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0);
+                kb / 1024.0 / 1024.0
+            })
+        })
+        .unwrap_or(0.0)
+}
+
+fn os_version() -> String {
+    read_file("/proc/sys/kernel/osrelease")
+        .map(|s| format!("Linux {}", s.trim()))
+        .unwrap_or_else(|| std::env::consts::OS.to_string())
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("Table 1: Summary of Benchmarking Hardware");
+    println!("{:-<78}", "");
+    println!(
+        "{:<34} {:>6} {:>9}  OS Version",
+        "Processor", "Cores", "RAM"
+    );
+    println!("{:-<78}", "");
+    println!(
+        "{:<34} {:>6} {:>8}  Linux 2.6.32",
+        "Intel Xeon E5-2650 (paper)", 16, "62 GB"
+    );
+    println!(
+        "{:<34} {:>6} {:>5.0} GB  {}",
+        cpu_model(),
+        cores,
+        total_ram_gb(),
+        os_version()
+    );
+    println!("{:-<78}", "");
+    println!(
+        "note: measured series in the other harnesses use this host's {} core(s);\n\
+         modeled series extrapolate to the paper's 16 with raft-model::scaling.",
+        cores
+    );
+}

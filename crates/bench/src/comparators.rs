@@ -1,0 +1,163 @@
+//! The two comparator systems of Figure 10, re-implemented.
+//!
+//! The paper compares RaftLib against (a) GNU grep parallelized by GNU
+//! Parallel and (b) a Scala Boyer-Moore application on Apache Spark.
+//! Neither runs here, so each is substituted by a from-scratch engine with
+//! the same *structure* (see DESIGN.md §4):
+//!
+//! * [`grep_parallel`] — an extremely fast single-threaded scanner
+//!   ([`raft_algos::MemMem`], grep's skip-loop design) dispatched over
+//!   coarse jobs the way GNU Parallel does: the input is split into one job
+//!   per worker, workers run independently, and all output funnels back
+//!   through a single collector;
+//! * [`SparkLike`] — a miniature batch-task data-parallel engine: a driver
+//!   splits the corpus into many partitions, tasks go through a shared
+//!   queue, workers execute Boyer-Moore per partition and ship results back
+//!   to the driver — Spark's execution shape without the JVM.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use raft_algos::{split_chunks, BoyerMoore, Match, Matcher, MemMem};
+
+/// Result of one comparator run.
+#[derive(Debug, Clone)]
+pub struct SearchRun {
+    /// All matches found (sorted by offset).
+    pub matches: Vec<Match>,
+    /// Workers used.
+    pub workers: u32,
+}
+
+/// "GNU grep + GNU Parallel": split the corpus into `workers` jobs, scan
+/// each with the grep-class scanner on its own thread, merge through one
+/// collector lock (GNU Parallel's single output pipe).
+pub fn grep_parallel(corpus: &Arc<Vec<u8>>, pattern: &[u8], workers: u32) -> SearchRun {
+    let scanner = Arc::new(MemMem::new(pattern));
+    let chunks = split_chunks(corpus.len(), workers as usize, scanner.overlap());
+    let collector: Arc<Mutex<Vec<Match>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut joins = Vec::new();
+    for c in chunks {
+        let corpus = corpus.clone();
+        let scanner = scanner.clone();
+        let collector = collector.clone();
+        // One "job" per chunk, like `parallel --pipepart grep`.
+        joins.push(thread::spawn(move || {
+            let mut local = Vec::new();
+            scanner.find_into(&corpus[c.start..c.end], c.start as u64, c.min_end, &mut local);
+            // the single merged output stream
+            collector.lock().unwrap().extend(local);
+        }));
+    }
+    for j in joins {
+        j.join().expect("grep job");
+    }
+    let mut matches = std::mem::take(&mut *collector.lock().unwrap());
+    matches.sort_unstable();
+    SearchRun { matches, workers }
+}
+
+/// Miniature Spark: driver, partitions, a shared task queue, `workers`
+/// executor threads running Boyer-Moore, results collected at the driver.
+pub struct SparkLike {
+    /// Partitions per job (Spark default parallelism is O(100) tasks).
+    pub partitions: usize,
+}
+
+impl Default for SparkLike {
+    fn default() -> Self {
+        SparkLike { partitions: 128 }
+    }
+}
+
+impl SparkLike {
+    /// Run the search job.
+    pub fn run(&self, corpus: &Arc<Vec<u8>>, pattern: &[u8], workers: u32) -> SearchRun {
+        let matcher = Arc::new(BoyerMoore::new(pattern));
+        let tasks: Arc<Mutex<Vec<raft_algos::Chunk>>> = Arc::new(Mutex::new(split_chunks(
+            corpus.len(),
+            self.partitions,
+            matcher.overlap(),
+        )));
+        let results: Arc<Mutex<Vec<Match>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut joins = Vec::new();
+        for _ in 0..workers.max(1) {
+            let corpus = corpus.clone();
+            let matcher = matcher.clone();
+            let tasks = tasks.clone();
+            let results = results.clone();
+            joins.push(thread::spawn(move || {
+                loop {
+                    // task fetch from the driver's queue
+                    let task = tasks.lock().unwrap().pop();
+                    let Some(c) = task else { break };
+                    let mut local = Vec::new();
+                    matcher.find_into(
+                        &corpus[c.start..c.end],
+                        c.start as u64,
+                        c.min_end,
+                        &mut local,
+                    );
+                    // shuffle/collect back to the driver
+                    results.lock().unwrap().extend(local);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("executor");
+        }
+        let mut matches = std::mem::take(&mut *results.lock().unwrap());
+        matches.sort_unstable();
+        SearchRun { matches, workers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raft_algos::corpus::{generate, CorpusSpec};
+
+    fn corpus() -> (Arc<Vec<u8>>, Vec<u8>, usize) {
+        let spec = CorpusSpec {
+            size: 512 * 1024,
+            matches_per_mb: 100.0,
+            ..Default::default()
+        };
+        let c = generate(&spec);
+        (Arc::new(c.data), c.needle, c.planted.len())
+    }
+
+    #[test]
+    fn grep_parallel_counts_exactly() {
+        let (data, needle, expected) = corpus();
+        for workers in [1u32, 2, 4] {
+            let run = grep_parallel(&data, &needle, workers);
+            assert_eq!(run.matches.len(), expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn spark_like_counts_exactly() {
+        let (data, needle, expected) = corpus();
+        let engine = SparkLike::default();
+        for workers in [1u32, 3] {
+            let run = engine.run(&data, &needle, workers);
+            assert_eq!(run.matches.len(), expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_each_other() {
+        let (data, needle, _) = corpus();
+        let a = grep_parallel(&data, &needle, 2);
+        let b = SparkLike::default().run(&data, &needle, 2);
+        assert_eq!(a.matches, b.matches);
+    }
+
+    #[test]
+    fn single_partition_spark() {
+        let (data, needle, expected) = corpus();
+        let run = SparkLike { partitions: 1 }.run(&data, &needle, 4);
+        assert_eq!(run.matches.len(), expected);
+    }
+}

@@ -1,0 +1,111 @@
+//! The RaftLib-side pipelines the harnesses execute.
+
+use std::sync::Arc;
+
+use raft_algos::matmul::{MatPair, Matrix};
+use raft_algos::{AhoCorasick, Horspool, Match, Matcher};
+use raft_kernels::{Count, Fold, Generate, Map};
+use raft_kernels::{ByteChunk, ByteChunkSource};
+use raftlib::prelude::*;
+
+/// Figure 8/9 topology: filereader → search×width → reduce. Returns
+/// `(match count, execution report)`.
+pub fn raftlib_search(
+    corpus: &Arc<Vec<u8>>,
+    matcher: Arc<dyn Matcher>,
+    width: u32,
+    chunk_size: usize,
+) -> (u64, ExeReport) {
+    let overlap = matcher.overlap();
+    // Keep chunk descriptor queues modest; payloads are zero-copy.
+    let cfg = MapConfig {
+        fifo: FifoConfig::starting_at(16),
+        ..Default::default()
+    };
+    let mut map = RaftMap::with_config(cfg);
+    let filereader = map.add(ByteChunkSource::new(corpus.clone(), chunk_size, overlap));
+    let search = map.add(Map::new(move |chunk: ByteChunk| {
+        let mut found: Vec<Match> = Vec::new();
+        matcher.find_into(chunk.as_slice(), chunk.base(), chunk.min_end, &mut found);
+        found.len() as u64
+    }));
+    let (fold, total) = Fold::new(0u64, |acc: &mut u64, v: u64| *acc += v);
+    let sink = map.add(fold);
+    map.link_unordered(filereader, "out", search, "in")
+        .expect("link search");
+    map.link_unordered(search, "out", sink, "in")
+        .expect("link fold");
+    map.prefer_width(search, width);
+    let report = map.exe().expect("raftlib search run");
+    let n = *total.lock().unwrap();
+    (n, report)
+}
+
+/// Build the searcher for Figure 10's RaftLib series.
+pub fn search_matcher(kind: &str, needle: &[u8]) -> Arc<dyn Matcher> {
+    match kind {
+        "ac" => Arc::new(AhoCorasick::new(&[needle])),
+        "bmh" => Arc::new(Horspool::new(needle)),
+        other => panic!("unknown matcher {other:?}"),
+    }
+}
+
+/// Figure 4 pipeline: generate matrix pairs → multiply → count, all queues
+/// fixed to `capacity` elements (resizing disabled: the experiment measures
+/// the effect of the static size). Returns the wall time.
+pub fn matmul_pipeline(
+    n_matrices: u64,
+    dim: usize,
+    capacity: usize,
+) -> std::time::Duration {
+    let cfg = MapConfig {
+        fifo: FifoConfig::fixed(capacity),
+        monitor: MonitorConfig::disabled(),
+        ..Default::default()
+    };
+    let mut map = RaftMap::with_config(cfg);
+    let src = map.add(
+        Generate::new((0..n_matrices).map(move |i| MatPair::generate(dim, i))).with_batch(4),
+    );
+    let mul = map.add(Map::new(move |p: MatPair| p.run(64)));
+    let (count, _n) = Count::<Matrix>::new();
+    let sink = map.add(count);
+    map.link(src, "out", mul, "in").expect("link mul");
+    map.link(mul, "out", sink, "in").expect("link sink");
+    let report = map.exe().expect("matmul run");
+    report.elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raft_algos::corpus::{generate, CorpusSpec};
+
+    #[test]
+    fn raftlib_search_exact_counts_both_algorithms() {
+        let spec = CorpusSpec {
+            size: 256 * 1024,
+            matches_per_mb: 150.0,
+            ..Default::default()
+        };
+        let c = generate(&spec);
+        let expected = c.planted.len() as u64;
+        let data = Arc::new(c.data);
+        for kind in ["ac", "bmh"] {
+            for width in [1u32, 2] {
+                let matcher = search_matcher(kind, &c.needle);
+                let (n, report) = raftlib_search(&data, matcher, width, 32 * 1024);
+                assert_eq!(n, expected, "kind={kind} width={width}");
+                if width > 1 {
+                    assert_eq!(report.replicated.len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_pipeline_runs() {
+        let dt = matmul_pipeline(8, 16, 4);
+        assert!(dt.as_nanos() > 0);
+    }
+}

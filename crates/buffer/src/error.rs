@@ -1,0 +1,81 @@
+//! Error types for FIFO operations.
+
+use std::fmt;
+
+/// Non-blocking push failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The ring is full; the element is handed back.
+    Full(T),
+    /// The consumer side is gone; no one will ever read this element.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recover the element that could not be pushed.
+    pub fn into_inner(self) -> T {
+        match self {
+            TryPushError::Full(v) | TryPushError::Closed(v) => v,
+        }
+    }
+}
+
+/// Blocking push failed — only possible when the consumer disconnected.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> PushError<T> {
+    /// Recover the element that could not be pushed.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+/// Non-blocking pop failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPopError {
+    /// The ring is currently empty but the producer may still send.
+    Empty,
+    /// The ring is empty and the producer closed the stream: no element will
+    /// ever arrive again.
+    Closed,
+}
+
+/// Blocking pop failed — the stream drained and the producer closed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopError;
+
+impl<T> fmt::Display for TryPushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryPushError::Full(_) => write!(f, "FIFO full"),
+            TryPushError::Closed(_) => write!(f, "FIFO closed by consumer"),
+        }
+    }
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FIFO closed by consumer")
+    }
+}
+
+impl fmt::Display for TryPopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryPopError::Empty => write!(f, "FIFO empty"),
+            TryPopError::Closed => write!(f, "FIFO closed and drained"),
+        }
+    }
+}
+
+impl fmt::Display for PopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FIFO closed and drained")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TryPushError<T> {}
+impl<T: fmt::Debug> std::error::Error for PushError<T> {}
+impl std::error::Error for TryPopError {}
+impl std::error::Error for PopError {}

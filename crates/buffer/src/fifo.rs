@@ -1,0 +1,1403 @@
+//! The production stream FIFO: lock-free SPSC fast path + dynamic resizing.
+//!
+//! RaftLib resizes queues while the application runs (§4): a monitor thread
+//! wakes every δ and grows a queue when the writer has been blocked for 3δ,
+//! or when a reader asked for more items than the queue can ever hold. The
+//! resize itself uses "lock-free exclusion" and prefers the moment when the
+//! ring is in a *non-wrapped* position so the live region can be moved with
+//! one contiguous copy.
+//!
+//! Reproduction here:
+//!
+//! * `head`/`tail` are monotonic atomic counters living *outside* the slot
+//!   storage, so a resize only swaps the storage and never disturbs the
+//!   producer/consumer protocol;
+//! * push/pop take a **shared** [`parking_lot::RwLock`] on the storage —
+//!   producer and consumer never contend with each other (both hold read
+//!   locks) and proceed lock-free exactly as in [`crate::spsc`];
+//! * a resize takes the **exclusive** lock, copies the live region (single
+//!   `memcpy` when source and destination are both non-wrapped, element-wise
+//!   otherwise), and swaps storage;
+//! * blocked endpoints record `*_blocked_since` timestamps in
+//!   [`FifoStats`], which is precisely the signal the monitor's 3δ rule
+//!   consumes; parked threads are woken by the opposite endpoint or by a
+//!   resize.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut, Index};
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::utils::Backoff;
+use parking_lot::{ArcRwLockReadGuard, Condvar, Mutex, RawRwLock, RwLock, RwLockReadGuard};
+
+use crate::error::{PopError, PushError, TryPopError, TryPushError};
+use crate::signal::Signal;
+use crate::stats::{FifoStats, StatsSnapshot};
+
+/// Construction parameters for a [`Fifo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoConfig {
+    /// Starting capacity in elements (rounded up to a power of two).
+    pub initial_capacity: usize,
+    /// Growth ceiling — the paper's "buffer cap" engineering solution for
+    /// queues that would otherwise grow without bound.
+    pub max_capacity: usize,
+    /// Shrink floor.
+    pub min_capacity: usize,
+}
+
+impl Default for FifoConfig {
+    fn default() -> Self {
+        FifoConfig {
+            initial_capacity: 64,
+            max_capacity: 1 << 22,
+            min_capacity: 8,
+        }
+    }
+}
+
+impl FifoConfig {
+    /// Config with a fixed capacity (resizing disabled: floor == ceiling).
+    pub fn fixed(capacity: usize) -> Self {
+        let c = capacity.max(1).next_power_of_two();
+        FifoConfig {
+            initial_capacity: c,
+            max_capacity: c,
+            min_capacity: c,
+        }
+    }
+
+    /// Config starting at `initial` with the default ceiling/floor.
+    pub fn starting_at(initial: usize) -> Self {
+        FifoConfig {
+            initial_capacity: initial,
+            ..Default::default()
+        }
+    }
+}
+
+/// One storage slot: a possibly-uninitialized `(element, signal)` pair.
+type Slot<T> = UnsafeCell<MaybeUninit<(T, Signal)>>;
+
+/// Swappable slot storage; everything else lives in [`Shared`].
+struct Storage<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+}
+
+unsafe impl<T: Send> Send for Storage<T> {}
+unsafe impl<T: Send> Sync for Storage<T> {}
+
+impl<T> Storage<T> {
+    fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Storage {
+            mask: capacity - 1,
+            slots,
+        }
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Raw pointer to the slot for monotonic index `idx`.
+    #[inline]
+    fn slot(&self, idx: usize) -> *mut MaybeUninit<(T, Signal)> {
+        self.slots[idx & self.mask].get()
+    }
+}
+
+/// State shared by producer, consumer, and monitor.
+struct Shared<T> {
+    /// `Arc` so endpoints can take *owned* read guards (`read_arc`) that are
+    /// held across user code (see [`WriteGuard`]) without self-referential
+    /// lifetimes.
+    storage: Arc<RwLock<Storage<T>>>,
+    /// Next index to read (monotonic).
+    head: AtomicUsize,
+    /// Next index to write (monotonic).
+    tail: AtomicUsize,
+    producer_closed: AtomicBool,
+    consumer_closed: AtomicBool,
+    /// Out-of-band signal channel ("asynchronous signaling", §4.2).
+    async_signal: AtomicU64,
+    /// Set while the producer is parked waiting for space.
+    writer_waiting: AtomicBool,
+    /// Set while the consumer is parked waiting for data.
+    reader_waiting: AtomicBool,
+    park: Mutex<()>,
+    unpark: Condvar,
+    stats: FifoStats,
+    cfg: FifoConfig,
+}
+
+impl<T> Shared<T> {
+    #[inline]
+    fn occupancy(&self) -> usize {
+        self.tail
+            .load(Acquire)
+            .saturating_sub(self.head.load(Acquire))
+    }
+
+    /// Wake any parked endpoint. Cheap when nobody is waiting (one relaxed
+    /// load each).
+    #[inline]
+    fn wake(&self) {
+        if self.writer_waiting.load(Relaxed) || self.reader_waiting.load(Relaxed) {
+            let _g = self.park.lock();
+            self.unpark.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Last owner of the FIFO: drop whatever elements remain exactly once.
+        // (Storage never drops its MaybeUninit contents itself.)
+        let storage = self.storage.write();
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            // SAFETY: [head, tail) is the live region; exclusive access here.
+            unsafe { (*storage.slot(i)).assume_init_drop() };
+        }
+    }
+}
+
+/// How long a parked endpoint sleeps before re-checking, as a missed-wakeup
+/// safety net.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// The dynamically resizable stream FIFO. Create one with [`fifo_with`];
+/// this handle is the monitor/third-party view, [`Producer`]/[`Consumer`]
+/// are the data endpoints.
+pub struct Fifo<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Fifo<T> {
+    fn clone(&self) -> Self {
+        Fifo {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+/// Create a FIFO with the given configuration; returns the monitor-facing
+/// handle plus the two endpoints.
+pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>) {
+    let cfg = FifoConfig {
+        initial_capacity: cfg
+            .initial_capacity
+            .clamp(1, cfg.max_capacity.max(1))
+            .next_power_of_two(),
+        max_capacity: cfg.max_capacity.max(1).next_power_of_two(),
+        min_capacity: cfg.min_capacity.max(1).next_power_of_two(),
+    };
+    let shared = Arc::new(Shared {
+        storage: Arc::new(RwLock::new(Storage::with_capacity(cfg.initial_capacity))),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        producer_closed: AtomicBool::new(false),
+        consumer_closed: AtomicBool::new(false),
+        async_signal: AtomicU64::new(0),
+        writer_waiting: AtomicBool::new(false),
+        reader_waiting: AtomicBool::new(false),
+        park: Mutex::new(()),
+        unpark: Condvar::new(),
+        stats: FifoStats::new(),
+        cfg,
+    });
+    (
+        Fifo {
+            shared: shared.clone(),
+        },
+        Producer {
+            shared: shared.clone(),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T: Send> Fifo<T> {
+    /// Current capacity (elements).
+    pub fn capacity(&self) -> usize {
+        self.shared.storage.read().capacity()
+    }
+
+    /// Current occupancy (elements queued).
+    pub fn occupancy(&self) -> usize {
+        self.shared.occupancy()
+    }
+
+    /// The FIFO's telemetry counters.
+    pub fn stats(&self) -> &FifoStats {
+        &self.shared.stats
+    }
+
+    /// Point-in-time statistics snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.shared
+            .stats
+            .snapshot(self.capacity(), self.occupancy())
+    }
+
+    /// The configured growth ceiling.
+    pub fn max_capacity(&self) -> usize {
+        self.shared.cfg.max_capacity
+    }
+
+    /// The configured shrink floor.
+    pub fn min_capacity(&self) -> usize {
+        self.shared.cfg.min_capacity
+    }
+
+    /// `true` once the producer closed and all data has been consumed.
+    pub fn is_finished(&self) -> bool {
+        self.shared.producer_closed.load(Acquire) && self.shared.occupancy() == 0
+    }
+
+    /// Post an asynchronous (out-of-band) signal, immediately visible to the
+    /// consumer regardless of queued data.
+    pub fn post_async(&self, signal: Signal) {
+        self.shared.async_signal.store(signal.encode(), Release);
+        self.shared.wake();
+    }
+
+    /// Take a pending asynchronous signal, if any.
+    pub fn take_async(&self) -> Option<Signal> {
+        Signal::decode(self.shared.async_signal.swap(0, Acquire))
+    }
+
+    /// Resize the ring to `new_capacity` (clamped to config bounds and to
+    /// current occupancy). Returns the resulting capacity.
+    ///
+    /// Takes the exclusive storage lock; endpoints retry their shared-lock
+    /// fast path as soon as we release. The live region is moved with one
+    /// contiguous copy when both source and destination regions are
+    /// non-wrapped (the paper's preferred resize position), element-wise
+    /// otherwise.
+    pub fn resize(&self, new_capacity: usize) -> usize {
+        let shared = &self.shared;
+        let mut guard = shared.storage.write();
+        // Under the exclusive lock nobody moves head/tail.
+        let head = shared.head.load(Relaxed);
+        let tail = shared.tail.load(Relaxed);
+        let live = tail - head;
+        let new_capacity = new_capacity
+            .clamp(shared.cfg.min_capacity, shared.cfg.max_capacity)
+            .max(live)
+            .next_power_of_two();
+        if new_capacity == guard.capacity() {
+            return new_capacity;
+        }
+        let new = Storage::<T>::with_capacity(new_capacity);
+        let old_mask = guard.mask;
+        let old_cap = guard.capacity();
+        if live > 0 {
+            let src_start = head & old_mask;
+            let dst_start = head & new.mask;
+            let src_contig = src_start + live <= old_cap;
+            let dst_contig = dst_start + live <= new.capacity();
+            unsafe {
+                if src_contig && dst_contig {
+                    // Fast path: one memcpy of the whole live region.
+                    std::ptr::copy_nonoverlapping(
+                        guard.slots[src_start].get(),
+                        new.slot(head),
+                        live,
+                    );
+                } else {
+                    // Wrapped on either side: move element-wise.
+                    for i in 0..live {
+                        std::ptr::copy_nonoverlapping(
+                            guard.slots[(head + i) & old_mask].get(),
+                            new.slot(head + i),
+                            1,
+                        );
+                    }
+                }
+            }
+        }
+        // Old slots' live elements were moved out byte-wise: discarding the
+        // old storage is safe because MaybeUninit never drops its contents.
+        *guard = new;
+        shared.stats.resizes.fetch_add(1, Relaxed);
+        drop(guard);
+        shared.wake();
+        new_capacity
+    }
+
+    /// Grow by doubling (bounded by `max_capacity`). Returns `true` if the
+    /// capacity changed.
+    pub fn grow(&self) -> bool {
+        let cur = self.capacity();
+        if cur >= self.shared.cfg.max_capacity {
+            return false;
+        }
+        self.resize(cur * 2) > cur
+    }
+
+    /// Grow until `capacity >= target` (bounded). Returns `true` if the
+    /// final capacity satisfies the request.
+    pub fn grow_to(&self, target: usize) -> bool {
+        if self.capacity() >= target {
+            return true;
+        }
+        self.resize(target.next_power_of_two()) >= target
+    }
+
+    /// Halve the capacity (bounded by `min_capacity` and occupancy).
+    pub fn shrink(&self) -> bool {
+        let cur = self.capacity();
+        if cur <= self.shared.cfg.min_capacity {
+            return false;
+        }
+        self.resize(cur / 2) < cur
+    }
+
+    /// Monitor tick: record an occupancy sample into the histogram.
+    pub fn sample(&self) {
+        self.shared.stats.sample_occupancy(self.occupancy());
+    }
+}
+
+/// Monitor-facing, type-erased view of a FIFO — what the runtime's monitor
+/// thread holds for every stream in the application.
+pub trait Monitorable: Send + Sync {
+    /// Current capacity (elements).
+    fn capacity(&self) -> usize;
+    /// Current occupancy (elements).
+    fn occupancy(&self) -> usize;
+    /// Telemetry counters.
+    fn stats(&self) -> &FifoStats;
+    /// Double the capacity; `true` if changed.
+    fn grow(&self) -> bool;
+    /// Grow to at least `target`; `true` if satisfied.
+    fn grow_to(&self, target: usize) -> bool;
+    /// Halve the capacity; `true` if changed.
+    fn shrink(&self) -> bool;
+    /// Record an occupancy sample.
+    fn sample(&self);
+    /// Growth ceiling.
+    fn max_capacity(&self) -> usize;
+    /// Statistics snapshot.
+    fn snapshot(&self) -> StatsSnapshot;
+    /// Producer closed and drained.
+    fn is_finished(&self) -> bool;
+    /// Post an asynchronous signal to the consumer side.
+    fn post_async(&self, signal: Signal);
+}
+
+impl<T: Send> Monitorable for Fifo<T> {
+    fn capacity(&self) -> usize {
+        Fifo::capacity(self)
+    }
+    fn occupancy(&self) -> usize {
+        Fifo::occupancy(self)
+    }
+    fn stats(&self) -> &FifoStats {
+        Fifo::stats(self)
+    }
+    fn grow(&self) -> bool {
+        Fifo::grow(self)
+    }
+    fn grow_to(&self, target: usize) -> bool {
+        Fifo::grow_to(self, target)
+    }
+    fn shrink(&self) -> bool {
+        Fifo::shrink(self)
+    }
+    fn sample(&self) {
+        Fifo::sample(self)
+    }
+    fn max_capacity(&self) -> usize {
+        Fifo::max_capacity(self)
+    }
+    fn snapshot(&self) -> StatsSnapshot {
+        Fifo::snapshot(self)
+    }
+    fn is_finished(&self) -> bool {
+        Fifo::is_finished(self)
+    }
+    fn post_async(&self, signal: Signal) {
+        Fifo::post_async(self, signal)
+    }
+}
+
+/// Producing endpoint of a [`Fifo`]. One per stream; `Send`, not `Clone`.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+unsafe impl<T: Send> Send for Producer<T> {}
+
+impl<T: Send> Producer<T> {
+    /// Non-blocking push of `(value, signal)`.
+    pub fn try_push_signal(&mut self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
+        let shared = &*self.shared;
+        if shared.consumer_closed.load(Relaxed) {
+            return Err(TryPushError::Closed(value));
+        }
+        let storage = shared.storage.read();
+        let tail = shared.tail.load(Relaxed);
+        let head = shared.head.load(Acquire);
+        if tail - head >= storage.capacity() {
+            return Err(TryPushError::Full(value));
+        }
+        // SAFETY: single producer; slot [tail] is outside the live region.
+        unsafe { (*storage.slot(tail)).write((value, signal)) };
+        shared.tail.store(tail + 1, Release);
+        shared.stats.pushed.fetch_add(1, Relaxed);
+        drop(storage);
+        if shared.reader_waiting.load(Relaxed) {
+            shared.wake();
+        }
+        Ok(())
+    }
+
+    /// Non-blocking push.
+    #[inline]
+    pub fn try_push(&mut self, value: T) -> Result<(), TryPushError<T>> {
+        self.try_push_signal(value, Signal::None)
+    }
+
+    /// Blocking push of `(value, signal)`; errs only if the consumer is gone.
+    ///
+    /// While blocked, the producer is visible to the monitor through
+    /// `writer_blocked_since` — after 3δ of continuous blocking the monitor
+    /// grows this queue (the paper's write-side resize trigger).
+    pub fn push_signal(&mut self, value: T, signal: Signal) -> Result<(), PushError<T>> {
+        let mut value = match self.try_push_signal(value, signal) {
+            Ok(()) => return Ok(()),
+            Err(TryPushError::Closed(v)) => return Err(PushError(v)),
+            Err(TryPushError::Full(v)) => v,
+        };
+        let shared = self.shared.clone();
+        shared.stats.writer_block_begin();
+        let backoff = Backoff::new();
+        let result = loop {
+            match self.try_push_signal(value, signal) {
+                Ok(()) => break Ok(()),
+                Err(TryPushError::Closed(v)) => break Err(PushError(v)),
+                Err(TryPushError::Full(v)) => value = v,
+            }
+            if !backoff.is_completed() {
+                backoff.snooze();
+                continue;
+            }
+            // Park until a pop or a resize makes room.
+            shared.writer_waiting.store(true, Relaxed);
+            let mut g = shared.park.lock();
+            // Re-check under the lock to close the race with wake().
+            let full = {
+                let storage = shared.storage.read();
+                shared.tail.load(Relaxed) - shared.head.load(Acquire) >= storage.capacity()
+            };
+            if full && !shared.consumer_closed.load(Relaxed) {
+                shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
+            }
+            drop(g);
+            shared.writer_waiting.store(false, Relaxed);
+        };
+        shared.stats.writer_block_end();
+        result
+    }
+
+    /// Blocking push; errs only if the consumer is gone.
+    #[inline]
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        self.push_signal(value, Signal::None)
+    }
+
+    /// Push as many elements from `items` as currently fit, under a single
+    /// storage-lock acquisition (the batch path split adapters and sources
+    /// use). Returns the number pushed; the rest stay in `items`.
+    pub fn try_push_batch(&mut self, items: &mut Vec<T>) -> Result<usize, PushError<()>> {
+        if items.is_empty() {
+            return Ok(0);
+        }
+        let shared = &*self.shared;
+        if shared.consumer_closed.load(Relaxed) {
+            return Err(PushError(()));
+        }
+        let storage = shared.storage.read();
+        let mut tail = shared.tail.load(Relaxed);
+        let head = shared.head.load(Acquire);
+        let room = storage.capacity().saturating_sub(tail - head);
+        let n = room.min(items.len());
+        // SAFETY: single producer; slots [tail, tail+n) are free.
+        for v in items.drain(..n) {
+            unsafe { (*storage.slot(tail)).write((v, Signal::None)) };
+            tail += 1;
+        }
+        if n > 0 {
+            shared.tail.store(tail, Release);
+            shared.stats.pushed.fetch_add(n as u64, Relaxed);
+        }
+        drop(storage);
+        if n > 0 && shared.reader_waiting.load(Relaxed) {
+            shared.wake();
+        }
+        Ok(n)
+    }
+
+    /// Blocking batch push: pushes *all* of `items`, waiting for room as
+    /// needed. Errs only if the consumer is gone (remaining items stay in
+    /// `items`).
+    pub fn push_batch(&mut self, items: &mut Vec<T>) -> Result<(), PushError<()>> {
+        let backoff = Backoff::new();
+        let mut began_block = false;
+        while !items.is_empty() {
+            let pushed = self.try_push_batch(items)?;
+            if items.is_empty() {
+                break;
+            }
+            if pushed == 0 {
+                if !began_block {
+                    self.shared.stats.writer_block_begin();
+                    began_block = true;
+                }
+                if !backoff.is_completed() {
+                    backoff.snooze();
+                } else {
+                    self.shared.writer_waiting.store(true, Relaxed);
+                    let mut g = self.shared.park.lock();
+                    self.shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
+                    drop(g);
+                    self.shared.writer_waiting.store(false, Relaxed);
+                }
+            } else {
+                backoff.reset();
+            }
+        }
+        if began_block {
+            self.shared.stats.writer_block_end();
+        }
+        Ok(())
+    }
+
+    /// In-place write: returns a guard holding a defaulted element; mutate it
+    /// through `DerefMut` and it is committed (pushed) when the guard drops —
+    /// the paper's `allocate_s` semantics. Blocks while the ring is full.
+    ///
+    /// The guard pins the storage (holds a shared lock), so a concurrent
+    /// resize waits until the guard drops.
+    pub fn allocate(&mut self) -> Result<WriteGuard<'_, T>, PushError<T>>
+    where
+        T: Default,
+    {
+        let shared = self.shared.clone();
+        let backoff = Backoff::new();
+        let mut began_block = false;
+        loop {
+            if shared.consumer_closed.load(Relaxed) {
+                if began_block {
+                    shared.stats.writer_block_end();
+                }
+                return Err(PushError(T::default()));
+            }
+            {
+                let storage = RwLock::read_arc(&shared.storage);
+                let tail = shared.tail.load(Relaxed);
+                let head = shared.head.load(Acquire);
+                if tail - head < storage.capacity() {
+                    if began_block {
+                        shared.stats.writer_block_end();
+                    }
+                    // SAFETY: single producer; slot outside the live region.
+                    unsafe { (*storage.slot(tail)).write((T::default(), Signal::None)) };
+                    return Ok(WriteGuard {
+                        producer: self,
+                        storage,
+                        tail,
+                        committed: false,
+                    });
+                }
+            }
+            if !began_block {
+                shared.stats.writer_block_begin();
+                began_block = true;
+            }
+            if !backoff.is_completed() {
+                backoff.snooze();
+            } else {
+                shared.writer_waiting.store(true, Relaxed);
+                let mut g = shared.park.lock();
+                shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
+                drop(g);
+                shared.writer_waiting.store(false, Relaxed);
+            }
+        }
+    }
+
+    /// Close the stream: the consumer drains what remains, then sees
+    /// `Closed`. Idempotent.
+    pub fn close(&mut self) {
+        self.shared.producer_closed.store(true, Release);
+        self.shared.wake();
+    }
+
+    /// `true` once the consumer endpoint dropped.
+    pub fn is_closed(&self) -> bool {
+        self.shared.consumer_closed.load(Relaxed)
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.storage.read().capacity()
+    }
+
+    /// Current occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.shared.occupancy()
+    }
+
+    /// Monitor-facing handle for this FIFO.
+    pub fn fifo(&self) -> Fifo<T> {
+        Fifo {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_closed.store(true, Release);
+        self.shared.wake();
+    }
+}
+
+/// RAII guard returned by [`Producer::allocate`]; commits the element on
+/// drop (or discards it via [`WriteGuard::abort`]).
+///
+/// Holds a shared storage lock for its lifetime: references handed out by
+/// `Deref` stay valid because any resize must wait for the guard.
+pub struct WriteGuard<'a, T: Send + Default> {
+    producer: &'a mut Producer<T>,
+    storage: ArcRwLockReadGuard<RawRwLock, Storage<T>>,
+    tail: usize,
+    committed: bool,
+}
+
+impl<'a, T: Send + Default> WriteGuard<'a, T> {
+    /// Attach a synchronous signal to the element being written.
+    pub fn set_signal(&mut self, signal: Signal) {
+        // SAFETY: slot was initialized in allocate() and is not yet visible
+        // to the consumer (tail not advanced); storage pinned by our guard.
+        unsafe {
+            (*self.storage.slot(self.tail)).assume_init_mut().1 = signal;
+        }
+    }
+
+    /// Abandon the element without sending it.
+    pub fn abort(mut self) {
+        // SAFETY: initialized in allocate(), never published.
+        unsafe { (*self.storage.slot(self.tail)).assume_init_drop() };
+        self.committed = true; // prevent Drop from publishing
+    }
+}
+
+impl<'a, T: Send + Default> Deref for WriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: initialized, unpublished slot, storage pinned by guard.
+        unsafe { &(*self.storage.slot(self.tail)).assume_init_ref().0 }
+    }
+}
+
+impl<'a, T: Send + Default> DerefMut for WriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in Deref; single producer, so no aliasing.
+        unsafe { &mut (*self.storage.slot(self.tail)).assume_init_mut().0 }
+    }
+}
+
+impl<'a, T: Send + Default> Drop for WriteGuard<'a, T> {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        let shared = &*self.producer.shared;
+        shared.tail.store(self.tail + 1, Release);
+        shared.stats.pushed.fetch_add(1, Relaxed);
+        if shared.reader_waiting.load(Relaxed) {
+            shared.wake();
+        }
+    }
+}
+
+/// Consuming endpoint of a [`Fifo`]. One per stream; `Send`, not `Clone`.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+unsafe impl<T: Send> Send for Consumer<T> {}
+
+impl<T: Send> Consumer<T> {
+    /// Non-blocking pop of `(value, signal)`.
+    pub fn try_pop_signal(&mut self) -> Result<(T, Signal), TryPopError> {
+        let shared = &*self.shared;
+        let storage = shared.storage.read();
+        let head = shared.head.load(Relaxed);
+        let tail = shared.tail.load(Acquire);
+        if head == tail {
+            drop(storage);
+            return if shared.producer_closed.load(Acquire) && shared.tail.load(Acquire) == head
+            {
+                Err(TryPopError::Closed)
+            } else {
+                Err(TryPopError::Empty)
+            };
+        }
+        // SAFETY: single consumer; slot [head] is inside the live region.
+        let pair = unsafe { (*storage.slot(head)).assume_init_read() };
+        shared.head.store(head + 1, Release);
+        shared.stats.popped.fetch_add(1, Relaxed);
+        drop(storage);
+        if shared.writer_waiting.load(Relaxed) {
+            shared.wake();
+        }
+        Ok(pair)
+    }
+
+    /// Non-blocking pop.
+    #[inline]
+    pub fn try_pop(&mut self) -> Result<T, TryPopError> {
+        self.try_pop_signal().map(|(v, _)| v)
+    }
+
+    /// Blocking pop of `(value, signal)`; errs when the stream closed and
+    /// drained.
+    pub fn pop_signal(&mut self) -> Result<(T, Signal), PopError> {
+        match self.try_pop_signal() {
+            Ok(p) => return Ok(p),
+            Err(TryPopError::Closed) => return Err(PopError),
+            Err(TryPopError::Empty) => {}
+        }
+        let shared = self.shared.clone();
+        shared.stats.reader_block_begin();
+        let backoff = Backoff::new();
+        let result = loop {
+            match self.try_pop_signal() {
+                Ok(p) => break Ok(p),
+                Err(TryPopError::Closed) => break Err(PopError),
+                Err(TryPopError::Empty) => {}
+            }
+            if !backoff.is_completed() {
+                backoff.snooze();
+                continue;
+            }
+            shared.reader_waiting.store(true, Relaxed);
+            let mut g = shared.park.lock();
+            let empty = shared.head.load(Relaxed) == shared.tail.load(Acquire);
+            if empty && !shared.producer_closed.load(Acquire) {
+                shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
+            }
+            drop(g);
+            shared.reader_waiting.store(false, Relaxed);
+        };
+        shared.stats.reader_block_end();
+        result
+    }
+
+    /// Blocking pop.
+    #[inline]
+    pub fn pop(&mut self) -> Result<T, PopError> {
+        self.pop_signal().map(|(v, _)| v)
+    }
+
+    /// Blocking sliding-window view of the next `n` elements without
+    /// consuming them — the paper's `peek_range`. If `n` exceeds the current
+    /// capacity the request is recorded and the ring is grown on the spot
+    /// (read-side resize trigger), rather than deadlocking.
+    ///
+    /// Returns `Err(PopError)` if the stream closes before `n` elements are
+    /// available (fewer than `n` remain, forever).
+    pub fn peek_range(&mut self, n: usize) -> Result<PeekRange<'_, T>, PopError> {
+        let shared = self.shared.clone();
+        shared.stats.note_read_request(n);
+        let backoff = Backoff::new();
+        loop {
+            // Grow first if the request can never be satisfied (paper: queue
+            // "tagged for resizing" when a read request exceeds capacity).
+            if n > self.capacity() {
+                let f = Fifo {
+                    shared: self.shared.clone(),
+                };
+                if !f.grow_to(n) {
+                    // Request exceeds even max_capacity: impossible.
+                    return Err(PopError);
+                }
+            }
+            let occ = shared.occupancy();
+            if occ >= n {
+                let storage = self.shared.storage.read();
+                let head = self.shared.head.load(Relaxed);
+                return Ok(PeekRange {
+                    storage,
+                    head,
+                    len: n,
+                });
+            }
+            if shared.producer_closed.load(Acquire) && shared.occupancy() < n {
+                return Err(PopError);
+            }
+            shared.stats.reader_block_begin();
+            if !backoff.is_completed() {
+                backoff.snooze();
+            } else {
+                shared.reader_waiting.store(true, Relaxed);
+                let mut g = shared.park.lock();
+                shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
+                drop(g);
+                shared.reader_waiting.store(false, Relaxed);
+            }
+            shared.stats.reader_block_end();
+        }
+    }
+
+    /// Reference to the front element, if present (non-blocking). The
+    /// closure style keeps the storage lock scoped.
+    pub fn peek<R>(&mut self, f: impl FnOnce(&T, Signal) -> R) -> Option<R> {
+        let shared = &*self.shared;
+        let storage = shared.storage.read();
+        let head = shared.head.load(Relaxed);
+        let tail = shared.tail.load(Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: single consumer, live slot.
+        let pair = unsafe { (*storage.slot(head)).assume_init_ref() };
+        Some(f(&pair.0, pair.1))
+    }
+
+    /// Pop up to `n` elements into `out`; blocks until at least one element
+    /// is available or the stream ends. Returns the number popped.
+    pub fn pop_range(&mut self, n: usize, out: &mut Vec<T>) -> Result<usize, PopError> {
+        self.shared.stats.note_read_request(n);
+        let first = self.pop()?;
+        out.push(first);
+        let mut got = 1;
+        while got < n {
+            match self.try_pop() {
+                Ok(v) => {
+                    out.push(v);
+                    got += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        Ok(got)
+    }
+
+    /// Advance past `n` elements previously inspected via `peek_range`.
+    pub fn advance(&mut self, n: usize) -> usize {
+        let mut advanced = 0;
+        for _ in 0..n {
+            if self.try_pop().is_err() {
+                break;
+            }
+            advanced += 1;
+        }
+        advanced
+    }
+
+    /// Take a pending asynchronous signal, if any.
+    pub fn take_async(&mut self) -> Option<Signal> {
+        Signal::decode(self.shared.async_signal.swap(0, Acquire))
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.storage.read().capacity()
+    }
+
+    /// Current occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.shared.occupancy()
+    }
+
+    /// Producer closed and everything consumed.
+    pub fn is_finished(&self) -> bool {
+        self.shared.producer_closed.load(Acquire) && self.shared.occupancy() == 0
+    }
+
+    /// Monitor-facing handle for this FIFO.
+    pub fn fifo(&self) -> Fifo<T> {
+        Fifo {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_closed.store(true, Release);
+        self.shared.wake();
+        // Remaining elements are dropped by Shared::drop (exactly once, with
+        // exclusive access) — not here, to avoid racing a late producer push.
+    }
+}
+
+/// Borrowed sliding window over the front of the queue (see
+/// [`Consumer::peek_range`]). Holding it pins the storage: resizes wait
+/// until it is dropped.
+pub struct PeekRange<'a, T> {
+    storage: RwLockReadGuard<'a, Storage<T>>,
+    head: usize,
+    len: usize,
+}
+
+impl<'a, T> PeekRange<'a, T> {
+    /// Number of elements visible in this window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Signal attached to the `i`-th element of the window.
+    pub fn signal(&self, i: usize) -> Signal {
+        assert!(
+            i < self.len,
+            "peek_range index {i} out of bounds {}",
+            self.len
+        );
+        // SAFETY: elements [head, head+len) were live when the guard was
+        // taken and the consumer (us) has not advanced since.
+        unsafe { (*self.storage.slot(self.head + i)).assume_init_ref().1 }
+    }
+
+    /// Iterate over the window.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.len).map(move |i| &self[i])
+    }
+}
+
+impl<'a, T> Index<usize> for PeekRange<'a, T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        assert!(
+            i < self.len,
+            "peek_range index {i} out of bounds {}",
+            self.len
+        );
+        // SAFETY: as in signal().
+        unsafe { &(*self.storage.slot(self.head + i)).assume_init_ref().0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Fifo<u64>, Producer<u64>, Consumer<u64>) {
+        fifo_with(FifoConfig {
+            initial_capacity: 4,
+            max_capacity: 1 << 16,
+            min_capacity: 2,
+        })
+    }
+
+    #[test]
+    fn basic_order() {
+        let (_f, mut p, mut c) = small();
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(c.try_pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn full_then_grow_preserves_order() {
+        let (f, mut p, mut c) = small();
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        assert!(matches!(p.try_push(99), Err(TryPushError::Full(99))));
+        assert!(f.grow());
+        assert_eq!(f.capacity(), 8);
+        for i in 4..8 {
+            p.try_push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(c.try_pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn grow_with_wrapped_ring() {
+        let (f, mut p, mut c) = small();
+        // Fill, drain half, refill: live region wraps the array end.
+        for i in 0..4u64 {
+            p.try_push(i).unwrap();
+        }
+        assert_eq!(c.try_pop().unwrap(), 0);
+        assert_eq!(c.try_pop().unwrap(), 1);
+        p.try_push(4).unwrap();
+        p.try_push(5).unwrap();
+        // live = [2,3,4,5] with head index 2 of 4 -> wrapped
+        assert!(f.grow());
+        for i in 2..6 {
+            assert_eq!(c.try_pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn shrink_respects_occupancy() {
+        let (f, mut p, _c) = fifo_with::<u64>(FifoConfig {
+            initial_capacity: 16,
+            max_capacity: 64,
+            min_capacity: 2,
+        });
+        for i in 0..10 {
+            p.try_push(i).unwrap();
+        }
+        // shrink to 8 would lose data: resize clamps to >= occupancy (10 -> 16)
+        let c = f.resize(8);
+        assert!(c >= 10, "capacity {c} must hold 10 live elements");
+    }
+
+    #[test]
+    fn resize_to_same_capacity_is_noop() {
+        let (f, _p, _c) = small();
+        let before = f.snapshot().resizes;
+        f.resize(4);
+        assert_eq!(f.snapshot().resizes, before);
+    }
+
+    #[test]
+    fn close_drain_semantics() {
+        let (_f, mut p, mut c) = small();
+        p.try_push(1).unwrap();
+        p.close();
+        assert_eq!(c.pop().unwrap(), 1);
+        assert!(c.pop().is_err());
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn producer_drop_closes() {
+        let (_f, p, mut c) = small();
+        drop(p);
+        assert_eq!(c.try_pop(), Err(TryPopError::Closed));
+    }
+
+    #[test]
+    fn consumer_drop_rejects_push() {
+        let (_f, mut p, c) = small();
+        drop(c);
+        assert!(matches!(p.try_push(1), Err(TryPushError::Closed(1))));
+        assert!(p.push(1).is_err());
+    }
+
+    #[test]
+    fn blocking_push_unblocks_on_pop() {
+        let (_f, mut p, mut c) = small();
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        let t = std::thread::spawn(move || {
+            p.push(4).unwrap(); // blocks until a pop
+            p
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(c.pop().unwrap(), 0);
+        let _p = t.join().unwrap();
+        assert_eq!(c.pop().unwrap(), 1);
+    }
+
+    #[test]
+    fn blocking_push_unblocks_on_grow() {
+        let (f, mut p, mut c) = small();
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        let t = std::thread::spawn(move || {
+            p.push(4).unwrap();
+            p
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(
+            f.stats().writer_blocked_for_ns() > 0,
+            "writer should appear blocked"
+        );
+        assert!(f.grow());
+        let _p = t.join().unwrap();
+        for i in 0..5 {
+            assert_eq!(c.pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn blocking_pop_unblocks_on_push() {
+        let (_f, mut p, mut c) = small();
+        let t = std::thread::spawn(move || c.pop().unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        p.push(77).unwrap();
+        assert_eq!(t.join().unwrap(), 77);
+    }
+
+    #[test]
+    fn peek_range_window() {
+        let (_f, mut p, mut c) = small();
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        {
+            let w = c.peek_range(3).unwrap();
+            assert_eq!(w.len(), 3);
+            assert_eq!(w[0], 0);
+            assert_eq!(w[1], 1);
+            assert_eq!(w[2], 2);
+            let sum: u64 = w.iter().sum();
+            assert_eq!(sum, 3);
+        }
+        // window did not consume
+        assert_eq!(c.occupancy(), 4);
+        assert_eq!(c.advance(2), 2);
+        assert_eq!(c.try_pop().unwrap(), 2);
+    }
+
+    #[test]
+    fn peek_range_grows_ring_when_larger_than_capacity() {
+        let (f, mut p, mut c) = small();
+        let t = std::thread::spawn(move || {
+            for i in 0..10 {
+                p.push(i).unwrap();
+            }
+            p
+        });
+        {
+            let w = c.peek_range(10).unwrap();
+            assert_eq!(w.len(), 10);
+            for i in 0..10 {
+                assert_eq!(w[i as usize], i as u64);
+            }
+        }
+        assert!(f.capacity() >= 10);
+        assert!(f.snapshot().resizes >= 1);
+        let _p = t.join().unwrap();
+    }
+
+    #[test]
+    fn peek_range_fails_when_stream_too_short() {
+        let (_f, mut p, mut c) = small();
+        p.try_push(1).unwrap();
+        p.close();
+        assert!(c.peek_range(3).is_err());
+        // the single element is still poppable
+        assert_eq!(c.pop().unwrap(), 1);
+    }
+
+    #[test]
+    fn pop_range_batches() {
+        let (_f, mut p, mut c) = small();
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        let got = c.pop_range(3, &mut out).unwrap();
+        assert_eq!(got, 3);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn signals_synchronous_with_data() {
+        let (_f, mut p, mut c) = small();
+        p.try_push_signal(10, Signal::SoS).unwrap();
+        p.try_push(11).unwrap();
+        p.try_push_signal(12, Signal::EoS).unwrap();
+        assert_eq!(c.try_pop_signal().unwrap(), (10, Signal::SoS));
+        assert_eq!(c.try_pop_signal().unwrap(), (11, Signal::None));
+        assert_eq!(c.try_pop_signal().unwrap(), (12, Signal::EoS));
+    }
+
+    #[test]
+    fn async_signal_out_of_band() {
+        let (f, mut p, mut c) = small();
+        p.try_push(1).unwrap();
+        p.try_push(2).unwrap();
+        f.post_async(Signal::Flush);
+        // visible immediately, before any data is consumed
+        assert_eq!(c.take_async(), Some(Signal::Flush));
+        assert_eq!(c.take_async(), None);
+        assert_eq!(c.try_pop().unwrap(), 1);
+    }
+
+    #[test]
+    fn allocate_commits_on_drop() {
+        let (_f, mut p, mut c) = small();
+        {
+            let mut g = p.allocate().unwrap();
+            *g = 42;
+        }
+        assert_eq!(c.try_pop().unwrap(), 42);
+    }
+
+    #[test]
+    fn allocate_with_signal() {
+        let (_f, mut p, mut c) = small();
+        {
+            let mut g = p.allocate().unwrap();
+            *g = 7;
+            g.set_signal(Signal::EoS);
+        }
+        assert_eq!(c.try_pop_signal().unwrap(), (7, Signal::EoS));
+    }
+
+    #[test]
+    fn allocate_abort_discards() {
+        let (_f, mut p, mut c) = small();
+        {
+            let mut g = p.allocate().unwrap();
+            *g = 13;
+            g.abort();
+        }
+        assert_eq!(c.try_pop(), Err(TryPopError::Empty));
+        p.try_push(1).unwrap();
+        assert_eq!(c.try_pop().unwrap(), 1);
+    }
+
+    #[test]
+    fn allocate_read_back() {
+        let (_f, mut p, mut c) = small();
+        {
+            let mut g = p.allocate().unwrap();
+            *g = 5;
+            assert_eq!(*g, 5); // Deref sees what DerefMut wrote
+        }
+        assert_eq!(c.try_pop().unwrap(), 5);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let (f, mut p, mut c) = small();
+        for i in 0..3 {
+            p.try_push(i).unwrap();
+        }
+        c.try_pop().unwrap();
+        let s = f.snapshot();
+        assert_eq!(s.pushed, 3);
+        assert_eq!(s.popped, 1);
+        assert_eq!(s.occupancy, 2);
+    }
+
+    #[test]
+    fn cross_thread_stress_with_concurrent_resizes() {
+        let (f, mut p, mut c) = fifo_with::<u64>(FifoConfig {
+            initial_capacity: 4,
+            max_capacity: 1 << 12,
+            min_capacity: 2,
+        });
+        const N: u64 = 200_000;
+        let monitor = {
+            let f = f.clone();
+            std::thread::spawn(move || {
+                // Aggressively resize up and down while traffic flows.
+                for i in 0..500 {
+                    if i % 2 == 0 {
+                        f.grow();
+                    } else {
+                        f.shrink();
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            })
+        };
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                p.push(i).unwrap();
+            }
+        });
+        let mut expected = 0u64;
+        while let Ok(v) = c.pop() {
+            assert_eq!(v, expected, "reordered or lost element under resize");
+            expected += 1;
+        }
+        assert_eq!(expected, N);
+        producer.join().unwrap();
+        monitor.join().unwrap();
+    }
+
+    #[test]
+    fn drop_with_heap_elements_no_leak() {
+        let (_f, mut p, c) = fifo_with::<String>(FifoConfig::starting_at(8));
+        for i in 0..5 {
+            p.try_push(format!("value-{i}")).unwrap();
+        }
+        drop(c); // strings are dropped by Shared::drop when _f and p go too
+        drop(p);
+    }
+
+    #[test]
+    fn batch_push_fills_and_blocks_correctly() {
+        let (_f, mut p, mut c) = small();
+        let mut items: Vec<u64> = (0..10).collect();
+        // capacity 4: only 4 fit non-blockingly
+        let n = p.try_push_batch(&mut items).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(items.len(), 6);
+        assert_eq!(c.try_pop().unwrap(), 0);
+        // blocking batch completes once a consumer drains concurrently
+        let consumer = std::thread::spawn(move || {
+            let mut got = vec![0u64]; // already popped
+            while let Ok(v) = c.pop() {
+                got.push(v);
+            }
+            got
+        });
+        p.push_batch(&mut items).unwrap();
+        assert!(items.is_empty());
+        p.close();
+        drop(p);
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn batch_push_to_closed_consumer_errs() {
+        let (_f, mut p, c) = small();
+        drop(c);
+        let mut items = vec![1u64, 2];
+        assert!(p.try_push_batch(&mut items).is_err());
+        assert_eq!(items.len(), 2, "items must be handed back");
+        assert!(p.push_batch(&mut items).is_err());
+    }
+
+    #[test]
+    fn batch_push_empty_is_noop() {
+        let (_f, mut p, _c) = small();
+        let mut items: Vec<u64> = Vec::new();
+        assert_eq!(p.try_push_batch(&mut items).unwrap(), 0);
+        p.push_batch(&mut items).unwrap();
+    }
+
+    #[test]
+    fn fixed_config_never_resizes() {
+        let (f, mut p, _c) = fifo_with::<u32>(FifoConfig::fixed(8));
+        for i in 0..8 {
+            p.try_push(i).unwrap();
+        }
+        assert!(!f.grow());
+        assert!(!f.shrink());
+        assert_eq!(f.capacity(), 8);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # raft-buffer
+//!
+//! Ring-buffer FIFOs backing the streams of `raftlib`, a Rust reproduction of
+//! RaftLib (Beard, Li & Chamberlain, PMAM'15).
+//!
+//! The paper models every stream as a FIFO queue whose capacity is tuned
+//! *dynamically* by a monitor thread ("lock-free exclusion", resize preferred
+//! when the ring is in a non-wrapped position, §4). This crate provides:
+//!
+//! * [`spsc::BoundedSpsc`] — a fixed-capacity, lock-free single-producer /
+//!   single-consumer ring buffer. This is the baseline used by the
+//!   fixed-vs-resizable ablation bench.
+//! * [`fifo::Fifo`] — the production stream: the same lock-free SPSC fast
+//!   path, plus dynamic resizing excluded through a [`parking_lot::RwLock`]
+//!   (producer/consumer take *shared* locks and stay wait-free against each
+//!   other; only a resize takes the exclusive lock), per-element
+//!   [`signal::Signal`]s delivered synchronously with data, blocking
+//!   push/pop with adaptive backoff, and low-overhead telemetry counters
+//!   ([`stats::FifoStats`]) that the monitor thread samples.
+//!
+//! Elements travel as `(T, Signal)` pairs so that synchronous signals (end of
+//! stream, user signals) arrive at the consumer exactly when the accompanying
+//! element does — the paper's "synchronized signaling".
+//!
+//! ## Concurrency contract
+//!
+//! Each FIFO has exactly one producer handle and one consumer handle; the
+//! type system enforces this (the handles are `Send` but not `Clone`).
+//! A third party — the monitor — may call [`fifo::Fifo::resize`] and read
+//! stats at any time.
+
+pub mod error;
+pub mod fifo;
+pub mod signal;
+pub mod spsc;
+pub mod stats;
+
+pub use error::{PopError, PushError, TryPopError, TryPushError};
+pub use fifo::{fifo_with, Consumer, Fifo, FifoConfig, PeekRange, Producer, WriteGuard};
+pub use signal::Signal;
+pub use spsc::BoundedSpsc;
+pub use stats::{FifoStats, StatsSnapshot};

@@ -1,0 +1,435 @@
+//! Fixed-capacity, lock-free SPSC ring buffer.
+//!
+//! This is the classic single-producer / single-consumer bounded queue:
+//! monotonically increasing `head` (next read) and `tail` (next write)
+//! counters, a power-of-two slot array indexed by `counter & mask`, and
+//! acquire/release pairs on the counters for synchronization (see *Rust
+//! Atomics and Locks*, ch. 5).
+//!
+//! [`BoundedSpsc`] is used directly for the FIFO ablation bench and serves as
+//! the storage core that [`crate::fifo::Fifo`] wraps with dynamic resizing.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{
+    AtomicBool, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::Arc;
+
+use crate::error::{TryPopError, TryPushError};
+use crate::signal::Signal;
+
+/// One ring slot: possibly-uninitialized element plus its synchronous signal.
+struct Slot<T> {
+    value: UnsafeCell<MaybeUninit<(T, Signal)>>,
+}
+
+// SAFETY: access to each slot is serialized by the head/tail protocol below.
+unsafe impl<T: Send> Send for Slot<T> {}
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Shared state of a fixed-capacity SPSC ring.
+pub(crate) struct RingCore<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Next index to read; only the consumer advances it.
+    pub(crate) head: AtomicUsize,
+    /// Next index to write; only the producer advances it.
+    pub(crate) tail: AtomicUsize,
+    /// Producer is gone (stream closed).
+    pub(crate) producer_closed: AtomicBool,
+    /// Consumer is gone (pushes are pointless).
+    pub(crate) consumer_closed: AtomicBool,
+}
+
+impl<T> RingCore<T> {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..capacity)
+            .map(|_| Slot {
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        RingCore {
+            mask: capacity - 1,
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            producer_closed: AtomicBool::new(false),
+            consumer_closed: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    pub(crate) fn occupancy(&self) -> usize {
+        // tail and head only grow; a torn read can momentarily under- or
+        // over-estimate, which is fine for telemetry call sites. The
+        // producer/consumer themselves read their own counter exactly.
+        self.tail
+            .load(Acquire)
+            .saturating_sub(self.head.load(Acquire))
+    }
+
+    /// Producer-side push. SAFETY: must only be called by the single producer.
+    #[inline]
+    pub(crate) unsafe fn try_push(&self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
+        if self.consumer_closed.load(Relaxed) {
+            return Err(TryPushError::Closed(value));
+        }
+        let tail = self.tail.load(Relaxed);
+        let head = self.head.load(Acquire);
+        if tail - head >= self.capacity() {
+            return Err(TryPushError::Full(value));
+        }
+        let slot = &self.slots[tail & self.mask];
+        unsafe { (*slot.value.get()).write((value, signal)) };
+        self.tail.store(tail + 1, Release);
+        Ok(())
+    }
+
+    /// Consumer-side pop. SAFETY: must only be called by the single consumer.
+    #[inline]
+    pub(crate) unsafe fn try_pop(&self) -> Result<(T, Signal), TryPopError> {
+        let head = self.head.load(Relaxed);
+        let tail = self.tail.load(Acquire);
+        if head == tail {
+            return if self.producer_closed.load(Acquire) {
+                // Re-check emptiness: the producer may have pushed between
+                // our tail load and its close.
+                if self.tail.load(Acquire) == head {
+                    Err(TryPopError::Closed)
+                } else {
+                    Err(TryPopError::Empty)
+                }
+            } else {
+                Err(TryPopError::Empty)
+            };
+        }
+        let slot = &self.slots[head & self.mask];
+        let pair = unsafe { (*slot.value.get()).assume_init_read() };
+        self.head.store(head + 1, Release);
+        Ok(pair)
+    }
+
+    /// Consumer-side peek of the `i`-th available element (0 = front).
+    /// Returns a reference valid until the next `pop` by the same thread.
+    /// SAFETY: single consumer only; `i` must be < occupancy (checked).
+    #[inline]
+    pub(crate) unsafe fn peek_at(&self, i: usize) -> Option<&(T, Signal)> {
+        let head = self.head.load(Relaxed);
+        let tail = self.tail.load(Acquire);
+        if head + i >= tail {
+            return None;
+        }
+        let slot = &self.slots[(head + i) & self.mask];
+        Some(unsafe { (*slot.value.get()).assume_init_ref() })
+    }
+
+    /// `true` iff the live region `[head, tail)` does not wrap around the
+    /// slot array — the paper's preferred (fast memcpy) resize position.
+    #[allow(dead_code)] // exercised by unit tests; kept as a diagnostic
+    pub(crate) fn is_non_wrapped(&self) -> bool {
+        let head = self.head.load(Acquire);
+        let tail = self.tail.load(Acquire);
+        (head & self.mask) <= ((tail.wrapping_sub(1)) & self.mask) || head == tail
+    }
+
+    /// Drain remaining initialized elements (used on drop).
+    /// SAFETY: caller must have exclusive access.
+    unsafe fn drain(&mut self) {
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            let slot = &self.slots[i & self.mask];
+            unsafe { (*slot.value.get()).assume_init_drop() };
+        }
+        *self.head.get_mut() = tail;
+    }
+}
+
+impl<T> Drop for RingCore<T> {
+    fn drop(&mut self) {
+        unsafe { self.drain() };
+    }
+}
+
+/// A fixed-capacity lock-free SPSC queue, split into producer and consumer
+/// halves by [`BoundedSpsc::new`].
+pub struct BoundedSpsc<T>(std::marker::PhantomData<T>);
+
+impl<T: Send> BoundedSpsc<T> {
+    /// Create a ring with at least `capacity` slots (rounded up to a power of
+    /// two) and return the two endpoint handles.
+    #[allow(clippy::new_ret_no_self)] // intentionally a factory of the two halves
+    pub fn new(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+        let core = Arc::new(RingCore::with_capacity(capacity));
+        (
+            SpscProducer { core: core.clone() },
+            SpscConsumer { core },
+        )
+    }
+}
+
+/// Producing half of a [`BoundedSpsc`]. `Send` but not `Clone`.
+pub struct SpscProducer<T> {
+    core: Arc<RingCore<T>>,
+}
+
+/// Consuming half of a [`BoundedSpsc`]. `Send` but not `Clone`.
+pub struct SpscConsumer<T> {
+    core: Arc<RingCore<T>>,
+}
+
+unsafe impl<T: Send> Send for SpscProducer<T> {}
+unsafe impl<T: Send> Send for SpscConsumer<T> {}
+
+impl<T: Send> SpscProducer<T> {
+    /// Attempt to enqueue without blocking.
+    #[inline]
+    pub fn try_push(&mut self, value: T) -> Result<(), TryPushError<T>> {
+        // SAFETY: &mut self guarantees we are the only producer call site.
+        unsafe { self.core.try_push(value, Signal::None) }
+    }
+
+    /// Attempt to enqueue an element with a synchronous signal.
+    #[inline]
+    pub fn try_push_signal(&mut self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
+        unsafe { self.core.try_push(value, signal) }
+    }
+
+    /// Spin until the element fits or the consumer disconnects.
+    pub fn push(&mut self, mut value: T) -> Result<(), crate::error::PushError<T>> {
+        let backoff = crossbeam::utils::Backoff::new();
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(TryPushError::Closed(v)) => return Err(crate::error::PushError(v)),
+                Err(TryPushError::Full(v)) => {
+                    value = v;
+                    if backoff.is_completed() {
+                        std::thread::yield_now();
+                    } else {
+                        backoff.snooze();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queue capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.core.capacity()
+    }
+
+    /// Elements currently queued.
+    pub fn occupancy(&self) -> usize {
+        self.core.occupancy()
+    }
+
+    /// `true` once the consumer half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        self.core.consumer_closed.load(Relaxed)
+    }
+}
+
+impl<T> Drop for SpscProducer<T> {
+    fn drop(&mut self) {
+        self.core.producer_closed.store(true, Release);
+    }
+}
+
+impl<T: Send> SpscConsumer<T> {
+    /// Attempt to dequeue without blocking.
+    #[inline]
+    pub fn try_pop(&mut self) -> Result<T, TryPopError> {
+        // SAFETY: &mut self guarantees we are the only consumer call site.
+        unsafe { self.core.try_pop().map(|(v, _)| v) }
+    }
+
+    /// Attempt to dequeue an element together with its signal.
+    #[inline]
+    pub fn try_pop_signal(&mut self) -> Result<(T, Signal), TryPopError> {
+        unsafe { self.core.try_pop() }
+    }
+
+    /// Spin until an element arrives; `Err` once closed *and* drained.
+    pub fn pop(&mut self) -> Result<T, crate::error::PopError> {
+        let backoff = crossbeam::utils::Backoff::new();
+        loop {
+            match self.try_pop() {
+                Ok(v) => return Ok(v),
+                Err(TryPopError::Closed) => return Err(crate::error::PopError),
+                Err(TryPopError::Empty) => {
+                    if backoff.is_completed() {
+                        std::thread::yield_now();
+                    } else {
+                        backoff.snooze();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference to the front element, if any (no copy).
+    pub fn peek(&mut self) -> Option<&T> {
+        unsafe { self.core.peek_at(0).map(|(v, _)| v) }
+    }
+
+    /// Queue capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.core.capacity()
+    }
+
+    /// Elements currently queued.
+    pub fn occupancy(&self) -> usize {
+        self.core.occupancy()
+    }
+
+    /// `true` once the producer dropped and the ring drained.
+    pub fn is_finished(&self) -> bool {
+        self.core.producer_closed.load(Acquire) && self.core.occupancy() == 0
+    }
+}
+
+impl<T> Drop for SpscConsumer<T> {
+    fn drop(&mut self) {
+        self.core.consumer_closed.store(true, Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (p, _c) = BoundedSpsc::<u32>::new(5);
+        assert_eq!(p.capacity(), 8);
+        let (p, _c) = BoundedSpsc::<u32>::new(8);
+        assert_eq!(p.capacity(), 8);
+        let (p, _c) = BoundedSpsc::<u32>::new(0);
+        assert_eq!(p.capacity(), 1);
+    }
+
+    #[test]
+    fn push_pop_in_order() {
+        let (mut p, mut c) = BoundedSpsc::new(4);
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        assert!(matches!(p.try_push(9), Err(TryPushError::Full(9))));
+        for i in 0..4 {
+            assert_eq!(c.try_pop().unwrap(), i);
+        }
+        assert_eq!(c.try_pop(), Err(TryPopError::Empty));
+    }
+
+    #[test]
+    fn wraps_around() {
+        let (mut p, mut c) = BoundedSpsc::new(2);
+        for round in 0..100 {
+            p.try_push(round * 2).unwrap();
+            p.try_push(round * 2 + 1).unwrap();
+            assert_eq!(c.try_pop().unwrap(), round * 2);
+            assert_eq!(c.try_pop().unwrap(), round * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn close_semantics() {
+        let (mut p, mut c) = BoundedSpsc::new(4);
+        p.try_push(1).unwrap();
+        drop(p);
+        assert_eq!(c.try_pop().unwrap(), 1);
+        assert_eq!(c.try_pop(), Err(TryPopError::Closed));
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn consumer_drop_closes_producer() {
+        let (mut p, c) = BoundedSpsc::new(4);
+        drop(c);
+        assert!(p.is_closed());
+        assert!(matches!(p.try_push(1), Err(TryPushError::Closed(1))));
+    }
+
+    #[test]
+    fn signals_ride_with_elements() {
+        let (mut p, mut c) = BoundedSpsc::new(4);
+        p.try_push_signal(7u8, Signal::EoS).unwrap();
+        assert_eq!(c.try_pop_signal().unwrap(), (7, Signal::EoS));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (mut p, mut c) = BoundedSpsc::new(4);
+        p.try_push(42).unwrap();
+        assert_eq!(c.peek(), Some(&42));
+        assert_eq!(c.peek(), Some(&42));
+        assert_eq!(c.try_pop().unwrap(), 42);
+        assert_eq!(c.peek(), None);
+    }
+
+    #[test]
+    fn drops_remaining_elements() {
+        // Use a type with a drop counter to verify no leaks.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let (mut p, c) = BoundedSpsc::new(8);
+        for _ in 0..5 {
+            p.try_push(D).unwrap();
+        }
+        drop(p);
+        drop(c);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (mut p, mut c) = BoundedSpsc::new(16);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                p.push(i).unwrap();
+            }
+        });
+        let mut expected = 0;
+        while let Ok(v) = c.pop() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, N);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn non_wrapped_detection() {
+        let (mut p, mut c) = BoundedSpsc::new(4);
+        // empty ring is trivially non-wrapped
+        assert!(p.core.is_non_wrapped());
+        p.try_push(0).unwrap();
+        p.try_push(1).unwrap();
+        assert!(p.core.is_non_wrapped());
+        // advance head past two, push two more: live region [2,6) wraps
+        c.try_pop().unwrap();
+        c.try_pop().unwrap();
+        p.try_push(2).unwrap();
+        p.try_push(3).unwrap();
+        p.try_push(4).unwrap();
+        assert!(!p.core.is_non_wrapped());
+    }
+}

@@ -1,0 +1,292 @@
+//! Low-overhead per-FIFO telemetry.
+//!
+//! RaftLib's monitor thread samples every queue each δ (default 10 µs in the
+//! paper) and feeds mean occupancy, service rates, throughput and occupancy
+//! histograms to the optimizer (§4.1, the TimeTrial lineage of refs \[29,30\]).
+//! To keep producer/consumer overhead negligible, everything here is a
+//! relaxed atomic counter updated on the hot path with a single
+//! `fetch_add`/`store`, and the monitor does all derivation at sample time.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Number of log2 occupancy-histogram buckets; bucket `i` counts samples
+/// with occupancy in `[2^(i-1), 2^i)` (bucket 0 = occupancy 0).
+pub const HIST_BUCKETS: usize = 32;
+
+/// Shared counters between one FIFO's producer, consumer, and the monitor.
+///
+/// All fields are updated with `Relaxed` ordering: the numbers are
+/// statistical, never used for synchronization.
+#[derive(Debug)]
+pub struct FifoStats {
+    /// Total elements ever pushed.
+    pub pushed: AtomicU64,
+    /// Total elements ever popped.
+    pub popped: AtomicU64,
+    /// Nanoseconds (since [`FifoStats::epoch`]) at which the writer started
+    /// blocking on a full ring; 0 = writer not currently blocked.
+    pub writer_blocked_since: AtomicU64,
+    /// Like `writer_blocked_since`, for a reader blocked on an empty ring or
+    /// an unsatisfiable `peek_range`.
+    pub reader_blocked_since: AtomicU64,
+    /// Largest item count a reader has requested at once (`peek_range` /
+    /// `pop_range`); the monitor grows the ring if this exceeds capacity —
+    /// the paper's read-side resize trigger.
+    pub max_read_request: AtomicU64,
+    /// Number of resize operations performed on this FIFO.
+    pub resizes: AtomicU64,
+    /// Cumulative nanoseconds the writer spent blocked.
+    pub writer_blocked_ns: AtomicU64,
+    /// Cumulative nanoseconds the reader spent blocked.
+    pub reader_blocked_ns: AtomicU64,
+    /// Occupancy histogram, filled by the monitor at each sampling tick.
+    pub occupancy_hist: [AtomicU64; HIST_BUCKETS],
+    /// Sum of sampled occupancies (for mean occupancy); updated by monitor.
+    pub occupancy_sum: AtomicU64,
+    /// Number of occupancy samples taken by the monitor.
+    pub occupancy_samples: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for FifoStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FifoStats {
+    /// Fresh, zeroed stats with `epoch = now`.
+    pub fn new() -> Self {
+        FifoStats {
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            writer_blocked_since: AtomicU64::new(0),
+            reader_blocked_since: AtomicU64::new(0),
+            max_read_request: AtomicU64::new(0),
+            resizes: AtomicU64::new(0),
+            writer_blocked_ns: AtomicU64::new(0),
+            reader_blocked_ns: AtomicU64::new(0),
+            occupancy_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            occupancy_sum: AtomicU64::new(0),
+            occupancy_samples: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since this FIFO's stats were created. Used as the
+    /// timebase for the `*_blocked_since` fields (0 is reserved for "not
+    /// blocked", so we offset by 1).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64 + 1
+    }
+
+    /// Producer entered the blocked state.
+    #[inline]
+    pub fn writer_block_begin(&self) {
+        self.writer_blocked_since.store(self.now_ns(), Relaxed);
+    }
+
+    /// Producer left the blocked state; accumulates blocked time.
+    #[inline]
+    pub fn writer_block_end(&self) {
+        let since = self.writer_blocked_since.swap(0, Relaxed);
+        if since != 0 {
+            let dt = self.now_ns().saturating_sub(since);
+            self.writer_blocked_ns.fetch_add(dt, Relaxed);
+        }
+    }
+
+    /// Consumer entered the blocked state.
+    #[inline]
+    pub fn reader_block_begin(&self) {
+        self.reader_blocked_since.store(self.now_ns(), Relaxed);
+    }
+
+    /// Consumer left the blocked state; accumulates blocked time.
+    #[inline]
+    pub fn reader_block_end(&self) {
+        let since = self.reader_blocked_since.swap(0, Relaxed);
+        if since != 0 {
+            let dt = self.now_ns().saturating_sub(since);
+            self.reader_blocked_ns.fetch_add(dt, Relaxed);
+        }
+    }
+
+    /// How long (ns) the writer has been continuously blocked, or 0.
+    #[inline]
+    pub fn writer_blocked_for_ns(&self) -> u64 {
+        let since = self.writer_blocked_since.load(Relaxed);
+        if since == 0 {
+            0
+        } else {
+            self.now_ns().saturating_sub(since)
+        }
+    }
+
+    /// Record a reader's multi-item request size (monitor may grow the ring
+    /// past it).
+    #[inline]
+    pub fn note_read_request(&self, n: usize) {
+        self.max_read_request.fetch_max(n as u64, Relaxed);
+    }
+
+    /// Called by the monitor each tick with the observed occupancy.
+    pub fn sample_occupancy(&self, occ: usize) {
+        let bucket = if occ == 0 {
+            0
+        } else {
+            (usize::BITS - occ.leading_zeros()) as usize
+        }
+        .min(HIST_BUCKETS - 1);
+        self.occupancy_hist[bucket].fetch_add(1, Relaxed);
+        self.occupancy_sum.fetch_add(occ as u64, Relaxed);
+        self.occupancy_samples.fetch_add(1, Relaxed);
+    }
+
+    /// Snapshot all derived statistics.
+    pub fn snapshot(&self, capacity: usize, occupancy: usize) -> StatsSnapshot {
+        let samples = self.occupancy_samples.load(Relaxed);
+        let mean_occupancy = if samples == 0 {
+            occupancy as f64
+        } else {
+            self.occupancy_sum.load(Relaxed) as f64 / samples as f64
+        };
+        let elapsed = self.epoch.elapsed().as_secs_f64();
+        let popped = self.popped.load(Relaxed);
+        StatsSnapshot {
+            pushed: self.pushed.load(Relaxed),
+            popped,
+            capacity,
+            occupancy,
+            mean_occupancy,
+            resizes: self.resizes.load(Relaxed),
+            writer_blocked_ns: self.writer_blocked_ns.load(Relaxed),
+            reader_blocked_ns: self.reader_blocked_ns.load(Relaxed),
+            max_read_request: self.max_read_request.load(Relaxed) as usize,
+            throughput: if elapsed > 0.0 {
+                popped as f64 / elapsed
+            } else {
+                0.0
+            },
+            occupancy_hist: std::array::from_fn(|i| self.occupancy_hist[i].load(Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a FIFO's statistics, as reported to users and the
+/// optimizer.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Total elements pushed so far.
+    pub pushed: u64,
+    /// Total elements popped so far.
+    pub popped: u64,
+    /// Current ring capacity (elements).
+    pub capacity: usize,
+    /// Instantaneous occupancy at snapshot time.
+    pub occupancy: usize,
+    /// Mean occupancy over all monitor samples.
+    pub mean_occupancy: f64,
+    /// Number of dynamic resizes performed.
+    pub resizes: u64,
+    /// Total writer blocked time (ns).
+    pub writer_blocked_ns: u64,
+    /// Total reader blocked time (ns).
+    pub reader_blocked_ns: u64,
+    /// Largest multi-item read request observed.
+    pub max_read_request: usize,
+    /// Elements per second popped since creation.
+    pub throughput: f64,
+    /// Log2-bucketed occupancy histogram (see [`HIST_BUCKETS`]).
+    pub occupancy_hist: [u64; HIST_BUCKETS],
+}
+
+impl StatsSnapshot {
+    /// Fraction of elements in flight: `occupancy / capacity`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.occupancy as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_accounting() {
+        let s = FifoStats::new();
+        assert_eq!(s.writer_blocked_for_ns(), 0);
+        s.writer_block_begin();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(s.writer_blocked_for_ns() >= 1_000_000);
+        s.writer_block_end();
+        assert_eq!(s.writer_blocked_for_ns(), 0);
+        assert!(s.writer_blocked_ns.load(Relaxed) >= 1_000_000);
+    }
+
+    #[test]
+    fn block_end_without_begin_is_noop() {
+        let s = FifoStats::new();
+        s.writer_block_end();
+        s.reader_block_end();
+        assert_eq!(s.writer_blocked_ns.load(Relaxed), 0);
+        assert_eq!(s.reader_blocked_ns.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn occupancy_histogram_buckets() {
+        let s = FifoStats::new();
+        s.sample_occupancy(0); // bucket 0
+        s.sample_occupancy(1); // bucket 1  [1,2)
+        s.sample_occupancy(2); // bucket 2  [2,4)
+        s.sample_occupancy(3); // bucket 2
+        s.sample_occupancy(4); // bucket 3  [4,8)
+        s.sample_occupancy(1024); // bucket 11
+        let snap = s.snapshot(2048, 0);
+        assert_eq!(snap.occupancy_hist[0], 1);
+        assert_eq!(snap.occupancy_hist[1], 1);
+        assert_eq!(snap.occupancy_hist[2], 2);
+        assert_eq!(snap.occupancy_hist[3], 1);
+        assert_eq!(snap.occupancy_hist[11], 1);
+        assert_eq!(snap.occupancy_samples_total(), 6);
+    }
+
+    #[test]
+    fn mean_occupancy() {
+        let s = FifoStats::new();
+        s.sample_occupancy(10);
+        s.sample_occupancy(20);
+        let snap = s.snapshot(64, 15);
+        assert!((snap.mean_occupancy - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization() {
+        let s = FifoStats::new();
+        let snap = s.snapshot(100, 25);
+        assert!((snap.utilization() - 0.25).abs() < 1e-12);
+        let snap0 = s.snapshot(0, 0);
+        assert_eq!(snap0.utilization(), 0.0);
+    }
+
+    #[test]
+    fn read_request_max() {
+        let s = FifoStats::new();
+        s.note_read_request(5);
+        s.note_read_request(3);
+        s.note_read_request(9);
+        assert_eq!(s.snapshot(4, 0).max_read_request, 9);
+    }
+
+    impl StatsSnapshot {
+        fn occupancy_samples_total(&self) -> u64 {
+            self.occupancy_hist.iter().sum()
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests: no FIFO configuration, operation interleaving, or
+//! resize schedule may ever lose, duplicate, or reorder elements.
+
+use proptest::prelude::*;
+use raft_buffer::{fifo_with, BoundedSpsc, FifoConfig, Signal};
+
+/// Ops the "driver" can perform against a FIFO, derived from a proptest
+/// strategy. Resize sizes are small so shrink clamping gets exercised.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u16),
+    Pop,
+    Resize(u8),
+    PeekRangeTry(u8),
+    PopRange(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<u16>().prop_map(Op::Push),
+        4 => Just(Op::Pop),
+        1 => any::<u8>().prop_map(Op::Resize),
+        1 => (1u8..8).prop_map(Op::PeekRangeTry),
+        1 => (1u8..8).prop_map(Op::PopRange),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Single-threaded op-sequence model check against a VecDeque oracle.
+    #[test]
+    fn fifo_matches_vecdeque_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let (f, mut p, mut c) = fifo_with::<u16>(FifoConfig {
+            initial_capacity: 2,
+            max_capacity: 1 << 10,
+            min_capacity: 1,
+        });
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    if p.try_push(v).is_ok() {
+                        model.push_back(v);
+                    } else {
+                        // only legal failure is Full
+                        prop_assert!(f.occupancy() == f.capacity());
+                    }
+                }
+                Op::Pop => {
+                    match c.try_pop() {
+                        Ok(v) => {
+                            prop_assert_eq!(Some(v), model.pop_front());
+                        }
+                        Err(_) => prop_assert!(model.is_empty()),
+                    }
+                }
+                Op::Resize(sz) => {
+                    let newcap = f.resize(sz as usize + 1);
+                    prop_assert!(newcap >= f.occupancy());
+                }
+                Op::PeekRangeTry(n) => {
+                    let n = n as usize;
+                    // Only peek when satisfiable; otherwise it would block.
+                    if model.len() >= n {
+                        let w = c.peek_range(n).unwrap();
+                        for i in 0..n {
+                            prop_assert_eq!(w[i], model[i]);
+                        }
+                    }
+                }
+                Op::PopRange(n) => {
+                    if !model.is_empty() {
+                        let mut out = Vec::new();
+                        let got = c.pop_range(n as usize, &mut out).unwrap();
+                        prop_assert!(got >= 1 && got <= n as usize);
+                        for v in out {
+                            prop_assert_eq!(Some(v), model.pop_front());
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(f.occupancy(), model.len());
+        }
+        // Drain and compare the tail.
+        p.close();
+        while let Ok(v) = c.try_pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// Cross-thread: all data arrives in order, regardless of capacity and
+    /// a concurrent resize storm.
+    #[test]
+    fn fifo_cross_thread_in_order(
+        n in 1usize..5_000,
+        cap in 1usize..64,
+        resizes in 0usize..20,
+    ) {
+        let (f, mut p, mut c) = fifo_with::<usize>(FifoConfig {
+            initial_capacity: cap,
+            max_capacity: 1 << 12,
+            min_capacity: 1,
+        });
+        let monitor = std::thread::spawn(move || {
+            for i in 0..resizes {
+                if i % 2 == 0 { f.grow(); } else { f.shrink(); }
+                std::thread::yield_now();
+            }
+        });
+        let prod = std::thread::spawn(move || {
+            for i in 0..n {
+                p.push(i).unwrap();
+            }
+        });
+        let mut expect = 0usize;
+        while let Ok(v) = c.pop() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        prop_assert_eq!(expect, n);
+        prod.join().unwrap();
+        monitor.join().unwrap();
+    }
+
+    /// Signals never detach from their elements.
+    #[test]
+    fn signals_stay_attached(values in proptest::collection::vec(any::<u8>(), 1..100)) {
+        let (_f, mut p, mut c) = fifo_with::<u8>(FifoConfig::starting_at(4));
+        let last = values.len() - 1;
+        let prod = std::thread::spawn(move || {
+            for (i, v) in values.iter().enumerate() {
+                let sig = if i == last { Signal::EoS } else if v % 7 == 0 { Signal::User(*v as u32) } else { Signal::None };
+                p.push_signal(*v, sig).unwrap();
+            }
+            values
+        });
+        let mut got = Vec::new();
+        while let Ok((v, sig)) = c.pop_signal() {
+            match sig {
+                Signal::User(u) => assert_eq!(u, v as u32),
+                Signal::EoS | Signal::None => {}
+                other => panic!("unexpected signal {other:?}"),
+            }
+            got.push((v, sig));
+        }
+        let values = prod.join().unwrap();
+        prop_assert_eq!(got.len(), values.len());
+        prop_assert_eq!(got.last().unwrap().1, Signal::EoS);
+        for (i, (v, _)) in got.iter().enumerate() {
+            prop_assert_eq!(*v, values[i]);
+        }
+    }
+
+    /// The fixed lock-free SPSC agrees with a model too.
+    #[test]
+    fn bounded_spsc_model(ops in proptest::collection::vec(op_strategy(), 1..200), cap in 1usize..32) {
+        let (mut p, mut c) = BoundedSpsc::<u16>::new(cap);
+        let capacity = p.capacity();
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    if p.try_push(v).is_ok() {
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(model.len(), capacity);
+                    }
+                }
+                Op::Pop => match c.try_pop() {
+                    Ok(v) => prop_assert_eq!(Some(v), model.pop_front()),
+                    Err(_) => prop_assert!(model.is_empty()),
+                },
+                _ => {} // resize/peek_range not applicable to the fixed ring
+            }
+            prop_assert_eq!(c.occupancy(), model.len());
+        }
+    }
+}

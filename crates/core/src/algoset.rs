@@ -1,0 +1,231 @@
+//! Synonymous kernel groupings with runtime algorithm swap.
+//!
+//! §4.2 of the paper: "RaftLib gives the user the ability to specify
+//! synonymous kernel groupings that the run-time can swap out to optimize
+//! the computation. ... For instance, a version of the UNIX utility grep
+//! could be implemented with multiple search algorithms ... they can all be
+//! expressed as a 'search' kernel." §5 then demonstrates the payoff:
+//! manually swapping the search kernel from Aho-Corasick to
+//! Boyer-Moore-Horspool removed the pipeline bottleneck.
+//!
+//! [`AlgoSet`] wraps N alternative kernels that share a port signature; the
+//! active one handles every `run()`. An [`AlgoSwitch`] handle (cloneable,
+//! thread-safe) swaps the active algorithm between `run()` invocations —
+//! from a monitor callback, an operator thread, or the benchmark harness.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::kernel::{KStatus, Kernel, PortSpec};
+use crate::port::Context;
+
+/// A group of interchangeable kernel implementations.
+pub struct AlgoSet {
+    alternatives: Vec<Box<dyn Kernel>>,
+    active: Arc<AtomicUsize>,
+    /// Swap counter (diagnostics).
+    swaps: Arc<AtomicUsize>,
+    label: String,
+}
+
+/// Thread-safe handle that selects which alternative runs.
+#[derive(Debug, Clone)]
+pub struct AlgoSwitch {
+    active: Arc<AtomicUsize>,
+    swaps: Arc<AtomicUsize>,
+    count: usize,
+}
+
+impl AlgoSwitch {
+    /// Index of the currently active alternative.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Activate alternative `idx`. Panics if out of range. Takes effect at
+    /// the next `run()` boundary (kernels are sequential, so mid-run state
+    /// is never torn).
+    pub fn select(&self, idx: usize) {
+        assert!(
+            idx < self.count,
+            "algo index {idx} out of range ({} alternatives)",
+            self.count
+        );
+        if self.active.swap(idx, Ordering::Relaxed) != idx {
+            self.swaps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of alternatives.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// How many effective swaps have occurred.
+    pub fn swap_count(&self) -> usize {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+impl AlgoSet {
+    /// Build a set from alternatives with identical port signatures.
+    /// Panics if the set is empty or signatures differ (names + types, both
+    /// directions, in order).
+    pub fn new(label: impl Into<String>, alternatives: Vec<Box<dyn Kernel>>) -> Self {
+        assert!(!alternatives.is_empty(), "AlgoSet needs >= 1 alternative");
+        let reference = alternatives[0].ports();
+        for alt in &alternatives[1..] {
+            let spec = alt.ports();
+            assert!(
+                specs_match(&reference, &spec),
+                "AlgoSet alternatives must share a port signature: {:?} vs {:?}",
+                reference,
+                spec
+            );
+        }
+        AlgoSet {
+            alternatives,
+            active: Arc::new(AtomicUsize::new(0)),
+            swaps: Arc::new(AtomicUsize::new(0)),
+            label: label.into(),
+        }
+    }
+
+    /// The swap handle.
+    pub fn switch(&self) -> AlgoSwitch {
+        AlgoSwitch {
+            active: self.active.clone(),
+            swaps: self.swaps.clone(),
+            count: self.alternatives.len(),
+        }
+    }
+}
+
+fn specs_match(a: &PortSpec, b: &PortSpec) -> bool {
+    let same = |x: &[crate::kernel::PortDef], y: &[crate::kernel::PortDef]| {
+        x.len() == y.len()
+            && x.iter()
+                .zip(y)
+                .all(|(p, q)| p.name == q.name && p.type_id == q.type_id)
+    };
+    same(&a.inputs, &b.inputs) && same(&a.outputs, &b.outputs)
+}
+
+impl Kernel for AlgoSet {
+    fn ports(&self) -> PortSpec {
+        self.alternatives[0].ports()
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        let idx = self
+            .active
+            .load(Ordering::Relaxed)
+            .min(self.alternatives.len() - 1);
+        self.alternatives[idx].run(ctx)
+    }
+
+    fn name(&self) -> String {
+        format!("algoset:{}", self.label)
+    }
+
+    fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
+        // Replicate only if every alternative can; replicas share the same
+        // switch so a swap applies to the whole replica group.
+        let alternatives: Option<Vec<Box<dyn Kernel>>> = self
+            .alternatives
+            .iter()
+            .map(|a| a.clone_replica())
+            .collect();
+        alternatives.map(|alternatives| {
+            Box::new(AlgoSet {
+                alternatives,
+                active: self.active.clone(),
+                swaps: self.swaps.clone(),
+                label: self.label.clone(),
+            }) as Box<dyn Kernel>
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Tag(u64);
+    impl Kernel for Tag {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().input::<u64>("in").output::<u64>("out")
+        }
+        fn run(&mut self, ctx: &Context) -> KStatus {
+            let mut input = ctx.input::<u64>("in");
+            match input.pop() {
+                Ok(v) => {
+                    drop(input);
+                    let mut out = ctx.output::<u64>("out");
+                    if out.push(v * 10 + self.0).is_err() {
+                        return KStatus::Stop;
+                    }
+                    KStatus::Proceed
+                }
+                Err(_) => KStatus::Stop,
+            }
+        }
+        fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
+            Some(Box::new(Tag(self.0)))
+        }
+    }
+
+    struct OtherPorts;
+    impl Kernel for OtherPorts {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().input::<u32>("in").output::<u32>("out")
+        }
+        fn run(&mut self, _ctx: &Context) -> KStatus {
+            KStatus::Stop
+        }
+    }
+
+    #[test]
+    fn switch_selects_alternative() {
+        let set = AlgoSet::new("tag", vec![Box::new(Tag(1)), Box::new(Tag(2))]);
+        let sw = set.switch();
+        assert_eq!(sw.active(), 0);
+        sw.select(1);
+        assert_eq!(sw.active(), 1);
+        assert_eq!(sw.swap_count(), 1);
+        sw.select(1); // no-op
+        assert_eq!(sw.swap_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_out_of_range_panics() {
+        let set = AlgoSet::new("tag", vec![Box::new(Tag(1))]);
+        set.switch().select(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a port signature")]
+    fn mismatched_signatures_rejected() {
+        let _ = AlgoSet::new("bad", vec![Box::new(Tag(1)), Box::new(OtherPorts)]);
+    }
+
+    #[test]
+    fn replicas_share_the_switch() {
+        let set = AlgoSet::new("tag", vec![Box::new(Tag(1)), Box::new(Tag(2))]);
+        let sw = set.switch();
+        let replica = set.clone_replica().expect("replicable");
+        // flipping the original's switch affects the replica (same Arc)
+        sw.select(1);
+        // verify by checking the replica is an AlgoSet on index 1: run it
+        // indirectly through name (cheap structural check).
+        assert_eq!(replica.name(), "algoset:tag");
+        assert_eq!(sw.active(), 1);
+    }
+
+    #[test]
+    fn name_includes_label() {
+        let set = AlgoSet::new("search", vec![Box::new(Tag(0))]);
+        assert_eq!(set.name(), "algoset:search");
+    }
+}

@@ -1,0 +1,230 @@
+//! The compute-kernel abstraction.
+//!
+//! A RaftLib application is a set of sequential compute kernels joined by
+//! streams (§1). A kernel extends `raft::kernel` in C++; here it implements
+//! [`Kernel`]: declare ports in [`Kernel::ports`], do the work in
+//! [`Kernel::run`], which the scheduler calls repeatedly until it returns
+//! [`KStatus::Stop`].
+//!
+//! Port declarations are *typed*: [`PortSpec::input`]/[`PortSpec::output`]
+//! capture the element type's `TypeId` plus monomorphized factory functions
+//! so the (type-erased) runtime can later allocate the right FIFO and the
+//! right split/reduce adapters for each link — the reproduction of C++
+//! RaftLib's template machinery.
+
+use std::any::TypeId;
+
+use raft_buffer::fifo::Monitorable;
+use raft_buffer::{fifo_with, FifoConfig};
+use std::sync::Arc;
+
+use crate::parallel::{adapter_factories, AdapterFactories};
+use crate::port::{AnyEndpoint, Context};
+
+/// What a kernel's `run()` tells the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KStatus {
+    /// Call `run()` again — more work to do (the paper's `raft::proceed`).
+    Proceed,
+    /// The kernel is finished; close its output streams (`raft::stop`).
+    Stop,
+}
+
+/// Type-erased FIFO construction result: `(producer, consumer, monitor
+/// handle)`. The producer/consumer boxes hold `raft_buffer::Producer<T>` /
+/// `Consumer<T>` and are downcast inside [`Context`].
+pub type ErasedFifo = (AnyEndpoint, AnyEndpoint, Arc<dyn Monitorable>);
+
+/// Monomorphized FIFO factory, captured at port-declaration time.
+pub type FifoFactory = fn(FifoConfig) -> ErasedFifo;
+
+fn make_fifo<T: Send + 'static>(cfg: FifoConfig) -> ErasedFifo {
+    let (fifo, producer, consumer) = fifo_with::<T>(cfg);
+    (Box::new(producer), Box::new(consumer), Arc::new(fifo))
+}
+
+/// Declaration of one port: name, element type, and the factories the
+/// erased runtime needs for this type.
+pub struct PortDef {
+    /// Port name, unique within its direction on the kernel.
+    pub name: String,
+    /// Element type id (checked for equality at link time).
+    pub type_id: TypeId,
+    /// Human-readable element type (for error messages).
+    pub type_name: &'static str,
+    /// FIFO constructor for this element type.
+    pub fifo_factory: FifoFactory,
+    /// Split/reduce adapter constructors for this element type (used when
+    /// the auto-parallelizer replicates the kernel behind this port).
+    pub adapters: fn() -> AdapterFactories,
+}
+
+impl std::fmt::Debug for PortDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortDef")
+            .field("name", &self.name)
+            .field("type", &self.type_name)
+            .finish()
+    }
+}
+
+impl PortDef {
+    /// Declare a port of element type `T`.
+    pub fn of<T: Send + 'static>(name: impl Into<String>) -> Self {
+        PortDef {
+            name: name.into(),
+            type_id: TypeId::of::<T>(),
+            type_name: std::any::type_name::<T>(),
+            fifo_factory: make_fifo::<T>,
+            adapters: adapter_factories::<T>,
+        }
+    }
+}
+
+/// A kernel's full port declaration.
+#[derive(Debug, Default)]
+pub struct PortSpec {
+    /// Input (consuming) ports, in declaration order.
+    pub inputs: Vec<PortDef>,
+    /// Output (producing) ports, in declaration order.
+    pub outputs: Vec<PortDef>,
+}
+
+impl PortSpec {
+    /// Empty spec (a kernel with no ports is legal only as a whole-app
+    /// placeholder and will fail `exe()` validation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an input port of element type `T` — the analog of
+    /// `input.addPort<T>("name")` in the paper's Figure 2.
+    pub fn input<T: Send + 'static>(mut self, name: impl Into<String>) -> Self {
+        let def = PortDef::of::<T>(name);
+        assert!(
+            self.inputs.iter().all(|p| p.name != def.name),
+            "duplicate input port {:?}",
+            def.name
+        );
+        self.inputs.push(def);
+        self
+    }
+
+    /// Add an output port of element type `T`.
+    pub fn output<T: Send + 'static>(mut self, name: impl Into<String>) -> Self {
+        let def = PortDef::of::<T>(name);
+        assert!(
+            self.outputs.iter().all(|p| p.name != def.name),
+            "duplicate output port {:?}",
+            def.name
+        );
+        self.outputs.push(def);
+        self
+    }
+}
+
+/// A sequential compute kernel.
+///
+/// Implementations hold their own state (`&mut self` in `run`); all
+/// communication goes through the [`Context`]'s ports, which is what makes
+/// kernels safely parallelizable (the paper's "share nothing" property).
+pub trait Kernel: Send + 'static {
+    /// Declare this kernel's ports. Called once, before execution; must be
+    /// deterministic.
+    fn ports(&self) -> PortSpec;
+
+    /// One scheduling quantum. Pop/peek inputs, push outputs, return
+    /// [`KStatus::Proceed`] to be called again or [`KStatus::Stop`] when
+    /// done (sources: data exhausted; intermediate kernels: inputs closed).
+    fn run(&mut self, ctx: &Context) -> KStatus;
+
+    /// Display name (diagnostics, mapping reports). Defaults to the type
+    /// name.
+    fn name(&self) -> String {
+        let full = std::any::type_name::<Self>();
+        full.rsplit("::").next().unwrap_or(full).to_string()
+    }
+
+    /// Produce a fresh replica of this kernel for automatic parallelization
+    /// (§4.1: kernels are replicated when the graph allows it). Return
+    /// `None` (the default) if the kernel carries non-replicable state.
+    fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
+        None
+    }
+}
+
+impl Kernel for Box<dyn Kernel> {
+    fn ports(&self) -> PortSpec {
+        (**self).ports()
+    }
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        (**self).run(ctx)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
+        (**self).clone_replica()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Kernel for Nop {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new()
+        }
+        fn run(&mut self, _ctx: &Context) -> KStatus {
+            KStatus::Stop
+        }
+    }
+
+    #[test]
+    fn default_name_strips_path() {
+        assert_eq!(Nop.name(), "Nop");
+    }
+
+    #[test]
+    fn port_spec_builder() {
+        let spec = PortSpec::new()
+            .input::<i64>("input_a")
+            .input::<i64>("input_b")
+            .output::<i64>("sum");
+        assert_eq!(spec.inputs.len(), 2);
+        assert_eq!(spec.outputs.len(), 1);
+        assert_eq!(spec.inputs[0].name, "input_a");
+        assert_eq!(spec.inputs[0].type_id, TypeId::of::<i64>());
+        assert_eq!(spec.outputs[0].name, "sum");
+    }
+
+    #[test]
+    fn type_ids_distinguish_types() {
+        let spec = PortSpec::new().input::<i64>("a").input::<u64>("b");
+        assert_ne!(spec.inputs[0].type_id, spec.inputs[1].type_id);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate input port")]
+    fn duplicate_port_name_panics() {
+        let _ = PortSpec::new().input::<i64>("x").input::<u8>("x");
+    }
+
+    #[test]
+    fn fifo_factory_produces_working_endpoints() {
+        let def = PortDef::of::<String>("s");
+        let (prod, cons, monitor) = (def.fifo_factory)(FifoConfig::starting_at(4));
+        let mut p = prod.downcast::<raft_buffer::Producer<String>>().unwrap();
+        let mut c = cons.downcast::<raft_buffer::Consumer<String>>().unwrap();
+        p.try_push("hi".to_string()).unwrap();
+        assert_eq!(monitor.occupancy(), 1);
+        assert_eq!(c.try_pop().unwrap(), "hi");
+    }
+
+    #[test]
+    fn default_clone_replica_is_none() {
+        assert!(Nop.clone_replica().is_none());
+    }
+}

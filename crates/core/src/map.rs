@@ -1,0 +1,519 @@
+//! Application topology assembly — the paper's `raft::map`.
+//!
+//! Kernels are added to a [`RaftMap`] and wired with [`RaftMap::link`]
+//! (Figure 3). Linking performs the checks the paper describes for `exe()`:
+//! the port must exist, must not be double-connected, and the element types
+//! at both ends must match (template-level type checking in C++; `TypeId`
+//! equality here, so a mismatch is an `Err` at link time rather than a
+//! runtime fault).
+//!
+//! Streams are *ordered* by default; [`RaftMap::link_unordered`] marks a
+//! stream as safe for out-of-order delivery, which is the user-supplied
+//! signal (§4.1: "indicated by the user at link type") that lets the
+//! auto-parallelizer replicate the kernels on either end.
+
+use std::time::Duration;
+
+use raft_buffer::FifoConfig;
+
+use crate::error::LinkError;
+use crate::kernel::{Kernel, PortSpec};
+use crate::monitor::MonitorConfig;
+use crate::parallel::SplitStrategy;
+use crate::runtime;
+use crate::runtime::ExeReport;
+use crate::scheduler::SchedulerKind;
+
+/// Handle to a kernel inside a [`RaftMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelId(pub(crate) usize);
+
+/// Global execution configuration.
+#[derive(Debug, Clone)]
+pub struct MapConfig {
+    /// Default FIFO configuration for every stream (overridable per link).
+    pub fifo: FifoConfig,
+    /// Monitor thread configuration (δ, resize rules, optimizer).
+    pub monitor: MonitorConfig,
+    /// Which scheduler executes the kernels.
+    pub scheduler: SchedulerKind,
+    /// Automatic parallelization settings.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            fifo: FifoConfig::default(),
+            monitor: MonitorConfig::default(),
+            scheduler: SchedulerKind::ThreadPerKernel,
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+/// Auto-parallelization settings (§4.1).
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Replicate eligible kernels automatically at `exe()`.
+    pub enabled: bool,
+    /// Maximum replica count per kernel (defaults to available
+    /// parallelism).
+    pub max_width: u32,
+    /// How split adapters distribute work.
+    pub strategy: SplitStrategy,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            enabled: false,
+            max_width: std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+            strategy: SplitStrategy::RoundRobin,
+        }
+    }
+}
+
+pub(crate) struct KernelEntry {
+    pub kernel: Box<dyn Kernel>,
+    pub spec: PortSpec,
+    pub name: String,
+    /// User-requested replica width (None = let the runtime decide when
+    /// auto-parallelization is on).
+    pub width_hint: Option<u32>,
+    /// Initial *active* width when a range was requested (replicas are
+    /// built to `width_hint`, the optimizer widens from here).
+    pub start_width: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct LinkEntry {
+    pub src: usize,
+    pub src_port: usize,
+    pub dst: usize,
+    pub dst_port: usize,
+    /// `false` once the user declared the stream out-of-order safe.
+    pub ordered: bool,
+    /// Per-link FIFO override.
+    pub fifo: Option<FifoConfig>,
+}
+
+/// The application map: kernels + streams + configuration.
+pub struct RaftMap {
+    pub(crate) kernels: Vec<KernelEntry>,
+    pub(crate) links: Vec<LinkEntry>,
+    pub(crate) cfg: MapConfig,
+}
+
+impl Default for RaftMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RaftMap {
+    /// Empty map with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(MapConfig::default())
+    }
+
+    /// Empty map with explicit configuration.
+    pub fn with_config(cfg: MapConfig) -> Self {
+        RaftMap {
+            kernels: Vec::new(),
+            links: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Mutable access to the configuration (before `exe`).
+    pub fn config_mut(&mut self) -> &mut MapConfig {
+        &mut self.cfg
+    }
+
+    /// Add a kernel; returns its handle. The analog of `kernel::make<>` in
+    /// Figure 3.
+    pub fn add<K: Kernel>(&mut self, kernel: K) -> KernelId {
+        self.add_boxed(Box::new(kernel))
+    }
+
+    /// Add an already-boxed kernel.
+    pub fn add_boxed(&mut self, kernel: Box<dyn Kernel>) -> KernelId {
+        let spec = kernel.ports();
+        let name = format!("{}#{}", kernel.name(), self.kernels.len());
+        self.kernels.push(KernelEntry {
+            kernel,
+            spec,
+            name,
+            width_hint: None,
+            start_width: None,
+        });
+        KernelId(self.kernels.len() - 1)
+    }
+
+    /// Request that `kernel` run with `width` parallel replicas (subject to
+    /// eligibility: single in/out, replicable, unordered links). A width
+    /// hint of 1 pins the kernel sequential even under auto-parallelism.
+    pub fn prefer_width(&mut self, kernel: KernelId, width: u32) {
+        self.kernels[kernel.0].width_hint = Some(width.max(1));
+        self.kernels[kernel.0].start_width = None;
+    }
+
+    /// Like [`RaftMap::prefer_width`], but start with only `start` replicas
+    /// active: the monitor's optimizer widens toward `max` while the
+    /// kernel's input stream stays backed up — the paper's dynamic
+    /// bottleneck elimination (§3: "Raft dynamically monitors the system to
+    /// eliminate the bottlenecks where possible").
+    pub fn prefer_width_range(&mut self, kernel: KernelId, start: u32, max: u32) {
+        let max = max.max(1);
+        self.kernels[kernel.0].width_hint = Some(max);
+        self.kernels[kernel.0].start_width = Some(start.clamp(1, max));
+    }
+
+    /// Display name of a kernel (for reports).
+    pub fn kernel_name(&self, kernel: KernelId) -> &str {
+        &self.kernels[kernel.0].name
+    }
+
+    fn resolve(
+        &self,
+        id: KernelId,
+        port: &str,
+        is_input: bool,
+    ) -> Result<(usize, usize), LinkError> {
+        let entry = self
+            .kernels
+            .get(id.0)
+            .ok_or_else(|| LinkError::NoSuchKernel(format!("#{}", id.0)))?;
+        let defs = if is_input {
+            &entry.spec.inputs
+        } else {
+            &entry.spec.outputs
+        };
+        let idx = defs.iter().position(|p| p.name == port).ok_or_else(|| {
+            LinkError::NoSuchPort {
+                kernel: entry.name.clone(),
+                port: port.to_string(),
+                available: defs.iter().map(|p| p.name.clone()).collect(),
+            }
+        })?;
+        Ok((id.0, idx))
+    }
+
+    fn link_inner(
+        &mut self,
+        src: KernelId,
+        src_port: &str,
+        dst: KernelId,
+        dst_port: &str,
+        ordered: bool,
+        fifo: Option<FifoConfig>,
+    ) -> Result<(), LinkError> {
+        if src == dst {
+            return Err(LinkError::SelfLoop(self.kernels[src.0].name.clone()));
+        }
+        let (s, sp) = self.resolve(src, src_port, false)?;
+        let (d, dp) = self.resolve(dst, dst_port, true)?;
+        // One stream per port end.
+        for l in &self.links {
+            if l.src == s && l.src_port == sp {
+                return Err(LinkError::AlreadyLinked {
+                    kernel: self.kernels[s].name.clone(),
+                    port: src_port.to_string(),
+                });
+            }
+            if l.dst == d && l.dst_port == dp {
+                return Err(LinkError::AlreadyLinked {
+                    kernel: self.kernels[d].name.clone(),
+                    port: dst_port.to_string(),
+                });
+            }
+        }
+        // Link-time type checking (§4.2).
+        let so = &self.kernels[s].spec.outputs[sp];
+        let di = &self.kernels[d].spec.inputs[dp];
+        if so.type_id != di.type_id {
+            return Err(LinkError::TypeMismatch {
+                src: format!("{}.{}", self.kernels[s].name, src_port),
+                dst: format!("{}.{}", self.kernels[d].name, dst_port),
+                src_type: so.type_name,
+                dst_type: di.type_name,
+            });
+        }
+        self.links.push(LinkEntry {
+            src: s,
+            src_port: sp,
+            dst: d,
+            dst_port: dp,
+            ordered,
+            fifo,
+        });
+        Ok(())
+    }
+
+    /// Connect `src_port` of `src` to `dst_port` of `dst` with an ordered
+    /// stream.
+    pub fn link(
+        &mut self,
+        src: KernelId,
+        src_port: &str,
+        dst: KernelId,
+        dst_port: &str,
+    ) -> Result<(), LinkError> {
+        self.link_inner(src, src_port, dst, dst_port, true, None)
+    }
+
+    /// Like [`RaftMap::link`], but declares the stream out-of-order safe —
+    /// the eligibility signal for automatic kernel replication.
+    pub fn link_unordered(
+        &mut self,
+        src: KernelId,
+        src_port: &str,
+        dst: KernelId,
+        dst_port: &str,
+    ) -> Result<(), LinkError> {
+        self.link_inner(src, src_port, dst, dst_port, false, None)
+    }
+
+    /// Like [`RaftMap::link`] with a per-stream FIFO configuration
+    /// (used by the Figure 4 harness to pin exact buffer sizes).
+    pub fn link_with(
+        &mut self,
+        src: KernelId,
+        src_port: &str,
+        dst: KernelId,
+        dst_port: &str,
+        fifo: FifoConfig,
+    ) -> Result<(), LinkError> {
+        self.link_inner(src, src_port, dst, dst_port, true, Some(fifo))
+    }
+
+    /// Unordered link with a per-stream FIFO configuration.
+    pub fn link_unordered_with(
+        &mut self,
+        src: KernelId,
+        src_port: &str,
+        dst: KernelId,
+        dst_port: &str,
+        fifo: FifoConfig,
+    ) -> Result<(), LinkError> {
+        self.link_inner(src, src_port, dst, dst_port, false, Some(fifo))
+    }
+
+    /// Convenience: connect two kernels that have exactly one output and
+    /// one input port respectively (most pipeline stages).
+    pub fn connect(&mut self, src: KernelId, dst: KernelId) -> Result<(), LinkError> {
+        let sp = self.single_port_name(src, false)?;
+        let dp = self.single_port_name(dst, true)?;
+        self.link(src, &sp, dst, &dp)
+    }
+
+    /// [`RaftMap::connect`] with an out-of-order-safe stream.
+    pub fn connect_unordered(&mut self, src: KernelId, dst: KernelId) -> Result<(), LinkError> {
+        let sp = self.single_port_name(src, false)?;
+        let dp = self.single_port_name(dst, true)?;
+        self.link_unordered(src, &sp, dst, &dp)
+    }
+
+    fn single_port_name(&self, id: KernelId, is_input: bool) -> Result<String, LinkError> {
+        let entry = self
+            .kernels
+            .get(id.0)
+            .ok_or_else(|| LinkError::NoSuchKernel(format!("#{}", id.0)))?;
+        let defs = if is_input {
+            &entry.spec.inputs
+        } else {
+            &entry.spec.outputs
+        };
+        if defs.len() != 1 {
+            return Err(LinkError::NoSuchPort {
+                kernel: entry.name.clone(),
+                port: "<single>".to_string(),
+                available: defs.iter().map(|p| p.name.clone()).collect(),
+            });
+        }
+        Ok(defs[0].name.clone())
+    }
+
+    /// Render the topology as Graphviz DOT — a quick visualization of what
+    /// `exe()` will run (ports on edge labels, dashed = out-of-order-safe).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph raft {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = writeln!(out, "  k{i} [label=\"{}\"];", k.name);
+        }
+        for l in &self.links {
+            let sp = &self.kernels[l.src].spec.outputs[l.src_port].name;
+            let dp = &self.kernels[l.dst].spec.inputs[l.dst_port].name;
+            let style = if l.ordered { "solid" } else { "dashed" };
+            let _ = writeln!(
+                out,
+                "  k{} -> k{} [label=\"{}→{}\", style={}];",
+                l.src, l.dst, sp, dp, style
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Number of kernels currently in the map.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Number of streams currently in the map.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Validate, optimize, execute, and wait for completion — the paper's
+    /// `map.exe()`. Consumes the map.
+    pub fn exe(self) -> Result<ExeReport, crate::error::ExeError> {
+        runtime::execute(self)
+    }
+
+    /// Execute with a watchdog: if the application does not finish within
+    /// `timeout`, the cooperative stop flag is raised (sources observe it
+    /// via `Context::stop_requested`) and execution joins as soon as the
+    /// pipeline drains.
+    pub fn exe_with_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<ExeReport, crate::error::ExeError> {
+        runtime::execute_with_deadline(self, Some(timeout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KStatus, PortSpec};
+    use crate::port::Context;
+
+    struct Producer1;
+    impl Kernel for Producer1 {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().output::<u32>("out")
+        }
+        fn run(&mut self, _ctx: &Context) -> KStatus {
+            KStatus::Stop
+        }
+    }
+
+    struct Consumer1;
+    impl Kernel for Consumer1 {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().input::<u32>("in")
+        }
+        fn run(&mut self, _ctx: &Context) -> KStatus {
+            KStatus::Stop
+        }
+    }
+
+    struct ConsumerI64;
+    impl Kernel for ConsumerI64 {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().input::<i64>("in")
+        }
+        fn run(&mut self, _ctx: &Context) -> KStatus {
+            KStatus::Stop
+        }
+    }
+
+    #[test]
+    fn link_happy_path() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c = m.add(Consumer1);
+        m.link(p, "out", c, "in").unwrap();
+        assert_eq!(m.link_count(), 1);
+    }
+
+    #[test]
+    fn connect_single_ports() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c = m.add(Consumer1);
+        m.connect(p, c).unwrap();
+        assert_eq!(m.link_count(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_detected_at_link_time() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c = m.add(ConsumerI64);
+        let err = m.link(p, "out", c, "in").unwrap_err();
+        assert!(matches!(err, LinkError::TypeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c = m.add(Consumer1);
+        let err = m.link(p, "nope", c, "in").unwrap_err();
+        assert!(matches!(err, LinkError::NoSuchPort { .. }), "{err}");
+    }
+
+    #[test]
+    fn double_link_rejected() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c1 = m.add(Consumer1);
+        let c2 = m.add(Consumer1);
+        m.link(p, "out", c1, "in").unwrap();
+        let err = m.link(p, "out", c2, "in").unwrap_err();
+        assert!(matches!(err, LinkError::AlreadyLinked { .. }), "{err}");
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        struct Loopy;
+        impl Kernel for Loopy {
+            fn ports(&self) -> PortSpec {
+                PortSpec::new().input::<u32>("in").output::<u32>("out")
+            }
+            fn run(&mut self, _ctx: &Context) -> KStatus {
+                KStatus::Stop
+            }
+        }
+        let mut m = RaftMap::new();
+        let k = m.add(Loopy);
+        let err = m.link(k, "out", k, "in").unwrap_err();
+        assert!(matches!(err, LinkError::SelfLoop(_)));
+    }
+
+    #[test]
+    fn dot_export_includes_kernels_and_edges() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c = m.add(Consumer1);
+        m.link(p, "out", c, "in").unwrap();
+        let dot = m.to_dot();
+        assert!(dot.starts_with("digraph raft {"));
+        assert!(dot.contains("k0 -> k1"));
+        assert!(dot.contains("out→in"));
+        assert!(dot.contains("style=solid"));
+    }
+
+    #[test]
+    fn dot_marks_unordered_links_dashed() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c = m.add(Consumer1);
+        m.link_unordered(p, "out", c, "in").unwrap();
+        assert!(m.to_dot().contains("style=dashed"));
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let mut m = RaftMap::new();
+        let a = m.add(Producer1);
+        let b = m.add(Producer1);
+        assert_ne!(m.kernel_name(a), m.kernel_name(b));
+    }
+}

@@ -1,0 +1,490 @@
+//! The queue monitor — RaftLib's δ-periodic resize and telemetry thread.
+//!
+//! §4 of the paper: "RaftLib deals with this by detecting this condition
+//! with a monitoring thread, updated every δ ← 10 µs. ... On the side
+//! writing to the queue, if the write process is blocked for a time period
+//! of 3 × δ then the queue is resized. On the read side, if the reading
+//! compute kernel requests more items than the queue has available then the
+//! queue is tagged for resizing."
+//!
+//! One monitor thread serves the whole application ("a thread continuously
+//! monitors all the queues within the system and reallocates them as needed
+//! (either larger or smaller)", §4.2). Each tick it:
+//!
+//! 1. samples every queue's occupancy into its histogram (the telemetry the
+//!    paper exposes: mean occupancy, service rate, throughput, occupancy
+//!    histograms);
+//! 2. grows queues whose writer has been blocked ≥ 3δ;
+//! 3. grows queues whose reader requested more than the current capacity;
+//! 4. shrinks queues that stayed nearly empty for a long hysteresis window;
+//! 5. when the dynamic optimizer is enabled, adjusts the active width of
+//!    split adapters whose input is persistently backed up (bottleneck
+//!    elimination, §3).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use raft_buffer::fifo::Monitorable;
+
+use crate::parallel::WidthControl;
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Sampling period δ. The paper uses 10 µs; the default here is 100 µs
+    /// (kinder to small hosts), configurable down to the paper's value.
+    pub delta: Duration,
+    /// Master switch. With the monitor off, queues never resize and no
+    /// occupancy histograms are collected.
+    pub enabled: bool,
+    /// Grow a queue when its writer has been blocked ≥ 3δ.
+    pub grow_on_writer_block: bool,
+    /// Grow a queue when a read request exceeded its capacity.
+    pub grow_on_read_request: bool,
+    /// Allow shrinking long-underutilized queues.
+    pub shrink_enabled: bool,
+    /// Consecutive low-occupancy ticks before a shrink (hysteresis).
+    pub shrink_after_ticks: u32,
+    /// Enable the dynamic replication-width optimizer.
+    pub optimize_widths: bool,
+    /// Consecutive backed-up ticks before widening a split.
+    pub widen_after_ticks: u32,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            delta: Duration::from_micros(100),
+            enabled: true,
+            grow_on_writer_block: true,
+            grow_on_read_request: true,
+            shrink_enabled: true,
+            shrink_after_ticks: 200,
+            optimize_widths: true,
+            widen_after_ticks: 20,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// The paper's exact δ = 10 µs.
+    pub fn paper_delta(mut self) -> Self {
+        self.delta = Duration::from_micros(10);
+        self
+    }
+
+    /// Fully disabled monitor (for the monitoring-overhead ablation).
+    pub fn disabled() -> Self {
+        MonitorConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a queue was resized (for the resize trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeReason {
+    /// Writer blocked ≥ 3δ.
+    WriterBlocked,
+    /// Reader requested more items than the capacity.
+    ReadRequest,
+    /// Sustained low occupancy.
+    Shrink,
+}
+
+/// One entry of the resize trace.
+#[derive(Debug, Clone)]
+pub struct ResizeEvent {
+    /// Time since monitor start.
+    pub at: Duration,
+    /// Index of the stream in the runtime's edge table.
+    pub edge: usize,
+    /// Edge display name (`src.port -> dst.port`).
+    pub edge_name: String,
+    /// Capacity before.
+    pub old_capacity: usize,
+    /// Capacity after.
+    pub new_capacity: usize,
+    /// Trigger.
+    pub reason: ResizeReason,
+}
+
+/// A split adapter under optimizer control.
+pub(crate) struct WidthTarget {
+    /// The split's active-width control.
+    pub control: WidthControl,
+    /// The split's input stream (backed-up input ⇒ widen).
+    pub input: Arc<dyn Monitorable>,
+    /// The replicas' input streams (all starved ⇒ narrow).
+    pub replica_inputs: Vec<Arc<dyn Monitorable>>,
+    /// Display name for the width-change log.
+    pub name: String,
+}
+
+/// A width-change log entry.
+#[derive(Debug, Clone)]
+pub struct WidthEvent {
+    /// Time since monitor start.
+    pub at: Duration,
+    /// Split display name.
+    pub split: String,
+    /// Active width before.
+    pub old_width: u32,
+    /// Active width after.
+    pub new_width: u32,
+}
+
+/// Handle to the running monitor thread.
+pub(crate) struct MonitorHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+    events: Arc<Mutex<Vec<ResizeEvent>>>,
+    width_events: Arc<Mutex<Vec<WidthEvent>>>,
+}
+
+impl MonitorHandle {
+    /// Stop the monitor and collect its event logs.
+    pub fn finish(mut self) -> (Vec<ResizeEvent>, Vec<WidthEvent>) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        (
+            std::mem::take(&mut *self.events.lock()),
+            std::mem::take(&mut *self.width_events.lock()),
+        )
+    }
+}
+
+impl Drop for MonitorHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Start the monitor over the given streams and split adapters.
+pub(crate) fn spawn(
+    cfg: MonitorConfig,
+    fifos: Vec<(String, Arc<dyn Monitorable>)>,
+    widths: Vec<WidthTarget>,
+) -> MonitorHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let width_events = Arc::new(Mutex::new(Vec::new()));
+    let join = if cfg.enabled {
+        let stop2 = stop.clone();
+        let events2 = events.clone();
+        let width_events2 = width_events.clone();
+        Some(
+            std::thread::Builder::new()
+                .name("raft-monitor".into())
+                .spawn(move || monitor_loop(cfg, fifos, widths, stop2, events2, width_events2))
+                .expect("spawn monitor thread"),
+        )
+    } else {
+        None
+    };
+    MonitorHandle {
+        stop,
+        join,
+        events,
+        width_events,
+    }
+}
+
+fn monitor_loop(
+    cfg: MonitorConfig,
+    fifos: Vec<(String, Arc<dyn Monitorable>)>,
+    widths: Vec<WidthTarget>,
+    stop: Arc<AtomicBool>,
+    events: Arc<Mutex<Vec<ResizeEvent>>>,
+    width_events: Arc<Mutex<Vec<WidthEvent>>>,
+) {
+    let start = Instant::now();
+    let delta_ns = cfg.delta.as_nanos() as u64;
+    let mut low_ticks: Vec<u32> = vec![0; fifos.len()];
+    let mut backed_up_ticks: Vec<u32> = vec![0; widths.len()];
+    let mut starved_ticks: Vec<u32> = vec![0; widths.len()];
+
+    while !stop.load(Ordering::Relaxed) {
+        for (i, (name, f)) in fifos.iter().enumerate() {
+            // 1. occupancy histogram sample
+            f.sample();
+
+            let capacity = f.capacity();
+            let stats = f.stats();
+
+            // 2. writer blocked ≥ 3δ → grow
+            if cfg.grow_on_writer_block && stats.writer_blocked_for_ns() >= 3 * delta_ns {
+                let old = capacity;
+                if f.grow() {
+                    // Reset the blocked clock so one long block does not
+                    // trigger a growth cascade within the same stall.
+                    stats.writer_block_begin();
+                    events.lock().push(ResizeEvent {
+                        at: start.elapsed(),
+                        edge: i,
+                        edge_name: name.clone(),
+                        old_capacity: old,
+                        new_capacity: f.capacity(),
+                        reason: ResizeReason::WriterBlocked,
+                    });
+                    low_ticks[i] = 0;
+                    continue;
+                }
+            }
+
+            // 3. read request larger than capacity → grow to fit
+            let want = stats.max_read_request.load(Ordering::Relaxed) as usize;
+            if cfg.grow_on_read_request && want > capacity {
+                let old = capacity;
+                if f.grow_to(want) {
+                    events.lock().push(ResizeEvent {
+                        at: start.elapsed(),
+                        edge: i,
+                        edge_name: name.clone(),
+                        old_capacity: old,
+                        new_capacity: f.capacity(),
+                        reason: ResizeReason::ReadRequest,
+                    });
+                    low_ticks[i] = 0;
+                    continue;
+                }
+            }
+
+            // 4. sustained low occupancy → shrink (hysteresis). Never
+            // shrink below the largest batch a reader ever requested, or
+            // the read-request trigger would immediately grow again
+            // (grow/shrink oscillation).
+            if cfg.shrink_enabled {
+                let occ = f.occupancy();
+                let floor = stats.max_read_request.load(Ordering::Relaxed) as usize;
+                if occ * 8 < capacity && capacity > 1 && capacity / 2 >= floor {
+                    low_ticks[i] += 1;
+                    if low_ticks[i] >= cfg.shrink_after_ticks {
+                        let old = capacity;
+                        if f.shrink() {
+                            events.lock().push(ResizeEvent {
+                                at: start.elapsed(),
+                                edge: i,
+                                edge_name: name.clone(),
+                                old_capacity: old,
+                                new_capacity: f.capacity(),
+                                reason: ResizeReason::Shrink,
+                            });
+                        }
+                        low_ticks[i] = 0;
+                    }
+                } else {
+                    low_ticks[i] = 0;
+                }
+            }
+        }
+
+        // 5. dynamic replication width
+        if cfg.optimize_widths {
+            for (i, t) in widths.iter().enumerate() {
+                let cur = t.control.get();
+                // Widen: split's input queue persistently > 3/4 full while
+                // not all replicas are active.
+                let in_occ = t.input.occupancy();
+                let in_cap = t.input.capacity().max(1);
+                if cur < t.control.max() && in_occ * 4 >= in_cap * 3 {
+                    backed_up_ticks[i] += 1;
+                    if backed_up_ticks[i] >= cfg.widen_after_ticks {
+                        let new = t.control.widen();
+                        width_events.lock().push(WidthEvent {
+                            at: start.elapsed(),
+                            split: t.name.clone(),
+                            old_width: cur,
+                            new_width: new,
+                        });
+                        backed_up_ticks[i] = 0;
+                    }
+                } else {
+                    backed_up_ticks[i] = 0;
+                }
+                // Narrow: input empty and all active replica queues empty
+                // for a long stretch.
+                let all_idle = in_occ == 0
+                    && t.replica_inputs
+                        .iter()
+                        .take(cur as usize)
+                        .all(|r| r.occupancy() == 0);
+                if cur > 1 && all_idle {
+                    starved_ticks[i] += 1;
+                    if starved_ticks[i] >= cfg.widen_after_ticks * 8 {
+                        let new = t.control.narrow();
+                        width_events.lock().push(WidthEvent {
+                            at: start.elapsed(),
+                            split: t.name.clone(),
+                            old_width: cur,
+                            new_width: new,
+                        });
+                        starved_ticks[i] = 0;
+                    }
+                } else {
+                    starved_ticks[i] = 0;
+                }
+            }
+        }
+
+        // δ sleep. For very small δ a sleep overshoots; spin-sleep hybrid.
+        if cfg.delta >= Duration::from_micros(50) {
+            std::thread::sleep(cfg.delta);
+        } else {
+            let end = Instant::now() + cfg.delta;
+            while Instant::now() < end {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raft_buffer::{fifo_with, FifoConfig};
+
+    fn cfg_fast() -> MonitorConfig {
+        MonitorConfig {
+            delta: Duration::from_micros(100),
+            shrink_after_ticks: 10,
+            widen_after_ticks: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn grows_when_writer_blocked() {
+        let (f, mut p, _c) = fifo_with::<u64>(FifoConfig {
+            initial_capacity: 4,
+            max_capacity: 64,
+            min_capacity: 2,
+        });
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        let handle = spawn(
+            cfg_fast(),
+            vec![("edge0".into(), Arc::new(f.clone()) as Arc<dyn Monitorable>)],
+            vec![],
+        );
+        // Block the writer in another thread.
+        let t = std::thread::spawn(move || {
+            p.push(4).unwrap();
+            p
+        });
+        let _p = t.join().unwrap();
+        let (events, _) = handle.finish();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.reason == ResizeReason::WriterBlocked),
+            "expected a writer-block resize, got {events:?}"
+        );
+        assert!(f.capacity() >= 8);
+    }
+
+    #[test]
+    fn shrinks_idle_queue_after_hysteresis() {
+        let (f, _p, _c) = fifo_with::<u64>(FifoConfig {
+            initial_capacity: 64,
+            max_capacity: 128,
+            min_capacity: 4,
+        });
+        let handle = spawn(
+            cfg_fast(),
+            vec![("edge0".into(), Arc::new(f.clone()) as Arc<dyn Monitorable>)],
+            vec![],
+        );
+        // idle queue: occupancy 0 for many ticks
+        std::thread::sleep(Duration::from_millis(50));
+        let (events, _) = handle.finish();
+        assert!(
+            events.iter().any(|e| e.reason == ResizeReason::Shrink),
+            "expected shrink events, got {events:?}"
+        );
+        assert!(f.capacity() < 64);
+    }
+
+    #[test]
+    fn disabled_monitor_does_nothing() {
+        let (f, mut p, _c) = fifo_with::<u64>(FifoConfig {
+            initial_capacity: 4,
+            max_capacity: 64,
+            min_capacity: 4,
+        });
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        let handle = spawn(
+            MonitorConfig::disabled(),
+            vec![("edge0".into(), Arc::new(f.clone()) as Arc<dyn Monitorable>)],
+            vec![],
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let (events, _) = handle.finish();
+        assert!(events.is_empty());
+        assert_eq!(f.capacity(), 4);
+        assert_eq!(f.snapshot().mean_occupancy, 4.0); // instantaneous only
+    }
+
+    #[test]
+    fn optimizer_narrows_idle_split() {
+        use crate::parallel::{Split, SplitStrategy};
+        // A split with all queues idle: the optimizer should narrow it
+        // after the (long) starvation window.
+        let split = Split::<u64>::new(3, SplitStrategy::RoundRobin);
+        let ctl = split.width_control();
+        assert_eq!(ctl.get(), 3);
+        let (f_in, _p1, _c1) = fifo_with::<u64>(FifoConfig::starting_at(8));
+        let (f_r1, _p2, _c2) = fifo_with::<u64>(FifoConfig::starting_at(8));
+        let (f_r2, _p3, _c3) = fifo_with::<u64>(FifoConfig::starting_at(8));
+        let target = WidthTarget {
+            control: ctl.clone(),
+            input: Arc::new(f_in),
+            replica_inputs: vec![Arc::new(f_r1), Arc::new(f_r2)],
+            name: "idle-split".into(),
+        };
+        let cfg = MonitorConfig {
+            delta: Duration::from_micros(100),
+            widen_after_ticks: 2, // narrow threshold = 8x this
+            shrink_enabled: false,
+            ..Default::default()
+        };
+        let handle = spawn(cfg, vec![], vec![target]);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ctl.get() == 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (_, width_events) = handle.finish();
+        assert!(ctl.get() < 3, "optimizer never narrowed: {width_events:?}");
+        assert!(!width_events.is_empty());
+    }
+
+    #[test]
+    fn samples_fill_histogram() {
+        let (f, mut p, _c) = fifo_with::<u64>(FifoConfig::starting_at(16));
+        for i in 0..3 {
+            p.try_push(i).unwrap();
+        }
+        let handle = spawn(
+            cfg_fast(),
+            vec![("edge0".into(), Arc::new(f.clone()) as Arc<dyn Monitorable>)],
+            vec![],
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        handle.finish();
+        let snap = f.snapshot();
+        assert!(snap.occupancy_hist.iter().sum::<u64>() > 0);
+        assert!(snap.mean_occupancy > 0.0);
+    }
+}

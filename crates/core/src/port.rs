@@ -1,0 +1,362 @@
+//! Port access from inside a running kernel.
+//!
+//! The paper's kernels pull data with `input["name"].pop_s<T>()` and write
+//! with `output["name"].allocate_s<T>()` (Figure 2). Here a kernel receives
+//! a [`Context`] whose [`Context::input`]/[`Context::output`] return typed
+//! handles over the bound stream endpoints. Access is "safe, free from data
+//! race and other issues" (§4): each endpoint is owned by exactly one
+//! kernel, and element types were verified at link time.
+//!
+//! Blocking semantics mirror the paper: `pop` blocks until data arrives or
+//! the stream closes; `push` blocks while the queue is full (which is what
+//! the monitor's 3δ grow rule watches for); `peek_range` gives the sliding
+//! window pattern.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use raft_buffer::fifo::Monitorable;
+use raft_buffer::{Consumer, PeekRange, Producer, Signal, TryPopError, TryPushError, WriteGuard};
+
+use crate::error::PortClosed;
+
+/// Type-erased stream endpoint (`Producer<T>` or `Consumer<T>`).
+pub type AnyEndpoint = Box<dyn Any + Send>;
+
+/// Where a kernel's ports live during execution.
+///
+/// Ports are stored in per-slot `RefCell`s so a kernel can hold handles to
+/// several *different* ports simultaneously (the sum kernel pops two inputs
+/// and pushes one output in a single `run`). Taking the same port twice
+/// panics — that is always a kernel bug.
+pub struct Context {
+    inputs: Vec<RefCell<AnyEndpoint>>,
+    /// Monitor handle of each input's FIFO (for the erased
+    /// `inputs_done` check).
+    input_fifos: Vec<Arc<dyn Monitorable>>,
+    input_names: HashMap<String, usize>,
+    outputs: Vec<RefCell<AnyEndpoint>>,
+    output_names: HashMap<String, usize>,
+    /// Cooperative stop flag: set by the runtime on global shutdown.
+    stop: Arc<AtomicBool>,
+    /// Kernel display name (for port-access panic messages).
+    kernel_name: String,
+}
+
+// SAFETY: a Context is only ever used by the single thread running its
+// kernel; it is moved (Send) to that thread at start-up. RefCell is the
+// single-thread interior mutability it needs.
+unsafe impl Send for Context {}
+
+impl Context {
+    /// Assemble a context from named endpoints. Runtime-internal.
+    pub(crate) fn new(
+        kernel_name: String,
+        inputs: Vec<(String, AnyEndpoint, Arc<dyn Monitorable>)>,
+        outputs: Vec<(String, AnyEndpoint)>,
+        stop: Arc<AtomicBool>,
+    ) -> Self {
+        let mut ctx = Context {
+            inputs: Vec::new(),
+            input_fifos: Vec::new(),
+            input_names: HashMap::new(),
+            outputs: Vec::new(),
+            output_names: HashMap::new(),
+            stop,
+            kernel_name,
+        };
+        for (name, ep, fifo) in inputs {
+            ctx.input_names.insert(name, ctx.inputs.len());
+            ctx.inputs.push(RefCell::new(ep));
+            ctx.input_fifos.push(fifo);
+        }
+        for (name, ep) in outputs {
+            ctx.output_names.insert(name, ctx.outputs.len());
+            ctx.outputs.push(RefCell::new(ep));
+        }
+        ctx
+    }
+
+    /// Construct a context directly from endpoints — for driving a kernel
+    /// outside a `RaftMap` (unit tests, custom harnesses).
+    #[doc(hidden)]
+    pub fn for_test(
+        inputs: Vec<(String, AnyEndpoint, Arc<dyn Monitorable>)>,
+        outputs: Vec<(String, AnyEndpoint)>,
+    ) -> Self {
+        Context::new(
+            "test".to_string(),
+            inputs,
+            outputs,
+            Arc::new(AtomicBool::new(false)),
+        )
+    }
+
+    /// Typed handle to the named input port. Panics if the name or type is
+    /// wrong (both were checked at link time; a panic here means the kernel
+    /// asked for a port it never declared) or if the port handle is already
+    /// taken in this `run` invocation.
+    pub fn input<T: Send + 'static>(&self, name: &str) -> InPort<'_, T> {
+        let &idx = self.input_names.get(name).unwrap_or_else(|| {
+            panic!(
+                "kernel {:?} has no input port {:?} (has {:?})",
+                self.kernel_name,
+                name,
+                self.input_names.keys().collect::<Vec<_>>()
+            )
+        });
+        self.input_at(idx)
+    }
+
+    /// Typed handle to the input port at declaration index `idx` — the
+    /// allocation-free access path for hot kernels.
+    pub fn input_at<T: Send + 'static>(&self, idx: usize) -> InPort<'_, T> {
+        let cell = self.inputs.get(idx).unwrap_or_else(|| {
+            panic!(
+                "kernel {:?} input index {idx} out of range ({} inputs)",
+                self.kernel_name,
+                self.inputs.len()
+            )
+        });
+        let guard = cell
+            .try_borrow_mut()
+            .unwrap_or_else(|_| panic!("input port {idx} taken twice in one run()"));
+        let ok = guard.downcast_ref::<Consumer<T>>().is_some();
+        assert!(
+            ok,
+            "kernel {:?}: input port {idx} is not of type {}",
+            self.kernel_name,
+            std::any::type_name::<T>()
+        );
+        InPort {
+            guard,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Typed handle to the named output port (see [`Context::input`]).
+    pub fn output<T: Send + 'static>(&self, name: &str) -> OutPort<'_, T> {
+        let &idx = self.output_names.get(name).unwrap_or_else(|| {
+            panic!(
+                "kernel {:?} has no output port {:?} (has {:?})",
+                self.kernel_name,
+                name,
+                self.output_names.keys().collect::<Vec<_>>()
+            )
+        });
+        self.output_at(idx)
+    }
+
+    /// Typed handle to the output port at declaration index `idx`.
+    pub fn output_at<T: Send + 'static>(&self, idx: usize) -> OutPort<'_, T> {
+        let cell = self.outputs.get(idx).unwrap_or_else(|| {
+            panic!(
+                "kernel {:?} output index {idx} out of range ({} outputs)",
+                self.kernel_name,
+                self.outputs.len()
+            )
+        });
+        let guard = cell
+            .try_borrow_mut()
+            .unwrap_or_else(|_| panic!("output port {idx} taken twice in one run()"));
+        let ok = guard.downcast_ref::<Producer<T>>().is_some();
+        assert!(
+            ok,
+            "kernel {:?}: output port {idx} is not of type {}",
+            self.kernel_name,
+            std::any::type_name::<T>()
+        );
+        OutPort {
+            guard,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output ports.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// `true` once the runtime asked all kernels to wind down (e.g. a
+    /// sibling kernel panicked). Long-running sources should poll this.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// `true` when *every* input port is closed and drained — the usual
+    /// condition for an intermediate kernel to return [`KStatus::Stop`].
+    ///
+    /// [`KStatus::Stop`]: crate::kernel::KStatus::Stop
+    pub fn inputs_done(&self) -> bool {
+        self.input_fifos.iter().all(|f| f.is_finished())
+    }
+}
+
+/// Typed reading handle for one input port, valid for the current `run`.
+pub struct InPort<'a, T: Send + 'static> {
+    guard: std::cell::RefMut<'a, AnyEndpoint>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Send + 'static> InPort<'a, T> {
+    #[inline]
+    fn consumer(&mut self) -> &mut Consumer<T> {
+        self.guard.downcast_mut::<Consumer<T>>().unwrap()
+    }
+
+    /// Blocking pop — the paper's `pop_s` without the RAII wrapper (Rust
+    /// move semantics make the auto-pop object unnecessary: the value is
+    /// simply returned).
+    #[inline]
+    pub fn pop(&mut self) -> Result<T, PortClosed> {
+        self.consumer().pop().map_err(|_| PortClosed)
+    }
+
+    /// Blocking pop returning the element's synchronous signal too.
+    #[inline]
+    pub fn pop_signal(&mut self) -> Result<(T, Signal), PortClosed> {
+        self.consumer().pop_signal().map_err(|_| PortClosed)
+    }
+
+    /// Non-blocking pop: `Ok(None)` when the stream is momentarily empty.
+    #[inline]
+    pub fn try_pop(&mut self) -> Result<Option<T>, PortClosed> {
+        match self.consumer().try_pop() {
+            Ok(v) => Ok(Some(v)),
+            Err(TryPopError::Empty) => Ok(None),
+            Err(TryPopError::Closed) => Err(PortClosed),
+        }
+    }
+
+    /// Sliding-window view of the next `n` elements (the paper's
+    /// `peek_range`). Blocks until `n` are available; fails if the stream
+    /// ends first.
+    #[inline]
+    pub fn peek_range(&mut self, n: usize) -> Result<PeekRange<'_, T>, PortClosed> {
+        self.consumer().peek_range(n).map_err(|_| PortClosed)
+    }
+
+    /// Pop up to `n` items into `out`; blocks for the first one.
+    #[inline]
+    pub fn pop_range(&mut self, n: usize, out: &mut Vec<T>) -> Result<usize, PortClosed> {
+        self.consumer().pop_range(n, out).map_err(|_| PortClosed)
+    }
+
+    /// Consume `n` elements previously examined with `peek_range`.
+    #[inline]
+    pub fn advance(&mut self, n: usize) -> usize {
+        self.consumer().advance(n)
+    }
+
+    /// Non-consuming look at the head element.
+    #[inline]
+    pub fn peek<R>(&mut self, f: impl FnOnce(&T, Signal) -> R) -> Option<R> {
+        self.consumer().peek(f)
+    }
+
+    /// Pending asynchronous signal, if any.
+    #[inline]
+    pub fn take_async(&mut self) -> Option<Signal> {
+        self.consumer().take_async()
+    }
+
+    /// Elements currently queued.
+    #[inline]
+    pub fn occupancy(&mut self) -> usize {
+        self.consumer().occupancy()
+    }
+
+    /// Current queue capacity.
+    #[inline]
+    pub fn capacity(&mut self) -> usize {
+        self.consumer().capacity()
+    }
+
+    /// `true` when the upstream closed and everything was consumed.
+    #[inline]
+    pub fn is_finished(&mut self) -> bool {
+        self.consumer().is_finished()
+    }
+}
+
+/// Typed writing handle for one output port, valid for the current `run`.
+pub struct OutPort<'a, T: Send + 'static> {
+    guard: std::cell::RefMut<'a, AnyEndpoint>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Send + 'static> OutPort<'a, T> {
+    #[inline]
+    fn producer(&mut self) -> &mut Producer<T> {
+        self.guard.downcast_mut::<Producer<T>>().unwrap()
+    }
+
+    /// Blocking push; errs only if the downstream kernel is gone.
+    #[inline]
+    pub fn push(&mut self, value: T) -> Result<(), PortClosed> {
+        self.producer().push(value).map_err(|_| PortClosed)
+    }
+
+    /// Blocking push with a synchronous signal attached.
+    #[inline]
+    pub fn push_signal(&mut self, value: T, signal: Signal) -> Result<(), PortClosed> {
+        self.producer()
+            .push_signal(value, signal)
+            .map_err(|_| PortClosed)
+    }
+
+    /// Non-blocking push: `Ok(None)` on success, `Ok(Some(value))` handing
+    /// the element back when the queue is full right now.
+    #[inline]
+    pub fn try_push(&mut self, value: T) -> Result<Option<T>, PortClosed> {
+        match self.producer().try_push(value) {
+            Ok(()) => Ok(None),
+            Err(TryPushError::Full(v)) => Ok(Some(v)),
+            Err(TryPushError::Closed(_)) => Err(PortClosed),
+        }
+    }
+
+    /// Blocking batch push: all of `items` are sent, under as few lock
+    /// acquisitions as possible. Errs only if the downstream kernel is
+    /// gone (remaining items stay in `items`).
+    #[inline]
+    pub fn push_batch(&mut self, items: &mut Vec<T>) -> Result<(), PortClosed> {
+        self.producer().push_batch(items).map_err(|_| PortClosed)
+    }
+
+    /// In-place allocation — the paper's `allocate_s`: mutate the guard,
+    /// and the element is sent when it drops.
+    #[inline]
+    pub fn allocate(&mut self) -> Result<WriteGuard<'_, T>, PortClosed>
+    where
+        T: Default,
+    {
+        self.producer().allocate().map_err(|_| PortClosed)
+    }
+
+    /// Elements currently queued downstream.
+    #[inline]
+    pub fn occupancy(&mut self) -> usize {
+        self.producer().occupancy()
+    }
+
+    /// Current queue capacity.
+    #[inline]
+    pub fn capacity(&mut self) -> usize {
+        self.producer().capacity()
+    }
+
+    /// `true` once the consumer endpoint dropped.
+    #[inline]
+    pub fn is_closed(&mut self) -> bool {
+        self.producer().is_closed()
+    }
+}

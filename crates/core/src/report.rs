@@ -1,0 +1,169 @@
+//! Human-readable telemetry rendering — the paper's visualization
+//! direction: "Future work in visualization could determine the best way
+//! to display this information to the user in order to improve their
+//! ability to act upon it" (§4.1).
+//!
+//! [`render`] turns an [`ExeReport`] into a fixed-width text dashboard:
+//! per-kernel service statistics, per-stream occupancy (mean, utilization,
+//! log2 histogram sparkline), the resize and width-change logs. Everything
+//! is plain text so it works in terminals, logs, and CI output.
+
+use std::fmt::Write as _;
+
+use crate::runtime::ExeReport;
+
+/// Bars used for the occupancy-histogram sparkline (8 levels).
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a log2 occupancy histogram as a sparkline (one glyph per
+/// occupied bucket range, `·` for empty buckets up to the last used one).
+pub fn sparkline(hist: &[u64]) -> String {
+    let last_used = match hist.iter().rposition(|&c| c > 0) {
+        Some(i) => i,
+        None => return String::from("(no samples)"),
+    };
+    let max = *hist.iter().max().unwrap() as f64;
+    hist[..=last_used]
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                '·'
+            } else {
+                let level = ((c as f64 / max) * 7.0).round() as usize;
+                SPARKS[level.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Render the full dashboard.
+pub fn render(report: &ExeReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "══ raftlib run report ({:?}) ══", report.elapsed);
+
+    let _ = writeln!(out, "\nkernels ({}):", report.kernels.len());
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>10} {:>12} {:>12}",
+        "name", "runs", "busy", "ns/run"
+    );
+    for k in &report.kernels {
+        let ns_per_run = (k.busy.as_nanos() as u64).checked_div(k.runs).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>10} {:>12?} {:>12}{}",
+            truncate(&k.name, 28),
+            k.runs,
+            k.busy,
+            ns_per_run,
+            if k.panicked { "  ⚠ PANICKED" } else { "" }
+        );
+    }
+
+    let _ = writeln!(out, "\nstreams ({}):", report.edges.len());
+    let _ = writeln!(
+        out,
+        "  {:<44} {:>9} {:>7} {:>9} {:>8}  occupancy (log2 buckets)",
+        "edge", "items", "cap", "mean occ", "resizes"
+    );
+    for e in &report.edges {
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>9} {:>7} {:>9.1} {:>8}  {}",
+            truncate(&e.name, 44),
+            e.stats.popped,
+            e.stats.capacity,
+            e.stats.mean_occupancy,
+            e.stats.resizes,
+            sparkline(&e.stats.occupancy_hist)
+        );
+    }
+
+    if !report.replicated.is_empty() {
+        let _ = writeln!(out, "\nreplicated kernels:");
+        for (name, w) in &report.replicated {
+            let _ = writeln!(out, "  {name} × {w}");
+        }
+    }
+    if !report.resize_events.is_empty() {
+        let _ = writeln!(out, "\nresize log ({} events):", report.resize_events.len());
+        for ev in report.resize_events.iter().take(12) {
+            let _ = writeln!(
+                out,
+                "  {:>10.3?}  {:<44} {:>6} → {:<6} {:?}",
+                ev.at,
+                truncate(&ev.edge_name, 44),
+                ev.old_capacity,
+                ev.new_capacity,
+                ev.reason
+            );
+        }
+        if report.resize_events.len() > 12 {
+            let _ = writeln!(out, "  … {} more", report.resize_events.len() - 12);
+        }
+    }
+    if !report.width_events.is_empty() {
+        let _ = writeln!(out, "\nwidth changes:");
+        for ev in &report.width_events {
+            let _ = writeln!(
+                out,
+                "  {:>10.3?}  {} {} → {}",
+                ev.at, ev.split, ev.old_width, ev.new_width
+            );
+        }
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[0, 0, 0]), "(no samples)");
+        let s = sparkline(&[8, 0, 4, 1]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('█'));
+        assert!(s.contains('·'));
+        // trailing empty buckets are dropped
+        assert_eq!(sparkline(&[1, 0, 0, 0]).chars().count(), 1);
+    }
+
+    #[test]
+    fn truncate_behaviour() {
+        assert_eq!(truncate("short", 10), "short");
+        assert_eq!(truncate("exactly-10", 10), "exactly-10");
+        let t = truncate("much-longer-than-ten", 10);
+        assert_eq!(t.chars().count(), 10);
+        assert!(t.ends_with('…'));
+    }
+
+    #[test]
+    fn renders_a_real_report() {
+        use crate::prelude::*;
+        use crate::lambda::{lambda_sink, lambda_source};
+        let mut map = RaftMap::new();
+        let mut i = 0u64;
+        let src = map.add(lambda_source(move || {
+            i += 1;
+            (i <= 100).then_some(i)
+        }));
+        let sink = map.add(lambda_sink(|_v: u64| {}));
+        map.link(src, "0", sink, "0").unwrap();
+        let report = map.exe().unwrap();
+        let text = render(&report);
+        assert!(text.contains("raftlib run report"));
+        assert!(text.contains("lambda-source"));
+        assert!(text.contains("streams (1):"));
+        assert!(text.contains("100")); // item count appears
+    }
+}

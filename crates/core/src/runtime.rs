@@ -1,0 +1,499 @@
+//! `exe()` — validation, parallelization planning, stream allocation,
+//! execution, and the final report.
+//!
+//! The paper (§4): "When the user runs the exe() function of map object, the
+//! graph is first checked to ensure it is fully connected, then type
+//! checking is performed across each link. Before a link allocation type is
+//! selected ... each kernel is mapped to a resource. ... Once memory is
+//! allocated for each link, a thread continuously monitors all the queues
+//! within the system and reallocates them as needed."
+//!
+//! Type checking already happened at `link` time; this module performs the
+//! remaining steps in order: connectivity validation → automatic
+//! parallelization (replica expansion with split/reduce insertion) → FIFO
+//! allocation → monitor start → scheduling → join → report.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use raft_buffer::fifo::Monitorable;
+use raft_buffer::StatsSnapshot;
+
+use crate::error::ExeError;
+use crate::kernel::Kernel;
+use crate::map::{KernelEntry, LinkEntry, RaftMap};
+use crate::monitor::{self, ResizeEvent, WidthEvent, WidthTarget};
+use crate::parallel::WidthControl;
+use crate::port::Context;
+use crate::scheduler::{
+    ChainedPool, CooperativePool, KernelRunner, KernelTelemetry, PartitionedPool, Scheduler,
+    SchedulerKind, ThreadPerKernel,
+};
+
+/// Named erased input endpoint plus its monitor handle.
+type InputBinding = (String, crate::port::AnyEndpoint, Arc<dyn Monitorable>);
+
+/// Final statistics of one stream.
+#[derive(Debug, Clone)]
+pub struct EdgeReport {
+    /// `src.port -> dst.port`.
+    pub name: String,
+    /// Snapshot at shutdown.
+    pub stats: StatsSnapshot,
+}
+
+/// Final statistics of one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Display name.
+    pub name: String,
+    /// Completed `run()` calls.
+    pub runs: u64,
+    /// Time spent inside `run()` (zero if timing was disabled).
+    pub busy: Duration,
+    /// `true` if this kernel panicked.
+    pub panicked: bool,
+}
+
+/// Everything `exe()` reports back (the paper's observable statistics:
+/// queue occupancy, service rates, throughput, histograms, resize log).
+#[derive(Debug, Clone)]
+pub struct ExeReport {
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Per-stream statistics.
+    pub edges: Vec<EdgeReport>,
+    /// Per-kernel statistics.
+    pub kernels: Vec<KernelReport>,
+    /// Dynamic resize log.
+    pub resize_events: Vec<ResizeEvent>,
+    /// Dynamic replication-width log.
+    pub width_events: Vec<WidthEvent>,
+    /// Kernels that were expanded, with their replica counts.
+    pub replicated: Vec<(String, u32)>,
+}
+
+impl ExeReport {
+    /// Total dynamic resizes across all streams.
+    pub fn total_resizes(&self) -> u64 {
+        self.edges.iter().map(|e| e.stats.resizes).sum()
+    }
+
+    /// Total elements that crossed all streams.
+    pub fn total_items(&self) -> u64 {
+        self.edges.iter().map(|e| e.stats.popped).sum()
+    }
+
+    /// Find an edge report whose name contains `needle`.
+    pub fn edge(&self, needle: &str) -> Option<&EdgeReport> {
+        self.edges.iter().find(|e| e.name.contains(needle))
+    }
+
+    /// Find a kernel report whose name contains `needle`.
+    pub fn kernel(&self, needle: &str) -> Option<&KernelReport> {
+        self.kernels.iter().find(|k| k.name.contains(needle))
+    }
+}
+
+/// Execute a map to completion (no deadline).
+pub fn execute(map: RaftMap) -> Result<ExeReport, ExeError> {
+    execute_with_deadline(map, None)
+}
+
+/// Execute a map; if `deadline` elapses first, raise the cooperative stop
+/// flag so sources wind down.
+pub fn execute_with_deadline(
+    mut map: RaftMap,
+    deadline: Option<Duration>,
+) -> Result<ExeReport, ExeError> {
+    if map.kernels.is_empty() {
+        return Err(ExeError::EmptyMap);
+    }
+    validate_connected(&map)?;
+    let planned_splits = expand_replicas(&mut map);
+    let replicated = planned_splits
+        .iter()
+        .map(|p| (p.original_name.clone(), p.width))
+        .collect::<Vec<_>>();
+
+    // --- allocate one FIFO per link -------------------------------------
+    let n_kernels = map.kernels.len();
+    let mut inputs_of: Vec<Vec<InputBinding>> = (0..n_kernels).map(|_| Vec::new()).collect();
+    let mut outputs_of: Vec<Vec<(String, crate::port::AnyEndpoint)>> =
+        (0..n_kernels).map(|_| Vec::new()).collect();
+    let mut edge_names: Vec<String> = Vec::new();
+    let mut edge_fifos: Vec<Arc<dyn Monitorable>> = Vec::new();
+    // (edge index of split input, split kernel idx) resolution for widths
+    let mut edge_endpoints: Vec<(usize, usize)> = Vec::new(); // (src, dst)
+
+    let mut out_fifos_of: Vec<Vec<Arc<dyn Monitorable>>> =
+        (0..n_kernels).map(|_| Vec::new()).collect();
+    for link in &map.links {
+        let src = &map.kernels[link.src];
+        let dst = &map.kernels[link.dst];
+        let out_def = &src.spec.outputs[link.src_port];
+        let in_def = &dst.spec.inputs[link.dst_port];
+        let cfg = link.fifo.unwrap_or(map.cfg.fifo);
+        let (producer, consumer, fifo) = (out_def.fifo_factory)(cfg);
+        let name = format!(
+            "{}.{} -> {}.{}",
+            src.name, out_def.name, dst.name, in_def.name
+        );
+        edge_names.push(name);
+        edge_fifos.push(fifo.clone());
+        edge_endpoints.push((link.src, link.dst));
+        outputs_of[link.src].push((out_def.name.clone(), producer));
+        out_fifos_of[link.src].push(fifo.clone());
+        inputs_of[link.dst].push((in_def.name.clone(), consumer, fifo));
+    }
+
+    // --- width targets for the optimizer ---------------------------------
+    let width_targets: Vec<WidthTarget> = planned_splits
+        .into_iter()
+        .filter_map(|p| {
+            let input_edge = map
+                .links
+                .iter()
+                .position(|l| l.dst == p.split_idx)
+                .map(|i| edge_fifos[i].clone())?;
+            let replica_inputs: Vec<Arc<dyn Monitorable>> = map
+                .links
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.src == p.split_idx)
+                .map(|(i, _)| edge_fifos[i].clone())
+                .collect();
+            Some(WidthTarget {
+                control: p.control,
+                input: input_edge,
+                replica_inputs,
+                name: p.original_name,
+            })
+        })
+        .collect();
+
+    // --- contexts & runners ----------------------------------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut runners = Vec::with_capacity(n_kernels);
+    let mut telemetries = Vec::with_capacity(n_kernels);
+    let mut names = Vec::with_capacity(n_kernels);
+    let input_iters = inputs_of.into_iter();
+    let output_iters = outputs_of.into_iter();
+    // Successor table for the cache-aware chained scheduler, plus a link
+    // snapshot the partitioned scheduler maps over.
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n_kernels];
+    for link in &map.links {
+        if !successors[link.src].contains(&link.dst) {
+            successors[link.src].push(link.dst);
+        }
+    }
+    let links_snapshot: Vec<(usize, usize)> =
+        map.links.iter().map(|l| (l.src, l.dst)).collect();
+    for ((((entry, inputs), outputs), succ), out_fifos) in map
+        .kernels
+        .into_iter()
+        .zip(input_iters)
+        .zip(output_iters)
+        .zip(successors)
+        .zip(out_fifos_of)
+    {
+        let KernelEntry { kernel, name, .. } = entry;
+        let input_fifos: Vec<Arc<dyn Monitorable>> =
+            inputs.iter().map(|(_, _, f)| f.clone()).collect();
+        let ctx = Context::new(name.clone(), inputs, outputs, stop.clone());
+        let telemetry = Arc::new(KernelTelemetry::default());
+        telemetries.push(telemetry.clone());
+        names.push(name.clone());
+        runners.push(KernelRunner {
+            name,
+            kernel,
+            ctx,
+            input_fifos,
+            telemetry,
+            successors: succ,
+            output_fifos: out_fifos,
+        });
+    }
+
+    // --- monitor -----------------------------------------------------------
+    let monitor_fifos: Vec<(String, Arc<dyn Monitorable>)> = edge_names
+        .iter()
+        .cloned()
+        .zip(edge_fifos.iter().cloned())
+        .collect();
+    let monitor_handle = monitor::spawn(map.cfg.monitor.clone(), monitor_fifos, width_targets);
+
+    // --- watchdog ----------------------------------------------------------
+    let watchdog = deadline.map(|d| {
+        let stop = stop.clone();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let cancel2 = cancel.clone();
+        let handle = std::thread::spawn(move || {
+            let end = Instant::now() + d;
+            while Instant::now() < end {
+                if cancel2.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1).min(d));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        (cancel, handle)
+    });
+
+    // --- run ---------------------------------------------------------------
+    let timing = true;
+    let started = Instant::now();
+    let outcomes = match map.cfg.scheduler {
+        SchedulerKind::ThreadPerKernel => {
+            ThreadPerKernel { timing }.execute(runners, stop.clone())
+        }
+        SchedulerKind::Pool { workers } => CooperativePool {
+            workers,
+            timing,
+            quantum: 32,
+        }
+        .execute(runners, stop.clone()),
+        SchedulerKind::Chained { workers } => ChainedPool {
+            workers,
+            timing,
+            quantum: 32,
+        }
+        .execute(runners, stop.clone()),
+        SchedulerKind::Partitioned { workers } => {
+            // §4.1's mapping: partition the kernel graph across workers
+            // (here each worker is one latency domain leaf).
+            let mut comm = crate::mapper::CommGraph::new(runners.len());
+            for l in &links_snapshot {
+                if l.0 != l.1 {
+                    comm.add_edge(l.0, l.1, 1);
+                }
+            }
+            let topo = crate::mapper::Domain::symmetric_host("pool", workers.max(1), 100);
+            let mapping = crate::mapper::map_kernels(&comm, &topo);
+            let partition: Vec<usize> = mapping
+                .assignment
+                .iter()
+                .map(|r| {
+                    r.name
+                        .rsplit("core")
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0)
+                })
+                .collect();
+            PartitionedPool {
+                partition,
+                workers,
+                timing,
+                quantum: 32,
+            }
+            .execute(runners, stop.clone())
+        }
+    };
+    let elapsed = started.elapsed();
+    if let Some((cancel, handle)) = watchdog {
+        cancel.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    let (resize_events, width_events) = monitor_handle.finish();
+
+    // --- report ------------------------------------------------------------
+    let edges = edge_names
+        .into_iter()
+        .zip(edge_fifos.iter())
+        .map(|(name, f)| EdgeReport {
+            name,
+            stats: f.snapshot(),
+        })
+        .collect();
+    let _ = edge_endpoints;
+    let panicked: Vec<String> = outcomes
+        .iter()
+        .filter(|o| o.panicked)
+        .map(|o| o.name.clone())
+        .collect();
+    let kernels = names
+        .into_iter()
+        .zip(telemetries)
+        .map(|(name, t)| {
+            let panicked = panicked.contains(&name);
+            KernelReport {
+                runs: t.runs.load(Ordering::Relaxed),
+                busy: Duration::from_nanos(t.busy_ns.load(Ordering::Relaxed)),
+                name,
+                panicked,
+            }
+        })
+        .collect();
+
+    let report = ExeReport {
+        elapsed,
+        edges,
+        kernels,
+        resize_events,
+        width_events,
+        replicated,
+    };
+    if panicked.is_empty() {
+        Ok(report)
+    } else {
+        Err(ExeError::KernelPanicked { kernels: panicked })
+    }
+}
+
+/// Every declared port must be connected (§4.2: the graph is checked to be
+/// fully connected before execution).
+fn validate_connected(map: &RaftMap) -> Result<(), ExeError> {
+    for (ki, entry) in map.kernels.iter().enumerate() {
+        for (pi, def) in entry.spec.inputs.iter().enumerate() {
+            if !map.links.iter().any(|l| l.dst == ki && l.dst_port == pi) {
+                return Err(ExeError::UnconnectedPort {
+                    kernel: entry.name.clone(),
+                    port: def.name.clone(),
+                    is_input: true,
+                });
+            }
+        }
+        for (pi, def) in entry.spec.outputs.iter().enumerate() {
+            if !map.links.iter().any(|l| l.src == ki && l.src_port == pi) {
+                return Err(ExeError::UnconnectedPort {
+                    kernel: entry.name.clone(),
+                    port: def.name.clone(),
+                    is_input: false,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+struct PlannedSplit {
+    split_idx: usize,
+    width: u32,
+    control: WidthControl,
+    original_name: String,
+}
+
+/// Expand every eligible kernel into `width` replicas with split/reduce
+/// adapters (§4.1). Mutates the map's kernel and link tables in place.
+fn expand_replicas(map: &mut RaftMap) -> Vec<PlannedSplit> {
+    let mut planned = Vec::new();
+    let auto = map.cfg.parallel.enabled;
+    let default_width = map.cfg.parallel.max_width.max(1);
+    let strategy = map.cfg.parallel.strategy;
+
+    // Snapshot candidate list first; expansion appends kernels/links.
+    let candidates: Vec<usize> = (0..map.kernels.len()).collect();
+    for k in candidates {
+        let width = match map.kernels[k].width_hint {
+            Some(w) => w,
+            None if auto => default_width,
+            None => 1,
+        };
+        if width <= 1 {
+            continue;
+        }
+        // Eligibility: exactly one input and one output...
+        if map.kernels[k].spec.inputs.len() != 1 || map.kernels[k].spec.outputs.len() != 1 {
+            continue;
+        }
+        // ...whose streams are both out-of-order safe...
+        let in_link = map.links.iter().position(|l| l.dst == k);
+        let out_link = map.links.iter().position(|l| l.src == k);
+        let (Some(in_idx), Some(out_idx)) = (in_link, out_link) else {
+            continue;
+        };
+        if map.links[in_idx].ordered || map.links[out_idx].ordered {
+            continue;
+        }
+        // ...and the kernel can produce replicas.
+        let Some(first_replica) = map.kernels[k].kernel.clone_replica() else {
+            continue;
+        };
+
+        let original_name = map.kernels[k].name.clone();
+        let in_def = &map.kernels[k].spec.inputs[0];
+        let out_def = &map.kernels[k].spec.outputs[0];
+        let in_adapters = (in_def.adapters)();
+        let out_adapters = (out_def.adapters)();
+        let in_port_name = in_def.name.clone();
+        let out_port_name = out_def.name.clone();
+
+        // Build adapters.
+        let (split_kernel, control) = (in_adapters.split)(width as usize, strategy);
+        if let Some(start) = map.kernels[k].start_width {
+            control.set(start);
+        }
+        let reduce_kernel = (out_adapters.reduce)(width as usize);
+        let split_idx = push_kernel(map, split_kernel, &format!("{original_name}-split"));
+        let reduce_idx = push_kernel(map, reduce_kernel, &format!("{original_name}-reduce"));
+
+        // Replicas: the original kernel is replica 0; the eligibility clone
+        // becomes replica 1 and further clones fill the rest.
+        let mut first_replica = Some(first_replica);
+        let mut replica_idxs = vec![k];
+        for r in 1..width {
+            let replica = match first_replica.take() {
+                Some(fr) => fr,
+                None => map.kernels[k]
+                    .kernel
+                    .clone_replica()
+                    .expect("clone_replica became None mid-expansion"),
+            };
+            let idx = push_kernel(map, replica, &format!("{original_name}-r{r}"));
+            replica_idxs.push(idx);
+        }
+
+        // Rewire: upstream -> split
+        let (in_ordered, in_fifo) = (map.links[in_idx].ordered, map.links[in_idx].fifo);
+        let (out_ordered, out_fifo) = (map.links[out_idx].ordered, map.links[out_idx].fifo);
+        map.links[in_idx].dst = split_idx;
+        map.links[in_idx].dst_port = 0; // split's single input "in"
+        // downstream <- reduce
+        map.links[out_idx].src = reduce_idx;
+        map.links[out_idx].src_port = 0; // reduce's single output "out"
+
+        // split.i -> replica_i.in ; replica_i.out -> reduce.i
+        for (i, &ri) in replica_idxs.iter().enumerate() {
+            map.links.push(LinkEntry {
+                src: split_idx,
+                src_port: i,
+                dst: ri,
+                dst_port: 0,
+                ordered: in_ordered,
+                fifo: in_fifo,
+            });
+            map.links.push(LinkEntry {
+                src: ri,
+                src_port: 0,
+                dst: reduce_idx,
+                dst_port: i,
+                ordered: out_ordered,
+                fifo: out_fifo,
+            });
+        }
+        let _ = (in_port_name, out_port_name);
+
+        planned.push(PlannedSplit {
+            split_idx,
+            width,
+            control,
+            original_name,
+        });
+    }
+    planned
+}
+
+fn push_kernel(map: &mut RaftMap, kernel: Box<dyn Kernel>, name: &str) -> usize {
+    let spec = kernel.ports();
+    map.kernels.push(KernelEntry {
+        kernel,
+        spec,
+        name: format!("{name}#{}", map.kernels.len()),
+        width_hint: None,
+        start_width: None,
+    });
+    map.kernels.len() - 1
+}

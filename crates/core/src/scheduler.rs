@@ -1,0 +1,534 @@
+//! Kernel scheduling.
+//!
+//! The paper: "The initial scheduling algorithm for threads and processes is
+//! simply the default thread-level scheduler provided by the underlying
+//! operating system. ... RaftLib, of course, allows the substitution of any
+//! scheduler desired." (§4.1)
+//!
+//! Two schedulers ship here behind the [`Scheduler`] trait:
+//!
+//! * [`ThreadPerKernel`] — the paper's default: every kernel is an
+//!   independent execution unit (an OS thread); blocking port operations
+//!   simply block that thread and the OS multiplexes.
+//! * [`CooperativePool`] — a fixed pool of workers that round-robin ready
+//!   kernels. "Ready" = every input stream has data or ended, so a
+//!   well-behaved kernel (consuming at most one item per input per `run`)
+//!   never blocks a worker on an empty queue. This is both the pluggable
+//!   scheduler showcase and the way to emulate k-way placement on hosts
+//!   with few cores.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use raft_buffer::fifo::Monitorable;
+
+use crate::kernel::{KStatus, Kernel};
+use crate::port::Context;
+
+/// Which scheduler `exe()` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// One OS thread per kernel (the paper's default).
+    ThreadPerKernel,
+    /// Cooperative pool with a fixed worker count.
+    Pool {
+        /// Number of worker threads.
+        workers: usize,
+    },
+    /// Cache-aware cooperative pool (the paper's anticipated Agrawal,
+    /// Fineman & Maglalang \[3\] direction): after a kernel produces, the
+    /// worker immediately runs its downstream consumer so freshly written
+    /// stream data is consumed while still cache-hot.
+    Chained {
+        /// Number of worker threads.
+        workers: usize,
+    },
+    /// Mapper-driven pool: the kernel graph is partitioned across workers
+    /// with the paper's latency-priority bisection (§4.1's mapping
+    /// algorithm); each worker owns its partition exclusively, so heavily
+    /// communicating kernels share a worker ("place the fewest number of
+    /// streams over high latency connections").
+    Partitioned {
+        /// Number of worker threads (= partitions).
+        workers: usize,
+    },
+}
+
+/// Per-kernel execution counters (service statistics for the optimizer).
+#[derive(Debug, Default)]
+pub struct KernelTelemetry {
+    /// Number of completed `run()` invocations.
+    pub runs: AtomicU64,
+    /// Nanoseconds spent inside `run()`.
+    pub busy_ns: AtomicU64,
+}
+
+/// Everything needed to execute one kernel to completion.
+pub struct KernelRunner {
+    /// Display name.
+    pub name: String,
+    /// The kernel itself.
+    pub kernel: Box<dyn Kernel>,
+    /// Its bound ports.
+    pub ctx: Context,
+    /// Monitor handles of its input streams (readiness checks).
+    pub input_fifos: Vec<Arc<dyn Monitorable>>,
+    /// Service counters.
+    pub telemetry: Arc<KernelTelemetry>,
+    /// Indices (into the runner table) of downstream kernels — used by the
+    /// cache-aware chained scheduler to run consumers right after their
+    /// producer.
+    pub successors: Vec<usize>,
+    /// Monitor handles of this kernel's *output* streams: on panic the
+    /// runtime posts `Signal::Error` on each, so downstream kernels can
+    /// observe the failure out-of-band — the paper's "asynchronous
+    /// signaling pathway for global exception handling" (§4.2).
+    pub output_fifos: Vec<Arc<dyn Monitorable>>,
+}
+
+/// What happened to one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerOutcome {
+    /// Kernel display name.
+    pub name: String,
+    /// `true` if the kernel's `run()` panicked.
+    pub panicked: bool,
+}
+
+/// A scheduler executes a set of kernels to completion.
+pub trait Scheduler {
+    /// Run all kernels; return one outcome per kernel. `stop` is the
+    /// cooperative shutdown flag (set on panic or deadline).
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome>;
+}
+
+/// Drive a kernel for one quantum. Returns `None` while it wants more
+/// (`Proceed`), `Some(outcome)` when it stopped or panicked.
+fn step(runner: &mut KernelRunner, timing: bool) -> Option<bool> {
+    let started = timing.then(Instant::now);
+    let result = catch_unwind(AssertUnwindSafe(|| runner.kernel.run(&runner.ctx)));
+    if let Some(t0) = started {
+        runner
+            .telemetry
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    runner.telemetry.runs.fetch_add(1, Ordering::Relaxed);
+    match result {
+        Ok(KStatus::Proceed) => None,
+        Ok(KStatus::Stop) => Some(false),
+        Err(_) => {
+            // Asynchronous error propagation (§4.2's exception pathway):
+            // downstream kernels see Signal::Error out-of-band, ahead of
+            // whatever data is still queued.
+            for f in &runner.output_fifos {
+                f.post_async(raft_buffer::Signal::Error(1));
+            }
+            Some(true)
+        }
+    }
+}
+
+/// One OS thread per kernel.
+pub struct ThreadPerKernel {
+    /// Record per-run timing into [`KernelTelemetry::busy_ns`].
+    pub timing: bool,
+}
+
+impl Scheduler for ThreadPerKernel {
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome> {
+        let timing = self.timing;
+        let handles: Vec<_> = runners
+            .into_iter()
+            .map(|mut runner| {
+                let stop = stop.clone();
+                std::thread::Builder::new()
+                    .name(format!("raft-{}", runner.name))
+                    .spawn(move || {
+                        let panicked = loop {
+                            match step(&mut runner, timing) {
+                                Some(p) => break p,
+                                None => {
+                                    if stop.load(Ordering::Relaxed) && runner.ctx.input_count() == 0
+                                    {
+                                        // Sources wind down on global stop;
+                                        // other kernels drain naturally.
+                                        break false;
+                                    }
+                                }
+                            }
+                        };
+                        if panicked {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        // Dropping the runner drops its Context, closing all
+                        // endpoint handles: EoS propagates downstream.
+                        let name = runner.name.clone();
+                        drop(runner);
+                        RunnerOutcome { name, panicked }
+                    })
+                    .expect("spawn kernel thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(RunnerOutcome {
+                    name: "<unknown>".into(),
+                    panicked: true,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Cooperative fixed-size worker pool with readiness gating.
+pub struct CooperativePool {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Record per-run timing.
+    pub timing: bool,
+    /// `run()` calls per claim (amortizes queue locking).
+    pub quantum: u32,
+}
+
+struct PoolSlot {
+    runner: Option<KernelRunner>,
+}
+
+impl CooperativePool {
+    fn ready(runner: &KernelRunner) -> bool {
+        if runner.input_fifos.is_empty() {
+            return true; // sources are always ready
+        }
+        runner
+            .input_fifos
+            .iter()
+            .all(|f| f.occupancy() > 0 || f.is_finished())
+    }
+}
+
+impl Scheduler for CooperativePool {
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome> {
+        let n = runners.len();
+        let slots: Arc<Vec<Mutex<PoolSlot>>> = Arc::new(
+            runners
+                .into_iter()
+                .map(|r| Mutex::new(PoolSlot { runner: Some(r) }))
+                .collect(),
+        );
+        let outcomes: Arc<Mutex<Vec<RunnerOutcome>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        let remaining = Arc::new(AtomicU64::new(n as u64));
+        let timing = self.timing;
+        let quantum = self.quantum.max(1);
+
+        let workers: Vec<_> = (0..self.workers.max(1))
+            .map(|w| {
+                let slots = slots.clone();
+                let outcomes = outcomes.clone();
+                let remaining = remaining.clone();
+                let stop = stop.clone();
+                std::thread::Builder::new()
+                    .name(format!("raft-pool-{w}"))
+                    .spawn(move || {
+                        let mut idle_spins = 0u32;
+                        while remaining.load(Ordering::Relaxed) > 0 {
+                            let mut progressed = false;
+                            for slot in slots.iter() {
+                                // Claim without blocking: busy slots are
+                                // being run by another worker.
+                                let Some(mut guard) = slot.try_lock() else {
+                                    continue;
+                                };
+                                let Some(runner) = guard.runner.as_mut() else {
+                                    continue;
+                                };
+                                if !Self::ready(runner) {
+                                    continue;
+                                }
+                                let mut finished: Option<bool> = None;
+                                for _ in 0..quantum {
+                                    match step(runner, timing) {
+                                        Some(p) => {
+                                            finished = Some(p);
+                                            break;
+                                        }
+                                        None => {
+                                            progressed = true;
+                                            if !Self::ready(runner) {
+                                                break;
+                                            }
+                                        }
+                                    }
+                                }
+                                if let Some(panicked) = finished {
+                                    let runner = guard.runner.take().unwrap();
+                                    let name = runner.name.clone();
+                                    drop(runner); // close endpoints -> EoS
+                                    if panicked {
+                                        stop.store(true, Ordering::Relaxed);
+                                    }
+                                    outcomes.lock().push(RunnerOutcome { name, panicked });
+                                    remaining.fetch_sub(1, Ordering::Relaxed);
+                                    progressed = true;
+                                }
+                            }
+                            if progressed {
+                                idle_spins = 0;
+                            } else {
+                                idle_spins += 1;
+                                if idle_spins > 64 {
+                                    std::thread::sleep(std::time::Duration::from_micros(100));
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        Arc::try_unwrap(outcomes)
+            .map(|m| m.into_inner())
+            .unwrap_or_default()
+    }
+}
+
+/// Mapper-partitioned pool: worker `w` exclusively runs the kernels whose
+/// partition is `w` (no cross-worker claiming, so no slot contention); each
+/// worker round-robins its own kernels with readiness gating.
+pub struct PartitionedPool {
+    /// `partition[k]` = worker index owning kernel `k`.
+    pub partition: Vec<usize>,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Record per-run timing.
+    pub timing: bool,
+    /// `run()` calls per visit.
+    pub quantum: u32,
+}
+
+impl Scheduler for PartitionedPool {
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome> {
+        assert_eq!(self.partition.len(), runners.len());
+        let workers = self.workers.max(1);
+        // Group runners per worker.
+        let mut groups: Vec<Vec<KernelRunner>> = (0..workers).map(|_| Vec::new()).collect();
+        for (runner, &p) in runners.into_iter().zip(&self.partition) {
+            groups[p.min(workers - 1)].push(runner);
+        }
+        let timing = self.timing;
+        let quantum = self.quantum.max(1);
+        let threads: Vec<_> = groups
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut mine)| {
+                let stop = stop.clone();
+                std::thread::Builder::new()
+                    .name(format!("raft-part-{w}"))
+                    .spawn(move || {
+                        let mut outcomes = Vec::with_capacity(mine.len());
+                        let mut idle_spins = 0u32;
+                        while !mine.is_empty() {
+                            let mut progressed = false;
+                            let mut i = 0;
+                            while i < mine.len() {
+                                if !CooperativePool::ready(&mine[i]) {
+                                    i += 1;
+                                    continue;
+                                }
+                                let mut finished: Option<bool> = None;
+                                for _ in 0..quantum {
+                                    match step(&mut mine[i], timing) {
+                                        Some(p) => {
+                                            finished = Some(p);
+                                            break;
+                                        }
+                                        None => {
+                                            progressed = true;
+                                            if !CooperativePool::ready(&mine[i]) {
+                                                break;
+                                            }
+                                        }
+                                    }
+                                }
+                                if let Some(panicked) = finished {
+                                    let runner = mine.swap_remove(i);
+                                    let name = runner.name.clone();
+                                    drop(runner);
+                                    if panicked {
+                                        stop.store(true, Ordering::Relaxed);
+                                    }
+                                    outcomes.push(RunnerOutcome { name, panicked });
+                                    progressed = true;
+                                } else {
+                                    i += 1;
+                                }
+                            }
+                            if progressed {
+                                idle_spins = 0;
+                            } else {
+                                idle_spins += 1;
+                                if idle_spins > 64 {
+                                    std::thread::sleep(std::time::Duration::from_micros(100));
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        outcomes
+                    })
+                    .expect("spawn partition worker")
+            })
+            .collect();
+        let mut all = Vec::new();
+        for t in threads {
+            if let Ok(mut o) = t.join() {
+                all.append(&mut o);
+            }
+        }
+        all
+    }
+}
+
+/// Cache-aware chained pool: identical claiming/readiness machinery to
+/// [`CooperativePool`], but after a kernel makes progress the worker jumps
+/// straight to that kernel's successors (depth-first down the pipeline)
+/// instead of resuming the round-robin sweep — data written to a stream is
+/// consumed while the cache lines are still warm.
+pub struct ChainedPool {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Record per-run timing.
+    pub timing: bool,
+    /// `run()` calls per claim.
+    pub quantum: u32,
+}
+
+impl Scheduler for ChainedPool {
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome> {
+        let n = runners.len();
+        let successors: Vec<Vec<usize>> = runners.iter().map(|r| r.successors.clone()).collect();
+        let slots: Arc<Vec<Mutex<PoolSlot>>> = Arc::new(
+            runners
+                .into_iter()
+                .map(|r| Mutex::new(PoolSlot { runner: Some(r) }))
+                .collect(),
+        );
+        let outcomes: Arc<Mutex<Vec<RunnerOutcome>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        let remaining = Arc::new(AtomicU64::new(n as u64));
+        let timing = self.timing;
+        let quantum = self.quantum.max(1);
+        let successors = Arc::new(successors);
+
+        let workers: Vec<_> = (0..self.workers.max(1))
+            .map(|w| {
+                let slots = slots.clone();
+                let outcomes = outcomes.clone();
+                let remaining = remaining.clone();
+                let stop = stop.clone();
+                let successors = successors.clone();
+                std::thread::Builder::new()
+                    .name(format!("raft-chain-{w}"))
+                    .spawn(move || {
+                        let mut idle_spins = 0u32;
+                        // Start each worker at a different offset so they
+                        // begin on different chains.
+                        let mut cursor = w % slots.len().max(1);
+                        while remaining.load(Ordering::Relaxed) > 0 {
+                            let mut progressed = false;
+                            // One full sweep, but each productive kernel
+                            // chains into its successors first.
+                            for probe in 0..slots.len() {
+                                let start = (cursor + probe) % slots.len();
+                                // Depth-first chain walk from `start`.
+                                let mut chain = vec![start];
+                                while let Some(i) = chain.pop() {
+                                    let Some(mut guard) = slots[i].try_lock() else {
+                                        continue;
+                                    };
+                                    let Some(runner) = guard.runner.as_mut() else {
+                                        continue;
+                                    };
+                                    if !CooperativePool::ready(runner) {
+                                        continue;
+                                    }
+                                    let mut finished: Option<bool> = None;
+                                    for _ in 0..quantum {
+                                        match step(runner, timing) {
+                                            Some(p) => {
+                                                finished = Some(p);
+                                                break;
+                                            }
+                                            None => {
+                                                progressed = true;
+                                                if !CooperativePool::ready(runner) {
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    if let Some(panicked) = finished {
+                                        let runner = guard.runner.take().unwrap();
+                                        let name = runner.name.clone();
+                                        drop(runner);
+                                        if panicked {
+                                            stop.store(true, Ordering::Relaxed);
+                                        }
+                                        outcomes.lock().push(RunnerOutcome { name, panicked });
+                                        remaining.fetch_sub(1, Ordering::Relaxed);
+                                        progressed = true;
+                                    } else if progressed {
+                                        // Chase the data downstream: the
+                                        // cache-aware step.
+                                        for &s in &successors[i] {
+                                            chain.push(s);
+                                        }
+                                    }
+                                    drop(guard);
+                                }
+                            }
+                            cursor = (cursor + 1) % slots.len().max(1);
+                            if progressed {
+                                idle_spins = 0;
+                            } else {
+                                idle_spins += 1;
+                                if idle_spins > 64 {
+                                    std::thread::sleep(std::time::Duration::from_micros(100));
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn chained worker")
+            })
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        Arc::try_unwrap(outcomes)
+            .map(|m| m.into_inner())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kind_is_copy() {
+        let k = SchedulerKind::Pool { workers: 2 };
+        let k2 = k;
+        assert_eq!(k, k2);
+        let c = SchedulerKind::Chained { workers: 1 };
+        assert_ne!(k, c);
+    }
+}

@@ -1,0 +1,168 @@
+//! Zero-copy byte-chunk streaming — the "Read File, Distribute" kernel of
+//! the paper's text-search topology (Figure 8).
+//!
+//! §5: "the file read exists as an independent kernel only momentarily as a
+//! notional data source since the run-time utilizes zero copy, and the file
+//! is directly read into the in-bound queues of each match kernel." Here
+//! the corpus lives once in an `Arc<Vec<u8>>`; what streams are
+//! [`ByteChunk`] descriptors (offsets into the shared buffer), so match
+//! kernels scan the original bytes in place.
+//!
+//! Chunks carry the overlap/ownership metadata of
+//! `raft_algos::split_chunks`-style scanning: `min_end` tells the scanner
+//! which matches this chunk owns (a match is reported by the chunk where it
+//! *ends*), so parallel replicas never double-count or miss boundary
+//! matches.
+
+use std::sync::Arc;
+
+use raftlib::prelude::*;
+
+/// A zero-copy view of part of a shared byte buffer.
+#[derive(Debug, Clone)]
+pub struct ByteChunk {
+    data: Arc<Vec<u8>>,
+    /// Chunk start in the shared buffer (includes the overlap prefix).
+    pub start: usize,
+    /// Chunk end (exclusive).
+    pub end: usize,
+    /// Report only matches whose chunk-relative end offset is `> min_end`.
+    pub min_end: usize,
+}
+
+impl Default for ByteChunk {
+    fn default() -> Self {
+        ByteChunk {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+            min_end: 0,
+        }
+    }
+}
+
+impl ByteChunk {
+    /// The chunk's bytes (no copy).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Offset of this chunk's first byte in the whole stream.
+    pub fn base(&self) -> u64 {
+        self.start as u64
+    }
+
+    /// Chunk length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Streams a shared corpus as fixed-size chunks with `overlap` bytes of
+/// look-back (Figure 8's first kernel).
+pub struct ByteChunkSource {
+    data: Arc<Vec<u8>>,
+    chunk_size: usize,
+    overlap: usize,
+    pos: usize,
+}
+
+impl ByteChunkSource {
+    /// Chunk `data` into `chunk_size`-byte logical pieces with `overlap`
+    /// bytes of look-back (use `matcher.overlap()`).
+    pub fn new(data: Arc<Vec<u8>>, chunk_size: usize, overlap: usize) -> Self {
+        ByteChunkSource {
+            data,
+            chunk_size: chunk_size.max(1),
+            overlap,
+            pos: 0,
+        }
+    }
+}
+
+impl Kernel for ByteChunkSource {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().output::<ByteChunk>("out")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        if self.pos >= self.data.len() || ctx.stop_requested() {
+            return KStatus::Stop;
+        }
+        let logical_end = (self.pos + self.chunk_size).min(self.data.len());
+        let start = self.pos.saturating_sub(self.overlap);
+        let chunk = ByteChunk {
+            data: self.data.clone(),
+            start,
+            end: logical_end,
+            min_end: self.pos - start,
+        };
+        let mut out = ctx.output::<ByteChunk>("out");
+        if out.push(chunk).is_err() {
+            return KStatus::Stop;
+        }
+        self.pos = logical_end;
+        KStatus::Proceed
+    }
+
+    fn name(&self) -> String {
+        "filereader".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::write_each;
+
+    #[test]
+    fn chunks_tile_the_buffer() {
+        let data = Arc::new((0..1000u32).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+        let mut map = RaftMap::new();
+        let src = map.add(ByteChunkSource::new(data.clone(), 64, 7));
+        let (we, handle) = write_each::<ByteChunk>();
+        let dst = map.add(we);
+        map.link(src, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        let chunks = handle.lock().unwrap();
+        let mut covered = 0usize;
+        for c in chunks.iter() {
+            assert_eq!(c.start + c.min_end, covered, "logical regions must tile");
+            assert!(c.min_end <= 7);
+            covered = c.end;
+            // zero copy: same allocation
+            assert!(Arc::ptr_eq(&c.data, &data));
+        }
+        assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn slice_views_match_source() {
+        let data = Arc::new(b"hello world".to_vec());
+        let mut map = RaftMap::new();
+        let src = map.add(ByteChunkSource::new(data, 4, 0));
+        let (we, handle) = write_each::<ByteChunk>();
+        let dst = map.add(we);
+        map.link(src, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        let chunks = handle.lock().unwrap();
+        let joined: Vec<u8> = chunks.iter().flat_map(|c| c.as_slice().to_vec()).collect();
+        assert_eq!(joined, b"hello world");
+    }
+
+    #[test]
+    fn empty_buffer_stops_immediately() {
+        let mut map = RaftMap::new();
+        let src = map.add(ByteChunkSource::new(Arc::new(Vec::new()), 64, 3));
+        let (we, handle) = write_each::<ByteChunk>();
+        let dst = map.add(we);
+        map.link(src, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        assert!(handle.lock().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # raft-kernels
+//!
+//! The standard kernel library for `raftlib`, reproducing the stock kernels
+//! the RaftLib paper uses in its examples and benchmark (§4.2, Figures 3,
+//! 5, 6, 9):
+//!
+//! * [`generate::Generate`] — bounded sources from iterators or generator
+//!   closures (the paper's random-number `generate` kernel);
+//! * [`sinks::Print`] / [`sinks::Collect`] / [`sinks::Count`] — stream
+//!   sinks, including the paper's `print` kernel;
+//! * [`containers::ReadEach`] / [`containers::WriteEach`] — C++
+//!   standard-library container integration (Figure 5): feed a stream from
+//!   any iterator, collect a stream back into a `Vec` the caller keeps a
+//!   handle to;
+//! * [`containers::ForEach`] — the zero-copy array source of Figure 6: the
+//!   array is shared (`Arc`), and what streams are `(range, Arc)` slices —
+//!   no element copying;
+//! * [`transforms::Map`] / [`transforms::FilterMap`] / [`transforms::Fold`]
+//!   — per-item transforms and the `reduce`-to-a-value kernel of Figure 6;
+//! * [`bytes::ByteChunkSource`] / [`bytes::ByteChunk`] — the "read file &
+//!   distribute" kernel of the text-search topology (Figure 8): shares one
+//!   in-memory corpus and streams zero-copy chunk descriptors;
+//! * [`routing::Tee`] / [`routing::Zip`] / [`routing::Take`] — stream
+//!   duplication, element-wise joining, truncation;
+//! * [`windows::SlidingWindow`] — the §3 sliding-window access pattern,
+//!   built on `peek_range`; [`windows::Batch`] / [`windows::Flatten`] —
+//!   grouping and ungrouping;
+//! * [`sequence::Stamp`] / [`sequence::Resequence`] — §4.1's third stream
+//!   discipline: process out of order (replicated), re-order downstream.
+
+pub mod bytes;
+pub mod routing;
+pub mod containers;
+pub mod generate;
+pub mod sequence;
+pub mod sinks;
+pub mod transforms;
+pub mod windows;
+
+pub use bytes::{ByteChunk, ByteChunkSource};
+pub use containers::{for_each, read_each, write_each, CollectHandle, ForEach, ReadEach, WriteEach};
+pub use generate::Generate;
+pub use sinks::{Collect, Count, Print};
+pub use routing::{Take, Tee, Zip};
+pub use sequence::{map_seq, Resequence, Seq, Stamp};
+pub use transforms::{FilterMap, Fold, FoldHandle, Map};
+pub use windows::{Batch, Flatten, SlidingWindow};

@@ -1,0 +1,226 @@
+//! Stream routing kernels: duplicate, join, truncate.
+
+use raftlib::prelude::*;
+
+/// Duplicates every input item onto two output streams ("0" and "1").
+/// Requires `T: Clone` — one copy per extra consumer is the price of
+/// fan-out without shared ownership.
+pub struct Tee<T: Send + Clone + 'static> {
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Send + Clone + 'static> Default for Tee<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + Clone + 'static> Tee<T> {
+    /// New tee kernel.
+    pub fn new() -> Self {
+        Tee {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> Kernel for Tee<T> {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new()
+            .input::<T>("in")
+            .output::<T>("0")
+            .output::<T>("1")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        let mut input = ctx.input::<T>("in");
+        match input.pop() {
+            Ok(v) => {
+                drop(input);
+                let mut a = ctx.output::<T>("0");
+                let ok_a = a.push(v.clone()).is_ok();
+                drop(a);
+                let mut b = ctx.output::<T>("1");
+                let ok_b = b.push(v).is_ok();
+                if !ok_a && !ok_b {
+                    return KStatus::Stop; // both consumers gone
+                }
+                KStatus::Proceed
+            }
+            Err(_) => KStatus::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        "tee".to_string()
+    }
+}
+
+/// Joins two streams element-wise into pairs, stopping with the shorter
+/// one — the stream analog of `Iterator::zip`.
+pub struct Zip<A: Send + 'static, B: Send + 'static> {
+    _marker: std::marker::PhantomData<fn(A, B)>,
+}
+
+impl<A: Send + 'static, B: Send + 'static> Default for Zip<A, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Send + 'static, B: Send + 'static> Zip<A, B> {
+    /// New zip kernel.
+    pub fn new() -> Self {
+        Zip {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A: Send + 'static, B: Send + 'static> Kernel for Zip<A, B> {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new()
+            .input::<A>("a")
+            .input::<B>("b")
+            .output::<(A, B)>("out")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        let mut a = ctx.input::<A>("a");
+        let mut b = ctx.input::<B>("b");
+        match (a.pop(), b.pop()) {
+            (Ok(x), Ok(y)) => {
+                drop((a, b));
+                let mut out = ctx.output::<(A, B)>("out");
+                if out.push((x, y)).is_err() {
+                    return KStatus::Stop;
+                }
+                KStatus::Proceed
+            }
+            _ => KStatus::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        "zip".to_string()
+    }
+}
+
+/// Forwards the first `n` items, then closes its output (and thereby tells
+/// the upstream kernels to stop via push failure).
+pub struct Take<T: Send + 'static> {
+    remaining: u64,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Send + 'static> Take<T> {
+    /// Forward `n` items then stop.
+    pub fn new(n: u64) -> Self {
+        Take {
+            remaining: n,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Send + 'static> Kernel for Take<T> {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<T>("in").output::<T>("out")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        if self.remaining == 0 {
+            return KStatus::Stop;
+        }
+        let mut input = ctx.input::<T>("in");
+        match input.pop() {
+            Ok(v) => {
+                drop(input);
+                let mut out = ctx.output::<T>("out");
+                if out.push(v).is_err() {
+                    return KStatus::Stop;
+                }
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    KStatus::Stop
+                } else {
+                    KStatus::Proceed
+                }
+            }
+            Err(_) => KStatus::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        "take".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::write_each;
+    use crate::generate::Generate;
+
+    #[test]
+    fn tee_duplicates_to_both_outputs() {
+        let mut map = RaftMap::new();
+        let src = map.add(Generate::new(0..100u32));
+        let tee = map.add(Tee::<u32>::new());
+        let (wa, out_a) = write_each::<u32>();
+        let (wb, out_b) = write_each::<u32>();
+        let da = map.add(wa);
+        let db = map.add(wb);
+        map.link(src, "out", tee, "in").unwrap();
+        map.link(tee, "0", da, "in").unwrap();
+        map.link(tee, "1", db, "in").unwrap();
+        map.exe().unwrap();
+        let expect: Vec<u32> = (0..100).collect();
+        assert_eq!(*out_a.lock().unwrap(), expect);
+        assert_eq!(*out_b.lock().unwrap(), expect);
+    }
+
+    #[test]
+    fn zip_pairs_streams() {
+        let mut map = RaftMap::new();
+        let a = map.add(Generate::new(0..50u32));
+        let b = map.add(Generate::new((0..100u32).map(|x| x as f64))); // longer
+        let zip = map.add(Zip::<u32, f64>::new());
+        let (we, out) = write_each::<(u32, f64)>();
+        let dst = map.add(we);
+        map.link(a, "out", zip, "a").unwrap();
+        map.link(b, "out", zip, "b").unwrap();
+        map.link(zip, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        let got = out.lock().unwrap();
+        // stops with the shorter stream
+        assert_eq!(got.len(), 50);
+        assert_eq!(got[10], (10, 10.0));
+    }
+
+    #[test]
+    fn take_truncates_infinite_stream() {
+        let mut map = RaftMap::new();
+        let src = map.add(Generate::new(0u64..)); // infinite
+        let take = map.add(Take::<u64>::new(25));
+        let (we, out) = write_each::<u64>();
+        let dst = map.add(we);
+        map.link(src, "out", take, "in").unwrap();
+        map.link(take, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        assert_eq!(*out.lock().unwrap(), (0..25).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn take_zero_forwards_nothing() {
+        let mut map = RaftMap::new();
+        let src = map.add(Generate::new(0..10u64));
+        let take = map.add(Take::<u64>::new(0));
+        let (we, out) = write_each::<u64>();
+        let dst = map.add(we);
+        map.link(src, "out", take, "in").unwrap();
+        map.link(take, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        assert!(out.lock().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-item transform kernels and the reduce-to-a-value kernel.
+
+use std::sync::{Arc, Mutex};
+
+use raftlib::prelude::*;
+
+/// Item-to-item transform kernel; replicable when the function is `Clone`
+/// (state-free transforms are the paper's prime candidates for automatic
+/// replication).
+pub struct Map<A, B, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(A) -> B>,
+}
+
+impl<A, B, F> Map<A, B, F>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(A) -> B + Clone + Send + 'static,
+{
+    /// Build from the transform function.
+    pub fn new(f: F) -> Self {
+        Map {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A, B, F> Kernel for Map<A, B, F>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(A) -> B + Clone + Send + 'static,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<A>("in").output::<B>("out")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        let mut input = ctx.input::<A>("in");
+        match input.pop() {
+            Ok(v) => {
+                drop(input);
+                let b = (self.f)(v);
+                let mut out = ctx.output::<B>("out");
+                if out.push(b).is_err() {
+                    return KStatus::Stop;
+                }
+                KStatus::Proceed
+            }
+            Err(_) => KStatus::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        "map".to_string()
+    }
+
+    fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
+        Some(Box::new(Map {
+            f: self.f.clone(),
+            _marker: std::marker::PhantomData,
+        }))
+    }
+}
+
+/// Filtering transform: items mapped to `None` are dropped — the
+/// "heuristically skipping" data-dependent behaviour the paper calls out in
+/// text search (§3).
+pub struct FilterMap<A, B, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(A) -> B>,
+}
+
+impl<A, B, F> FilterMap<A, B, F>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(A) -> Option<B> + Clone + Send + 'static,
+{
+    /// Build from the filtering function.
+    pub fn new(f: F) -> Self {
+        FilterMap {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A, B, F> Kernel for FilterMap<A, B, F>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(A) -> Option<B> + Clone + Send + 'static,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<A>("in").output::<B>("out")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        let mut input = ctx.input::<A>("in");
+        match input.pop() {
+            Ok(v) => {
+                drop(input);
+                if let Some(b) = (self.f)(v) {
+                    let mut out = ctx.output::<B>("out");
+                    if out.push(b).is_err() {
+                        return KStatus::Stop;
+                    }
+                }
+                KStatus::Proceed
+            }
+            Err(_) => KStatus::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        "filter_map".to_string()
+    }
+
+    fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
+        Some(Box::new(FilterMap {
+            f: self.f.clone(),
+            _marker: std::marker::PhantomData,
+        }))
+    }
+}
+
+/// Handle holding the final value of a [`Fold`] after `exe()`.
+pub type FoldHandle<B> = Arc<Mutex<B>>;
+
+/// Reduce a stream to a single value — the paper's Figure 6 `reduce< int,
+/// func >( val )`: "val now has the result".
+pub struct Fold<A, B, F> {
+    f: F,
+    acc: FoldHandle<B>,
+    _marker: std::marker::PhantomData<fn(A)>,
+}
+
+impl<A, B, F> Fold<A, B, F>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(&mut B, A) + Send + 'static,
+{
+    /// Build from the initial value and fold function; returns the kernel
+    /// and the handle the final value is read from.
+    pub fn new(init: B, f: F) -> (Self, FoldHandle<B>) {
+        let acc = Arc::new(Mutex::new(init));
+        (
+            Fold {
+                f,
+                acc: acc.clone(),
+                _marker: std::marker::PhantomData,
+            },
+            acc,
+        )
+    }
+}
+
+impl<A, B, F> Kernel for Fold<A, B, F>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(&mut B, A) + Send + 'static,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<A>("in")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        let mut input = ctx.input::<A>("in");
+        let mut local = Vec::new();
+        match input.pop_range(256, &mut local) {
+            Ok(_) => {
+                drop(input);
+                let mut acc = self.acc.lock().unwrap();
+                for v in local {
+                    (self.f)(&mut acc, v);
+                }
+                KStatus::Proceed
+            }
+            Err(_) => KStatus::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        "fold".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::Generate;
+
+    #[test]
+    fn map_transforms_every_item() {
+        let mut map = RaftMap::new();
+        let src = map.add(Generate::new(0..50u32));
+        let dbl = map.add(Map::new(|x: u32| x as u64 * 2));
+        let (we, handle) = crate::containers::write_each::<u64>();
+        let dst = map.add(we);
+        map.link(src, "out", dbl, "in").unwrap();
+        map.link(dbl, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        assert_eq!(
+            *handle.lock().unwrap(),
+            (0..50).map(|x| x * 2).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn filter_map_drops_items() {
+        let mut map = RaftMap::new();
+        let src = map.add(Generate::new(0..100u32));
+        let evens = map.add(FilterMap::new(|x: u32| x.is_multiple_of(2).then_some(x)));
+        let (we, handle) = crate::containers::write_each::<u32>();
+        let dst = map.add(we);
+        map.link(src, "out", evens, "in").unwrap();
+        map.link(evens, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        assert_eq!(handle.lock().unwrap().len(), 50);
+    }
+
+    /// The paper's Figure 6: array -> stream -> reduce to a single value.
+    #[test]
+    fn fold_reduces_to_value() {
+        let mut map = RaftMap::new();
+        let src = map.add(Generate::new(1..=100u64));
+        let (fold, result) = Fold::new(0u64, |acc: &mut u64, v: u64| *acc += v);
+        let dst = map.add(fold);
+        map.link(src, "out", dst, "in").unwrap();
+        map.exe().unwrap();
+        assert_eq!(*result.lock().unwrap(), 5050);
+    }
+
+    #[test]
+    fn map_is_replicable() {
+        let k = Map::new(|x: u8| x);
+        assert!(k.clone_replica().is_some());
+    }
+}

@@ -1,0 +1,334 @@
+//! Flow model of a streaming DAG.
+//!
+//! Beard & Chamberlain ("Analysis of a simple approach to modeling
+//! performance for streaming data applications", MASCOTS'13 — reference \[8\]
+//! of the paper) estimate whole-application throughput by propagating rates
+//! along the dataflow graph: each kernel forwards
+//! `min(arrival rate, service capacity) × selectivity` items per second, and
+//! the application's steady-state throughput is what arrives at the sinks.
+//!
+//! RaftLib uses this model (combined with search, §4.1) to drive replication
+//! and buffer decisions during execution; here it also generates the
+//! *modeled* series of the Figure 10 reproduction from measured single-core
+//! service rates.
+
+use std::collections::VecDeque;
+
+/// One kernel in the flow graph.
+#[derive(Debug, Clone)]
+pub struct FlowKernel {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Items/second one replica can service. `f64::INFINITY` for
+    /// effectively-free kernels (zero-copy sources, trivial sinks).
+    pub service_rate: f64,
+    /// Output items produced per input item consumed (text search: matches
+    /// per byte ≪ 1; a splitter >1). Sources use `selectivity` as their
+    /// absolute offered rate multiplier and should set it to 1.
+    pub selectivity: f64,
+    /// Number of parallel replicas (≥ 1).
+    pub replicas: u32,
+}
+
+impl FlowKernel {
+    /// Convenience constructor with one replica.
+    pub fn new(name: impl Into<String>, service_rate: f64, selectivity: f64) -> Self {
+        FlowKernel {
+            name: name.into(),
+            service_rate,
+            selectivity,
+            replicas: 1,
+        }
+    }
+
+    /// Builder: set the replica count.
+    pub fn with_replicas(mut self, replicas: u32) -> Self {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// Aggregate service capacity of all replicas.
+    pub fn capacity(&self) -> f64 {
+        self.service_rate * self.replicas as f64
+    }
+}
+
+/// A streaming application graph for flow analysis.
+#[derive(Debug, Clone, Default)]
+pub struct FlowGraph {
+    kernels: Vec<FlowKernel>,
+    /// Edges as (src, dst) kernel indices.
+    edges: Vec<(usize, usize)>,
+    /// Offered (source) rate for kernels with no inbound edges.
+    source_rates: Vec<Option<f64>>,
+}
+
+/// Result of a flow analysis.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Departure rate of every kernel (items/sec leaving it).
+    pub departure: Vec<f64>,
+    /// Utilization of every kernel: arrival rate / aggregate capacity.
+    pub utilization: Vec<f64>,
+    /// Sum of departure rates at sink kernels — the application throughput.
+    pub throughput: f64,
+    /// Index of the kernel with the highest utilization (the bottleneck).
+    pub bottleneck: Option<usize>,
+}
+
+impl FlowGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a kernel, returning its index.
+    pub fn add_kernel(&mut self, k: FlowKernel) -> usize {
+        self.kernels.push(k);
+        self.source_rates.push(None);
+        self.kernels.len() - 1
+    }
+
+    /// Connect kernel `src` to kernel `dst`.
+    pub fn add_edge(&mut self, src: usize, dst: usize) {
+        assert!(src < self.kernels.len() && dst < self.kernels.len());
+        self.edges.push((src, dst));
+    }
+
+    /// Declare the offered input rate of a source kernel (items/sec
+    /// available to it, e.g. bytes/sec a file reader can deliver).
+    pub fn set_source_rate(&mut self, kernel: usize, rate: f64) {
+        self.source_rates[kernel] = Some(rate);
+    }
+
+    /// Kernel accessor (used when adjusting replicas between analyses).
+    pub fn kernel_mut(&mut self, i: usize) -> &mut FlowKernel {
+        &mut self.kernels[i]
+    }
+
+    /// Number of kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// `true` if the graph has no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Topological order; `None` if the graph has a cycle (flow analysis
+    /// requires a DAG).
+    fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.kernels.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(s, d) in &self.edges {
+            indeg[d] += 1;
+            adj[s].push(d);
+        }
+        let mut q: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = q.pop_front() {
+            order.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    q.push_back(v);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Run the flow analysis. Panics on cyclic graphs.
+    ///
+    /// Arrival rate of a kernel = Σ departures of its predecessors (split
+    /// edges from one kernel share its departure equally among successors).
+    /// Departure = min(arrival, capacity) × selectivity. Sources use their
+    /// declared offered rate as arrival.
+    pub fn analyze(&self) -> FlowReport {
+        let order = self.topo_order().expect("flow graph must be a DAG");
+        let n = self.kernels.len();
+        let mut out_count = vec![0usize; n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(s, d) in &self.edges {
+            out_count[s] += 1;
+            preds[d].push(s);
+        }
+        let mut arrival = vec![0.0f64; n];
+        let mut departure = vec![0.0f64; n];
+        let mut utilization = vec![0.0f64; n];
+        for &u in &order {
+            let k = &self.kernels[u];
+            let arr = if preds[u].is_empty() {
+                self.source_rates[u].unwrap_or(f64::INFINITY)
+            } else {
+                preds[u]
+                    .iter()
+                    .map(|&p| departure[p] / out_count[p] as f64)
+                    .sum()
+            };
+            arrival[u] = arr;
+            let cap = k.capacity();
+            let served = arr.min(cap);
+            departure[u] = served * k.selectivity;
+            utilization[u] = if cap.is_infinite() {
+                0.0
+            } else if cap == 0.0 {
+                f64::INFINITY
+            } else {
+                arr / cap
+            };
+        }
+        let throughput = (0..n)
+            .filter(|&i| out_count[i] == 0)
+            .map(|i| departure[i])
+            .sum();
+        let bottleneck = utilization
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.is_finite())
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i);
+        FlowReport {
+            departure,
+            utilization,
+            throughput,
+            bottleneck,
+        }
+    }
+
+    /// Throughput if kernel `k` ran with `replicas` copies — the "what-if"
+    /// the runtime's auto-parallelizer asks before widening a kernel.
+    pub fn throughput_with_replicas(&self, k: usize, replicas: u32) -> f64 {
+        let mut g = self.clone();
+        g.kernel_mut(k).replicas = replicas.max(1);
+        g.analyze().throughput
+    }
+
+    /// Smallest replica count for kernel `k` (up to `max`) that stops it
+    /// being the bottleneck, or `max` if it always is.
+    pub fn replicas_to_unbottleneck(&self, k: usize, max: u32) -> u32 {
+        for w in 1..=max {
+            let mut g = self.clone();
+            g.kernel_mut(k).replicas = w;
+            let rep = g.analyze();
+            if rep.bottleneck != Some(k) || rep.utilization[k] <= 1.0 {
+                return w;
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// source(1000/s) -> work(500/s) -> sink(fast): throughput 500.
+    #[test]
+    fn simple_pipeline_bottleneck() {
+        let mut g = FlowGraph::new();
+        let src = g.add_kernel(FlowKernel::new("src", f64::INFINITY, 1.0));
+        let work = g.add_kernel(FlowKernel::new("work", 500.0, 1.0));
+        let sink = g.add_kernel(FlowKernel::new("sink", f64::INFINITY, 1.0));
+        g.add_edge(src, work);
+        g.add_edge(work, sink);
+        g.set_source_rate(src, 1000.0);
+        let rep = g.analyze();
+        assert!((rep.throughput - 500.0).abs() < 1e-9);
+        assert_eq!(rep.bottleneck, Some(work));
+        assert!((rep.utilization[work] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_removes_bottleneck() {
+        let mut g = FlowGraph::new();
+        let src = g.add_kernel(FlowKernel::new("src", f64::INFINITY, 1.0));
+        let work = g.add_kernel(FlowKernel::new("work", 500.0, 1.0));
+        let sink = g.add_kernel(FlowKernel::new("sink", f64::INFINITY, 1.0));
+        g.add_edge(src, work);
+        g.add_edge(work, sink);
+        g.set_source_rate(src, 1000.0);
+        assert!((g.throughput_with_replicas(work, 2) - 1000.0).abs() < 1e-9);
+        assert_eq!(g.replicas_to_unbottleneck(work, 8), 2);
+    }
+
+    #[test]
+    fn selectivity_scales_downstream_rate() {
+        // search kernel: 1e6 bytes/s in, 1e-3 matches per byte out
+        let mut g = FlowGraph::new();
+        let src = g.add_kernel(FlowKernel::new("reader", f64::INFINITY, 1.0));
+        let search = g.add_kernel(FlowKernel::new("search", 2e6, 1e-3));
+        let sink = g.add_kernel(FlowKernel::new("collect", 5000.0, 1.0));
+        g.add_edge(src, search);
+        g.add_edge(search, sink);
+        g.set_source_rate(src, 1e6);
+        let rep = g.analyze();
+        // 1e6 bytes/s * 1e-3 = 1000 matches/s, sink can take 5000/s
+        assert!((rep.throughput - 1000.0).abs() < 1e-6);
+        // sink is NOT the bottleneck
+        assert_ne!(rep.bottleneck, Some(sink));
+    }
+
+    #[test]
+    fn fan_out_splits_rate_evenly() {
+        let mut g = FlowGraph::new();
+        let src = g.add_kernel(FlowKernel::new("src", f64::INFINITY, 1.0));
+        let a = g.add_kernel(FlowKernel::new("a", 100.0, 1.0));
+        let b = g.add_kernel(FlowKernel::new("b", 100.0, 1.0));
+        g.add_edge(src, a);
+        g.add_edge(src, b);
+        g.set_source_rate(src, 150.0);
+        let rep = g.analyze();
+        // each branch receives 75 <= 100: both pass through
+        assert!((rep.throughput - 150.0).abs() < 1e-9);
+        assert!((rep.utilization[a] - 0.75).abs() < 1e-9);
+        assert!((rep.utilization[b] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_in_sums_rates() {
+        let mut g = FlowGraph::new();
+        let a = g.add_kernel(FlowKernel::new("a", f64::INFINITY, 1.0));
+        let b = g.add_kernel(FlowKernel::new("b", f64::INFINITY, 1.0));
+        let sum = g.add_kernel(FlowKernel::new("sum", 500.0, 1.0));
+        g.add_edge(a, sum);
+        g.add_edge(b, sum);
+        g.set_source_rate(a, 100.0);
+        g.set_source_rate(b, 150.0);
+        let rep = g.analyze();
+        assert!((rep.throughput - 250.0).abs() < 1e-9);
+        assert!((rep.utilization[sum] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "DAG")]
+    fn cycle_panics() {
+        let mut g = FlowGraph::new();
+        let a = g.add_kernel(FlowKernel::new("a", 1.0, 1.0));
+        let b = g.add_kernel(FlowKernel::new("b", 1.0, 1.0));
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.analyze();
+    }
+
+    #[test]
+    fn diamond_topology() {
+        // src -> {left, right} -> join
+        let mut g = FlowGraph::new();
+        let src = g.add_kernel(FlowKernel::new("src", f64::INFINITY, 1.0));
+        let l = g.add_kernel(FlowKernel::new("l", 60.0, 1.0));
+        let r = g.add_kernel(FlowKernel::new("r", 200.0, 1.0));
+        let join = g.add_kernel(FlowKernel::new("join", f64::INFINITY, 1.0));
+        g.add_edge(src, l);
+        g.add_edge(src, r);
+        g.add_edge(l, join);
+        g.add_edge(r, join);
+        g.set_source_rate(src, 200.0);
+        let rep = g.analyze();
+        // left branch limited to 60, right passes 100: join receives 160
+        assert!((rep.throughput - 160.0).abs() < 1e-9);
+        assert_eq!(rep.bottleneck, Some(l));
+    }
+}

@@ -1,0 +1,313 @@
+//! Open Jackson (product-form) queueing networks.
+//!
+//! §4 of the paper: analytic buffer sizing is "often straightforward to
+//! calculate, assuming the conditions are right for considering each queue
+//! individually (e.g., the queueing network is of product form)". This
+//! module supplies that machinery: solve the traffic equations for an open
+//! network with probabilistic routing, then treat each station as an
+//! independent M/M/c queue (Jackson's theorem) — giving per-queue
+//! utilizations, occupancies, and the per-queue arrival rates the
+//! [`crate::sizing`] routines need.
+
+/// One station of the network.
+#[derive(Debug, Clone)]
+pub struct JacksonStation {
+    /// Display name.
+    pub name: String,
+    /// Service rate of one server (items/sec).
+    pub mu: f64,
+    /// Parallel servers (replicas).
+    pub servers: u32,
+}
+
+/// An open network: stations, external arrivals, and a routing matrix.
+#[derive(Debug, Clone, Default)]
+pub struct JacksonNetwork {
+    stations: Vec<JacksonStation>,
+    /// External Poisson arrival rate into each station.
+    external: Vec<f64>,
+    /// `routing[i][j]` = probability a job leaving i goes to j (row sums
+    /// ≤ 1; the remainder leaves the network).
+    routing: Vec<Vec<f64>>,
+}
+
+/// Per-station analysis results.
+#[derive(Debug, Clone)]
+pub struct JacksonReport {
+    /// Effective arrival rate λᵢ (traffic equation solution).
+    pub lambda: Vec<f64>,
+    /// Utilization ρᵢ = λᵢ/(cᵢ·μᵢ).
+    pub rho: Vec<f64>,
+    /// Mean number in system Lᵢ (M/M/c formula).
+    pub mean_in_system: Vec<f64>,
+    /// `false` if any station is overloaded (ρ ≥ 1): the product-form
+    /// solution does not exist and the numbers are saturation bounds.
+    pub stable: bool,
+}
+
+impl JacksonNetwork {
+    /// Empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a station; returns its index.
+    pub fn add_station(&mut self, name: impl Into<String>, mu: f64, servers: u32) -> usize {
+        assert!(mu > 0.0 && servers >= 1);
+        self.stations.push(JacksonStation {
+            name: name.into(),
+            mu,
+            servers,
+        });
+        self.external.push(0.0);
+        for row in &mut self.routing {
+            row.push(0.0);
+        }
+        self.routing.push(vec![0.0; self.stations.len()]);
+        self.stations.len() - 1
+    }
+
+    /// Set the external arrival rate into station `i`.
+    pub fn set_external(&mut self, i: usize, rate: f64) {
+        assert!(rate >= 0.0);
+        self.external[i] = rate;
+    }
+
+    /// Set the routing probability from `i` to `j`.
+    pub fn set_route(&mut self, i: usize, j: usize, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.routing[i][j] = p;
+        let row_sum: f64 = self.routing[i].iter().sum();
+        assert!(
+            row_sum <= 1.0 + 1e-9,
+            "routing probabilities out of station {i} exceed 1 ({row_sum})"
+        );
+    }
+
+    /// Solve the traffic equations λ = γ + λP by fixed-point iteration
+    /// (a substochastic routing matrix guarantees convergence).
+    fn traffic(&self) -> Vec<f64> {
+        let n = self.stations.len();
+        let mut lambda = self.external.clone();
+        for _ in 0..10_000 {
+            let mut next = self.external.clone();
+            for (j, nj) in next.iter_mut().enumerate().take(n) {
+                for (i, &li) in lambda.iter().enumerate() {
+                    *nj += li * self.routing[i][j];
+                }
+            }
+            let delta: f64 = lambda
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            lambda = next;
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        lambda
+    }
+
+    /// Analyze the network.
+    pub fn analyze(&self) -> JacksonReport {
+        assert!(!self.stations.is_empty(), "empty network");
+        let lambda = self.traffic();
+        let mut rho = Vec::with_capacity(self.stations.len());
+        let mut mean = Vec::with_capacity(self.stations.len());
+        let mut stable = true;
+        for (s, &l) in self.stations.iter().zip(&lambda) {
+            let c = s.servers as f64;
+            let r = l / (c * s.mu);
+            rho.push(r);
+            if r >= 1.0 {
+                stable = false;
+                mean.push(f64::INFINITY);
+                continue;
+            }
+            mean.push(mmc_mean_in_system(l, s.mu, s.servers));
+        }
+        JacksonReport {
+            lambda,
+            rho,
+            mean_in_system: mean,
+            stable,
+        }
+    }
+
+    /// Recommend a buffer capacity per station: the smallest K with
+    /// M/M/1/K-style blocking below `target` at each station's effective
+    /// load (aggregate service rate folded into a single-server
+    /// equivalent) — the per-queue-in-isolation sizing the paper sketches.
+    pub fn size_buffers(&self, target_blocking: f64, max_cap: usize) -> Vec<usize> {
+        let report = self.analyze();
+        self.stations
+            .iter()
+            .zip(&report.lambda)
+            .map(|(s, &l)| {
+                let mu_total = s.mu * s.servers as f64;
+                if l <= 0.0 {
+                    1
+                } else {
+                    crate::sizing::analytic_mm1k(l, mu_total, target_blocking, max_cap)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Mean number in system for M/M/c (Erlang-C based).
+fn mmc_mean_in_system(lambda: f64, mu: f64, c: u32) -> f64 {
+    let c_f = c as f64;
+    let a = lambda / mu; // offered load in Erlangs
+    let rho = a / c_f;
+    // Erlang C: probability of waiting.
+    let mut sum = 0.0;
+    let mut term = 1.0; // a^k / k!
+    for k in 0..c {
+        if k > 0 {
+            term *= a / k as f64;
+        }
+        sum += term;
+    }
+    let term_c = term * a / c_f; // a^c / c!
+    let erlang_c = (term_c / (1.0 - rho)) / (sum + term_c / (1.0 - rho));
+    // Lq + a
+    erlang_c * rho / (1.0 - rho) + a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::MM1;
+
+    #[test]
+    fn single_station_reduces_to_mm1() {
+        let mut net = JacksonNetwork::new();
+        let s = net.add_station("only", 10.0, 1);
+        net.set_external(s, 6.0);
+        let rep = net.analyze();
+        assert!(rep.stable);
+        assert!((rep.lambda[0] - 6.0).abs() < 1e-9);
+        let mm1 = MM1::new(6.0, 10.0);
+        assert!((rep.mean_in_system[0] - mm1.mean_in_system()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tandem_traffic_equations() {
+        // γ -> A -> B -> out : both see λ = γ
+        let mut net = JacksonNetwork::new();
+        let a = net.add_station("a", 10.0, 1);
+        let b = net.add_station("b", 12.0, 1);
+        net.set_external(a, 5.0);
+        net.set_route(a, b, 1.0);
+        let rep = net.analyze();
+        assert!((rep.lambda[a] - 5.0).abs() < 1e-9);
+        assert!((rep.lambda[b] - 5.0).abs() < 1e-9);
+        assert!((rep.rho[a] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feedback_loop_amplifies_traffic() {
+        // A job leaving A returns to A with p=0.5: λ = γ/(1-0.5) = 2γ.
+        let mut net = JacksonNetwork::new();
+        let a = net.add_station("a", 20.0, 1);
+        net.set_external(a, 4.0);
+        net.set_route(a, a, 0.5);
+        let rep = net.analyze();
+        assert!((rep.lambda[a] - 8.0).abs() < 1e-6, "{:?}", rep.lambda);
+    }
+
+    #[test]
+    fn probabilistic_split() {
+        // A routes 30% to B, 70% leaves.
+        let mut net = JacksonNetwork::new();
+        let a = net.add_station("a", 50.0, 1);
+        let b = net.add_station("b", 50.0, 1);
+        net.set_external(a, 10.0);
+        net.set_route(a, b, 0.3);
+        let rep = net.analyze();
+        assert!((rep.lambda[b] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_server_station_erlang_c() {
+        // M/M/2 with a=1 (rho=0.5): L = Lq + a; Erlang C for c=2,a=1 is 1/3,
+        // Lq = C·rho/(1-rho) = (1/3)(0.5/0.5) = 1/3; L = 4/3.
+        let mut net = JacksonNetwork::new();
+        let s = net.add_station("s", 10.0, 2);
+        net.set_external(s, 10.0);
+        let rep = net.analyze();
+        assert!(
+            (rep.mean_in_system[0] - 4.0 / 3.0).abs() < 1e-9,
+            "{}",
+            rep.mean_in_system[0]
+        );
+    }
+
+    #[test]
+    fn overloaded_station_flagged() {
+        let mut net = JacksonNetwork::new();
+        let s = net.add_station("s", 5.0, 1);
+        net.set_external(s, 10.0);
+        let rep = net.analyze();
+        assert!(!rep.stable);
+        assert!(rep.mean_in_system[0].is_infinite());
+    }
+
+    #[test]
+    fn buffer_sizing_tracks_utilization() {
+        let mut net = JacksonNetwork::new();
+        let light = net.add_station("light", 100.0, 1);
+        let heavy = net.add_station("heavy", 11.0, 1);
+        net.set_external(light, 10.0);
+        net.set_route(light, heavy, 1.0);
+        let sizes = net.size_buffers(1e-4, 1 << 16);
+        assert!(
+            sizes[heavy] > sizes[light],
+            "hot station needs more buffer: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn jackson_matches_des_on_tandem() {
+        use crate::des::{simulate, Network, ServiceDist, Station};
+        let mut net = JacksonNetwork::new();
+        let a = net.add_station("a", 12.0, 1);
+        let b = net.add_station("b", 15.0, 1);
+        net.set_external(a, 8.0);
+        net.set_route(a, b, 1.0);
+        let rep = net.analyze();
+
+        let sim_net = Network {
+            stations: vec![
+                Station {
+                    name: "a".into(),
+                    service: ServiceDist::Exp(12.0),
+                    servers: 1,
+                    buffer: usize::MAX,
+                    next: Some(1),
+                },
+                Station {
+                    name: "b".into(),
+                    service: ServiceDist::Exp(15.0),
+                    servers: 1,
+                    buffer: usize::MAX,
+                    next: None,
+                },
+            ],
+            arrival_rate: 8.0,
+        };
+        let sim = simulate(&sim_net, 20_000.0, 21);
+        for i in 0..2 {
+            let rel = (rep.mean_in_system[i] - sim.mean_in_system[i]).abs()
+                / rep.mean_in_system[i];
+            assert!(
+                rel < 0.08,
+                "station {i}: jackson {} vs sim {}",
+                rep.mean_in_system[i],
+                sim.mean_in_system[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Single-queue analytic models.
+//!
+//! The paper (§3) models every stream as a queue and notes that "queueing
+//! models are often the fastest way to estimate an approximate queue size".
+//! These are the standard closed forms (Lavenberg \[31\] is the paper's
+//! citation for the queueing-network view):
+//!
+//! * [`MM1`] — Poisson arrivals, exponential service, infinite buffer;
+//! * [`MD1`] — Poisson arrivals, deterministic service (a good model for
+//!   compute kernels with fixed per-item work);
+//! * [`MM1K`] — M/M/1 with a finite buffer of K slots; its blocking
+//!   probability is what the analytic buffer-sizing in
+//!   [`crate::sizing`] inverts.
+
+/// M/M/1 queue: arrival rate λ, service rate μ, infinite buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1 {
+    /// Arrival rate λ (items/sec).
+    pub lambda: f64,
+    /// Service rate μ (items/sec).
+    pub mu: f64,
+}
+
+impl MM1 {
+    /// Construct; panics unless rates are positive.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        MM1 { lambda, mu }
+    }
+
+    /// Utilization ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// `true` iff the queue is stable (ρ < 1).
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// Mean number in system, L = ρ/(1-ρ). Infinite if unstable.
+    pub fn mean_in_system(&self) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            f64::INFINITY
+        } else {
+            rho / (1.0 - rho)
+        }
+    }
+
+    /// Mean queue length (excluding the item in service), Lq = ρ²/(1-ρ).
+    pub fn mean_queue_len(&self) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            f64::INFINITY
+        } else {
+            rho * rho / (1.0 - rho)
+        }
+    }
+
+    /// Mean time in system, W = 1/(μ-λ).
+    pub fn mean_wait(&self) -> f64 {
+        if self.is_stable() {
+            1.0 / (self.mu - self.lambda)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// P(N = n) = (1-ρ)ρⁿ.
+    pub fn p_n(&self, n: u32) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            0.0
+        } else {
+            (1.0 - rho) * rho.powi(n as i32)
+        }
+    }
+
+    /// P(N > n) = ρⁿ⁺¹ — tail used to size a buffer for a target overflow
+    /// probability.
+    pub fn p_exceeds(&self, n: u32) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            1.0
+        } else {
+            rho.powi(n as i32 + 1)
+        }
+    }
+}
+
+/// M/D/1 queue: Poisson arrivals, deterministic service time 1/μ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MD1 {
+    /// Arrival rate λ (items/sec).
+    pub lambda: f64,
+    /// Service rate μ (items/sec).
+    pub mu: f64,
+}
+
+impl MD1 {
+    /// Construct; panics unless rates are positive.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        MD1 { lambda, mu }
+    }
+
+    /// Utilization ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Mean queue length Lq = ρ²/(2(1-ρ)) — half the M/M/1 value
+    /// (Pollaczek–Khinchine with zero service variance).
+    pub fn mean_queue_len(&self) -> f64 {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            f64::INFINITY
+        } else {
+            rho * rho / (2.0 * (1.0 - rho))
+        }
+    }
+
+    /// Mean number in system L = Lq + ρ.
+    pub fn mean_in_system(&self) -> f64 {
+        self.mean_queue_len() + self.rho()
+    }
+
+    /// Mean time in system W = L/λ (Little's law).
+    pub fn mean_wait(&self) -> f64 {
+        self.mean_in_system() / self.lambda
+    }
+}
+
+/// M/M/1/K queue: finite buffer holding at most K items (including the one
+/// in service). Arrivals finding the buffer full are *blocked* — in a
+/// streaming system, this is the upstream kernel stalling on a full FIFO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1K {
+    /// Arrival rate λ (items/sec).
+    pub lambda: f64,
+    /// Service rate μ (items/sec).
+    pub mu: f64,
+    /// Buffer capacity K (items, including in-service).
+    pub k: u32,
+}
+
+impl MM1K {
+    /// Construct; panics unless rates are positive and `k >= 1`.
+    pub fn new(lambda: f64, mu: f64, k: u32) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        assert!(k >= 1, "buffer must hold at least one item");
+        MM1K { lambda, mu, k }
+    }
+
+    /// Offered load ρ = λ/μ (may exceed 1; the finite buffer keeps the
+    /// system stable regardless).
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// P(N = n) for n in 0..=K.
+    pub fn p_n(&self, n: u32) -> f64 {
+        if n > self.k {
+            return 0.0;
+        }
+        let rho = self.rho();
+        if (rho - 1.0).abs() < 1e-12 {
+            1.0 / (self.k as f64 + 1.0)
+        } else {
+            (1.0 - rho) * rho.powi(n as i32) / (1.0 - rho.powi(self.k as i32 + 1))
+        }
+    }
+
+    /// Blocking probability P(N = K): fraction of arrivals that find the
+    /// buffer full and stall the producer.
+    pub fn blocking_probability(&self) -> f64 {
+        self.p_n(self.k)
+    }
+
+    /// Effective throughput λ(1 - P_block).
+    pub fn throughput(&self) -> f64 {
+        self.lambda * (1.0 - self.blocking_probability())
+    }
+
+    /// Mean number in system.
+    pub fn mean_in_system(&self) -> f64 {
+        (0..=self.k).map(|n| n as f64 * self.p_n(n)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_closed_forms() {
+        let q = MM1::new(5.0, 10.0); // rho = 0.5
+        assert!((q.rho() - 0.5).abs() < 1e-12);
+        assert!(q.is_stable());
+        assert!((q.mean_in_system() - 1.0).abs() < 1e-12); // 0.5/0.5
+        assert!((q.mean_queue_len() - 0.5).abs() < 1e-12); // 0.25/0.5
+        assert!((q.mean_wait() - 0.2).abs() < 1e-12); // 1/5
+    }
+
+    #[test]
+    fn mm1_distribution_sums_to_one() {
+        let q = MM1::new(3.0, 7.0);
+        let total: f64 = (0..200).map(|n| q.p_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mm1_tail_matches_distribution() {
+        let q = MM1::new(4.0, 9.0);
+        let tail_direct = q.p_exceeds(5);
+        let tail_sum: f64 = (6..400).map(|n| q.p_n(n)).sum();
+        assert!((tail_direct - tail_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mm1_unstable() {
+        let q = MM1::new(10.0, 5.0);
+        assert!(!q.is_stable());
+        assert!(q.mean_in_system().is_infinite());
+        assert!(q.mean_wait().is_infinite());
+    }
+
+    #[test]
+    fn md1_is_half_mm1_queue() {
+        let lambda = 6.0;
+        let mu = 10.0;
+        let md1 = MD1::new(lambda, mu);
+        let mm1 = MM1::new(lambda, mu);
+        assert!((md1.mean_queue_len() - mm1.mean_queue_len() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_littles_law_consistency() {
+        let q = MD1::new(2.0, 5.0);
+        assert!((q.mean_wait() * q.lambda - q.mean_in_system()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1k_distribution_sums_to_one() {
+        for rho_pair in [(3.0, 6.0), (6.0, 3.0), (5.0, 5.0)] {
+            let q = MM1K::new(rho_pair.0, rho_pair.1, 8);
+            let total: f64 = (0..=8).map(|n| q.p_n(n)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "rho={}", q.rho());
+        }
+    }
+
+    #[test]
+    fn mm1k_blocking_decreases_with_k() {
+        let mut last = 1.0;
+        for k in [1u32, 2, 4, 8, 16, 32] {
+            let q = MM1K::new(8.0, 10.0, k);
+            let b = q.blocking_probability();
+            assert!(b < last, "blocking must fall as buffer grows");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn mm1k_converges_to_mm1() {
+        // For rho < 1 and large K, M/M/1/K ≈ M/M/1.
+        let q_inf = MM1::new(5.0, 10.0);
+        let q_fin = MM1K::new(5.0, 10.0, 64);
+        assert!((q_fin.mean_in_system() - q_inf.mean_in_system()).abs() < 1e-6);
+        assert!(q_fin.blocking_probability() < 1e-9);
+    }
+
+    #[test]
+    fn mm1k_overloaded_still_finite() {
+        let q = MM1K::new(20.0, 10.0, 4);
+        let b = q.blocking_probability();
+        assert!(b > 0.4, "overloaded queue should block a lot, got {b}");
+        assert!(q.throughput() <= q.mu * 1.0001);
+        assert!(q.mean_in_system() <= 4.0);
+    }
+
+    #[test]
+    fn mm1k_rho_equal_one_uniform() {
+        let q = MM1K::new(5.0, 5.0, 4);
+        for n in 0..=4 {
+            assert!((q.p_n(n) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mm1k_throughput_le_service_rate() {
+        for (l, m, k) in [(50.0, 10.0, 2), (9.0, 10.0, 3), (10.0, 1.0, 1)] {
+            let q = MM1K::new(l, m, k);
+            assert!(q.throughput() <= m + 1e-9);
+            assert!(q.throughput() <= l + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Parallel-scaling predictor for the Figure 10 modeled series.
+//!
+//! The paper's benchmark machine had 16 physical cores; this reproduction
+//! may run on far fewer. The paper itself advocates model-based throughput
+//! estimation for streaming systems (§4.1, refs \[8,10\]), so the harness
+//! pairs every *measured* series with a *modeled* one: measure the true
+//! single-core service rate of each implementation on this host, then
+//! extrapolate to k cores with the standard throughput decomposition
+//!
+//! ```text
+//! T(k) = work / ( serial + parallel/k + overhead(k) )  capped by mem_bw
+//! ```
+//!
+//! where `serial` captures non-parallelizable dispatch (GNU Parallel's
+//! job-spawning, Spark's driver), `overhead(k)` the per-worker coordination
+//! cost, and `mem_bw` the memory-bandwidth ceiling the paper observed once
+//! Boyer-Moore-Horspool stopped being compute-bound (§5: "the memory system
+//! itself becomes the bottleneck").
+
+/// Scaling model for one system in the Figure 10 comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemModel {
+    /// Measured single-core throughput, GB/s.
+    pub single_rate_gbps: f64,
+    /// Fraction of each unit of work that is serialized (0.0..1.0).
+    pub serial_frac: f64,
+    /// Additional coordination cost per extra worker, expressed as a
+    /// fraction of the single-core unit work time (linear in k).
+    pub per_worker_overhead: f64,
+    /// Memory-bandwidth ceiling in GB/s (aggregate across cores).
+    pub mem_bw_gbps: f64,
+}
+
+impl SystemModel {
+    /// Predicted throughput at `cores` workers, GB/s.
+    ///
+    /// Normalized: processing 1 GB takes `1/single_rate` seconds at k=1, of
+    /// which `serial_frac` cannot parallelize; each worker beyond the first
+    /// adds `per_worker_overhead / single_rate` seconds of coordination.
+    pub fn throughput(&self, cores: u32) -> f64 {
+        assert!(cores >= 1);
+        let k = cores as f64;
+        let unit = 1.0 / self.single_rate_gbps; // seconds per GB at k=1
+        let serial = unit * self.serial_frac;
+        let parallel = unit * (1.0 - self.serial_frac) / k;
+        let overhead = unit * self.per_worker_overhead * (k - 1.0);
+        let t = serial + parallel + overhead;
+        (1.0 / t).min(self.mem_bw_gbps)
+    }
+
+    /// The whole series 1..=max_cores.
+    pub fn series(&self, max_cores: u32) -> Vec<(u32, f64)> {
+        (1..=max_cores).map(|c| (c, self.throughput(c))).collect()
+    }
+
+    /// Core count after which adding workers gains < `epsilon` relative
+    /// improvement (the knee of the curve).
+    pub fn saturation_point(&self, max_cores: u32, epsilon: f64) -> u32 {
+        let mut prev = self.throughput(1);
+        for c in 2..=max_cores {
+            let t = self.throughput(c);
+            if (t - prev) / prev < epsilon {
+                return c - 1;
+            }
+            prev = t;
+        }
+        max_cores
+    }
+}
+
+/// The four Figure 10 systems with the paper-calibrated shape parameters.
+/// `measured_single` overrides the single-core rate with a rate measured on
+/// this host (pass the paper's values to regenerate the original figure).
+pub mod figure10 {
+    use super::SystemModel;
+
+    /// GNU grep parallelized by GNU Parallel: blazing single-core scanner,
+    /// heavy serialized job dispatch (fork/exec, file splitting, output
+    /// merging through a single pipe).
+    pub fn grep_parallel(measured_single: f64) -> SystemModel {
+        // The large serial fraction models what GNU Parallel cannot
+        // parallelize: splitting the input into jobs and funnelling all
+        // match output back through one pipe.
+        SystemModel {
+            single_rate_gbps: measured_single,
+            serial_frac: 0.55,
+            per_worker_overhead: 0.03,
+            mem_bw_gbps: 30.0,
+        }
+    }
+
+    /// Apache Spark running Boyer-Moore: slow per-byte scan (JVM), but an
+    /// almost perfectly parallel task model — near-linear to 16 cores.
+    pub fn spark_boyer_moore(measured_single: f64) -> SystemModel {
+        SystemModel {
+            single_rate_gbps: measured_single,
+            serial_frac: 0.002,
+            per_worker_overhead: 0.0004,
+            mem_bw_gbps: 30.0,
+        }
+    }
+
+    /// RaftLib + Aho-Corasick: compute-bound automaton walk; parallelizes
+    /// well but each byte costs a dependent table load.
+    pub fn raftlib_aho_corasick(measured_single: f64) -> SystemModel {
+        SystemModel {
+            single_rate_gbps: measured_single,
+            serial_frac: 0.005,
+            per_worker_overhead: 0.001,
+            mem_bw_gbps: 30.0,
+        }
+    }
+
+    /// RaftLib + Boyer-Moore-Horspool: sublinear scan, linear speedup until
+    /// the memory system saturates (the paper: linear through ~10 cores,
+    /// ~8 GB/s on the 30 GB corpus).
+    pub fn raftlib_horspool(measured_single: f64) -> SystemModel {
+        SystemModel {
+            single_rate_gbps: measured_single,
+            serial_frac: 0.005,
+            per_worker_overhead: 0.0015,
+            mem_bw_gbps: 8.5,
+        }
+    }
+
+    /// The paper's reported single-core rates (GB/s), for regenerating the
+    /// original curves without measuring.
+    pub mod paper_rates {
+        /// GNU grep 2.20 single-threaded (§5).
+        pub const GREP: f64 = 1.2;
+        /// Apache Spark Boyer-Moore (≈2.8 GB/s at 16 cores, near-linear).
+        pub const SPARK: f64 = 0.19;
+        /// RaftLib Aho-Corasick (tops out ≈1.5 GB/s at 16 cores).
+        pub const RAFT_AC: f64 = 0.115;
+        /// RaftLib Boyer-Moore-Horspool (≈8 GB/s at 10 cores, linear).
+        pub const RAFT_BMH: f64 = 0.82;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::figure10::*;
+    use super::*;
+
+    #[test]
+    fn single_core_is_identity() {
+        let m = SystemModel {
+            single_rate_gbps: 1.2,
+            serial_frac: 0.3,
+            per_worker_overhead: 0.05,
+            mem_bw_gbps: 100.0,
+        };
+        assert!((m.throughput(1) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_parallel_scales_linearly() {
+        let m = SystemModel {
+            single_rate_gbps: 1.0,
+            serial_frac: 0.0,
+            per_worker_overhead: 0.0,
+            mem_bw_gbps: 1e9,
+        };
+        for k in [1u32, 2, 4, 8, 16] {
+            assert!((m.throughput(k) - k as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn amdahl_limit() {
+        let m = SystemModel {
+            single_rate_gbps: 1.0,
+            serial_frac: 0.5,
+            per_worker_overhead: 0.0,
+            mem_bw_gbps: 1e9,
+        };
+        // speedup bounded by 1/serial_frac = 2
+        assert!(m.throughput(1000) < 2.0);
+        assert!(m.throughput(1000) > 1.9);
+    }
+
+    #[test]
+    fn bandwidth_cap_applies() {
+        let m = SystemModel {
+            single_rate_gbps: 1.0,
+            serial_frac: 0.0,
+            per_worker_overhead: 0.0,
+            mem_bw_gbps: 4.0,
+        };
+        assert!((m.throughput(16) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_eventually_degrades() {
+        let m = SystemModel {
+            single_rate_gbps: 1.0,
+            serial_frac: 0.1,
+            per_worker_overhead: 0.05,
+            mem_bw_gbps: 1e9,
+        };
+        let best: f64 = (1..=64).map(|k| m.throughput(k)).fold(0.0, f64::max);
+        assert!(m.throughput(64) < best, "high k should be past the knee");
+    }
+
+    /// The calibrated Figure 10 models reproduce the paper's *shape*:
+    /// ordering at 16 cores, BMH crossover, grep's single-core win.
+    #[test]
+    fn figure10_shape_holds_with_paper_rates() {
+        let grep = grep_parallel(paper_rates::GREP);
+        let spark = spark_boyer_moore(paper_rates::SPARK);
+        let ac = raftlib_aho_corasick(paper_rates::RAFT_AC);
+        let bmh = raftlib_horspool(paper_rates::RAFT_BMH);
+
+        // Single core: grep wins handily (paper: "handily beats all the
+        // other algorithms for single core performance").
+        let g1 = grep.throughput(1);
+        for (name, m) in [("spark", &spark), ("ac", &ac), ("bmh", &bmh)] {
+            assert!(g1 > m.throughput(1), "grep must win at 1 core vs {name}");
+        }
+
+        // 16 cores: BMH > Spark > AC ≈ comparable, grep+parallel worst or
+        // near-worst (paper Figure 10).
+        let at16 = |m: &SystemModel| m.throughput(16);
+        assert!(at16(&bmh) > at16(&spark), "BMH wins at 16");
+        assert!(at16(&spark) > at16(&ac), "Spark above AC at 16");
+        assert!(
+            at16(&bmh) > 6.0 && at16(&bmh) < 10.0,
+            "BMH ≈ 8 GB/s at saturation, got {}",
+            at16(&bmh)
+        );
+        assert!(
+            at16(&spark) > 2.0 && at16(&spark) < 3.6,
+            "Spark ≈ 2.8 GB/s, got {}",
+            at16(&spark)
+        );
+        assert!(
+            at16(&ac) > 1.0 && at16(&ac) < 2.0,
+            "AC ≈ 1.5 GB/s, got {}",
+            at16(&ac)
+        );
+        // grep+parallel stuck near ~2 GB/s (Amdahl on dispatch)
+        assert!(at16(&grep) < at16(&spark) + 0.5);
+
+        // BMH overtakes grep somewhere between 2 and 12 cores (crossover).
+        let cross = (1..=16).find(|&k| bmh.throughput(k) > grep.throughput(k));
+        assert!(
+            matches!(cross, Some(2..=12)),
+            "BMH/grep crossover at {cross:?}"
+        );
+
+        // BMH roughly linear through 10 cores (each step gains ≥ 60% of a
+        // single-core rate).
+        for k in 2..=10u32 {
+            let gain = bmh.throughput(k) - bmh.throughput(k - 1);
+            assert!(
+                gain > 0.6 * paper_rates::RAFT_BMH,
+                "BMH gain at {k} cores too small: {gain}"
+            );
+        }
+    }
+
+    #[test]
+    fn series_and_saturation() {
+        let bmh = raftlib_horspool(paper_rates::RAFT_BMH);
+        let s = bmh.series(16);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s[0].0, 1);
+        let knee = bmh.saturation_point(16, 0.05);
+        assert!(
+            (8..=14).contains(&knee),
+            "BMH should saturate around 10 cores, got {knee}"
+        );
+    }
+}

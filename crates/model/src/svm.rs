@@ -1,0 +1,327 @@
+//! Automated queueing-model reliability classification — the paper's
+//! "fast automatic model selection (e.g., Beard et al., \[10\])" future-work
+//! item, reproducing the approach of *Automated Reliability Classification
+//! of Queueing Models for Streaming Computation using Support Vector
+//! Machines* (ICPE'15).
+//!
+//! Idea: analytic queue models (M/M/1 etc.) are cheap but only trustworthy
+//! in part of the observation space (moderate utilization, service-time
+//! variability near exponential, enough samples). Train a classifier on
+//! observations labeled by whether the analytic prediction was within
+//! tolerance of the truth; at run time, the optimizer asks the classifier
+//! before trusting a model.
+//!
+//! Implementation: a linear soft-margin SVM trained with the Pegasos
+//! stochastic sub-gradient algorithm (Shalev-Shwartz et al.), features
+//! standardized to zero mean / unit variance. [`training_set_from_des`]
+//! manufactures a labeled dataset by comparing [`crate::queues::MM1`]
+//! predictions against [`crate::des`] simulations across the parameter
+//! space — the same methodology as the ICPE'15 paper, with the simulator
+//! standing in for their measurement platform.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Observable features of one queue, as the monitor would report them.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueObservation {
+    /// Estimated utilization ρ = λ/μ.
+    pub utilization: f64,
+    /// Coefficient of variation of service times (1.0 = exponential).
+    pub service_cv: f64,
+    /// Coefficient of variation of inter-arrival times.
+    pub arrival_cv: f64,
+    /// log10 of the number of samples behind the estimates.
+    pub log_samples: f64,
+}
+
+impl QueueObservation {
+    fn features(&self) -> [f64; 4] {
+        [
+            self.utilization,
+            self.service_cv,
+            self.arrival_cv,
+            self.log_samples,
+        ]
+    }
+}
+
+/// A trained linear SVM over [`QueueObservation`] features.
+#[derive(Debug, Clone)]
+pub struct ReliabilityClassifier {
+    weights: [f64; 4],
+    bias: f64,
+    mean: [f64; 4],
+    std: [f64; 4],
+}
+
+/// Training configuration (Pegasos).
+#[derive(Debug, Clone, Copy)]
+pub struct SvmConfig {
+    /// Regularization λ (smaller = harder margin).
+    pub lambda: f64,
+    /// SGD epochs over the data.
+    pub epochs: usize,
+    /// RNG seed for sampling order.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            lambda: 1e-3,
+            epochs: 60,
+            seed: 17,
+        }
+    }
+}
+
+impl ReliabilityClassifier {
+    /// Train on `(observation, reliable?)` pairs with Pegasos.
+    /// Panics if fewer than 2 examples or only one class present.
+    pub fn train(data: &[(QueueObservation, bool)], cfg: SvmConfig) -> Self {
+        assert!(data.len() >= 2, "need at least two training examples");
+        let pos = data.iter().filter(|(_, y)| *y).count();
+        assert!(
+            pos > 0 && pos < data.len(),
+            "training data must contain both classes (got {pos}/{} positive)",
+            data.len()
+        );
+
+        // Standardize features.
+        let n = data.len() as f64;
+        let mut mean = [0.0f64; 4];
+        for (o, _) in data {
+            for (m, f) in mean.iter_mut().zip(o.features()) {
+                *m += f / n;
+            }
+        }
+        let mut std = [0.0f64; 4];
+        for (o, _) in data {
+            for ((s, f), m) in std.iter_mut().zip(o.features()).zip(mean) {
+                *s += (f - m) * (f - m) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        let norm = |o: &QueueObservation| -> [f64; 4] {
+            let f = o.features();
+            std::array::from_fn(|i| (f[i] - mean[i]) / std[i])
+        };
+
+        // Pegasos SGD on hinge loss.
+        let mut w = [0.0f64; 4];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut t = 1usize;
+        for _ in 0..cfg.epochs {
+            for _ in 0..data.len() {
+                let (obs, label) = &data[rng.gen_range(0..data.len())];
+                let y = if *label { 1.0 } else { -1.0 };
+                let x = norm(obs);
+                let eta = 1.0 / (cfg.lambda * t as f64);
+                let margin = y * (dot(&w, &x) + b);
+                for wi in &mut w {
+                    *wi *= 1.0 - eta * cfg.lambda;
+                }
+                if margin < 1.0 {
+                    for (wi, xi) in w.iter_mut().zip(x) {
+                        *wi += eta * y * xi;
+                    }
+                    b += eta * y;
+                }
+                t += 1;
+            }
+        }
+        ReliabilityClassifier {
+            weights: w,
+            bias: b,
+            mean,
+            std,
+        }
+    }
+
+    /// Signed decision value (positive ⇒ reliable).
+    pub fn decision(&self, obs: &QueueObservation) -> f64 {
+        let f = obs.features();
+        let x: [f64; 4] = std::array::from_fn(|i| (f[i] - self.mean[i]) / self.std[i]);
+        dot(&self.weights, &x) + self.bias
+    }
+
+    /// `true` when the analytic model can be trusted for this observation.
+    pub fn is_reliable(&self, obs: &QueueObservation) -> bool {
+        self.decision(obs) > 0.0
+    }
+
+    /// Accuracy over a labeled set.
+    pub fn accuracy(&self, data: &[(QueueObservation, bool)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(o, y)| self.is_reliable(o) == *y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+fn dot(a: &[f64; 4], b: &[f64; 4]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Manufacture a labeled training set by comparing M/M/1 occupancy
+/// predictions with DES ground truth across the (ρ, service CV) space.
+/// An observation is labeled *reliable* when the analytic prediction is
+/// within `tolerance` (relative) of the simulated value.
+pub fn training_set_from_des(
+    points: usize,
+    horizon: f64,
+    tolerance: f64,
+    seed: u64,
+) -> Vec<(QueueObservation, bool)> {
+    use crate::des::{simulate, single_station, ServiceDist};
+    use crate::queues::MM1;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(points);
+    for i in 0..points {
+        let rho: f64 = rng.gen_range(0.1..0.95);
+        let mu = 10.0;
+        let lambda = rho * mu;
+        // Service distribution: exponential (CV 1) or deterministic (CV 0)
+        // or uniform (CV between) — the analytic M/M/1 is only right for
+        // CV ≈ 1.
+        let (dist, cv) = match i % 3 {
+            0 => (ServiceDist::Exp(mu), 1.0),
+            1 => (ServiceDist::Det(1.0 / mu), 0.0),
+            _ => {
+                // uniform [a, b] with mean 1/mu; CV = (b-a)/(sqrt(12)*mean)
+                let half = rng.gen_range(0.2..0.9) / mu;
+                let (a, b) = (1.0 / mu - half, 1.0 / mu + half);
+                let cv = (b - a) / (12.0f64.sqrt() * (1.0 / mu));
+                (ServiceDist::Uniform(a, b), cv)
+            }
+        };
+        let sim = simulate(&single_station(lambda, dist, 1, usize::MAX), horizon, seed + i as u64);
+        let predicted = MM1::new(lambda, mu).mean_in_system();
+        let actual = sim.mean_in_system[0].max(1e-9);
+        let rel_err = (predicted - actual).abs() / actual.max(predicted);
+        data.push((
+            QueueObservation {
+                utilization: rho,
+                service_cv: cv,
+                arrival_cv: 1.0,
+                log_samples: (sim.departures.max(1) as f64).log10(),
+            },
+            rel_err <= tolerance,
+        ));
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy data trains to perfect accuracy.
+    #[test]
+    fn separable_data_learned() {
+        let mut data = Vec::new();
+        for i in 0..50 {
+            let x = i as f64 / 50.0;
+            // reliable iff utilization < 0.5
+            data.push((
+                QueueObservation {
+                    utilization: x,
+                    service_cv: 1.0,
+                    arrival_cv: 1.0,
+                    log_samples: 4.0,
+                },
+                x < 0.5,
+            ));
+        }
+        let clf = ReliabilityClassifier::train(&data, SvmConfig::default());
+        assert!(clf.accuracy(&data) >= 0.95, "{}", clf.accuracy(&data));
+        assert!(clf.is_reliable(&QueueObservation {
+            utilization: 0.1,
+            service_cv: 1.0,
+            arrival_cv: 1.0,
+            log_samples: 4.0
+        }));
+        assert!(!clf.is_reliable(&QueueObservation {
+            utilization: 0.9,
+            service_cv: 1.0,
+            arrival_cv: 1.0,
+            log_samples: 4.0
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_rejected() {
+        let data = vec![
+            (
+                QueueObservation {
+                    utilization: 0.2,
+                    service_cv: 1.0,
+                    arrival_cv: 1.0,
+                    log_samples: 3.0,
+                },
+                true,
+            ),
+            (
+                QueueObservation {
+                    utilization: 0.3,
+                    service_cv: 1.0,
+                    arrival_cv: 1.0,
+                    log_samples: 3.0,
+                },
+                true,
+            ),
+        ];
+        ReliabilityClassifier::train(&data, SvmConfig::default());
+    }
+
+    /// End-to-end ICPE'15-style experiment: label by DES-vs-analytic error,
+    /// train, and verify the learned rule beats chance on held-out data and
+    /// captures the expected physics (exponential service at moderate load
+    /// = reliable; deterministic service at high load = unreliable).
+    #[test]
+    fn des_labeled_classifier_learns_the_physics() {
+        let train = training_set_from_des(120, 4_000.0, 0.15, 100);
+        let test = training_set_from_des(60, 4_000.0, 0.15, 900);
+        let clf = ReliabilityClassifier::train(&train, SvmConfig::default());
+        let acc = clf.accuracy(&test);
+        assert!(acc >= 0.7, "held-out accuracy only {acc}");
+
+        // physics spot checks — log_samples set consistently with ρ (it
+        // is ~log10(λ·horizon) in the training manifold)
+        let exp_moderate = QueueObservation {
+            utilization: 0.4,
+            service_cv: 1.0,
+            arrival_cv: 1.0,
+            log_samples: 4.2,
+        };
+        let det_high = QueueObservation {
+            utilization: 0.9,
+            service_cv: 0.0,
+            arrival_cv: 1.0,
+            log_samples: 4.55,
+        };
+        assert!(
+            clf.decision(&exp_moderate) > clf.decision(&det_high),
+            "exponential/moderate must rank above deterministic/high: {} vs {}",
+            clf.decision(&exp_moderate),
+            clf.decision(&det_high)
+        );
+    }
+
+    #[test]
+    fn training_set_has_both_labels() {
+        let data = training_set_from_des(60, 3_000.0, 0.15, 5);
+        let pos = data.iter().filter(|(_, y)| *y).count();
+        assert!(pos > 0 && pos < data.len(), "degenerate labels: {pos}/{}", data.len());
+    }
+}

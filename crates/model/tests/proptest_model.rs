@@ -1,0 +1,149 @@
+//! Property tests over the analytic models: invariants that must hold for
+//! any parameters, not just the textbook examples.
+
+use proptest::prelude::*;
+use raft_model::anneal::{minimize, AnnealConfig, ParamRange};
+use raft_model::flow::{FlowGraph, FlowKernel};
+use raft_model::queues::{MD1, MM1, MM1K};
+use raft_model::sizing::analytic_mm1k;
+use raft_model::SystemModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// M/M/1/K state probabilities always form a distribution.
+    #[test]
+    fn mm1k_distribution_normalized(
+        lambda in 0.1f64..50.0,
+        mu in 0.1f64..50.0,
+        k in 1u32..64,
+    ) {
+        let q = MM1K::new(lambda, mu, k);
+        let total: f64 = (0..=k).map(|n| q.p_n(n)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        // every probability in [0, 1]
+        for n in 0..=k {
+            let p = q.p_n(n);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+    }
+
+    /// Blocking probability decreases monotonically with buffer size.
+    #[test]
+    fn mm1k_blocking_monotone(lambda in 0.1f64..20.0, mu in 0.1f64..20.0) {
+        let mut last = f64::INFINITY;
+        for k in [1u32, 2, 4, 8, 16, 32] {
+            let b = MM1K::new(lambda, mu, k).blocking_probability();
+            prop_assert!(b <= last + 1e-12, "k={k}: {b} > {last}");
+            last = b;
+        }
+    }
+
+    /// Throughput never exceeds either offered load or service capacity.
+    #[test]
+    fn mm1k_throughput_bounded(
+        lambda in 0.1f64..50.0,
+        mu in 0.1f64..50.0,
+        k in 1u32..32,
+    ) {
+        let q = MM1K::new(lambda, mu, k);
+        let t = q.throughput();
+        prop_assert!(t <= lambda + 1e-9);
+        prop_assert!(t <= mu + 1e-9);
+        prop_assert!(t >= 0.0);
+    }
+
+    /// For stable queues, M/D/1 always queues no more than M/M/1.
+    #[test]
+    fn md1_never_worse_than_mm1(mu in 1.0f64..50.0, rho in 0.05f64..0.95) {
+        let lambda = rho * mu;
+        let md1 = MD1::new(lambda, mu).mean_queue_len();
+        let mm1 = MM1::new(lambda, mu).mean_queue_len();
+        prop_assert!(md1 <= mm1 + 1e-9);
+    }
+
+    /// The analytic buffer size always meets its blocking target, and is
+    /// minimal (one slot less violates the target).
+    #[test]
+    fn analytic_sizing_meets_target_minimally(
+        mu in 1.0f64..40.0,
+        rho in 0.05f64..0.98,
+        exp in 1u32..5,
+    ) {
+        let lambda = rho * mu;
+        let target = 10f64.powi(-(exp as i32));
+        let k = analytic_mm1k(lambda, mu, target, 1 << 20);
+        prop_assert!(k >= 1);
+        if k < 1 << 20 {
+            let b = MM1K::new(lambda, mu, k as u32).blocking_probability();
+            prop_assert!(b <= target + 1e-12, "k={k} blocks {b} > {target}");
+            if k > 1 {
+                let b1 = MM1K::new(lambda, mu, k as u32 - 1).blocking_probability();
+                prop_assert!(b1 > target, "k-1={} already meets target", k - 1);
+            }
+        }
+    }
+
+    /// Flow-model throughput is bounded by the source rate and by every
+    /// saturated kernel's capacity, and replicas never reduce throughput.
+    #[test]
+    fn flow_model_bounds(
+        source in 1.0f64..1000.0,
+        mu in 1.0f64..1000.0,
+        w in 1u32..8,
+    ) {
+        let mut g = FlowGraph::new();
+        let src = g.add_kernel(FlowKernel::new("src", f64::INFINITY, 1.0));
+        let work = g.add_kernel(FlowKernel::new("work", mu, 1.0).with_replicas(w));
+        let sink = g.add_kernel(FlowKernel::new("sink", f64::INFINITY, 1.0));
+        g.add_edge(src, work);
+        g.add_edge(work, sink);
+        g.set_source_rate(src, source);
+        let t = g.analyze().throughput;
+        prop_assert!(t <= source + 1e-9);
+        prop_assert!(t <= mu * w as f64 + 1e-9);
+        // exactly min(source, w*mu) in this linear pipeline
+        prop_assert!((t - source.min(mu * w as f64)).abs() < 1e-6);
+        // monotone in replicas
+        let t_more = g.throughput_with_replicas(work, w + 1);
+        prop_assert!(t_more + 1e-9 >= t);
+    }
+
+    /// The scaling model is exact at one core and never exceeds the
+    /// memory-bandwidth cap.
+    #[test]
+    fn scaling_model_sane(
+        rate in 0.05f64..10.0,
+        serial in 0.0f64..0.9,
+        overhead in 0.0f64..0.1,
+        bw in 0.5f64..50.0,
+    ) {
+        let m = SystemModel {
+            single_rate_gbps: rate,
+            serial_frac: serial,
+            per_worker_overhead: overhead,
+            mem_bw_gbps: bw,
+        };
+        prop_assert!((m.throughput(1) - rate.min(bw)).abs() < 1e-9);
+        for k in [2u32, 4, 8, 16] {
+            let t = m.throughput(k);
+            prop_assert!(t <= bw + 1e-12);
+            prop_assert!(t > 0.0);
+        }
+    }
+
+    /// Annealing never returns something worse than the clamped start.
+    #[test]
+    fn annealing_never_regresses(target in -50i64..50, start in -100i64..100) {
+        let ranges = vec![ParamRange::new(-50, 50)];
+        let cost = |p: &[i64]| ((p[0] - target) as f64).abs();
+        let start_clamped = start.clamp(-50, 50);
+        let init_cost = ((start_clamped - target) as f64).abs();
+        let r = minimize(&ranges, &[start], AnnealConfig {
+            iters: 300,
+            ..Default::default()
+        }, cost);
+        prop_assert!(r.best_cost <= init_cost + 1e-9);
+        prop_assert!((-50..=50).contains(&r.best[0]));
+    }
+}

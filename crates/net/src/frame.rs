@@ -1,0 +1,243 @@
+//! Length-prefixed message framing.
+//!
+//! Every message on a TCP stream link is one frame:
+//!
+//! ```text
+//! +---------+--------+----------------+
+//! | len u32 | kind u8|  payload bytes |
+//! +---------+--------+----------------+
+//! ```
+//!
+//! `len` counts `kind + payload`. Data frames carry an encoded element and
+//! the element's synchronous signal (so signal delivery stays synchronized
+//! across the hop, §4.2); control frames carry mesh traffic.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use raft_buffer::Signal;
+
+/// Frame discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// An element with `Signal::None`.
+    Data = 0,
+    /// An element plus an encoded synchronous signal (first 8 payload
+    /// bytes).
+    DataWithSignal = 1,
+    /// Stream end: the sender closed its input.
+    Eos = 2,
+    /// Mesh: node hello/heartbeat carrying a `NodeInfo` payload.
+    Heartbeat = 3,
+    /// Mesh: request for the receiver's known-peers table.
+    PeersRequest = 4,
+    /// Mesh: peers table payload.
+    Peers = 5,
+    /// A compressed data frame: payload = inner-kind byte +
+    /// `compress::compress_frame` output of the inner payload.
+    Compressed = 6,
+    /// Remote-execution job submission (wire-encoded kernel-name list).
+    Job = 7,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            0 => FrameKind::Data,
+            1 => FrameKind::DataWithSignal,
+            2 => FrameKind::Eos,
+            3 => FrameKind::Heartbeat,
+            4 => FrameKind::PeersRequest,
+            5 => FrameKind::Peers,
+            6 => FrameKind::Compressed,
+            7 => FrameKind::Job,
+            _ => return None,
+        })
+    }
+}
+
+/// One framed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload means.
+    pub kind: FrameKind,
+    /// Raw payload bytes.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// A data frame; encodes the signal only when present (one byte saved
+    /// on the common path).
+    pub fn data(payload: Bytes, signal: Signal) -> Frame {
+        if signal == Signal::None {
+            Frame {
+                kind: FrameKind::Data,
+                payload,
+            }
+        } else {
+            let mut buf = BytesMut::with_capacity(8 + payload.len());
+            buf.put_u64_le(signal.encode());
+            buf.put_slice(&payload);
+            Frame {
+                kind: FrameKind::DataWithSignal,
+                payload: buf.freeze(),
+            }
+        }
+    }
+
+    /// The end-of-stream frame.
+    pub fn eos() -> Frame {
+        Frame {
+            kind: FrameKind::Eos,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Split a data frame into `(element payload, signal)`.
+    pub fn into_data(self) -> Option<(Bytes, Signal)> {
+        match self.kind {
+            FrameKind::Data => Some((self.payload, Signal::None)),
+            FrameKind::DataWithSignal => {
+                let mut p = self.payload;
+                if p.remaining() < 8 {
+                    return None;
+                }
+                let sig = Signal::decode(p.get_u64_le())?;
+                Some((p, sig))
+            }
+            _ => None,
+        }
+    }
+
+    /// Write this frame to a (buffered) writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let len = (self.payload.len() + 1) as u32;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&[self.kind as u8])?;
+        w.write_all(&self.payload)
+    }
+
+    /// Read one frame from a reader. `Ok(None)` on clean EOF at a frame
+    /// boundary.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Option<Frame>> {
+        let mut len_buf = [0u8; 4];
+        match r.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "zero-length frame",
+            ));
+        }
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME} byte cap"),
+            ));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        let kind = FrameKind::from_u8(body[0]).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad frame kind {}", body[0]))
+        })?;
+        Ok(Some(Frame {
+            kind,
+            payload: Bytes::from(body).slice(1..),
+        }))
+    }
+}
+
+/// Upper bound on a single frame (64 MiB) — a corrupted length prefix must
+/// not allocate unbounded memory.
+pub const MAX_FRAME: usize = 64 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = Frame::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::data(Bytes::from_static(b"hello"), Signal::None));
+        roundtrip(Frame::data(Bytes::from_static(b"x"), Signal::EoS));
+        roundtrip(Frame::data(Bytes::new(), Signal::User(42)));
+        roundtrip(Frame::eos());
+        roundtrip(Frame {
+            kind: FrameKind::Heartbeat,
+            payload: Bytes::from_static(b"node-info"),
+        });
+    }
+
+    #[test]
+    fn into_data_recovers_signal() {
+        let f = Frame::data(Bytes::from_static(b"abc"), Signal::Flush);
+        let (payload, sig) = f.into_data().unwrap();
+        assert_eq!(&payload[..], b"abc");
+        assert_eq!(sig, Signal::Flush);
+
+        let f = Frame::data(Bytes::from_static(b"abc"), Signal::None);
+        let (payload, sig) = f.into_data().unwrap();
+        assert_eq!(&payload[..], b"abc");
+        assert_eq!(sig, Signal::None);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(Frame::read_from(&mut empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let f = Frame::data(Bytes::from_static(b"hello world"), Signal::None);
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(Frame::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(Frame::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn multiple_frames_stream() {
+        let mut buf = Vec::new();
+        for i in 0..10u64 {
+            let mut b = BytesMut::new();
+            b.put_u64_le(i);
+            Frame::data(b.freeze(), Signal::None)
+                .write_to(&mut buf)
+                .unwrap();
+        }
+        Frame::eos().write_to(&mut buf).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut n = 0;
+        loop {
+            let f = Frame::read_from(&mut cursor).unwrap().unwrap();
+            if f.kind == FrameKind::Eos {
+                break;
+            }
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # raft-net
+//!
+//! TCP stream links and the "oar" node mesh for distributed `raftlib`
+//! execution.
+//!
+//! The paper (§4.1): "With RaftLib there is no difference between a
+//! distributed and a non-distributed program from the perspective of the
+//! developer. A separate system called 'oar' is a mesh of network clients
+//! that continually feed system information to each other."
+//!
+//! * [`wire`] — serde-free binary encoding for stream elements (the link
+//!   type selection in §4.2 chooses TCP when endpoints live on different
+//!   nodes; elements must then cross a byte boundary);
+//! * [`frame`] — length-prefixed message framing with data/signal/EoS
+//!   frames, so synchronous signals survive the network hop;
+//! * [`link`] — [`link::TcpOut`]/[`link::TcpIn`] kernels: drop-in stream
+//!   endpoints that forward a stream over a socket, making a pipeline
+//!   spanning two maps (two "nodes") look exactly like a local one;
+//! * [`oar`] — the mesh: every node heartbeats its [`oar::NodeInfo`]
+//!   (name, cores, load average proxy) to its peers, giving the optimizer
+//!   the cluster view the paper's continuous optimization consumes;
+//! * [`compress`] — §4.2's future-work link compression: an LZ77-family
+//!   codec applied per frame, with a raw fallback for incompressible
+//!   payloads (used by [`link::TcpOut::compressed`]);
+//! * [`remote`] — oar's "remotely compile and execute kernels": workers
+//!   register named kernel factories, clients submit kernel-chain jobs and
+//!   stream data through them ([`remote::RemoteStage`] embeds the remote
+//!   hop as an ordinary pipeline stage).
+
+pub mod compress;
+pub mod frame;
+pub mod link;
+pub mod oar;
+pub mod remote;
+pub mod wire;
+
+pub use frame::{Frame, FrameKind};
+pub use link::{tcp_bridge, TcpIn, TcpOut};
+pub use oar::{NodeInfo, OarNode};
+pub use remote::{remote_apply, KernelRegistry, RemoteStage, RemoteWorker};
+pub use wire::Wire;

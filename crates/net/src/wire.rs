@@ -1,0 +1,196 @@
+//! Minimal binary encoding for stream elements crossing a TCP link.
+//!
+//! Hand-rolled (no serde): the paper's run-time "selects the narrowest
+//! convertible type for each link type and casts the types at each
+//! endpoint"; we keep the same spirit — fixed-width little-endian encodings
+//! chosen per element type, implemented for the primitive and composite
+//! types the examples and benches stream across nodes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A type that can cross a TCP stream link.
+pub trait Wire: Sized + Send + 'static {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode one value from `buf` (which contains exactly one payload).
+    /// `None` on malformed input.
+    fn decode(buf: &mut Bytes) -> Option<Self>;
+}
+
+macro_rules! wire_int {
+    ($($t:ty => $put:ident / $get:ident),* $(,)?) => {
+        $(
+            impl Wire for $t {
+                fn encode(&self, buf: &mut BytesMut) {
+                    buf.$put(*self);
+                }
+                fn decode(buf: &mut Bytes) -> Option<Self> {
+                    (buf.remaining() >= std::mem::size_of::<$t>()).then(|| buf.$get())
+                }
+            }
+        )*
+    };
+}
+
+wire_int! {
+    u8 => put_u8 / get_u8,
+    u16 => put_u16_le / get_u16_le,
+    u32 => put_u32_le / get_u32_le,
+    u64 => put_u64_le / get_u64_le,
+    i8 => put_i8 / get_i8,
+    i16 => put_i16_le / get_i16_le,
+    i32 => put_i32_le / get_i32_le,
+    i64 => put_i64_le / get_i64_le,
+    f32 => put_f32_le / get_f32_le,
+    f64 => put_f64_le / get_f64_le,
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return None;
+        }
+        let raw = buf.copy_to_bytes(len);
+        String::from_utf8(raw.to_vec()).ok()
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return None;
+        }
+        Some(buf.copy_to_bytes(len).to_vec())
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let a = A::decode(buf)?;
+        let b = B::decode(buf)?;
+        Some((a, b))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T>
+where
+    Vec<T>: VecWireMarker,
+{
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let len = buf.get_u32_le() as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+/// Marker avoiding the overlap between `Vec<u8>`'s bespoke impl and the
+/// generic `Vec<T>` impl: implemented for every element type except `u8`.
+pub trait VecWireMarker {}
+impl VecWireMarker for Vec<u16> {}
+impl VecWireMarker for Vec<u32> {}
+impl VecWireMarker for Vec<u64> {}
+impl VecWireMarker for Vec<i16> {}
+impl VecWireMarker for Vec<i32> {}
+impl VecWireMarker for Vec<i64> {}
+impl VecWireMarker for Vec<f32> {}
+impl VecWireMarker for Vec<f64> {}
+impl VecWireMarker for Vec<String> {}
+impl VecWireMarker for Vec<(u64, u32)> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug + Clone>(v: T) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = T::decode(&mut bytes).expect("decode");
+        assert_eq!(back, v);
+        assert_eq!(bytes.remaining(), 0, "trailing bytes after decode");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(-1i32);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        roundtrip(String::new());
+        roundtrip("hello world".to_string());
+        roundtrip("ünïcødé ✓".to_string());
+    }
+
+    #[test]
+    fn byte_vectors_roundtrip() {
+        roundtrip(Vec::<u8>::new());
+        roundtrip(vec![0u8, 1, 2, 255]);
+    }
+
+    #[test]
+    fn tuples_and_vectors_roundtrip() {
+        roundtrip((42u64, 7u32));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(vec![(1u64, 2u32), (3, 4)]);
+        roundtrip(vec!["a".to_string(), "bb".to_string()]);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let mut buf = BytesMut::new();
+        "hello".to_string().encode(&mut buf);
+        let mut truncated = buf.freeze().slice(0..6);
+        assert!(String::decode(&mut truncated).is_none());
+        let mut empty = Bytes::new();
+        assert!(u64::decode(&mut empty).is_none());
+    }
+
+    #[test]
+    fn invalid_utf8_fails_cleanly() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert!(String::decode(&mut buf.freeze()).is_none());
+    }
+}

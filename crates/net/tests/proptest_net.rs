@@ -1,0 +1,89 @@
+//! Property tests for the wire codec, framing, and compression: arbitrary
+//! payloads always roundtrip; arbitrary byte soup never panics decoders.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use raft_net::compress::{compress, compress_frame, decompress, decompress_frame};
+use raft_net::frame::Frame;
+use raft_net::wire::Wire;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wire_u64_roundtrip(v in any::<u64>()) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        prop_assert_eq!(u64::decode(&mut buf.freeze()), Some(v));
+    }
+
+    #[test]
+    fn wire_string_roundtrip(s in "\\PC*") {
+        let mut buf = BytesMut::new();
+        s.encode(&mut buf);
+        prop_assert_eq!(String::decode(&mut buf.freeze()), Some(s));
+    }
+
+    #[test]
+    fn wire_vec_pairs_roundtrip(v in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..50)) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        prop_assert_eq!(Vec::<(u64, u32)>::decode(&mut buf.freeze()), Some(v));
+    }
+
+    /// Decoding random bytes must never panic (may legitimately fail).
+    #[test]
+    fn wire_decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let _ = String::decode(&mut Bytes::from(raw.clone()));
+        let _ = Vec::<u8>::decode(&mut Bytes::from(raw.clone()));
+        let _ = Vec::<u64>::decode(&mut Bytes::from(raw.clone()));
+        let _ = u64::decode(&mut Bytes::from(raw));
+    }
+
+    #[test]
+    fn frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let f = Frame::data(Bytes::from(payload), raft_buffer::Signal::None);
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        let back = Frame::read_from(&mut std::io::Cursor::new(buf)).unwrap().unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    /// Frame reader survives arbitrary byte soup without panicking.
+    #[test]
+    fn frame_reader_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut cursor = std::io::Cursor::new(raw);
+        while let Ok(Some(_)) = Frame::read_from(&mut cursor) {}
+    }
+
+    #[test]
+    fn lz_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..5000)) {
+        let lz = compress(&data);
+        prop_assert_eq!(decompress(&lz, data.len()), Some(data));
+    }
+
+    /// Repetitive inputs roundtrip too (stress the match encoder).
+    #[test]
+    fn lz_roundtrip_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..20),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let lz = compress(&data);
+        prop_assert_eq!(decompress(&lz, data.len()), Some(data));
+    }
+
+    #[test]
+    fn compressed_frame_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        let payload = Bytes::from(data);
+        let framed = compress_frame(&payload);
+        prop_assert_eq!(decompress_frame(&framed), Some(payload));
+    }
+
+    /// Decompressors must never panic on garbage.
+    #[test]
+    fn decompressors_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..500)) {
+        let _ = decompress(&raw, 1024);
+        let _ = decompress_frame(&Bytes::from(raw));
+    }
+}

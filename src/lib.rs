@@ -1,0 +1,13 @@
+//! # raftlib-suite
+//!
+//! Umbrella crate for the raftlib-rs reproduction of RaftLib (PMAM'15):
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The actual functionality lives in the
+//! workspace crates re-exported below.
+
+pub use raft_algos as algos;
+pub use raft_buffer as buffer;
+pub use raft_kernels as kernels;
+pub use raft_model as model;
+pub use raft_net as net;
+pub use raftlib as raft;
