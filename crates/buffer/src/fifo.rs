@@ -91,7 +91,15 @@ struct Storage<T> {
     mask: usize,
 }
 
+// SAFETY: slots are only touched through the head/tail protocol — the
+// producer writes a slot strictly before publishing it with a Release store
+// of `tail`, the consumer reads it strictly after an Acquire load of `tail`,
+// and a resize holds the exclusive storage lock, which excludes both
+// endpoints' shared-lock fast paths. Every access is therefore ordered, so
+// the storage may move to (Send) or be shared with (Sync) other threads
+// whenever the elements themselves are Send.
 unsafe impl<T: Send> Send for Storage<T> {}
+// SAFETY: see the `Send` justification above.
 unsafe impl<T: Send> Sync for Storage<T> {}
 
 impl<T> Storage<T> {
@@ -310,6 +318,15 @@ impl<T: Send> Fifo<T> {
             let dst_start = head & new.mask;
             let src_contig = src_start + live <= old_cap;
             let dst_contig = dst_start + live <= new.capacity();
+            // SAFETY: the exclusive write lock excludes both endpoints, so
+            // nothing reads or writes either storage concurrently. Source
+            // slots `[head, tail)` are initialized (live region); destination
+            // slots are freshly allocated and distinct allocations, so the
+            // ranges cannot overlap. `new_capacity >= live` (clamped above)
+            // guarantees the destination indices stay in bounds, and the
+            // bit-copy is a move: the old slots are discarded as
+            // `MaybeUninit` (never dropped) right after, so no element is
+            // duplicated or leaked.
             unsafe {
                 if src_contig && dst_contig {
                     // Fast path: one memcpy of the whole live region.
@@ -420,7 +437,7 @@ impl<T: Send> Monitorable for Fifo<T> {
         Fifo::shrink(self)
     }
     fn sample(&self) {
-        Fifo::sample(self)
+        Fifo::sample(self);
     }
     fn max_capacity(&self) -> usize {
         Fifo::max_capacity(self)
@@ -432,7 +449,7 @@ impl<T: Send> Monitorable for Fifo<T> {
         Fifo::is_finished(self)
     }
     fn post_async(&self, signal: Signal) {
-        Fifo::post_async(self, signal)
+        Fifo::post_async(self, signal);
     }
 }
 
@@ -441,6 +458,10 @@ pub struct Producer<T> {
     shared: Arc<Shared<T>>,
 }
 
+// SAFETY: the producer handle is the unique owner of the producer role (not
+// Clone), so sending it to another thread only relocates that role; all slot
+// access it performs is ordered by the head/tail protocol and `T: Send`
+// covers the elements that cross threads.
 unsafe impl<T: Send> Send for Producer<T> {}
 
 impl<T: Send> Producer<T> {
@@ -537,8 +558,10 @@ impl<T: Send> Producer<T> {
         let head = shared.head.load(Acquire);
         let room = storage.capacity().saturating_sub(tail - head);
         let n = room.min(items.len());
-        // SAFETY: single producer; slots [tail, tail+n) are free.
         for v in items.drain(..n) {
+            // SAFETY: single producer; slots [tail, tail+n) are outside the
+            // live region, so nothing reads them until the Release store of
+            // `tail` below publishes the batch.
             unsafe { (*storage.slot(tail)).write((v, Signal::None)) };
             tail += 1;
         }
@@ -743,6 +766,7 @@ pub struct Consumer<T> {
     shared: Arc<Shared<T>>,
 }
 
+// SAFETY: same argument as `Producer` — one non-Clone handle per role.
 unsafe impl<T: Send> Send for Consumer<T> {}
 
 impl<T: Send> Consumer<T> {
@@ -754,8 +778,7 @@ impl<T: Send> Consumer<T> {
         let tail = shared.tail.load(Acquire);
         if head == tail {
             drop(storage);
-            return if shared.producer_closed.load(Acquire) && shared.tail.load(Acquire) == head
-            {
+            return if shared.producer_closed.load(Acquire) && shared.tail.load(Acquire) == head {
                 Err(TryPopError::Closed)
             } else {
                 Err(TryPopError::Empty)

@@ -36,6 +36,7 @@ pub mod fifo;
 pub mod signal;
 pub mod spsc;
 pub mod stats;
+pub(crate) mod sync;
 
 pub use error::{PopError, PushError, TryPopError, TryPushError};
 pub use fifo::{fifo_with, Consumer, Fifo, FifoConfig, PeekRange, Producer, WriteGuard};

@@ -8,25 +8,37 @@
 //!
 //! [`BoundedSpsc`] is used directly for the FIFO ablation bench and serves as
 //! the storage core that [`crate::fifo::Fifo`] wraps with dynamic resizing.
+//!
+//! All atomics and cells come from [`crate::sync`], so building with
+//! `RUSTFLAGS="--cfg loom"` swaps in loom's instrumented primitives and the
+//! tests in `tests/loom_spsc.rs` model-check every permitted interleaving of
+//! the head/tail protocol below.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{
-    AtomicBool, AtomicUsize,
-    Ordering::{Acquire, Relaxed, Release},
-};
-use std::sync::Arc;
 
 use crate::error::{TryPopError, TryPushError};
 use crate::signal::Signal;
+use crate::sync::{
+    Arc, AtomicBool, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release},
+    UnsafeCell,
+};
 
 /// One ring slot: possibly-uninitialized element plus its synchronous signal.
 struct Slot<T> {
     value: UnsafeCell<MaybeUninit<(T, Signal)>>,
 }
 
-// SAFETY: access to each slot is serialized by the head/tail protocol below.
+// SAFETY: a Slot is only ever touched through the head/tail protocol: the
+// producer writes slot `i` strictly before its Release store of `tail = i+1`,
+// and the consumer reads slot `i` strictly after its Acquire load observes
+// `tail > i`. Every slot access is therefore ordered by an atomic
+// release/acquire pair, so sending or sharing the slot between the two
+// threads cannot race as long as `T: Send` (the element itself may move
+// across threads).
 unsafe impl<T: Send> Send for Slot<T> {}
+// SAFETY: see the `Send` justification above — shared access (`&Slot`) is
+// still serialized per-slot by the counter protocol.
 unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Shared state of a fixed-capacity SPSC ring.
@@ -76,7 +88,10 @@ impl<T> RingCore<T> {
             .saturating_sub(self.head.load(Acquire))
     }
 
-    /// Producer-side push. SAFETY: must only be called by the single producer.
+    /// Producer-side push.
+    ///
+    /// # Safety
+    /// Must only be called by the single producer thread.
     #[inline]
     pub(crate) unsafe fn try_push(&self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
         if self.consumer_closed.load(Relaxed) {
@@ -88,12 +103,22 @@ impl<T> RingCore<T> {
             return Err(TryPushError::Full(value));
         }
         let slot = &self.slots[tail & self.mask];
-        unsafe { (*slot.value.get()).write((value, signal)) };
+        slot.value.with_mut(|p| {
+            // SAFETY: `tail - head < capacity` (checked above), so slot
+            // `tail & mask` is outside the live region: the consumer will not
+            // touch it until our Release store below publishes it, and we are
+            // the only producer (caller contract). Writing through the raw
+            // pointer is therefore exclusive.
+            unsafe { (*p).write((value, signal)) };
+        });
         self.tail.store(tail + 1, Release);
         Ok(())
     }
 
-    /// Consumer-side pop. SAFETY: must only be called by the single consumer.
+    /// Consumer-side pop.
+    ///
+    /// # Safety
+    /// Must only be called by the single consumer thread.
     #[inline]
     pub(crate) unsafe fn try_pop(&self) -> Result<(T, Signal), TryPopError> {
         let head = self.head.load(Relaxed);
@@ -112,14 +137,22 @@ impl<T> RingCore<T> {
             };
         }
         let slot = &self.slots[head & self.mask];
-        let pair = unsafe { (*slot.value.get()).assume_init_read() };
+        // SAFETY: `head < tail` was observed through an Acquire load, which
+        // synchronizes-with the producer's Release store after it initialized
+        // this slot — so the slot is initialized and the producer will not
+        // write it again until our Release store below frees it. We are the
+        // only consumer (caller contract), so the read-out is exclusive.
+        let pair = slot.value.with(|p| unsafe { (*p).assume_init_read() });
         self.head.store(head + 1, Release);
         Ok(pair)
     }
 
     /// Consumer-side peek of the `i`-th available element (0 = front).
     /// Returns a reference valid until the next `pop` by the same thread.
-    /// SAFETY: single consumer only; `i` must be < occupancy (checked).
+    ///
+    /// # Safety
+    /// Must only be called by the single consumer thread. (`i` beyond the
+    /// occupancy is handled — it returns `None`.)
     #[inline]
     pub(crate) unsafe fn peek_at(&self, i: usize) -> Option<&(T, Signal)> {
         let head = self.head.load(Relaxed);
@@ -128,7 +161,15 @@ impl<T> RingCore<T> {
             return None;
         }
         let slot = &self.slots[(head + i) & self.mask];
-        Some(unsafe { (*slot.value.get()).assume_init_ref() })
+        // SAFETY: `head + i < tail` (checked above, Acquire) means the slot
+        // is initialized and inside the live region; the producer cannot
+        // reuse it until the consumer advances `head`, and only the consumer
+        // (caller contract) can do that. The returned reference borrows
+        // `self`, so it dies before any `pop` by the same thread. The pointer
+        // does not escape the `with` closure — only the derived shared
+        // reference, which stays valid because the cell's contents are not
+        // moved or mutated while the live region holds this slot.
+        Some(slot.value.with(|p| unsafe { (*p).assume_init_ref() }))
     }
 
     /// `true` iff the live region `[head, tail)` does not wrap around the
@@ -141,20 +182,32 @@ impl<T> RingCore<T> {
     }
 
     /// Drain remaining initialized elements (used on drop).
-    /// SAFETY: caller must have exclusive access.
+    ///
+    /// # Safety
+    /// Caller must have exclusive access to the ring (`&mut self` plus no
+    /// outstanding element references), which `Drop` guarantees.
     unsafe fn drain(&mut self) {
-        let head = *self.head.get_mut();
-        let tail = *self.tail.get_mut();
+        // Relaxed suffices: `&mut self` proves no other thread can touch the
+        // counters concurrently. (loom's atomics have no `get_mut`, so plain
+        // loads/stores keep this path identical under the model checker.)
+        let head = self.head.load(Relaxed);
+        let tail = self.tail.load(Relaxed);
         for i in head..tail {
             let slot = &self.slots[i & self.mask];
-            unsafe { (*slot.value.get()).assume_init_drop() };
+            // SAFETY: every index in `[head, tail)` was written by a push and
+            // not yet consumed, so the slot is initialized; exclusive access
+            // is the caller's contract. Each slot is dropped exactly once
+            // because `head` is advanced to `tail` below.
+            slot.value.with_mut(|p| unsafe { (*p).assume_init_drop() });
         }
-        *self.head.get_mut() = tail;
+        self.head.store(tail, Relaxed);
     }
 }
 
 impl<T> Drop for RingCore<T> {
     fn drop(&mut self) {
+        // SAFETY: dropping grants exclusive access — both endpoint handles
+        // are gone (they hold the only Arcs) and no element refs outlive them.
         unsafe { self.drain() };
     }
 }
@@ -169,10 +222,7 @@ impl<T: Send> BoundedSpsc<T> {
     #[allow(clippy::new_ret_no_self)] // intentionally a factory of the two halves
     pub fn new(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
         let core = Arc::new(RingCore::with_capacity(capacity));
-        (
-            SpscProducer { core: core.clone() },
-            SpscConsumer { core },
-        )
+        (SpscProducer { core: core.clone() }, SpscConsumer { core })
     }
 }
 
@@ -186,7 +236,12 @@ pub struct SpscConsumer<T> {
     core: Arc<RingCore<T>>,
 }
 
+// SAFETY: the producer handle owns the producer role exclusively (it is not
+// Clone), so moving it to another thread just moves which thread plays
+// producer; the ring itself synchronizes via the head/tail protocol and `T`
+// is required to be Send for the elements that cross.
 unsafe impl<T: Send> Send for SpscProducer<T> {}
+// SAFETY: same argument as SpscProducer — one non-Clone handle per role.
 unsafe impl<T: Send> Send for SpscConsumer<T> {}
 
 impl<T: Send> SpscProducer<T> {
@@ -200,11 +255,13 @@ impl<T: Send> SpscProducer<T> {
     /// Attempt to enqueue an element with a synchronous signal.
     #[inline]
     pub fn try_push_signal(&mut self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
+        // SAFETY: &mut self guarantees we are the only producer call site.
         unsafe { self.core.try_push(value, signal) }
     }
 
     /// Spin until the element fits or the consumer disconnects.
     pub fn push(&mut self, mut value: T) -> Result<(), crate::error::PushError<T>> {
+        #[cfg(not(loom))]
         let backoff = crossbeam::utils::Backoff::new();
         loop {
             match self.try_push(value) {
@@ -212,8 +269,14 @@ impl<T: Send> SpscProducer<T> {
                 Err(TryPushError::Closed(v)) => return Err(crate::error::PushError(v)),
                 Err(TryPushError::Full(v)) => {
                     value = v;
+                    // Under loom, every pause must be a loom yield so the
+                    // model checker can switch threads; crossbeam's pause
+                    // instruction would spin the model forever.
+                    #[cfg(loom)]
+                    crate::sync::yield_now();
+                    #[cfg(not(loom))]
                     if backoff.is_completed() {
-                        std::thread::yield_now();
+                        crate::sync::yield_now();
                     } else {
                         backoff.snooze();
                     }
@@ -255,19 +318,25 @@ impl<T: Send> SpscConsumer<T> {
     /// Attempt to dequeue an element together with its signal.
     #[inline]
     pub fn try_pop_signal(&mut self) -> Result<(T, Signal), TryPopError> {
+        // SAFETY: &mut self guarantees we are the only consumer call site.
         unsafe { self.core.try_pop() }
     }
 
     /// Spin until an element arrives; `Err` once closed *and* drained.
     pub fn pop(&mut self) -> Result<T, crate::error::PopError> {
+        #[cfg(not(loom))]
         let backoff = crossbeam::utils::Backoff::new();
         loop {
             match self.try_pop() {
                 Ok(v) => return Ok(v),
                 Err(TryPopError::Closed) => return Err(crate::error::PopError),
                 Err(TryPopError::Empty) => {
+                    // See `push`: loom needs a loom-visible yield point here.
+                    #[cfg(loom)]
+                    crate::sync::yield_now();
+                    #[cfg(not(loom))]
                     if backoff.is_completed() {
-                        std::thread::yield_now();
+                        crate::sync::yield_now();
                     } else {
                         backoff.snooze();
                     }
@@ -278,6 +347,7 @@ impl<T: Send> SpscConsumer<T> {
 
     /// Reference to the front element, if any (no copy).
     pub fn peek(&mut self) -> Option<&T> {
+        // SAFETY: &mut self guarantees we are the only consumer call site.
         unsafe { self.core.peek_at(0).map(|(v, _)| v) }
     }
 

@@ -73,15 +73,15 @@ impl std::error::Error for LinkError {}
 /// Errors raised by `exe()` — graph validation and execution failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExeError {
-    /// A port was declared but never linked (the paper: the graph is
-    /// "checked to ensure it is fully connected" before running).
-    UnconnectedPort {
-        /// Kernel display name.
-        kernel: String,
-        /// Port name.
-        port: String,
-        /// `true` if an input port, `false` if an output.
-        is_input: bool,
+    /// The static checker found blocking problems (the paper: the graph is
+    /// "checked to ensure it is fully connected" before running; see
+    /// [`crate::check`] for the full lint registry). Carries every
+    /// diagnostic from the run — warnings included — so callers can render
+    /// the whole picture; at least one entry has
+    /// [`Severity::Error`](crate::diagnostics::Severity::Error).
+    CheckFailed {
+        /// All findings from [`crate::map::RaftMap::check`].
+        diagnostics: Vec<crate::diagnostics::Diagnostic>,
     },
     /// The map contains no kernels.
     EmptyMap,
@@ -95,15 +95,14 @@ pub enum ExeError {
 impl fmt::Display for ExeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExeError::UnconnectedPort {
-                kernel,
-                port,
-                is_input,
-            } => write!(
-                f,
-                "{} port {port:?} of kernel {kernel:?} is not connected",
-                if *is_input { "input" } else { "output" }
-            ),
+            ExeError::CheckFailed { diagnostics } => {
+                let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+                write!(f, "graph check failed with {errors} error(s):")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             ExeError::EmptyMap => write!(f, "map contains no kernels"),
             ExeError::KernelPanicked { kernels } => {
                 write!(f, "kernel(s) panicked during execution: {kernels:?}")

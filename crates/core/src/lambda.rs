@@ -237,7 +237,12 @@ mod tests {
     #[test]
     fn general_lambda_spec() {
         let k = LambdaKernel::new(
-            || PortSpec::new().input::<u8>("0").input::<u8>("1").output::<u8>("0"),
+            || {
+                PortSpec::new()
+                    .input::<u8>("0")
+                    .input::<u8>("1")
+                    .output::<u8>("0")
+            },
             |_ctx| KStatus::Stop,
         );
         let spec = k.ports();

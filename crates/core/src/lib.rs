@@ -63,6 +63,8 @@
 //! (every table and figure of the paper's evaluation).
 
 pub mod algoset;
+pub mod check;
+pub mod diagnostics;
 pub mod error;
 pub mod kernel;
 pub mod lambda;
@@ -76,6 +78,8 @@ pub mod runtime;
 pub mod scheduler;
 
 pub use algoset::{AlgoSet, AlgoSwitch};
+pub use check::{passes, CheckConfig, LintPass};
+pub use diagnostics::{Diagnostic, Severity};
 pub use error::{ExeError, LinkError, PortClosed};
 pub use kernel::{KStatus, Kernel, PortDef, PortSpec};
 pub use lambda::{lambda_map, lambda_sink, lambda_source, LambdaKernel};
@@ -93,6 +97,8 @@ pub use raft_buffer::{FifoConfig, Signal};
 /// Everything needed to write and run a streaming application.
 pub mod prelude {
     pub use crate::algoset::{AlgoSet, AlgoSwitch};
+    pub use crate::check::CheckConfig;
+    pub use crate::diagnostics::{Diagnostic, Severity};
     pub use crate::error::{ExeError, LinkError, PortClosed};
     pub use crate::kernel::{KStatus, Kernel, PortSpec};
     pub use crate::lambda::{lambda_map, lambda_sink, lambda_source, LambdaKernel};

@@ -16,6 +16,8 @@ use std::time::Duration;
 
 use raft_buffer::FifoConfig;
 
+use crate::check::CheckConfig;
+use crate::diagnostics::{Diagnostic, Severity};
 use crate::error::LinkError;
 use crate::kernel::{Kernel, PortSpec};
 use crate::monitor::MonitorConfig;
@@ -39,6 +41,8 @@ pub struct MapConfig {
     pub scheduler: SchedulerKind,
     /// Automatic parallelization settings.
     pub parallel: ParallelConfig,
+    /// Static checker settings (lint severities and thresholds).
+    pub check: CheckConfig,
 }
 
 impl Default for MapConfig {
@@ -48,6 +52,7 @@ impl Default for MapConfig {
             monitor: MonitorConfig::default(),
             scheduler: SchedulerKind::ThreadPerKernel,
             parallel: ParallelConfig::default(),
+            check: CheckConfig::default(),
         }
     }
 }
@@ -86,6 +91,9 @@ pub(crate) struct KernelEntry {
     /// Initial *active* width when a range was requested (replicas are
     /// built to `width_hint`, the optimizer widens from here).
     pub start_width: Option<u32>,
+    /// Declared steady-state service rate (items/sec) for the `RC0007`
+    /// capacity-feasibility lint; `None` = undeclared (pass skips).
+    pub service_rate: Option<f64>,
 }
 
 #[derive(Debug, Clone)]
@@ -149,8 +157,19 @@ impl RaftMap {
             name,
             width_hint: None,
             start_width: None,
+            service_rate: None,
         });
         KernelId(self.kernels.len() - 1)
+    }
+
+    /// Declare the expected steady-state service rate of `kernel`
+    /// (items/sec). Purely advisory: the `RC0007` capacity lint uses the
+    /// declared rates of a stream's two endpoints to estimate, via an
+    /// M/M/1/K model, whether the stream's configured capacity ceiling can
+    /// sustain the flow — turning a runtime stall into a pre-`exe()`
+    /// warning.
+    pub fn declare_service_rate(&mut self, kernel: KernelId, items_per_sec: f64) {
+        self.kernels[kernel.0].service_rate = Some(items_per_sec);
     }
 
     /// Request that `kernel` run with `width` parallel replicas (subject to
@@ -192,13 +211,14 @@ impl RaftMap {
         } else {
             &entry.spec.outputs
         };
-        let idx = defs.iter().position(|p| p.name == port).ok_or_else(|| {
-            LinkError::NoSuchPort {
-                kernel: entry.name.clone(),
-                port: port.to_string(),
-                available: defs.iter().map(|p| p.name.clone()).collect(),
-            }
-        })?;
+        let idx =
+            defs.iter()
+                .position(|p| p.name == port)
+                .ok_or_else(|| LinkError::NoSuchPort {
+                    kernel: entry.name.clone(),
+                    port: port.to_string(),
+                    available: defs.iter().map(|p| p.name.clone()).collect(),
+                })?;
         Ok((id.0, idx))
     }
 
@@ -337,23 +357,73 @@ impl RaftMap {
         Ok(defs[0].name.clone())
     }
 
+    /// Run every registered static-analysis pass over the topology and
+    /// return the findings (errors first). `exe()` calls this and refuses
+    /// to run when any [`Severity::Error`] diagnostic is present; calling
+    /// it directly lets an application surface warnings (or render them
+    /// with [`RaftMap::to_dot_with`]) before committing to execution.
+    pub fn check(&self) -> Vec<Diagnostic> {
+        crate::check::run_all(self)
+    }
+
     /// Render the topology as Graphviz DOT — a quick visualization of what
     /// `exe()` will run (ports on edge labels, dashed = out-of-order-safe).
     pub fn to_dot(&self) -> String {
+        self.to_dot_with(&[])
+    }
+
+    /// [`RaftMap::to_dot`], with diagnosed kernels and streams highlighted:
+    /// anything named in an `Error` diagnostic is colored red, `Warn`
+    /// orange. Pass the output of [`RaftMap::check`].
+    pub fn to_dot_with(&self, diagnostics: &[Diagnostic]) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph raft {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
-        for (i, k) in self.kernels.iter().enumerate() {
-            let _ = writeln!(out, "  k{i} [label=\"{}\"];", k.name);
+        // Worst severity per kernel/link index, if any.
+        let mut kernel_sev: Vec<Option<Severity>> = vec![None; self.kernels.len()];
+        let mut link_sev: Vec<Option<Severity>> = vec![None; self.links.len()];
+        for d in diagnostics {
+            for &k in &d.kernels {
+                if let Some(slot) = kernel_sev.get_mut(k) {
+                    *slot = Some(slot.map_or(d.severity, |s| s.max(d.severity)));
+                }
+            }
+            for &l in &d.links {
+                if let Some(slot) = link_sev.get_mut(l) {
+                    *slot = Some(slot.map_or(d.severity, |s| s.max(d.severity)));
+                }
+            }
         }
-        for l in &self.links {
+        let color = |sev: Option<Severity>| match sev {
+            Some(Severity::Error) => Some("red"),
+            Some(Severity::Warn) => Some("orange"),
+            _ => None,
+        };
+        let mut out = String::from(
+            "digraph raft {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = write!(out, "  k{i} [label=\"{}\"", dot_escape(&k.name));
+            if let Some(c) = color(kernel_sev[i]) {
+                let _ = write!(out, ", color={c}, fontcolor={c}");
+            }
+            out.push_str("];\n");
+        }
+        for (li, l) in self.links.iter().enumerate() {
             let sp = &self.kernels[l.src].spec.outputs[l.src_port].name;
             let dp = &self.kernels[l.dst].spec.inputs[l.dst_port].name;
             let style = if l.ordered { "solid" } else { "dashed" };
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "  k{} -> k{} [label=\"{}→{}\", style={}];",
-                l.src, l.dst, sp, dp, style
+                "  k{} -> k{} [label=\"{}→{}\", style={}",
+                l.src,
+                l.dst,
+                dot_escape(sp),
+                dot_escape(dp),
+                style
             );
+            if let Some(c) = color(link_sev[li]) {
+                let _ = write!(out, ", color={c}, fontcolor={c}");
+            }
+            out.push_str("];\n");
         }
         out.push_str("}\n");
         out
@@ -379,12 +449,25 @@ impl RaftMap {
     /// `timeout`, the cooperative stop flag is raised (sources observe it
     /// via `Context::stop_requested`) and execution joins as soon as the
     /// pipeline drains.
-    pub fn exe_with_timeout(
-        self,
-        timeout: Duration,
-    ) -> Result<ExeReport, crate::error::ExeError> {
+    pub fn exe_with_timeout(self, timeout: Duration) -> Result<ExeReport, crate::error::ExeError> {
         runtime::execute_with_deadline(self, Some(timeout))
     }
+}
+
+/// Escape a string for use inside a double-quoted DOT label: `\` and `"`
+/// would otherwise terminate or corrupt the label. Newlines become DOT
+/// line breaks. Used for both node and edge labels.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -515,5 +598,82 @@ mod tests {
         let a = m.add(Producer1);
         let b = m.add(Producer1);
         assert_ne!(m.kernel_name(a), m.kernel_name(b));
+    }
+
+    #[test]
+    fn dot_escape_handles_quotes_backslashes_newlines() {
+        assert_eq!(dot_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(dot_escape(r"a\b"), r"a\\b");
+        assert_eq!(dot_escape("a\nb"), r"a\nb");
+        assert_eq!(dot_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn dot_export_escapes_hostile_kernel_names() {
+        struct Evil;
+        impl Kernel for Evil {
+            fn ports(&self) -> PortSpec {
+                PortSpec::new().output::<u32>("out")
+            }
+            fn run(&mut self, _ctx: &Context) -> KStatus {
+                KStatus::Stop
+            }
+            fn name(&self) -> String {
+                "ev\"il\\k".to_string()
+            }
+        }
+        let mut m = RaftMap::new();
+        let e = m.add(Evil);
+        let c = m.add(Consumer1);
+        m.link(e, "out", c, "in").unwrap();
+        let dot = m.to_dot();
+        assert!(dot.contains(r#"ev\"il\\k"#), "{dot}");
+        // No unescaped quote may remain inside the label.
+        assert!(!dot.contains(r#"label="ev"il"#), "{dot}");
+    }
+
+    #[test]
+    fn dot_with_diagnostics_colors_offenders() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c = m.add(Consumer1);
+        m.link(p, "out", c, "in").unwrap();
+        let diags = vec![
+            crate::diagnostics::Diagnostic::new(
+                "RC0003",
+                "cycle",
+                crate::diagnostics::Severity::Error,
+                "test",
+            )
+            .with_kernel(0)
+            .with_link(0),
+            crate::diagnostics::Diagnostic::new(
+                "RC0007",
+                "capacity",
+                crate::diagnostics::Severity::Warn,
+                "test",
+            )
+            .with_kernel(1),
+        ];
+        let dot = m.to_dot_with(&diags);
+        assert!(
+            dot.contains("k0 [label=\"Producer1#0\", color=red"),
+            "{dot}"
+        );
+        assert!(
+            dot.contains("k1 [label=\"Consumer1#1\", color=orange"),
+            "{dot}"
+        );
+        assert!(dot.contains("style=solid, color=red"), "{dot}");
+        // Plain export stays uncolored.
+        assert!(!m.to_dot().contains("color=red"));
+    }
+
+    #[test]
+    fn declared_rates_are_stored() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        m.declare_service_rate(p, 1000.0);
+        assert_eq!(m.kernels[p.0].service_rate, Some(1000.0));
     }
 }

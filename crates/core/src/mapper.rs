@@ -95,7 +95,10 @@ pub struct CommGraph {
 impl CommGraph {
     /// Graph over `n` kernels with no edges yet.
     pub fn new(n: usize) -> Self {
-        CommGraph { n, edges: Vec::new() }
+        CommGraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Add a communication edge.
@@ -157,7 +160,9 @@ fn place(
                     remaining.len()
                 } else {
                     // proportional share, at least 0
-                    (kernels.len() * child.capacity()).div_ceil(total_cap).min(remaining.len())
+                    (kernels.len() * child.capacity())
+                        .div_ceil(total_cap)
+                        .min(remaining.len())
                 };
                 let group = extract_group(graph, &mut remaining, quota);
                 // Edges from this group to kernels left in `remaining` are

@@ -149,8 +149,8 @@ mod tests {
 
     #[test]
     fn renders_a_real_report() {
-        use crate::prelude::*;
         use crate::lambda::{lambda_sink, lambda_source};
+        use crate::prelude::*;
         let mut map = RaftMap::new();
         let mut i = 0u64;
         let src = map.add(lambda_source(move || {

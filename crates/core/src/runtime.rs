@@ -110,7 +110,14 @@ pub fn execute_with_deadline(
     if map.kernels.is_empty() {
         return Err(ExeError::EmptyMap);
     }
-    validate_connected(&map)?;
+    // Static analysis before anything is allocated or spawned: the lint
+    // registry in `crate::check` (connectivity, reachability, cycles,
+    // types, capacity feasibility). Any Error-severity finding aborts —
+    // turning would-be runtime hangs into fast, explained failures.
+    let diagnostics = map.check();
+    if diagnostics.iter().any(|d| d.is_error()) {
+        return Err(ExeError::CheckFailed { diagnostics });
+    }
     let planned_splits = expand_replicas(&mut map);
     let replicated = planned_splits
         .iter()
@@ -188,8 +195,7 @@ pub fn execute_with_deadline(
             successors[link.src].push(link.dst);
         }
     }
-    let links_snapshot: Vec<(usize, usize)> =
-        map.links.iter().map(|l| (l.src, l.dst)).collect();
+    let links_snapshot: Vec<(usize, usize)> = map.links.iter().map(|l| (l.src, l.dst)).collect();
     for ((((entry, inputs), outputs), succ), out_fifos) in map
         .kernels
         .into_iter()
@@ -246,9 +252,7 @@ pub fn execute_with_deadline(
     let timing = true;
     let started = Instant::now();
     let outcomes = match map.cfg.scheduler {
-        SchedulerKind::ThreadPerKernel => {
-            ThreadPerKernel { timing }.execute(runners, stop.clone())
-        }
+        SchedulerKind::ThreadPerKernel => ThreadPerKernel { timing }.execute(runners, stop.clone()),
         SchedulerKind::Pool { workers } => CooperativePool {
             workers,
             timing,
@@ -343,32 +347,6 @@ pub fn execute_with_deadline(
     }
 }
 
-/// Every declared port must be connected (§4.2: the graph is checked to be
-/// fully connected before execution).
-fn validate_connected(map: &RaftMap) -> Result<(), ExeError> {
-    for (ki, entry) in map.kernels.iter().enumerate() {
-        for (pi, def) in entry.spec.inputs.iter().enumerate() {
-            if !map.links.iter().any(|l| l.dst == ki && l.dst_port == pi) {
-                return Err(ExeError::UnconnectedPort {
-                    kernel: entry.name.clone(),
-                    port: def.name.clone(),
-                    is_input: true,
-                });
-            }
-        }
-        for (pi, def) in entry.spec.outputs.iter().enumerate() {
-            if !map.links.iter().any(|l| l.src == ki && l.src_port == pi) {
-                return Err(ExeError::UnconnectedPort {
-                    kernel: entry.name.clone(),
-                    port: def.name.clone(),
-                    is_input: false,
-                });
-            }
-        }
-    }
-    Ok(())
-}
-
 struct PlannedSplit {
     split_idx: usize,
     width: u32,
@@ -451,7 +429,7 @@ fn expand_replicas(map: &mut RaftMap) -> Vec<PlannedSplit> {
         let (out_ordered, out_fifo) = (map.links[out_idx].ordered, map.links[out_idx].fifo);
         map.links[in_idx].dst = split_idx;
         map.links[in_idx].dst_port = 0; // split's single input "in"
-        // downstream <- reduce
+                                        // downstream <- reduce
         map.links[out_idx].src = reduce_idx;
         map.links[out_idx].src_port = 0; // reduce's single output "out"
 
@@ -494,6 +472,7 @@ fn push_kernel(map: &mut RaftMap, kernel: Box<dyn Kernel>, name: &str) -> usize 
         name: format!("{name}#{}", map.kernels.len()),
         width_hint: None,
         start_width: None,
+        service_rate: None,
     });
     map.kernels.len() - 1
 }

@@ -1,0 +1,263 @@
+//! Integration tests for the static graph checker (`raft-check`): the lint
+//! registry behind [`RaftMap::check`] and the `exe()` fail-fast gate.
+
+use raftlib::prelude::*;
+
+struct Src;
+impl Kernel for Src {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().output::<i64>("out")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+struct Sink;
+impl Kernel for Sink {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<i64>("in")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+/// A pass-through stage with a feedback input — lets tests build cycles
+/// through the public `link` API.
+struct Stage;
+impl Kernel for Stage {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new()
+            .input::<i64>("in")
+            .input::<i64>("fb")
+            .output::<i64>("out")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+/// A stage that also produces the feedback edge.
+struct FbStage;
+impl Kernel for FbStage {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new()
+            .input::<i64>("in")
+            .output::<i64>("out")
+            .output::<i64>("fb")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+struct Map1;
+impl Kernel for Map1 {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<i64>("in").output::<i64>("out")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+/// src -> a(Stage) -> b(FbStage) -> sink, with b.fb -> a.fb closing a cycle
+/// {a, b}. Every port is connected, so RC0003 is the only error.
+fn cyclic_map() -> RaftMap {
+    let mut map = RaftMap::new();
+    let src = map.add(Src);
+    let a = map.add(Stage);
+    let b = map.add(FbStage);
+    let sink = map.add(Sink);
+    map.link(src, "out", a, "in").unwrap();
+    map.link(a, "out", b, "in").unwrap();
+    map.link(b, "out", sink, "in").unwrap();
+    map.link(b, "fb", a, "fb").unwrap();
+    map
+}
+
+#[test]
+fn cycle_is_diagnosed_with_rc0003() {
+    let map = cyclic_map();
+    let diags = map.check();
+    let cycles: Vec<_> = diags.iter().filter(|d| d.code == "RC0003").collect();
+    assert_eq!(cycles.len(), 1, "{diags:?}");
+    let d = cycles[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("Stage#1"), "{}", d.message);
+    assert!(d.message.contains("FbStage#2"), "{}", d.message);
+    assert_eq!(d.kernels, vec![1, 2]);
+    // Both intra-cycle links (a->b and b->a) are attached for highlighting.
+    assert_eq!(d.links.len(), 2);
+}
+
+#[test]
+fn exe_refuses_cyclic_map_fast() {
+    let started = std::time::Instant::now();
+    let err = cyclic_map().exe().unwrap_err();
+    // Fail-fast: refused by static analysis, not by a runtime hang/timeout.
+    assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    match err {
+        ExeError::CheckFailed { diagnostics } => {
+            assert!(diagnostics.iter().any(|d| d.code == "RC0003"));
+            assert!(diagnostics.iter().any(|d| d.is_error()));
+        }
+        other => panic!("expected CheckFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn cycle_severity_is_configurable() {
+    let mut map = cyclic_map();
+    map.config_mut().check.cycle_severity = Severity::Warn;
+    let diags = map.check();
+    let cycle = diags.iter().find(|d| d.code == "RC0003").unwrap();
+    assert_eq!(cycle.severity, Severity::Warn);
+    assert!(!diags.iter().any(|d| d.is_error()), "{diags:?}");
+    // Downgraded to a warning, the gate lets the graph through the static
+    // check (it would then hang at runtime — that is the caller's call).
+}
+
+#[test]
+fn unreachable_kernel_is_diagnosed_with_rc0004() {
+    let mut map = RaftMap::new();
+    let src = map.add(Src);
+    let sink = map.add(Sink);
+    // An orphan island m -> s2 beside the real pipeline: m's input has no
+    // upstream, so no token from any source can ever reach the island.
+    let m = map.add(Map1);
+    let s2 = map.add(Sink);
+    map.link(src, "out", sink, "in").unwrap();
+    map.link(m, "out", s2, "in").unwrap();
+    let diags = map.check();
+    let unreachable = diags.iter().find(|d| d.code == "RC0004").unwrap();
+    assert_eq!(unreachable.severity, Severity::Error);
+    assert!(
+        unreachable.message.contains("Map1#2"),
+        "{}",
+        unreachable.message
+    );
+    assert!(
+        unreachable.message.contains("Sink#3"),
+        "{}",
+        unreachable.message
+    );
+    assert_eq!(unreachable.kernels, vec![2, 3]);
+}
+
+#[test]
+fn unconnected_port_is_diagnosed_with_rc0001() {
+    let mut map = RaftMap::new();
+    let src = map.add(Src);
+    let a = map.add(Stage);
+    let sink = map.add(Sink);
+    map.link(src, "out", a, "in").unwrap();
+    map.link(a, "out", sink, "in").unwrap();
+    // a.fb left dangling.
+    let diags = map.check();
+    let dangling: Vec<_> = diags.iter().filter(|d| d.code == "RC0001").collect();
+    assert_eq!(dangling.len(), 1, "{diags:?}");
+    assert!(
+        dangling[0].message.contains("fb"),
+        "{}",
+        dangling[0].message
+    );
+    assert!(
+        dangling[0].message.contains("Stage#1"),
+        "{}",
+        dangling[0].message
+    );
+}
+
+#[test]
+fn graph_without_source_or_sink_is_diagnosed_with_rc0002() {
+    // Two stages feeding each other: no source, no sink (and a cycle).
+    let mut map = RaftMap::new();
+    let a = map.add(Map1);
+    let b = map.add(Map1);
+    map.link(a, "out", b, "in").unwrap();
+    map.link(b, "out", a, "in").unwrap();
+    let diags = map.check();
+    let endpoints: Vec<_> = diags.iter().filter(|d| d.code == "RC0002").collect();
+    assert_eq!(endpoints.len(), 2, "{diags:?}");
+    assert!(endpoints.iter().any(|d| d.message.contains("no source")));
+    assert!(endpoints.iter().any(|d| d.message.contains("no sink")));
+    assert!(diags.iter().any(|d| d.code == "RC0003"));
+}
+
+#[test]
+fn empty_map_is_diagnosed() {
+    let map = RaftMap::new();
+    let diags = map.check();
+    assert!(diags.iter().any(|d| d.code == "RC0002" && d.is_error()));
+}
+
+#[test]
+fn capacity_lint_warns_on_overloaded_stream() {
+    let mut map = RaftMap::new();
+    let src = map.add(Src);
+    let sink = map.add(Sink);
+    map.link(src, "out", sink, "in").unwrap();
+    // Producer 10x faster than consumer: no finite buffer keeps blocking low.
+    map.declare_service_rate(src, 100.0);
+    map.declare_service_rate(sink, 10.0);
+    let diags = map.check();
+    let cap = diags.iter().find(|d| d.code == "RC0007").unwrap();
+    assert_eq!(cap.severity, Severity::Warn);
+    assert!(cap.message.contains("blocking"), "{}", cap.message);
+    assert!(
+        cap.message.contains("no finite capacity"),
+        "{}",
+        cap.message
+    );
+    // A warning alone must not block execution.
+    assert!(!diags.iter().any(|d| d.is_error()), "{diags:?}");
+}
+
+#[test]
+fn capacity_lint_quiet_on_feasible_rates_and_silent_without_rates() {
+    let mut map = RaftMap::new();
+    let src = map.add(Src);
+    let sink = map.add(Sink);
+    map.link(src, "out", sink, "in").unwrap();
+    // No declared rates: the pass has nothing to model.
+    assert!(!map.check().iter().any(|d| d.code == "RC0007"));
+    // Declared feasible rates (consumer 10x faster): still quiet.
+    map.declare_service_rate(src, 10.0);
+    map.declare_service_rate(sink, 100.0);
+    assert!(!map.check().iter().any(|d| d.code == "RC0007"));
+}
+
+#[test]
+fn diagnostics_sort_errors_first() {
+    let mut map = cyclic_map();
+    // Add an overloaded stream so the run carries both an error and a warn.
+    let src2 = map.add(Src);
+    let sink2 = map.add(Sink);
+    map.link(src2, "out", sink2, "in").unwrap();
+    map.declare_service_rate(src2, 100.0);
+    map.declare_service_rate(sink2, 10.0);
+    let diags = map.check();
+    let first_warn = diags.iter().position(|d| d.severity == Severity::Warn);
+    let last_error = diags.iter().rposition(|d| d.is_error());
+    if let (Some(w), Some(e)) = (first_warn, last_error) {
+        assert!(e < w, "errors must sort before warnings: {diags:?}");
+    } else {
+        panic!("expected both severities, got {diags:?}");
+    }
+}
+
+#[test]
+fn clean_graph_checks_clean_and_runs() {
+    let mut map = RaftMap::new();
+    let mut n = 0i64;
+    let src = map.add(lambda_source(move || {
+        n += 1;
+        (n <= 3).then_some(n)
+    }));
+    let sink = map.add(lambda_sink(|_: i64| {}));
+    map.link(src, "0", sink, "0").unwrap();
+    assert!(map.check().is_empty(), "{:?}", map.check());
+    map.exe().unwrap();
+}

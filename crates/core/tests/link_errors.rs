@@ -1,0 +1,193 @@
+//! Link-time error paths: the construction-side half of graph checking
+//! (`LinkError`), complementing the post-hoc lint registry in
+//! `tests/check.rs`.
+
+use raftlib::prelude::*;
+
+struct Producer1;
+impl Kernel for Producer1 {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().output::<u32>("out")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+struct Consumer1;
+impl Kernel for Consumer1 {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<u32>("in")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+struct ConsumerStr;
+impl Kernel for ConsumerStr {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<String>("text_in")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+struct TwoInputs;
+impl Kernel for TwoInputs {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<u32>("a").input::<u32>("b")
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+struct NoPorts;
+impl Kernel for NoPorts {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new()
+    }
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        KStatus::Stop
+    }
+}
+
+#[test]
+fn double_linking_a_connected_input_port_fails() {
+    let mut map = RaftMap::new();
+    let p1 = map.add(Producer1);
+    let p2 = map.add(Producer1);
+    let c = map.add(Consumer1);
+    map.link(p1, "out", c, "in").unwrap();
+    let err = map.link(p2, "out", c, "in").unwrap_err();
+    match &err {
+        LinkError::AlreadyLinked { kernel, port } => {
+            assert_eq!(kernel, "Consumer1#2");
+            assert_eq!(port, "in");
+        }
+        other => panic!("expected AlreadyLinked, got {other:?}"),
+    }
+    // The rendered message names the offending kernel and port.
+    let msg = err.to_string();
+    assert!(msg.contains("Consumer1#2"), "{msg}");
+    assert!(msg.contains("\"in\""), "{msg}");
+    // The failed link left no partial state behind.
+    assert_eq!(map.link_count(), 1);
+}
+
+#[test]
+fn double_linking_a_connected_output_port_fails() {
+    let mut map = RaftMap::new();
+    let p = map.add(Producer1);
+    let c1 = map.add(Consumer1);
+    let c2 = map.add(Consumer1);
+    map.link(p, "out", c1, "in").unwrap();
+    let err = map.link(p, "out", c2, "in").unwrap_err();
+    assert!(
+        matches!(&err, LinkError::AlreadyLinked { kernel, port }
+            if kernel == "Producer1#0" && port == "out"),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn connect_with_zero_candidate_ports_fails() {
+    let mut map = RaftMap::new();
+    let p = map.add(Producer1);
+    let none = map.add(NoPorts);
+    let err = map.connect(p, none).unwrap_err();
+    match &err {
+        LinkError::NoSuchPort {
+            kernel, available, ..
+        } => {
+            assert_eq!(kernel, "NoPorts#1");
+            assert!(available.is_empty(), "{available:?}");
+        }
+        other => panic!("expected NoSuchPort, got {other:?}"),
+    }
+}
+
+#[test]
+fn connect_with_multiple_candidate_ports_fails() {
+    let mut map = RaftMap::new();
+    let p = map.add(Producer1);
+    let two = map.add(TwoInputs);
+    let err = map.connect(p, two).unwrap_err();
+    match &err {
+        LinkError::NoSuchPort {
+            kernel, available, ..
+        } => {
+            assert_eq!(kernel, "TwoInputs#1");
+            // Ambiguity is reported by listing every candidate.
+            assert_eq!(available, &["a".to_string(), "b".to_string()]);
+        }
+        other => panic!("expected NoSuchPort, got {other:?}"),
+    }
+}
+
+#[test]
+fn type_mismatch_message_names_both_endpoints_in_full() {
+    let mut map = RaftMap::new();
+    let p = map.add(Producer1);
+    let c = map.add(ConsumerStr);
+    let err = map.link(p, "out", c, "text_in").unwrap_err();
+    match &err {
+        LinkError::TypeMismatch {
+            src,
+            dst,
+            src_type,
+            dst_type,
+        } => {
+            assert_eq!(src, "Producer1#0.out");
+            assert_eq!(dst, "ConsumerStr#1.text_in");
+            assert_eq!(*src_type, "u32");
+            assert!(dst_type.contains("String"), "{dst_type}");
+        }
+        other => panic!("expected TypeMismatch, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("Producer1#0.out"), "{msg}");
+    assert!(msg.contains("ConsumerStr#1.text_in"), "{msg}");
+    assert!(msg.contains("u32") && msg.contains("String"), "{msg}");
+}
+
+#[test]
+fn linking_unknown_port_lists_alternatives() {
+    let mut map = RaftMap::new();
+    let p = map.add(Producer1);
+    let c = map.add(Consumer1);
+    let err = map.link(p, "output", c, "in").unwrap_err();
+    match &err {
+        LinkError::NoSuchPort {
+            kernel,
+            port,
+            available,
+        } => {
+            assert_eq!(kernel, "Producer1#0");
+            assert_eq!(port, "output");
+            assert_eq!(available, &["out".to_string()]);
+        }
+        other => panic!("expected NoSuchPort, got {other:?}"),
+    }
+}
+
+#[test]
+fn self_loop_is_rejected_at_link_time() {
+    let mut map = RaftMap::new();
+    struct Loopy;
+    impl Kernel for Loopy {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().input::<u32>("in").output::<u32>("out")
+        }
+        fn run(&mut self, _ctx: &Context) -> KStatus {
+            KStatus::Stop
+        }
+    }
+    let k = map.add(Loopy);
+    assert!(matches!(
+        map.link(k, "out", k, "in"),
+        Err(LinkError::SelfLoop(name)) if name == "Loopy#0"
+    ));
+}

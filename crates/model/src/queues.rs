@@ -165,10 +165,16 @@ impl MM1K {
             return 0.0;
         }
         let rho = self.rho();
+        let kp1 = self.k as i32 + 1;
         if (rho - 1.0).abs() < 1e-12 {
             1.0 / (self.k as f64 + 1.0)
+        } else if rho > 1.0 {
+            // The textbook form (1-ρ)ρⁿ/(1-ρ^(K+1)) overflows to ∞/∞ = NaN
+            // for ρ > 1 with large K. Scale numerator and denominator by
+            // ρ^-(K+1): both stay finite because ρ^-(K+1) → 0.
+            (1.0 - rho) * rho.powi(n as i32 - kp1) / (rho.powi(-kp1) - 1.0)
         } else {
-            (1.0 - rho) * rho.powi(n as i32) / (1.0 - rho.powi(self.k as i32 + 1))
+            (1.0 - rho) * rho.powi(n as i32) / (1.0 - rho.powi(kp1))
         }
     }
 
@@ -187,6 +193,32 @@ impl MM1K {
     pub fn mean_in_system(&self) -> f64 {
         (0..=self.k).map(|n| n as f64 * self.p_n(n)).sum()
     }
+}
+
+/// Smallest power-of-two capacity K such that an M/M/1/K queue with the
+/// given rates blocks with probability at most `target`.
+///
+/// Powers of two because that is what the runtime's FIFO allocator and
+/// resize policy actually use. Returns `None` when no finite buffer can
+/// reach the target: non-positive or non-finite inputs, or λ ≥ μ (an
+/// overloaded queue blocks at rate ≥ (ρ-1)/ρ no matter how big the buffer).
+pub fn min_capacity_for_blocking(lambda: f64, mu: f64, target: f64) -> Option<u32> {
+    if !(lambda > 0.0 && mu > 0.0 && target > 0.0 && target < 1.0) {
+        return None;
+    }
+    if !lambda.is_finite() || !mu.is_finite() || lambda >= mu {
+        return None;
+    }
+    let mut k = 1u32;
+    // 2^26 slots is far beyond any FIFO this runtime would allocate; treat
+    // needing more as "no practical buffer" rather than looping further.
+    while k <= 1 << 26 {
+        if MM1K::new(lambda, mu, k).blocking_probability() <= target {
+            return Some(k);
+        }
+        k <<= 1;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -294,5 +326,46 @@ mod tests {
             assert!(q.throughput() <= m + 1e-9);
             assert!(q.throughput() <= l + 1e-9);
         }
+    }
+
+    #[test]
+    fn mm1k_overloaded_large_k_stays_finite() {
+        // The naive (1-ρ)ρⁿ/(1-ρ^(K+1)) form yields NaN here (∞/∞).
+        let q = MM1K::new(20.0, 10.0, 1 << 22);
+        let b = q.blocking_probability();
+        assert!(b.is_finite(), "blocking must be finite, got {b}");
+        // For ρ > 1 and K → ∞, P_block → (ρ-1)/ρ = 0.5.
+        assert!((b - 0.5).abs() < 1e-6, "expected ≈0.5, got {b}");
+        let total: f64 = [0, 1, (1 << 22) - 1, 1 << 22]
+            .iter()
+            .map(|&n| q.p_n(n))
+            .sum();
+        assert!(total.is_finite());
+    }
+
+    #[test]
+    fn min_capacity_finds_power_of_two() {
+        let k = min_capacity_for_blocking(5.0, 10.0, 0.01).expect("stable queue");
+        assert!(k.is_power_of_two());
+        assert!(MM1K::new(5.0, 10.0, k).blocking_probability() <= 0.01);
+        if k > 1 {
+            assert!(MM1K::new(5.0, 10.0, k / 2).blocking_probability() > 0.01);
+        }
+    }
+
+    #[test]
+    fn min_capacity_rejects_overload_and_bad_args() {
+        assert_eq!(min_capacity_for_blocking(10.0, 10.0, 0.01), None);
+        assert_eq!(min_capacity_for_blocking(20.0, 10.0, 0.01), None);
+        assert_eq!(min_capacity_for_blocking(-1.0, 10.0, 0.01), None);
+        assert_eq!(min_capacity_for_blocking(5.0, 10.0, 0.0), None);
+        assert_eq!(min_capacity_for_blocking(f64::NAN, 10.0, 0.01), None);
+    }
+
+    #[test]
+    fn min_capacity_tightens_with_target() {
+        let loose = min_capacity_for_blocking(8.0, 10.0, 0.1).unwrap();
+        let tight = min_capacity_for_blocking(8.0, 10.0, 0.001).unwrap();
+        assert!(tight >= loose);
     }
 }

@@ -55,6 +55,20 @@ fn main() {
     map.link(gen_b, "out", sum, "input_b").expect("link b");
     map.link(sum, "sum", print, "in").expect("link print");
 
+    // Static analysis before running: `exe()` repeats this itself and
+    // refuses on errors, but calling `check()` directly also surfaces
+    // warnings (e.g. RC0007 capacity advisories) this clean graph won't hit.
+    let diagnostics = map.check();
+    if diagnostics.is_empty() {
+        eprintln!(
+            "graph check: clean ({} lint passes)",
+            raftlib::passes().len()
+        );
+    }
+    for d in &diagnostics {
+        eprintln!("graph check: {d}");
+    }
+
     let report = map.exe().expect("execution");
 
     eprintln!("\n--- run report ---");

@@ -58,7 +58,17 @@ fn unconnected_port_fails_validation() {
     let mut map = RaftMap::new();
     let _ = map.add(Generate::new(0..10u32));
     let err = map.exe().unwrap_err();
-    assert!(matches!(err, ExeError::UnconnectedPort { .. }), "{err}");
+    match &err {
+        ExeError::CheckFailed { diagnostics } => {
+            // RC0001 = unconnected-port; RC0002 = no sink in the graph.
+            assert!(
+                diagnostics.iter().any(|d| d.code == "RC0001"),
+                "{diagnostics:?}"
+            );
+        }
+        other => panic!("expected CheckFailed, got {other}"),
+    }
+    assert!(err.to_string().contains("not connected"), "{err}");
 }
 
 #[test]
@@ -372,7 +382,8 @@ fn per_link_fifo_override() {
     let (count, _n) = Count::<u64>::new();
     let dst = map.add(count);
     let sp = "out";
-    map.link_with(src, sp, dst, "in", FifoConfig::fixed(4)).unwrap();
+    map.link_with(src, sp, dst, "in", FifoConfig::fixed(4))
+        .unwrap();
     let report = map.exe().unwrap();
     assert_eq!(report.edges[0].stats.capacity, 4);
     assert_eq!(report.edges[0].stats.resizes, 0);
