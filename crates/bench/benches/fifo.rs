@@ -5,8 +5,10 @@
 //! that flexibility: same workload over `BoundedSpsc` (fixed) and `Fifo`
 //! (resizable), single-threaded ping-pong and cross-thread streaming.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use raft_bench::jsonout::{measure_melems_per_s, JsonReport};
 use raft_buffer::{fifo_with, BoundedSpsc, FifoConfig};
+use std::time::Duration;
 
 const BATCH: u64 = 10_000;
 
@@ -87,6 +89,78 @@ fn bench_fifo(c: &mut Criterion) {
     g.finish();
 }
 
+/// `--json` mode: same workloads as the criterion groups, hand-timed, and
+/// recorded at the repo root as `BENCH_fifo.json` (previous results are
+/// carried forward as `baseline`).
+fn json_mode() {
+    let warm = Duration::from_millis(300);
+    let min_time = Duration::from_secs(2);
+    let mut report = JsonReport::new("fifo");
+
+    let (mut p, mut cns) = BoundedSpsc::<u64>::new(1024);
+    let rate = measure_melems_per_s(BATCH, warm, min_time, || {
+        for i in 0..BATCH {
+            while p.try_push(i).is_err() {
+                let _ = cns.try_pop();
+            }
+            if i % 4 == 0 {
+                let _ = cns.try_pop();
+            }
+        }
+        while cns.try_pop().is_ok() {}
+    });
+    report.push("pingpong_bounded_spsc_melems_per_s", rate);
+
+    let (_f, mut p, mut cns) = fifo_with::<u64>(FifoConfig::fixed(1024));
+    let rate = measure_melems_per_s(BATCH, warm, min_time, || {
+        for i in 0..BATCH {
+            while p.try_push(i).is_err() {
+                let _ = cns.try_pop();
+            }
+            if i % 4 == 0 {
+                let _ = cns.try_pop();
+            }
+        }
+        while cns.try_pop().is_ok() {}
+    });
+    report.push("pingpong_resizable_fifo_melems_per_s", rate);
+
+    let rate = measure_melems_per_s(BATCH * 10, warm, min_time, || {
+        let (mut p, mut cns) = BoundedSpsc::<u64>::new(1024);
+        let t = std::thread::spawn(move || {
+            for i in 0..BATCH * 10 {
+                p.push(i).unwrap();
+            }
+        });
+        let mut n = 0u64;
+        while cns.pop().is_ok() {
+            n += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(n, BATCH * 10);
+    });
+    report.push("xthread_bounded_spsc_melems_per_s", rate);
+
+    let rate = measure_melems_per_s(BATCH * 10, warm, min_time, || {
+        let (_f, mut p, mut cns) = fifo_with::<u64>(FifoConfig::fixed(1024));
+        let t = std::thread::spawn(move || {
+            for i in 0..BATCH * 10 {
+                p.push(i).unwrap();
+            }
+        });
+        let mut n = 0u64;
+        while cns.pop().is_ok() {
+            n += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(n, BATCH * 10);
+    });
+    report.push("xthread_resizable_fifo_melems_per_s", rate);
+
+    let path = report.write().expect("write BENCH_fifo.json");
+    println!("wrote {}", path.display());
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -94,4 +168,14 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_fifo
 }
-criterion_main!(benches);
+
+fn main() {
+    // `--json` bypasses criterion (which rejects unknown flags) and does a
+    // plain wall-clock run; anything else goes through criterion as usual.
+    if std::env::args().any(|a| a == "--json") {
+        json_mode();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -44,7 +44,12 @@ pub fn grep_parallel(corpus: &Arc<Vec<u8>>, pattern: &[u8], workers: u32) -> Sea
         // One "job" per chunk, like `parallel --pipepart grep`.
         joins.push(thread::spawn(move || {
             let mut local = Vec::new();
-            scanner.find_into(&corpus[c.start..c.end], c.start as u64, c.min_end, &mut local);
+            scanner.find_into(
+                &corpus[c.start..c.end],
+                c.start as u64,
+                c.min_end,
+                &mut local,
+            );
             // the single merged output stream
             collector.lock().unwrap().extend(local);
         }));

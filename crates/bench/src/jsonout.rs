@@ -1,0 +1,137 @@
+//! Hand-rolled JSON reports for the `--json` bench mode.
+//!
+//! `cargo bench -p raft-bench --bench fifo -- --json` (and `--bench ports`)
+//! write `BENCH_fifo.json` / `BENCH_ports.json` at the repo root so the
+//! performance trajectory of the hot path is recorded in-tree. Each report
+//! carries the previous run's `results` object forward as `baseline`, which
+//! is how a before/after pair ends up in one committed file: run once on the
+//! old code, refactor, run again.
+//!
+//! No serde — the schema is a flat string→number map, so the writer is a
+//! dozen lines and the "parser" for the carry-forward is balanced-brace
+//! extraction.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A flat named-numbers report for one bench target.
+pub struct JsonReport {
+    bench: &'static str,
+    results: Vec<(String, f64)>,
+}
+
+impl JsonReport {
+    /// Start a report for bench target `bench` (e.g. `"fifo"`).
+    pub fn new(bench: &'static str) -> Self {
+        JsonReport {
+            bench,
+            results: Vec::new(),
+        }
+    }
+
+    /// Record one named result (units belong in the key, e.g.
+    /// `"pingpong_resizable_fifo_melems_per_s"`).
+    pub fn push(&mut self, key: impl Into<String>, value: f64) {
+        self.results.push((key.into(), value));
+    }
+
+    /// Repo-root path of this report's output file (`BENCH_<bench>.json`).
+    pub fn path(&self) -> PathBuf {
+        // crates/bench/ → repo root is two levels up.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("BENCH_{}.json", self.bench))
+    }
+
+    /// Write the report, demoting any existing file's `results` to
+    /// `baseline`. Returns the path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        let baseline = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|old| extract_object(&old, "results"));
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str("  \"results\": {\n");
+        for (i, (k, v)) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{k}\": {v:.3}{comma}");
+        }
+        out.push_str("  },\n");
+        match baseline {
+            Some(b) => {
+                let _ = writeln!(out, "  \"baseline\": {b}");
+            }
+            None => out.push_str("  \"baseline\": null\n"),
+        }
+        out.push_str("}\n");
+        std::fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+/// Extract the balanced `{ ... }` object following `"key":` in `src`.
+/// Good enough for this schema: values are numbers, no nested strings
+/// containing braces.
+fn extract_object(src: &str, key: &str) -> Option<String> {
+    let at = src.find(&format!("\"{key}\""))?;
+    let open = at + src[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in src[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(src[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Wall-clock throughput measurement for the `--json` mode: calls `f`
+/// (which performs `elems_per_call` element transfers) until `min_time`
+/// has elapsed, after a `warm` warm-up, and returns millions of elements
+/// per second.
+pub fn measure_melems_per_s(
+    elems_per_call: u64,
+    warm: std::time::Duration,
+    min_time: std::time::Duration,
+    mut f: impl FnMut(),
+) -> f64 {
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < warm {
+        f();
+    }
+    let t0 = std::time::Instant::now();
+    let mut calls = 0u64;
+    while t0.elapsed() < min_time {
+        f();
+        calls += 1;
+    }
+    let dt = t0.elapsed();
+    let elems = (calls * elems_per_call) as f64;
+    elems / dt.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_object_finds_results() {
+        let src = r#"{ "bench": "x", "results": { "a": 1.0, "b": 2.5 }, "baseline": null }"#;
+        let got = extract_object(src, "results").unwrap();
+        assert_eq!(got, r#"{ "a": 1.0, "b": 2.5 }"#);
+    }
+
+    #[test]
+    fn extract_object_missing_key_is_none() {
+        assert!(extract_object("{}", "results").is_none());
+    }
+}

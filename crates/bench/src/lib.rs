@@ -23,6 +23,7 @@
 //! substitutions), measurement utilities, and the pipelines themselves.
 
 pub mod comparators;
+pub mod jsonout;
 pub mod measure;
 pub mod pipelines;
 

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use raft_algos::matmul::{MatPair, Matrix};
 use raft_algos::{AhoCorasick, Horspool, Match, Matcher};
-use raft_kernels::{Count, Fold, Generate, Map};
 use raft_kernels::{ByteChunk, ByteChunkSource};
+use raft_kernels::{Count, Fold, Generate, Map, SliceMap};
 use raftlib::prelude::*;
 
 /// Figure 8/9 topology: filereader → search×width → reduce. Returns
@@ -24,11 +24,17 @@ pub fn raftlib_search(
     };
     let mut map = RaftMap::with_config(cfg);
     let filereader = map.add(ByteChunkSource::new(corpus.clone(), chunk_size, overlap));
-    let search = map.add(Map::new(move |chunk: ByteChunk| {
-        let mut found: Vec<Match> = Vec::new();
-        matcher.find_into(chunk.as_slice(), chunk.base(), chunk.min_end, &mut found);
-        found.len() as u64
-    }));
+    // Chunk descriptors are scanned by reference straight from the input
+    // ring (SliceMap's pop_slice view) — no per-descriptor pop, and the
+    // queue protocol is paid once per batch of chunks.
+    let search = map.add(
+        SliceMap::new(move |chunk: &ByteChunk| {
+            let mut found: Vec<Match> = Vec::new();
+            matcher.find_into(chunk.as_slice(), chunk.base(), chunk.min_end, &mut found);
+            found.len() as u64
+        })
+        .with_batch(8),
+    );
     let (fold, total) = Fold::new(0u64, |acc: &mut u64, v: u64| *acc += v);
     let sink = map.add(fold);
     map.link_unordered(filereader, "out", search, "in")
@@ -53,20 +59,15 @@ pub fn search_matcher(kind: &str, needle: &[u8]) -> Arc<dyn Matcher> {
 /// Figure 4 pipeline: generate matrix pairs → multiply → count, all queues
 /// fixed to `capacity` elements (resizing disabled: the experiment measures
 /// the effect of the static size). Returns the wall time.
-pub fn matmul_pipeline(
-    n_matrices: u64,
-    dim: usize,
-    capacity: usize,
-) -> std::time::Duration {
+pub fn matmul_pipeline(n_matrices: u64, dim: usize, capacity: usize) -> std::time::Duration {
     let cfg = MapConfig {
         fifo: FifoConfig::fixed(capacity),
         monitor: MonitorConfig::disabled(),
         ..Default::default()
     };
     let mut map = RaftMap::with_config(cfg);
-    let src = map.add(
-        Generate::new((0..n_matrices).map(move |i| MatPair::generate(dim, i))).with_batch(4),
-    );
+    let src = map
+        .add(Generate::new((0..n_matrices).map(move |i| MatPair::generate(dim, i))).with_batch(4));
     let mul = map.add(Map::new(move |p: MatPair| p.run(64)));
     let (count, _n) = Count::<Matrix>::new();
     let sink = map.add(count);

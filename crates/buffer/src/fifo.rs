@@ -10,18 +10,30 @@
 //! Reproduction here:
 //!
 //! * `head`/`tail` are monotonic atomic counters living *outside* the slot
-//!   storage, so a resize only swaps the storage and never disturbs the
-//!   producer/consumer protocol;
-//! * push/pop take a **shared** [`parking_lot::RwLock`] on the storage —
-//!   producer and consumer never contend with each other (both hold read
-//!   locks) and proceed lock-free exactly as in [`crate::spsc`];
-//! * a resize takes the **exclusive** lock, copies the live region (single
-//!   `memcpy` when source and destination are both non-wrapped, element-wise
-//!   otherwise), and swaps storage;
+//!   storage (each on its own cache line), so a resize only swaps the
+//!   storage and never disturbs the producer/consumer protocol;
+//! * each endpoint keeps a local mirror of its own counter plus a stale
+//!   cache of the opposite one ([`crate::spsc`]'s cached-index scheme), so
+//!   the common-case push/pop never loads its own shared counter and only
+//!   refreshes the opposite counter when the ring looks full/empty;
+//! * push/pop are excluded from resizes by the Dekker-style
+//!   [`ResizeFence`] — one flag store + SeqCst fence + one load per
+//!   operation, no lock RMW and no shared contended lock word. The old
+//!   per-op `RwLock` read acquisition is gone from the hot path; the lock
+//!   survives only for resizer-vs-resizer exclusion and third-party
+//!   `capacity()` reads;
+//! * a resize takes the exclusive lock **and** the fence, copies the live
+//!   region (single `memcpy` when source and destination are both
+//!   non-wrapped, element-wise otherwise), and swaps storage;
 //! * blocked endpoints record `*_blocked_since` timestamps in
 //!   [`FifoStats`], which is precisely the signal the monitor's 3δ rule
 //!   consumes; parked threads are woken by the opposite endpoint or by a
-//!   resize.
+//!   resize;
+//! * zero-copy batch views: [`Producer::reserve`] hands out a
+//!   [`WriteSlice`] that is written in place and committed (published with
+//!   one counter store) on drop; [`Consumer::pop_slice`] lends the front of
+//!   the queue to a closure as a [`SliceView`] and consumes it afterwards —
+//!   both amortize the fence entry over the whole batch.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -33,10 +45,11 @@ use std::sync::atomic::{
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::utils::Backoff;
-use parking_lot::{ArcRwLockReadGuard, Condvar, Mutex, RawRwLock, RwLock, RwLockReadGuard};
+use crossbeam::utils::{Backoff, CachePadded};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::error::{PopError, PushError, TryPopError, TryPushError};
+use crate::fence::{ResizeFence, Role};
 use crate::signal::Signal;
 use crate::stats::{FifoStats, StatsSnapshot};
 
@@ -94,10 +107,10 @@ struct Storage<T> {
 // SAFETY: slots are only touched through the head/tail protocol — the
 // producer writes a slot strictly before publishing it with a Release store
 // of `tail`, the consumer reads it strictly after an Acquire load of `tail`,
-// and a resize holds the exclusive storage lock, which excludes both
-// endpoints' shared-lock fast paths. Every access is therefore ordered, so
-// the storage may move to (Send) or be shared with (Sync) other threads
-// whenever the elements themselves are Send.
+// and a resize holds the fence (both endpoints outside their critical
+// sections, their exits acquired) while it mutates. Every access is
+// therefore ordered, so the storage may move to (Send) or be shared with
+// (Sync) other threads whenever the elements themselves are Send.
 unsafe impl<T: Send> Send for Storage<T> {}
 // SAFETY: see the `Send` justification above.
 unsafe impl<T: Send> Sync for Storage<T> {}
@@ -128,14 +141,22 @@ impl<T> Storage<T> {
 
 /// State shared by producer, consumer, and monitor.
 struct Shared<T> {
-    /// `Arc` so endpoints can take *owned* read guards (`read_arc`) that are
-    /// held across user code (see [`WriteGuard`]) without self-referential
-    /// lifetimes.
-    storage: Arc<RwLock<Storage<T>>>,
-    /// Next index to read (monotonic).
-    head: AtomicUsize,
-    /// Next index to write (monotonic).
-    tail: AtomicUsize,
+    /// Slot storage. Endpoints access it **without** taking this lock —
+    /// they hold [`ResizeFence`] membership instead and go through
+    /// [`RwLock::data_ptr`]. The lock only serializes resizers against each
+    /// other and covers third-party `capacity()` reads.
+    storage: RwLock<Storage<T>>,
+    /// Dekker-style exclusion between endpoint ring access and resizes.
+    fence: ResizeFence,
+    /// `false` when the config pins the capacity (floor == ceiling): the
+    /// storage can never be swapped, so endpoints skip the fence entirely
+    /// and run at raw SPSC speed.
+    resizable: bool,
+    /// Next index to read (monotonic). Own cache line: the producer spins
+    /// on this only when its cached copy says the ring is full.
+    head: CachePadded<AtomicUsize>,
+    /// Next index to write (monotonic), cache line apart from `head`.
+    tail: CachePadded<AtomicUsize>,
     producer_closed: AtomicBool,
     consumer_closed: AtomicBool,
     /// Out-of-band signal channel ("asynchronous signaling", §4.2).
@@ -167,6 +188,40 @@ impl<T> Shared<T> {
             self.unpark.notify_all();
         }
     }
+
+    /// Enter the ring critical section for `role`. Free for fixed-capacity
+    /// FIFOs (nothing can swap the storage); one SeqCst swap + load
+    /// otherwise.
+    #[inline]
+    fn arena_enter(&self, role: Role) {
+        if self.resizable {
+            self.fence.enter(role);
+        }
+    }
+
+    /// Leave the ring critical section for `role`.
+    #[inline]
+    fn arena_exit(&self, role: Role) {
+        if self.resizable {
+            self.fence.exit(role);
+        }
+    }
+
+    /// Raw storage access for an endpoint *currently inside
+    /// [`arena_enter`](Self::arena_enter)*.
+    ///
+    /// # Safety
+    /// The caller must be inside an `arena_enter`/`arena_exit` pair for its
+    /// role: membership excludes any storage swap (and fixed-capacity FIFOs
+    /// can never swap), so the reference is stable for the duration of the
+    /// critical section.
+    #[inline]
+    unsafe fn storage_unlocked(&self) -> &Storage<T> {
+        // SAFETY: per the function contract, no resize (the only writer)
+        // can run while the caller holds membership, so a shared reference
+        // to the contents cannot alias a mutation.
+        unsafe { &*self.storage.data_ptr() }
+    }
 }
 
 impl<T> Drop for Shared<T> {
@@ -174,12 +229,34 @@ impl<T> Drop for Shared<T> {
         // Last owner of the FIFO: drop whatever elements remain exactly once.
         // (Storage never drops its MaybeUninit contents itself.)
         let storage = self.storage.write();
-        let head = *self.head.get_mut();
-        let tail = *self.tail.get_mut();
+        let head = self.head.load(Relaxed);
+        let tail = self.tail.load(Relaxed);
         for i in head..tail {
             // SAFETY: [head, tail) is the live region; exclusive access here.
             unsafe { (*storage.slot(i)).assume_init_drop() };
         }
+    }
+}
+
+/// RAII fence membership, so user closures that panic (peek, pop_slice)
+/// can't strand the monitor waiting on a raised `active` flag.
+struct ArenaGuard<'a, T> {
+    shared: &'a Shared<T>,
+    role: Role,
+}
+
+impl<'a, T> ArenaGuard<'a, T> {
+    #[inline]
+    fn enter(shared: &'a Shared<T>, role: Role) -> Self {
+        shared.arena_enter(role);
+        ArenaGuard { shared, role }
+    }
+}
+
+impl<T> Drop for ArenaGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.shared.arena_exit(self.role);
     }
 }
 
@@ -214,9 +291,11 @@ pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>
         min_capacity: cfg.min_capacity.max(1).next_power_of_two(),
     };
     let shared = Arc::new(Shared {
-        storage: Arc::new(RwLock::new(Storage::with_capacity(cfg.initial_capacity))),
-        head: AtomicUsize::new(0),
-        tail: AtomicUsize::new(0),
+        storage: RwLock::new(Storage::with_capacity(cfg.initial_capacity)),
+        fence: ResizeFence::new(),
+        resizable: cfg.max_capacity != cfg.min_capacity,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
         producer_closed: AtomicBool::new(false),
         consumer_closed: AtomicBool::new(false),
         async_signal: AtomicU64::new(0),
@@ -233,8 +312,14 @@ pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>
         },
         Producer {
             shared: shared.clone(),
+            tail: 0,
+            head_cache: 0,
         },
-        Consumer { shared },
+        Consumer {
+            shared,
+            head: 0,
+            tail_cache: 0,
+        },
     )
 }
 
@@ -291,15 +376,26 @@ impl<T: Send> Fifo<T> {
     /// Resize the ring to `new_capacity` (clamped to config bounds and to
     /// current occupancy). Returns the resulting capacity.
     ///
-    /// Takes the exclusive storage lock; endpoints retry their shared-lock
-    /// fast path as soon as we release. The live region is moved with one
-    /// contiguous copy when both source and destination regions are
-    /// non-wrapped (the paper's preferred resize position), element-wise
-    /// otherwise.
+    /// Takes the exclusive storage lock (vs. other resizers and third-party
+    /// `capacity()` readers), then the [`ResizeFence`] (vs. the endpoints,
+    /// who retry as soon as `end_resize` clears the pending flag). The live
+    /// region is moved with one contiguous copy when both source and
+    /// destination regions are non-wrapped (the paper's preferred resize
+    /// position), element-wise otherwise.
     pub fn resize(&self, new_capacity: usize) -> usize {
         let shared = &self.shared;
+        if !shared.resizable {
+            // Fixed-capacity config: endpoints skip the fence, so mutating
+            // the storage here would be unsound — and the clamp below could
+            // only ever return the current capacity anyway.
+            return self.capacity();
+        }
         let mut guard = shared.storage.write();
-        // Under the exclusive lock nobody moves head/tail.
+        shared.fence.begin_resize();
+        // With the fence held, both endpoints are outside their critical
+        // sections; their counter stores happened-before their (acquired)
+        // fence exits, so Relaxed loads here read the settled values and
+        // nobody moves them until end_resize.
         let head = shared.head.load(Relaxed);
         let tail = shared.tail.load(Relaxed);
         let live = tail - head;
@@ -308,6 +404,7 @@ impl<T: Send> Fifo<T> {
             .max(live)
             .next_power_of_two();
         if new_capacity == guard.capacity() {
+            shared.fence.end_resize();
             return new_capacity;
         }
         let new = Storage::<T>::with_capacity(new_capacity);
@@ -318,15 +415,15 @@ impl<T: Send> Fifo<T> {
             let dst_start = head & new.mask;
             let src_contig = src_start + live <= old_cap;
             let dst_contig = dst_start + live <= new.capacity();
-            // SAFETY: the exclusive write lock excludes both endpoints, so
-            // nothing reads or writes either storage concurrently. Source
-            // slots `[head, tail)` are initialized (live region); destination
-            // slots are freshly allocated and distinct allocations, so the
-            // ranges cannot overlap. `new_capacity >= live` (clamped above)
-            // guarantees the destination indices stay in bounds, and the
-            // bit-copy is a move: the old slots are discarded as
-            // `MaybeUninit` (never dropped) right after, so no element is
-            // duplicated or leaked.
+            // SAFETY: the fence excludes both endpoints and the write lock
+            // excludes other resizers, so nothing reads or writes either
+            // storage concurrently. Source slots `[head, tail)` are
+            // initialized (live region); destination slots are freshly
+            // allocated and distinct allocations, so the ranges cannot
+            // overlap. `new_capacity >= live` (clamped above) guarantees the
+            // destination indices stay in bounds, and the bit-copy is a
+            // move: the old slots are discarded as `MaybeUninit` (never
+            // dropped) right after, so no element is duplicated or leaked.
             unsafe {
                 if src_contig && dst_contig {
                     // Fast path: one memcpy of the whole live region.
@@ -350,7 +447,9 @@ impl<T: Send> Fifo<T> {
         // Old slots' live elements were moved out byte-wise: discarding the
         // old storage is safe because MaybeUninit never drops its contents.
         *guard = new;
-        shared.stats.resizes.fetch_add(1, Relaxed);
+        shared.stats.monitor.resizes.fetch_add(1, Relaxed);
+        // Publish the new storage (Release inside) before endpoints re-enter.
+        shared.fence.end_resize();
         drop(guard);
         shared.wake();
         new_capacity
@@ -456,6 +555,13 @@ impl<T: Send> Monitorable for Fifo<T> {
 /// Producing endpoint of a [`Fifo`]. One per stream; `Send`, not `Clone`.
 pub struct Producer<T> {
     shared: Arc<Shared<T>>,
+    /// Local mirror of `shared.tail` — exact between operations, so the
+    /// fast path never loads its own shared counter.
+    tail: usize,
+    /// Stale (conservative) copy of `shared.head`; refreshed only when the
+    /// ring looks full. Never ahead of the true head, so staleness can only
+    /// cause a spurious refresh, never an overwrite.
+    head_cache: usize,
 }
 
 // SAFETY: the producer handle is the unique owner of the producer role (not
@@ -471,17 +577,30 @@ impl<T: Send> Producer<T> {
         if shared.consumer_closed.load(Relaxed) {
             return Err(TryPushError::Closed(value));
         }
-        let storage = shared.storage.read();
-        let tail = shared.tail.load(Relaxed);
-        let head = shared.head.load(Acquire);
-        if tail - head >= storage.capacity() {
-            return Err(TryPushError::Full(value));
+        shared.arena_enter(Role::Producer);
+        // SAFETY: fence membership held until the exit below.
+        let storage = unsafe { shared.storage_unlocked() };
+        let tail = self.tail;
+        if tail.wrapping_sub(self.head_cache) >= storage.capacity() {
+            // Looks full through the cache — refresh. Acquire pairs with the
+            // consumer's Release store of `head`, ordering its read-out of
+            // the slot before our reuse of it.
+            self.head_cache = shared.head.load(Acquire);
+            if tail.wrapping_sub(self.head_cache) >= storage.capacity() {
+                shared.arena_exit(Role::Producer);
+                return Err(TryPushError::Full(value));
+            }
         }
-        // SAFETY: single producer; slot [tail] is outside the live region.
+        // SAFETY: single producer; slot [tail] is outside the live region
+        // (checked against a conservative head), and the fence keeps the
+        // storage pointer stable.
         unsafe { (*storage.slot(tail)).write((value, signal)) };
         shared.tail.store(tail + 1, Release);
-        shared.stats.pushed.fetch_add(1, Relaxed);
-        drop(storage);
+        self.tail = tail + 1;
+        // Single-writer counter: total pushed == tail, so a plain store
+        // replaces the old fetch_add.
+        shared.stats.writer.pushed.store((tail + 1) as u64, Relaxed);
+        shared.arena_exit(Role::Producer);
         if shared.reader_waiting.load(Relaxed) {
             shared.wake();
         }
@@ -518,13 +637,16 @@ impl<T: Send> Producer<T> {
                 backoff.snooze();
                 continue;
             }
-            // Park until a pop or a resize makes room.
+            // Park until a pop or a resize makes room. We are *outside* the
+            // fence here, so a resize can proceed while we sleep.
             shared.writer_waiting.store(true, Relaxed);
             let mut g = shared.park.lock();
-            // Re-check under the lock to close the race with wake().
+            // Re-check under the lock to close the race with wake(). The
+            // read lock (not the fence) covers the capacity read; it only
+            // contends with a resizer, never the consumer.
             let full = {
                 let storage = shared.storage.read();
-                shared.tail.load(Relaxed) - shared.head.load(Acquire) >= storage.capacity()
+                self.tail - shared.head.load(Acquire) >= storage.capacity()
             };
             if full && !shared.consumer_closed.load(Relaxed) {
                 shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
@@ -543,8 +665,8 @@ impl<T: Send> Producer<T> {
     }
 
     /// Push as many elements from `items` as currently fit, under a single
-    /// storage-lock acquisition (the batch path split adapters and sources
-    /// use). Returns the number pushed; the rest stay in `items`.
+    /// fence entry (the batch path split adapters and sources use). Returns
+    /// the number pushed; the rest stay in `items`.
     pub fn try_push_batch(&mut self, items: &mut Vec<T>) -> Result<usize, PushError<()>> {
         if items.is_empty() {
             return Ok(0);
@@ -553,10 +675,16 @@ impl<T: Send> Producer<T> {
         if shared.consumer_closed.load(Relaxed) {
             return Err(PushError(()));
         }
-        let storage = shared.storage.read();
-        let mut tail = shared.tail.load(Relaxed);
-        let head = shared.head.load(Acquire);
-        let room = storage.capacity().saturating_sub(tail - head);
+        shared.arena_enter(Role::Producer);
+        // SAFETY: fence membership held until the exit below.
+        let storage = unsafe { shared.storage_unlocked() };
+        let mut tail = self.tail;
+        if tail.wrapping_sub(self.head_cache) + items.len() > storage.capacity() {
+            self.head_cache = shared.head.load(Acquire);
+        }
+        let room = storage
+            .capacity()
+            .saturating_sub(tail.wrapping_sub(self.head_cache));
         let n = room.min(items.len());
         for v in items.drain(..n) {
             // SAFETY: single producer; slots [tail, tail+n) are outside the
@@ -567,9 +695,10 @@ impl<T: Send> Producer<T> {
         }
         if n > 0 {
             shared.tail.store(tail, Release);
-            shared.stats.pushed.fetch_add(n as u64, Relaxed);
+            self.tail = tail;
+            shared.stats.writer.pushed.store(tail as u64, Relaxed);
         }
-        drop(storage);
+        shared.arena_exit(Role::Producer);
         if n > 0 && shared.reader_waiting.load(Relaxed) {
             shared.wake();
         }
@@ -611,12 +740,75 @@ impl<T: Send> Producer<T> {
         Ok(())
     }
 
+    /// Reserve `n` slots for in-place batch writing; blocks until they are
+    /// free (growing the ring on the spot if `n` exceeds its capacity,
+    /// bounded by `max_capacity` — larger requests are clamped). The
+    /// returned [`WriteSlice`] is filled with [`WriteSlice::push`] and the
+    /// whole batch is published with a single counter store when it drops.
+    ///
+    /// Holding the slice holds fence membership: a resize waits until the
+    /// slice is dropped. Errs only if the consumer is gone.
+    pub fn reserve(&mut self, n: usize) -> Result<WriteSlice<'_, T>, PushError<()>> {
+        let n = n.clamp(1, self.shared.cfg.max_capacity);
+        let shared = self.shared.clone();
+        let backoff = Backoff::new();
+        let mut began_block = false;
+        loop {
+            if shared.consumer_closed.load(Relaxed) {
+                if began_block {
+                    shared.stats.writer_block_end();
+                }
+                return Err(PushError(()));
+            }
+            if n > self.capacity() {
+                // Write-side on-the-spot grow (cold; resizer path).
+                let f = Fifo {
+                    shared: self.shared.clone(),
+                };
+                f.grow_to(n);
+            }
+            shared.arena_enter(Role::Producer);
+            // SAFETY: fence membership held; released on the failure path
+            // below, or by WriteSlice::drop on success.
+            let storage = unsafe { shared.storage_unlocked() };
+            let tail = self.tail;
+            if tail.wrapping_sub(self.head_cache) + n > storage.capacity() {
+                self.head_cache = shared.head.load(Acquire);
+            }
+            if tail.wrapping_sub(self.head_cache) + n <= storage.capacity() {
+                if began_block {
+                    shared.stats.writer_block_end();
+                }
+                return Ok(WriteSlice {
+                    producer: self,
+                    base: tail,
+                    cap: n,
+                    written: 0,
+                });
+            }
+            shared.arena_exit(Role::Producer);
+            if !began_block {
+                shared.stats.writer_block_begin();
+                began_block = true;
+            }
+            if !backoff.is_completed() {
+                backoff.snooze();
+            } else {
+                shared.writer_waiting.store(true, Relaxed);
+                let mut g = shared.park.lock();
+                shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
+                drop(g);
+                shared.writer_waiting.store(false, Relaxed);
+            }
+        }
+    }
+
     /// In-place write: returns a guard holding a defaulted element; mutate it
     /// through `DerefMut` and it is committed (pushed) when the guard drops —
     /// the paper's `allocate_s` semantics. Blocks while the ring is full.
     ///
-    /// The guard pins the storage (holds a shared lock), so a concurrent
-    /// resize waits until the guard drops.
+    /// The guard holds fence membership, so a concurrent resize waits until
+    /// the guard drops.
     pub fn allocate(&mut self) -> Result<WriteGuard<'_, T>, PushError<T>>
     where
         T: Default,
@@ -631,24 +823,27 @@ impl<T: Send> Producer<T> {
                 }
                 return Err(PushError(T::default()));
             }
-            {
-                let storage = RwLock::read_arc(&shared.storage);
-                let tail = shared.tail.load(Relaxed);
-                let head = shared.head.load(Acquire);
-                if tail - head < storage.capacity() {
-                    if began_block {
-                        shared.stats.writer_block_end();
-                    }
-                    // SAFETY: single producer; slot outside the live region.
-                    unsafe { (*storage.slot(tail)).write((T::default(), Signal::None)) };
-                    return Ok(WriteGuard {
-                        producer: self,
-                        storage,
-                        tail,
-                        committed: false,
-                    });
-                }
+            shared.arena_enter(Role::Producer);
+            // SAFETY: fence membership held; released on the failure path
+            // below, or by WriteGuard::drop on success.
+            let storage = unsafe { shared.storage_unlocked() };
+            let tail = self.tail;
+            if tail.wrapping_sub(self.head_cache) >= storage.capacity() {
+                self.head_cache = shared.head.load(Acquire);
             }
+            if tail.wrapping_sub(self.head_cache) < storage.capacity() {
+                if began_block {
+                    shared.stats.writer_block_end();
+                }
+                // SAFETY: single producer; slot outside the live region.
+                unsafe { (*storage.slot(tail)).write((T::default(), Signal::None)) };
+                return Ok(WriteGuard {
+                    producer: self,
+                    tail,
+                    committed: false,
+                });
+            }
+            shared.arena_exit(Role::Producer);
             if !began_block {
                 shared.stats.writer_block_begin();
                 began_block = true;
@@ -705,29 +900,35 @@ impl<T> Drop for Producer<T> {
 /// RAII guard returned by [`Producer::allocate`]; commits the element on
 /// drop (or discards it via [`WriteGuard::abort`]).
 ///
-/// Holds a shared storage lock for its lifetime: references handed out by
+/// Holds fence membership for its lifetime: references handed out by
 /// `Deref` stay valid because any resize must wait for the guard.
 pub struct WriteGuard<'a, T: Send + Default> {
     producer: &'a mut Producer<T>,
-    storage: ArcRwLockReadGuard<RawRwLock, Storage<T>>,
     tail: usize,
     committed: bool,
 }
 
 impl<'a, T: Send + Default> WriteGuard<'a, T> {
+    #[inline]
+    fn slot(&self) -> *mut MaybeUninit<(T, Signal)> {
+        // SAFETY: the guard holds fence membership (entered in allocate,
+        // exited in Drop), so the storage cannot be swapped under us.
+        unsafe { self.producer.shared.storage_unlocked().slot(self.tail) }
+    }
+
     /// Attach a synchronous signal to the element being written.
     pub fn set_signal(&mut self, signal: Signal) {
         // SAFETY: slot was initialized in allocate() and is not yet visible
-        // to the consumer (tail not advanced); storage pinned by our guard.
+        // to the consumer (tail not advanced); storage pinned by the fence.
         unsafe {
-            (*self.storage.slot(self.tail)).assume_init_mut().1 = signal;
+            (*self.slot()).assume_init_mut().1 = signal;
         }
     }
 
     /// Abandon the element without sending it.
     pub fn abort(mut self) {
         // SAFETY: initialized in allocate(), never published.
-        unsafe { (*self.storage.slot(self.tail)).assume_init_drop() };
+        unsafe { (*self.slot()).assume_init_drop() };
         self.committed = true; // prevent Drop from publishing
     }
 }
@@ -735,27 +936,109 @@ impl<'a, T: Send + Default> WriteGuard<'a, T> {
 impl<'a, T: Send + Default> Deref for WriteGuard<'a, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        // SAFETY: initialized, unpublished slot, storage pinned by guard.
-        unsafe { &(*self.storage.slot(self.tail)).assume_init_ref().0 }
+        // SAFETY: initialized, unpublished slot, storage pinned by the fence.
+        unsafe { &(*self.slot()).assume_init_ref().0 }
     }
 }
 
 impl<'a, T: Send + Default> DerefMut for WriteGuard<'a, T> {
     fn deref_mut(&mut self) -> &mut T {
         // SAFETY: as in Deref; single producer, so no aliasing.
-        unsafe { &mut (*self.storage.slot(self.tail)).assume_init_mut().0 }
+        unsafe { &mut (*self.slot()).assume_init_mut().0 }
     }
 }
 
 impl<'a, T: Send + Default> Drop for WriteGuard<'a, T> {
     fn drop(&mut self) {
-        if self.committed {
-            return;
-        }
         let shared = &*self.producer.shared;
-        shared.tail.store(self.tail + 1, Release);
-        shared.stats.pushed.fetch_add(1, Relaxed);
-        if shared.reader_waiting.load(Relaxed) {
+        if !self.committed {
+            shared.tail.store(self.tail + 1, Release);
+            self.producer.tail = self.tail + 1;
+            shared
+                .stats
+                .writer
+                .pushed
+                .store((self.tail + 1) as u64, Relaxed);
+        }
+        shared.arena_exit(Role::Producer);
+        if !self.committed && shared.reader_waiting.load(Relaxed) {
+            shared.wake();
+        }
+    }
+}
+
+/// In-place batch write window returned by [`Producer::reserve`]. Fill it
+/// front-to-back with [`push`](WriteSlice::push); everything written is
+/// published with one counter store when the slice drops.
+pub struct WriteSlice<'a, T: Send> {
+    producer: &'a mut Producer<T>,
+    base: usize,
+    cap: usize,
+    written: usize,
+}
+
+impl<'a, T: Send> WriteSlice<'a, T> {
+    /// Write the next element of the batch in place.
+    ///
+    /// # Panics
+    /// If the reservation is already full (`remaining() == 0`).
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        self.push_signal(value, Signal::None);
+    }
+
+    /// Write the next element with a synchronous signal attached.
+    ///
+    /// # Panics
+    /// If the reservation is already full.
+    #[inline]
+    pub fn push_signal(&mut self, value: T, signal: Signal) {
+        assert!(
+            self.written < self.cap,
+            "WriteSlice overflow: reserved {} slots",
+            self.cap
+        );
+        let shared = &*self.producer.shared;
+        // SAFETY: the slice holds fence membership (entered in reserve,
+        // exited in Drop) so the storage is pinned; reserve checked that
+        // [base, base+cap) is outside the live region against a conservative
+        // head, and the consumer cannot see any of it until Drop publishes.
+        unsafe {
+            (*shared.storage_unlocked().slot(self.base + self.written)).write((value, signal))
+        };
+        self.written += 1;
+    }
+
+    /// Slots still unwritten in this reservation.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.cap - self.written
+    }
+
+    /// Elements written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.written
+    }
+
+    /// `true` if nothing has been written yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.written == 0
+    }
+}
+
+impl<'a, T: Send> Drop for WriteSlice<'a, T> {
+    fn drop(&mut self) {
+        let shared = &*self.producer.shared;
+        if self.written > 0 {
+            let tail = self.base + self.written;
+            shared.tail.store(tail, Release);
+            self.producer.tail = tail;
+            shared.stats.writer.pushed.store(tail as u64, Relaxed);
+        }
+        shared.arena_exit(Role::Producer);
+        if self.written > 0 && shared.reader_waiting.load(Relaxed) {
             shared.wake();
         }
     }
@@ -764,31 +1047,56 @@ impl<'a, T: Send + Default> Drop for WriteGuard<'a, T> {
 /// Consuming endpoint of a [`Fifo`]. One per stream; `Send`, not `Clone`.
 pub struct Consumer<T> {
     shared: Arc<Shared<T>>,
+    /// Local mirror of `shared.head` — exact between operations.
+    head: usize,
+    /// Stale (conservative) copy of `shared.tail`; refreshed only when the
+    /// ring looks empty. Never ahead of the true tail, so staleness can only
+    /// hide elements momentarily, never show uninitialized slots.
+    tail_cache: usize,
 }
 
 // SAFETY: same argument as `Producer` — one non-Clone handle per role.
 unsafe impl<T: Send> Send for Consumer<T> {}
 
 impl<T: Send> Consumer<T> {
+    /// Refresh `tail_cache` and return how many elements are visible.
+    #[inline]
+    fn refresh_avail(&mut self) -> usize {
+        // Acquire pairs with the producer's Release store of `tail`, making
+        // the slots it published visible before we read them.
+        self.tail_cache = self.shared.tail.load(Acquire);
+        self.tail_cache - self.head
+    }
+
     /// Non-blocking pop of `(value, signal)`.
     pub fn try_pop_signal(&mut self) -> Result<(T, Signal), TryPopError> {
-        let shared = &*self.shared;
-        let storage = shared.storage.read();
-        let head = shared.head.load(Relaxed);
-        let tail = shared.tail.load(Acquire);
-        if head == tail {
-            drop(storage);
-            return if shared.producer_closed.load(Acquire) && shared.tail.load(Acquire) == head {
-                Err(TryPopError::Closed)
+        let head = self.head;
+        if head == self.tail_cache && self.refresh_avail() == 0 {
+            return if self.shared.producer_closed.load(Acquire) {
+                // Re-check: the producer may have pushed between our tail
+                // load and its close.
+                if self.refresh_avail() == 0 {
+                    Err(TryPopError::Closed)
+                } else {
+                    Err(TryPopError::Empty)
+                }
             } else {
                 Err(TryPopError::Empty)
             };
         }
-        // SAFETY: single consumer; slot [head] is inside the live region.
+        let shared = &*self.shared;
+        shared.arena_enter(Role::Consumer);
+        // SAFETY: fence membership held until the exit below.
+        let storage = unsafe { shared.storage_unlocked() };
+        // SAFETY: single consumer; `head < tail` was observed through an
+        // Acquire load of `tail`, so the slot is initialized and the
+        // producer won't touch it until our Release store of `head` below.
         let pair = unsafe { (*storage.slot(head)).assume_init_read() };
         shared.head.store(head + 1, Release);
-        shared.stats.popped.fetch_add(1, Relaxed);
-        drop(storage);
+        self.head = head + 1;
+        // Single-writer counter: total popped == head.
+        shared.stats.reader.popped.store((head + 1) as u64, Relaxed);
+        shared.arena_exit(Role::Consumer);
         if shared.writer_waiting.load(Relaxed) {
             shared.wake();
         }
@@ -824,7 +1132,7 @@ impl<T: Send> Consumer<T> {
             }
             shared.reader_waiting.store(true, Relaxed);
             let mut g = shared.park.lock();
-            let empty = shared.head.load(Relaxed) == shared.tail.load(Acquire);
+            let empty = self.head == shared.tail.load(Acquire);
             if empty && !shared.producer_closed.load(Acquire) {
                 shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
             }
@@ -855,6 +1163,8 @@ impl<T: Send> Consumer<T> {
         loop {
             // Grow first if the request can never be satisfied (paper: queue
             // "tagged for resizing" when a read request exceeds capacity).
+            // We are outside the fence here, so the resize cannot deadlock
+            // against our own membership.
             if n > self.capacity() {
                 let f = Fifo {
                     shared: self.shared.clone(),
@@ -864,17 +1174,16 @@ impl<T: Send> Consumer<T> {
                     return Err(PopError);
                 }
             }
-            let occ = shared.occupancy();
-            if occ >= n {
-                let storage = self.shared.storage.read();
-                let head = self.shared.head.load(Relaxed);
+            if self.refresh_avail() >= n {
+                // Occupancy can only grow from here (we are the consumer),
+                // so entering the fence and taking the window is race-free.
+                shared.arena_enter(Role::Consumer);
                 return Ok(PeekRange {
-                    storage,
-                    head,
+                    consumer: self,
                     len: n,
                 });
             }
-            if shared.producer_closed.load(Acquire) && shared.occupancy() < n {
+            if shared.producer_closed.load(Acquire) && self.refresh_avail() < n {
                 return Err(PopError);
             }
             shared.stats.reader_block_begin();
@@ -892,18 +1201,57 @@ impl<T: Send> Consumer<T> {
     }
 
     /// Reference to the front element, if present (non-blocking). The
-    /// closure style keeps the storage lock scoped.
+    /// closure style keeps the fence membership scoped.
     pub fn peek<R>(&mut self, f: impl FnOnce(&T, Signal) -> R) -> Option<R> {
-        let shared = &*self.shared;
-        let storage = shared.storage.read();
-        let head = shared.head.load(Relaxed);
-        let tail = shared.tail.load(Acquire);
-        if head == tail {
+        let head = self.head;
+        if head == self.tail_cache && self.refresh_avail() == 0 {
             return None;
         }
-        // SAFETY: single consumer, live slot.
-        let pair = unsafe { (*storage.slot(head)).assume_init_ref() };
+        let shared = &*self.shared;
+        // RAII: `f` is user code — membership must survive a panic inside it.
+        let _arena = ArenaGuard::enter(shared, Role::Consumer);
+        // SAFETY: fence membership held by `_arena`; single consumer; live
+        // slot observed through an Acquire load of `tail`.
+        let pair = unsafe { &*(*shared.storage_unlocked().slot(head)).as_ptr() };
         Some(f(&pair.0, pair.1))
+    }
+
+    /// Pop up to `max` elements, moving them into `out` under one fence
+    /// entry. Non-blocking w.r.t. waiting for *more* data: takes what is
+    /// visible now. Returns the number moved.
+    fn bulk_pop_into(&mut self, max: usize, out: &mut Vec<T>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let head = self.head;
+        let avail = if self.tail_cache == head {
+            self.refresh_avail()
+        } else {
+            self.tail_cache - head
+        };
+        let k = avail.min(max);
+        if k == 0 {
+            return 0;
+        }
+        let shared = &*self.shared;
+        shared.arena_enter(Role::Consumer);
+        // SAFETY: fence membership held until the exit below.
+        let storage = unsafe { shared.storage_unlocked() };
+        out.reserve(k);
+        for i in 0..k {
+            // SAFETY: single consumer; `[head, head+k)` is inside the live
+            // region observed through an Acquire load of `tail`.
+            let (v, _s) = unsafe { (*storage.slot(head + i)).assume_init_read() };
+            out.push(v);
+        }
+        shared.head.store(head + k, Release);
+        self.head = head + k;
+        shared.stats.reader.popped.store((head + k) as u64, Relaxed);
+        shared.arena_exit(Role::Consumer);
+        if shared.writer_waiting.load(Relaxed) {
+            shared.wake();
+        }
+        k
     }
 
     /// Pop up to `n` elements into `out`; blocks until at least one element
@@ -912,29 +1260,111 @@ impl<T: Send> Consumer<T> {
         self.shared.stats.note_read_request(n);
         let first = self.pop()?;
         out.push(first);
-        let mut got = 1;
-        while got < n {
-            match self.try_pop() {
-                Ok(v) => {
-                    out.push(v);
-                    got += 1;
-                }
-                Err(_) => break,
-            }
-        }
-        Ok(got)
+        Ok(1 + self.bulk_pop_into(n.saturating_sub(1), out))
     }
 
-    /// Advance past `n` elements previously inspected via `peek_range`.
-    pub fn advance(&mut self, n: usize) -> usize {
-        let mut advanced = 0;
-        for _ in 0..n {
-            if self.try_pop().is_err() {
-                break;
+    /// Lend the front of the queue to `f` as a zero-copy [`SliceView`] of up
+    /// to `n` elements, then consume exactly the elements viewed. Blocks
+    /// until at least one element is available; the view may hold fewer than
+    /// `n` if the stream is running dry. Errs once the stream is closed and
+    /// drained.
+    ///
+    /// The whole batch costs one fence entry and one counter store. If `f`
+    /// panics, nothing is consumed.
+    pub fn pop_slice<R>(
+        &mut self,
+        n: usize,
+        f: impl FnOnce(&SliceView<'_, T>) -> R,
+    ) -> Result<R, PopError> {
+        let shared = self.shared.clone();
+        shared.stats.note_read_request(n);
+        let backoff = Backoff::new();
+        let mut began_block = false;
+        let wait = loop {
+            if self.refresh_avail() > 0 {
+                break Ok(());
             }
-            advanced += 1;
+            if shared.producer_closed.load(Acquire) {
+                if self.refresh_avail() > 0 {
+                    break Ok(());
+                }
+                break Err(PopError);
+            }
+            if !began_block {
+                shared.stats.reader_block_begin();
+                began_block = true;
+            }
+            if !backoff.is_completed() {
+                backoff.snooze();
+            } else {
+                shared.reader_waiting.store(true, Relaxed);
+                let mut g = shared.park.lock();
+                shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
+                drop(g);
+                shared.reader_waiting.store(false, Relaxed);
+            }
+        };
+        if began_block {
+            shared.stats.reader_block_end();
         }
-        advanced
+        wait?;
+        let head = self.head;
+        let k = (self.tail_cache - head).min(n.max(1));
+        // RAII: `f` is user code — membership must survive a panic inside it
+        // (on unwind nothing is consumed; head stays put).
+        let arena = ArenaGuard::enter(&shared, Role::Consumer);
+        let r = f(&SliceView {
+            shared: &*shared,
+            head,
+            len: k,
+        });
+        // SAFETY: fence membership still held by `arena`.
+        let storage = unsafe { shared.storage_unlocked() };
+        for i in 0..k {
+            // SAFETY: single consumer; `[head, head+k)` is live (observed
+            // via Acquire above); each slot is dropped exactly once because
+            // `head` advances past all of them below.
+            unsafe { (*storage.slot(head + i)).assume_init_drop() };
+        }
+        shared.head.store(head + k, Release);
+        self.head = head + k;
+        shared.stats.reader.popped.store((head + k) as u64, Relaxed);
+        drop(arena);
+        if shared.writer_waiting.load(Relaxed) {
+            shared.wake();
+        }
+        Ok(r)
+    }
+
+    /// Advance past `n` elements previously inspected via `peek_range`,
+    /// dropping them under a single fence entry. Returns how many were
+    /// actually available to advance past.
+    pub fn advance(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let head = self.head;
+        let k = self.refresh_avail().min(n);
+        if k == 0 {
+            return 0;
+        }
+        let shared = &*self.shared;
+        shared.arena_enter(Role::Consumer);
+        // SAFETY: fence membership held until the exit below.
+        let storage = unsafe { shared.storage_unlocked() };
+        for i in 0..k {
+            // SAFETY: single consumer; `[head, head+k)` is live; dropped
+            // exactly once (head advances below).
+            unsafe { (*storage.slot(head + i)).assume_init_drop() };
+        }
+        shared.head.store(head + k, Release);
+        self.head = head + k;
+        shared.stats.reader.popped.store((head + k) as u64, Relaxed);
+        shared.arena_exit(Role::Consumer);
+        if shared.writer_waiting.load(Relaxed) {
+            shared.wake();
+        }
+        k
     }
 
     /// Take a pending asynchronous signal, if any.
@@ -975,15 +1405,14 @@ impl<T> Drop for Consumer<T> {
 }
 
 /// Borrowed sliding window over the front of the queue (see
-/// [`Consumer::peek_range`]). Holding it pins the storage: resizes wait
-/// until it is dropped.
-pub struct PeekRange<'a, T> {
-    storage: RwLockReadGuard<'a, Storage<T>>,
-    head: usize,
+/// [`Consumer::peek_range`]). Holding it holds fence membership: resizes
+/// wait until it is dropped.
+pub struct PeekRange<'a, T: Send> {
+    consumer: &'a mut Consumer<T>,
     len: usize,
 }
 
-impl<'a, T> PeekRange<'a, T> {
+impl<'a, T: Send> PeekRange<'a, T> {
     /// Number of elements visible in this window.
     pub fn len(&self) -> usize {
         self.len
@@ -994,16 +1423,28 @@ impl<'a, T> PeekRange<'a, T> {
         self.len == 0
     }
 
-    /// Signal attached to the `i`-th element of the window.
-    pub fn signal(&self, i: usize) -> Signal {
+    #[inline]
+    fn slot(&self, i: usize) -> *mut MaybeUninit<(T, Signal)> {
         assert!(
             i < self.len,
             "peek_range index {i} out of bounds {}",
             self.len
         );
-        // SAFETY: elements [head, head+len) were live when the guard was
-        // taken and the consumer (us) has not advanced since.
-        unsafe { (*self.storage.slot(self.head + i)).assume_init_ref().1 }
+        // SAFETY: the window holds fence membership (entered in peek_range,
+        // exited in Drop), so the storage cannot be swapped under us.
+        unsafe {
+            self.consumer
+                .shared
+                .storage_unlocked()
+                .slot(self.consumer.head + i)
+        }
+    }
+
+    /// Signal attached to the `i`-th element of the window.
+    pub fn signal(&self, i: usize) -> Signal {
+        // SAFETY: elements [head, head+len) were live when the window was
+        // taken and the consumer (borrowed mutably by us) has not advanced.
+        unsafe { (*self.slot(i)).assume_init_ref().1 }
     }
 
     /// Iterate over the window.
@@ -1012,16 +1453,69 @@ impl<'a, T> PeekRange<'a, T> {
     }
 }
 
-impl<'a, T> Index<usize> for PeekRange<'a, T> {
+impl<'a, T: Send> Index<usize> for PeekRange<'a, T> {
     type Output = T;
     fn index(&self, i: usize) -> &T {
+        // SAFETY: as in signal().
+        unsafe { &(*self.slot(i)).assume_init_ref().0 }
+    }
+}
+
+impl<'a, T: Send> Drop for PeekRange<'a, T> {
+    fn drop(&mut self) {
+        self.consumer.shared.arena_exit(Role::Consumer);
+    }
+}
+
+/// Zero-copy read view lent to the closure of [`Consumer::pop_slice`].
+/// Valid only inside that closure (fence membership is held around it).
+pub struct SliceView<'a, T: Send> {
+    shared: &'a Shared<T>,
+    head: usize,
+    len: usize,
+}
+
+impl<'a, T: Send> SliceView<'a, T> {
+    /// Number of elements in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the view is empty (never — pop_slice waits for data).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot(&self, i: usize) -> *mut MaybeUninit<(T, Signal)> {
         assert!(
             i < self.len,
-            "peek_range index {i} out of bounds {}",
+            "SliceView index {i} out of bounds {}",
             self.len
         );
+        // SAFETY: pop_slice holds fence membership around the closure, so
+        // the storage cannot be swapped while the view exists.
+        unsafe { self.shared.storage_unlocked().slot(self.head + i) }
+    }
+
+    /// Signal attached to the `i`-th element.
+    pub fn signal(&self, i: usize) -> Signal {
+        // SAFETY: [head, head+len) is the live region observed via Acquire;
+        // the consumer does not advance until the closure returns.
+        unsafe { (*self.slot(i)).assume_init_ref().1 }
+    }
+
+    /// Iterate over the view.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.len).map(move |i| &self[i])
+    }
+}
+
+impl<'a, T: Send> Index<usize> for SliceView<'a, T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
         // SAFETY: as in signal().
-        unsafe { &(*self.storage.slot(self.head + i)).assume_init_ref().0 }
+        unsafe { &(*self.slot(i)).assume_init_ref().0 }
     }
 }
 
@@ -1324,6 +1818,121 @@ mod tests {
     }
 
     #[test]
+    fn reserve_commits_on_drop() {
+        let (_f, mut p, mut c) = small();
+        {
+            let mut w = p.reserve(3).unwrap();
+            assert_eq!(w.remaining(), 3);
+            w.push(10);
+            w.push_signal(11, Signal::EoS);
+            assert_eq!(w.len(), 2);
+            // third slot left unwritten: only 2 are published
+        }
+        assert_eq!(c.try_pop_signal().unwrap(), (10, Signal::None));
+        assert_eq!(c.try_pop_signal().unwrap(), (11, Signal::EoS));
+        assert_eq!(c.try_pop(), Err(TryPopError::Empty));
+    }
+
+    #[test]
+    fn reserve_grows_ring_when_larger_than_capacity() {
+        let (f, mut p, mut c) = small();
+        {
+            let mut w = p.reserve(10).unwrap();
+            for i in 0..10 {
+                w.push(i);
+            }
+        }
+        assert!(f.capacity() >= 10);
+        assert!(f.snapshot().resizes >= 1);
+        for i in 0..10 {
+            assert_eq!(c.try_pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn reserve_to_closed_consumer_errs() {
+        let (_f, mut p, c) = small();
+        drop(c);
+        assert!(p.reserve(2).is_err());
+    }
+
+    #[test]
+    fn reserve_blocks_until_room() {
+        let (_f, mut p, mut c) = fifo_with::<u64>(FifoConfig::fixed(4));
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        let t = std::thread::spawn(move || {
+            let mut w = p.reserve(2).unwrap(); // blocks: only 0 free
+            w.push(4);
+            w.push(5);
+            drop(w);
+            p
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(c.pop().unwrap(), 0);
+        assert_eq!(c.pop().unwrap(), 1);
+        let _p = t.join().unwrap();
+        for i in 2..6 {
+            assert_eq!(c.pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "WriteSlice overflow")]
+    fn reserve_overflow_panics() {
+        let (_f, mut p, _c) = small();
+        let mut w = p.reserve(1).unwrap();
+        w.push(1);
+        w.push(2); // beyond the reservation
+    }
+
+    #[test]
+    fn pop_slice_views_then_consumes() {
+        let (_f, mut p, mut c) = small();
+        for i in 0..4 {
+            p.try_push_signal(i, if i == 3 { Signal::EoS } else { Signal::None })
+                .unwrap();
+        }
+        let sum = c
+            .pop_slice(3, |v| {
+                assert_eq!(v.len(), 3);
+                assert_eq!(v.signal(0), Signal::None);
+                v.iter().sum::<u64>()
+            })
+            .unwrap();
+        assert_eq!(sum, 3);
+        // exactly the viewed elements were consumed
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.try_pop_signal().unwrap(), (3, Signal::EoS));
+    }
+
+    #[test]
+    fn pop_slice_partial_tail_and_close() {
+        let (_f, mut p, mut c) = small();
+        p.try_push(7).unwrap();
+        p.close();
+        // asks for 8, stream only ever has 1: view holds the remainder
+        let got = c.pop_slice(8, |v| v.iter().copied().collect::<Vec<_>>());
+        assert_eq!(got.unwrap(), vec![7]);
+        assert!(c.pop_slice(1, |_| ()).is_err());
+    }
+
+    #[test]
+    fn pop_slice_panic_consumes_nothing() {
+        let (_f, mut p, mut c) = small();
+        p.try_push(1).unwrap();
+        p.try_push(2).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = c.pop_slice(2, |_| panic!("boom"));
+        }));
+        assert!(r.is_err());
+        // nothing consumed, and the fence was released (resize still works)
+        assert_eq!(c.occupancy(), 2);
+        assert_eq!(c.try_pop().unwrap(), 1);
+    }
+
+    #[test]
     fn cross_thread_stress_with_concurrent_resizes() {
         let (f, mut p, mut c) = fifo_with::<u64>(FifoConfig {
             initial_capacity: 4,
@@ -1354,6 +1963,56 @@ mod tests {
         while let Ok(v) = c.pop() {
             assert_eq!(v, expected, "reordered or lost element under resize");
             expected += 1;
+        }
+        assert_eq!(expected, N);
+        producer.join().unwrap();
+        monitor.join().unwrap();
+    }
+
+    #[test]
+    fn batch_views_under_concurrent_resizes() {
+        // Same storm as above, but all traffic goes through reserve/pop_slice.
+        let (f, mut p, mut c) = fifo_with::<u64>(FifoConfig {
+            initial_capacity: 4,
+            max_capacity: 1 << 12,
+            min_capacity: 2,
+        });
+        const N: u64 = 100_000;
+        const BATCH: usize = 7; // deliberately not a power of two
+        let monitor = {
+            let f = f.clone();
+            std::thread::spawn(move || {
+                for i in 0..300 {
+                    if i % 2 == 0 {
+                        f.grow();
+                    } else {
+                        f.shrink();
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            })
+        };
+        let producer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while i < N {
+                let mut w = p.reserve(BATCH.min((N - i) as usize)).unwrap();
+                while w.remaining() > 0 {
+                    w.push(i);
+                    i += 1;
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            let popped = c
+                .pop_slice(BATCH, |v| {
+                    for j in 0..v.len() {
+                        assert_eq!(v[j], expected + j as u64, "batch view corrupted");
+                    }
+                    v.len() as u64
+                })
+                .unwrap();
+            expected += popped;
         }
         assert_eq!(expected, N);
         producer.join().unwrap();

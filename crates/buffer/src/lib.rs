@@ -13,12 +13,15 @@
 //!   single-consumer ring buffer. This is the baseline used by the
 //!   fixed-vs-resizable ablation bench.
 //! * [`fifo::Fifo`] — the production stream: the same lock-free SPSC fast
-//!   path, plus dynamic resizing excluded through a [`parking_lot::RwLock`]
-//!   (producer/consumer take *shared* locks and stay wait-free against each
-//!   other; only a resize takes the exclusive lock), per-element
-//!   [`signal::Signal`]s delivered synchronously with data, blocking
-//!   push/pop with adaptive backoff, and low-overhead telemetry counters
-//!   ([`stats::FifoStats`]) that the monitor thread samples.
+//!   path (cache-padded counters, cached indices), plus dynamic resizing
+//!   excluded through the Dekker-style [`fence::ResizeFence`] — one flag
+//!   store, one SeqCst fence and one load per operation instead of a lock
+//!   acquisition; a resize raises a pending flag and waits for both
+//!   endpoints to step out. Per-element [`signal::Signal`]s are delivered
+//!   synchronously with data, push/pop block with adaptive backoff, and
+//!   low-overhead telemetry counters ([`stats::FifoStats`]) feed the
+//!   monitor thread. Zero-copy batch views ([`fifo::Producer::reserve`],
+//!   [`fifo::Consumer::pop_slice`]) amortize even that over whole batches.
 //!
 //! Elements travel as `(T, Signal)` pairs so that synchronous signals (end of
 //! stream, user signals) arrive at the consumer exactly when the accompanying
@@ -32,6 +35,7 @@
 //! stats at any time.
 
 pub mod error;
+pub mod fence;
 pub mod fifo;
 pub mod signal;
 pub mod spsc;
@@ -39,7 +43,10 @@ pub mod stats;
 pub(crate) mod sync;
 
 pub use error::{PopError, PushError, TryPopError, TryPushError};
-pub use fifo::{fifo_with, Consumer, Fifo, FifoConfig, PeekRange, Producer, WriteGuard};
+pub use fence::{ResizeFence, Role};
+pub use fifo::{
+    fifo_with, Consumer, Fifo, FifoConfig, PeekRange, Producer, SliceView, WriteGuard, WriteSlice,
+};
 pub use signal::Signal;
 pub use spsc::BoundedSpsc;
 pub use stats::{FifoStats, StatsSnapshot};

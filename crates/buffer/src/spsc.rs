@@ -4,17 +4,34 @@
 //! monotonically increasing `head` (next read) and `tail` (next write)
 //! counters, a power-of-two slot array indexed by `counter & mask`, and
 //! acquire/release pairs on the counters for synchronization (see *Rust
-//! Atomics and Locks*, ch. 5).
+//! Atomics and Locks*, ch. 5) — with two FastForward-style refinements:
+//!
+//! * `head` and `tail` are padded to separate cache lines
+//!   ([`CachePadded`]), so the producer's stores never invalidate the line
+//!   the consumer spins on (and vice versa);
+//! * each endpoint handle keeps a **local mirror of its own counter** and a
+//!   **stale cache of the opposite counter**, refreshed with an Acquire
+//!   load only when the ring *looks* full (producer) or empty (consumer).
+//!   The cache is conservative — a stale `head_cache` under-estimates how
+//!   much the consumer has freed — so the only cost of staleness is a
+//!   spurious refresh, never a protocol violation. The common-case push or
+//!   pop is one Relaxed load (the closed flag), the slot access, and one
+//!   Release store.
 //!
 //! [`BoundedSpsc`] is used directly for the FIFO ablation bench and serves as
-//! the storage core that [`crate::fifo::Fifo`] wraps with dynamic resizing.
+//! the reference protocol that [`crate::fifo::Fifo`] extends with dynamic
+//! resizing.
 //!
 //! All atomics and cells come from [`crate::sync`], so building with
 //! `RUSTFLAGS="--cfg loom"` swaps in loom's instrumented primitives and the
 //! tests in `tests/loom_spsc.rs` model-check every permitted interleaving of
-//! the head/tail protocol below.
+//! the head/tail protocol below — including the cached-index fast path.
+//!
+//! [`CachePadded`]: crossbeam::utils::CachePadded
 
 use std::mem::MaybeUninit;
+
+use crossbeam::utils::CachePadded;
 
 use crate::error::{TryPopError, TryPushError};
 use crate::signal::Signal;
@@ -42,13 +59,16 @@ unsafe impl<T: Send> Send for Slot<T> {}
 unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Shared state of a fixed-capacity SPSC ring.
+///
+/// The counters live on separate cache lines; the closed flags share a third
+/// line (they are written once per endpoint lifetime).
 pub(crate) struct RingCore<T> {
     slots: Box<[Slot<T>]>,
     mask: usize,
     /// Next index to read; only the consumer advances it.
-    pub(crate) head: AtomicUsize,
+    pub(crate) head: CachePadded<AtomicUsize>,
     /// Next index to write; only the producer advances it.
-    pub(crate) tail: AtomicUsize,
+    pub(crate) tail: CachePadded<AtomicUsize>,
     /// Producer is gone (stream closed).
     pub(crate) producer_closed: AtomicBool,
     /// Consumer is gone (pushes are pointless).
@@ -66,8 +86,8 @@ impl<T> RingCore<T> {
         RingCore {
             mask: capacity - 1,
             slots,
-            head: AtomicUsize::new(0),
-            tail: AtomicUsize::new(0),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
             producer_closed: AtomicBool::new(false),
             consumer_closed: AtomicBool::new(false),
         }
@@ -82,94 +102,10 @@ impl<T> RingCore<T> {
     pub(crate) fn occupancy(&self) -> usize {
         // tail and head only grow; a torn read can momentarily under- or
         // over-estimate, which is fine for telemetry call sites. The
-        // producer/consumer themselves read their own counter exactly.
+        // producer/consumer themselves track their own counter exactly.
         self.tail
             .load(Acquire)
             .saturating_sub(self.head.load(Acquire))
-    }
-
-    /// Producer-side push.
-    ///
-    /// # Safety
-    /// Must only be called by the single producer thread.
-    #[inline]
-    pub(crate) unsafe fn try_push(&self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
-        if self.consumer_closed.load(Relaxed) {
-            return Err(TryPushError::Closed(value));
-        }
-        let tail = self.tail.load(Relaxed);
-        let head = self.head.load(Acquire);
-        if tail - head >= self.capacity() {
-            return Err(TryPushError::Full(value));
-        }
-        let slot = &self.slots[tail & self.mask];
-        slot.value.with_mut(|p| {
-            // SAFETY: `tail - head < capacity` (checked above), so slot
-            // `tail & mask` is outside the live region: the consumer will not
-            // touch it until our Release store below publishes it, and we are
-            // the only producer (caller contract). Writing through the raw
-            // pointer is therefore exclusive.
-            unsafe { (*p).write((value, signal)) };
-        });
-        self.tail.store(tail + 1, Release);
-        Ok(())
-    }
-
-    /// Consumer-side pop.
-    ///
-    /// # Safety
-    /// Must only be called by the single consumer thread.
-    #[inline]
-    pub(crate) unsafe fn try_pop(&self) -> Result<(T, Signal), TryPopError> {
-        let head = self.head.load(Relaxed);
-        let tail = self.tail.load(Acquire);
-        if head == tail {
-            return if self.producer_closed.load(Acquire) {
-                // Re-check emptiness: the producer may have pushed between
-                // our tail load and its close.
-                if self.tail.load(Acquire) == head {
-                    Err(TryPopError::Closed)
-                } else {
-                    Err(TryPopError::Empty)
-                }
-            } else {
-                Err(TryPopError::Empty)
-            };
-        }
-        let slot = &self.slots[head & self.mask];
-        // SAFETY: `head < tail` was observed through an Acquire load, which
-        // synchronizes-with the producer's Release store after it initialized
-        // this slot — so the slot is initialized and the producer will not
-        // write it again until our Release store below frees it. We are the
-        // only consumer (caller contract), so the read-out is exclusive.
-        let pair = slot.value.with(|p| unsafe { (*p).assume_init_read() });
-        self.head.store(head + 1, Release);
-        Ok(pair)
-    }
-
-    /// Consumer-side peek of the `i`-th available element (0 = front).
-    /// Returns a reference valid until the next `pop` by the same thread.
-    ///
-    /// # Safety
-    /// Must only be called by the single consumer thread. (`i` beyond the
-    /// occupancy is handled — it returns `None`.)
-    #[inline]
-    pub(crate) unsafe fn peek_at(&self, i: usize) -> Option<&(T, Signal)> {
-        let head = self.head.load(Relaxed);
-        let tail = self.tail.load(Acquire);
-        if head + i >= tail {
-            return None;
-        }
-        let slot = &self.slots[(head + i) & self.mask];
-        // SAFETY: `head + i < tail` (checked above, Acquire) means the slot
-        // is initialized and inside the live region; the producer cannot
-        // reuse it until the consumer advances `head`, and only the consumer
-        // (caller contract) can do that. The returned reference borrows
-        // `self`, so it dies before any `pop` by the same thread. The pointer
-        // does not escape the `with` closure — only the derived shared
-        // reference, which stays valid because the cell's contents are not
-        // moved or mutated while the live region holds this slot.
-        Some(slot.value.with(|p| unsafe { (*p).assume_init_ref() }))
     }
 
     /// `true` iff the live region `[head, tail)` does not wrap around the
@@ -222,18 +158,40 @@ impl<T: Send> BoundedSpsc<T> {
     #[allow(clippy::new_ret_no_self)] // intentionally a factory of the two halves
     pub fn new(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
         let core = Arc::new(RingCore::with_capacity(capacity));
-        (SpscProducer { core: core.clone() }, SpscConsumer { core })
+        (
+            SpscProducer {
+                core: core.clone(),
+                tail: 0,
+                head_cache: 0,
+            },
+            SpscConsumer {
+                core,
+                head: 0,
+                tail_cache: 0,
+            },
+        )
     }
 }
 
 /// Producing half of a [`BoundedSpsc`]. `Send` but not `Clone`.
 pub struct SpscProducer<T> {
     core: Arc<RingCore<T>>,
+    /// Local mirror of `core.tail` — always equal to it between calls, so
+    /// the fast path never loads its own shared counter.
+    tail: usize,
+    /// Stale (conservative) copy of `core.head`; refreshed only when the
+    /// ring looks full.
+    head_cache: usize,
 }
 
 /// Consuming half of a [`BoundedSpsc`]. `Send` but not `Clone`.
 pub struct SpscConsumer<T> {
     core: Arc<RingCore<T>>,
+    /// Local mirror of `core.head` — always equal to it between calls.
+    head: usize,
+    /// Stale (conservative) copy of `core.tail`; refreshed only when the
+    /// ring looks empty.
+    tail_cache: usize,
 }
 
 // SAFETY: the producer handle owns the producer role exclusively (it is not
@@ -248,15 +206,39 @@ impl<T: Send> SpscProducer<T> {
     /// Attempt to enqueue without blocking.
     #[inline]
     pub fn try_push(&mut self, value: T) -> Result<(), TryPushError<T>> {
-        // SAFETY: &mut self guarantees we are the only producer call site.
-        unsafe { self.core.try_push(value, Signal::None) }
+        self.try_push_signal(value, Signal::None)
     }
 
     /// Attempt to enqueue an element with a synchronous signal.
     #[inline]
     pub fn try_push_signal(&mut self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
-        // SAFETY: &mut self guarantees we are the only producer call site.
-        unsafe { self.core.try_push(value, signal) }
+        let core = &*self.core;
+        if core.consumer_closed.load(Relaxed) {
+            return Err(TryPushError::Closed(value));
+        }
+        let tail = self.tail;
+        if tail.wrapping_sub(self.head_cache) >= core.capacity() {
+            // Ring looks full through the cached head — refresh it. Acquire
+            // pairs with the consumer's Release store of `head`, ordering
+            // its slot read-out before our reuse of the slot.
+            self.head_cache = core.head.load(Acquire);
+            if tail.wrapping_sub(self.head_cache) >= core.capacity() {
+                return Err(TryPushError::Full(value));
+            }
+        }
+        let slot = &core.slots[tail & core.mask];
+        slot.value.with_mut(|p| {
+            // SAFETY: `tail - head < capacity` (head_cache is never ahead of
+            // the true head, and the check above passed against it), so slot
+            // `tail & mask` is outside the live region: the consumer will not
+            // touch it until our Release store below publishes it, and we are
+            // the only producer (`&mut self` on a non-Clone handle). Writing
+            // through the raw pointer is therefore exclusive.
+            unsafe { (*p).write((value, signal)) };
+        });
+        core.tail.store(tail + 1, Release);
+        self.tail = tail + 1;
+        Ok(())
     }
 
     /// Spin until the element fits or the consumer disconnects.
@@ -311,15 +293,46 @@ impl<T: Send> SpscConsumer<T> {
     /// Attempt to dequeue without blocking.
     #[inline]
     pub fn try_pop(&mut self) -> Result<T, TryPopError> {
-        // SAFETY: &mut self guarantees we are the only consumer call site.
-        unsafe { self.core.try_pop().map(|(v, _)| v) }
+        self.try_pop_signal().map(|(v, _)| v)
     }
 
     /// Attempt to dequeue an element together with its signal.
     #[inline]
     pub fn try_pop_signal(&mut self) -> Result<(T, Signal), TryPopError> {
-        // SAFETY: &mut self guarantees we are the only consumer call site.
-        unsafe { self.core.try_pop() }
+        let core = &*self.core;
+        let head = self.head;
+        if head == self.tail_cache {
+            // Ring looks empty through the cached tail — refresh. Acquire
+            // pairs with the producer's Release store of `tail`, making the
+            // slot contents visible before we read them out.
+            self.tail_cache = core.tail.load(Acquire);
+            if head == self.tail_cache {
+                return if core.producer_closed.load(Acquire) {
+                    // Re-check emptiness: the producer may have pushed
+                    // between our tail load and its close.
+                    self.tail_cache = core.tail.load(Acquire);
+                    if self.tail_cache == head {
+                        Err(TryPopError::Closed)
+                    } else {
+                        Err(TryPopError::Empty)
+                    }
+                } else {
+                    Err(TryPopError::Empty)
+                };
+            }
+        }
+        let slot = &core.slots[head & core.mask];
+        // SAFETY: `head < tail` was observed through an Acquire load of
+        // `tail` (tail_cache never runs ahead of the true tail), which
+        // synchronizes-with the producer's Release store after it initialized
+        // this slot — so the slot is initialized and the producer will not
+        // write it again until our Release store below frees it. We are the
+        // only consumer (`&mut self` on a non-Clone handle), so the read-out
+        // is exclusive.
+        let pair = slot.value.with(|p| unsafe { (*p).assume_init_read() });
+        core.head.store(head + 1, Release);
+        self.head = head + 1;
+        Ok(pair)
     }
 
     /// Spin until an element arrives; `Err` once closed *and* drained.
@@ -347,8 +360,25 @@ impl<T: Send> SpscConsumer<T> {
 
     /// Reference to the front element, if any (no copy).
     pub fn peek(&mut self) -> Option<&T> {
-        // SAFETY: &mut self guarantees we are the only consumer call site.
-        unsafe { self.core.peek_at(0).map(|(v, _)| v) }
+        let core = &*self.core;
+        let head = self.head;
+        if head == self.tail_cache {
+            self.tail_cache = core.tail.load(Acquire);
+            if head == self.tail_cache {
+                return None;
+            }
+        }
+        let slot = &core.slots[head & core.mask];
+        // SAFETY: `head < tail` observed via Acquire (see try_pop_signal),
+        // so the slot is initialized and inside the live region; the
+        // producer cannot reuse it until the consumer advances `head`, and
+        // only the consumer (this handle, borrowed mutably) can do that. The
+        // returned reference borrows `self`, so it dies before any `pop` by
+        // the same thread. The pointer does not escape the `with` closure —
+        // only the derived shared reference, which stays valid because the
+        // cell's contents are not moved or mutated while the live region
+        // holds this slot.
+        Some(slot.value.with(|p| unsafe { &(*p).assume_init_ref().0 }))
     }
 
     /// Queue capacity in elements.
@@ -501,5 +531,24 @@ mod tests {
         p.try_push(3).unwrap();
         p.try_push(4).unwrap();
         assert!(!p.core.is_non_wrapped());
+    }
+
+    #[test]
+    fn cached_indices_stay_conservative() {
+        // Fill, drain on the consumer side, then verify the producer's
+        // stale head_cache only causes a refresh — never a lost slot.
+        let (mut p, mut c) = BoundedSpsc::new(2);
+        p.try_push(1).unwrap();
+        p.try_push(2).unwrap();
+        // producer believes the ring is full; consumer frees both slots
+        assert_eq!(c.try_pop().unwrap(), 1);
+        assert_eq!(c.try_pop().unwrap(), 2);
+        // the next push must refresh head_cache and succeed
+        p.try_push(3).unwrap();
+        p.try_push(4).unwrap();
+        assert!(matches!(p.try_push(5), Err(TryPushError::Full(5))));
+        assert_eq!(c.try_pop().unwrap(), 3);
+        assert_eq!(c.try_pop().unwrap(), 4);
+        assert_eq!(c.try_pop(), Err(TryPopError::Empty));
     }
 }

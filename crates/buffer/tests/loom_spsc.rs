@@ -123,6 +123,7 @@ fn drop_drains_in_flight_elements() {
     loom::model(|| {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let drops = std::sync::Arc::new(AtomicUsize::new(0));
+        #[derive(Debug)]
         struct D(std::sync::Arc<AtomicUsize>);
         impl Drop for D {
             fn drop(&mut self) {

@@ -82,3 +82,65 @@ fn fifo_resize_copy_under_miri() {
         assert_eq!(c.pop().unwrap(), i);
     }
 }
+
+/// Covers: the zero-copy batch views' raw-pointer paths — in-place slot
+/// construction through `reserve`/`WriteSlice`, partial commits (reserved
+/// but unwritten slots must never be read or dropped), and borrowed reads
+/// through `pop_slice`'s `SliceView`. Heap-owning elements let Miri's leak
+/// checker catch a drop of an uninitialized slot or a missed element drop.
+#[test]
+fn batch_views_under_miri() {
+    let (_fifo, mut p, mut c) = fifo_with::<Vec<u8>>(FifoConfig {
+        initial_capacity: 4,
+        ..FifoConfig::default()
+    });
+    // Full commit. (Single-threaded, so every reserve below is sized to
+    // the room actually available — reserve blocks when the ring is full.)
+    let mut slice = p.reserve(3).unwrap();
+    for i in 0..3u8 {
+        slice.push(vec![i; 8]);
+    }
+    drop(slice);
+    let sum: usize = c
+        .pop_slice(2, |view| view.iter().map(|v| v.len()).sum())
+        .unwrap();
+    assert_eq!(sum, 16);
+    // Partial commit: 2 reserved, only 1 written — the unwritten slot must
+    // be neither read nor dropped.
+    let mut slice = p.reserve(2).unwrap();
+    slice.push(vec![9; 8]);
+    drop(slice);
+    // Zero commit: reserved and abandoned — publishes nothing.
+    drop(p.reserve(2).unwrap());
+
+    assert_eq!(c.pop().unwrap(), vec![2; 8]);
+    assert_eq!(c.pop().unwrap(), vec![9; 8]);
+    // Reserve wider than the ring: takes the grow path, then leaves one
+    // element in flight at drop to exercise the storage drain.
+    let mut slice = p.reserve(6).unwrap();
+    slice.push(vec![7; 8]);
+    drop(slice);
+}
+
+/// Covers: `allocate`'s in-place default construction (`WriteGuard`) and
+/// the `peek_range` window's borrowed indexing, both raw-pointer paths.
+#[test]
+fn write_guard_and_peek_range_under_miri() {
+    let (_fifo, mut p, mut c) = fifo_with::<String>(FifoConfig {
+        initial_capacity: 4,
+        ..FifoConfig::default()
+    });
+    for i in 0..3 {
+        let mut g = p.allocate().unwrap();
+        g.push_str(&i.to_string());
+        // Guard drop publishes the element.
+    }
+    {
+        let w = c.peek_range(3).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(&w[0], "0");
+        assert_eq!(&w[2], "2");
+    }
+    assert_eq!(c.advance(2), 2);
+    assert_eq!(c.pop().unwrap(), "2");
+}

@@ -13,6 +13,12 @@ enum Op {
     Resize(u8),
     PeekRangeTry(u8),
     PopRange(u8),
+    /// Reserve `n` slots, publish only `fill` of them (partial commit).
+    Reserve {
+        n: u8,
+        fill: u8,
+    },
+    PopSlice(u8),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -22,6 +28,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         1 => any::<u8>().prop_map(Op::Resize),
         1 => (1u8..8).prop_map(Op::PeekRangeTry),
         1 => (1u8..8).prop_map(Op::PopRange),
+        2 => ((1u8..8), any::<u8>()).prop_map(|(n, f)| Op::Reserve { n, fill: f % (n + 1) }),
+        2 => (1u8..8).prop_map(Op::PopSlice),
     ]
 }
 
@@ -37,6 +45,7 @@ proptest! {
             min_capacity: 1,
         });
         let mut model = std::collections::VecDeque::new();
+        let mut seq = 10_000u16; // distinct marker values for batch writes
         for op in ops {
             match op {
                 Op::Push(v) => {
@@ -75,6 +84,35 @@ proptest! {
                         let got = c.pop_range(n as usize, &mut out).unwrap();
                         prop_assert!(got >= 1 && got <= n as usize);
                         for v in out {
+                            prop_assert_eq!(Some(v), model.pop_front());
+                        }
+                    }
+                }
+                Op::Reserve { n, fill } => {
+                    let n = n as usize;
+                    // Only reserve when it can't block: room must exist (or
+                    // appear via the n > capacity grow path).
+                    if model.len() + n <= f.capacity().max(n) {
+                        let mut slice = p.reserve(n).unwrap();
+                        prop_assert_eq!(slice.remaining(), n);
+                        for _ in 0..fill {
+                            slice.push(seq);
+                            model.push_back(seq);
+                            seq += 1;
+                        }
+                        // Partial commit: dropping publishes exactly `fill`.
+                        drop(slice);
+                    }
+                }
+                Op::PopSlice(n) => {
+                    if !model.is_empty() {
+                        let got = c
+                            .pop_slice(n as usize, |view| {
+                                view.iter().copied().collect::<Vec<u16>>()
+                            })
+                            .unwrap();
+                        prop_assert!(!got.is_empty() && got.len() <= n as usize);
+                        for v in got {
                             prop_assert_eq!(Some(v), model.pop_front());
                         }
                     }
@@ -120,6 +158,54 @@ proptest! {
             expect += 1;
         }
         prop_assert_eq!(expect, n);
+        prod.join().unwrap();
+        monitor.join().unwrap();
+    }
+
+    /// Cross-thread with zero-copy batch views on both ends: a reserving
+    /// producer and a pop_slice consumer, under a concurrent grow/shrink
+    /// storm, still deliver every element exactly once and in order.
+    #[test]
+    fn fifo_cross_thread_batch_views_in_order(
+        n in 1usize..3_000,
+        cap in 1usize..64,
+        batch in 1usize..16,
+        resizes in 0usize..20,
+    ) {
+        let (f, mut p, mut c) = fifo_with::<usize>(FifoConfig {
+            initial_capacity: cap,
+            max_capacity: 1 << 12,
+            min_capacity: 1,
+        });
+        let monitor = std::thread::spawn(move || {
+            for i in 0..resizes {
+                if i % 2 == 0 { f.grow(); } else { f.shrink(); }
+                std::thread::yield_now();
+            }
+        });
+        let prod = std::thread::spawn(move || {
+            let mut next = 0usize;
+            while next < n {
+                let want = batch.min(n - next);
+                let mut slice = p.reserve(want).unwrap();
+                for _ in 0..want {
+                    slice.push(next);
+                    next += 1;
+                }
+            }
+        });
+        let mut expect = 0usize;
+        while expect < n {
+            let got = c
+                .pop_slice(batch, |view| view.iter().copied().collect::<Vec<usize>>())
+                .unwrap();
+            for v in got {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        }
+        prop_assert_eq!(expect, n);
+        assert!(c.pop_slice(1, |_| ()).is_err(), "stream must be drained");
         prod.join().unwrap();
         monitor.join().unwrap();
     }

@@ -242,7 +242,7 @@ fn monitor_loop(
             }
 
             // 3. read request larger than capacity → grow to fit
-            let want = stats.max_read_request.load(Ordering::Relaxed) as usize;
+            let want = stats.reader.max_read_request.load(Ordering::Relaxed) as usize;
             if cfg.grow_on_read_request && want > capacity {
                 let old = capacity;
                 if f.grow_to(want) {
@@ -265,7 +265,7 @@ fn monitor_loop(
             // (grow/shrink oscillation).
             if cfg.shrink_enabled {
                 let occ = f.occupancy();
-                let floor = stats.max_read_request.load(Ordering::Relaxed) as usize;
+                let floor = stats.reader.max_read_request.load(Ordering::Relaxed) as usize;
                 if occ * 8 < capacity && capacity > 1 && capacity / 2 >= floor {
                     low_ticks[i] += 1;
                     if low_ticks[i] >= cfg.shrink_after_ticks {

@@ -85,6 +85,7 @@ pub struct Split<T: Send + 'static> {
     strategy: SplitStrategy,
     active: Arc<AtomicU32>,
     next_rr: usize,
+    scratch: Vec<T>,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -97,6 +98,7 @@ impl<T: Send + 'static> Split<T> {
             strategy,
             active: Arc::new(AtomicU32::new(width as u32)),
             next_rr: 0,
+            scratch: Vec::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -121,23 +123,32 @@ impl<T: Send + 'static> Kernel for Split<T> {
 
     fn run(&mut self, ctx: &Context) -> KStatus {
         let mut input = ctx.input::<T>("in");
-        let item = match input.pop() {
-            Ok(v) => v,
-            Err(_) => return KStatus::Stop,
-        };
-        drop(input);
         let active = (self.active.load(Ordering::Relaxed) as usize).clamp(1, self.width);
         match self.strategy {
             SplitStrategy::RoundRobin => {
-                let target = self.next_rr % active;
-                self.next_rr = (self.next_rr + 1) % active;
-                let mut out = ctx.output_at::<T>(target);
-                if out.push(item).is_err() {
-                    // Replica gone (shutdown path): stop distributing.
+                // Pop one full round per quantum under a single queue
+                // synchronization, then deal the items out in the same
+                // per-item order as before.
+                if input.pop_range(active, &mut self.scratch).is_err() {
                     return KStatus::Stop;
+                }
+                drop(input);
+                for item in self.scratch.drain(..) {
+                    let target = self.next_rr % active;
+                    self.next_rr = (self.next_rr + 1) % active;
+                    let mut out = ctx.output_at::<T>(target);
+                    if out.push(item).is_err() {
+                        // Replica gone (shutdown path): stop distributing.
+                        return KStatus::Stop;
+                    }
                 }
             }
             SplitStrategy::LeastUtilized => {
+                let item = match input.pop() {
+                    Ok(v) => v,
+                    Err(_) => return KStatus::Stop,
+                };
+                drop(input);
                 // Pick the replica with the emptiest input queue; if it is
                 // full by the time we push, *re-select* rather than block —
                 // blocking on the first choice would chain the split to a
@@ -188,8 +199,13 @@ impl<T: Send + 'static> Kernel for Split<T> {
 pub struct Reduce<T: Send + 'static> {
     width: usize,
     next: usize,
+    scratch: Vec<T>,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
+
+/// Items a [`Reduce`] forwards per quantum once an input turns out to have
+/// data queued (bounds latency for the other inputs).
+const REDUCE_BATCH: usize = 256;
 
 impl<T: Send + 'static> Reduce<T> {
     /// Build a reduce of `width` ways.
@@ -197,6 +213,7 @@ impl<T: Send + 'static> Reduce<T> {
         Reduce {
             width: width.max(1),
             next: 0,
+            scratch: Vec::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -220,10 +237,19 @@ impl<T: Send + 'static> Kernel for Reduce<T> {
             let mut input = ctx.input_at::<T>(idx);
             match input.try_pop() {
                 Ok(Some(v)) => {
+                    // This input has data: drain what is already queued (up
+                    // to one batch) and forward it in a single bulk push.
+                    self.scratch.push(v);
+                    let more = input.occupancy().min(REDUCE_BATCH - 1);
+                    if more > 0 {
+                        // Cannot fail: occupancy > 0 means the first pop
+                        // inside pop_range finds data.
+                        let _ = input.pop_range(more, &mut self.scratch);
+                    }
                     drop(input);
                     self.next = (idx + 1) % self.width;
                     let mut out = ctx.output::<T>("out");
-                    if out.push(v).is_err() {
+                    if out.push_batch(&mut self.scratch).is_err() {
                         return KStatus::Stop;
                     }
                     return KStatus::Proceed;

@@ -11,6 +11,14 @@
 //! the stream closes; `push` blocks while the queue is full (which is what
 //! the monitor's 3δ grow rule watches for); `peek_range` gives the sliding
 //! window pattern.
+//!
+//! Taking a handle ([`Context::input`] / [`Context::output`]) pays the name
+//! lookup, `RefCell` borrow and `dyn Any` downcast *once*; the handle then
+//! stores the typed endpoint, so per-element calls are direct. For bulk
+//! kernels, [`OutPort::reserve`] and [`InPort::pop_slice`] expose the
+//! FIFO's zero-copy batch views: elements are written into / read out of
+//! the ring storage itself, with the queue's synchronization amortized over
+//! the whole batch.
 
 use std::any::Any;
 use std::cell::RefCell;
@@ -19,7 +27,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use raft_buffer::fifo::Monitorable;
-use raft_buffer::{Consumer, PeekRange, Producer, Signal, TryPopError, TryPushError, WriteGuard};
+use raft_buffer::{
+    Consumer, PeekRange, Producer, Signal, SliceView, TryPopError, TryPushError, WriteGuard,
+    WriteSlice,
+};
 
 use crate::error::PortClosed;
 
@@ -124,17 +135,19 @@ impl Context {
         let guard = cell
             .try_borrow_mut()
             .unwrap_or_else(|_| panic!("input port {idx} taken twice in one run()"));
-        let ok = guard.downcast_ref::<Consumer<T>>().is_some();
-        assert!(
-            ok,
-            "kernel {:?}: input port {idx} is not of type {}",
-            self.kernel_name,
-            std::any::type_name::<T>()
-        );
-        InPort {
-            guard,
-            _marker: std::marker::PhantomData,
-        }
+        // Pay the type-erasure downcast once per `run`, not once per pop:
+        // the mapped RefMut stores the typed endpoint pointer, so every
+        // port operation below is a plain field access.
+        let kernel_name = &self.kernel_name;
+        let guard = std::cell::RefMut::map(guard, |ep| {
+            ep.downcast_mut::<Consumer<T>>().unwrap_or_else(|| {
+                panic!(
+                    "kernel {kernel_name:?}: input port {idx} is not of type {}",
+                    std::any::type_name::<T>()
+                )
+            })
+        });
+        InPort { guard }
     }
 
     /// Typed handle to the named output port (see [`Context::input`]).
@@ -162,17 +175,17 @@ impl Context {
         let guard = cell
             .try_borrow_mut()
             .unwrap_or_else(|_| panic!("output port {idx} taken twice in one run()"));
-        let ok = guard.downcast_ref::<Producer<T>>().is_some();
-        assert!(
-            ok,
-            "kernel {:?}: output port {idx} is not of type {}",
-            self.kernel_name,
-            std::any::type_name::<T>()
-        );
-        OutPort {
-            guard,
-            _marker: std::marker::PhantomData,
-        }
+        // As for inputs: downcast once, then every push is direct.
+        let kernel_name = &self.kernel_name;
+        let guard = std::cell::RefMut::map(guard, |ep| {
+            ep.downcast_mut::<Producer<T>>().unwrap_or_else(|| {
+                panic!(
+                    "kernel {kernel_name:?}: output port {idx} is not of type {}",
+                    std::any::type_name::<T>()
+                )
+            })
+        });
+        OutPort { guard }
     }
 
     /// Number of input ports.
@@ -201,35 +214,33 @@ impl Context {
 }
 
 /// Typed reading handle for one input port, valid for the current `run`.
+///
+/// The `Consumer<T>` downcast is cached in the handle when it is taken
+/// ([`Context::input`]), so each operation here is a direct call on the
+/// typed endpoint — no per-pop `dyn Any` lookup.
 pub struct InPort<'a, T: Send + 'static> {
-    guard: std::cell::RefMut<'a, AnyEndpoint>,
-    _marker: std::marker::PhantomData<T>,
+    guard: std::cell::RefMut<'a, Consumer<T>>,
 }
 
 impl<'a, T: Send + 'static> InPort<'a, T> {
-    #[inline]
-    fn consumer(&mut self) -> &mut Consumer<T> {
-        self.guard.downcast_mut::<Consumer<T>>().unwrap()
-    }
-
     /// Blocking pop — the paper's `pop_s` without the RAII wrapper (Rust
     /// move semantics make the auto-pop object unnecessary: the value is
     /// simply returned).
     #[inline]
     pub fn pop(&mut self) -> Result<T, PortClosed> {
-        self.consumer().pop().map_err(|_| PortClosed)
+        self.guard.pop().map_err(|_| PortClosed)
     }
 
     /// Blocking pop returning the element's synchronous signal too.
     #[inline]
     pub fn pop_signal(&mut self) -> Result<(T, Signal), PortClosed> {
-        self.consumer().pop_signal().map_err(|_| PortClosed)
+        self.guard.pop_signal().map_err(|_| PortClosed)
     }
 
     /// Non-blocking pop: `Ok(None)` when the stream is momentarily empty.
     #[inline]
     pub fn try_pop(&mut self) -> Result<Option<T>, PortClosed> {
-        match self.consumer().try_pop() {
+        match self.guard.try_pop() {
             Ok(v) => Ok(Some(v)),
             Err(TryPopError::Empty) => Ok(None),
             Err(TryPopError::Closed) => Err(PortClosed),
@@ -241,74 +252,85 @@ impl<'a, T: Send + 'static> InPort<'a, T> {
     /// ends first.
     #[inline]
     pub fn peek_range(&mut self, n: usize) -> Result<PeekRange<'_, T>, PortClosed> {
-        self.consumer().peek_range(n).map_err(|_| PortClosed)
+        self.guard.peek_range(n).map_err(|_| PortClosed)
     }
 
     /// Pop up to `n` items into `out`; blocks for the first one.
     #[inline]
     pub fn pop_range(&mut self, n: usize, out: &mut Vec<T>) -> Result<usize, PortClosed> {
-        self.consumer().pop_range(n, out).map_err(|_| PortClosed)
+        self.guard.pop_range(n, out).map_err(|_| PortClosed)
+    }
+
+    /// Zero-copy batch read: lend the next up-to-`n` queued elements to `f`
+    /// as a [`SliceView`] borrowed straight from the ring, then consume
+    /// exactly the elements viewed. Blocks for the first element; the view
+    /// may be shorter than `n` if the stream is running dry. The whole
+    /// batch costs one resize-fence entry and one counter store.
+    #[inline]
+    pub fn pop_slice<R>(
+        &mut self,
+        n: usize,
+        f: impl FnOnce(&SliceView<'_, T>) -> R,
+    ) -> Result<R, PortClosed> {
+        self.guard.pop_slice(n, f).map_err(|_| PortClosed)
     }
 
     /// Consume `n` elements previously examined with `peek_range`.
     #[inline]
     pub fn advance(&mut self, n: usize) -> usize {
-        self.consumer().advance(n)
+        self.guard.advance(n)
     }
 
     /// Non-consuming look at the head element.
     #[inline]
     pub fn peek<R>(&mut self, f: impl FnOnce(&T, Signal) -> R) -> Option<R> {
-        self.consumer().peek(f)
+        self.guard.peek(f)
     }
 
     /// Pending asynchronous signal, if any.
     #[inline]
     pub fn take_async(&mut self) -> Option<Signal> {
-        self.consumer().take_async()
+        self.guard.take_async()
     }
 
     /// Elements currently queued.
     #[inline]
-    pub fn occupancy(&mut self) -> usize {
-        self.consumer().occupancy()
+    pub fn occupancy(&self) -> usize {
+        self.guard.occupancy()
     }
 
     /// Current queue capacity.
     #[inline]
-    pub fn capacity(&mut self) -> usize {
-        self.consumer().capacity()
+    pub fn capacity(&self) -> usize {
+        self.guard.capacity()
     }
 
     /// `true` when the upstream closed and everything was consumed.
     #[inline]
-    pub fn is_finished(&mut self) -> bool {
-        self.consumer().is_finished()
+    pub fn is_finished(&self) -> bool {
+        self.guard.is_finished()
     }
 }
 
 /// Typed writing handle for one output port, valid for the current `run`.
+///
+/// As with [`InPort`], the `Producer<T>` downcast is cached when the handle
+/// is taken, so pushes go straight to the typed endpoint.
 pub struct OutPort<'a, T: Send + 'static> {
-    guard: std::cell::RefMut<'a, AnyEndpoint>,
-    _marker: std::marker::PhantomData<T>,
+    guard: std::cell::RefMut<'a, Producer<T>>,
 }
 
 impl<'a, T: Send + 'static> OutPort<'a, T> {
-    #[inline]
-    fn producer(&mut self) -> &mut Producer<T> {
-        self.guard.downcast_mut::<Producer<T>>().unwrap()
-    }
-
     /// Blocking push; errs only if the downstream kernel is gone.
     #[inline]
     pub fn push(&mut self, value: T) -> Result<(), PortClosed> {
-        self.producer().push(value).map_err(|_| PortClosed)
+        self.guard.push(value).map_err(|_| PortClosed)
     }
 
     /// Blocking push with a synchronous signal attached.
     #[inline]
     pub fn push_signal(&mut self, value: T, signal: Signal) -> Result<(), PortClosed> {
-        self.producer()
+        self.guard
             .push_signal(value, signal)
             .map_err(|_| PortClosed)
     }
@@ -317,7 +339,7 @@ impl<'a, T: Send + 'static> OutPort<'a, T> {
     /// the element back when the queue is full right now.
     #[inline]
     pub fn try_push(&mut self, value: T) -> Result<Option<T>, PortClosed> {
-        match self.producer().try_push(value) {
+        match self.guard.try_push(value) {
             Ok(()) => Ok(None),
             Err(TryPushError::Full(v)) => Ok(Some(v)),
             Err(TryPushError::Closed(_)) => Err(PortClosed),
@@ -329,7 +351,18 @@ impl<'a, T: Send + 'static> OutPort<'a, T> {
     /// gone (remaining items stay in `items`).
     #[inline]
     pub fn push_batch(&mut self, items: &mut Vec<T>) -> Result<(), PortClosed> {
-        self.producer().push_batch(items).map_err(|_| PortClosed)
+        self.guard.push_batch(items).map_err(|_| PortClosed)
+    }
+
+    /// Zero-copy batch write: reserve `n` contiguous ring slots and fill
+    /// them in place through the returned [`WriteSlice`] — elements are
+    /// constructed directly in the queue's storage and published together
+    /// when the slice drops, under one resize-fence entry for the whole
+    /// batch. Blocks while the ring lacks room (growing it if `n` exceeds
+    /// capacity); errs only if the downstream kernel is gone.
+    #[inline]
+    pub fn reserve(&mut self, n: usize) -> Result<WriteSlice<'_, T>, PortClosed> {
+        self.guard.reserve(n).map_err(|_| PortClosed)
     }
 
     /// In-place allocation — the paper's `allocate_s`: mutate the guard,
@@ -339,24 +372,24 @@ impl<'a, T: Send + 'static> OutPort<'a, T> {
     where
         T: Default,
     {
-        self.producer().allocate().map_err(|_| PortClosed)
+        self.guard.allocate().map_err(|_| PortClosed)
     }
 
     /// Elements currently queued downstream.
     #[inline]
-    pub fn occupancy(&mut self) -> usize {
-        self.producer().occupancy()
+    pub fn occupancy(&self) -> usize {
+        self.guard.occupancy()
     }
 
     /// Current queue capacity.
     #[inline]
-    pub fn capacity(&mut self) -> usize {
-        self.producer().capacity()
+    pub fn capacity(&self) -> usize {
+        self.guard.capacity()
     }
 
     /// `true` once the consumer endpoint dropped.
     #[inline]
-    pub fn is_closed(&mut self) -> bool {
-        self.producer().is_closed()
+    pub fn is_closed(&self) -> bool {
+        self.guard.is_closed()
     }
 }

@@ -70,6 +70,9 @@ pub struct ByteChunkSource {
     chunk_size: usize,
     overlap: usize,
     pos: usize,
+    /// Chunk descriptors emitted per `run()` quantum; the whole batch is
+    /// written into reserved ring slots and published at once.
+    batch: usize,
 }
 
 impl ByteChunkSource {
@@ -81,7 +84,14 @@ impl ByteChunkSource {
             chunk_size: chunk_size.max(1),
             overlap,
             pos: 0,
+            batch: 16,
         }
+    }
+
+    /// Set the number of chunk descriptors emitted per scheduling quantum.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 }
 
@@ -94,19 +104,34 @@ impl Kernel for ByteChunkSource {
         if self.pos >= self.data.len() || ctx.stop_requested() {
             return KStatus::Stop;
         }
-        let logical_end = (self.pos + self.chunk_size).min(self.data.len());
-        let start = self.pos.saturating_sub(self.overlap);
-        let chunk = ByteChunk {
-            data: self.data.clone(),
-            start,
-            end: logical_end,
-            min_end: self.pos - start,
-        };
+        // Reserve slots for one quantum of chunk descriptors and build them
+        // in place; downstream scanners read the corpus bytes zero-copy and
+        // the descriptors themselves are published batch-at-a-time.
+        let remaining = (self.data.len() - self.pos).div_ceil(self.chunk_size);
+        let n = remaining.min(self.batch);
         let mut out = ctx.output::<ByteChunk>("out");
-        if out.push(chunk).is_err() {
+        let mut slice = match out.reserve(n) {
+            Ok(s) => s,
+            Err(_) => return KStatus::Stop,
+        };
+        // reserve clamps to the ring's maximum capacity; emit only as many
+        // descriptors as slots were granted.
+        let n = n.min(slice.remaining());
+        for _ in 0..n {
+            let logical_end = (self.pos + self.chunk_size).min(self.data.len());
+            let start = self.pos.saturating_sub(self.overlap);
+            slice.push(ByteChunk {
+                data: self.data.clone(),
+                start,
+                end: logical_end,
+                min_end: self.pos - start,
+            });
+            self.pos = logical_end;
+        }
+        drop(slice);
+        if self.pos >= self.data.len() {
             return KStatus::Stop;
         }
-        self.pos = logical_end;
         KStatus::Proceed
     }
 

@@ -149,10 +149,7 @@ pub struct ForEach<T: Send + Sync + 'static> {
 }
 
 /// Build a [`ForEach`] over `data` with `chunk`-element slices.
-pub fn for_each<T: Send + Sync + 'static>(
-    data: impl Into<Arc<[T]>>,
-    chunk: usize,
-) -> ForEach<T> {
+pub fn for_each<T: Send + Sync + 'static>(data: impl Into<Arc<[T]>>, chunk: usize) -> ForEach<T> {
     ForEach {
         data: data.into(),
         chunk: chunk.max(1),

@@ -67,18 +67,29 @@ where
         if ctx.stop_requested() {
             return KStatus::Stop;
         }
-        // Pull up to one batch from the iterator, then publish it with the
-        // FIFO's bulk path (one lock acquisition for the whole batch).
-        let mut items: Vec<I::Item> = Vec::with_capacity(self.batch);
-        for _ in 0..self.batch {
+        // Write the iterator's next batch straight into reserved ring
+        // slots: no intermediate Vec, and the whole batch is published
+        // under a single queue synchronization when the slice drops.
+        let mut out = ctx.output::<I::Item>("out");
+        let mut slice = match out.reserve(self.batch) {
+            Ok(s) => s,
+            Err(_) => return KStatus::Stop,
+        };
+        // reserve clamps the request to the ring's maximum capacity, so
+        // fill however many slots were actually granted.
+        let want = slice.remaining();
+        let mut wrote = 0;
+        while wrote < want {
             match self.iter.next() {
-                Some(v) => items.push(v),
+                Some(v) => {
+                    slice.push(v);
+                    wrote += 1;
+                }
                 None => break,
             }
         }
-        let exhausted = items.len() < self.batch;
-        let mut out = ctx.output::<I::Item>("out");
-        if out.push_batch(&mut items).is_err() || exhausted {
+        drop(slice);
+        if wrote < want {
             return KStatus::Stop;
         }
         KStatus::Proceed

@@ -19,6 +19,8 @@
 //!   no element copying;
 //! * [`transforms::Map`] / [`transforms::FilterMap`] / [`transforms::Fold`]
 //!   — per-item transforms and the `reduce`-to-a-value kernel of Figure 6;
+//!   [`transforms::SliceMap`] — the batch variant, transforming zero-copy
+//!   slices borrowed straight from the input ring;
 //! * [`bytes::ByteChunkSource`] / [`bytes::ByteChunk`] — the "read file &
 //!   distribute" kernel of the text-search topology (Figure 8): shares one
 //!   in-memory corpus and streams zero-copy chunk descriptors;
@@ -31,19 +33,21 @@
 //!   discipline: process out of order (replicated), re-order downstream.
 
 pub mod bytes;
-pub mod routing;
 pub mod containers;
 pub mod generate;
+pub mod routing;
 pub mod sequence;
 pub mod sinks;
 pub mod transforms;
 pub mod windows;
 
 pub use bytes::{ByteChunk, ByteChunkSource};
-pub use containers::{for_each, read_each, write_each, CollectHandle, ForEach, ReadEach, WriteEach};
+pub use containers::{
+    for_each, read_each, write_each, CollectHandle, ForEach, ReadEach, WriteEach,
+};
 pub use generate::Generate;
-pub use sinks::{Collect, Count, Print};
 pub use routing::{Take, Tee, Zip};
 pub use sequence::{map_seq, Resequence, Seq, Stamp};
-pub use transforms::{FilterMap, Fold, FoldHandle, Map};
+pub use sinks::{Collect, Count, Print};
+pub use transforms::{FilterMap, Fold, FoldHandle, Map, SliceMap};
 pub use windows::{Batch, Flatten, SlidingWindow};

@@ -161,7 +161,9 @@ impl<T: Send + 'static> Kernel for Resequence<T> {
 /// A replicable kernel applying `f` to the payload while preserving the
 /// sequence stamp — the transform to put *between* [`Stamp`] and
 /// [`Resequence`].
-pub fn map_seq<A, B, F>(f: F) -> crate::transforms::Map<Seq<A>, Seq<B>, impl FnMut(Seq<A>) -> Seq<B> + Clone + Send + 'static>
+pub fn map_seq<A, B, F>(
+    f: F,
+) -> crate::transforms::Map<Seq<A>, Seq<B>, impl FnMut(Seq<A>) -> Seq<B> + Clone + Send + 'static>
 where
     A: Send + 'static,
     B: Send + 'static,

@@ -7,7 +7,7 @@
 use std::sync::atomic::Ordering;
 
 use proptest::prelude::*;
-use raft_kernels::{write_each, Count, Generate, Map};
+use raft_kernels::{write_each, Count, Generate, Map, SliceMap};
 use raftlib::prelude::*;
 
 fn scheduler_strategy() -> impl Strategy<Value = u8> {
@@ -49,6 +49,45 @@ proptest! {
         let mut prev = src;
         for _ in 0..depth {
             let k = map.add(Map::new(|x: u64| x.wrapping_add(1)));
+            map.connect(prev, k).unwrap();
+            prev = k;
+        }
+        let (we, out) = write_each::<u64>();
+        let sink = map.add(we);
+        map.connect(prev, sink).unwrap();
+        map.exe().unwrap();
+        let got = out.lock().unwrap();
+        let expect: Vec<u64> = (0..n).map(|x| x + depth as u64).collect();
+        prop_assert_eq!(&*got, &expect);
+    }
+
+    /// A pipeline built entirely from the zero-copy batch paths — a
+    /// reserving source into chained SliceMap stages — delivers every item
+    /// exactly once and in order for arbitrary batch sizes, queue
+    /// capacities, and schedulers. Exercises reserve/WriteSlice on the push
+    /// side and pop_slice/SliceView on the pop side across kernel
+    /// boundaries.
+    #[test]
+    fn batch_view_pipeline_conserves_order(
+        n in 1u64..5_000,
+        depth in 1usize..4,
+        cap in 1usize..64,
+        src_batch in 1usize..128,
+        map_batch in 1usize..128,
+        sched in scheduler_strategy(),
+    ) {
+        let mut cfg = MapConfig::default();
+        cfg.scheduler = scheduler(sched);
+        cfg.fifo = FifoConfig {
+            initial_capacity: cap,
+            max_capacity: 1 << 14,
+            min_capacity: 1,
+        };
+        let mut map = RaftMap::with_config(cfg);
+        let src = map.add(Generate::new(0..n).with_batch(src_batch));
+        let mut prev = src;
+        for _ in 0..depth {
+            let k = map.add(SliceMap::new(|x: &u64| x.wrapping_add(1)).with_batch(map_batch));
             map.connect(prev, k).unwrap();
             prev = k;
         }
