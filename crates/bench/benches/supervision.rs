@@ -1,0 +1,128 @@
+//! Ablation: cost of the supervision layer on the fault-free hot path.
+//!
+//! The supervision work (restart policies, per-step `entered` telemetry,
+//! the deadline/stall watchdog riding the monitor thread) must be free
+//! when nothing fails — the budget is <2% against the plain pipeline.
+//! Three variants of the same source→sink stream:
+//!
+//! * `baseline` — default config: Abort policy, watchdog disarmed;
+//! * `supervised` — Restart policy on every kernel (policy bookkeeping in
+//!   the step loop) with the watchdog still disarmed;
+//! * `watchdog` — Restart policies *and* both watchdogs armed with
+//!   generous budgets, so the monitor runs the health scan each tick.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use raft_bench::jsonout::JsonReport;
+use raftlib::prelude::*;
+use std::time::Duration;
+
+const ELEMS: u64 = 4_000_000;
+
+/// One full map execution: ELEMS u64s from a lambda source into a
+/// counting sink. Returns the count to keep the work observable.
+fn run_pipeline(supervised: bool, watchdog: bool) -> u64 {
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= ELEMS).then_some(i)
+    }));
+    let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sink_counter = counter.clone();
+    let dst = map.add(lambda_sink(move |_v: u64| {
+        sink_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }));
+    map.link(src, "0", dst, "0").unwrap();
+    if supervised {
+        map.supervise(src, SupervisorPolicy::restart(3));
+        map.supervise(dst, SupervisorPolicy::restart(3));
+    }
+    if watchdog {
+        map.config_mut().monitor = MonitorConfig::default()
+            .with_run_budget(Duration::from_secs(10))
+            .with_stall_timeout(Duration::from_secs(10));
+    }
+    map.exe().unwrap();
+    counter.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+fn bench_supervision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("supervision_overhead");
+    g.throughput(Throughput::Elements(ELEMS));
+    g.sample_size(10);
+
+    g.bench_function("baseline", |b| {
+        b.iter(|| assert_eq!(run_pipeline(false, false), ELEMS));
+    });
+    g.bench_function("supervised", |b| {
+        b.iter(|| assert_eq!(run_pipeline(true, false), ELEMS));
+    });
+    g.bench_function("watchdog", |b| {
+        b.iter(|| assert_eq!(run_pipeline(true, true), ELEMS));
+    });
+
+    g.finish();
+}
+
+/// One timed execution, as Melems/s.
+fn rate_once(supervised: bool, watchdog: bool) -> f64 {
+    let t0 = std::time::Instant::now();
+    assert_eq!(run_pipeline(supervised, watchdog), ELEMS);
+    ELEMS as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+/// `--json` mode: interleaved best-of-N rates (peak rate is far more
+/// stable than a mean across whole-map executions, which carry thread
+/// spawn and scheduler noise) plus the derived overhead percentages,
+/// recorded at the repo root as `BENCH_supervision.json`.
+fn json_mode() {
+    let mut report = JsonReport::new("supervision");
+
+    // warm-up round for allocator/monitor caches
+    for &(s, w) in &[(false, false), (true, false), (true, true)] {
+        let _ = rate_once(s, w);
+    }
+
+    let mut best = [0.0f64; 3];
+    for _ in 0..8 {
+        for (idx, &(s, w)) in [(false, false), (true, false), (true, true)]
+            .iter()
+            .enumerate()
+        {
+            best[idx] = best[idx].max(rate_once(s, w));
+        }
+    }
+    let [baseline, supervised, watchdog] = best;
+
+    report.push("pipeline_baseline_melems_per_s", baseline);
+    report.push("pipeline_supervised_melems_per_s", supervised);
+    report.push("pipeline_watchdog_melems_per_s", watchdog);
+    report.push(
+        "supervised_overhead_percent",
+        (baseline - supervised) / baseline * 100.0,
+    );
+    report.push(
+        "watchdog_overhead_percent",
+        (baseline - watchdog) / baseline * 100.0,
+    );
+
+    let path = report.write().expect("write BENCH_supervision.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_supervision
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_mode();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -391,6 +391,10 @@ impl<T: Send> Fifo<T> {
             return self.capacity();
         }
         let mut guard = shared.storage.write();
+        // Chaos hook: inject a stall (or panic) while holding the storage
+        // lock but before the fence, the window where a wedged resize is
+        // most visible to the endpoints.
+        crate::failpoint!("buffer::fifo::resize");
         shared.fence.begin_resize();
         // With the fence held, both endpoints are outside their critical
         // sections; their counter stores happened-before their (acquired)

@@ -35,6 +35,8 @@
 //! stats at any time.
 
 pub mod error;
+#[cfg(feature = "raft_failpoints")]
+pub mod failpoints;
 pub mod fence;
 pub mod fifo;
 pub mod signal;
@@ -50,3 +52,24 @@ pub use fifo::{
 pub use signal::Signal;
 pub use spsc::BoundedSpsc;
 pub use stats::{FifoStats, StatsSnapshot};
+
+/// Consult a failpoint site, executing panic/stall actions in place.
+///
+/// Expands to nothing unless the crate is built with the
+/// `raft_failpoints` feature, so hook sites cost zero in normal builds.
+/// I/O sites that need to observe [`failpoints::FailAction::ShortIo`]
+/// call [`failpoints::check`] directly instead.
+#[cfg(feature = "raft_failpoints")]
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {
+        $crate::failpoints::hit($site)
+    };
+}
+
+/// No-op: the `raft_failpoints` feature is off.
+#[cfg(not(feature = "raft_failpoints"))]
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {};
+}

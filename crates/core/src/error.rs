@@ -85,9 +85,14 @@ pub enum ExeError {
     },
     /// The map contains no kernels.
     EmptyMap,
-    /// One or more kernels panicked during execution.
+    /// One or more kernels with the default
+    /// [`Abort`](crate::supervise::SupervisorPolicy::Abort) policy panicked
+    /// during execution. Panics absorbed by `Skip`/`Restart`/`Replace`
+    /// policies do *not* raise this error; they surface through the
+    /// per-kernel outcomes in [`ExeReport`](crate::runtime::ExeReport).
     KernelPanicked {
-        /// Display names of the kernels that panicked.
+        /// Display names of the kernels that panicked, sorted — concurrent
+        /// panics are reported in a deterministic order.
         kernels: Vec<String>,
     },
 }

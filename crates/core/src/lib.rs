@@ -76,6 +76,7 @@ pub mod port;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
+pub mod supervise;
 
 pub use algoset::{AlgoSet, AlgoSwitch};
 pub use check::{passes, CheckConfig, LintPass};
@@ -84,12 +85,15 @@ pub use error::{ExeError, LinkError, PortClosed};
 pub use kernel::{KStatus, Kernel, PortDef, PortSpec};
 pub use lambda::{lambda_map, lambda_sink, lambda_source, LambdaKernel};
 pub use map::{KernelId, MapConfig, ParallelConfig, RaftMap};
-pub use monitor::{MonitorConfig, ResizeEvent, ResizeReason, WidthEvent};
+pub use monitor::{
+    MonitorConfig, ResizeEvent, ResizeReason, WatchdogEvent, WatchdogKind, WidthEvent,
+};
 pub use parallel::{Reduce, Split, SplitStrategy, WidthControl};
 pub use port::{Context, InPort, OutPort};
 pub use report::render as render_report;
 pub use runtime::{EdgeReport, ExeReport, KernelReport};
 pub use scheduler::SchedulerKind;
+pub use supervise::{KernelOutcome, SupervisorPolicy};
 
 // Re-export the signal and FIFO config types users meet at the API surface.
 pub use raft_buffer::{FifoConfig, Signal};
@@ -103,10 +107,11 @@ pub mod prelude {
     pub use crate::kernel::{KStatus, Kernel, PortSpec};
     pub use crate::lambda::{lambda_map, lambda_sink, lambda_source, LambdaKernel};
     pub use crate::map::{KernelId, MapConfig, ParallelConfig, RaftMap};
-    pub use crate::monitor::MonitorConfig;
+    pub use crate::monitor::{MonitorConfig, WatchdogEvent, WatchdogKind};
     pub use crate::parallel::SplitStrategy;
     pub use crate::port::{Context, InPort, OutPort};
     pub use crate::runtime::ExeReport;
     pub use crate::scheduler::SchedulerKind;
+    pub use crate::supervise::{KernelOutcome, SupervisorPolicy};
     pub use raft_buffer::{FifoConfig, Signal};
 }

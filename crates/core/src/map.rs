@@ -25,6 +25,7 @@ use crate::parallel::SplitStrategy;
 use crate::runtime;
 use crate::runtime::ExeReport;
 use crate::scheduler::SchedulerKind;
+use crate::supervise::SupervisorPolicy;
 
 /// Handle to a kernel inside a [`RaftMap`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,6 +95,9 @@ pub(crate) struct KernelEntry {
     /// Declared steady-state service rate (items/sec) for the `RC0007`
     /// capacity-feasibility lint; `None` = undeclared (pass skips).
     pub service_rate: Option<f64>,
+    /// What the scheduler does if this kernel's `run()` panics
+    /// (default: abort the whole map — the pre-supervision behavior).
+    pub policy: SupervisorPolicy,
 }
 
 #[derive(Debug, Clone)]
@@ -158,8 +162,32 @@ impl RaftMap {
             width_hint: None,
             start_width: None,
             service_rate: None,
+            policy: SupervisorPolicy::Abort,
         });
         KernelId(self.kernels.len() - 1)
+    }
+
+    /// Set the supervision policy for `kernel`: what the scheduler does if
+    /// its `run()` panics. The default, [`SupervisorPolicy::Abort`], fails
+    /// the whole map; [`SupervisorPolicy::Skip`] drops the kernel and lets
+    /// the pipeline drain; [`SupervisorPolicy::restart`] /
+    /// [`SupervisorPolicy::replace`] rebuild it in place on its live
+    /// streams.
+    ///
+    /// ```
+    /// # use raftlib::prelude::*;
+    /// # use raftlib::SupervisorPolicy;
+    /// # let mut map = RaftMap::new();
+    /// # let k = map.add(lambda_source(|| None::<i64>));
+    /// map.supervise(k, SupervisorPolicy::restart(3));
+    /// ```
+    pub fn supervise(&mut self, kernel: KernelId, policy: SupervisorPolicy) {
+        self.kernels[kernel.0].policy = policy;
+    }
+
+    /// The supervision policy currently set for `kernel`.
+    pub fn policy(&self, kernel: KernelId) -> &SupervisorPolicy {
+        &self.kernels[kernel.0].policy
     }
 
     /// Declare the expected steady-state service rate of `kernel`

@@ -30,6 +30,7 @@ use parking_lot::Mutex;
 use raft_buffer::fifo::Monitorable;
 
 use crate::parallel::WidthControl;
+use crate::scheduler::KernelTelemetry;
 
 /// Monitor configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +53,16 @@ pub struct MonitorConfig {
     pub optimize_widths: bool,
     /// Consecutive backed-up ticks before widening a split.
     pub widen_after_ticks: u32,
+    /// Deadline watchdog: if a single `run()` invocation exceeds this
+    /// budget, the monitor records a [`WatchdogEvent`] and raises the
+    /// cooperative stop flag so the rest of the pipeline winds down.
+    /// `None` (the default) disables the check.
+    pub run_budget: Option<Duration>,
+    /// Stall watchdog: if *no* stream moves any element for this long
+    /// while streams are still open, the monitor records a
+    /// [`WatchdogEvent`] and raises the cooperative stop flag. `None`
+    /// (the default) disables the check.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for MonitorConfig {
@@ -65,6 +76,8 @@ impl Default for MonitorConfig {
             shrink_after_ticks: 200,
             optimize_widths: true,
             widen_after_ticks: 20,
+            run_budget: None,
+            stall_timeout: None,
         }
     }
 }
@@ -82,6 +95,22 @@ impl MonitorConfig {
             enabled: false,
             ..Default::default()
         }
+    }
+
+    /// Arm the per-invocation `run()` deadline watchdog.
+    pub fn with_run_budget(mut self, budget: Duration) -> Self {
+        self.run_budget = Some(budget);
+        self
+    }
+
+    /// Arm the stalled-streams watchdog.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    fn watchdog_armed(&self) -> bool {
+        self.run_budget.is_some() || self.stall_timeout.is_some()
     }
 }
 
@@ -125,6 +154,42 @@ pub(crate) struct WidthTarget {
     pub name: String,
 }
 
+/// A kernel under watchdog observation.
+pub(crate) struct HealthTarget {
+    /// Kernel display name (for the event log).
+    pub name: String,
+    /// Its scheduler telemetry; `entered > runs` with both counters
+    /// unchanged across the budget window means "stuck inside one
+    /// `run()` invocation".
+    pub telemetry: Arc<KernelTelemetry>,
+}
+
+/// What the deadline watchdog detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchdogKind {
+    /// A single `run()` invocation exceeded [`MonitorConfig::run_budget`].
+    RunBudget {
+        /// The offending kernel's display name.
+        kernel: String,
+    },
+    /// No stream moved any element for [`MonitorConfig::stall_timeout`]
+    /// while streams were still open.
+    StalledStreams,
+}
+
+/// One entry of the watchdog event log. Each firing also raises the
+/// cooperative stop flag (sources observe it via
+/// [`Context::stop_requested`](crate::port::Context::stop_requested)), so
+/// a wedged pipeline degrades to a drained partial result instead of a
+/// hang.
+#[derive(Debug, Clone)]
+pub struct WatchdogEvent {
+    /// Time since monitor start.
+    pub at: Duration,
+    /// What was detected.
+    pub kind: WatchdogKind,
+}
+
 /// A width-change log entry.
 #[derive(Debug, Clone)]
 pub struct WidthEvent {
@@ -144,11 +209,12 @@ pub(crate) struct MonitorHandle {
     join: Option<JoinHandle<()>>,
     events: Arc<Mutex<Vec<ResizeEvent>>>,
     width_events: Arc<Mutex<Vec<WidthEvent>>>,
+    watchdog_events: Arc<Mutex<Vec<WatchdogEvent>>>,
 }
 
 impl MonitorHandle {
     /// Stop the monitor and collect its event logs.
-    pub fn finish(mut self) -> (Vec<ResizeEvent>, Vec<WidthEvent>) {
+    pub fn finish(mut self) -> (Vec<ResizeEvent>, Vec<WidthEvent>, Vec<WatchdogEvent>) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(j) = self.join.take() {
             let _ = j.join();
@@ -156,6 +222,7 @@ impl MonitorHandle {
         (
             std::mem::take(&mut *self.events.lock()),
             std::mem::take(&mut *self.width_events.lock()),
+            std::mem::take(&mut *self.watchdog_events.lock()),
         )
     }
 }
@@ -169,23 +236,44 @@ impl Drop for MonitorHandle {
     }
 }
 
-/// Start the monitor over the given streams and split adapters.
+/// Start the monitor over the given streams, split adapters, and watched
+/// kernels. `global_stop` is the runtime's cooperative shutdown flag; the
+/// watchdog raises it when a deadline or stall trips. The thread is spawned
+/// when resize monitoring is enabled *or* a watchdog is armed (the
+/// watchdog "rides the monitor thread"); with `enabled: false` the resize
+/// and telemetry work is skipped either way.
 pub(crate) fn spawn(
     cfg: MonitorConfig,
     fifos: Vec<(String, Arc<dyn Monitorable>)>,
     widths: Vec<WidthTarget>,
+    health: Vec<HealthTarget>,
+    global_stop: Option<Arc<AtomicBool>>,
 ) -> MonitorHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let events = Arc::new(Mutex::new(Vec::new()));
     let width_events = Arc::new(Mutex::new(Vec::new()));
-    let join = if cfg.enabled {
+    let watchdog_events = Arc::new(Mutex::new(Vec::new()));
+    let join = if cfg.enabled || cfg.watchdog_armed() {
         let stop2 = stop.clone();
         let events2 = events.clone();
         let width_events2 = width_events.clone();
+        let watchdog_events2 = watchdog_events.clone();
         Some(
             std::thread::Builder::new()
                 .name("raft-monitor".into())
-                .spawn(move || monitor_loop(cfg, fifos, widths, stop2, events2, width_events2))
+                .spawn(move || {
+                    monitor_loop(
+                        cfg,
+                        fifos,
+                        widths,
+                        health,
+                        global_stop,
+                        stop2,
+                        events2,
+                        width_events2,
+                        watchdog_events2,
+                    );
+                })
                 .expect("spawn monitor thread"),
         )
     } else {
@@ -196,25 +284,99 @@ pub(crate) fn spawn(
         join,
         events,
         width_events,
+        watchdog_events,
     }
 }
 
+/// Per-kernel watchdog bookkeeping: the `(entered, runs)` pair last seen
+/// and when it last changed.
+struct HealthState {
+    last_entered: u64,
+    last_runs: u64,
+    since: Instant,
+    fired: bool,
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing for one spawn site
 fn monitor_loop(
     cfg: MonitorConfig,
     fifos: Vec<(String, Arc<dyn Monitorable>)>,
     widths: Vec<WidthTarget>,
+    health: Vec<HealthTarget>,
+    global_stop: Option<Arc<AtomicBool>>,
     stop: Arc<AtomicBool>,
     events: Arc<Mutex<Vec<ResizeEvent>>>,
     width_events: Arc<Mutex<Vec<WidthEvent>>>,
+    watchdog_events: Arc<Mutex<Vec<WatchdogEvent>>>,
 ) {
     let start = Instant::now();
     let delta_ns = cfg.delta.as_nanos() as u64;
     let mut low_ticks: Vec<u32> = vec![0; fifos.len()];
     let mut backed_up_ticks: Vec<u32> = vec![0; widths.len()];
     let mut starved_ticks: Vec<u32> = vec![0; widths.len()];
+    let mut health_state: Vec<HealthState> = health
+        .iter()
+        .map(|_| HealthState {
+            last_entered: 0,
+            last_runs: 0,
+            since: start,
+            fired: false,
+        })
+        .collect();
+    let mut last_popped: u64 = 0;
+    let mut popped_since = start;
+    let mut stall_fired = false;
 
     while !stop.load(Ordering::Relaxed) {
+        // --- deadline watchdog (rides this thread; active even when the
+        // --- resize monitor itself is disabled) --------------------------
+        if let (Some(budget), Some(gstop)) = (cfg.run_budget, global_stop.as_ref()) {
+            for (t, st) in health.iter().zip(health_state.iter_mut()) {
+                let entered = t.telemetry.entered.load(Ordering::Relaxed);
+                let runs = t.telemetry.runs.load(Ordering::Relaxed);
+                if entered != st.last_entered || runs != st.last_runs {
+                    st.last_entered = entered;
+                    st.last_runs = runs;
+                    st.since = Instant::now();
+                    st.fired = false;
+                } else if entered > runs && !st.fired && st.since.elapsed() >= budget {
+                    // In `run()` right now and has been, without returning,
+                    // for the whole budget window.
+                    st.fired = true;
+                    watchdog_events.lock().push(WatchdogEvent {
+                        at: start.elapsed(),
+                        kind: WatchdogKind::RunBudget {
+                            kernel: t.name.clone(),
+                        },
+                    });
+                    gstop.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        if let (Some(timeout), Some(gstop)) = (cfg.stall_timeout, global_stop.as_ref()) {
+            let popped: u64 = fifos
+                .iter()
+                .map(|(_, f)| f.stats().reader.popped.load(Ordering::Relaxed))
+                .sum();
+            let all_finished = fifos.iter().all(|(_, f)| f.is_finished());
+            if popped != last_popped || all_finished {
+                last_popped = popped;
+                popped_since = Instant::now();
+                stall_fired = false;
+            } else if !stall_fired && popped_since.elapsed() >= timeout {
+                stall_fired = true;
+                watchdog_events.lock().push(WatchdogEvent {
+                    at: start.elapsed(),
+                    kind: WatchdogKind::StalledStreams,
+                });
+                gstop.store(true, Ordering::Relaxed);
+            }
+        }
+
         for (i, (name, f)) in fifos.iter().enumerate() {
+            if !cfg.enabled {
+                break;
+            }
             // 1. occupancy histogram sample
             f.sample();
 
@@ -289,7 +451,7 @@ fn monitor_loop(
         }
 
         // 5. dynamic replication width
-        if cfg.optimize_widths {
+        if cfg.enabled && cfg.optimize_widths {
             for (i, t) in widths.iter().enumerate() {
                 let cur = t.control.get();
                 // Widen: split's input queue persistently > 3/4 full while
@@ -376,6 +538,8 @@ mod tests {
             cfg_fast(),
             vec![("edge0".into(), Arc::new(f.clone()) as Arc<dyn Monitorable>)],
             vec![],
+            vec![],
+            None,
         );
         // Block the writer in another thread.
         let t = std::thread::spawn(move || {
@@ -383,7 +547,7 @@ mod tests {
             p
         });
         let _p = t.join().unwrap();
-        let (events, _) = handle.finish();
+        let (events, _, _) = handle.finish();
         assert!(
             events
                 .iter()
@@ -404,10 +568,12 @@ mod tests {
             cfg_fast(),
             vec![("edge0".into(), Arc::new(f.clone()) as Arc<dyn Monitorable>)],
             vec![],
+            vec![],
+            None,
         );
         // idle queue: occupancy 0 for many ticks
         std::thread::sleep(Duration::from_millis(50));
-        let (events, _) = handle.finish();
+        let (events, _, _) = handle.finish();
         assert!(
             events.iter().any(|e| e.reason == ResizeReason::Shrink),
             "expected shrink events, got {events:?}"
@@ -429,9 +595,11 @@ mod tests {
             MonitorConfig::disabled(),
             vec![("edge0".into(), Arc::new(f.clone()) as Arc<dyn Monitorable>)],
             vec![],
+            vec![],
+            None,
         );
         std::thread::sleep(Duration::from_millis(20));
-        let (events, _) = handle.finish();
+        let (events, _, _) = handle.finish();
         assert!(events.is_empty());
         assert_eq!(f.capacity(), 4);
         assert_eq!(f.snapshot().mean_occupancy, 4.0); // instantaneous only
@@ -460,12 +628,12 @@ mod tests {
             shrink_enabled: false,
             ..Default::default()
         };
-        let handle = spawn(cfg, vec![], vec![target]);
+        let handle = spawn(cfg, vec![], vec![target], vec![], None);
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while ctl.get() == 3 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        let (_, width_events) = handle.finish();
+        let (_, width_events, _) = handle.finish();
         assert!(ctl.get() < 3, "optimizer never narrowed: {width_events:?}");
         assert!(!width_events.is_empty());
     }
@@ -480,6 +648,8 @@ mod tests {
             cfg_fast(),
             vec![("edge0".into(), Arc::new(f.clone()) as Arc<dyn Monitorable>)],
             vec![],
+            vec![],
+            None,
         );
         std::thread::sleep(Duration::from_millis(20));
         handle.finish();

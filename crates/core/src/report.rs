@@ -49,6 +49,10 @@ pub fn render(report: &ExeReport) -> String {
     );
     for k in &report.kernels {
         let ns_per_run = (k.busy.as_nanos() as u64).checked_div(k.runs).unwrap_or(0);
+        let flag = match k.outcome {
+            crate::supervise::KernelOutcome::Completed => String::new(),
+            other => format!("  ⚠ {other}"),
+        };
         let _ = writeln!(
             out,
             "  {:<28} {:>10} {:>12?} {:>12}{}",
@@ -56,7 +60,7 @@ pub fn render(report: &ExeReport) -> String {
             k.runs,
             k.busy,
             ns_per_run,
-            if k.panicked { "  ⚠ PANICKED" } else { "" }
+            flag
         );
     }
 
@@ -110,6 +114,12 @@ pub fn render(report: &ExeReport) -> String {
                 "  {:>10.3?}  {} {} → {}",
                 ev.at, ev.split, ev.old_width, ev.new_width
             );
+        }
+    }
+    if !report.watchdog_events.is_empty() {
+        let _ = writeln!(out, "\nwatchdog firings:");
+        for ev in &report.watchdog_events {
+            let _ = writeln!(out, "  {:>10.3?}  {:?}", ev.at, ev.kind);
         }
     }
     out

@@ -23,13 +23,14 @@ use raft_buffer::StatsSnapshot;
 use crate::error::ExeError;
 use crate::kernel::Kernel;
 use crate::map::{KernelEntry, LinkEntry, RaftMap};
-use crate::monitor::{self, ResizeEvent, WidthEvent, WidthTarget};
+use crate::monitor::{self, HealthTarget, ResizeEvent, WatchdogEvent, WidthEvent, WidthTarget};
 use crate::parallel::WidthControl;
 use crate::port::Context;
 use crate::scheduler::{
     ChainedPool, CooperativePool, KernelRunner, KernelTelemetry, PartitionedPool, Scheduler,
     SchedulerKind, ThreadPerKernel,
 };
+use crate::supervise::KernelOutcome;
 
 /// Named erased input endpoint plus its monitor handle.
 type InputBinding = (String, crate::port::AnyEndpoint, Arc<dyn Monitorable>);
@@ -52,8 +53,12 @@ pub struct KernelReport {
     pub runs: u64,
     /// Time spent inside `run()` (zero if timing was disabled).
     pub busy: Duration,
-    /// `true` if this kernel panicked.
+    /// `true` if this kernel panicked at least once (even if a restart
+    /// later recovered it).
     pub panicked: bool,
+    /// How execution ended: completed, restarted N times, skipped, or
+    /// aborted (see [`SupervisorPolicy`](crate::supervise::SupervisorPolicy)).
+    pub outcome: KernelOutcome,
 }
 
 /// Everything `exe()` reports back (the paper's observable statistics:
@@ -70,6 +75,10 @@ pub struct ExeReport {
     pub resize_events: Vec<ResizeEvent>,
     /// Dynamic replication-width log.
     pub width_events: Vec<WidthEvent>,
+    /// Deadline/stall watchdog firings (armed via
+    /// [`MonitorConfig::run_budget`](crate::monitor::MonitorConfig::run_budget) /
+    /// [`MonitorConfig::stall_timeout`](crate::monitor::MonitorConfig::stall_timeout)).
+    pub watchdog_events: Vec<WatchdogEvent>,
     /// Kernels that were expanded, with their replica counts.
     pub replicated: Vec<(String, u32)>,
 }
@@ -204,7 +213,12 @@ pub fn execute_with_deadline(
         .zip(successors)
         .zip(out_fifos_of)
     {
-        let KernelEntry { kernel, name, .. } = entry;
+        let KernelEntry {
+            kernel,
+            name,
+            policy,
+            ..
+        } = entry;
         let input_fifos: Vec<Arc<dyn Monitorable>> =
             inputs.iter().map(|(_, _, f)| f.clone()).collect();
         let ctx = Context::new(name.clone(), inputs, outputs, stop.clone());
@@ -219,6 +233,8 @@ pub fn execute_with_deadline(
             telemetry,
             successors: succ,
             output_fifos: out_fifos,
+            policy,
+            restarts: 0,
         });
     }
 
@@ -228,7 +244,21 @@ pub fn execute_with_deadline(
         .cloned()
         .zip(edge_fifos.iter().cloned())
         .collect();
-    let monitor_handle = monitor::spawn(map.cfg.monitor.clone(), monitor_fifos, width_targets);
+    let health_targets: Vec<HealthTarget> = names
+        .iter()
+        .zip(&telemetries)
+        .map(|(name, t)| HealthTarget {
+            name: name.clone(),
+            telemetry: t.clone(),
+        })
+        .collect();
+    let monitor_handle = monitor::spawn(
+        map.cfg.monitor.clone(),
+        monitor_fifos,
+        width_targets,
+        health_targets,
+        Some(stop.clone()),
+    );
 
     // --- watchdog ----------------------------------------------------------
     let watchdog = deadline.map(|d| {
@@ -301,7 +331,7 @@ pub fn execute_with_deadline(
         cancel.store(true, Ordering::Relaxed);
         let _ = handle.join();
     }
-    let (resize_events, width_events) = monitor_handle.finish();
+    let (resize_events, width_events, watchdog_events) = monitor_handle.finish();
 
     // --- report ------------------------------------------------------------
     let edges = edge_names
@@ -313,21 +343,35 @@ pub fn execute_with_deadline(
         })
         .collect();
     let _ = edge_endpoints;
-    let panicked: Vec<String> = outcomes
+    // Fatal = an Abort-policy panic: those (and only those) fail `exe()`.
+    // Panics absorbed by Skip/Restart/Replace policies surface through the
+    // per-kernel outcomes instead — graceful degradation.
+    let mut fatal: Vec<String> = outcomes
         .iter()
-        .filter(|o| o.panicked)
+        .filter(|o| o.fatal)
         .map(|o| o.name.clone())
         .collect();
+    // Concurrent panics land in scheduler-dependent order; sort so callers
+    // (and tests) see a deterministic list.
+    fatal.sort();
+    let outcome_of = |name: &str| {
+        outcomes
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| o.outcome)
+            .unwrap_or(KernelOutcome::Completed)
+    };
     let kernels = names
         .into_iter()
         .zip(telemetries)
         .map(|(name, t)| {
-            let panicked = panicked.contains(&name);
+            let outcome = outcome_of(&name);
             KernelReport {
                 runs: t.runs.load(Ordering::Relaxed),
                 busy: Duration::from_nanos(t.busy_ns.load(Ordering::Relaxed)),
                 name,
-                panicked,
+                panicked: outcome.panicked(),
+                outcome,
             }
         })
         .collect();
@@ -338,12 +382,13 @@ pub fn execute_with_deadline(
         kernels,
         resize_events,
         width_events,
+        watchdog_events,
         replicated,
     };
-    if panicked.is_empty() {
+    if fatal.is_empty() {
         Ok(report)
     } else {
-        Err(ExeError::KernelPanicked { kernels: panicked })
+        Err(ExeError::KernelPanicked { kernels: fatal })
     }
 }
 
@@ -421,6 +466,7 @@ fn expand_replicas(map: &mut RaftMap) -> Vec<PlannedSplit> {
                     .expect("clone_replica became None mid-expansion"),
             };
             let idx = push_kernel(map, replica, &format!("{original_name}-r{r}"));
+            map.kernels[idx].policy = map.kernels[k].policy.clone();
             replica_idxs.push(idx);
         }
 
@@ -473,6 +519,7 @@ fn push_kernel(map: &mut RaftMap, kernel: Box<dyn Kernel>, name: &str) -> usize 
         width_hint: None,
         start_width: None,
         service_rate: None,
+        policy: crate::supervise::SupervisorPolicy::Abort,
     });
     map.kernels.len() - 1
 }

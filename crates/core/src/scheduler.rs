@@ -27,6 +27,7 @@ use raft_buffer::fifo::Monitorable;
 
 use crate::kernel::{KStatus, Kernel};
 use crate::port::Context;
+use crate::supervise::{KernelOutcome, SupervisorPolicy};
 
 /// Which scheduler `exe()` uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,13 +58,19 @@ pub enum SchedulerKind {
     },
 }
 
-/// Per-kernel execution counters (service statistics for the optimizer).
+/// Per-kernel execution counters (service statistics for the optimizer and
+/// health signals for the watchdog).
 #[derive(Debug, Default)]
 pub struct KernelTelemetry {
     /// Number of completed `run()` invocations.
     pub runs: AtomicU64,
     /// Nanoseconds spent inside `run()`.
     pub busy_ns: AtomicU64,
+    /// Number of *entered* `run()` invocations. `entered > runs` means the
+    /// kernel is inside `run()` right now; the monitor's deadline watchdog
+    /// uses an unchanged `(entered, runs)` pair across its run-budget
+    /// window as the "stuck inside one invocation" signal.
+    pub entered: AtomicU64,
 }
 
 /// Everything needed to execute one kernel to completion.
@@ -87,6 +94,10 @@ pub struct KernelRunner {
     /// observe the failure out-of-band — the paper's "asynchronous
     /// signaling pathway for global exception handling" (§4.2).
     pub output_fifos: Vec<Arc<dyn Monitorable>>,
+    /// What to do when `run()` panics (default: abort the map).
+    pub policy: SupervisorPolicy,
+    /// Restarts consumed so far under a `Restart`/`Replace` policy.
+    pub restarts: u32,
 }
 
 /// What happened to one kernel.
@@ -94,8 +105,19 @@ pub struct KernelRunner {
 pub struct RunnerOutcome {
     /// Kernel display name.
     pub name: String,
-    /// `true` if the kernel's `run()` panicked.
-    pub panicked: bool,
+    /// How the kernel's execution ended.
+    pub outcome: KernelOutcome,
+    /// `true` when the failure must fail the whole map (an `Abort`-policy
+    /// panic): the scheduler raises the global stop flag and `exe()`
+    /// returns `ExeError::KernelPanicked`.
+    pub fatal: bool,
+}
+
+/// Terminal result of [`step`] for one kernel.
+#[derive(Debug, Clone, Copy)]
+struct StepDone {
+    outcome: KernelOutcome,
+    fatal: bool,
 }
 
 /// A scheduler executes a set of kernels to completion.
@@ -106,10 +128,24 @@ pub trait Scheduler {
 }
 
 /// Drive a kernel for one quantum. Returns `None` while it wants more
-/// (`Proceed`), `Some(outcome)` when it stopped or panicked.
-fn step(runner: &mut KernelRunner, timing: bool) -> Option<bool> {
+/// (`Proceed`, or a panic the supervision policy absorbed), `Some(done)`
+/// when it stopped, was skipped, or failed for good.
+///
+/// Panic path invariants (regression-tested in `tests/supervision.rs`):
+/// the caller must drop (or take-and-drop) the runner on `Some(_)`, which
+/// drops its [`Context`] and closes every endpoint — so the monitor
+/// handles of a panicked kernel's output streams observe `is_finished()`
+/// even when `run()` panicked before its first push (the zero-iteration
+/// case of the drain loops below).
+fn step(runner: &mut KernelRunner, timing: bool) -> Option<StepDone> {
     let started = timing.then(Instant::now);
-    let result = catch_unwind(AssertUnwindSafe(|| runner.kernel.run(&runner.ctx)));
+    runner.telemetry.entered.fetch_add(1, Ordering::Relaxed);
+    // The failpoint runs inside the unwind guard so an injected panic takes
+    // exactly the policy-handled path a kernel panic would.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        raft_buffer::failpoint!("core::scheduler::step");
+        runner.kernel.run(&runner.ctx)
+    }));
     if let Some(t0) = started {
         runner
             .telemetry
@@ -119,17 +155,83 @@ fn step(runner: &mut KernelRunner, timing: bool) -> Option<bool> {
     runner.telemetry.runs.fetch_add(1, Ordering::Relaxed);
     match result {
         Ok(KStatus::Proceed) => None,
-        Ok(KStatus::Stop) => Some(false),
-        Err(_) => {
-            // Asynchronous error propagation (§4.2's exception pathway):
-            // downstream kernels see Signal::Error out-of-band, ahead of
-            // whatever data is still queued.
-            for f in &runner.output_fifos {
-                f.post_async(raft_buffer::Signal::Error(1));
+        Ok(KStatus::Stop) => Some(StepDone {
+            outcome: match runner.restarts {
+                0 => KernelOutcome::Completed,
+                n => KernelOutcome::Restarted(n),
+            },
+            fatal: false,
+        }),
+        Err(_) => handle_panic(runner),
+    }
+}
+
+/// Apply the runner's supervision policy to a caught panic.
+fn handle_panic(runner: &mut KernelRunner) -> Option<StepDone> {
+    let post_error = |runner: &KernelRunner| {
+        // Asynchronous error propagation (§4.2's exception pathway):
+        // downstream kernels see Signal::Error out-of-band, ahead of
+        // whatever data is still queued.
+        for f in &runner.output_fifos {
+            f.post_async(raft_buffer::Signal::Error(1));
+        }
+    };
+    let exhausted = |runner: &KernelRunner| {
+        post_error(runner);
+        Some(StepDone {
+            outcome: KernelOutcome::Aborted,
+            fatal: false,
+        })
+    };
+    match runner.policy.clone() {
+        SupervisorPolicy::Abort => {
+            post_error(runner);
+            Some(StepDone {
+                outcome: KernelOutcome::Aborted,
+                fatal: true,
+            })
+        }
+        // Skip-and-drain: no error signal — the kernel's ports close when
+        // the caller drops the runner, EoS propagates, and downstream
+        // stages flush whatever made it through.
+        SupervisorPolicy::Skip => Some(StepDone {
+            outcome: KernelOutcome::Skipped,
+            fatal: false,
+        }),
+        SupervisorPolicy::Restart { max_restarts, .. } => {
+            if runner.restarts >= max_restarts {
+                return exhausted(runner);
             }
-            Some(true)
+            // Clean-slate restart when the kernel supports replication;
+            // otherwise re-enter the surviving instance in place.
+            if let Some(fresh) = runner.kernel.clone_replica() {
+                runner.kernel = fresh;
+            }
+            backoff_and_count(runner);
+            None
+        }
+        SupervisorPolicy::Replace {
+            max_restarts,
+            factory,
+            ..
+        } => {
+            if runner.restarts >= max_restarts {
+                return exhausted(runner);
+            }
+            runner.kernel = factory();
+            backoff_and_count(runner);
+            None
         }
     }
+}
+
+fn backoff_and_count(runner: &mut KernelRunner) {
+    if let Some(delay) = runner.policy.backoff_for(runner.restarts) {
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+    runner.restarts += 1;
 }
 
 /// One OS thread per kernel.
@@ -148,27 +250,34 @@ impl Scheduler for ThreadPerKernel {
                 std::thread::Builder::new()
                     .name(format!("raft-{}", runner.name))
                     .spawn(move || {
-                        let panicked = loop {
+                        let done = loop {
                             match step(&mut runner, timing) {
-                                Some(p) => break p,
+                                Some(done) => break done,
                                 None => {
                                     if stop.load(Ordering::Relaxed) && runner.ctx.input_count() == 0
                                     {
                                         // Sources wind down on global stop;
                                         // other kernels drain naturally.
-                                        break false;
+                                        break StepDone {
+                                            outcome: KernelOutcome::Completed,
+                                            fatal: false,
+                                        };
                                     }
                                 }
                             }
                         };
-                        if panicked {
+                        if done.fatal {
                             stop.store(true, Ordering::Relaxed);
                         }
                         // Dropping the runner drops its Context, closing all
                         // endpoint handles: EoS propagates downstream.
                         let name = runner.name.clone();
                         drop(runner);
-                        RunnerOutcome { name, panicked }
+                        RunnerOutcome {
+                            name,
+                            outcome: done.outcome,
+                            fatal: done.fatal,
+                        }
                     })
                     .expect("spawn kernel thread")
             })
@@ -178,7 +287,8 @@ impl Scheduler for ThreadPerKernel {
             .map(|h| {
                 h.join().unwrap_or(RunnerOutcome {
                     name: "<unknown>".into(),
-                    panicked: true,
+                    outcome: KernelOutcome::Aborted,
+                    fatal: true,
                 })
             })
             .collect()
@@ -249,11 +359,11 @@ impl Scheduler for CooperativePool {
                                 if !Self::ready(runner) {
                                     continue;
                                 }
-                                let mut finished: Option<bool> = None;
+                                let mut finished: Option<StepDone> = None;
                                 for _ in 0..quantum {
                                     match step(runner, timing) {
-                                        Some(p) => {
-                                            finished = Some(p);
+                                        Some(done) => {
+                                            finished = Some(done);
                                             break;
                                         }
                                         None => {
@@ -264,14 +374,18 @@ impl Scheduler for CooperativePool {
                                         }
                                     }
                                 }
-                                if let Some(panicked) = finished {
+                                if let Some(done) = finished {
                                     let runner = guard.runner.take().unwrap();
                                     let name = runner.name.clone();
                                     drop(runner); // close endpoints -> EoS
-                                    if panicked {
+                                    if done.fatal {
                                         stop.store(true, Ordering::Relaxed);
                                     }
-                                    outcomes.lock().push(RunnerOutcome { name, panicked });
+                                    outcomes.lock().push(RunnerOutcome {
+                                        name,
+                                        outcome: done.outcome,
+                                        fatal: done.fatal,
+                                    });
                                     remaining.fetch_sub(1, Ordering::Relaxed);
                                     progressed = true;
                                 }
@@ -343,11 +457,11 @@ impl Scheduler for PartitionedPool {
                                     i += 1;
                                     continue;
                                 }
-                                let mut finished: Option<bool> = None;
+                                let mut finished: Option<StepDone> = None;
                                 for _ in 0..quantum {
                                     match step(&mut mine[i], timing) {
-                                        Some(p) => {
-                                            finished = Some(p);
+                                        Some(done) => {
+                                            finished = Some(done);
                                             break;
                                         }
                                         None => {
@@ -358,14 +472,18 @@ impl Scheduler for PartitionedPool {
                                         }
                                     }
                                 }
-                                if let Some(panicked) = finished {
+                                if let Some(done) = finished {
                                     let runner = mine.swap_remove(i);
                                     let name = runner.name.clone();
                                     drop(runner);
-                                    if panicked {
+                                    if done.fatal {
                                         stop.store(true, Ordering::Relaxed);
                                     }
-                                    outcomes.push(RunnerOutcome { name, panicked });
+                                    outcomes.push(RunnerOutcome {
+                                        name,
+                                        outcome: done.outcome,
+                                        fatal: done.fatal,
+                                    });
                                     progressed = true;
                                 } else {
                                     i += 1;
@@ -459,11 +577,11 @@ impl Scheduler for ChainedPool {
                                     if !CooperativePool::ready(runner) {
                                         continue;
                                     }
-                                    let mut finished: Option<bool> = None;
+                                    let mut finished: Option<StepDone> = None;
                                     for _ in 0..quantum {
                                         match step(runner, timing) {
-                                            Some(p) => {
-                                                finished = Some(p);
+                                            Some(done) => {
+                                                finished = Some(done);
                                                 break;
                                             }
                                             None => {
@@ -474,14 +592,18 @@ impl Scheduler for ChainedPool {
                                             }
                                         }
                                     }
-                                    if let Some(panicked) = finished {
+                                    if let Some(done) = finished {
                                         let runner = guard.runner.take().unwrap();
                                         let name = runner.name.clone();
                                         drop(runner);
-                                        if panicked {
+                                        if done.fatal {
                                             stop.store(true, Ordering::Relaxed);
                                         }
-                                        outcomes.lock().push(RunnerOutcome { name, panicked });
+                                        outcomes.lock().push(RunnerOutcome {
+                                            name,
+                                            outcome: done.outcome,
+                                            fatal: done.fatal,
+                                        });
                                         remaining.fetch_sub(1, Ordering::Relaxed);
                                         progressed = true;
                                     } else if progressed {

@@ -1,0 +1,414 @@
+//! Integration tests for supervised execution: restart/skip/replace
+//! policies, graceful degradation of `exe()`, panic-path EoS propagation,
+//! deterministic multi-panic reporting, and the deadline/stall watchdogs.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use raftlib::prelude::*;
+
+/// Forwards `u64`s from "in" to "out", panicking (before touching any
+/// port) while the shared counter is positive. Restarted/replaced
+/// instances share the counter, so a budget of N panics means exactly N
+/// faults across all incarnations.
+struct FlakyForward {
+    remaining_panics: Arc<AtomicU32>,
+}
+
+impl FlakyForward {
+    fn new(panics: u32) -> Self {
+        FlakyForward {
+            remaining_panics: Arc::new(AtomicU32::new(panics)),
+        }
+    }
+}
+
+impl Kernel for FlakyForward {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<u64>("in").output::<u64>("out")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        if self.remaining_panics.load(Ordering::SeqCst) > 0 {
+            self.remaining_panics.fetch_sub(1, Ordering::SeqCst);
+            panic!("injected fault");
+        }
+        let mut input = ctx.input::<u64>("in");
+        match input.pop_signal() {
+            Ok((v, sig)) => {
+                drop(input);
+                let mut out = ctx.output::<u64>("out");
+                if out.push_signal(v, sig).is_err() {
+                    return KStatus::Stop;
+                }
+                KStatus::Proceed
+            }
+            Err(_) => KStatus::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        "flaky-forward".to_string()
+    }
+
+    fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
+        Some(Box::new(FlakyForward {
+            remaining_panics: self.remaining_panics.clone(),
+        }))
+    }
+}
+
+/// A source that panics on its very first `run()`, before pushing a single
+/// element — the zero-iteration case of the drain loop.
+struct PanicImmediately {
+    label: String,
+}
+
+impl Kernel for PanicImmediately {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().output::<u64>("out")
+    }
+
+    fn run(&mut self, _ctx: &Context) -> KStatus {
+        panic!("boom before first push");
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+fn counting_sink() -> (impl Kernel, Arc<Mutex<Vec<u64>>>) {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let sink_seen = seen.clone();
+    let sink = lambda_sink(move |v: u64| {
+        sink_seen.lock().unwrap().push(v);
+    });
+    (sink, seen)
+}
+
+/// Look a kernel up by base name (map entries are suffixed `#index`).
+fn outcome_of(report: &ExeReport, name: &str) -> KernelOutcome {
+    report
+        .kernels
+        .iter()
+        .find(|k| k.name.split('#').next() == Some(name))
+        .unwrap_or_else(|| panic!("kernel {name:?} missing from report"))
+        .outcome
+}
+
+/// Strip the `#index` suffixes off a panic report for stable comparison.
+fn base_names(kernels: &[String]) -> Vec<&str> {
+    kernels
+        .iter()
+        .map(|k| k.split('#').next().unwrap())
+        .collect()
+}
+
+/// Restart policy: two injected panics are absorbed, the kernel is rebuilt
+/// on its live ports, and every element still flows end to end.
+#[test]
+fn restart_policy_recovers_and_loses_nothing() {
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= 500).then_some(i)
+    }));
+    let flaky = map.add(FlakyForward::new(2));
+    let (sink, seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "0", flaky, "in").unwrap();
+    map.link(flaky, "out", dst, "0").unwrap();
+    map.supervise(flaky, SupervisorPolicy::restart(5));
+
+    let report = map.exe().expect("restart policy absorbs the panics");
+    assert_eq!(
+        outcome_of(&report, "flaky-forward"),
+        KernelOutcome::Restarted(2)
+    );
+    assert_eq!(*seen.lock().unwrap(), (1..=500).collect::<Vec<u64>>());
+}
+
+/// Skip policy: the panicking stage is dropped, EoS propagates, and the
+/// run is reported per-kernel instead of failing wholesale.
+#[test]
+fn skip_policy_drains_pipeline() {
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= 100).then_some(i)
+    }));
+    let flaky = map.add(FlakyForward::new(u32::MAX));
+    let (sink, seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "0", flaky, "in").unwrap();
+    map.link(flaky, "out", dst, "0").unwrap();
+    map.supervise(flaky, SupervisorPolicy::Skip);
+
+    let report = map.exe().expect("skip policy keeps exe() Ok");
+    assert_eq!(outcome_of(&report, "flaky-forward"), KernelOutcome::Skipped);
+    assert!(seen.lock().unwrap().is_empty());
+}
+
+/// Replace policy: the factory's fresh instance takes over on the same
+/// streams.
+#[test]
+fn replace_policy_installs_factory_kernel() {
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= 300).then_some(i)
+    }));
+    // The original faults once; every replacement is clean.
+    let flaky = map.add(FlakyForward::new(1));
+    let (sink, seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "0", flaky, "in").unwrap();
+    map.link(flaky, "out", dst, "0").unwrap();
+    map.supervise(
+        flaky,
+        SupervisorPolicy::replace(3, || Box::new(FlakyForward::new(0))),
+    );
+
+    let report = map.exe().expect("replace policy absorbs the panic");
+    assert_eq!(
+        outcome_of(&report, "flaky-forward"),
+        KernelOutcome::Restarted(1)
+    );
+    assert_eq!(*seen.lock().unwrap(), (1..=300).collect::<Vec<u64>>());
+}
+
+/// An exhausted restart budget degrades to a skipped stage with an
+/// `Aborted` outcome — but the run itself still completes.
+#[test]
+fn exhausted_restart_budget_degrades_gracefully() {
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= 50).then_some(i)
+    }));
+    let flaky = map.add(FlakyForward::new(u32::MAX));
+    let (sink, seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "0", flaky, "in").unwrap();
+    map.link(flaky, "out", dst, "0").unwrap();
+    map.supervise(flaky, SupervisorPolicy::restart(2));
+
+    let report = map.exe().expect("exhaustion degrades, not aborts the run");
+    assert_eq!(outcome_of(&report, "flaky-forward"), KernelOutcome::Aborted);
+    assert!(seen.lock().unwrap().is_empty());
+}
+
+/// Default Abort policy: unchanged fail-fast behavior.
+#[test]
+fn abort_policy_fails_exe() {
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= 50).then_some(i)
+    }));
+    let flaky = map.add(FlakyForward::new(u32::MAX));
+    let (sink, _seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "0", flaky, "in").unwrap();
+    map.link(flaky, "out", dst, "0").unwrap();
+
+    match map.exe() {
+        Err(ExeError::KernelPanicked { kernels }) => {
+            assert_eq!(base_names(&kernels), vec!["flaky-forward"]);
+        }
+        other => panic!("expected KernelPanicked, got {other:?}"),
+    }
+}
+
+/// Regression (zero-iteration drain): a kernel that panics before its
+/// first push must still close its output streams, so downstream sees EoS
+/// and `exe()` returns instead of hanging.
+#[test]
+fn panic_before_first_push_propagates_eos() {
+    let mut map = RaftMap::new();
+    let src = map.add(PanicImmediately {
+        label: "instant-boom".to_string(),
+    });
+    let (sink, seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "out", dst, "0").unwrap();
+    map.supervise(src, SupervisorPolicy::Skip);
+
+    let report = map.exe().expect("skip turns the panic into EoS");
+    assert_eq!(outcome_of(&report, "instant-boom"), KernelOutcome::Skipped);
+    assert_eq!(outcome_of(&report, "lambda-sink"), KernelOutcome::Completed);
+    assert!(seen.lock().unwrap().is_empty());
+}
+
+/// Same zero-iteration case under the default Abort policy: the error
+/// surfaces and nothing hangs.
+#[test]
+fn panic_before_first_push_aborts_cleanly() {
+    let mut map = RaftMap::new();
+    let src = map.add(PanicImmediately {
+        label: "instant-boom".to_string(),
+    });
+    let (sink, _seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "out", dst, "0").unwrap();
+
+    match map.exe() {
+        Err(ExeError::KernelPanicked { kernels }) => {
+            assert_eq!(base_names(&kernels), vec!["instant-boom"]);
+        }
+        other => panic!("expected KernelPanicked, got {other:?}"),
+    }
+}
+
+/// Two kernels panicking concurrently must be reported deterministically:
+/// sorted by name, independent of which thread died first.
+#[test]
+fn concurrent_panics_report_deterministically() {
+    for _ in 0..30 {
+        let mut map = RaftMap::new();
+        // Two disconnected panicking pipelines; thread interleaving decides
+        // which dies first, the report must not care.
+        let a = map.add(PanicImmediately {
+            label: "aa-boom".to_string(),
+        });
+        let (sink_a, _) = counting_sink();
+        let da = map.add(sink_a);
+        map.link(a, "out", da, "0").unwrap();
+
+        let z = map.add(PanicImmediately {
+            label: "zz-boom".to_string(),
+        });
+        let (sink_z, _) = counting_sink();
+        let dz = map.add(sink_z);
+        map.link(z, "out", dz, "0").unwrap();
+
+        match map.exe() {
+            Err(ExeError::KernelPanicked { kernels }) => {
+                assert_eq!(
+                    base_names(&kernels),
+                    vec!["aa-boom", "zz-boom"],
+                    "panic report must be sorted and complete"
+                );
+            }
+            other => panic!("expected KernelPanicked, got {other:?}"),
+        }
+    }
+}
+
+/// A kernel stuck inside one `run()` trips the deadline watchdog, which
+/// raises the cooperative stop flag — an otherwise-infinite pipeline ends.
+#[test]
+fn run_budget_watchdog_stops_stuck_pipeline() {
+    struct SleepyOnce {
+        slept: bool,
+    }
+    impl Kernel for SleepyOnce {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().input::<u64>("in")
+        }
+        fn run(&mut self, ctx: &Context) -> KStatus {
+            if !self.slept {
+                self.slept = true;
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            let mut input = ctx.input::<u64>("in");
+            match input.pop_signal() {
+                Ok(_) => KStatus::Proceed,
+                Err(_) => KStatus::Stop,
+            }
+        }
+        fn name(&self) -> String {
+            "sleepy-sink".to_string()
+        }
+    }
+
+    let mut map = RaftMap::new();
+    // Infinite trickle source: only the watchdog can end this run.
+    let src = map.add(lambda_source(move || {
+        std::thread::sleep(Duration::from_micros(500));
+        Some(1u64)
+    }));
+    let dst = map.add(SleepyOnce { slept: false });
+    map.link(src, "0", dst, "in").unwrap();
+    map.config_mut().monitor = MonitorConfig::default().with_run_budget(Duration::from_millis(40));
+
+    let report = map.exe().expect("watchdog stop is a graceful end");
+    let fired = report.watchdog_events.iter().any(
+        |ev| matches!(&ev.kind, WatchdogKind::RunBudget { kernel } if kernel.starts_with("sleepy-sink")),
+    );
+    assert!(
+        fired,
+        "expected a RunBudget firing for sleepy-sink, got {:?}",
+        report.watchdog_events
+    );
+}
+
+/// Streams open but no element moving trips the stall watchdog.
+#[test]
+fn stall_watchdog_ends_frozen_pipeline() {
+    struct Holder;
+    impl Kernel for Holder {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().output::<u64>("out")
+        }
+        fn run(&mut self, ctx: &Context) -> KStatus {
+            // Keeps its output open but never produces; without the stall
+            // watchdog this pipeline runs forever moving nothing.
+            if ctx.stop_requested() {
+                return KStatus::Stop;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            KStatus::Proceed
+        }
+        fn name(&self) -> String {
+            "holder".to_string()
+        }
+    }
+
+    let mut map = RaftMap::new();
+    let src = map.add(Holder);
+    let (sink, seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "out", dst, "0").unwrap();
+    map.config_mut().monitor =
+        MonitorConfig::default().with_stall_timeout(Duration::from_millis(50));
+
+    let report = map.exe().expect("stall stop is a graceful end");
+    assert!(
+        report
+            .watchdog_events
+            .iter()
+            .any(|ev| matches!(ev.kind, WatchdogKind::StalledStreams)),
+        "expected a StalledStreams firing, got {:?}",
+        report.watchdog_events
+    );
+    assert!(seen.lock().unwrap().is_empty());
+}
+
+/// The watchdog must not fire on a healthy fast pipeline.
+#[test]
+fn watchdog_quiet_on_healthy_pipeline() {
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= 20_000).then_some(i)
+    }));
+    let (sink, seen) = counting_sink();
+    let dst = map.add(sink);
+    map.link(src, "0", dst, "0").unwrap();
+    map.config_mut().monitor = MonitorConfig::default()
+        .with_run_budget(Duration::from_secs(5))
+        .with_stall_timeout(Duration::from_secs(5));
+
+    let report = map.exe().unwrap();
+    assert!(report.watchdog_events.is_empty());
+    assert_eq!(seen.lock().unwrap().len(), 20_000);
+}

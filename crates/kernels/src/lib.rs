@@ -32,6 +32,9 @@
 //! * [`sequence::Stamp`] / [`sequence::Resequence`] — §4.1's third stream
 //!   discipline: process out of order (replicated), re-order downstream.
 
+#[cfg(feature = "raft_failpoints")]
+pub mod chaos;
+
 pub mod bytes;
 pub mod containers;
 pub mod generate;
@@ -40,6 +43,9 @@ pub mod sequence;
 pub mod sinks;
 pub mod transforms;
 pub mod windows;
+
+#[cfg(feature = "raft_failpoints")]
+pub use chaos::{ChaosConfig, ChaosKernel};
 
 pub use bytes::{ByteChunk, ByteChunkSource};
 pub use containers::{

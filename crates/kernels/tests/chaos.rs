@@ -1,0 +1,164 @@
+//! Chaos suite: deterministic fault injection against supervised maps.
+//!
+//! Runs only with `--features raft_failpoints`. The CI chaos job executes
+//! this suite under three pinned seeds (`RAFT_CHAOS_SEED`); every firing
+//! decision is drawn from the seed, so a failure reproduces exactly with
+//! `RAFT_CHAOS_SEED=<n> cargo test -p raft-kernels --features
+//! raft_failpoints --test chaos`.
+#![cfg(feature = "raft_failpoints")]
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use raft_buffer::failpoints::{self, FailAction};
+use raft_kernels::{write_each, ChaosConfig, ChaosKernel, Generate};
+use raftlib::prelude::*;
+
+/// The failpoint registry is process-global; chaos tests serialize on this
+/// so one test's armed sites never fire inside another's map.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> MutexGuard<'static, ()> {
+    let guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    failpoints::reset();
+    guard
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("RAFT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A ChaosKernel-injected panic under a Restart policy: the stage comes
+/// back on its live ports and the stream arrives complete and in order.
+#[test]
+fn chaos_panic_absorbed_by_restart() {
+    let _guard = chaos_guard();
+    let mut map = RaftMap::new();
+    let src = map.add(Generate::new(0..800u64));
+    let chaotic = map.add(ChaosKernel::new(
+        lambda_map(|v: u64| v),
+        ChaosConfig::panics(chaos_seed(), 4, 2),
+    ));
+    let (we, handle) = write_each::<u64>();
+    let dst = map.add(we);
+    map.link(src, "out", chaotic, "0").unwrap();
+    map.link(chaotic, "0", dst, "in").unwrap();
+    map.supervise(chaotic, SupervisorPolicy::restart(4));
+
+    let report = map.exe().expect("restart absorbs injected panics");
+    let outcome = report
+        .kernels
+        .iter()
+        .find(|k| k.name.starts_with("chaos["))
+        .expect("chaos kernel in report")
+        .outcome;
+    assert!(
+        matches!(
+            outcome,
+            KernelOutcome::Completed | KernelOutcome::Restarted(_)
+        ),
+        "unexpected outcome {outcome:?}"
+    );
+    let got = std::sync::Arc::try_unwrap(handle)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    assert_eq!(got, (0..800).collect::<Vec<u64>>());
+}
+
+/// A hopeless stage (panics every invocation) under Skip: the rest of the
+/// pipeline drains and the run is reported per kernel.
+#[test]
+fn chaos_hopeless_stage_skipped() {
+    let _guard = chaos_guard();
+    let mut map = RaftMap::new();
+    let src = map.add(Generate::new(0..100u64));
+    let chaotic = map.add(ChaosKernel::new(
+        lambda_map(|v: u64| v),
+        ChaosConfig::panics(chaos_seed(), 1, 0), // every run, unlimited
+    ));
+    let (we, handle) = write_each::<u64>();
+    let dst = map.add(we);
+    map.link(src, "out", chaotic, "0").unwrap();
+    map.link(chaotic, "0", dst, "in").unwrap();
+    map.supervise(chaotic, SupervisorPolicy::Skip);
+
+    let report = map.exe().expect("skip keeps the run alive");
+    let outcome = report
+        .kernels
+        .iter()
+        .find(|k| k.name.starts_with("chaos["))
+        .unwrap()
+        .outcome;
+    assert_eq!(outcome, KernelOutcome::Skipped);
+    let got = std::sync::Arc::try_unwrap(handle)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    assert!(got.is_empty());
+}
+
+/// Panics injected at the scheduler's own step site — before any kernel
+/// code runs — take the policy path like any kernel panic; with Restart on
+/// every stage the stream still arrives complete.
+#[test]
+fn scheduler_step_failpoint_is_policy_handled() {
+    let _guard = chaos_guard();
+    failpoints::set_seed(chaos_seed());
+    failpoints::arm("core::scheduler::step", FailAction::Panic, 50, 2);
+
+    let mut map = RaftMap::new();
+    let src = map.add(Generate::new(0..2_000u64));
+    let (we, handle) = write_each::<u64>();
+    let dst = map.add(we);
+    map.link(src, "out", dst, "in").unwrap();
+    map.supervise(src, SupervisorPolicy::restart(5));
+    map.supervise(dst, SupervisorPolicy::restart(5));
+
+    let result = map.exe();
+    let hits = failpoints::hits("core::scheduler::step");
+    failpoints::reset();
+    result.expect("step-site panics are absorbed by restart policies");
+    assert!(hits > 0, "step failpoint site was never consulted");
+    let got = std::sync::Arc::try_unwrap(handle)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    assert_eq!(got, (0..2_000).collect::<Vec<u64>>());
+}
+
+/// A stall injected at the step site trips the deadline watchdog.
+#[test]
+fn injected_stall_trips_watchdog() {
+    let _guard = chaos_guard();
+    failpoints::set_seed(chaos_seed());
+    failpoints::arm(
+        "core::scheduler::step",
+        FailAction::Stall(Duration::from_millis(150)),
+        1, // first step stalls
+        1,
+    );
+
+    let mut map = RaftMap::new();
+    let src = map.add(Generate::new(0..50_000u64));
+    let (we, handle) = write_each::<u64>();
+    let dst = map.add(we);
+    map.link(src, "out", dst, "in").unwrap();
+    map.config_mut().monitor = MonitorConfig::default().with_run_budget(Duration::from_millis(30));
+
+    let result = map.exe();
+    failpoints::reset();
+    let report = result.expect("a stall is not a failure");
+    assert!(
+        report
+            .watchdog_events
+            .iter()
+            .any(|ev| matches!(ev.kind, WatchdogKind::RunBudget { .. })),
+        "expected a RunBudget firing, got {:?}",
+        report.watchdog_events
+    );
+    drop(handle);
+}

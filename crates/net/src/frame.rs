@@ -39,6 +39,19 @@ pub enum FrameKind {
     Compressed = 6,
     /// Remote-execution job submission (wire-encoded kernel-name list).
     Job = 7,
+    /// Resilient link: cumulative acknowledgement. Payload is the `u64 LE`
+    /// sequence number the receiver expects next — every lower sequence
+    /// has been received and pushed.
+    Ack = 8,
+    /// Resilient link: resume handshake, sent by the receiver immediately
+    /// after every (re)accept. Payload is the next expected `u64 LE`
+    /// sequence number; the sender replays from there.
+    ResumeFrom = 9,
+    /// Resilient link element with `Signal::None`: `seq u64 LE | element`.
+    SeqData = 10,
+    /// Resilient link element with a synchronous signal:
+    /// `seq u64 LE | signal u64 LE | element`.
+    SeqDataWithSignal = 11,
 }
 
 impl FrameKind {
@@ -52,6 +65,10 @@ impl FrameKind {
             5 => FrameKind::Peers,
             6 => FrameKind::Compressed,
             7 => FrameKind::Job,
+            8 => FrameKind::Ack,
+            9 => FrameKind::ResumeFrom,
+            10 => FrameKind::SeqData,
+            11 => FrameKind::SeqDataWithSignal,
             _ => return None,
         })
     }
@@ -94,6 +111,84 @@ impl Frame {
         }
     }
 
+    /// A sequence-numbered data frame for resilient links. The sequence
+    /// number rides in front of the element so the receiver can
+    /// deduplicate replayed frames after a reconnect.
+    pub fn seq_data(seq: u64, payload: Bytes, signal: Signal) -> Frame {
+        if signal == Signal::None {
+            let mut buf = BytesMut::with_capacity(8 + payload.len());
+            buf.put_u64_le(seq);
+            buf.put_slice(&payload);
+            Frame {
+                kind: FrameKind::SeqData,
+                payload: buf.freeze(),
+            }
+        } else {
+            let mut buf = BytesMut::with_capacity(16 + payload.len());
+            buf.put_u64_le(seq);
+            buf.put_u64_le(signal.encode());
+            buf.put_slice(&payload);
+            Frame {
+                kind: FrameKind::SeqDataWithSignal,
+                payload: buf.freeze(),
+            }
+        }
+    }
+
+    /// A cumulative ack: every frame with sequence `< next_expected` has
+    /// been received and pushed downstream.
+    pub fn ack(next_expected: u64) -> Frame {
+        Frame {
+            kind: FrameKind::Ack,
+            payload: seq_payload(next_expected),
+        }
+    }
+
+    /// The resume handshake the receiver sends after every (re)accept.
+    pub fn resume_from(next_expected: u64) -> Frame {
+        Frame {
+            kind: FrameKind::ResumeFrom,
+            payload: seq_payload(next_expected),
+        }
+    }
+
+    /// Split a seq-data frame into `(seq, element payload, signal)`.
+    pub fn into_seq_data(self) -> Option<(u64, Bytes, Signal)> {
+        match self.kind {
+            FrameKind::SeqData => {
+                let mut p = self.payload;
+                if p.remaining() < 8 {
+                    return None;
+                }
+                let seq = p.get_u64_le();
+                Some((seq, p, Signal::None))
+            }
+            FrameKind::SeqDataWithSignal => {
+                let mut p = self.payload;
+                if p.remaining() < 16 {
+                    return None;
+                }
+                let seq = p.get_u64_le();
+                let sig = Signal::decode(p.get_u64_le())?;
+                Some((seq, p, sig))
+            }
+            _ => None,
+        }
+    }
+
+    /// The sequence number carried by an [`FrameKind::Ack`] or
+    /// [`FrameKind::ResumeFrom`] control frame.
+    pub fn control_seq(&self) -> Option<u64> {
+        if !matches!(self.kind, FrameKind::Ack | FrameKind::ResumeFrom) {
+            return None;
+        }
+        let mut p = self.payload.clone();
+        if p.remaining() < 8 {
+            return None;
+        }
+        Some(p.get_u64_le())
+    }
+
     /// Split a data frame into `(element payload, signal)`.
     pub fn into_data(self) -> Option<(Bytes, Signal)> {
         match self.kind {
@@ -112,6 +207,7 @@ impl Frame {
 
     /// Write this frame to a (buffered) writer.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        check_io_failpoint("net::frame::write", io::ErrorKind::BrokenPipe)?;
         let len = (self.payload.len() + 1) as u32;
         w.write_all(&len.to_le_bytes())?;
         w.write_all(&[self.kind as u8])?;
@@ -121,6 +217,7 @@ impl Frame {
     /// Read one frame from a reader. `Ok(None)` on clean EOF at a frame
     /// boundary.
     pub fn read_from(r: &mut impl Read) -> io::Result<Option<Frame>> {
+        check_io_failpoint("net::frame::read", io::ErrorKind::ConnectionReset)?;
         let mut len_buf = [0u8; 4];
         match r.read_exact(&mut len_buf) {
             Ok(()) => {}
@@ -143,7 +240,10 @@ impl Frame {
         let mut body = vec![0u8; len];
         r.read_exact(&mut body)?;
         let kind = FrameKind::from_u8(body[0]).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad frame kind {}", body[0]))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame kind {}", body[0]),
+            )
         })?;
         Ok(Some(Frame {
             kind,
@@ -155,6 +255,35 @@ impl Frame {
 /// Upper bound on a single frame (64 MiB) — a corrupted length prefix must
 /// not allocate unbounded memory.
 pub const MAX_FRAME: usize = 64 << 20;
+
+fn seq_payload(seq: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8);
+    buf.put_u64_le(seq);
+    buf.freeze()
+}
+
+/// Failpoint hook at the framing boundary: `ShortIo` surfaces as an I/O
+/// error of `kind` (exercising the reconnect path), `Panic`/`Stall` act in
+/// place. Compiles to nothing without `raft_failpoints`.
+#[cfg(feature = "raft_failpoints")]
+fn check_io_failpoint(site: &str, kind: io::ErrorKind) -> io::Result<()> {
+    use raft_buffer::failpoints::{check, FailAction};
+    match check(site) {
+        Some(FailAction::ShortIo) => Err(io::Error::new(kind, format!("failpoint {site:?} fired"))),
+        Some(FailAction::Panic) => panic!("failpoint {site:?} fired"),
+        Some(FailAction::Stall(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        None => Ok(()),
+    }
+}
+
+#[cfg(not(feature = "raft_failpoints"))]
+#[inline(always)]
+fn check_io_failpoint(_site: &str, _kind: io::ErrorKind) -> io::Result<()> {
+    Ok(())
+}
 
 #[cfg(test)]
 mod tests {
@@ -191,6 +320,56 @@ mod tests {
         let (payload, sig) = f.into_data().unwrap();
         assert_eq!(&payload[..], b"abc");
         assert_eq!(sig, Signal::None);
+    }
+
+    #[test]
+    fn seq_frames_roundtrip() {
+        roundtrip(Frame::seq_data(
+            0,
+            Bytes::from_static(b"first"),
+            Signal::None,
+        ));
+        roundtrip(Frame::seq_data(u64::MAX, Bytes::new(), Signal::EoS));
+        roundtrip(Frame::ack(17));
+        roundtrip(Frame::resume_from(0));
+    }
+
+    #[test]
+    fn into_seq_data_recovers_all_parts() {
+        let (seq, payload, sig) = Frame::seq_data(42, Bytes::from_static(b"xyz"), Signal::User(9))
+            .into_seq_data()
+            .unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(&payload[..], b"xyz");
+        assert_eq!(sig, Signal::User(9));
+
+        let (seq, payload, sig) = Frame::seq_data(7, Bytes::from_static(b"p"), Signal::None)
+            .into_seq_data()
+            .unwrap();
+        assert_eq!((seq, &payload[..], sig), (7, &b"p"[..], Signal::None));
+
+        // non-seq frames refuse
+        assert!(Frame::eos().into_seq_data().is_none());
+        assert!(Frame::data(Bytes::from_static(b"d"), Signal::None)
+            .into_seq_data()
+            .is_none());
+    }
+
+    #[test]
+    fn control_seq_only_on_control_frames() {
+        assert_eq!(Frame::ack(9).control_seq(), Some(9));
+        assert_eq!(Frame::resume_from(3).control_seq(), Some(3));
+        assert_eq!(Frame::eos().control_seq(), None);
+        assert_eq!(
+            Frame::seq_data(1, Bytes::new(), Signal::None).control_seq(),
+            None
+        );
+        // truncated control frame is rejected, not misread
+        let bogus = Frame {
+            kind: FrameKind::Ack,
+            payload: Bytes::from_static(b"abc"),
+        };
+        assert_eq!(bogus.control_seq(), None);
     }
 
     #[test]

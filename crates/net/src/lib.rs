@@ -27,17 +27,25 @@
 //! * [`remote`] — oar's "remotely compile and execute kernels": workers
 //!   register named kernel factories, clients submit kernel-chain jobs and
 //!   stream data through them ([`remote::RemoteStage`] embeds the remote
-//!   hop as an ordinary pipeline stage).
+//!   hop as an ordinary pipeline stage);
+//! * [`resilient`] — fault-tolerant links: connect timeouts and bounded
+//!   retry with backoff, sequence-numbered frames with cumulative acks,
+//!   and transparent reconnect-and-resume
+//!   ([`resilient::ResilientTcpOut`]/[`resilient::ResilientTcpIn`]).
 
 pub mod compress;
 pub mod frame;
 pub mod link;
 pub mod oar;
 pub mod remote;
+pub mod resilient;
 pub mod wire;
 
 pub use frame::{Frame, FrameKind};
 pub use link::{tcp_bridge, TcpIn, TcpOut};
 pub use oar::{NodeInfo, OarNode};
 pub use remote::{remote_apply, KernelRegistry, RemoteStage, RemoteWorker};
+pub use resilient::{
+    connect_with_retry, resilient_bridge, NetConfig, ResilientTcpIn, ResilientTcpOut,
+};
 pub use wire::Wire;

@@ -46,6 +46,16 @@ impl<T: Wire> TcpOut<T> {
         Self::from_stream(TcpStream::connect(addr)?)
     }
 
+    /// Connect with per-attempt timeout and bounded retry/backoff from a
+    /// [`NetConfig`](crate::resilient::NetConfig) — the robust flavour of
+    /// [`connect`](TcpOut::connect) for flaky or slow-to-listen peers.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        cfg: &crate::resilient::NetConfig,
+    ) -> io::Result<Self> {
+        Self::from_stream(crate::resilient::connect_with_retry(addr, cfg)?)
+    }
+
     /// Enable per-frame LZ compression (§4.2 future work). The receiving
     /// [`TcpIn`] detects compressed frames automatically.
     pub fn compressed(mut self) -> Self {
@@ -189,15 +199,45 @@ fn frame_kind_from_u8(v: u8) -> Option<FrameKind> {
 
 /// Build a connected `TcpOut`/`TcpIn` pair over an ephemeral localhost
 /// port — everything needed to cut one logical stream across two maps.
+///
+/// Binds retry transient `AddrInUse` (ephemeral-port churn on busy test
+/// machines), and the connect runs on the caller's thread so its error —
+/// not a generic "thread panicked" — is what surfaces on failure.
 pub fn tcp_bridge<T: Wire>() -> io::Result<(TcpOut<T>, TcpIn<T>)> {
-    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let listener = bind_ephemeral()?;
     let addr = listener.local_addr()?;
-    let connect = std::thread::spawn(move || TcpStream::connect(addr));
-    let (accepted, _) = listener.accept()?;
-    let out_stream = connect
-        .join()
-        .map_err(|_| io::Error::other("connect thread panicked"))??;
-    Ok((TcpOut::from_stream(out_stream)?, TcpIn::from_stream(accepted)?))
+    let accept = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+    let out_stream = TcpStream::connect(addr)?;
+    let accepted = accept.join().map_err(|payload| {
+        let what = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string payload>".to_string());
+        io::Error::other(format!("accept thread panicked: {what}"))
+    })??;
+    Ok((
+        TcpOut::from_stream(out_stream)?,
+        TcpIn::from_stream(accepted)?,
+    ))
+}
+
+/// Bind an ephemeral localhost listener, retrying transient `AddrInUse`
+/// (the kernel can briefly refuse when the ephemeral range is churning
+/// through `TIME_WAIT` sockets, even for a port-0 bind).
+fn bind_ephemeral() -> io::Result<TcpListener> {
+    let mut last = None;
+    for attempt in 0..5u32 {
+        match TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => return Ok(l),
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                last = Some(e);
+                std::thread::sleep(std::time::Duration::from_millis(10 << attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
 }
 
 #[cfg(test)]
@@ -245,9 +285,9 @@ mod tests {
         let tcp_out = tcp_out.compressed();
         let node_a = std::thread::spawn(move || {
             let mut map = RaftMap::new();
-            let src = map.add(Generate::new(
-                (0..2_000u32).map(|i| format!("raftlib stream element {} padding padding padding", i % 7)),
-            ));
+            let src = map.add(Generate::new((0..2_000u32).map(|i| {
+                format!("raftlib stream element {} padding padding padding", i % 7)
+            })));
             let out = map.add(tcp_out);
             map.link(src, "out", out, "in").unwrap();
             map.exe().unwrap();
@@ -301,10 +341,7 @@ mod tests {
     fn test_ctx_in<T: Send + 'static>(c: raft_buffer::Consumer<T>) -> Context {
         let fifo: std::sync::Arc<dyn raft_buffer::fifo::Monitorable> =
             std::sync::Arc::new(c.fifo());
-        Context::for_test(
-            vec![("in".to_string(), Box::new(c) as _, fifo)],
-            vec![],
-        )
+        Context::for_test(vec![("in".to_string(), Box::new(c) as _, fifo)], vec![])
     }
 
     fn test_ctx_out<T: Send + 'static>(p: raft_buffer::Producer<T>) -> Context {
