@@ -1,0 +1,291 @@
+//! Scheduler comparison: event-driven work stealing against the polling
+//! pools and thread-per-kernel.
+//!
+//! Two workloads stress the two things a scheduler can get wrong:
+//!
+//! * `pingpong` — source → forward → sink over capacity-clamped FIFOs, so
+//!   every element blocks a producer or consumer and the run is dominated
+//!   by wake latency. An event-driven scheduler wakes the peer task in
+//!   O(1) off the FIFO's waker slot; a polling pool rediscovers readiness
+//!   on its next occupancy sweep.
+//! * `text_search` — the paper's grep workload as a 12-kernel graph
+//!   (generate → 8-way split → 8 searchers → reduce → sink) executed by
+//!   only 4 workers, so the scheduler constantly multiplexes more kernels
+//!   than threads.
+//!
+//! `--json` mode also measures *idle burn*: process CPU time consumed
+//! while a trickle-fed pipeline mostly waits. Polling pools pay their
+//! sweep + sleep loop even when nothing is runnable; the stealing
+//! scheduler parks workers on a condvar until a waker fires.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use raft_algos::corpus::{generate, CorpusSpec};
+use raft_algos::{Matcher, MemMem};
+use raft_bench::jsonout::JsonReport;
+use raft_kernels::Generate;
+use raftlib::prelude::*;
+use raftlib::{Reduce, Split};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fewer workers than text-search kernels (12) — the multiplexing regime.
+const WORKERS: usize = 4;
+const SEARCH_WIDTH: usize = 8;
+const PINGPONG_ELEMS: u64 = 100_000;
+
+fn schedulers() -> Vec<(&'static str, SchedulerKind)> {
+    vec![
+        ("thread_per_kernel", SchedulerKind::ThreadPerKernel),
+        ("pool", SchedulerKind::Pool { workers: WORKERS }),
+        ("chained", SchedulerKind::Chained { workers: WORKERS }),
+        (
+            "stealing",
+            SchedulerKind::Stealing {
+                workers: WORKERS,
+                pin: false,
+            },
+        ),
+    ]
+}
+
+/// source → forward → sink across FIFOs clamped to 8 slots: throughput is
+/// set by how fast the scheduler can bounce block/wake pairs.
+fn run_pingpong(sched: SchedulerKind) -> u64 {
+    let mut map = RaftMap::new();
+    map.config_mut().scheduler = sched;
+    map.config_mut().fifo = FifoConfig {
+        initial_capacity: 8,
+        max_capacity: 8,
+        min_capacity: 8,
+    };
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= PINGPONG_ELEMS).then_some(i)
+    }));
+    let fwd = map.add(lambda_map(|v: u64| v));
+    let counter = Arc::new(AtomicU64::new(0));
+    let sink_counter = counter.clone();
+    let dst = map.add(lambda_sink(move |_v: u64| {
+        sink_counter.fetch_add(1, Ordering::Relaxed);
+    }));
+    map.link(src, "0", fwd, "0").unwrap();
+    map.link(fwd, "0", dst, "0").unwrap();
+    map.exe().unwrap();
+    counter.load(Ordering::Relaxed)
+}
+
+/// Pre-chunked corpus shared across iterations (`Arc` slices, no copies).
+struct SearchFixture {
+    chunks: Vec<Arc<Vec<u8>>>,
+    needle: Vec<u8>,
+    expected: usize,
+}
+
+fn search_fixture() -> SearchFixture {
+    let corpus = generate(&CorpusSpec {
+        size: 4 << 20,
+        matches_per_mb: 40.0,
+        ..Default::default()
+    });
+    let needle = corpus.needle.clone();
+    // 4 KiB chunks: enough per-item work to be a real search, small enough
+    // that scheduling overhead is visible. Matches split on chunk
+    // boundaries are not recounted — the expected total is recomputed over
+    // the chunks, not taken from the corpus plan.
+    let chunks: Vec<Arc<Vec<u8>>> = corpus
+        .data
+        .chunks(4096)
+        .map(|c| Arc::new(c.to_vec()))
+        .collect();
+    let m = MemMem::new(&needle);
+    let expected = chunks.iter().map(|c| m.count(c)).sum();
+    SearchFixture {
+        chunks,
+        needle,
+        expected,
+    }
+}
+
+/// generate → split(8) → 8 × memmem searchers → reduce → summing sink:
+/// 12 kernels multiplexed onto `WORKERS` threads. Returns total matches.
+fn run_text_search(sched: SchedulerKind, fix: &SearchFixture) -> usize {
+    let mut map = RaftMap::new();
+    map.config_mut().scheduler = sched;
+    let src = map.add(Generate::new(fix.chunks.clone()));
+    let split = map.add(Split::<Arc<Vec<u8>>>::new(
+        SEARCH_WIDTH,
+        SplitStrategy::RoundRobin,
+    ));
+    map.link(src, "out", split, "in").unwrap();
+    let reduce = map.add(Reduce::<usize>::new(SEARCH_WIDTH));
+    for lane in 0..SEARCH_WIDTH {
+        let m = MemMem::new(&fix.needle);
+        let searcher = map.add(lambda_map(move |chunk: Arc<Vec<u8>>| m.count(&chunk)));
+        map.link(split, &lane.to_string(), searcher, "0").unwrap();
+        map.link(searcher, "0", reduce, &lane.to_string()).unwrap();
+    }
+    let total = Arc::new(AtomicUsize::new(0));
+    let sink_total = total.clone();
+    let dst = map.add(lambda_sink(move |n: usize| {
+        sink_total.fetch_add(n, Ordering::Relaxed);
+    }));
+    map.link(reduce, "out", dst, "0").unwrap();
+    map.exe().unwrap();
+    total.load(Ordering::Relaxed)
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_pingpong");
+    g.throughput(Throughput::Elements(PINGPONG_ELEMS));
+    g.sample_size(10);
+    for (name, sched) in schedulers() {
+        g.bench_function(name, |b| {
+            b.iter(|| assert_eq!(run_pingpong(sched), PINGPONG_ELEMS));
+        });
+    }
+    g.finish();
+
+    let fix = search_fixture();
+    let bytes: u64 = fix.chunks.iter().map(|c| c.len() as u64).sum();
+    let mut g = c.benchmark_group("sched_text_search");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for (name, sched) in schedulers() {
+        g.bench_function(name, |b| {
+            b.iter(|| assert_eq!(run_text_search(sched, &fix), fix.expected));
+        });
+    }
+    g.finish();
+}
+
+/// Process CPU time (utime + stime, all threads) from `/proc/self/stat`,
+/// in jiffies. Returns 0 where procfs is unavailable.
+fn process_cpu_jiffies() -> u64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0;
+    };
+    // Skip past the parenthesised comm (may itself contain spaces), then
+    // utime/stime are the 12th/13th of the remaining fields.
+    let Some(rest) = stat.rsplit(')').next() else {
+        return 0;
+    };
+    let mut fields = rest.split_whitespace();
+    let utime: u64 = fields.nth(11).and_then(|f| f.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.next().and_then(|f| f.parse().ok()).unwrap_or(0);
+    utime + stime
+}
+
+/// CPU milliseconds burned executing a mostly-idle pipeline: a trickle
+/// source feeds one element every 2 ms through three forwarding stages, so
+/// the graph spends ~99% of the run with nothing runnable. The run is long
+/// (~600 ms wall) so the 10 ms jiffy granularity of `/proc/self/stat`
+/// resolves the difference.
+fn idle_burn_cpu_ms(sched: SchedulerKind) -> f64 {
+    let mut map = RaftMap::new();
+    map.config_mut().scheduler = sched;
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        std::thread::sleep(Duration::from_millis(2));
+        i += 1;
+        (i <= 300).then_some(i)
+    }));
+    let a = map.add(lambda_map(|v: u64| v));
+    let b = map.add(lambda_map(|v: u64| v));
+    let c = map.add(lambda_map(|v: u64| v));
+    let dst = map.add(lambda_sink(|_v: u64| {}));
+    map.link(src, "0", a, "0").unwrap();
+    map.link(a, "0", b, "0").unwrap();
+    map.link(b, "0", c, "0").unwrap();
+    map.link(c, "0", dst, "0").unwrap();
+    let before = process_cpu_jiffies();
+    map.exe().unwrap();
+    let after = process_cpu_jiffies();
+    // USER_HZ is 100 on every Linux configuration we target.
+    (after.saturating_sub(before)) as f64 * 10.0
+}
+
+/// One timed execution of each workload, as a rate.
+fn pingpong_rate(sched: SchedulerKind) -> f64 {
+    let t0 = std::time::Instant::now();
+    assert_eq!(run_pingpong(sched), PINGPONG_ELEMS);
+    PINGPONG_ELEMS as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn search_rate(sched: SchedulerKind, fix: &SearchFixture) -> f64 {
+    let bytes: u64 = fix.chunks.iter().map(|c| c.len() as u64).sum();
+    let t0 = std::time::Instant::now();
+    assert_eq!(run_text_search(sched, fix), fix.expected);
+    bytes as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+/// `--json` mode: interleaved best-of-N rates per scheduler plus the idle
+/// burn, recorded at the repo root as `BENCH_sched.json`.
+fn json_mode() {
+    let mut report = JsonReport::new("sched");
+    let fix = search_fixture();
+
+    // Warm-up round for allocator and thread-spawn caches.
+    for (_, sched) in schedulers() {
+        let _ = pingpong_rate(sched);
+        let _ = search_rate(sched, &fix);
+    }
+
+    let n = schedulers().len();
+    let mut ping_best = vec![0.0f64; n];
+    let mut search_best = vec![0.0f64; n];
+    for _ in 0..8 {
+        for (idx, (_, sched)) in schedulers().into_iter().enumerate() {
+            ping_best[idx] = ping_best[idx].max(pingpong_rate(sched));
+            search_best[idx] = search_best[idx].max(search_rate(sched, &fix));
+        }
+    }
+    for (idx, (name, _)) in schedulers().into_iter().enumerate() {
+        report.push(format!("pingpong_{name}_melems_per_s"), ping_best[idx]);
+        report.push(format!("text_search_{name}_mb_per_s"), search_best[idx]);
+    }
+    // stealing vs the polling pool — the acceptance ratio for the
+    // event-driven scheduler (schedulers() order: index 1 pool, 3 stealing).
+    report.push(
+        "text_search_stealing_vs_pool_speedup",
+        search_best[3] / search_best[1],
+    );
+    report.push(
+        "pingpong_stealing_vs_pool_speedup",
+        ping_best[3] / ping_best[1],
+    );
+
+    // Idle burn: best (lowest) of 3 runs each, pool vs stealing.
+    let mut pool_ms = f64::INFINITY;
+    let mut steal_ms = f64::INFINITY;
+    for _ in 0..3 {
+        pool_ms = pool_ms.min(idle_burn_cpu_ms(SchedulerKind::Pool { workers: WORKERS }));
+        steal_ms = steal_ms.min(idle_burn_cpu_ms(SchedulerKind::Stealing {
+            workers: WORKERS,
+            pin: false,
+        }));
+    }
+    report.push("idle_burn_pool_cpu_ms", pool_ms);
+    report.push("idle_burn_stealing_cpu_ms", steal_ms);
+
+    let path = report.write().expect("write BENCH_sched.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sched
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_mode();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

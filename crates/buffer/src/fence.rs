@@ -131,10 +131,13 @@ impl ResizeFence {
             if !self.pending.load(SeqCst) {
                 return;
             }
-            // Resize in flight — back out and wait for it to finish.
+            // Resize in flight — back out and wait for it to finish. Resizes
+            // are short (one copy) and there is no wake signal, so the shared
+            // spin-then-yield strategy applies.
             active.store(false, Release);
+            let mut waiter = crate::wait::Waiter::new(crate::wait::WaitStrategy::spinning());
             while self.pending.load(Acquire) {
-                crate::sync::yield_now();
+                waiter.pause();
             }
         }
     }
@@ -161,11 +164,13 @@ impl ResizeFence {
         // the endpoints' Release flag-drops, ordering their last ring access
         // before our mutation.
         self.pending.swap(true, SeqCst);
+        let mut waiter = crate::wait::Waiter::new(crate::wait::WaitStrategy::spinning());
         while self.producer_active.load(SeqCst) {
-            crate::sync::yield_now();
+            waiter.pause();
         }
+        waiter.reset();
         while self.consumer_active.load(SeqCst) {
-            crate::sync::yield_now();
+            waiter.pause();
         }
     }
 

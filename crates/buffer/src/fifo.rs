@@ -45,13 +45,15 @@ use std::sync::atomic::{
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::utils::{Backoff, CachePadded};
+use crossbeam::utils::CachePadded;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::error::{PopError, PushError, TryPopError, TryPushError};
 use crate::fence::{ResizeFence, Role};
 use crate::signal::Signal;
 use crate::stats::{FifoStats, StatsSnapshot};
+use crate::wait::{WaitAction, WaitStrategy, Waiter};
+use crate::waker::WakerSlot;
 
 /// Construction parameters for a [`Fifo`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +169,13 @@ struct Shared<T> {
     reader_waiting: AtomicBool,
     park: Mutex<()>,
     unpark: Condvar,
+    /// Event-driven readiness hook for the consuming side: notified when
+    /// data, EoS, or an async signal becomes visible. Registered/armed by
+    /// the work-stealing scheduler; a single relaxed load when unused.
+    consumer_waker: WakerSlot,
+    /// Readiness hook for the producing side: notified when space becomes
+    /// visible (pop, batch drain, consumer drop, grow).
+    producer_waker: WakerSlot,
     stats: FifoStats,
     cfg: FifoConfig,
 }
@@ -261,8 +270,14 @@ impl<T> Drop for ArenaGuard<'_, T> {
 }
 
 /// How long a parked endpoint sleeps before re-checking, as a missed-wakeup
-/// safety net.
-const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+/// safety net. The event path (condvar notify + [`WakerSlot`]) is what
+/// actually delivers wakeups; this bound only papers over the inherent
+/// relaxed-flag race on the condvar path, so it is a pure safety net rather
+/// than a polling rate — stretched from the old 200 µs accordingly.
+const PARK_TIMEOUT: Duration = Duration::from_millis(2);
+
+/// Spin → yield → park schedule shared by every blocking endpoint loop.
+const ENDPOINT_WAIT: WaitStrategy = WaitStrategy::parking(PARK_TIMEOUT);
 
 /// The dynamically resizable stream FIFO. Create one with [`fifo_with`];
 /// this handle is the monitor/third-party view, [`Producer`]/[`Consumer`]
@@ -303,6 +318,8 @@ pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>
         reader_waiting: AtomicBool::new(false),
         park: Mutex::new(()),
         unpark: Condvar::new(),
+        consumer_waker: WakerSlot::new(),
+        producer_waker: WakerSlot::new(),
         stats: FifoStats::new(),
         cfg,
     });
@@ -365,6 +382,7 @@ impl<T: Send> Fifo<T> {
     /// consumer regardless of queued data.
     pub fn post_async(&self, signal: Signal) {
         self.shared.async_signal.store(signal.encode(), Release);
+        self.shared.consumer_waker.notify();
         self.shared.wake();
     }
 
@@ -455,6 +473,8 @@ impl<T: Send> Fifo<T> {
         // Publish the new storage (Release inside) before endpoints re-enter.
         shared.fence.end_resize();
         drop(guard);
+        // A grow makes space visible to a parked producer-side task.
+        shared.producer_waker.notify();
         shared.wake();
         new_capacity
     }
@@ -518,6 +538,10 @@ pub trait Monitorable: Send + Sync {
     fn is_finished(&self) -> bool;
     /// Post an asynchronous signal to the consumer side.
     fn post_async(&self, signal: Signal);
+    /// Waker slot notified when data/EoS becomes visible to the consumer.
+    fn consumer_waker(&self) -> &WakerSlot;
+    /// Waker slot notified when space becomes visible to the producer.
+    fn producer_waker(&self) -> &WakerSlot;
 }
 
 impl<T: Send> Monitorable for Fifo<T> {
@@ -553,6 +577,12 @@ impl<T: Send> Monitorable for Fifo<T> {
     }
     fn post_async(&self, signal: Signal) {
         Fifo::post_async(self, signal);
+    }
+    fn consumer_waker(&self) -> &WakerSlot {
+        &self.shared.consumer_waker
+    }
+    fn producer_waker(&self) -> &WakerSlot {
+        &self.shared.producer_waker
     }
 }
 
@@ -605,6 +635,9 @@ impl<T: Send> Producer<T> {
         // replaces the old fetch_add.
         shared.stats.writer.pushed.store((tail + 1) as u64, Relaxed);
         shared.arena_exit(Role::Producer);
+        // Event-driven readiness: hand the new element to a parked consumer
+        // task (one relaxed load when no scheduler registered a waker).
+        shared.consumer_waker.notify();
         if shared.reader_waiting.load(Relaxed) {
             shared.wake();
         }
@@ -630,15 +663,14 @@ impl<T: Send> Producer<T> {
         };
         let shared = self.shared.clone();
         shared.stats.writer_block_begin();
-        let backoff = Backoff::new();
+        let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let result = loop {
             match self.try_push_signal(value, signal) {
                 Ok(()) => break Ok(()),
                 Err(TryPushError::Closed(v)) => break Err(PushError(v)),
                 Err(TryPushError::Full(v)) => value = v,
             }
-            if !backoff.is_completed() {
-                backoff.snooze();
+            if waiter.pause_or_park() != WaitAction::Park {
                 continue;
             }
             // Park until a pop or a resize makes room. We are *outside* the
@@ -703,8 +735,11 @@ impl<T: Send> Producer<T> {
             shared.stats.writer.pushed.store(tail as u64, Relaxed);
         }
         shared.arena_exit(Role::Producer);
-        if n > 0 && shared.reader_waiting.load(Relaxed) {
-            shared.wake();
+        if n > 0 {
+            shared.consumer_waker.notify();
+            if shared.reader_waiting.load(Relaxed) {
+                shared.wake();
+            }
         }
         Ok(n)
     }
@@ -713,7 +748,7 @@ impl<T: Send> Producer<T> {
     /// needed. Errs only if the consumer is gone (remaining items stay in
     /// `items`).
     pub fn push_batch(&mut self, items: &mut Vec<T>) -> Result<(), PushError<()>> {
-        let backoff = Backoff::new();
+        let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let mut began_block = false;
         while !items.is_empty() {
             let pushed = self.try_push_batch(items)?;
@@ -725,9 +760,7 @@ impl<T: Send> Producer<T> {
                     self.shared.stats.writer_block_begin();
                     began_block = true;
                 }
-                if !backoff.is_completed() {
-                    backoff.snooze();
-                } else {
+                if waiter.pause_or_park() == WaitAction::Park {
                     self.shared.writer_waiting.store(true, Relaxed);
                     let mut g = self.shared.park.lock();
                     self.shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
@@ -735,7 +768,7 @@ impl<T: Send> Producer<T> {
                     self.shared.writer_waiting.store(false, Relaxed);
                 }
             } else {
-                backoff.reset();
+                waiter.reset();
             }
         }
         if began_block {
@@ -755,7 +788,7 @@ impl<T: Send> Producer<T> {
     pub fn reserve(&mut self, n: usize) -> Result<WriteSlice<'_, T>, PushError<()>> {
         let n = n.clamp(1, self.shared.cfg.max_capacity);
         let shared = self.shared.clone();
-        let backoff = Backoff::new();
+        let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let mut began_block = false;
         loop {
             if shared.consumer_closed.load(Relaxed) {
@@ -795,9 +828,7 @@ impl<T: Send> Producer<T> {
                 shared.stats.writer_block_begin();
                 began_block = true;
             }
-            if !backoff.is_completed() {
-                backoff.snooze();
-            } else {
+            if waiter.pause_or_park() == WaitAction::Park {
                 shared.writer_waiting.store(true, Relaxed);
                 let mut g = shared.park.lock();
                 shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
@@ -818,7 +849,7 @@ impl<T: Send> Producer<T> {
         T: Default,
     {
         let shared = self.shared.clone();
-        let backoff = Backoff::new();
+        let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let mut began_block = false;
         loop {
             if shared.consumer_closed.load(Relaxed) {
@@ -852,9 +883,7 @@ impl<T: Send> Producer<T> {
                 shared.stats.writer_block_begin();
                 began_block = true;
             }
-            if !backoff.is_completed() {
-                backoff.snooze();
-            } else {
+            if waiter.pause_or_park() == WaitAction::Park {
                 shared.writer_waiting.store(true, Relaxed);
                 let mut g = shared.park.lock();
                 shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
@@ -868,6 +897,8 @@ impl<T: Send> Producer<T> {
     /// `Closed`. Idempotent.
     pub fn close(&mut self) {
         self.shared.producer_closed.store(true, Release);
+        // EoS is actionable for a parked consumer-side task.
+        self.shared.consumer_waker.notify();
         self.shared.wake();
     }
 
@@ -897,6 +928,8 @@ impl<T: Send> Producer<T> {
 impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
         self.shared.producer_closed.store(true, Release);
+        // Implicit EoS: a parked consumer-side task must observe the close.
+        self.shared.consumer_waker.notify();
         self.shared.wake();
     }
 }
@@ -965,8 +998,11 @@ impl<'a, T: Send + Default> Drop for WriteGuard<'a, T> {
                 .store((self.tail + 1) as u64, Relaxed);
         }
         shared.arena_exit(Role::Producer);
-        if !self.committed && shared.reader_waiting.load(Relaxed) {
-            shared.wake();
+        if !self.committed {
+            shared.consumer_waker.notify();
+            if shared.reader_waiting.load(Relaxed) {
+                shared.wake();
+            }
         }
     }
 }
@@ -1042,8 +1078,11 @@ impl<'a, T: Send> Drop for WriteSlice<'a, T> {
             shared.stats.writer.pushed.store(tail as u64, Relaxed);
         }
         shared.arena_exit(Role::Producer);
-        if self.written > 0 && shared.reader_waiting.load(Relaxed) {
-            shared.wake();
+        if self.written > 0 {
+            shared.consumer_waker.notify();
+            if shared.reader_waiting.load(Relaxed) {
+                shared.wake();
+            }
         }
     }
 }
@@ -1101,6 +1140,8 @@ impl<T: Send> Consumer<T> {
         // Single-writer counter: total popped == head.
         shared.stats.reader.popped.store((head + 1) as u64, Relaxed);
         shared.arena_exit(Role::Consumer);
+        // Freed space is actionable for a parked producer-side task.
+        shared.producer_waker.notify();
         if shared.writer_waiting.load(Relaxed) {
             shared.wake();
         }
@@ -1123,15 +1164,14 @@ impl<T: Send> Consumer<T> {
         }
         let shared = self.shared.clone();
         shared.stats.reader_block_begin();
-        let backoff = Backoff::new();
+        let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let result = loop {
             match self.try_pop_signal() {
                 Ok(p) => break Ok(p),
                 Err(TryPopError::Closed) => break Err(PopError),
                 Err(TryPopError::Empty) => {}
             }
-            if !backoff.is_completed() {
-                backoff.snooze();
+            if waiter.pause_or_park() != WaitAction::Park {
                 continue;
             }
             shared.reader_waiting.store(true, Relaxed);
@@ -1163,7 +1203,7 @@ impl<T: Send> Consumer<T> {
     pub fn peek_range(&mut self, n: usize) -> Result<PeekRange<'_, T>, PopError> {
         let shared = self.shared.clone();
         shared.stats.note_read_request(n);
-        let backoff = Backoff::new();
+        let mut waiter = Waiter::new(ENDPOINT_WAIT);
         loop {
             // Grow first if the request can never be satisfied (paper: queue
             // "tagged for resizing" when a read request exceeds capacity).
@@ -1191,9 +1231,7 @@ impl<T: Send> Consumer<T> {
                 return Err(PopError);
             }
             shared.stats.reader_block_begin();
-            if !backoff.is_completed() {
-                backoff.snooze();
-            } else {
+            if waiter.pause_or_park() == WaitAction::Park {
                 shared.reader_waiting.store(true, Relaxed);
                 let mut g = shared.park.lock();
                 shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
@@ -1252,6 +1290,7 @@ impl<T: Send> Consumer<T> {
         self.head = head + k;
         shared.stats.reader.popped.store((head + k) as u64, Relaxed);
         shared.arena_exit(Role::Consumer);
+        shared.producer_waker.notify();
         if shared.writer_waiting.load(Relaxed) {
             shared.wake();
         }
@@ -1282,7 +1321,7 @@ impl<T: Send> Consumer<T> {
     ) -> Result<R, PopError> {
         let shared = self.shared.clone();
         shared.stats.note_read_request(n);
-        let backoff = Backoff::new();
+        let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let mut began_block = false;
         let wait = loop {
             if self.refresh_avail() > 0 {
@@ -1298,9 +1337,7 @@ impl<T: Send> Consumer<T> {
                 shared.stats.reader_block_begin();
                 began_block = true;
             }
-            if !backoff.is_completed() {
-                backoff.snooze();
-            } else {
+            if waiter.pause_or_park() == WaitAction::Park {
                 shared.reader_waiting.store(true, Relaxed);
                 let mut g = shared.park.lock();
                 shared.unpark.wait_for(&mut g, PARK_TIMEOUT);
@@ -1334,6 +1371,7 @@ impl<T: Send> Consumer<T> {
         self.head = head + k;
         shared.stats.reader.popped.store((head + k) as u64, Relaxed);
         drop(arena);
+        shared.producer_waker.notify();
         if shared.writer_waiting.load(Relaxed) {
             shared.wake();
         }
@@ -1365,6 +1403,7 @@ impl<T: Send> Consumer<T> {
         self.head = head + k;
         shared.stats.reader.popped.store((head + k) as u64, Relaxed);
         shared.arena_exit(Role::Consumer);
+        shared.producer_waker.notify();
         if shared.writer_waiting.load(Relaxed) {
             shared.wake();
         }
@@ -1402,6 +1441,8 @@ impl<T: Send> Consumer<T> {
 impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
         self.shared.consumer_closed.store(true, Release);
+        // A parked producer-side task must observe the broken stream.
+        self.shared.producer_waker.notify();
         self.shared.wake();
         // Remaining elements are dropped by Shared::drop (exactly once, with
         // exclusive access) — not here, to avoid racing a late producer push.

@@ -43,6 +43,8 @@ pub mod signal;
 pub mod spsc;
 pub mod stats;
 pub(crate) mod sync;
+pub mod wait;
+pub mod waker;
 
 pub use error::{PopError, PushError, TryPopError, TryPushError};
 pub use fence::{ResizeFence, Role};
@@ -52,6 +54,8 @@ pub use fifo::{
 pub use signal::Signal;
 pub use spsc::BoundedSpsc;
 pub use stats::{FifoStats, StatsSnapshot};
+pub use wait::{WaitAction, WaitStrategy, Waiter};
+pub use waker::{FifoWaker, WakerSlot};
 
 /// Consult a failpoint site, executing panic/stall actions in place.
 ///

@@ -243,25 +243,17 @@ impl<T: Send> SpscProducer<T> {
 
     /// Spin until the element fits or the consumer disconnects.
     pub fn push(&mut self, mut value: T) -> Result<(), crate::error::PushError<T>> {
-        #[cfg(not(loom))]
-        let backoff = crossbeam::utils::Backoff::new();
+        // Spin-then-yield: the SPSC ring has no parking primitive, so the
+        // shared wait strategy never asks us to park (and under loom every
+        // step degrades to a model-checker yield).
+        let mut waiter = crate::wait::Waiter::new(crate::wait::WaitStrategy::spinning());
         loop {
             match self.try_push(value) {
                 Ok(()) => return Ok(()),
                 Err(TryPushError::Closed(v)) => return Err(crate::error::PushError(v)),
                 Err(TryPushError::Full(v)) => {
                     value = v;
-                    // Under loom, every pause must be a loom yield so the
-                    // model checker can switch threads; crossbeam's pause
-                    // instruction would spin the model forever.
-                    #[cfg(loom)]
-                    crate::sync::yield_now();
-                    #[cfg(not(loom))]
-                    if backoff.is_completed() {
-                        crate::sync::yield_now();
-                    } else {
-                        backoff.snooze();
-                    }
+                    waiter.pause();
                 }
             }
         }
@@ -337,23 +329,13 @@ impl<T: Send> SpscConsumer<T> {
 
     /// Spin until an element arrives; `Err` once closed *and* drained.
     pub fn pop(&mut self) -> Result<T, crate::error::PopError> {
-        #[cfg(not(loom))]
-        let backoff = crossbeam::utils::Backoff::new();
+        // See `push`: shared spin-then-yield strategy, loom-safe.
+        let mut waiter = crate::wait::Waiter::new(crate::wait::WaitStrategy::spinning());
         loop {
             match self.try_pop() {
                 Ok(v) => return Ok(v),
                 Err(TryPopError::Closed) => return Err(crate::error::PopError),
-                Err(TryPopError::Empty) => {
-                    // See `push`: loom needs a loom-visible yield point here.
-                    #[cfg(loom)]
-                    crate::sync::yield_now();
-                    #[cfg(not(loom))]
-                    if backoff.is_completed() {
-                        crate::sync::yield_now();
-                    } else {
-                        backoff.snooze();
-                    }
-                }
+                Err(TryPopError::Empty) => waiter.pause(),
             }
         }
     }

@@ -20,7 +20,7 @@
 pub(crate) use loom::{
     cell::UnsafeCell,
     sync::{
-        atomic::{AtomicBool, AtomicUsize, Ordering},
+        atomic::{fence, AtomicBool, AtomicUsize, Ordering},
         Arc,
     },
     thread::yield_now,
@@ -29,11 +29,27 @@ pub(crate) use loom::{
 #[cfg(not(loom))]
 pub(crate) use std::{
     sync::{
-        atomic::{AtomicBool, AtomicUsize, Ordering},
+        atomic::{fence, AtomicBool, AtomicUsize, Ordering},
         Arc,
     },
     thread::yield_now,
 };
+
+/// CPU relax hint used inside busy-wait loops. Under loom a busy spin would
+/// starve the model checker (it can only switch threads at loom operations),
+/// so every pause must be a loom yield instead.
+#[cfg(not(loom))]
+#[inline]
+pub(crate) fn spin_loop() {
+    std::hint::spin_loop();
+}
+
+/// CPU relax hint (loom backend: a model-checker yield).
+#[cfg(loom)]
+#[inline]
+pub(crate) fn spin_loop() {
+    loom::thread::yield_now();
+}
 
 /// `std::cell::UnsafeCell` behind loom's `with`/`with_mut` closure API, so
 /// the same call sites compile against either backend. The closures receive

@@ -1,0 +1,99 @@
+//! Loom model check for the [`raft_buffer::WakerSlot`] arm/notify handoff.
+//!
+//! These tests only compile and run under the loom cfg:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p raft-buffer --test loom_waker --release
+//! ```
+//!
+//! The property under test is the **lost-wakeup freedom** the work-stealing
+//! scheduler depends on: a consumer task that (1) arms the slot, (2) re-checks
+//! the stream state, and (3) parks on finding it empty must *always* receive
+//! a wake from a producer that published data — the classic store-buffering
+//! (Dekker) window between "queue observed empty" and "park". The slot's
+//! SeqCst fence pairing (see `waker.rs` module docs) forbids the interleaving
+//! where the producer's `armed` read and the consumer's state re-check both
+//! miss; loom explores every C11-permitted ordering to prove it.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::thread;
+use std::sync::Arc;
+
+use raft_buffer::{FifoWaker, WakerSlot};
+
+/// Records wake delivery; stands in for the scheduler's "enqueue task".
+struct FlagWaker(AtomicBool);
+
+impl FifoWaker for FlagWaker {
+    fn wake(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// The scheduler's park protocol against a producer's publish+notify:
+/// no interleaving may end with the consumer parked on an observed-empty
+/// queue *and* no wake delivered.
+#[test]
+fn no_lost_wakeup_between_empty_check_and_park() {
+    loom::model(|| {
+        let slot = Arc::new(WakerSlot::new());
+        let queue = Arc::new(AtomicUsize::new(0)); // stands in for occupancy
+        let woken = Arc::new(FlagWaker(AtomicBool::new(false)));
+        assert!(slot.register(woken.clone()));
+
+        let producer = {
+            let slot = Arc::clone(&slot);
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                // Publish data, then notify — the order every FIFO
+                // notify site follows (state write happens-before the
+                // SeqCst fence inside notify()).
+                queue.store(1, Ordering::Release);
+                slot.notify();
+            })
+        };
+
+        // Consumer/scheduler side: arm, re-check, park-if-empty.
+        slot.arm();
+        let parked = queue.load(Ordering::Acquire) == 0;
+
+        producer.join().unwrap();
+
+        if parked {
+            // The re-check missed the data, so the producer's fence must
+            // have come later in the SC order — its armed read cannot have
+            // missed our arm: the wake was delivered.
+            assert!(
+                woken.0.load(Ordering::Acquire),
+                "lost wakeup: consumer parked on observed-empty queue and no wake fired"
+            );
+        }
+    });
+}
+
+/// A disarm (task claimed by some other wake source) must either observe the
+/// arm itself or lose it to a concurrent notify — never both, never neither.
+#[test]
+fn arm_is_claimed_exactly_once() {
+    loom::model(|| {
+        let slot = Arc::new(WakerSlot::new());
+        let woken = Arc::new(FlagWaker(AtomicBool::new(false)));
+        assert!(slot.register(woken.clone()));
+
+        slot.arm();
+        let notifier = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || slot.notify())
+        };
+        let claimed_by_us = slot.disarm();
+        notifier.join().unwrap();
+
+        let wake_fired = woken.0.load(Ordering::Acquire);
+        assert!(
+            claimed_by_us != wake_fired,
+            "arm claimed {} times (disarm={claimed_by_us}, wake={wake_fired})",
+            claimed_by_us as u32 + wake_fired as u32,
+        );
+    });
+}

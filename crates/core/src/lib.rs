@@ -62,6 +62,7 @@
 //! flow models), `raft-net` (TCP links and the "oar" mesh), `raft-bench`
 //! (every table and figure of the paper's evaluation).
 
+pub mod affinity;
 pub mod algoset;
 pub mod check;
 pub mod diagnostics;
@@ -76,6 +77,8 @@ pub mod port;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
+pub mod steal;
+pub mod stealing;
 pub mod supervise;
 
 pub use algoset::{AlgoSet, AlgoSwitch};
@@ -92,7 +95,7 @@ pub use parallel::{Reduce, Split, SplitStrategy, WidthControl};
 pub use port::{Context, InPort, OutPort};
 pub use report::render as render_report;
 pub use runtime::{EdgeReport, ExeReport, KernelReport};
-pub use scheduler::SchedulerKind;
+pub use scheduler::{SchedulerKind, WorkerReport};
 pub use supervise::{KernelOutcome, SupervisorPolicy};
 
 // Re-export the signal and FIFO config types users meet at the API surface.

@@ -122,6 +122,25 @@ pub fn render(report: &ExeReport) -> String {
             let _ = writeln!(out, "  {:>10.3?}  {:?}", ev.at, ev.kind);
         }
     }
+    if !report.workers.is_empty() {
+        let _ = writeln!(out, "\nworkers ({}):", report.workers.len());
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} {:>10} {:>8} {:>7} {:>7} {:>14}",
+            "worker", "core", "runs", "steals", "parks", "wakes", "wake→run ns"
+        );
+        for w in &report.workers {
+            let mean_wake_ns = w.wake_to_run_ns.checked_div(w.woken_tasks).unwrap_or(0);
+            let core = w
+                .pinned_core
+                .map_or_else(|| "-".to_string(), |c| c.to_string());
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>6} {:>10} {:>8} {:>7} {:>7} {:>14}",
+                w.worker, core, w.runs, w.steals, w.parks, w.woken_tasks, mean_wake_ns
+            );
+        }
+    }
     out
 }
 
@@ -175,5 +194,29 @@ mod tests {
         assert!(text.contains("lambda-source"));
         assert!(text.contains("streams (1):"));
         assert!(text.contains("100")); // item count appears
+                                       // Thread-per-kernel has no pool workers → no workers section.
+        assert!(!text.contains("workers ("));
+    }
+
+    #[test]
+    fn renders_worker_telemetry_under_stealing() {
+        use crate::lambda::{lambda_sink, lambda_source};
+        use crate::prelude::*;
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = SchedulerKind::Stealing {
+            workers: 2,
+            pin: false,
+        };
+        let mut i = 0u64;
+        let src = map.add(lambda_source(move || {
+            i += 1;
+            (i <= 100).then_some(i)
+        }));
+        let sink = map.add(lambda_sink(|_v: u64| {}));
+        map.link(src, "0", sink, "0").unwrap();
+        let report = map.exe().unwrap();
+        let text = render(&report);
+        assert!(text.contains("workers (2):"));
+        assert!(text.contains("wake→run ns"));
     }
 }

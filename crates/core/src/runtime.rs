@@ -81,6 +81,9 @@ pub struct ExeReport {
     pub watchdog_events: Vec<WatchdogEvent>,
     /// Kernels that were expanded, with their replica counts.
     pub replicated: Vec<(String, u32)>,
+    /// Per-worker scheduler telemetry (steals, parks, wake-to-run latency);
+    /// empty for schedulers that don't report it.
+    pub workers: Vec<crate::scheduler::WorkerReport>,
 }
 
 impl ExeReport {
@@ -281,7 +284,7 @@ pub fn execute_with_deadline(
     // --- run ---------------------------------------------------------------
     let timing = true;
     let started = Instant::now();
-    let outcomes = match map.cfg.scheduler {
+    let sched_out = match map.cfg.scheduler {
         SchedulerKind::ThreadPerKernel => ThreadPerKernel { timing }.execute(runners, stop.clone()),
         SchedulerKind::Pool { workers } => CooperativePool {
             workers,
@@ -325,7 +328,40 @@ pub fn execute_with_deadline(
             }
             .execute(runners, stop.clone())
         }
+        SchedulerKind::Stealing { workers, pin } => {
+            // Seed initial placement from the same §4.1 mapping the
+            // partitioned pool uses; stealing then rebalances dynamically.
+            let mut comm = crate::mapper::CommGraph::new(runners.len());
+            for l in &links_snapshot {
+                if l.0 != l.1 {
+                    comm.add_edge(l.0, l.1, 1);
+                }
+            }
+            let topo = crate::mapper::Domain::symmetric_host("pool", workers.max(1), 100);
+            let mapping = crate::mapper::map_kernels(&comm, &topo);
+            let placement: Vec<usize> = mapping
+                .assignment
+                .iter()
+                .map(|r| {
+                    r.name
+                        .rsplit("core")
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0)
+                })
+                .collect();
+            crate::stealing::WorkStealing {
+                workers,
+                timing,
+                quantum: 32,
+                pin,
+                placement,
+            }
+            .execute(runners, stop.clone())
+        }
     };
+    let outcomes = sched_out.outcomes;
+    let workers = sched_out.workers;
     let elapsed = started.elapsed();
     if let Some((cancel, handle)) = watchdog {
         cancel.store(true, Ordering::Relaxed);
@@ -384,6 +420,7 @@ pub fn execute_with_deadline(
         width_events,
         watchdog_events,
         replicated,
+        workers,
     };
     if fatal.is_empty() {
         Ok(report)

@@ -5,7 +5,7 @@
 //! operating system. ... RaftLib, of course, allows the substitution of any
 //! scheduler desired." (§4.1)
 //!
-//! Two schedulers ship here behind the [`Scheduler`] trait:
+//! The schedulers ship here behind the [`Scheduler`] trait:
 //!
 //! * [`ThreadPerKernel`] — the paper's default: every kernel is an
 //!   independent execution unit (an OS thread); blocking port operations
@@ -16,6 +16,13 @@
 //!   never blocks a worker on an empty queue. This is both the pluggable
 //!   scheduler showcase and the way to emulate k-way placement on hosts
 //!   with few cores.
+//! * [`ChainedPool`] / [`PartitionedPool`] — cache-aware and mapper-driven
+//!   variants of the cooperative pool.
+//! * [`crate::stealing::WorkStealing`] — event-driven work stealing:
+//!   readiness arrives through the FIFOs' [`raft_buffer::WakerSlot`]s as
+//!   O(1) task enqueues instead of the pools' O(kernels × ports) occupancy
+//!   sweeps; per-worker Chase–Lev deques with a global FIFO injector,
+//!   adaptive spin → yield → park idling, optional core pinning.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,10 +31,18 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use raft_buffer::fifo::Monitorable;
+use raft_buffer::{WaitStrategy, Waiter};
 
 use crate::kernel::{KStatus, Kernel};
 use crate::port::Context;
 use crate::supervise::{KernelOutcome, SupervisorPolicy};
+
+/// Idle-wait policy shared by the polling pool workers: adaptive spin →
+/// yield, then 100 µs sleeps (the pools have no wake signal to park on, so
+/// the sleep doubles as their re-poll period). The work-stealing scheduler
+/// parks on a condvar instead and uses a much longer backstop.
+pub(crate) const POOL_IDLE: WaitStrategy =
+    WaitStrategy::parking(std::time::Duration::from_micros(100));
 
 /// Which scheduler `exe()` uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +70,18 @@ pub enum SchedulerKind {
     Partitioned {
         /// Number of worker threads (= partitions).
         workers: usize,
+    },
+    /// Event-driven work-stealing pool: kernels become runnable through
+    /// FIFO wakers (no occupancy polling), run from per-worker Chase–Lev
+    /// deques fed by a global injector, and idle workers steal before
+    /// parking. The mapper's partition assignment seeds the initial
+    /// per-worker placement.
+    Stealing {
+        /// Number of worker threads.
+        workers: usize,
+        /// Pin worker `w` to core `w % cores` (Linux; best-effort no-op
+        /// elsewhere) so placement survives OS migration.
+        pin: bool,
     },
 }
 
@@ -115,16 +142,58 @@ pub struct RunnerOutcome {
 
 /// Terminal result of [`step`] for one kernel.
 #[derive(Debug, Clone, Copy)]
-struct StepDone {
-    outcome: KernelOutcome,
-    fatal: bool,
+pub(crate) struct StepDone {
+    pub(crate) outcome: KernelOutcome,
+    pub(crate) fatal: bool,
+}
+
+/// Per-worker execution telemetry reported by pool-style schedulers
+/// (currently populated by [`crate::stealing::WorkStealing`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Core this worker pinned itself to, if pinning was requested and
+    /// succeeded.
+    pub pinned_core: Option<usize>,
+    /// Task claims executed (quanta, not kernel `run()` calls).
+    pub runs: u64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Times the worker parked after exhausting spin and yield budgets.
+    pub parks: u64,
+    /// Wake-to-run latency samples observed (tasks claimed that carried a
+    /// waker timestamp; self-requeues don't count).
+    pub woken_tasks: u64,
+    /// Total wake-to-run latency across those samples, nanoseconds.
+    pub wake_to_run_ns: u64,
+}
+
+/// Everything a scheduler hands back to `exe()`: one outcome per kernel
+/// plus optional per-worker telemetry.
+#[derive(Debug, Default)]
+pub struct SchedulerOutput {
+    /// One entry per kernel.
+    pub outcomes: Vec<RunnerOutcome>,
+    /// Per-worker telemetry; empty for schedulers that don't track it.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl From<Vec<RunnerOutcome>> for SchedulerOutput {
+    fn from(outcomes: Vec<RunnerOutcome>) -> Self {
+        SchedulerOutput {
+            outcomes,
+            workers: Vec::new(),
+        }
+    }
 }
 
 /// A scheduler executes a set of kernels to completion.
 pub trait Scheduler {
-    /// Run all kernels; return one outcome per kernel. `stop` is the
-    /// cooperative shutdown flag (set on panic or deadline).
-    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome>;
+    /// Run all kernels; return one outcome per kernel (plus any worker
+    /// telemetry). `stop` is the cooperative shutdown flag (set on panic or
+    /// deadline).
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> SchedulerOutput;
 }
 
 /// Drive a kernel for one quantum. Returns `None` while it wants more
@@ -137,7 +206,7 @@ pub trait Scheduler {
 /// handles of a panicked kernel's output streams observe `is_finished()`
 /// even when `run()` panicked before its first push (the zero-iteration
 /// case of the drain loops below).
-fn step(runner: &mut KernelRunner, timing: bool) -> Option<StepDone> {
+pub(crate) fn step(runner: &mut KernelRunner, timing: bool) -> Option<StepDone> {
     let started = timing.then(Instant::now);
     runner.telemetry.entered.fetch_add(1, Ordering::Relaxed);
     // The failpoint runs inside the unwind guard so an injected panic takes
@@ -163,6 +232,21 @@ fn step(runner: &mut KernelRunner, timing: bool) -> Option<StepDone> {
             fatal: false,
         }),
         Err(_) => handle_panic(runner),
+    }
+}
+
+/// Cooperative wind-down: on global stop (watchdog deadline, fatal panic
+/// elsewhere) sources must finish instead of producing forever; kernels
+/// with inputs drain naturally as upstream EoS arrives. Every scheduler
+/// consults this after an inconclusive step.
+pub(crate) fn stop_winddown(runner: &KernelRunner, stop: &AtomicBool) -> Option<StepDone> {
+    if stop.load(Ordering::Relaxed) && runner.ctx.input_count() == 0 {
+        Some(StepDone {
+            outcome: KernelOutcome::Completed,
+            fatal: false,
+        })
+    } else {
+        None
     }
 }
 
@@ -241,7 +325,7 @@ pub struct ThreadPerKernel {
 }
 
 impl Scheduler for ThreadPerKernel {
-    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome> {
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> SchedulerOutput {
         let timing = self.timing;
         let handles: Vec<_> = runners
             .into_iter()
@@ -291,7 +375,8 @@ impl Scheduler for ThreadPerKernel {
                     fatal: true,
                 })
             })
-            .collect()
+            .collect::<Vec<_>>()
+            .into()
     }
 }
 
@@ -309,20 +394,25 @@ struct PoolSlot {
     runner: Option<KernelRunner>,
 }
 
+/// The readiness rule shared by every pool-style scheduler: sources are
+/// always ready; everything else needs data (or EoS) on *all* inputs.
+pub(crate) fn inputs_ready(input_fifos: &[Arc<dyn Monitorable>]) -> bool {
+    if input_fifos.is_empty() {
+        return true; // sources are always ready
+    }
+    input_fifos
+        .iter()
+        .all(|f| f.occupancy() > 0 || f.is_finished())
+}
+
 impl CooperativePool {
-    fn ready(runner: &KernelRunner) -> bool {
-        if runner.input_fifos.is_empty() {
-            return true; // sources are always ready
-        }
-        runner
-            .input_fifos
-            .iter()
-            .all(|f| f.occupancy() > 0 || f.is_finished())
+    pub(crate) fn ready(runner: &KernelRunner) -> bool {
+        inputs_ready(&runner.input_fifos)
     }
 }
 
 impl Scheduler for CooperativePool {
-    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome> {
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> SchedulerOutput {
         let n = runners.len();
         let slots: Arc<Vec<Mutex<PoolSlot>>> = Arc::new(
             runners
@@ -344,7 +434,7 @@ impl Scheduler for CooperativePool {
                 std::thread::Builder::new()
                     .name(format!("raft-pool-{w}"))
                     .spawn(move || {
-                        let mut idle_spins = 0u32;
+                        let mut waiter = Waiter::new(POOL_IDLE);
                         while remaining.load(Ordering::Relaxed) > 0 {
                             let mut progressed = false;
                             for slot in slots.iter() {
@@ -368,6 +458,10 @@ impl Scheduler for CooperativePool {
                                         }
                                         None => {
                                             progressed = true;
+                                            if let Some(done) = stop_winddown(runner, &stop) {
+                                                finished = Some(done);
+                                                break;
+                                            }
                                             if !Self::ready(runner) {
                                                 break;
                                             }
@@ -391,14 +485,9 @@ impl Scheduler for CooperativePool {
                                 }
                             }
                             if progressed {
-                                idle_spins = 0;
+                                waiter.reset();
                             } else {
-                                idle_spins += 1;
-                                if idle_spins > 64 {
-                                    std::thread::sleep(std::time::Duration::from_micros(100));
-                                } else {
-                                    std::thread::yield_now();
-                                }
+                                waiter.pause();
                             }
                         }
                     })
@@ -408,9 +497,16 @@ impl Scheduler for CooperativePool {
         for w in workers {
             let _ = w.join();
         }
-        Arc::try_unwrap(outcomes)
-            .map(|m| m.into_inner())
-            .unwrap_or_default()
+        // Every worker holding a clone has been joined, so this handle must
+        // be the last one — losing outcomes here would silently report an
+        // empty run (the old `try_unwrap(..).unwrap_or_default()` bug).
+        assert_eq!(
+            Arc::strong_count(&outcomes),
+            1,
+            "pool worker leaked an outcomes handle past join"
+        );
+        let collected = std::mem::take(&mut *outcomes.lock());
+        collected.into()
     }
 }
 
@@ -429,7 +525,7 @@ pub struct PartitionedPool {
 }
 
 impl Scheduler for PartitionedPool {
-    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome> {
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> SchedulerOutput {
         assert_eq!(self.partition.len(), runners.len());
         let workers = self.workers.max(1);
         // Group runners per worker.
@@ -448,7 +544,7 @@ impl Scheduler for PartitionedPool {
                     .name(format!("raft-part-{w}"))
                     .spawn(move || {
                         let mut outcomes = Vec::with_capacity(mine.len());
-                        let mut idle_spins = 0u32;
+                        let mut waiter = Waiter::new(POOL_IDLE);
                         while !mine.is_empty() {
                             let mut progressed = false;
                             let mut i = 0;
@@ -466,6 +562,10 @@ impl Scheduler for PartitionedPool {
                                         }
                                         None => {
                                             progressed = true;
+                                            if let Some(done) = stop_winddown(&mine[i], &stop) {
+                                                finished = Some(done);
+                                                break;
+                                            }
                                             if !CooperativePool::ready(&mine[i]) {
                                                 break;
                                             }
@@ -490,14 +590,9 @@ impl Scheduler for PartitionedPool {
                                 }
                             }
                             if progressed {
-                                idle_spins = 0;
+                                waiter.reset();
                             } else {
-                                idle_spins += 1;
-                                if idle_spins > 64 {
-                                    std::thread::sleep(std::time::Duration::from_micros(100));
-                                } else {
-                                    std::thread::yield_now();
-                                }
+                                waiter.pause();
                             }
                         }
                         outcomes
@@ -511,7 +606,7 @@ impl Scheduler for PartitionedPool {
                 all.append(&mut o);
             }
         }
-        all
+        all.into()
     }
 }
 
@@ -530,7 +625,7 @@ pub struct ChainedPool {
 }
 
 impl Scheduler for ChainedPool {
-    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> Vec<RunnerOutcome> {
+    fn execute(&self, runners: Vec<KernelRunner>, stop: Arc<AtomicBool>) -> SchedulerOutput {
         let n = runners.len();
         let successors: Vec<Vec<usize>> = runners.iter().map(|r| r.successors.clone()).collect();
         let slots: Arc<Vec<Mutex<PoolSlot>>> = Arc::new(
@@ -555,7 +650,7 @@ impl Scheduler for ChainedPool {
                 std::thread::Builder::new()
                     .name(format!("raft-chain-{w}"))
                     .spawn(move || {
-                        let mut idle_spins = 0u32;
+                        let mut waiter = Waiter::new(POOL_IDLE);
                         // Start each worker at a different offset so they
                         // begin on different chains.
                         let mut cursor = w % slots.len().max(1);
@@ -586,6 +681,10 @@ impl Scheduler for ChainedPool {
                                             }
                                             None => {
                                                 progressed = true;
+                                                if let Some(done) = stop_winddown(runner, &stop) {
+                                                    finished = Some(done);
+                                                    break;
+                                                }
                                                 if !CooperativePool::ready(runner) {
                                                     break;
                                                 }
@@ -618,14 +717,9 @@ impl Scheduler for ChainedPool {
                             }
                             cursor = (cursor + 1) % slots.len().max(1);
                             if progressed {
-                                idle_spins = 0;
+                                waiter.reset();
                             } else {
-                                idle_spins += 1;
-                                if idle_spins > 64 {
-                                    std::thread::sleep(std::time::Duration::from_micros(100));
-                                } else {
-                                    std::thread::yield_now();
-                                }
+                                waiter.pause();
                             }
                         }
                     })
@@ -635,9 +729,15 @@ impl Scheduler for ChainedPool {
         for w in workers {
             let _ = w.join();
         }
-        Arc::try_unwrap(outcomes)
-            .map(|m| m.into_inner())
-            .unwrap_or_default()
+        // See CooperativePool: all clones joined, so losing outcomes here
+        // is a bug, not a condition to default away.
+        assert_eq!(
+            Arc::strong_count(&outcomes),
+            1,
+            "chained worker leaked an outcomes handle past join"
+        );
+        let collected = std::mem::take(&mut *outcomes.lock());
+        collected.into()
     }
 }
 

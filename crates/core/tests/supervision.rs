@@ -88,6 +88,40 @@ fn counting_sink() -> (impl Kernel, Arc<Mutex<Vec<u64>>>) {
     (sink, seen)
 }
 
+/// Every scheduler the supervision machinery must behave identically
+/// under. Policy handling lives in the shared `step()` path, so a
+/// regression in any scheduler's panic plumbing shows up here.
+fn all_schedulers() -> Vec<(&'static str, SchedulerKind)> {
+    vec![
+        ("thread-per-kernel", SchedulerKind::ThreadPerKernel),
+        ("pool", SchedulerKind::Pool { workers: 2 }),
+        (
+            "stealing",
+            SchedulerKind::Stealing {
+                workers: 2,
+                pin: false,
+            },
+        ),
+    ]
+}
+
+/// Run `body` once per scheduler kind, labelling any failure with the
+/// scheduler that produced it.
+fn for_each_scheduler(body: impl Fn(SchedulerKind)) {
+    for (label, sched) in all_schedulers() {
+        eprintln!("  → scheduler: {label}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(sched)));
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic");
+            panic!("[scheduler = {label}] {msg}");
+        }
+    }
+}
+
 /// Look a kernel up by base name (map entries are suffixed `#index`).
 fn outcome_of(report: &ExeReport, name: &str) -> KernelOutcome {
     report
@@ -107,79 +141,89 @@ fn base_names(kernels: &[String]) -> Vec<&str> {
 }
 
 /// Restart policy: two injected panics are absorbed, the kernel is rebuilt
-/// on its live ports, and every element still flows end to end.
+/// on its live ports, and every element still flows end to end — under
+/// every scheduler.
 #[test]
 fn restart_policy_recovers_and_loses_nothing() {
-    let mut map = RaftMap::new();
-    let mut i = 0u64;
-    let src = map.add(lambda_source(move || {
-        i += 1;
-        (i <= 500).then_some(i)
-    }));
-    let flaky = map.add(FlakyForward::new(2));
-    let (sink, seen) = counting_sink();
-    let dst = map.add(sink);
-    map.link(src, "0", flaky, "in").unwrap();
-    map.link(flaky, "out", dst, "0").unwrap();
-    map.supervise(flaky, SupervisorPolicy::restart(5));
+    for_each_scheduler(|sched| {
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let mut i = 0u64;
+        let src = map.add(lambda_source(move || {
+            i += 1;
+            (i <= 500).then_some(i)
+        }));
+        let flaky = map.add(FlakyForward::new(2));
+        let (sink, seen) = counting_sink();
+        let dst = map.add(sink);
+        map.link(src, "0", flaky, "in").unwrap();
+        map.link(flaky, "out", dst, "0").unwrap();
+        map.supervise(flaky, SupervisorPolicy::restart(5));
 
-    let report = map.exe().expect("restart policy absorbs the panics");
-    assert_eq!(
-        outcome_of(&report, "flaky-forward"),
-        KernelOutcome::Restarted(2)
-    );
-    assert_eq!(*seen.lock().unwrap(), (1..=500).collect::<Vec<u64>>());
+        let report = map.exe().expect("restart policy absorbs the panics");
+        assert_eq!(
+            outcome_of(&report, "flaky-forward"),
+            KernelOutcome::Restarted(2)
+        );
+        assert_eq!(*seen.lock().unwrap(), (1..=500).collect::<Vec<u64>>());
+    });
 }
 
 /// Skip policy: the panicking stage is dropped, EoS propagates, and the
 /// run is reported per-kernel instead of failing wholesale.
 #[test]
 fn skip_policy_drains_pipeline() {
-    let mut map = RaftMap::new();
-    let mut i = 0u64;
-    let src = map.add(lambda_source(move || {
-        i += 1;
-        (i <= 100).then_some(i)
-    }));
-    let flaky = map.add(FlakyForward::new(u32::MAX));
-    let (sink, seen) = counting_sink();
-    let dst = map.add(sink);
-    map.link(src, "0", flaky, "in").unwrap();
-    map.link(flaky, "out", dst, "0").unwrap();
-    map.supervise(flaky, SupervisorPolicy::Skip);
+    for_each_scheduler(|sched| {
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let mut i = 0u64;
+        let src = map.add(lambda_source(move || {
+            i += 1;
+            (i <= 100).then_some(i)
+        }));
+        let flaky = map.add(FlakyForward::new(u32::MAX));
+        let (sink, seen) = counting_sink();
+        let dst = map.add(sink);
+        map.link(src, "0", flaky, "in").unwrap();
+        map.link(flaky, "out", dst, "0").unwrap();
+        map.supervise(flaky, SupervisorPolicy::Skip);
 
-    let report = map.exe().expect("skip policy keeps exe() Ok");
-    assert_eq!(outcome_of(&report, "flaky-forward"), KernelOutcome::Skipped);
-    assert!(seen.lock().unwrap().is_empty());
+        let report = map.exe().expect("skip policy keeps exe() Ok");
+        assert_eq!(outcome_of(&report, "flaky-forward"), KernelOutcome::Skipped);
+        assert!(seen.lock().unwrap().is_empty());
+    });
 }
 
 /// Replace policy: the factory's fresh instance takes over on the same
 /// streams.
 #[test]
 fn replace_policy_installs_factory_kernel() {
-    let mut map = RaftMap::new();
-    let mut i = 0u64;
-    let src = map.add(lambda_source(move || {
-        i += 1;
-        (i <= 300).then_some(i)
-    }));
-    // The original faults once; every replacement is clean.
-    let flaky = map.add(FlakyForward::new(1));
-    let (sink, seen) = counting_sink();
-    let dst = map.add(sink);
-    map.link(src, "0", flaky, "in").unwrap();
-    map.link(flaky, "out", dst, "0").unwrap();
-    map.supervise(
-        flaky,
-        SupervisorPolicy::replace(3, || Box::new(FlakyForward::new(0))),
-    );
+    for_each_scheduler(|sched| {
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let mut i = 0u64;
+        let src = map.add(lambda_source(move || {
+            i += 1;
+            (i <= 300).then_some(i)
+        }));
+        // The original faults once; every replacement is clean.
+        let flaky = map.add(FlakyForward::new(1));
+        let (sink, seen) = counting_sink();
+        let dst = map.add(sink);
+        map.link(src, "0", flaky, "in").unwrap();
+        map.link(flaky, "out", dst, "0").unwrap();
+        map.supervise(
+            flaky,
+            SupervisorPolicy::replace(3, || Box::new(FlakyForward::new(0))),
+        );
 
-    let report = map.exe().expect("replace policy absorbs the panic");
-    assert_eq!(
-        outcome_of(&report, "flaky-forward"),
-        KernelOutcome::Restarted(1)
-    );
-    assert_eq!(*seen.lock().unwrap(), (1..=300).collect::<Vec<u64>>());
+        let report = map.exe().expect("replace policy absorbs the panic");
+        assert_eq!(
+            outcome_of(&report, "flaky-forward"),
+            KernelOutcome::Restarted(1)
+        );
+        assert_eq!(*seen.lock().unwrap(), (1..=300).collect::<Vec<u64>>());
+    });
 }
 
 /// An exhausted restart budget degrades to a skipped stage with an
@@ -329,25 +373,29 @@ fn run_budget_watchdog_stops_stuck_pipeline() {
         }
     }
 
-    let mut map = RaftMap::new();
-    // Infinite trickle source: only the watchdog can end this run.
-    let src = map.add(lambda_source(move || {
-        std::thread::sleep(Duration::from_micros(500));
-        Some(1u64)
-    }));
-    let dst = map.add(SleepyOnce { slept: false });
-    map.link(src, "0", dst, "in").unwrap();
-    map.config_mut().monitor = MonitorConfig::default().with_run_budget(Duration::from_millis(40));
+    for_each_scheduler(|sched| {
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        // Infinite trickle source: only the watchdog can end this run.
+        let src = map.add(lambda_source(move || {
+            std::thread::sleep(Duration::from_micros(500));
+            Some(1u64)
+        }));
+        let dst = map.add(SleepyOnce { slept: false });
+        map.link(src, "0", dst, "in").unwrap();
+        map.config_mut().monitor =
+            MonitorConfig::default().with_run_budget(Duration::from_millis(40));
 
-    let report = map.exe().expect("watchdog stop is a graceful end");
-    let fired = report.watchdog_events.iter().any(
-        |ev| matches!(&ev.kind, WatchdogKind::RunBudget { kernel } if kernel.starts_with("sleepy-sink")),
-    );
-    assert!(
-        fired,
-        "expected a RunBudget firing for sleepy-sink, got {:?}",
-        report.watchdog_events
-    );
+        let report = map.exe().expect("watchdog stop is a graceful end");
+        let fired = report.watchdog_events.iter().any(
+            |ev| matches!(&ev.kind, WatchdogKind::RunBudget { kernel } if kernel.starts_with("sleepy-sink")),
+        );
+        assert!(
+            fired,
+            "expected a RunBudget firing for sleepy-sink, got {:?}",
+            report.watchdog_events
+        );
+    });
 }
 
 /// Streams open but no element moving trips the stall watchdog.
@@ -372,24 +420,66 @@ fn stall_watchdog_ends_frozen_pipeline() {
         }
     }
 
+    for_each_scheduler(|sched| {
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let src = map.add(Holder);
+        let (sink, seen) = counting_sink();
+        let dst = map.add(sink);
+        map.link(src, "out", dst, "0").unwrap();
+        map.config_mut().monitor =
+            MonitorConfig::default().with_stall_timeout(Duration::from_millis(50));
+
+        let report = map.exe().expect("stall stop is a graceful end");
+        assert!(
+            report
+                .watchdog_events
+                .iter()
+                .any(|ev| matches!(ev.kind, WatchdogKind::StalledStreams)),
+            "expected a StalledStreams firing, got {:?}",
+            report.watchdog_events
+        );
+        assert!(seen.lock().unwrap().is_empty());
+    });
+}
+
+/// The work-stealing scheduler runs a multi-stage pipeline to completion
+/// with fewer workers than kernels, and surfaces per-worker telemetry in
+/// the report.
+#[test]
+fn stealing_pipeline_completes_with_worker_telemetry() {
     let mut map = RaftMap::new();
-    let src = map.add(Holder);
+    map.config_mut().scheduler = SchedulerKind::Stealing {
+        workers: 2,
+        pin: false,
+    };
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= 10_000).then_some(i)
+    }));
+    let stage1 = map.add(lambda_map(|v: u64| v * 3));
+    let stage2 = map.add(lambda_map(|v: u64| v + 1));
     let (sink, seen) = counting_sink();
     let dst = map.add(sink);
-    map.link(src, "out", dst, "0").unwrap();
-    map.config_mut().monitor =
-        MonitorConfig::default().with_stall_timeout(Duration::from_millis(50));
+    map.link(src, "0", stage1, "0").unwrap();
+    map.link(stage1, "0", stage2, "0").unwrap();
+    map.link(stage2, "0", dst, "0").unwrap();
 
-    let report = map.exe().expect("stall stop is a graceful end");
-    assert!(
-        report
-            .watchdog_events
-            .iter()
-            .any(|ev| matches!(ev.kind, WatchdogKind::StalledStreams)),
-        "expected a StalledStreams firing, got {:?}",
-        report.watchdog_events
+    let report = map.exe().unwrap();
+    assert_eq!(
+        *seen.lock().unwrap(),
+        (1..=10_000).map(|v| v * 3 + 1).collect::<Vec<u64>>()
     );
-    assert!(seen.lock().unwrap().is_empty());
+    assert_eq!(report.workers.len(), 2, "one report per worker");
+    let total_runs: u64 = report.workers.iter().map(|w| w.runs).sum();
+    assert!(total_runs >= 4, "4 kernels need at least 4 task claims");
+    for w in &report.workers {
+        assert_eq!(w.pinned_core, None, "pin: false must not pin");
+    }
+    for k in &report.kernels {
+        assert_eq!(k.outcome, KernelOutcome::Completed, "{} not done", k.name);
+    }
 }
 
 /// The watchdog must not fire on a healthy fast pipeline.

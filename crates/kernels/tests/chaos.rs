@@ -31,42 +31,74 @@ fn chaos_seed() -> u64 {
         .unwrap_or(42)
 }
 
+/// Fault handling must be scheduler-independent: every chaos scenario runs
+/// under the threaded, polling-pool, and work-stealing schedulers.
+fn for_each_scheduler(body: impl Fn(SchedulerKind)) {
+    for (label, sched) in [
+        ("thread-per-kernel", SchedulerKind::ThreadPerKernel),
+        ("pool", SchedulerKind::Pool { workers: 2 }),
+        (
+            "stealing",
+            SchedulerKind::Stealing {
+                workers: 2,
+                pin: false,
+            },
+        ),
+    ] {
+        // Each iteration starts from a clean registry so one scheduler's
+        // exhausted failpoint budgets never leak into the next.
+        failpoints::reset();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(sched)));
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic");
+            panic!("[scheduler = {label}] {msg}");
+        }
+    }
+}
+
 /// A ChaosKernel-injected panic under a Restart policy: the stage comes
 /// back on its live ports and the stream arrives complete and in order.
 #[test]
 fn chaos_panic_absorbed_by_restart() {
     let _guard = chaos_guard();
-    let mut map = RaftMap::new();
-    let src = map.add(Generate::new(0..800u64));
-    let chaotic = map.add(ChaosKernel::new(
-        lambda_map(|v: u64| v),
-        ChaosConfig::panics(chaos_seed(), 4, 2),
-    ));
-    let (we, handle) = write_each::<u64>();
-    let dst = map.add(we);
-    map.link(src, "out", chaotic, "0").unwrap();
-    map.link(chaotic, "0", dst, "in").unwrap();
-    map.supervise(chaotic, SupervisorPolicy::restart(4));
+    for_each_scheduler(|sched| {
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let src = map.add(Generate::new(0..800u64));
+        let chaotic = map.add(ChaosKernel::new(
+            lambda_map(|v: u64| v),
+            ChaosConfig::panics(chaos_seed(), 4, 2),
+        ));
+        let (we, handle) = write_each::<u64>();
+        let dst = map.add(we);
+        map.link(src, "out", chaotic, "0").unwrap();
+        map.link(chaotic, "0", dst, "in").unwrap();
+        map.supervise(chaotic, SupervisorPolicy::restart(4));
 
-    let report = map.exe().expect("restart absorbs injected panics");
-    let outcome = report
-        .kernels
-        .iter()
-        .find(|k| k.name.starts_with("chaos["))
-        .expect("chaos kernel in report")
-        .outcome;
-    assert!(
-        matches!(
-            outcome,
-            KernelOutcome::Completed | KernelOutcome::Restarted(_)
-        ),
-        "unexpected outcome {outcome:?}"
-    );
-    let got = std::sync::Arc::try_unwrap(handle)
-        .unwrap()
-        .into_inner()
-        .unwrap();
-    assert_eq!(got, (0..800).collect::<Vec<u64>>());
+        let report = map.exe().expect("restart absorbs injected panics");
+        let outcome = report
+            .kernels
+            .iter()
+            .find(|k| k.name.starts_with("chaos["))
+            .expect("chaos kernel in report")
+            .outcome;
+        assert!(
+            matches!(
+                outcome,
+                KernelOutcome::Completed | KernelOutcome::Restarted(_)
+            ),
+            "unexpected outcome {outcome:?}"
+        );
+        let got = std::sync::Arc::try_unwrap(handle)
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        assert_eq!(got, (0..800).collect::<Vec<u64>>());
+    });
 }
 
 /// A hopeless stage (panics every invocation) under Skip: the rest of the
@@ -74,31 +106,34 @@ fn chaos_panic_absorbed_by_restart() {
 #[test]
 fn chaos_hopeless_stage_skipped() {
     let _guard = chaos_guard();
-    let mut map = RaftMap::new();
-    let src = map.add(Generate::new(0..100u64));
-    let chaotic = map.add(ChaosKernel::new(
-        lambda_map(|v: u64| v),
-        ChaosConfig::panics(chaos_seed(), 1, 0), // every run, unlimited
-    ));
-    let (we, handle) = write_each::<u64>();
-    let dst = map.add(we);
-    map.link(src, "out", chaotic, "0").unwrap();
-    map.link(chaotic, "0", dst, "in").unwrap();
-    map.supervise(chaotic, SupervisorPolicy::Skip);
+    for_each_scheduler(|sched| {
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let src = map.add(Generate::new(0..100u64));
+        let chaotic = map.add(ChaosKernel::new(
+            lambda_map(|v: u64| v),
+            ChaosConfig::panics(chaos_seed(), 1, 0), // every run, unlimited
+        ));
+        let (we, handle) = write_each::<u64>();
+        let dst = map.add(we);
+        map.link(src, "out", chaotic, "0").unwrap();
+        map.link(chaotic, "0", dst, "in").unwrap();
+        map.supervise(chaotic, SupervisorPolicy::Skip);
 
-    let report = map.exe().expect("skip keeps the run alive");
-    let outcome = report
-        .kernels
-        .iter()
-        .find(|k| k.name.starts_with("chaos["))
-        .unwrap()
-        .outcome;
-    assert_eq!(outcome, KernelOutcome::Skipped);
-    let got = std::sync::Arc::try_unwrap(handle)
-        .unwrap()
-        .into_inner()
-        .unwrap();
-    assert!(got.is_empty());
+        let report = map.exe().expect("skip keeps the run alive");
+        let outcome = report
+            .kernels
+            .iter()
+            .find(|k| k.name.starts_with("chaos["))
+            .unwrap()
+            .outcome;
+        assert_eq!(outcome, KernelOutcome::Skipped);
+        let got = std::sync::Arc::try_unwrap(handle)
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        assert!(got.is_empty());
+    });
 }
 
 /// Panics injected at the scheduler's own step site — before any kernel
@@ -107,58 +142,65 @@ fn chaos_hopeless_stage_skipped() {
 #[test]
 fn scheduler_step_failpoint_is_policy_handled() {
     let _guard = chaos_guard();
-    failpoints::set_seed(chaos_seed());
-    failpoints::arm("core::scheduler::step", FailAction::Panic, 50, 2);
+    for_each_scheduler(|sched| {
+        failpoints::set_seed(chaos_seed());
+        failpoints::arm("core::scheduler::step", FailAction::Panic, 50, 2);
 
-    let mut map = RaftMap::new();
-    let src = map.add(Generate::new(0..2_000u64));
-    let (we, handle) = write_each::<u64>();
-    let dst = map.add(we);
-    map.link(src, "out", dst, "in").unwrap();
-    map.supervise(src, SupervisorPolicy::restart(5));
-    map.supervise(dst, SupervisorPolicy::restart(5));
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let src = map.add(Generate::new(0..2_000u64));
+        let (we, handle) = write_each::<u64>();
+        let dst = map.add(we);
+        map.link(src, "out", dst, "in").unwrap();
+        map.supervise(src, SupervisorPolicy::restart(5));
+        map.supervise(dst, SupervisorPolicy::restart(5));
 
-    let result = map.exe();
-    let hits = failpoints::hits("core::scheduler::step");
-    failpoints::reset();
-    result.expect("step-site panics are absorbed by restart policies");
-    assert!(hits > 0, "step failpoint site was never consulted");
-    let got = std::sync::Arc::try_unwrap(handle)
-        .unwrap()
-        .into_inner()
-        .unwrap();
-    assert_eq!(got, (0..2_000).collect::<Vec<u64>>());
+        let result = map.exe();
+        let hits = failpoints::hits("core::scheduler::step");
+        failpoints::reset();
+        result.expect("step-site panics are absorbed by restart policies");
+        assert!(hits > 0, "step failpoint site was never consulted");
+        let got = std::sync::Arc::try_unwrap(handle)
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        assert_eq!(got, (0..2_000).collect::<Vec<u64>>());
+    });
 }
 
 /// A stall injected at the step site trips the deadline watchdog.
 #[test]
 fn injected_stall_trips_watchdog() {
     let _guard = chaos_guard();
-    failpoints::set_seed(chaos_seed());
-    failpoints::arm(
-        "core::scheduler::step",
-        FailAction::Stall(Duration::from_millis(150)),
-        1, // first step stalls
-        1,
-    );
+    for_each_scheduler(|sched| {
+        failpoints::set_seed(chaos_seed());
+        failpoints::arm(
+            "core::scheduler::step",
+            FailAction::Stall(Duration::from_millis(150)),
+            1, // first step stalls
+            1,
+        );
 
-    let mut map = RaftMap::new();
-    let src = map.add(Generate::new(0..50_000u64));
-    let (we, handle) = write_each::<u64>();
-    let dst = map.add(we);
-    map.link(src, "out", dst, "in").unwrap();
-    map.config_mut().monitor = MonitorConfig::default().with_run_budget(Duration::from_millis(30));
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let src = map.add(Generate::new(0..50_000u64));
+        let (we, handle) = write_each::<u64>();
+        let dst = map.add(we);
+        map.link(src, "out", dst, "in").unwrap();
+        map.config_mut().monitor =
+            MonitorConfig::default().with_run_budget(Duration::from_millis(30));
 
-    let result = map.exe();
-    failpoints::reset();
-    let report = result.expect("a stall is not a failure");
-    assert!(
-        report
-            .watchdog_events
-            .iter()
-            .any(|ev| matches!(ev.kind, WatchdogKind::RunBudget { .. })),
-        "expected a RunBudget firing, got {:?}",
-        report.watchdog_events
-    );
-    drop(handle);
+        let result = map.exe();
+        failpoints::reset();
+        let report = result.expect("a stall is not a failure");
+        assert!(
+            report
+                .watchdog_events
+                .iter()
+                .any(|ev| matches!(ev.kind, WatchdogKind::RunBudget { .. })),
+            "expected a RunBudget firing, got {:?}",
+            report.watchdog_events
+        );
+        drop(handle);
+    });
 }
