@@ -178,6 +178,10 @@ struct Shared<T> {
     producer_waker: WakerSlot,
     stats: FifoStats,
     cfg: FifoConfig,
+    /// Protocol shadow checker (SPSC discipline, monotonic sequences,
+    /// resize-fence transitions); driven from the arena chokepoints below.
+    #[cfg(feature = "raft_protocol_check")]
+    shadow: crate::protocol::FifoShadow,
 }
 
 impl<T> Shared<T> {
@@ -206,11 +210,24 @@ impl<T> Shared<T> {
         if self.resizable {
             self.fence.enter(role);
         }
+        // Shadow CS strictly inside the fence CS: entered only after the
+        // fence is held, so the checker cannot flag interleavings the
+        // fence already excludes.
+        #[cfg(feature = "raft_protocol_check")]
+        self.shadow.enter(role);
     }
 
     /// Leave the ring critical section for `role`.
     #[inline]
     fn arena_exit(&self, role: Role) {
+        #[cfg(feature = "raft_protocol_check")]
+        self.shadow.exit(
+            role,
+            match role {
+                Role::Producer => self.tail.load(Relaxed),
+                Role::Consumer => self.head.load(Relaxed),
+            },
+        );
         if self.resizable {
             self.fence.exit(role);
         }
@@ -322,6 +339,8 @@ pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>
         producer_waker: WakerSlot::new(),
         stats: FifoStats::new(),
         cfg,
+        #[cfg(feature = "raft_protocol_check")]
+        shadow: crate::protocol::FifoShadow::new(),
     });
     (
         Fifo {
@@ -420,12 +439,21 @@ impl<T: Send> Fifo<T> {
         // nobody moves them until end_resize.
         let head = shared.head.load(Relaxed);
         let tail = shared.tail.load(Relaxed);
+        #[cfg(feature = "raft_protocol_check")]
+        shared.shadow.resize_begin();
         let live = tail - head;
         let new_capacity = new_capacity
             .clamp(shared.cfg.min_capacity, shared.cfg.max_capacity)
             .max(live)
             .next_power_of_two();
         if new_capacity == guard.capacity() {
+            #[cfg(feature = "raft_protocol_check")]
+            shared.shadow.resize_end(
+                head,
+                tail,
+                shared.head.load(Relaxed),
+                shared.tail.load(Relaxed),
+            );
             shared.fence.end_resize();
             return new_capacity;
         }
@@ -470,6 +498,13 @@ impl<T: Send> Fifo<T> {
         // old storage is safe because MaybeUninit never drops its contents.
         *guard = new;
         shared.stats.monitor.resizes.fetch_add(1, Relaxed);
+        #[cfg(feature = "raft_protocol_check")]
+        shared.shadow.resize_end(
+            head,
+            tail,
+            shared.head.load(Relaxed),
+            shared.tail.load(Relaxed),
+        );
         // Publish the new storage (Release inside) before endpoints re-enter.
         shared.fence.end_resize();
         drop(guard);
@@ -921,6 +956,20 @@ impl<T: Send> Producer<T> {
     pub fn fifo(&self) -> Fifo<T> {
         Fifo {
             shared: self.shared.clone(),
+        }
+    }
+
+    /// Test double that deliberately breaks the single-producer contract:
+    /// a second live producer handle over the same stream. Exists so the
+    /// protocol checker's SPSC-discipline detection can be exercised; any
+    /// real use is undefined behavior by construction.
+    #[cfg(feature = "raft_protocol_check")]
+    #[doc(hidden)]
+    pub fn protocol_test_duplicate(&self) -> Producer<T> {
+        Producer {
+            shared: self.shared.clone(),
+            tail: self.tail,
+            head_cache: self.head_cache,
         }
     }
 }

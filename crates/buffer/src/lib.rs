@@ -39,6 +39,8 @@ pub mod error;
 pub mod failpoints;
 pub mod fence;
 pub mod fifo;
+#[cfg(feature = "raft_protocol_check")]
+pub mod protocol;
 pub mod signal;
 pub mod spsc;
 pub mod stats;

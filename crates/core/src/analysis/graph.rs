@@ -1,0 +1,214 @@
+//! Shared graph substrate for the analysis passes: adjacency, Tarjan SCCs,
+//! source-reachability — built once per [`super::Analysis`] and consumed by
+//! every lint so no pass re-derives topology on its own.
+
+use crate::map::RaftMap;
+
+/// An immutable adjacency view over a [`RaftMap`]'s kernel graph.
+///
+/// The view is computed once when an [`super::Analysis`] is constructed and
+/// shared by every registered pass: structural lints walk `adj`, the cycle
+/// and deadlock passes consume `sccs`, reachability queries BFS from
+/// `sources`.
+pub struct GraphView {
+    /// Deduplicated kernel adjacency: `adj[k]` lists the distinct kernels
+    /// fed by `k`'s output streams, in first-link order.
+    pub adj: Vec<Vec<usize>>,
+    /// Kernels with no input ports — the graph's sources.
+    pub sources: Vec<usize>,
+    /// Strongly connected components in reverse-topological order, as
+    /// produced by the iterative Tarjan pass.
+    pub sccs: Vec<Vec<usize>>,
+}
+
+impl GraphView {
+    /// Build the view for `map`.
+    pub fn build(map: &RaftMap) -> Self {
+        let n = map.kernels.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for l in &map.links {
+            if !adj[l.src].contains(&l.dst) {
+                adj[l.src].push(l.dst);
+            }
+        }
+        let sources = map
+            .kernels
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.spec.inputs.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let sccs = tarjan_sccs(n, &adj);
+        GraphView { adj, sources, sccs }
+    }
+
+    /// Number of kernels in the view.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` when the graph has no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// BFS from the graph's sources: `reachable[k]` is `true` iff some
+    /// token emitted by a source can (topologically) reach kernel `k`.
+    pub fn reachable_from_sources(&self) -> Vec<bool> {
+        self.downstream_of(&self.sources)
+    }
+
+    /// BFS from `starts`: `true` for every start and every kernel reachable
+    /// from one (transitively, along stream direction).
+    pub fn downstream_of(&self, starts: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut queue: std::collections::VecDeque<usize> = starts.iter().copied().collect();
+        for &s in starts {
+            seen[s] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The SCCs that actually contain a directed cycle — more than one
+    /// member, or a single member with a self-loop — with members sorted.
+    pub fn cyclic_sccs(&self) -> Vec<Vec<usize>> {
+        self.sccs
+            .iter()
+            .filter(|scc| scc.len() > 1 || self.adj[scc[0]].contains(&scc[0]))
+            .map(|scc| {
+                let mut members = scc.clone();
+                members.sort_unstable();
+                members
+            })
+            .collect()
+    }
+}
+
+/// Iterative Tarjan SCC over an adjacency list. Returns the strongly
+/// connected components in reverse-topological order. Iterative (explicit
+/// DFS frames) so deep pipelines cannot overflow the call stack.
+pub fn tarjan_sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames (node, next-child cursor).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, 0));
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0;
+            if frame.1 < adj[v].len() {
+                let w = adj[v][frame.1];
+                frame.1 += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] && index[w] < lowlink[v] {
+                    lowlink[v] = index[w];
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    if lowlink[v] < lowlink[parent] {
+                        lowlink[parent] = lowlink[v];
+                    }
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Display name of kernel `i` ("name#i").
+pub(crate) fn kname(map: &RaftMap, i: usize) -> &str {
+    &map.kernels[i].name
+}
+
+/// `src.port -> dst.port` label for link `li`.
+pub(crate) fn link_label(map: &RaftMap, li: usize) -> String {
+    let l = &map.links[li];
+    format!(
+        "{}.{} -> {}.{}",
+        kname(map, l.src),
+        map.kernels[l.src].spec.outputs[l.src_port].name,
+        kname(map, l.dst),
+        map.kernels[l.dst].spec.inputs[l.dst_port].name,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tarjan_finds_simple_cycle() {
+        // 0 -> 1 -> 2 -> 0, 3 isolated
+        let adj = vec![vec![1], vec![2], vec![0], vec![]];
+        let sccs = tarjan_sccs(4, &adj);
+        let big: Vec<_> = sccs.iter().filter(|s| s.len() > 1).collect();
+        assert_eq!(big.len(), 1);
+        let mut members = big[0].clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tarjan_handles_deep_chain_iteratively() {
+        // 10_000-node chain: recursive Tarjan would risk stack overflow.
+        let n = 10_000;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
+        assert_eq!(tarjan_sccs(n, &adj).len(), n);
+    }
+
+    #[test]
+    fn downstream_of_walks_transitively() {
+        // 0 -> 1 -> 2, 3 isolated.
+        let view = GraphView {
+            adj: vec![vec![1], vec![2], vec![], vec![]],
+            sources: vec![0],
+            sccs: vec![],
+        };
+        assert_eq!(view.downstream_of(&[0]), vec![true, true, true, false],);
+        assert_eq!(view.downstream_of(&[1]), vec![false, true, true, false],);
+    }
+}

@@ -1,0 +1,56 @@
+//! Dataflow analysis framework behind [`crate::map::RaftMap::check`].
+//!
+//! The original `check.rs` ran each lint as an independent function over
+//! the raw map. This module restructures that into a shared-substrate
+//! design: an [`Analysis`] context is built once per check — adjacency,
+//! Tarjan SCCs and source-reachability in [`GraphView`], plus the `RC0008`
+//! cycle solver verdicts — and every registered pass consumes it. Passes
+//! live in submodules by theme:
+//!
+//! * [`structure`] — `RC0001`–`RC0006`: connectivity, endpoints, cycles,
+//!   reachability, link-table integrity, element types;
+//! * [`capacity`] — `RC0007` capacity feasibility and `RC0008`
+//!   feedback-deadlock certification (certify-or-counterexample);
+//! * [`replication`] — `RC0009` replication/fusion-safety inference and
+//!   the [`KernelClassification`] export;
+//! * [`supervision`] — `RC0010` supervision-policy soundness.
+//!
+//! The registry itself (codes, names, ordering) stays in
+//! [`crate::check`], which is the stable public facade.
+
+pub mod capacity;
+pub mod graph;
+pub mod replication;
+pub mod structure;
+pub mod supervision;
+
+#[cfg(test)]
+mod golden;
+
+pub use capacity::{CycleInfo, CycleVerdict};
+pub use graph::GraphView;
+pub use replication::{classify, KernelClassification};
+
+use crate::map::RaftMap;
+
+/// Shared context every lint pass receives: the map under analysis, the
+/// graph substrate, and the feedback cycles with their `RC0008` solver
+/// verdicts. Built once per [`crate::map::RaftMap::check`] call.
+pub struct Analysis<'m> {
+    /// The map under analysis.
+    pub(crate) map: &'m RaftMap,
+    /// Adjacency / SCC / reachability substrate.
+    pub graph: GraphView,
+    /// Feedback cycles found by Tarjan, each with its solver verdict.
+    pub cycles: Vec<CycleInfo>,
+}
+
+impl<'m> Analysis<'m> {
+    /// Build the analysis context for `map`: graph view first, then the
+    /// cycle solver over every cyclic SCC.
+    pub fn new(map: &'m RaftMap) -> Self {
+        let graph = GraphView::build(map);
+        let cycles = capacity::certify_cycles(map, &graph);
+        Analysis { map, graph, cycles }
+    }
+}

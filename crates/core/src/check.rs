@@ -5,34 +5,38 @@
 //! Dataflow (Duggan & Yao) push further and show that static
 //! well-formedness analysis of stream graphs catches deadlocks and rate
 //! mismatches that a bounded-FIFO runtime can otherwise only hit at run
-//! time — as a hang. This module generalizes the seed's single
-//! connectivity scan into a registry of named lint passes, each with a
-//! stable code:
+//! time — as a hang. This module is the stable facade over the
+//! [`crate::analysis`] framework: a registry of named lint passes, each
+//! with a stable code, all consuming one shared [`Analysis`] context
+//! (adjacency, Tarjan SCCs, cycle solver verdicts) built once per check:
 //!
-//! | code     | lint               | default severity | finding |
-//! |----------|--------------------|------------------|---------|
-//! | `RC0001` | `unconnected-port` | error            | a declared port has no stream |
-//! | `RC0002` | `missing-endpoint` | error            | graph has no source / no sink |
-//! | `RC0003` | `cycle`            | error (config)   | a directed cycle of bounded FIFOs (deadlock risk) |
-//! | `RC0004` | `unreachable`      | error            | kernel not reachable from any source |
-//! | `RC0005` | `duplicate-link`   | error            | two streams share a port endpoint |
-//! | `RC0006` | `type-mismatch`    | error            | stream endpoint element types differ |
-//! | `RC0007` | `capacity`         | warn             | configured capacity cannot sustain declared rates |
+//! | code     | lint                     | default severity | finding |
+//! |----------|--------------------------|------------------|---------|
+//! | `RC0001` | `unconnected-port`       | error            | a declared port has no stream |
+//! | `RC0002` | `missing-endpoint`       | error            | graph has no source / no sink |
+//! | `RC0003` | `cycle`                  | error (config)   | a directed cycle of bounded FIFOs (deadlock risk) |
+//! | `RC0004` | `unreachable`            | error            | kernel not reachable from any source |
+//! | `RC0005` | `duplicate-link`         | error            | two streams share a port endpoint |
+//! | `RC0006` | `type-mismatch`          | error            | stream endpoint element types differ |
+//! | `RC0007` | `capacity`               | warn             | configured capacity cannot sustain declared rates |
+//! | `RC0008` | `feedback-deadlock`      | error (config)   | certify-or-counterexample for every bounded-FIFO cycle |
+//! | `RC0009` | `replication-safety`     | warn (config)    | statelessness/ordering contradictions around replication |
+//! | `RC0010` | `supervision-soundness`  | warn (config)    | recovery policy unsound for the kernel or graph shape |
 //!
-//! [`RaftMap::check`] runs every pass and returns the findings sorted by
-//! severity; `exe()` refuses to run when any [`Severity::Error`] finding
-//! exists ([`crate::error::ExeError::CheckFailed`]).
+//! [`RaftMap::check`] runs every pass and returns the findings in a
+//! deterministic order (severity, then code, then involved kernels/links,
+//! then message — so snapshot tests and CI logs are stable); `exe()`
+//! refuses to run when any [`Severity::Error`] finding exists
+//! ([`crate::error::ExeError::CheckFailed`]).
 //!
-//! Cycle detection uses Tarjan's strongly-connected-components algorithm
-//! (iterative, so deep pipelines cannot overflow the stack). The capacity
-//! pass calls into `raft-model`'s M/M/1/K queueing estimates: when both
-//! ends of a stream have declared service rates
-//! ([`RaftMap::declare_service_rate`]), the steady-state producer blocking
-//! probability at the stream's configured capacity ceiling is computed and
-//! compared against [`CheckConfig::capacity_blocking_warn`].
+//! `RC0008` implements the certify-or-counterexample contract: for every
+//! bounded-FIFO cycle, `raft-model`'s `min_capacity_for_blocking` solves
+//! for the minimal capacity assignment under which no cycle stream can
+//! stay full, and the pass emits either an informational certificate (the
+//! `RC0003` finding then downgrades to info) or a concrete token-flow
+//! showing how the cycle wedges.
 
-use raft_model::queues::{min_capacity_for_blocking, MM1K};
-
+use crate::analysis::Analysis;
 use crate::diagnostics::{Diagnostic, Severity};
 use crate::map::RaftMap;
 
@@ -40,14 +44,26 @@ use crate::map::RaftMap;
 /// [`crate::map::MapConfig`]).
 #[derive(Debug, Clone)]
 pub struct CheckConfig {
-    /// Severity of the `RC0003` cycle lint. A cycle of bounded FIFOs is a
-    /// deadlock risk, so this defaults to [`Severity::Error`]; downgrade to
+    /// Severity of the `RC0003` cycle lint (and of a *refuted* `RC0008`
+    /// certification). A cycle of bounded FIFOs is a deadlock risk, so
+    /// this defaults to [`Severity::Error`]; downgrade to
     /// [`Severity::Warn`] for graphs with feedback edges that are known to
-    /// be drained (e.g. credit loops).
+    /// be drained (e.g. credit loops). A cycle `RC0008` *certifies*
+    /// deadlock-free is reported at [`Severity::Info`] regardless.
     pub cycle_severity: Severity,
-    /// `RC0007` warns when the steady-state producer blocking probability
-    /// at the configured capacity ceiling exceeds this fraction.
+    /// `RC0007` warns (and the `RC0008` solver certifies) when the
+    /// steady-state producer blocking probability at the configured
+    /// capacity ceiling exceeds this fraction.
     pub capacity_blocking_warn: f64,
+    /// Severity of `RC0009` replication-safety findings. Defaults to
+    /// [`Severity::Warn`]: the contradictions are real but the runtime
+    /// degrades safely (it skips expansion); raise to [`Severity::Error`]
+    /// to make `exe()` refuse such graphs.
+    pub replication_severity: Severity,
+    /// Severity of `RC0010` supervision-soundness findings, except Replace
+    /// factory port mismatches which are always [`Severity::Error`].
+    /// Defaults to [`Severity::Warn`].
+    pub supervision_severity: Severity,
 }
 
 impl Default for CheckConfig {
@@ -55,6 +71,8 @@ impl Default for CheckConfig {
         CheckConfig {
             cycle_severity: Severity::Error,
             capacity_blocking_warn: 0.05,
+            replication_severity: Severity::Warn,
+            supervision_severity: Severity::Warn,
         }
     }
 }
@@ -67,7 +85,7 @@ pub struct LintPass {
     pub name: &'static str,
     /// One-line description of what the pass finds.
     pub summary: &'static str,
-    run: fn(&RaftMap) -> Vec<Diagnostic>,
+    run: fn(&Analysis) -> Vec<Diagnostic>,
 }
 
 /// The full lint registry, in code order.
@@ -75,502 +93,102 @@ pub fn passes() -> &'static [LintPass] {
     &PASSES
 }
 
-static PASSES: [LintPass; 7] = [
+static PASSES: [LintPass; 10] = [
     LintPass {
         code: "RC0001",
         name: "unconnected-port",
         summary: "every declared port must be connected to a stream",
-        run: lint_unconnected_ports,
+        run: crate::analysis::structure::lint_unconnected_ports,
     },
     LintPass {
         code: "RC0002",
         name: "missing-endpoint",
         summary: "the graph needs at least one source and one sink",
-        run: lint_missing_endpoints,
+        run: crate::analysis::structure::lint_missing_endpoints,
     },
     LintPass {
         code: "RC0003",
         name: "cycle",
         summary: "a directed cycle of bounded FIFOs can deadlock",
-        run: lint_cycles,
+        run: crate::analysis::structure::lint_cycles,
     },
     LintPass {
         code: "RC0004",
         name: "unreachable",
         summary: "every kernel must be reachable from a source",
-        run: lint_unreachable,
+        run: crate::analysis::structure::lint_unreachable,
     },
     LintPass {
         code: "RC0005",
         name: "duplicate-link",
         summary: "no two streams may share a port endpoint",
-        run: lint_duplicate_links,
+        run: crate::analysis::structure::lint_duplicate_links,
     },
     LintPass {
         code: "RC0006",
         name: "type-mismatch",
         summary: "stream endpoints must carry the same element type",
-        run: lint_type_mismatches,
+        run: crate::analysis::structure::lint_type_mismatches,
     },
     LintPass {
         code: "RC0007",
         name: "capacity",
         summary: "configured capacity must sustain the declared rates",
-        run: lint_capacity,
+        run: crate::analysis::capacity::lint_capacity,
+    },
+    LintPass {
+        code: "RC0008",
+        name: "feedback-deadlock",
+        summary: "every bounded-FIFO cycle is certified deadlock-free or refuted \
+                  with a counterexample token-flow",
+        run: crate::analysis::capacity::lint_deadlock_certification,
+    },
+    LintPass {
+        code: "RC0009",
+        name: "replication-safety",
+        summary: "statelessness and out-of-order safety must be consistent with \
+                  the requested replication",
+        run: crate::analysis::replication::lint_replication_safety,
+    },
+    LintPass {
+        code: "RC0010",
+        name: "supervision-soundness",
+        summary: "each kernel's recovery policy must be sound for its state and \
+                  graph position",
+        run: crate::analysis::supervision::lint_supervision_soundness,
     },
 ];
 
-/// Run every registered pass and return the findings, errors first.
+/// Run every registered pass over one shared [`Analysis`] context and
+/// return the findings in a deterministic order: errors first, then within
+/// a severity by code, involved kernels, involved links, and finally
+/// message — byte-for-byte stable across runs for snapshot tests and CI
+/// logs.
 pub(crate) fn run_all(map: &RaftMap) -> Vec<Diagnostic> {
+    let analysis = Analysis::new(map);
     let mut out = Vec::new();
     for pass in &PASSES {
-        out.extend((pass.run)(map));
+        out.extend((pass.run)(&analysis));
     }
-    // Errors first, then warnings, then info; stable within a severity so
-    // pass order (code order) is preserved.
-    out.sort_by_key(|d| std::cmp::Reverse(d.severity));
-    out
-}
-
-/// Display name of kernel `i` ("name#i").
-fn kname(map: &RaftMap, i: usize) -> &str {
-    &map.kernels[i].name
-}
-
-/// `src.port -> dst.port` label for link `li`.
-fn link_label(map: &RaftMap, li: usize) -> String {
-    let l = &map.links[li];
-    format!(
-        "{}.{} -> {}.{}",
-        kname(map, l.src),
-        map.kernels[l.src].spec.outputs[l.src_port].name,
-        kname(map, l.dst),
-        map.kernels[l.dst].spec.inputs[l.dst_port].name,
-    )
-}
-
-/// RC0001: every declared input and output port must be linked (the seed's
-/// `validate_connected`, migrated into the registry).
-fn lint_unconnected_ports(map: &RaftMap) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    for (ki, entry) in map.kernels.iter().enumerate() {
-        for (pi, def) in entry.spec.inputs.iter().enumerate() {
-            if !map.links.iter().any(|l| l.dst == ki && l.dst_port == pi) {
-                out.push(
-                    Diagnostic::new(
-                        "RC0001",
-                        "unconnected-port",
-                        Severity::Error,
-                        format!(
-                            "input port {:?} of kernel {:?} is not connected",
-                            def.name, entry.name
-                        ),
-                    )
-                    .with_kernel(ki),
-                );
-            }
-        }
-        for (pi, def) in entry.spec.outputs.iter().enumerate() {
-            if !map.links.iter().any(|l| l.src == ki && l.src_port == pi) {
-                out.push(
-                    Diagnostic::new(
-                        "RC0001",
-                        "unconnected-port",
-                        Severity::Error,
-                        format!(
-                            "output port {:?} of kernel {:?} is not connected",
-                            def.name, entry.name
-                        ),
-                    )
-                    .with_kernel(ki),
-                );
-            }
-        }
-    }
-    out
-}
-
-/// RC0002: a runnable dataflow graph needs at least one source (a kernel
-/// with no input ports) and one sink (no output ports); otherwise nothing
-/// can start, or nothing can finish draining.
-fn lint_missing_endpoints(map: &RaftMap) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    if map.kernels.is_empty() {
-        out.push(Diagnostic::new(
-            "RC0002",
-            "missing-endpoint",
-            Severity::Error,
-            "map contains no kernels",
-        ));
-        return out;
-    }
-    if !map.kernels.iter().any(|k| k.spec.inputs.is_empty()) {
-        out.push(Diagnostic::new(
-            "RC0002",
-            "missing-endpoint",
-            Severity::Error,
-            "graph has no source kernel (every kernel has input ports): \
-             nothing can produce the first element",
-        ));
-    }
-    if !map.kernels.iter().any(|k| k.spec.outputs.is_empty()) {
-        out.push(Diagnostic::new(
-            "RC0002",
-            "missing-endpoint",
-            Severity::Error,
-            "graph has no sink kernel (every kernel has output ports): \
-             backpressure has nowhere to drain",
-        ));
-    }
-    out
-}
-
-/// Iterative Tarjan SCC over the kernel graph. Returns the strongly
-/// connected components in reverse-topological order.
-fn tarjan_sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
-    const UNVISITED: usize = usize::MAX;
-    let mut index = vec![UNVISITED; n];
-    let mut lowlink = vec![0usize; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0usize;
-    let mut sccs: Vec<Vec<usize>> = Vec::new();
-    // Explicit DFS frames (node, next-child cursor) — deep pipelines must
-    // not overflow the call stack.
-    let mut frames: Vec<(usize, usize)> = Vec::new();
-
-    for root in 0..n {
-        if index[root] != UNVISITED {
-            continue;
-        }
-        index[root] = next_index;
-        lowlink[root] = next_index;
-        next_index += 1;
-        stack.push(root);
-        on_stack[root] = true;
-        frames.push((root, 0));
-
-        while let Some(frame) = frames.last_mut() {
-            let v = frame.0;
-            if frame.1 < adj[v].len() {
-                let w = adj[v][frame.1];
-                frame.1 += 1;
-                if index[w] == UNVISITED {
-                    index[w] = next_index;
-                    lowlink[w] = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    on_stack[w] = true;
-                    frames.push((w, 0));
-                } else if on_stack[w] && index[w] < lowlink[v] {
-                    lowlink[v] = index[w];
-                }
-            } else {
-                frames.pop();
-                if let Some(&(parent, _)) = frames.last() {
-                    if lowlink[v] < lowlink[parent] {
-                        lowlink[parent] = lowlink[v];
-                    }
-                }
-                if lowlink[v] == index[v] {
-                    let mut scc = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        on_stack[w] = false;
-                        scc.push(w);
-                        if w == v {
-                            break;
-                        }
-                    }
-                    sccs.push(scc);
-                }
-            }
-        }
-    }
-    sccs
-}
-
-fn adjacency(map: &RaftMap) -> Vec<Vec<usize>> {
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); map.kernels.len()];
-    for l in &map.links {
-        if !adj[l.src].contains(&l.dst) {
-            adj[l.src].push(l.dst);
-        }
-    }
-    adj
-}
-
-/// RC0003: Tarjan-SCC cycle detection. A directed cycle of bounded FIFOs
-/// deadlocks as soon as every queue on the cycle fills (each kernel blocks
-/// pushing to the next). Severity comes from
-/// [`CheckConfig::cycle_severity`].
-fn lint_cycles(map: &RaftMap) -> Vec<Diagnostic> {
-    let adj = adjacency(map);
-    let mut out = Vec::new();
-    for scc in tarjan_sccs(map.kernels.len(), &adj) {
-        let cyclic = scc.len() > 1 || adj[scc[0]].contains(&scc[0]);
-        if !cyclic {
-            continue;
-        }
-        let mut members = scc.clone();
-        members.sort_unstable();
-        let names: Vec<&str> = members.iter().map(|&i| kname(map, i)).collect();
-        let links: Vec<usize> = map
-            .links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| members.contains(&l.src) && members.contains(&l.dst))
-            .map(|(i, _)| i)
-            .collect();
-        out.push(
-            Diagnostic::new(
-                "RC0003",
-                "cycle",
-                map.cfg.check.cycle_severity,
-                format!(
-                    "cycle of bounded streams through {{{}}}: once every queue \
-                     on the cycle fills, all {} kernels block forever \
-                     (downgrade via MapConfig::check.cycle_severity if the \
-                     feedback edge is provably drained)",
-                    names.join(", "),
-                    members.len(),
-                ),
-            )
-            .with_kernels(members)
-            .with_links(links),
-        );
-    }
-    out
-}
-
-/// RC0004: BFS from the sources; kernels no token can ever reach will
-/// starve forever. Skipped when the graph has no sources at all — RC0002
-/// already reports that, and flagging every kernel would be noise.
-fn lint_unreachable(map: &RaftMap) -> Vec<Diagnostic> {
-    let sources: Vec<usize> = map
-        .kernels
-        .iter()
-        .enumerate()
-        .filter(|(_, k)| k.spec.inputs.is_empty())
-        .map(|(i, _)| i)
-        .collect();
-    if sources.is_empty() || map.kernels.is_empty() {
-        return Vec::new();
-    }
-    let adj = adjacency(map);
-    let mut seen = vec![false; map.kernels.len()];
-    let mut queue: std::collections::VecDeque<usize> = sources.into_iter().collect();
-    for &s in &queue {
-        seen[s] = true;
-    }
-    while let Some(v) = queue.pop_front() {
-        for &w in &adj[v] {
-            if !seen[w] {
-                seen[w] = true;
-                queue.push_back(w);
-            }
-        }
-    }
-    let unreached: Vec<usize> = (0..map.kernels.len()).filter(|&i| !seen[i]).collect();
-    if unreached.is_empty() {
-        return Vec::new();
-    }
-    let names: Vec<&str> = unreached.iter().map(|&i| kname(map, i)).collect();
-    vec![Diagnostic::new(
-        "RC0004",
-        "unreachable",
-        Severity::Error,
-        format!(
-            "kernel(s) {{{}}} are not reachable from any source: their \
-             inputs will never receive data",
-            names.join(", ")
-        ),
-    )
-    .with_kernels(unreached)]
-}
-
-/// RC0005: no two streams may share a port endpoint. `link()` enforces
-/// this at construction; the pass is defense in depth for maps assembled
-/// or rewritten through crate-internal paths (e.g. replica expansion).
-fn lint_duplicate_links(map: &RaftMap) -> Vec<Diagnostic> {
-    use std::collections::HashMap;
-    let mut out = Vec::new();
-    let mut by_src: HashMap<(usize, usize), usize> = HashMap::new();
-    let mut by_dst: HashMap<(usize, usize), usize> = HashMap::new();
-    for (li, l) in map.links.iter().enumerate() {
-        if let Some(&prev) = by_src.get(&(l.src, l.src_port)) {
-            out.push(
-                Diagnostic::new(
-                    "RC0005",
-                    "duplicate-link",
-                    Severity::Error,
-                    format!(
-                        "output port {:?} of kernel {:?} feeds two streams \
-                         ({} and {})",
-                        map.kernels[l.src].spec.outputs[l.src_port].name,
-                        kname(map, l.src),
-                        link_label(map, prev),
-                        link_label(map, li),
-                    ),
-                )
-                .with_kernel(l.src)
-                .with_links([prev, li]),
-            );
-        } else {
-            by_src.insert((l.src, l.src_port), li);
-        }
-        if let Some(&prev) = by_dst.get(&(l.dst, l.dst_port)) {
-            out.push(
-                Diagnostic::new(
-                    "RC0005",
-                    "duplicate-link",
-                    Severity::Error,
-                    format!(
-                        "input port {:?} of kernel {:?} is fed by two streams \
-                         ({} and {}): an ordered port admits exactly one \
-                         producer",
-                        map.kernels[l.dst].spec.inputs[l.dst_port].name,
-                        kname(map, l.dst),
-                        link_label(map, prev),
-                        link_label(map, li),
-                    ),
-                )
-                .with_kernel(l.dst)
-                .with_links([prev, li]),
-            );
-        } else {
-            by_dst.insert((l.dst, l.dst_port), li);
-        }
-    }
-    out
-}
-
-/// RC0006: re-verify element types across every stream. `link()` checks
-/// this too; the pass re-runs the comparison on the final link table with
-/// kernel+port names in the message.
-fn lint_type_mismatches(map: &RaftMap) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    for (li, l) in map.links.iter().enumerate() {
-        let so = &map.kernels[l.src].spec.outputs[l.src_port];
-        let di = &map.kernels[l.dst].spec.inputs[l.dst_port];
-        if so.type_id != di.type_id {
-            out.push(
-                Diagnostic::new(
-                    "RC0006",
-                    "type-mismatch",
-                    Severity::Error,
-                    format!(
-                        "stream {}.{} -> {}.{} connects element type {} to {}",
-                        kname(map, l.src),
-                        so.name,
-                        kname(map, l.dst),
-                        di.name,
-                        so.type_name,
-                        di.type_name,
-                    ),
-                )
-                .with_kernels([l.src, l.dst])
-                .with_link(li),
-            );
-        }
-    }
-    out
-}
-
-/// RC0007: capacity feasibility. For every stream whose two kernels have
-/// declared service rates, model the queue as M/M/1/K at the stream's
-/// capacity *ceiling* and warn when the steady-state producer blocking
-/// probability exceeds the configured threshold — the static version of
-/// the monitor's 3δ "writer blocked" resize trigger.
-fn lint_capacity(map: &RaftMap) -> Vec<Diagnostic> {
-    let threshold = map.cfg.check.capacity_blocking_warn;
-    let mut out = Vec::new();
-    for (li, l) in map.links.iter().enumerate() {
-        let (Some(lambda), Some(mu)) = (
-            map.kernels[l.src].service_rate,
-            map.kernels[l.dst].service_rate,
-        ) else {
-            continue;
-        };
-        if !(lambda > 0.0 && mu > 0.0) {
-            continue;
-        }
-        let cap = l.fifo.unwrap_or(map.cfg.fifo).max_capacity;
-        let cap = cap.clamp(1, u32::MAX as usize) as u32;
-        let blocking = MM1K::new(lambda, mu, cap).blocking_probability();
-        if blocking <= threshold {
-            continue;
-        }
-        let suggestion = match min_capacity_for_blocking(lambda, mu, threshold) {
-            Some(k) => format!(
-                "a capacity ceiling of {k} would keep blocking under {:.0}%",
-                threshold * 100.0
-            ),
-            None => "no finite capacity suffices (λ ≥ μ): widen the consumer \
-                     or lower the producer rate"
-                .to_string(),
-        };
-        out.push(
-            Diagnostic::new(
-                "RC0007",
-                "capacity",
-                Severity::Warn,
-                format!(
-                    "stream {} (capacity ceiling {cap}) cannot sustain the \
-                     declared rates λ={lambda}/s -> μ={mu}/s: steady-state \
-                     producer blocking ≈ {:.1}%; {suggestion}",
-                    link_label(map, li),
-                    blocking * 100.0,
-                ),
-            )
-            .with_kernels([l.src, l.dst])
-            .with_link(li),
-        );
-    }
+    out.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.kernels.cmp(&b.kernels))
+            .then_with(|| a.links.cmp(&b.links))
+            .then_with(|| a.message.cmp(&b.message))
+    });
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::{KStatus, Kernel, PortSpec};
-    use crate::map::LinkEntry;
-    use crate::port::Context;
-
-    struct Src;
-    impl Kernel for Src {
-        fn ports(&self) -> PortSpec {
-            PortSpec::new().output::<u32>("out")
-        }
-        fn run(&mut self, _ctx: &Context) -> KStatus {
-            KStatus::Stop
-        }
-    }
-
-    struct Sink;
-    impl Kernel for Sink {
-        fn ports(&self) -> PortSpec {
-            PortSpec::new().input::<u32>("in")
-        }
-        fn run(&mut self, _ctx: &Context) -> KStatus {
-            KStatus::Stop
-        }
-    }
-
-    struct SinkI64;
-    impl Kernel for SinkI64 {
-        fn ports(&self) -> PortSpec {
-            PortSpec::new().input::<i64>("in")
-        }
-        fn run(&mut self, _ctx: &Context) -> KStatus {
-            KStatus::Stop
-        }
-    }
 
     #[test]
-    fn registry_has_seven_distinct_codes() {
+    fn registry_has_ten_distinct_codes() {
         let codes: std::collections::BTreeSet<&str> = passes().iter().map(|p| p.code).collect();
-        assert!(codes.len() >= 7, "expected >= 7 lint passes, got {codes:?}");
+        assert_eq!(codes.len(), 10, "expected 10 lint passes, got {codes:?}");
         assert_eq!(codes.len(), passes().len(), "codes must be unique");
         for p in passes() {
             assert!(p.code.starts_with("RC"), "{}", p.code);
@@ -579,83 +197,56 @@ mod tests {
     }
 
     #[test]
-    fn tarjan_finds_simple_cycle() {
-        // 0 -> 1 -> 2 -> 0, 3 isolated
-        let adj = vec![vec![1], vec![2], vec![0], vec![]];
-        let sccs = tarjan_sccs(4, &adj);
-        let big: Vec<_> = sccs.iter().filter(|s| s.len() > 1).collect();
-        assert_eq!(big.len(), 1);
-        let mut members = big[0].clone();
-        members.sort_unstable();
-        assert_eq!(members, vec![0, 1, 2]);
-    }
+    fn run_all_is_deterministic_and_sorted() {
+        use crate::kernel::{KStatus, Kernel, PortSpec};
+        use crate::port::Context;
 
-    #[test]
-    fn tarjan_handles_deep_chain_iteratively() {
-        // 10_000-node chain: recursive Tarjan would risk stack overflow.
-        let n = 10_000;
-        let adj: Vec<Vec<usize>> = (0..n)
-            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
-            .collect();
-        assert_eq!(tarjan_sccs(n, &adj).len(), n);
-    }
+        struct Src;
+        impl Kernel for Src {
+            fn ports(&self) -> PortSpec {
+                PortSpec::new().output::<u32>("out")
+            }
+            fn run(&mut self, _ctx: &Context) -> KStatus {
+                KStatus::Stop
+            }
+        }
+        struct Sink;
+        impl Kernel for Sink {
+            fn ports(&self) -> PortSpec {
+                PortSpec::new().input::<u32>("in")
+            }
+            fn run(&mut self, _ctx: &Context) -> KStatus {
+                KStatus::Stop
+            }
+        }
 
-    /// Duplicate-link and type-mismatch findings require a malformed link
-    /// table, which the public API refuses to build — push raw entries.
-    #[test]
-    fn duplicate_link_pass_flags_shared_endpoints() {
-        let mut m = crate::map::RaftMap::new();
+        // A graph with several findings: an overloaded stream (RC0007 warn)
+        // plus two dangling ports (RC0001 errors).
+        let mut m = RaftMap::new();
         let s = m.add(Src);
-        let a = m.add(Sink);
-        let b = m.add(Sink);
-        let s2 = m.add(Src);
-        m.link(s, "out", a, "in").unwrap();
-        // Bypass link(): second stream from s's already-used output, and a
-        // second stream (from s2) into a's already-fed input.
-        m.links.push(LinkEntry {
-            src: s.0,
-            src_port: 0,
-            dst: b.0,
-            dst_port: 0,
-            ordered: true,
-            fifo: None,
-        });
-        m.links.push(LinkEntry {
-            src: s2.0,
-            src_port: 0,
-            dst: a.0,
-            dst_port: 0,
-            ordered: true,
-            fifo: None,
-        });
-        let dups = lint_duplicate_links(&m);
-        assert_eq!(dups.len(), 2, "{dups:?}");
-        assert!(dups.iter().all(|d| d.code == "RC0005"));
-        assert!(dups.iter().any(|d| d.message.contains("feeds two streams")));
-        assert!(dups
-            .iter()
-            .any(|d| d.message.contains("fed by two streams")));
-    }
+        let k = m.add(Sink);
+        let _lonely_src = m.add(Src);
+        let _lonely_sink = m.add(Sink);
+        m.link(s, "out", k, "in").unwrap();
+        m.declare_service_rate(s, 100.0);
+        m.declare_service_rate(k, 10.0);
 
-    #[test]
-    fn type_mismatch_pass_names_kernels_and_ports() {
-        let mut m = crate::map::RaftMap::new();
-        let s = m.add(Src);
-        let t = m.add(SinkI64);
-        // link() would reject; push the raw entry.
-        m.links.push(LinkEntry {
-            src: s.0,
-            src_port: 0,
-            dst: t.0,
-            dst_port: 0,
-            ordered: true,
-            fifo: None,
-        });
-        let diags = lint_type_mismatches(&m);
-        assert_eq!(diags.len(), 1);
-        let msg = &diags[0].message;
-        assert!(msg.contains("Src#0.out"), "{msg}");
-        assert!(msg.contains("SinkI64#1.in"), "{msg}");
-        assert!(msg.contains("u32") && msg.contains("i64"), "{msg}");
+        let first = run_all(&m);
+        for _ in 0..5 {
+            assert_eq!(run_all(&m), first, "check output must be deterministic");
+        }
+        // Sorted: severity desc, then code asc, then kernels asc.
+        for w in first.windows(2) {
+            let key = |d: &Diagnostic| {
+                (
+                    std::cmp::Reverse(d.severity),
+                    d.code,
+                    d.kernels.clone(),
+                    d.links.clone(),
+                    d.message.clone(),
+                )
+            };
+            assert!(key(&w[0]) <= key(&w[1]), "{:?} > {:?}", w[0], w[1]);
+        }
     }
 }

@@ -42,6 +42,10 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// Human-readable description of the finding.
     pub message: String,
+    /// Optional actionable suggestion, rendered on its own `help:` line —
+    /// what to change (a concrete capacity, an API call) rather than what
+    /// is wrong.
+    pub help: Option<String>,
     /// Indices of the kernels involved (positions in the map's kernel
     /// table), for graph highlighting.
     pub kernels: Vec<usize>,
@@ -62,9 +66,16 @@ impl Diagnostic {
             lint,
             severity,
             message: message.into(),
+            help: None,
             kernels: Vec::new(),
             links: Vec::new(),
         }
+    }
+
+    /// Attach an actionable `help:` suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
     }
 
     /// Attach an involved kernel index.
@@ -103,7 +114,11 @@ impl fmt::Display for Diagnostic {
             f,
             "{}[{}] {}: {}",
             self.severity, self.code, self.lint, self.message
-        )
+        )?;
+        if let Some(help) = &self.help {
+            write!(f, "\n    help: {help}")?;
+        }
+        Ok(())
     }
 }
 
@@ -132,5 +147,19 @@ mod tests {
         assert!(s.contains("a -> b -> a"), "{s}");
         assert_eq!(d.kernels, vec![0, 1]);
         assert_eq!(d.links, vec![2]);
+    }
+
+    #[test]
+    fn display_renders_help_on_its_own_line() {
+        let d = Diagnostic::new("RC0007", "capacity", Severity::Warn, "too small")
+            .with_help("use a ceiling of 128");
+        let s = d.to_string();
+        assert!(
+            s.contains("too small\n    help: use a ceiling of 128"),
+            "{s}"
+        );
+        // Without help, no dangling line.
+        let bare = Diagnostic::new("RC0007", "capacity", Severity::Warn, "too small");
+        assert!(!bare.to_string().contains("help:"));
     }
 }

@@ -151,6 +151,15 @@ pub trait Kernel: Send + 'static {
     fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
         None
     }
+
+    /// Whether the kernel is pure with respect to its stream: its output for
+    /// an item does not depend on previously-seen items. Stateless kernels
+    /// are safe to restart after a panic and safe to replicate behind an
+    /// out-of-order split. Defaults to `false` (conservative); override, or
+    /// declare per-instance via [`crate::map::RaftMap::declare_stateless`].
+    fn is_stateless(&self) -> bool {
+        false
+    }
 }
 
 impl Kernel for Box<dyn Kernel> {
@@ -165,6 +174,9 @@ impl Kernel for Box<dyn Kernel> {
     }
     fn clone_replica(&self) -> Option<Box<dyn Kernel>> {
         (**self).clone_replica()
+    }
+    fn is_stateless(&self) -> bool {
+        (**self).is_stateless()
     }
 }
 

@@ -64,6 +64,7 @@
 
 pub mod affinity;
 pub mod algoset;
+pub mod analysis;
 pub mod check;
 pub mod diagnostics;
 pub mod error;
@@ -82,6 +83,7 @@ pub mod stealing;
 pub mod supervise;
 
 pub use algoset::{AlgoSet, AlgoSwitch};
+pub use analysis::{classify, Analysis, CycleInfo, CycleVerdict, GraphView, KernelClassification};
 pub use check::{passes, CheckConfig, LintPass};
 pub use diagnostics::{Diagnostic, Severity};
 pub use error::{ExeError, LinkError, PortClosed};
@@ -104,6 +106,7 @@ pub use raft_buffer::{FifoConfig, Signal};
 /// Everything needed to write and run a streaming application.
 pub mod prelude {
     pub use crate::algoset::{AlgoSet, AlgoSwitch};
+    pub use crate::analysis::KernelClassification;
     pub use crate::check::CheckConfig;
     pub use crate::diagnostics::{Diagnostic, Severity};
     pub use crate::error::{ExeError, LinkError, PortClosed};

@@ -98,6 +98,17 @@ pub(crate) struct KernelEntry {
     /// What the scheduler does if this kernel's `run()` panics
     /// (default: abort the whole map — the pre-supervision behavior).
     pub policy: SupervisorPolicy,
+    /// Per-instance statelessness override for the `RC0009`/`RC0010`
+    /// analysis passes; `None` defers to [`Kernel::is_stateless`].
+    pub stateless: Option<bool>,
+}
+
+impl KernelEntry {
+    /// Effective statelessness: the per-instance declaration when present,
+    /// otherwise the kernel's own [`Kernel::is_stateless`].
+    pub fn is_stateless(&self) -> bool {
+        self.stateless.unwrap_or_else(|| self.kernel.is_stateless())
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -163,6 +174,7 @@ impl RaftMap {
             start_width: None,
             service_rate: None,
             policy: SupervisorPolicy::Abort,
+            stateless: None,
         });
         KernelId(self.kernels.len() - 1)
     }
@@ -198,6 +210,16 @@ impl RaftMap {
     /// warning.
     pub fn declare_service_rate(&mut self, kernel: KernelId, items_per_sec: f64) {
         self.kernels[kernel.0].service_rate = Some(items_per_sec);
+    }
+
+    /// Declare that `kernel` is stateless: its output for an item does not
+    /// depend on previously-seen items. The `RC0009` replication-safety and
+    /// `RC0010` supervision-soundness passes treat stateless kernels as safe
+    /// to restart after a panic and safe to replicate behind an
+    /// out-of-order split. Overrides [`Kernel::is_stateless`] for this
+    /// instance only.
+    pub fn declare_stateless(&mut self, kernel: KernelId) {
+        self.kernels[kernel.0].stateless = Some(true);
     }
 
     /// Request that `kernel` run with `width` parallel replicas (subject to
@@ -402,7 +424,9 @@ impl RaftMap {
 
     /// [`RaftMap::to_dot`], with diagnosed kernels and streams highlighted:
     /// anything named in an `Error` diagnostic is colored red, `Warn`
-    /// orange. Pass the output of [`RaftMap::check`].
+    /// orange, `Info` (e.g. an `RC0008` deadlock-freedom certificate) blue.
+    /// Pass the output of [`RaftMap::check`]. A legend subgraph documents
+    /// the edge styles (dashed = out-of-order-safe) and severity colors.
     pub fn to_dot_with(&self, diagnostics: &[Diagnostic]) -> String {
         use std::fmt::Write as _;
         // Worst severity per kernel/link index, if any.
@@ -423,7 +447,8 @@ impl RaftMap {
         let color = |sev: Option<Severity>| match sev {
             Some(Severity::Error) => Some("red"),
             Some(Severity::Warn) => Some("orange"),
-            _ => None,
+            Some(Severity::Info) => Some("blue"),
+            None => None,
         };
         let mut out = String::from(
             "digraph raft {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
@@ -453,6 +478,13 @@ impl RaftMap {
             }
             out.push_str("];\n");
         }
+        out.push_str(
+            "  subgraph cluster_legend {\n    label=\"legend\";\n    fontsize=10;\n    \
+             legend [shape=plaintext, label=\"solid edge: ordered stream\\l\
+             dashed edge: out-of-order-safe stream\\l\
+             red: error finding\\lorange: warning finding\\l\
+             blue: info finding / RC0008 certificate\\l\"];\n  }\n",
+        );
         out.push_str("}\n");
         out
     }
@@ -703,5 +735,43 @@ mod tests {
         let p = m.add(Producer1);
         m.declare_service_rate(p, 1000.0);
         assert_eq!(m.kernels[p.0].service_rate, Some(1000.0));
+    }
+
+    #[test]
+    fn dot_info_findings_color_blue_and_legend_present() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        let c = m.add(Consumer1);
+        m.link(p, "out", c, "in").unwrap();
+        let diags = vec![crate::diagnostics::Diagnostic::new(
+            "RC0008",
+            "feedback-deadlock",
+            crate::diagnostics::Severity::Info,
+            "certified",
+        )
+        .with_kernel(0)
+        .with_link(0)];
+        let dot = m.to_dot_with(&diags);
+        assert!(
+            dot.contains("k0 [label=\"Producer1#0\", color=blue"),
+            "{dot}"
+        );
+        assert!(dot.contains("style=solid, color=blue"), "{dot}");
+        // Legend is always emitted, documenting dashed OOO edges.
+        assert!(dot.contains("cluster_legend"), "{dot}");
+        assert!(
+            dot.contains("dashed edge: out-of-order-safe stream"),
+            "{dot}"
+        );
+        assert!(m.to_dot().contains("cluster_legend"));
+    }
+
+    #[test]
+    fn declared_statelessness_overrides_trait_default() {
+        let mut m = RaftMap::new();
+        let p = m.add(Producer1);
+        assert!(!m.kernels[p.0].is_stateless());
+        m.declare_stateless(p);
+        assert!(m.kernels[p.0].is_stateless());
     }
 }

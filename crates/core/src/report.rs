@@ -89,6 +89,30 @@ pub fn render(report: &ExeReport) -> String {
             let _ = writeln!(out, "  {name} × {w}");
         }
     }
+    if !report.kernel_classes.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nreplication classification ({}):",
+            report.kernel_classes.len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>9} {:>10} {:>5} {:>6} {:>5}",
+            "kernel", "stateless", "replicable", "safe", "width", "ooo"
+        );
+        for c in &report.kernel_classes {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>9} {:>10} {:>5} {:>6} {:>5}",
+                truncate(&c.name, 28),
+                c.stateless,
+                c.replicable,
+                c.replication_safe,
+                c.planned_width,
+                c.ooo_inputs
+            );
+        }
+    }
     if !report.resize_events.is_empty() {
         let _ = writeln!(out, "\nresize log ({} events):", report.resize_events.len());
         for ev in report.resize_events.iter().take(12) {
@@ -196,6 +220,36 @@ mod tests {
         assert!(text.contains("100")); // item count appears
                                        // Thread-per-kernel has no pool workers → no workers section.
         assert!(!text.contains("workers ("));
+    }
+
+    #[test]
+    fn report_exposes_replication_classification() {
+        use crate::lambda::{lambda_map, lambda_sink, lambda_source};
+        use crate::prelude::*;
+        let mut map = RaftMap::new();
+        let mut i = 0u64;
+        let src = map.add(lambda_source(move || {
+            i += 1;
+            (i <= 10).then_some(i)
+        }));
+        let work = map.add(lambda_map(|v: u64| v * 2));
+        let sink = map.add(lambda_sink(|_v: u64| {}));
+        map.link(src, "0", work, "0").unwrap();
+        map.link(work, "0", sink, "0").unwrap();
+        map.declare_stateless(work);
+        let report = map.exe().unwrap();
+        // Every pre-expansion kernel is classified in the report...
+        assert_eq!(report.kernel_classes.len(), 3);
+        let w = report
+            .kernel_classes
+            .iter()
+            .find(|c| c.name.contains("lambda-map"))
+            .unwrap();
+        assert!(w.stateless && w.replicable);
+        // ...and the rendered dashboard shows the table.
+        let text = render(&report);
+        assert!(text.contains("replication classification (3):"));
+        assert!(text.contains("stateless"));
     }
 
     #[test]

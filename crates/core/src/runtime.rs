@@ -81,6 +81,11 @@ pub struct ExeReport {
     pub watchdog_events: Vec<WatchdogEvent>,
     /// Kernels that were expanded, with their replica counts.
     pub replicated: Vec<(String, u32)>,
+    /// The `RC0009` replication-safety classification of every kernel in
+    /// the pre-expansion graph: statelessness, replicability, planned
+    /// width, and whether the kernel sits behind an out-of-order split
+    /// (see [`crate::analysis::classify`]).
+    pub kernel_classes: Vec<crate::analysis::KernelClassification>,
     /// Per-worker scheduler telemetry (steals, parks, wake-to-run latency);
     /// empty for schedulers that don't report it.
     pub workers: Vec<crate::scheduler::WorkerReport>,
@@ -130,6 +135,10 @@ pub fn execute_with_deadline(
     if diagnostics.iter().any(|d| d.is_error()) {
         return Err(ExeError::CheckFailed { diagnostics });
     }
+    // Classify the user-visible graph before replica expansion rewrites it:
+    // the report should speak about the kernels the user added, not the
+    // split/reduce adapters the planner inserts.
+    let kernel_classes = crate::analysis::classify(&map);
     let planned_splits = expand_replicas(&mut map);
     let replicated = planned_splits
         .iter()
@@ -420,6 +429,7 @@ pub fn execute_with_deadline(
         width_events,
         watchdog_events,
         replicated,
+        kernel_classes,
         workers,
     };
     if fatal.is_empty() {
@@ -557,6 +567,7 @@ fn push_kernel(map: &mut RaftMap, kernel: Box<dyn Kernel>, name: &str) -> usize 
         start_width: None,
         service_rate: None,
         policy: crate::supervise::SupervisorPolicy::Abort,
+        stateless: None,
     });
     map.kernels.len() - 1
 }

@@ -194,6 +194,206 @@ fn empty_map_is_diagnosed() {
 }
 
 #[test]
+fn rc0007_help_names_minimum_feasible_capacity() {
+    let mut map = RaftMap::new();
+    let src = map.add(Src);
+    let sink = map.add(Sink);
+    // Feasible rates (mu > lambda) but a deliberately tiny fixed capacity:
+    // the help line must name the computed minimum, not just warn.
+    map.link_with(src, "out", sink, "in", FifoConfig::fixed(1))
+        .unwrap();
+    map.declare_service_rate(src, 80.0);
+    map.declare_service_rate(sink, 100.0);
+    let diags = map.check();
+    let cap = diags.iter().find(|d| d.code == "RC0007").unwrap();
+    let help = cap.help.as_deref().unwrap_or_default();
+    assert!(
+        help.contains("capacity ceiling of"),
+        "help must carry the computed minimum: {help}"
+    );
+}
+
+/// RC0008: a seeded bad graph (under-provisioned feedback loop) is
+/// rejected with an actionable diagnostic; applying the suggested minimal
+/// capacity turns the same graph into a certified one that passes.
+#[test]
+fn rc0008_refutes_bad_cycle_and_certifies_corrected_one() {
+    let build = |cap: usize| {
+        let mut map = RaftMap::new();
+        let src = map.add(Src);
+        let a = map.add(Stage);
+        let b = map.add(FbStage);
+        let sink = map.add(Sink);
+        map.link(src, "out", a, "in").unwrap();
+        map.link_with(a, "out", b, "in", FifoConfig::fixed(cap))
+            .unwrap();
+        map.link(b, "out", sink, "in").unwrap();
+        map.link_with(b, "fb", a, "fb", FifoConfig::fixed(1))
+            .unwrap();
+        // Forward stream a->b is drained 10x faster than filled; the
+        // feedback stream is overloaded by construction (rates around a
+        // cycle multiply to 1), so certification hinges on a->b's capacity.
+        map.declare_service_rate(a, 10.0);
+        map.declare_service_rate(b, 100.0);
+        map
+    };
+
+    // Bad: capacity 1 on the witness candidate is below the minimum (2).
+    let bad = build(1);
+    let diags = bad.check();
+    let rc8 = diags.iter().find(|d| d.code == "RC0008").unwrap();
+    assert!(rc8.is_error(), "{rc8}");
+    assert!(rc8.message.contains("counterexample"), "{}", rc8.message);
+    let help = rc8.help.as_deref().unwrap_or_default();
+    assert!(
+        help.contains("≥ 2"),
+        "actionable minimal assignment: {help}"
+    );
+    assert!(bad.exe().is_err(), "refuted cycle must not run");
+
+    // Corrected: apply the suggested assignment -> certificate, no errors.
+    let good = build(2);
+    let diags = good.check();
+    let rc8 = diags.iter().find(|d| d.code == "RC0008").unwrap();
+    assert_eq!(rc8.severity, Severity::Info, "{rc8}");
+    assert!(
+        rc8.message.contains("certified deadlock-free"),
+        "{}",
+        rc8.message
+    );
+    // The certificate also downgrades RC0003, so nothing blocks exe().
+    let rc3 = diags.iter().find(|d| d.code == "RC0003").unwrap();
+    assert_eq!(rc3.severity, Severity::Info, "{rc3}");
+    assert!(!diags.iter().any(|d| d.is_error()), "{diags:?}");
+}
+
+/// RC0009: a stateful kernel replicated behind an out-of-order split is
+/// flagged; declaring it stateless clears the finding. With the severity
+/// raised to Error the bad graph is rejected outright.
+#[test]
+fn rc0009_flags_stateful_replication_and_clears_when_declared_stateless() {
+    let build = || {
+        let mut map = RaftMap::new();
+        let src = map.add(lambda_source(|| None::<i64>));
+        let work = map.add(lambda_map(|v: i64| v * 2));
+        let sink = map.add(lambda_sink(|_: i64| {}));
+        map.link_unordered(src, "0", work, "0").unwrap();
+        map.link_unordered(work, "0", sink, "0").unwrap();
+        map.prefer_width(work, 4);
+        (map, work)
+    };
+
+    // Bad: lambda_map clones its closure, so the kernel is replicable, but
+    // nothing asserts it is pure — per-replica state could diverge.
+    let (mut bad, _) = build();
+    bad.config_mut().check.replication_severity = Severity::Error;
+    let diags = bad.check();
+    let rc9 = diags.iter().find(|d| d.code == "RC0009").unwrap();
+    assert!(rc9.is_error(), "{rc9}");
+    assert!(rc9.message.contains("stateful"), "{}", rc9.message);
+    assert!(
+        rc9.help
+            .as_deref()
+            .unwrap_or_default()
+            .contains("declare_stateless"),
+        "{rc9:?}"
+    );
+    assert!(bad.exe().is_err(), "rejected at Error severity");
+
+    // Corrected: the declaration resolves the contradiction.
+    let (mut good, work) = build();
+    good.config_mut().check.replication_severity = Severity::Error;
+    good.declare_stateless(work);
+    assert!(
+        !good.check().iter().any(|d| d.code == "RC0009"),
+        "{:?}",
+        good.check()
+    );
+    good.exe().unwrap();
+}
+
+/// RC0010: a Replace factory whose ports do not match the supervised
+/// kernel is rejected (always an error); a matching factory passes.
+#[test]
+fn rc0010_rejects_mismatched_replace_factory_and_allows_matching_one() {
+    let build = |policy: SupervisorPolicy| {
+        let mut map = RaftMap::new();
+        let src = map.add(lambda_source(|| None::<i64>));
+        let sink = map.add(lambda_sink(|_: i64| {}));
+        map.link(src, "0", sink, "0").unwrap();
+        map.supervise(sink, policy);
+        map
+    };
+
+    // Bad: the factory builds a kernel with a different element type.
+    let bad = build(SupervisorPolicy::replace(1, || {
+        Box::new(lambda_sink(|_: String| {}))
+    }));
+    let diags = bad.check();
+    let rc10 = diags.iter().find(|d| d.code == "RC0010").unwrap();
+    assert!(rc10.is_error(), "{rc10}");
+    assert!(rc10.message.contains("ports"), "{}", rc10.message);
+    assert!(bad.exe().is_err(), "mismatched factory must not run");
+
+    // Corrected: a factory producing the same signature passes and runs.
+    let good = build(SupervisorPolicy::replace(1, || {
+        Box::new(lambda_sink(|_: i64| {}))
+    }));
+    assert!(
+        !good.check().iter().any(|d| d.code == "RC0010"),
+        "{:?}",
+        good.check()
+    );
+    good.exe().unwrap();
+}
+
+/// RC0010: Restart on a kernel that cannot produce a clean replica warns;
+/// Skip feeding a multi-input merge warns about partial results.
+#[test]
+fn rc0010_warns_on_restart_without_replica_and_skip_before_merge() {
+    let mut map = RaftMap::new();
+    let src = map.add(Src);
+    let sink = map.add(Sink);
+    map.link(src, "out", sink, "in").unwrap();
+    map.supervise(sink, SupervisorPolicy::restart(2));
+    let diags = map.check();
+    let rc10 = diags.iter().find(|d| d.code == "RC0010").unwrap();
+    assert_eq!(rc10.severity, Severity::Warn);
+    assert!(rc10.message.contains("Restart"), "{}", rc10.message);
+    // Warnings alone do not block execution.
+    assert!(!diags.iter().any(|d| d.is_error()), "{diags:?}");
+
+    // Skip upstream of a 2-input merge.
+    struct Merge;
+    impl Kernel for Merge {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new()
+                .input::<i64>("a")
+                .input::<i64>("b")
+                .output::<i64>("out")
+        }
+        fn run(&mut self, _ctx: &Context) -> KStatus {
+            KStatus::Stop
+        }
+    }
+    let mut map = RaftMap::new();
+    let s1 = map.add(lambda_source(|| None::<i64>));
+    let s2 = map.add(lambda_source(|| None::<i64>));
+    let merge = map.add(Merge);
+    let sink = map.add(lambda_sink(|_: i64| {}));
+    map.link(s1, "0", merge, "a").unwrap();
+    map.link(s2, "0", merge, "b").unwrap();
+    map.link(merge, "out", sink, "0").unwrap();
+    map.supervise(s1, SupervisorPolicy::Skip);
+    let diags = map.check();
+    let skip = diags
+        .iter()
+        .find(|d| d.code == "RC0010" && d.message.contains("Skip"))
+        .unwrap();
+    assert!(skip.message.contains("partial results"), "{}", skip.message);
+}
+
+#[test]
 fn capacity_lint_warns_on_overloaded_stream() {
     let mut map = RaftMap::new();
     let src = map.add(Src);
@@ -206,11 +406,10 @@ fn capacity_lint_warns_on_overloaded_stream() {
     let cap = diags.iter().find(|d| d.code == "RC0007").unwrap();
     assert_eq!(cap.severity, Severity::Warn);
     assert!(cap.message.contains("blocking"), "{}", cap.message);
-    assert!(
-        cap.message.contains("no finite capacity"),
-        "{}",
-        cap.message
-    );
+    // The actionable suggestion rides on the help: line.
+    let help = cap.help.as_deref().unwrap_or_default();
+    assert!(help.contains("no finite capacity"), "{help}");
+    assert!(cap.to_string().contains("help:"), "{cap}");
     // A warning alone must not block execution.
     assert!(!diags.iter().any(|d| d.is_error()), "{diags:?}");
 }
