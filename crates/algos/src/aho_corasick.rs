@@ -193,9 +193,18 @@ mod tests {
         assert_eq!(
             found,
             vec![
-                Match { offset: 1, pattern: 1 }, // she
-                Match { offset: 2, pattern: 0 }, // he
-                Match { offset: 2, pattern: 3 }, // hers
+                Match {
+                    offset: 1,
+                    pattern: 1
+                }, // she
+                Match {
+                    offset: 2,
+                    pattern: 0
+                }, // he
+                Match {
+                    offset: 2,
+                    pattern: 3
+                }, // hers
             ]
         );
     }

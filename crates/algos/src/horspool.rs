@@ -91,7 +91,10 @@ mod tests {
     fn single_byte_pattern() {
         let h = Horspool::new("a");
         assert_eq!(
-            h.find_all(b"banana").iter().map(|m| m.offset).collect::<Vec<_>>(),
+            h.find_all(b"banana")
+                .iter()
+                .map(|m| m.offset)
+                .collect::<Vec<_>>(),
             vec![1, 3, 5]
         );
     }

@@ -20,6 +20,11 @@
 //! * [`corpus`] — seeded synthetic text generation (Zipf-weighted word
 //!   model with planted pattern occurrences), substituting for the paper's
 //!   30 GB Stack Overflow post-history dump.
+//!
+//! The byte scanners dispatch their inner skip loops through [`simd`] —
+//! runtime-selected AVX2 / SSE2 / scalar tiers (`RAFT_SIMD` forces one for
+//! A/B runs). Every tier returns byte-identical matches; only the speed of
+//! the hunt differs.
 
 pub mod aho_corasick;
 pub mod boyer_moore;
@@ -29,12 +34,14 @@ pub mod matmul;
 pub mod memmem;
 pub mod naive;
 pub mod rabin_karp;
+pub mod simd;
 
 pub use aho_corasick::AhoCorasick;
 pub use boyer_moore::BoyerMoore;
 pub use horspool::Horspool;
 pub use memmem::MemMem;
 pub use rabin_karp::RabinKarp;
+pub use simd::SimdTier;
 
 /// A match: byte offset (within the logical, possibly chunked, stream) where
 /// a pattern occurrence starts, plus which pattern matched.

@@ -7,15 +7,13 @@
 //! around it, so fidelity of the pipeline matters more than GEMM peak.
 
 /// A square row-major `f32` matrix.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     /// Dimension (rows == cols == n).
     pub n: usize,
     /// Row-major data, length `n * n`.
     pub data: Vec<f32>,
 }
-
 
 impl Matrix {
     /// Zero matrix of dimension `n`.

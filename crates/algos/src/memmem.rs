@@ -1,12 +1,16 @@
 //! Grep-class single-pattern scanner.
 //!
 //! Stands in for GNU grep's core loop in the Figure 10 comparison: a
-//! `memchr`-style skip loop on the pattern's rarest byte, followed by a
-//! Horspool verification window. GNU grep's 20-years-optimized scanner hits
-//! ~1.2 GB/s single-threaded on the paper's machine; this design has the
-//! same structure (byte-skip + window verify) and the same property the
-//! figure illustrates — extremely fast on one core, parallelized only
-//! coarsely by the chunk dispatcher that models GNU Parallel.
+//! `memchr`-style skip on the pattern's rarest byte, followed by a full
+//! verification window. The skip is a vectorized byte hunt
+//! ([`crate::simd::find_byte_from`], AVX2/SSE2/scalar picked at runtime):
+//! the scanner leaps straight to the next place the rare byte occurs at its
+//! expected offset, processing 32 haystack bytes per instruction between
+//! candidates. GNU grep's 20-years-optimized scanner hits ~1.2 GB/s
+//! single-threaded on the paper's machine; this design has the same
+//! structure (byte-skip + window verify) and the same property the figure
+//! illustrates — extremely fast on one core, parallelized only coarsely by
+//! the chunk dispatcher that models GNU Parallel.
 
 use crate::{Match, Matcher};
 
@@ -65,8 +69,6 @@ pub struct MemMem {
     rare_idx: usize,
     /// The rarest byte itself.
     rare_byte: u8,
-    /// Horspool shift table for the verification fallback.
-    shift: [usize; 256],
 }
 
 impl MemMem {
@@ -74,7 +76,6 @@ impl MemMem {
     pub fn new(pattern: impl AsRef<[u8]>) -> Self {
         let pattern = pattern.as_ref().to_vec();
         assert!(!pattern.is_empty(), "empty patterns are not searchable");
-        let m = pattern.len();
         let rare_idx = pattern
             .iter()
             .enumerate()
@@ -82,15 +83,10 @@ impl MemMem {
             .map(|(i, _)| i)
             .unwrap();
         let rare_byte = pattern[rare_idx];
-        let mut shift = [m; 256];
-        for (i, &b) in pattern[..m - 1].iter().enumerate() {
-            shift[b as usize] = m - 1 - i;
-        }
         MemMem {
             pattern,
             rare_idx,
             rare_byte,
-            shift,
         }
     }
 
@@ -117,29 +113,32 @@ impl MemMem {
         None
     }
 
-    /// One skip-loop step from window position `i`; shared by
-    /// `find_first` and `find_into`.
+    /// One skip step from window position `i`; shared by `find_first` and
+    /// `find_into`. Every true match at `start` has `rare_byte` at
+    /// `start + rare_idx`, so leaping to the next occurrence of the rare
+    /// byte (vectorized) can never skip one; a failed verify resumes one
+    /// past the candidate, which keeps overlapping matches intact.
     #[inline]
     fn scan_one(&self, hay: &[u8], i: usize) -> ScanStep {
         let m = self.pattern.len();
         let n = hay.len();
-        // Skip loop: hunt for the rare byte at its expected offset.
-        let mut i = i;
-        loop {
-            if i + m > n {
-                return ScanStep::Done;
-            }
-            let probe = i + self.rare_idx;
-            if hay[probe] == self.rare_byte {
-                break;
-            }
-            // Horspool shift keyed on the window's last byte.
-            i += self.shift[hay[i + m - 1] as usize];
+        if i + m > n {
+            return ScanStep::Done;
         }
-        if hay[i..i + m] == self.pattern[..] {
-            ScanStep::Match(i)
-        } else {
-            ScanStep::Continue(i + self.shift[hay[i + m - 1] as usize])
+        // The last valid window starts at n - m, so its rare byte sits at
+        // n - m + rare_idx; cap the hunt there — a hit past it could not
+        // belong to any in-bounds window.
+        let search_end = n - m + self.rare_idx + 1;
+        match crate::simd::find_byte_from(&hay[..search_end], i + self.rare_idx, self.rare_byte) {
+            Some(probe) => {
+                let start = probe - self.rare_idx;
+                if hay[start..start + m] == self.pattern[..] {
+                    ScanStep::Match(start)
+                } else {
+                    ScanStep::Continue(start + 1)
+                }
+            }
+            None => ScanStep::Done,
         }
     }
 }
@@ -187,7 +186,10 @@ mod tests {
     #[test]
     fn agrees_with_naive() {
         for (hay, pat) in [
-            (&b"the quick brown fox jumps over the lazy dog"[..], &b"the"[..]),
+            (
+                &b"the quick brown fox jumps over the lazy dog"[..],
+                &b"the"[..],
+            ),
             (b"aaaaaa", b"aa"),
             (b"zzzzzz", b"zz"),
             (b"abcabcabc", b"cab"),
@@ -228,5 +230,54 @@ mod tests {
         let mm = MemMem::new("qq");
         let offs: Vec<u64> = mm.find_all(b"qqqq").iter().map(|m| m.offset).collect();
         assert_eq!(offs, vec![0, 1, 2]);
+    }
+
+    /// Long haystacks with matches planted around the 16/32-byte vector
+    /// boundaries the skip loop processes per step.
+    #[test]
+    fn agrees_with_naive_across_vector_boundaries() {
+        // Deterministic pseudo-random filler over a tiny alphabet so false
+        // candidates (rare byte present, full window absent) are common.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for pat in [&b"qz"[..], b"abcq", b"qqq", b"a"] {
+            for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 500] {
+                let mut hay: Vec<u8> = (0..len).map(|_| b"abq"[(next() % 3) as usize]).collect();
+                // plant an occurrence butting against the end
+                if len >= pat.len() {
+                    let at = len - pat.len();
+                    hay[at..].copy_from_slice(pat);
+                }
+                let mm = MemMem::new(pat);
+                let n = Naive::new(&[pat]);
+                assert_eq!(
+                    mm.find_all(&hay),
+                    n.find_all(&hay),
+                    "len={} pat={:?}",
+                    len,
+                    std::str::from_utf8(pat)
+                );
+            }
+        }
+    }
+
+    /// Chunk-ownership (`min_end`) semantics survive the vectorized skip.
+    #[test]
+    fn min_end_agrees_with_naive() {
+        let hay = b"ababab ababab";
+        let mm = MemMem::new("abab");
+        let n = Naive::new(&[&b"abab"[..]]);
+        for min_end in 0..hay.len() + 2 {
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            mm.find_into(hay, 7, min_end, &mut got);
+            n.find_into(hay, 7, min_end, &mut want);
+            assert_eq!(got, want, "min_end={min_end}");
+        }
     }
 }

@@ -30,6 +30,31 @@ impl Matcher for Naive {
     }
 
     fn find_into(&self, hay: &[u8], base: u64, min_end: usize, out: &mut Vec<Match>) {
+        if let [pat] = self.patterns.as_slice() {
+            // Single-pattern: leap between occurrences of the pattern's
+            // first byte (vectorized) instead of probing every start.
+            // Candidates arrive in ascending start order, so the output is
+            // identical to the generic loop below.
+            let m = pat.len();
+            if hay.len() < m {
+                return;
+            }
+            let mut from = 0usize;
+            while let Some(start) =
+                crate::simd::find_byte_from(&hay[..hay.len() - m + 1], from, pat[0])
+            {
+                if start + m > min_end && hay[start..start + m] == pat[..] {
+                    out.push(Match {
+                        offset: base + start as u64,
+                        pattern: 0,
+                    });
+                }
+                from = start + 1;
+            }
+            return;
+        }
+        // Multi-pattern: the deliberately plain loop property tests treat
+        // as ground truth.
         for start in 0..hay.len() {
             for (pi, pat) in self.patterns.iter().enumerate() {
                 if start + pat.len() > min_end && hay[start..].starts_with(pat) {
@@ -62,9 +87,18 @@ mod tests {
         let m = Naive::new(&["ab", "ba"]);
         let found = m.find_all(b"abab");
         assert_eq!(found.len(), 3);
-        assert!(found.contains(&Match { offset: 0, pattern: 0 }));
-        assert!(found.contains(&Match { offset: 1, pattern: 1 }));
-        assert!(found.contains(&Match { offset: 2, pattern: 0 }));
+        assert!(found.contains(&Match {
+            offset: 0,
+            pattern: 0
+        }));
+        assert!(found.contains(&Match {
+            offset: 1,
+            pattern: 1
+        }));
+        assert!(found.contains(&Match {
+            offset: 2,
+            pattern: 0
+        }));
     }
 
     #[test]
@@ -74,12 +108,47 @@ mod tests {
         // min_end = 2: the match ending exactly at 2 is suppressed (owned by
         // the previous chunk), the one ending at 4 is reported.
         m.find_into(b"abab", 100, 2, &mut out);
-        assert_eq!(out, vec![Match { offset: 102, pattern: 0 }]);
+        assert_eq!(
+            out,
+            vec![Match {
+                offset: 102,
+                pattern: 0
+            }]
+        );
     }
 
     #[test]
     #[should_panic(expected = "empty patterns")]
     fn rejects_empty_pattern() {
         Naive::new(&[""]);
+    }
+
+    /// The vectorized single-pattern path must report exactly what the
+    /// generic loop reports. Adding a second pattern that cannot occur
+    /// forces the generic loop, so the two configurations are comparable.
+    #[test]
+    fn single_pattern_path_agrees_with_generic_loop() {
+        let absent = [0xFEu8, 0xFD];
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for pat in [&b"ab"[..], b"aaa", b"ba", b"b"] {
+            for len in [0usize, 1, 16, 17, 32, 33, 64, 65, 300] {
+                let hay: Vec<u8> = (0..len).map(|_| b"ab"[(next() % 2) as usize]).collect();
+                let fast = Naive::new(&[pat]);
+                let generic = Naive::new(&[pat, &absent[..]]);
+                for min_end in [0usize, 1, len / 2] {
+                    let mut got = Vec::new();
+                    let mut want = Vec::new();
+                    fast.find_into(&hay, 3, min_end, &mut got);
+                    generic.find_into(&hay, 3, min_end, &mut want);
+                    assert_eq!(got, want, "len={} pat={:?} min_end={}", len, pat, min_end);
+                }
+            }
+        }
     }
 }

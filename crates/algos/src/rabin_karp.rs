@@ -175,7 +175,12 @@ mod tests {
         whole.sort();
         let mut chunked = Vec::new();
         for c in split_chunks(hay.len(), 5, rk.overlap()) {
-            rk.find_into(&hay[c.start..c.end], c.start as u64, c.min_end, &mut chunked);
+            rk.find_into(
+                &hay[c.start..c.end],
+                c.start as u64,
+                c.min_end,
+                &mut chunked,
+            );
         }
         chunked.sort();
         assert_eq!(whole, chunked);

@@ -1,0 +1,337 @@
+//! Runtime-dispatched SIMD byte primitives.
+//!
+//! The scanners in this crate spend most of their cycles answering one
+//! question: *where is the next occurrence of byte `b`?* This module
+//! answers it with the widest instruction set the running CPU actually
+//! has, picked once at startup:
+//!
+//! | tier | width | selected when |
+//! |---|---|---|
+//! | `Avx2` | 32 bytes/step | `is_x86_feature_detected!("avx2")` |
+//! | `Sse2` | 16 bytes/step | x86-64 (SSE2 is baseline) |
+//! | `Scalar` | 1 byte/step | everything else |
+//!
+//! Dispatch is *runtime*, not compile-time: the same binary runs the AVX2
+//! loop on machines that have it and falls back elsewhere. Every tier
+//! computes byte-identical results — the SIMD paths only accelerate the
+//! *search*, never change what is found — and the tests force each tier in
+//! turn to prove it.
+//!
+//! Set `RAFT_SIMD=scalar|sse2|avx2` to force a tier (clamped to what the
+//! CPU supports); useful for A/B benchmarks and for CI legs that must
+//! exercise the fallback loops.
+
+use std::sync::OnceLock;
+
+/// Instruction-set tier selected for byte scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Portable scalar loop; always available.
+    Scalar,
+    /// 16-byte SSE2 loop (baseline on x86-64).
+    Sse2,
+    /// 32-byte AVX2 loop.
+    Avx2,
+}
+
+impl SimdTier {
+    /// Lowercase name, matching the `RAFT_SIMD` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Widest tier the running CPU supports.
+fn detected_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdTier::Avx2;
+        }
+        SimdTier::Sse2
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdTier::Scalar
+    }
+}
+
+fn resolve_tier() -> SimdTier {
+    let detected = detected_tier();
+    let forced = match std::env::var("RAFT_SIMD").ok().as_deref() {
+        Some("scalar") => Some(SimdTier::Scalar),
+        Some("sse2") => Some(SimdTier::Sse2),
+        Some("avx2") => Some(SimdTier::Avx2),
+        _ => None,
+    };
+    match forced {
+        // A forced tier is clamped to what the CPU can actually run.
+        Some(t) => t.min(detected),
+        None => detected,
+    }
+}
+
+/// The tier all scans in this process use. Detected once (honouring
+/// `RAFT_SIMD`) and cached.
+pub fn active_tier() -> SimdTier {
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(resolve_tier)
+}
+
+/// Offset of the first occurrence of `needle` in `hay`.
+pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    find_byte_tier(hay, needle, active_tier())
+}
+
+/// Offset of the first occurrence of `needle` at position `>= from`.
+/// Returns `None` when `from` is out of range.
+pub fn find_byte_from(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    find_byte(&hay[from..], needle).map(|p| from + p)
+}
+
+/// Number of occurrences of `needle` in `hay`.
+pub fn count_byte(hay: &[u8], needle: u8) -> usize {
+    count_byte_tier(hay, needle, active_tier())
+}
+
+fn find_byte_tier(hay: &[u8], needle: u8, tier: SimdTier) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match tier {
+            // SAFETY: `active_tier()`/the tests only select Avx2 after
+            // runtime detection confirmed the CPU supports it.
+            SimdTier::Avx2 => return unsafe { x86::find_byte_avx2(hay, needle) },
+            // SAFETY: SSE2 is part of the x86-64 baseline.
+            SimdTier::Sse2 => return unsafe { x86::find_byte_sse2(hay, needle) },
+            SimdTier::Scalar => {}
+        }
+    }
+    let _ = tier;
+    find_byte_scalar(hay, needle)
+}
+
+fn count_byte_tier(hay: &[u8], needle: u8, tier: SimdTier) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match tier {
+            // SAFETY: `active_tier()`/the tests only select Avx2 after
+            // runtime detection confirmed the CPU supports it.
+            SimdTier::Avx2 => return unsafe { x86::count_byte_avx2(hay, needle) },
+            // SAFETY: SSE2 is part of the x86-64 baseline.
+            SimdTier::Sse2 => return unsafe { x86::count_byte_sse2(hay, needle) },
+            SimdTier::Scalar => {}
+        }
+    }
+    let _ = tier;
+    count_byte_scalar(hay, needle)
+}
+
+fn find_byte_scalar(hay: &[u8], needle: u8) -> Option<usize> {
+    hay.iter().position(|&b| b == needle)
+}
+
+fn count_byte_scalar(hay: &[u8], needle: u8) -> usize {
+    hay.iter().filter(|&&b| b == needle).count()
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The vector loops. Each processes full vector-width blocks with
+    //! unaligned loads + byte-equality compare + movemask, then hands the
+    //! tail to the scalar loop. `#[target_feature]` makes the functions
+    //! `unsafe fn`s: callers must have verified the feature at runtime.
+
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn find_byte_avx2(hay: &[u8], needle: u8) -> Option<usize> {
+        let n = hay.len();
+        let ptr = hay.as_ptr();
+        // SAFETY: every load reads 32 bytes at `ptr + i` with
+        // `i + 32 <= n`, staying inside `hay`; loadu has no alignment
+        // requirement; AVX2 availability is the caller's obligation.
+        unsafe {
+            let needle_v = _mm256_set1_epi8(needle as i8);
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let chunk = _mm256_loadu_si256(ptr.add(i).cast());
+                let eq = _mm256_cmpeq_epi8(chunk, needle_v);
+                let mask = _mm256_movemask_epi8(eq) as u32;
+                if mask != 0 {
+                    return Some(i + mask.trailing_zeros() as usize);
+                }
+                i += 32;
+            }
+            super::find_byte_scalar(&hay[i..], needle).map(|p| i + p)
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn find_byte_sse2(hay: &[u8], needle: u8) -> Option<usize> {
+        let n = hay.len();
+        let ptr = hay.as_ptr();
+        // SAFETY: every load reads 16 bytes at `ptr + i` with
+        // `i + 16 <= n`, staying inside `hay`; loadu has no alignment
+        // requirement; SSE2 is baseline on x86-64.
+        unsafe {
+            let needle_v = _mm_set1_epi8(needle as i8);
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let chunk = _mm_loadu_si128(ptr.add(i).cast());
+                let eq = _mm_cmpeq_epi8(chunk, needle_v);
+                let mask = _mm_movemask_epi8(eq) as u32;
+                if mask != 0 {
+                    return Some(i + mask.trailing_zeros() as usize);
+                }
+                i += 16;
+            }
+            super::find_byte_scalar(&hay[i..], needle).map(|p| i + p)
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn count_byte_avx2(hay: &[u8], needle: u8) -> usize {
+        let n = hay.len();
+        let ptr = hay.as_ptr();
+        // SAFETY: in-bounds unaligned 32-byte loads as in
+        // `find_byte_avx2`; AVX2 availability is the caller's obligation.
+        unsafe {
+            let needle_v = _mm256_set1_epi8(needle as i8);
+            let mut total = 0usize;
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let chunk = _mm256_loadu_si256(ptr.add(i).cast());
+                let eq = _mm256_cmpeq_epi8(chunk, needle_v);
+                let mask = _mm256_movemask_epi8(eq) as u32;
+                total += mask.count_ones() as usize;
+                i += 32;
+            }
+            total + super::count_byte_scalar(&hay[i..], needle)
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn count_byte_sse2(hay: &[u8], needle: u8) -> usize {
+        let n = hay.len();
+        let ptr = hay.as_ptr();
+        // SAFETY: in-bounds unaligned 16-byte loads as in
+        // `find_byte_sse2`; SSE2 is baseline on x86-64.
+        unsafe {
+            let needle_v = _mm_set1_epi8(needle as i8);
+            let mut total = 0usize;
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let chunk = _mm_loadu_si128(ptr.add(i).cast());
+                let eq = _mm_cmpeq_epi8(chunk, needle_v);
+                let mask = _mm_movemask_epi8(eq) as u32;
+                total += mask.count_ones() as usize;
+                i += 16;
+            }
+            total + super::count_byte_scalar(&hay[i..], needle)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every tier the current CPU can actually run.
+    fn runnable_tiers() -> Vec<SimdTier> {
+        [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2]
+            .into_iter()
+            .filter(|&t| t <= detected_tier())
+            .collect()
+    }
+
+    fn cases() -> Vec<(Vec<u8>, u8)> {
+        let mut cases = vec![
+            (Vec::new(), b'x'),
+            (b"a".to_vec(), b'a'),
+            (b"a".to_vec(), b'b'),
+            (vec![0u8; 100], 0),
+            (vec![7u8; 1000], 9),
+        ];
+        // Needle planted at every offset around the vector-width
+        // boundaries (15/16/17, 31/32/33, tails).
+        for len in [15usize, 16, 17, 31, 32, 33, 63, 64, 65, 100, 257] {
+            for pos in [0usize, 1, len / 2, len - 1] {
+                let mut hay = vec![b'.'; len];
+                hay[pos] = b'#';
+                cases.push((hay, b'#'));
+            }
+            // multiple occurrences
+            let hay: Vec<u8> = (0..len)
+                .map(|i| if i % 3 == 0 { b'#' } else { b'.' })
+                .collect();
+            cases.push((hay, b'#'));
+            // absent
+            cases.push((vec![b'.'; len], b'#'));
+        }
+        cases
+    }
+
+    #[test]
+    fn all_tiers_agree_on_find_byte() {
+        for (hay, needle) in cases() {
+            let want = find_byte_scalar(&hay, needle);
+            for tier in runnable_tiers() {
+                assert_eq!(
+                    find_byte_tier(&hay, needle, tier),
+                    want,
+                    "tier {:?} diverged on len {} needle {}",
+                    tier,
+                    hay.len(),
+                    needle
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_tiers_agree_on_count_byte() {
+        for (hay, needle) in cases() {
+            let want = count_byte_scalar(&hay, needle);
+            for tier in runnable_tiers() {
+                assert_eq!(
+                    count_byte_tier(&hay, needle, tier),
+                    want,
+                    "tier {:?} diverged on len {} needle {}",
+                    tier,
+                    hay.len(),
+                    needle
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_byte_from_offsets_are_absolute() {
+        let hay = b"....#....#....";
+        assert_eq!(find_byte_from(hay, 0, b'#'), Some(4));
+        assert_eq!(find_byte_from(hay, 4, b'#'), Some(4));
+        assert_eq!(find_byte_from(hay, 5, b'#'), Some(9));
+        assert_eq!(find_byte_from(hay, 10, b'#'), None);
+        assert_eq!(find_byte_from(hay, hay.len(), b'#'), None);
+        assert_eq!(find_byte_from(hay, hay.len() + 5, b'#'), None);
+    }
+
+    #[test]
+    fn active_tier_is_runnable() {
+        assert!(active_tier() <= detected_tier());
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        assert_eq!(SimdTier::Scalar.name(), "scalar");
+        assert_eq!(SimdTier::Sse2.name(), "sse2");
+        assert_eq!(SimdTier::Avx2.name(), "avx2");
+    }
+}

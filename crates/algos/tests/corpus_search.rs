@@ -46,7 +46,12 @@ fn chunked_parallel_scan_matches_ground_truth() {
         for n_chunks in [2usize, 7, 32] {
             let mut found = Vec::new();
             for ch in split_chunks(c.data.len(), n_chunks, m.overlap()) {
-                m.find_into(&c.data[ch.start..ch.end], ch.start as u64, ch.min_end, &mut found);
+                m.find_into(
+                    &c.data[ch.start..ch.end],
+                    ch.start as u64,
+                    ch.min_end,
+                    &mut found,
+                );
             }
             found.sort_unstable();
             let offs: Vec<u64> = found.iter().map(|f| f.offset).collect();

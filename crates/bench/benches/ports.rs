@@ -1,65 +1,47 @@
-//  Config structs are assembled field-by-field in tests/benches for clarity.
-#![allow(clippy::field_reassign_with_default)]
 //! Per-item overhead of the full runtime path: kernel `run()` dispatch +
 //! typed port access + FIFO hop, measured end-to-end through small
-//! pipelines of increasing depth.
+//! pipelines of increasing depth — each depth both unfused (one FIFO hop
+//! per stage) and fused (the map chain collapsed into one batch-executed
+//! kernel by the fusion pass).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
-use raft_bench::jsonout::JsonReport;
-use raft_kernels::{Count, Generate, Map};
-use raftlib::prelude::*;
-
-const ITEMS: u64 = 100_000;
-
-fn pipeline(depth: usize) -> std::time::Duration {
-    let mut cfg = MapConfig::default();
-    cfg.monitor = MonitorConfig::disabled();
-    cfg.fifo = FifoConfig::fixed(1024);
-    let mut map = RaftMap::with_config(cfg);
-    let src = map.add(Generate::new(0..ITEMS).with_batch(512));
-    let mut prev = src;
-    for _ in 0..depth {
-        let stage = map.add(Map::new(|x: u64| x.wrapping_add(1)));
-        map.connect(prev, stage).unwrap();
-        prev = stage;
-    }
-    let (count, n) = Count::<u64>::new();
-    let sink = map.add(count);
-    map.connect(prev, sink).unwrap();
-    let report = map.exe().unwrap();
-    assert_eq!(n.load(std::sync::atomic::Ordering::Relaxed), ITEMS);
-    report.elapsed
-}
+use raft_bench::pipelines::{
+    assert_fusion_wins, depth_pipeline, ports_json_series, DEPTH_FUSION_BATCH, DEPTH_ITEMS,
+};
 
 fn bench_ports(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline_depth");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(ITEMS));
+    g.throughput(Throughput::Elements(DEPTH_ITEMS));
     for depth in [0usize, 1, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            b.iter(|| pipeline(d));
+        g.bench_with_input(BenchmarkId::new("unfused", depth), &depth, |b, &d| {
+            b.iter(|| depth_pipeline(d, false, DEPTH_FUSION_BATCH));
+        });
+        g.bench_with_input(BenchmarkId::new("fused", depth), &depth, |b, &d| {
+            b.iter(|| depth_pipeline(d, true, DEPTH_FUSION_BATCH));
         });
     }
     g.finish();
 }
 
-/// `--json` mode: run each pipeline depth a few times, keep the best
-/// (least-noisy) end-to-end rate, and record `BENCH_ports.json` at the
-/// repo root (previous results carried forward as `baseline`).
-fn json_mode() {
-    let mut report = JsonReport::new("ports");
-    for depth in [0usize, 1, 2, 4] {
-        // warm-up run, then keep the fastest of a few measured runs
-        let _ = pipeline(depth);
-        let best = (0..3)
-            .map(|_| pipeline(depth))
-            .min()
-            .expect("at least one run");
-        let rate = ITEMS as f64 / best.as_secs_f64() / 1e6;
-        report.push(format!("pipeline_depth_{depth}_melems_per_s"), rate);
+/// `--json` mode: run the depth series (fused and unfused), record
+/// `BENCH_ports.json` at the repo root (previous results carried forward
+/// as `baseline`). With `--assert-fusion`, exit nonzero if the fused
+/// series loses to the unfused one at any depth ≥ 2 — the CI gate on the
+/// fusion pass.
+fn json_mode(assert_fusion: bool) {
+    let (path, rows) = ports_json_series().expect("write BENCH_ports.json");
+    for &(depth, unfused, fused) in &rows {
+        println!("depth {depth}: unfused {unfused:.3} Melem/s, fused {fused:.3} Melem/s");
     }
-    let path = report.write().expect("write BENCH_ports.json");
     println!("wrote {}", path.display());
+    if assert_fusion {
+        if let Err(msg) = assert_fusion_wins(&rows) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        println!("fusion gate passed: fused >= unfused at every depth >= 2");
+    }
 }
 
 criterion_group! {
@@ -73,8 +55,9 @@ criterion_group! {
 fn main() {
     // `--json` bypasses criterion (which rejects unknown flags) and does a
     // plain wall-clock run; anything else goes through criterion as usual.
-    if std::env::args().any(|a| a == "--json") {
-        json_mode();
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--json") {
+        json_mode(args.iter().any(|a| a == "--assert-fusion"));
         return;
     }
     benches();

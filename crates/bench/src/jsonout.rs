@@ -36,11 +36,17 @@ impl JsonReport {
     }
 
     /// Repo-root path of this report's output file (`BENCH_<bench>.json`).
+    /// `RAFT_BENCH_DIR` overrides the directory (for CI and sandboxed
+    /// runs that execute the harness from elsewhere).
     pub fn path(&self) -> PathBuf {
-        // crates/bench/ → repo root is two levels up.
-        Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(format!("BENCH_{}.json", self.bench))
+        let file = format!("BENCH_{}.json", self.bench);
+        match std::env::var_os("RAFT_BENCH_DIR") {
+            Some(dir) => PathBuf::from(dir).join(file),
+            // crates/bench/ → repo root is two levels up.
+            None => Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(file),
+        }
     }
 
     /// Write the report, demoting any existing file's `results` to

@@ -56,6 +56,96 @@ pub fn search_matcher(kind: &str, needle: &[u8]) -> Arc<dyn Matcher> {
     }
 }
 
+/// Items pushed through the `ports` depth-series pipeline.
+pub const DEPTH_ITEMS: u64 = 100_000;
+
+/// Batch size the fused depth series runs with; recorded in the JSON
+/// report so the file is self-describing.
+pub const DEPTH_FUSION_BATCH: usize = 512;
+
+/// The `ports` depth-series pipeline: `Generate → Map×depth → Count`, all
+/// queues fixed at 1024 elements, monitor off — the per-hop overhead
+/// microbenchmark. `fusion` selects whether the map chain is collapsed by
+/// the fusion pass, so fused and unfused runs are measured in the same
+/// process on the same build. Returns the end-to-end wall time.
+pub fn depth_pipeline(depth: usize, fusion: bool, batch: usize) -> std::time::Duration {
+    let cfg = MapConfig {
+        monitor: MonitorConfig::disabled(),
+        fifo: FifoConfig::fixed(1024),
+        ..Default::default()
+    };
+    let mut map = RaftMap::with_config(cfg);
+    let src = map.add(Generate::new(0..DEPTH_ITEMS).with_batch(512));
+    let mut prev = src;
+    for _ in 0..depth {
+        let stage = map.add(Map::new(|x: u64| x.wrapping_add(1)));
+        map.connect(prev, stage).expect("link stage");
+        prev = stage;
+    }
+    let (count, n) = Count::<u64>::new();
+    let sink = map.add(count);
+    map.connect(prev, sink).expect("link sink");
+    let report = map
+        .exe_opts(ExeOpts {
+            fusion: Some(fusion),
+            fusion_batch: Some(batch),
+            deadline: None,
+        })
+        .expect("depth pipeline run");
+    assert_eq!(n.load(std::sync::atomic::Ordering::Relaxed), DEPTH_ITEMS);
+    if fusion && depth >= 2 {
+        assert_eq!(
+            report.fused.len(),
+            1,
+            "depth {depth}: map chain should fuse"
+        );
+    }
+    report.elapsed
+}
+
+/// One row of the depth series: `(depth, unfused Melem/s, fused Melem/s)`.
+pub type DepthRow = (usize, f64, f64);
+
+/// The depth series behind `BENCH_ports.json`: measures every depth both
+/// unfused and fused (best of three after a warm-up run), writes the
+/// report, and returns `(path, rows)`.
+pub fn ports_json_series() -> std::io::Result<(std::path::PathBuf, Vec<DepthRow>)> {
+    let mut report = crate::jsonout::JsonReport::new("ports");
+    report.push("fusion_batch", DEPTH_FUSION_BATCH as f64);
+    let mut rows = Vec::new();
+    for depth in [0usize, 1, 2, 4] {
+        let rate = |fused: bool| {
+            let _ = depth_pipeline(depth, fused, DEPTH_FUSION_BATCH); // warm-up
+            let best = (0..3)
+                .map(|_| depth_pipeline(depth, fused, DEPTH_FUSION_BATCH))
+                .min()
+                .expect("at least one run");
+            DEPTH_ITEMS as f64 / best.as_secs_f64() / 1e6
+        };
+        let unfused = rate(false);
+        let fused = rate(true);
+        report.push(format!("pipeline_depth_{depth}_melems_per_s"), unfused);
+        report.push(format!("pipeline_depth_{depth}_fused_melems_per_s"), fused);
+        rows.push((depth, unfused, fused));
+    }
+    let path = report.write()?;
+    Ok((path, rows))
+}
+
+/// CI gate for the fusion pass: at every depth ≥ 2 (the depths where a
+/// fusable chain exists) the fused series must not lose to the unfused
+/// one measured in the same run.
+pub fn assert_fusion_wins(rows: &[(usize, f64, f64)]) -> Result<(), String> {
+    for &(depth, unfused, fused) in rows {
+        if depth >= 2 && fused < unfused {
+            return Err(format!(
+                "fusion regressed at depth {depth}: fused {fused:.3} < unfused {unfused:.3} Melem/s"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Figure 4 pipeline: generate matrix pairs → multiply → count, all queues
 /// fixed to `capacity` elements (resizing disabled: the experiment measures
 /// the effect of the static size). Returns the wall time.
@@ -108,5 +198,22 @@ mod tests {
     fn matmul_pipeline_runs() {
         let dt = matmul_pipeline(8, 16, 4);
         assert!(dt.as_nanos() > 0);
+    }
+
+    #[test]
+    fn depth_pipeline_runs_fused_and_unfused() {
+        // the fused run's internal assertions check the chain actually
+        // collapsed and the count still lands
+        assert!(depth_pipeline(2, false, 512).as_nanos() > 0);
+        assert!(depth_pipeline(2, true, 512).as_nanos() > 0);
+        assert!(depth_pipeline(0, true, 512).as_nanos() > 0);
+    }
+
+    #[test]
+    fn assert_fusion_wins_flags_regressions() {
+        assert!(assert_fusion_wins(&[(2, 1.0, 5.0), (4, 1.0, 9.0)]).is_ok());
+        // depth < 2 has no fusable chain; never gated
+        assert!(assert_fusion_wins(&[(0, 5.0, 4.0)]).is_ok());
+        assert!(assert_fusion_wins(&[(2, 5.0, 4.0)]).is_err());
     }
 }

@@ -289,6 +289,45 @@ fn golden_rc0009_replication_safety() {
 }
 
 #[test]
+fn golden_rc0011_fusion() {
+    struct FMap;
+    impl Kernel for FMap {
+        fn ports(&self) -> PortSpec {
+            PortSpec::new().input::<u32>("in").output::<u32>("out")
+        }
+        fn run(&mut self, _ctx: &Context) -> KStatus {
+            KStatus::Stop
+        }
+        fn is_stateless(&self) -> bool {
+            true
+        }
+        fn is_fusable(&self) -> bool {
+            true
+        }
+        fn batch_stage(&mut self) -> Option<Box<dyn crate::kernel::ErasedBatchStage>> {
+            Some(crate::kernel::per_element("fmap", |v: u32| v))
+        }
+    }
+    let mut m = RaftMap::new();
+    let src = m.add(Src);
+    let a = m.add(FMap);
+    let b = m.add(FMap);
+    let sink = m.add(Sink);
+    m.link(src, "out", a, "in").unwrap();
+    m.link(a, "out", b, "in").unwrap();
+    m.link(b, "out", sink, "in").unwrap();
+    let d = find(&m.check(), "RC0011");
+    assert_eq!(
+        d.to_string(),
+        "info[RC0011] fusion: kernels FMap#1 -> FMap#2 fuse into one \
+         batch-executed kernel, eliminating 1 interior stream(s) and their \
+         scheduler hops; the fused group restarts as a unit\n    help: \
+         disable via MapConfig::fusion, RaftMap::exe_opts, or RAFT_FUSION=0 \
+         to A/B against the unfused graph"
+    );
+}
+
+#[test]
 fn golden_rc0010_supervision_soundness() {
     let mut m = RaftMap::new();
     let src = m.add(Src);

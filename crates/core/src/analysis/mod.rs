@@ -13,12 +13,15 @@
 //!   feedback-deadlock certification (certify-or-counterexample);
 //! * [`replication`] — `RC0009` replication/fusion-safety inference and
 //!   the [`KernelClassification`] export;
-//! * [`supervision`] — `RC0010` supervision-policy soundness.
+//! * [`supervision`] — `RC0010` supervision-policy soundness;
+//! * [`fusion`] — the `RC0011` fusion plan report *and* the `exe()`-time
+//!   rewrite that collapses fusable chains into one batch-executed kernel.
 //!
 //! The registry itself (codes, names, ordering) stays in
 //! [`crate::check`], which is the stable public facade.
 
 pub mod capacity;
+pub mod fusion;
 pub mod graph;
 pub mod replication;
 pub mod structure;
@@ -28,6 +31,7 @@ pub mod supervision;
 mod golden;
 
 pub use capacity::{CycleInfo, CycleVerdict};
+pub use fusion::{FusedGroupReport, FusionConfig, FusionGroup};
 pub use graph::GraphView;
 pub use replication::{classify, KernelClassification};
 

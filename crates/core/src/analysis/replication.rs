@@ -52,7 +52,7 @@ pub struct KernelClassification {
 /// Width the expansion planner would use for kernel `k` (before the
 /// eligibility shape test): the explicit hint, else the auto-parallel
 /// default, else 1.
-fn requested_width(map: &RaftMap, k: usize) -> u32 {
+pub(crate) fn requested_width(map: &RaftMap, k: usize) -> u32 {
     match map.kernels[k].width_hint {
         Some(w) => w,
         None if map.cfg.parallel.enabled => map.cfg.parallel.max_width.max(1),
@@ -64,7 +64,7 @@ fn requested_width(map: &RaftMap, k: usize) -> u32 {
 /// input and one output port, both connected, both streams out-of-order
 /// safe. (Replicability is checked separately so diagnostics can tell the
 /// two failure modes apart.)
-fn shape_allows_replication(map: &RaftMap, k: usize) -> bool {
+pub(crate) fn shape_allows_replication(map: &RaftMap, k: usize) -> bool {
     if map.kernels[k].spec.inputs.len() != 1 || map.kernels[k].spec.outputs.len() != 1 {
         return false;
     }
@@ -77,7 +77,7 @@ fn shape_allows_replication(map: &RaftMap, k: usize) -> bool {
 }
 
 /// Kernels the planner will actually replicate at `exe()`.
-fn will_replicate(map: &RaftMap, k: usize, replicable: bool) -> bool {
+pub(crate) fn will_replicate(map: &RaftMap, k: usize, replicable: bool) -> bool {
     requested_width(map, k) > 1 && replicable && shape_allows_replication(map, k)
 }
 

@@ -22,6 +22,7 @@
 //! | `RC0008` | `feedback-deadlock`      | error (config)   | certify-or-counterexample for every bounded-FIFO cycle |
 //! | `RC0009` | `replication-safety`     | warn (config)    | statelessness/ordering contradictions around replication |
 //! | `RC0010` | `supervision-soundness`  | warn (config)    | recovery policy unsound for the kernel or graph shape |
+//! | `RC0011` | `fusion`                 | info             | chains the fusion pass will collapse into one batch kernel |
 //!
 //! [`RaftMap::check`] runs every pass and returns the findings in a
 //! deterministic order (severity, then code, then involved kernels/links,
@@ -93,7 +94,7 @@ pub fn passes() -> &'static [LintPass] {
     &PASSES
 }
 
-static PASSES: [LintPass; 10] = [
+static PASSES: [LintPass; 11] = [
     LintPass {
         code: "RC0001",
         name: "unconnected-port",
@@ -157,6 +158,13 @@ static PASSES: [LintPass; 10] = [
                   graph position",
         run: crate::analysis::supervision::lint_supervision_soundness,
     },
+    LintPass {
+        code: "RC0011",
+        name: "fusion",
+        summary: "report the kernel chains the fusion pass will collapse into \
+                  single batch-executed kernels at exe()",
+        run: crate::analysis::fusion::lint_fusion,
+    },
 ];
 
 /// Run every registered pass over one shared [`Analysis`] context and
@@ -186,9 +194,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_ten_distinct_codes() {
+    fn registry_has_eleven_distinct_codes() {
         let codes: std::collections::BTreeSet<&str> = passes().iter().map(|p| p.code).collect();
-        assert_eq!(codes.len(), 10, "expected 10 lint passes, got {codes:?}");
+        assert_eq!(codes.len(), 11, "expected 11 lint passes, got {codes:?}");
         assert_eq!(codes.len(), passes().len(), "codes must be unique");
         for p in passes() {
             assert!(p.code.starts_with("RC"), "{}", p.code);

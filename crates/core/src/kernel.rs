@@ -12,7 +12,7 @@
 //! right split/reduce adapters for each link — the reproduction of C++
 //! RaftLib's template machinery.
 
-use std::any::TypeId;
+use std::any::{Any, TypeId};
 
 use raft_buffer::fifo::Monitorable;
 use raft_buffer::{fifo_with, FifoConfig};
@@ -20,6 +20,64 @@ use std::sync::Arc;
 
 use crate::parallel::{adapter_factories, AdapterFactories};
 use crate::port::{AnyEndpoint, Context};
+
+/// A type-erased owned batch of stream elements: a `Vec<T>` behind
+/// `dyn Any`, handed from stage to stage inside a fused chain with no FIFO
+/// protocol in between (see [`crate::analysis::fusion`]).
+pub type AnyBatch = Box<dyn Any + Send>;
+
+/// Monomorphized batched-input eraser captured on a [`PortDef`]: pop up to
+/// `n` elements from input port `idx` into one owned batch — a single
+/// blocking wait and a single queue-protocol entry for the whole batch.
+/// Returns the erased batch and its length; `None` once the stream is
+/// closed and drained.
+pub type BatchPopFn = fn(&Context, usize, usize) -> Option<(AnyBatch, usize)>;
+
+/// Monomorphized batched-output eraser captured on a [`PortDef`]: publish
+/// an owned batch through output port `idx` via [`crate::port::OutPort::reserve`] —
+/// elements are moved straight into reserved ring slots and released under
+/// one fence entry per reservation. Returns the element count, or `None`
+/// if the consumer is gone.
+pub type BatchPushFn = fn(&Context, usize, AnyBatch) -> Option<usize>;
+
+fn batch_pop<T: Send + 'static>(ctx: &Context, idx: usize, n: usize) -> Option<(AnyBatch, usize)> {
+    let mut port = ctx.input_at::<T>(idx);
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    match port.pop_range(n, &mut buf) {
+        Ok(got) => Some((Box::new(buf), got)),
+        Err(_) => None,
+    }
+}
+
+fn batch_push<T: Send + 'static>(ctx: &Context, idx: usize, batch: AnyBatch) -> Option<usize> {
+    let batch = batch
+        .downcast::<Vec<T>>()
+        .expect("fused chain tail: output batch element type mismatch");
+    let n = batch.len();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut port = ctx.output_at::<T>(idx);
+    let mut iter = batch.into_iter();
+    let mut left = n;
+    // reserve() clamps each grant to the ring's maximum capacity, so a
+    // batch larger than the ring is published across several reservations.
+    while left > 0 {
+        let mut slice = port.reserve(left).ok()?;
+        let take = left.min(slice.remaining());
+        if take == 0 {
+            continue;
+        }
+        for _ in 0..take {
+            match iter.next() {
+                Some(v) => slice.push(v),
+                None => break,
+            }
+        }
+        left -= take;
+    }
+    Some(n)
+}
 
 /// What a kernel's `run()` tells the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +103,7 @@ fn make_fifo<T: Send + 'static>(cfg: FifoConfig) -> ErasedFifo {
 
 /// Declaration of one port: name, element type, and the factories the
 /// erased runtime needs for this type.
+#[derive(Clone)]
 pub struct PortDef {
     /// Port name, unique within its direction on the kernel.
     pub name: String,
@@ -57,6 +116,10 @@ pub struct PortDef {
     /// Split/reduce adapter constructors for this element type (used when
     /// the auto-parallelizer replicates the kernel behind this port).
     pub adapters: fn() -> AdapterFactories,
+    /// Batched-input eraser for this element type (fused-chain head I/O).
+    pub batch_pop: BatchPopFn,
+    /// Batched-output eraser for this element type (fused-chain tail I/O).
+    pub batch_push: BatchPushFn,
 }
 
 impl std::fmt::Debug for PortDef {
@@ -77,8 +140,179 @@ impl PortDef {
             type_name: std::any::type_name::<T>(),
             fifo_factory: make_fifo::<T>,
             adapters: adapter_factories::<T>,
+            batch_pop: batch_pop::<T>,
+            batch_push: batch_push::<T>,
         }
     }
+}
+
+/// One type-erased stage of a fused chain: consumes an owned input batch
+/// and produces an owned output batch, with no queue in between.
+///
+/// Obtained from a kernel via [`Kernel::into_batch_stage`]; usually
+/// implemented through the typed [`BatchKernel`] trait (blanket-erased
+/// here) rather than directly.
+pub trait ErasedBatchStage: Send {
+    /// Element type consumed by this stage.
+    fn in_type(&self) -> TypeId;
+    /// Element type produced by this stage.
+    fn out_type(&self) -> TypeId;
+    /// Display name of the stage (for fused-group reports).
+    fn stage_name(&self) -> String;
+    /// Transform one owned batch. `input` holds a `Vec<In>`; the result
+    /// must hold a `Vec<Out>` (any length — filters may shrink it).
+    fn run_batch_erased(&mut self, input: AnyBatch) -> AnyBatch;
+    /// Clean-slate copy, for restarting (or replicating) a fused group as
+    /// a unit. `None` if the stage cannot be rebuilt.
+    fn fork(&self) -> Option<Box<dyn ErasedBatchStage>>;
+}
+
+/// Typed batch-transform body: what a fusable kernel compiles into.
+///
+/// `run_batch` receives the whole input batch by value and appends its
+/// results to `out` — order-preserving, possibly shrinking (filters) or
+/// growing (flat-maps) the batch. A blanket impl erases every
+/// `BatchKernel` into an [`ErasedBatchStage`]; per-element kernels can
+/// skip implementing this entirely via [`per_element`] /
+/// [`per_element_filter`].
+pub trait BatchKernel: Send + 'static {
+    /// Element type consumed.
+    type In: Send + 'static;
+    /// Element type produced.
+    type Out: Send + 'static;
+
+    /// Transform `input`, appending results to `out` in order.
+    fn run_batch(&mut self, input: Vec<Self::In>, out: &mut Vec<Self::Out>);
+
+    /// Display name (fused-group reports). Defaults to the type name.
+    fn stage_name(&self) -> String {
+        let full = std::any::type_name::<Self>();
+        full.rsplit("::").next().unwrap_or(full).to_string()
+    }
+
+    /// Clean-slate copy for restart-as-a-unit; `None` (the default) if the
+    /// stage cannot be rebuilt.
+    fn fork(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+}
+
+impl<B: BatchKernel> ErasedBatchStage for B {
+    fn in_type(&self) -> TypeId {
+        TypeId::of::<B::In>()
+    }
+    fn out_type(&self) -> TypeId {
+        TypeId::of::<B::Out>()
+    }
+    fn stage_name(&self) -> String {
+        BatchKernel::stage_name(self)
+    }
+    fn run_batch_erased(&mut self, input: AnyBatch) -> AnyBatch {
+        let input = input
+            .downcast::<Vec<B::In>>()
+            .expect("fused chain: stage input batch element type mismatch");
+        let mut out = Vec::with_capacity(input.len());
+        self.run_batch(*input, &mut out);
+        Box::new(out)
+    }
+    fn fork(&self) -> Option<Box<dyn ErasedBatchStage>> {
+        BatchKernel::fork(self).map(|b| Box::new(b) as Box<dyn ErasedBatchStage>)
+    }
+}
+
+/// Blanket per-element adapter: lifts an `FnMut(A) -> B` into a
+/// [`BatchKernel`] whose `run_batch` is the obvious tight loop — the bridge
+/// that lets `Map`-style kernels join fused chains without writing batch
+/// code.
+pub struct PerElement<A, B, F> {
+    f: F,
+    label: &'static str,
+    _marker: std::marker::PhantomData<fn(A) -> B>,
+}
+
+impl<A, B, F> BatchKernel for PerElement<A, B, F>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(A) -> B + Clone + Send + 'static,
+{
+    type In = A;
+    type Out = B;
+    fn run_batch(&mut self, input: Vec<A>, out: &mut Vec<B>) {
+        out.extend(input.into_iter().map(&mut self.f));
+    }
+    fn stage_name(&self) -> String {
+        self.label.to_string()
+    }
+    fn fork(&self) -> Option<Self> {
+        Some(PerElement {
+            f: self.f.clone(),
+            label: self.label,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+/// Erased per-element stage from a transform closure (see [`PerElement`]).
+pub fn per_element<A, B, F>(label: &'static str, f: F) -> Box<dyn ErasedBatchStage>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(A) -> B + Clone + Send + 'static,
+{
+    Box::new(PerElement {
+        f,
+        label,
+        _marker: std::marker::PhantomData,
+    })
+}
+
+/// Filtering counterpart of [`PerElement`]: items mapped to `None` are
+/// dropped from the batch.
+pub struct PerElementFilter<A, B, F> {
+    f: F,
+    label: &'static str,
+    _marker: std::marker::PhantomData<fn(A) -> B>,
+}
+
+impl<A, B, F> BatchKernel for PerElementFilter<A, B, F>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(A) -> Option<B> + Clone + Send + 'static,
+{
+    type In = A;
+    type Out = B;
+    fn run_batch(&mut self, input: Vec<A>, out: &mut Vec<B>) {
+        out.extend(input.into_iter().filter_map(&mut self.f));
+    }
+    fn stage_name(&self) -> String {
+        self.label.to_string()
+    }
+    fn fork(&self) -> Option<Self> {
+        Some(PerElementFilter {
+            f: self.f.clone(),
+            label: self.label,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+/// Erased filtering per-element stage (see [`PerElementFilter`]).
+pub fn per_element_filter<A, B, F>(label: &'static str, f: F) -> Box<dyn ErasedBatchStage>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(A) -> Option<B> + Clone + Send + 'static,
+{
+    Box::new(PerElementFilter {
+        f,
+        label,
+        _marker: std::marker::PhantomData,
+    })
 }
 
 /// A kernel's full port declaration.
@@ -160,6 +394,22 @@ pub trait Kernel: Send + 'static {
     fn is_stateless(&self) -> bool {
         false
     }
+
+    /// Whether this kernel can compile into a batch stage of a fused chain
+    /// (see [`crate::analysis::fusion`]). Contract: returning `true` here
+    /// promises that [`Kernel::batch_stage`] returns `Some`. Defaults to
+    /// `false`; per-element transforms implement it via [`per_element`].
+    fn is_fusable(&self) -> bool {
+        false
+    }
+
+    /// Produce this kernel's batch-stage body for fusion, or `None` (the
+    /// default). The fusion pass calls this at most once and then discards
+    /// the kernel, so implementations may move or clone their transform
+    /// into the stage.
+    fn batch_stage(&mut self) -> Option<Box<dyn ErasedBatchStage>> {
+        None
+    }
 }
 
 impl Kernel for Box<dyn Kernel> {
@@ -177,6 +427,12 @@ impl Kernel for Box<dyn Kernel> {
     }
     fn is_stateless(&self) -> bool {
         (**self).is_stateless()
+    }
+    fn is_fusable(&self) -> bool {
+        (**self).is_fusable()
+    }
+    fn batch_stage(&mut self) -> Option<Box<dyn ErasedBatchStage>> {
+        (**self).batch_stage()
     }
 }
 
@@ -238,5 +494,53 @@ mod tests {
     #[test]
     fn default_clone_replica_is_none() {
         assert!(Nop.clone_replica().is_none());
+    }
+
+    #[test]
+    fn default_kernel_is_not_fusable() {
+        assert!(!Nop.is_fusable());
+        assert!(Nop.batch_stage().is_none());
+    }
+
+    #[test]
+    fn per_element_stage_maps_a_batch() {
+        let mut stage = per_element("dbl", |x: u32| u64::from(x) * 2);
+        assert_eq!(stage.in_type(), TypeId::of::<u32>());
+        assert_eq!(stage.out_type(), TypeId::of::<u64>());
+        assert_eq!(stage.stage_name(), "dbl");
+        let out = stage.run_batch_erased(Box::new(vec![1u32, 2, 3]));
+        assert_eq!(*out.downcast::<Vec<u64>>().unwrap(), vec![2, 4, 6]);
+        // fork gives an independent, equivalent stage
+        let mut forked = stage.fork().expect("Clone closure forks");
+        let out = forked.run_batch_erased(Box::new(vec![5u32]));
+        assert_eq!(*out.downcast::<Vec<u64>>().unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn per_element_filter_drops_none() {
+        let mut stage = per_element_filter("evens", |x: u32| x.is_multiple_of(2).then_some(x));
+        let out = stage.run_batch_erased(Box::new(vec![1u32, 2, 3, 4]));
+        assert_eq!(*out.downcast::<Vec<u32>>().unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    fn port_def_batch_erasers_roundtrip() {
+        use std::sync::atomic::AtomicBool;
+        let def = PortDef::of::<u64>("x");
+        let (fifo, producer, consumer) = raft_buffer::fifo_with::<u64>(FifoConfig::starting_at(8));
+        let monitor: Arc<dyn Monitorable> = Arc::new(fifo);
+        let in_ctx = Context::new(
+            "t".into(),
+            vec![("x".into(), Box::new(consumer), monitor)],
+            vec![("x".into(), Box::new(producer))],
+            Arc::new(AtomicBool::new(false)),
+        );
+        assert_eq!(
+            (def.batch_push)(&in_ctx, 0, Box::new(vec![7u64, 8, 9])),
+            Some(3)
+        );
+        let (batch, n) = (def.batch_pop)(&in_ctx, 0, 16).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(*batch.downcast::<Vec<u64>>().unwrap(), vec![7, 8, 9]);
     }
 }

@@ -161,6 +161,16 @@ where
             _marker: std::marker::PhantomData,
         }))
     }
+
+    // Fusable once the user asserts purity via `declare_stateless` (the
+    // closure's `Clone` bound alone does not promise it is stateless).
+    fn is_fusable(&self) -> bool {
+        true
+    }
+
+    fn batch_stage(&mut self) -> Option<Box<dyn crate::kernel::ErasedBatchStage>> {
+        Some(crate::kernel::per_element("lambda-map", self.f.clone()))
+    }
 }
 
 /// Sink lambda: consumes every item.

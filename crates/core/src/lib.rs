@@ -83,13 +83,19 @@ pub mod stealing;
 pub mod supervise;
 
 pub use algoset::{AlgoSet, AlgoSwitch};
-pub use analysis::{classify, Analysis, CycleInfo, CycleVerdict, GraphView, KernelClassification};
+pub use analysis::{
+    classify, Analysis, CycleInfo, CycleVerdict, FusedGroupReport, FusionConfig, FusionGroup,
+    GraphView, KernelClassification,
+};
 pub use check::{passes, CheckConfig, LintPass};
 pub use diagnostics::{Diagnostic, Severity};
 pub use error::{ExeError, LinkError, PortClosed};
-pub use kernel::{KStatus, Kernel, PortDef, PortSpec};
+pub use kernel::{
+    per_element, per_element_filter, BatchKernel, ErasedBatchStage, KStatus, Kernel, PortDef,
+    PortSpec,
+};
 pub use lambda::{lambda_map, lambda_sink, lambda_source, LambdaKernel};
-pub use map::{KernelId, MapConfig, ParallelConfig, RaftMap};
+pub use map::{ExeOpts, KernelId, MapConfig, ParallelConfig, RaftMap};
 pub use monitor::{
     MonitorConfig, ResizeEvent, ResizeReason, WatchdogEvent, WatchdogKind, WidthEvent,
 };
@@ -107,12 +113,13 @@ pub use raft_buffer::{FifoConfig, Signal};
 pub mod prelude {
     pub use crate::algoset::{AlgoSet, AlgoSwitch};
     pub use crate::analysis::KernelClassification;
+    pub use crate::analysis::{FusedGroupReport, FusionConfig};
     pub use crate::check::CheckConfig;
     pub use crate::diagnostics::{Diagnostic, Severity};
     pub use crate::error::{ExeError, LinkError, PortClosed};
-    pub use crate::kernel::{KStatus, Kernel, PortSpec};
+    pub use crate::kernel::{BatchKernel, KStatus, Kernel, PortSpec};
     pub use crate::lambda::{lambda_map, lambda_sink, lambda_source, LambdaKernel};
-    pub use crate::map::{KernelId, MapConfig, ParallelConfig, RaftMap};
+    pub use crate::map::{ExeOpts, KernelId, MapConfig, ParallelConfig, RaftMap};
     pub use crate::monitor::{MonitorConfig, WatchdogEvent, WatchdogKind};
     pub use crate::parallel::SplitStrategy;
     pub use crate::port::{Context, InPort, OutPort};

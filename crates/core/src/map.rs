@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use raft_buffer::FifoConfig;
 
+use crate::analysis::fusion::FusionConfig;
 use crate::check::CheckConfig;
 use crate::diagnostics::{Diagnostic, Severity};
 use crate::error::LinkError;
@@ -44,6 +45,9 @@ pub struct MapConfig {
     pub parallel: ParallelConfig,
     /// Static checker settings (lint severities and thresholds).
     pub check: CheckConfig,
+    /// Kernel-fusion pass settings (chains of stateless single-in/
+    /// single-out kernels collapse into one batch-executed kernel).
+    pub fusion: FusionConfig,
 }
 
 impl Default for MapConfig {
@@ -54,8 +58,24 @@ impl Default for MapConfig {
             scheduler: SchedulerKind::ThreadPerKernel,
             parallel: ParallelConfig::default(),
             check: CheckConfig::default(),
+            fusion: FusionConfig::default(),
         }
     }
+}
+
+/// Per-execution overrides applied on top of [`MapConfig`] by
+/// [`RaftMap::exe_opts`] — the A/B-benchmarking surface: run the same map
+/// fused and unfused without rebuilding it or touching the environment.
+/// (`RAFT_FUSION` / `RAFT_FUSION_BATCH` environment variables override
+/// both in turn, so a deployed binary can be flipped without recompiling.)
+#[derive(Debug, Clone, Default)]
+pub struct ExeOpts {
+    /// Override [`FusionConfig::enabled`] for this run.
+    pub fusion: Option<bool>,
+    /// Override [`FusionConfig::batch`] for this run (clamped to ≥ 1).
+    pub fusion_batch: Option<usize>,
+    /// Watchdog deadline, as in [`RaftMap::exe_with_timeout`].
+    pub deadline: Option<Duration>,
 }
 
 /// Auto-parallelization settings (§4.1).
@@ -511,6 +531,18 @@ impl RaftMap {
     /// pipeline drains.
     pub fn exe_with_timeout(self, timeout: Duration) -> Result<ExeReport, crate::error::ExeError> {
         runtime::execute_with_deadline(self, Some(timeout))
+    }
+
+    /// [`RaftMap::exe`] with per-run overrides (fusion on/off, batch size,
+    /// deadline) — see [`ExeOpts`].
+    pub fn exe_opts(mut self, opts: ExeOpts) -> Result<ExeReport, crate::error::ExeError> {
+        if let Some(enabled) = opts.fusion {
+            self.cfg.fusion.enabled = enabled;
+        }
+        if let Some(batch) = opts.fusion_batch {
+            self.cfg.fusion.batch = batch.max(1);
+        }
+        runtime::execute_with_deadline(self, opts.deadline)
     }
 }
 

@@ -89,6 +89,26 @@ pub fn render(report: &ExeReport) -> String {
             let _ = writeln!(out, "  {name} × {w}");
         }
     }
+    if !report.fused.is_empty() {
+        let _ = writeln!(out, "\nfused groups ({}):", report.fused.len());
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>6} {:>9} {:>10} {:>10}  members",
+            "group", "batch", "batches", "items in", "items out"
+        );
+        for g in &report.fused {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>6} {:>9} {:>10} {:>10}  {}",
+                truncate(&g.name, 28),
+                g.batch,
+                g.batches,
+                g.items_in,
+                g.items_out,
+                g.members.join(" -> ")
+            );
+        }
+    }
     if !report.kernel_classes.is_empty() {
         let _ = writeln!(
             out,

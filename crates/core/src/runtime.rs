@@ -89,6 +89,11 @@ pub struct ExeReport {
     /// Per-worker scheduler telemetry (steals, parks, wake-to-run latency);
     /// empty for schedulers that don't report it.
     pub workers: Vec<crate::scheduler::WorkerReport>,
+    /// Kernel chains the fusion pass collapsed into single batch-executed
+    /// kernels, with per-group batch telemetry (empty when fusion is
+    /// disabled or nothing was fusable). See
+    /// [`crate::analysis::fusion`].
+    pub fused: Vec<crate::analysis::fusion::FusedGroupReport>,
 }
 
 impl ExeReport {
@@ -139,6 +144,15 @@ pub fn execute_with_deadline(
     // the report should speak about the kernels the user added, not the
     // split/reduce adapters the planner inserts.
     let kernel_classes = crate::analysis::classify(&map);
+    // Fuse before replica expansion so the pass sees the user's graph (and
+    // the expansion planner then sees the fused kernels — a fused group is
+    // itself a stateless single-in/single-out kernel it may replicate).
+    let (fusion_enabled, fusion_batch) = crate::analysis::fusion::resolve(&map.cfg.fusion);
+    let fused_infos = if fusion_enabled {
+        crate::analysis::fusion::apply(&mut map, fusion_batch)
+    } else {
+        Vec::new()
+    };
     let planned_splits = expand_replicas(&mut map);
     let replicated = planned_splits
         .iter()
@@ -431,6 +445,7 @@ pub fn execute_with_deadline(
         replicated,
         kernel_classes,
         workers,
+        fused: fused_infos.iter().map(|i| i.report()).collect(),
     };
     if fatal.is_empty() {
         Ok(report)

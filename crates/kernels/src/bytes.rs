@@ -13,6 +13,14 @@
 //! which matches this chunk owns (a match is reported by the chunk where it
 //! *ends*), so parallel replicas never double-count or miss boundary
 //! matches.
+//!
+//! [`ByteChunkSource`] itself is stateful (it carries the read cursor) and
+//! so never fuses; the fusable byte path is downstream — scan stages built
+//! from [`SliceMap`](crate::transforms::SliceMap) /
+//! [`Map`](crate::transforms::Map) over `ByteChunk` descriptors are
+//! stateless per-chunk transforms, so the fusion pass collapses a
+//! `scan -> transform -> …` tail into one batch-executed kernel while the
+//! corpus bytes are still read zero-copy through the shared `Arc`.
 
 use std::sync::Arc;
 

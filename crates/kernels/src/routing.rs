@@ -54,6 +54,11 @@ impl<T: Send + Clone + 'static> Kernel for Tee<T> {
     fn name(&self) -> String {
         "tee".to_string()
     }
+
+    // Pure fan-out: each item is duplicated independently of history.
+    fn is_stateless(&self) -> bool {
+        true
+    }
 }
 
 /// Joins two streams element-wise into pairs, stopping with the shorter
@@ -103,6 +108,13 @@ impl<A: Send + 'static, B: Send + 'static> Kernel for Zip<A, B> {
 
     fn name(&self) -> String {
         "zip".to_string()
+    }
+
+    // Pure element-wise join: pairing depends only on stream positions,
+    // not remembered values. (Reordering its inputs would still change the
+    // pairs, which is why zip's streams stay ordered by default.)
+    fn is_stateless(&self) -> bool {
+        true
     }
 }
 

@@ -63,6 +63,21 @@ where
             _marker: std::marker::PhantomData,
         }))
     }
+
+    // The constructor's contract is a pure per-item transform (a closure
+    // smuggling cross-item state in captures gets what it asked for), so
+    // the kernel classifies stateless and joins fused chains.
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
+    fn is_fusable(&self) -> bool {
+        true
+    }
+
+    fn batch_stage(&mut self) -> Option<Box<dyn raftlib::ErasedBatchStage>> {
+        Some(raftlib::per_element("map", self.f.clone()))
+    }
 }
 
 /// Batch transform over borrowed input: maps whole slices of the input
@@ -151,6 +166,23 @@ where
             _marker: std::marker::PhantomData,
         }))
     }
+
+    // Pure by contract, like [`Map`]; the scratch buffer is reused
+    // allocation, not cross-item state.
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
+    fn is_fusable(&self) -> bool {
+        true
+    }
+
+    fn batch_stage(&mut self) -> Option<Box<dyn raftlib::ErasedBatchStage>> {
+        // In a fused chain the batch is owned, so the by-reference
+        // transform runs over each element in place.
+        let mut f = self.f.clone();
+        Some(raftlib::per_element("slice_map", move |a: A| f(&a)))
+    }
 }
 
 /// Filtering transform: items mapped to `None` are dropped — the
@@ -212,6 +244,20 @@ where
             f: self.f.clone(),
             _marker: std::marker::PhantomData,
         }))
+    }
+
+    // Pure by contract, like [`Map`]; dropping items is a per-item
+    // decision, so order and content are preserved under fusion.
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
+    fn is_fusable(&self) -> bool {
+        true
+    }
+
+    fn batch_stage(&mut self) -> Option<Box<dyn raftlib::ErasedBatchStage>> {
+        Some(raftlib::per_element_filter("filter_map", self.f.clone()))
     }
 }
 

@@ -84,11 +84,7 @@ pub fn minimize(
     assert_eq!(ranges.len(), init.len(), "dimension mismatch");
     assert!(!ranges.is_empty(), "need at least one parameter");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut cur: Vec<i64> = init
-        .iter()
-        .zip(ranges)
-        .map(|(&v, r)| r.clamp(v))
-        .collect();
+    let mut cur: Vec<i64> = init.iter().zip(ranges).map(|(&v, r)| r.clamp(v)).collect();
     let mut cur_cost = cost(&cur);
     let mut best = cur.clone();
     let mut best_cost = cur_cost;
@@ -223,11 +219,9 @@ mod tests {
         let build = |w_search: i64, w_agg: i64| {
             let mut g = FlowGraph::new();
             let src = g.add_kernel(FlowKernel::new("reader", f64::INFINITY, 1.0));
-            let search = g.add_kernel(
-                FlowKernel::new("search", 100.0, 1.0).with_replicas(w_search as u32),
-            );
-            let agg =
-                g.add_kernel(FlowKernel::new("agg", 250.0, 1.0).with_replicas(w_agg as u32));
+            let search =
+                g.add_kernel(FlowKernel::new("search", 100.0, 1.0).with_replicas(w_search as u32));
+            let agg = g.add_kernel(FlowKernel::new("agg", 250.0, 1.0).with_replicas(w_agg as u32));
             g.add_edge(src, search);
             g.add_edge(search, agg);
             g.set_source_rate(src, 1000.0);

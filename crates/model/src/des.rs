@@ -194,8 +194,9 @@ pub fn simulate(net: &Network, horizon: f64, seed: u64) -> SimReport {
     macro_rules! try_start {
         ($i:expr, $now:expr, $cal:expr, $seq:expr, $rng:expr) => {{
             let st = &net.stations[$i];
-            let unserved =
-                state[$i].in_system as i64 - state[$i].busy as i64 - blocked_after_service[$i] as i64;
+            let unserved = state[$i].in_system as i64
+                - state[$i].busy as i64
+                - blocked_after_service[$i] as i64;
             if unserved > 0 && state[$i].busy + blocked_after_service[$i] < st.servers {
                 state[$i].busy += 1;
                 let t = st.service.sample($rng);
@@ -332,8 +333,7 @@ fn unblock_feeders(
             state[drained].in_system += 1;
             // the freed server at i can start the next item
             let st = &net.stations[i];
-            let unserved =
-                state[i].in_system as i64 - state[i].busy as i64 - blocked[i] as i64;
+            let unserved = state[i].in_system as i64 - state[i].busy as i64 - blocked[i] as i64;
             if unserved > 0 && state[i].busy + blocked[i] < st.servers {
                 state[i].busy += 1;
                 let t = st.service.sample(rng);
@@ -356,9 +356,7 @@ fn unblock_feeders(
                 cal.push(Reverse(Entry {
                     at: now + t,
                     seq: *seq,
-                    event: Event::Departure {
-                        station: drained,
-                    },
+                    event: Event::Departure { station: drained },
                 }));
             }
             // the upstream slot freed at i may itself unblock i's feeders
@@ -489,9 +487,7 @@ mod tests {
 
         let mut g = FlowGraph::new();
         let src = g.add_kernel(FlowKernel::new("src", f64::INFINITY, 1.0));
-        let work = g.add_kernel(
-            FlowKernel::new("work", mu, 1.0).with_replicas(servers),
-        );
+        let work = g.add_kernel(FlowKernel::new("work", mu, 1.0).with_replicas(servers));
         g.add_edge(src, work);
         g.set_source_rate(src, lambda);
         let predicted = g.analyze().throughput;

@@ -96,11 +96,7 @@ impl JacksonNetwork {
                     *nj += li * self.routing[i][j];
                 }
             }
-            let delta: f64 = lambda
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = lambda.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             lambda = next;
             if delta < 1e-12 {
                 break;
@@ -300,8 +296,7 @@ mod tests {
         };
         let sim = simulate(&sim_net, 20_000.0, 21);
         for i in 0..2 {
-            let rel = (rep.mean_in_system[i] - sim.mean_in_system[i]).abs()
-                / rep.mean_in_system[i];
+            let rel = (rep.mean_in_system[i] - sim.mean_in_system[i]).abs() / rep.mean_in_system[i];
             assert!(
                 rel < 0.08,
                 "station {i}: jackson {} vs sim {}",

@@ -204,7 +204,11 @@ pub fn training_set_from_des(
                 (ServiceDist::Uniform(a, b), cv)
             }
         };
-        let sim = simulate(&single_station(lambda, dist, 1, usize::MAX), horizon, seed + i as u64);
+        let sim = simulate(
+            &single_station(lambda, dist, 1, usize::MAX),
+            horizon,
+            seed + i as u64,
+        );
         let predicted = MM1::new(lambda, mu).mean_in_system();
         let actual = sim.mean_in_system[0].max(1e-9);
         let rel_err = (predicted - actual).abs() / actual.max(predicted);
@@ -322,6 +326,10 @@ mod tests {
     fn training_set_has_both_labels() {
         let data = training_set_from_des(60, 3_000.0, 0.15, 5);
         let pos = data.iter().filter(|(_, y)| *y).count();
-        assert!(pos > 0 && pos < data.len(), "degenerate labels: {pos}/{}", data.len());
+        assert!(
+            pos > 0 && pos < data.len(),
+            "degenerate labels: {pos}/{}",
+            data.len()
+        );
     }
 }

@@ -3,17 +3,23 @@
 //!
 //! Reads a file (or generates a demo corpus when no path is given),
 //! searches it with the Figure 8 topology — zero-copy chunk source,
-//! replicated match kernels, merge — and prints `offset:line` for each hit.
+//! replicated match kernels, a fused post-processing tail, merge — and
+//! prints `offset:line` for each hit.
+//!
+//! The stages after the scan (extract offsets, drop empty chunks) are
+//! stateless one-in/one-out transforms, so the fusion pass collapses them
+//! into one batch-executed kernel; the fused layout is printed from the
+//! execution report. `RAFT_FUSION=0` runs the same graph unfused for A/B.
 //!
 //! ```sh
-//! cargo run --release --example rgrep -- <pattern> [path] [--algo ac|bmh|rk] [--width N]
+//! cargo run --release --example rgrep -- <pattern> [path] [--algo ac|bmh|rk|mm] [--width N]
 //! ```
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use raft_algos::{AhoCorasick, Horspool, Match, Matcher, RabinKarp};
-use raft_kernels::{write_each, ByteChunk, ByteChunkSource, Map};
+use raft_algos::{AhoCorasick, Horspool, Match, Matcher, MemMem, RabinKarp};
+use raft_kernels::{write_each, ByteChunk, ByteChunkSource, FilterMap, Map};
 use raftlib::prelude::*;
 
 struct Args {
@@ -44,7 +50,7 @@ fn parse_args() -> Option<Args> {
 
 fn main() {
     let Some(args) = parse_args() else {
-        eprintln!("usage: rgrep <pattern> [path] [--algo ac|bmh|rk] [--width N]");
+        eprintln!("usage: rgrep <pattern> [path] [--algo ac|bmh|rk|mm] [--width N]");
         std::process::exit(2);
     };
 
@@ -69,13 +75,15 @@ fn main() {
         "ac" => Arc::new(AhoCorasick::new(&[args.pattern.as_bytes()])),
         "bmh" => Arc::new(Horspool::new(&args.pattern)),
         "rk" => Arc::new(RabinKarp::new(&[args.pattern.as_bytes()])),
+        // SIMD rare-byte scanner (AVX2/SSE2/scalar picked at runtime)
+        "mm" => Arc::new(MemMem::new(&args.pattern)),
         other => {
             eprintln!("rgrep: unknown algorithm {other:?}");
             std::process::exit(2);
         }
     };
 
-    // Figure 8 topology.
+    // Figure 8 topology, with a fusable post-processing tail.
     let overlap = matcher.overlap();
     let mut map = RaftMap::new();
     let reader = map.add(ByteChunkSource::new(data.clone(), 1 << 20, overlap));
@@ -85,17 +93,29 @@ fn main() {
         m.find_into(chunk.as_slice(), chunk.base(), chunk.min_end, &mut found);
         found
     }));
-    let (we, hits) = write_each::<Vec<Match>>();
+    // These two stages fuse: stateless, one-in/one-out, no width hint.
+    let extract = map.add(Map::new(|found: Vec<Match>| {
+        found.iter().map(|m| m.offset).collect::<Vec<u64>>()
+    }));
+    let busy = map.add(FilterMap::new(|offs: Vec<u64>| {
+        (!offs.is_empty()).then_some(offs)
+    }));
+    let (we, hits) = write_each::<Vec<u64>>();
     let merge = map.add(we);
-    map.link_unordered(reader, "out", search, "in").expect("link");
-    map.link_unordered(search, "out", merge, "in").expect("link");
+    map.link_unordered(reader, "out", search, "in")
+        .expect("link");
+    map.link_unordered(search, "out", extract, "in")
+        .expect("link");
+    map.link_unordered(extract, "out", busy, "in")
+        .expect("link");
+    map.link_unordered(busy, "out", merge, "in").expect("link");
     map.prefer_width(search, args.width);
 
     let t0 = Instant::now();
-    map.exe().expect("search run");
+    let report = map.exe().expect("search run");
     let dt = t0.elapsed();
 
-    let mut offsets: Vec<u64> = hits.lock().unwrap().iter().flatten().map(|m| m.offset).collect();
+    let mut offsets: Vec<u64> = hits.lock().unwrap().iter().flatten().copied().collect();
     offsets.sort_unstable();
 
     // Resolve line numbers with one pass over the file.
@@ -114,19 +134,36 @@ fn main() {
             .map(|p| line_start + p)
             .unwrap_or(data.len());
         let text = String::from_utf8_lossy(&data[line_start..line_end]);
-        let shown = if text.len() > 100 { &text[..100] } else { &text };
+        let shown = if text.len() > 100 {
+            &text[..100]
+        } else {
+            &text
+        };
         println!("{}:{}: {}", line_idx + 1, off, shown);
     }
     if offsets.len() > 20 {
         println!("... and {} more", offsets.len() - 20);
     }
     eprintln!(
-        "\n{} matches in {} bytes, {:?} ({:.2} GB/s, algo={}, width={})",
+        "\n{} matches in {} bytes, {:?} ({:.2} GB/s, algo={}, width={}, simd={})",
         offsets.len(),
         data.len(),
         dt,
         data.len() as f64 / 1e9 / dt.as_secs_f64(),
         args.algo,
-        args.width
+        args.width,
+        raft_algos::simd::active_tier().name()
     );
+    if report.fused.is_empty() {
+        eprintln!("fused groups: none (RAFT_FUSION=0, or no eligible chain)");
+    } else {
+        for g in &report.fused {
+            eprintln!(
+                "fused: {} ({} batches of <= {} items)",
+                g.members.join(" -> "),
+                g.batches,
+                g.batch
+            );
+        }
+    }
 }

@@ -1,9 +1,12 @@
 //! The paper's §5 text-search application (topology of Figures 8–9).
 //!
 //! A file-reader kernel distributes the corpus zero-copy to N replicated
-//! match kernels; matches stream to a reduce kernel that collects them.
-//! Both search algorithms of the paper are available, plus runtime
-//! algorithm hot-swap (§4.2's "synonymous kernel groupings").
+//! match kernels; per-chunk hit counts flow through a fused tail (count,
+//! drop zeroes) to the collector. Both search algorithms of the paper are
+//! available, plus runtime algorithm hot-swap (§4.2's "synonymous kernel
+//! groupings"). The fusion pass collapses the stateless tail stages into
+//! one batch-executed kernel — the fused layout is printed from the
+//! execution report, and `RAFT_FUSION=0` A/Bs the unfused graph.
 //!
 //! ```sh
 //! cargo run --release --example text_search -- [ac|bmh] [corpus-mb] [width]
@@ -14,7 +17,7 @@ use std::time::Instant;
 
 use raft_algos::corpus::{generate, CorpusSpec};
 use raft_algos::{AhoCorasick, Horspool, Match, Matcher};
-use raft_kernels::{write_each, ByteChunk, ByteChunkSource, Map};
+use raft_kernels::{write_each, ByteChunk, ByteChunkSource, FilterMap, Map};
 use raftlib::prelude::*;
 
 fn main() {
@@ -61,13 +64,21 @@ fn main() {
         m.find_into(chunk.as_slice(), chunk.base(), chunk.min_end, &mut found);
         found
     }));
-    let (we, hits) = write_each::<Vec<Match>>();
+    // Fusable tail: count hits per chunk, drop chunks with none. Both are
+    // stateless one-in/one-out stages, so they run as one fused kernel.
+    let tally = map.add(Map::new(|found: Vec<Match>| found.len() as u64));
+    let nonzero = map.add(FilterMap::new(|n: u64| (n > 0).then_some(n)));
+    let (we, hits) = write_each::<u64>();
     let collect = map.add(we);
 
     // Unordered links mark the streams replication-safe (§4.1).
     map.link_unordered(filereader, "out", search, "in")
         .expect("link search");
-    map.link_unordered(search, "out", collect, "in")
+    map.link_unordered(search, "out", tally, "in")
+        .expect("link tally");
+    map.link_unordered(tally, "out", nonzero, "in")
+        .expect("link nonzero");
+    map.link_unordered(nonzero, "out", collect, "in")
         .expect("link collect");
     map.prefer_width(search, width);
 
@@ -75,7 +86,7 @@ fn main() {
     let report = map.exe().expect("execution");
     let dt = t0.elapsed();
 
-    let total_hits: usize = hits.lock().unwrap().iter().map(Vec::len).sum();
+    let total_hits: usize = hits.lock().unwrap().iter().sum::<u64>() as usize;
     let gb = (corpus_mb as f64) / 1024.0;
     println!(
         "algorithm={algo} width={width} corpus={corpus_mb}MB matches={total_hits} \
@@ -88,4 +99,18 @@ fn main() {
         report.replicated,
         report.total_items()
     );
+    if report.fused.is_empty() {
+        eprintln!("fused groups: none (RAFT_FUSION=0, or no eligible chain)");
+    } else {
+        for g in &report.fused {
+            eprintln!(
+                "fused: {} ({} batches of <= {} items, {} -> {} items)",
+                g.members.join(" -> "),
+                g.batches,
+                g.batch,
+                g.items_in,
+                g.items_out
+            );
+        }
+    }
 }
