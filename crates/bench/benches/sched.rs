@@ -58,6 +58,7 @@ fn run_pingpong(sched: SchedulerKind) -> u64 {
         initial_capacity: 8,
         max_capacity: 8,
         min_capacity: 8,
+        ..Default::default()
     };
     let mut i = 0u64;
     let src = map.add(lambda_source(move || {

@@ -2,112 +2,60 @@
 //!
 //! The supervision work (restart policies, per-step `entered` telemetry,
 //! the deadline/stall watchdog riding the monitor thread) must be free
-//! when nothing fails — the budget is <2% against the plain pipeline.
-//! Three variants of the same source→sink stream:
+//! when nothing fails — the budget is <2% against the plain pipeline —
+//! and the exactly-once link journal must stay within 5% of the same
+//! supervised pipeline (the `--assert-journal` CI gate). Four variants of
+//! the same source→sink stream:
 //!
 //! * `baseline` — default config: Abort policy, watchdog disarmed;
 //! * `supervised` — Restart policy on every kernel (policy bookkeeping in
 //!   the step loop) with the watchdog still disarmed;
 //! * `watchdog` — Restart policies *and* both watchdogs armed with
-//!   generous budgets, so the monitor runs the health scan each tick.
+//!   generous budgets, so the monitor runs the health scan each tick;
+//! * `journaled` — Restart policies plus a replay journal on the link
+//!   (per-pop record, per-run commit: the recovery contract's dead weight).
+//!
+//! The measured pipeline lives in `raft_bench::pipelines` so the offline
+//! harness runs exactly this code.
 
 use criterion::{criterion_group, Criterion, Throughput};
-use raft_bench::jsonout::JsonReport;
-use raftlib::prelude::*;
-use std::time::Duration;
-
-const ELEMS: u64 = 4_000_000;
-
-/// One full map execution: ELEMS u64s from a lambda source into a
-/// counting sink. Returns the count to keep the work observable.
-fn run_pipeline(supervised: bool, watchdog: bool) -> u64 {
-    let mut map = RaftMap::new();
-    let mut i = 0u64;
-    let src = map.add(lambda_source(move || {
-        i += 1;
-        (i <= ELEMS).then_some(i)
-    }));
-    let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-    let sink_counter = counter.clone();
-    let dst = map.add(lambda_sink(move |_v: u64| {
-        sink_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    }));
-    map.link(src, "0", dst, "0").unwrap();
-    if supervised {
-        map.supervise(src, SupervisorPolicy::restart(3));
-        map.supervise(dst, SupervisorPolicy::restart(3));
-    }
-    if watchdog {
-        map.config_mut().monitor = MonitorConfig::default()
-            .with_run_budget(Duration::from_secs(10))
-            .with_stall_timeout(Duration::from_secs(10));
-    }
-    map.exe().unwrap();
-    counter.load(std::sync::atomic::Ordering::Relaxed)
-}
+use raft_bench::pipelines::{
+    assert_journal_overhead, supervision_json_series, supervision_pipeline, SUPERVISION_ITEMS,
+};
 
 fn bench_supervision(c: &mut Criterion) {
     let mut g = c.benchmark_group("supervision_overhead");
-    g.throughput(Throughput::Elements(ELEMS));
+    g.throughput(Throughput::Elements(SUPERVISION_ITEMS));
     g.sample_size(10);
 
     g.bench_function("baseline", |b| {
-        b.iter(|| assert_eq!(run_pipeline(false, false), ELEMS));
+        b.iter(|| assert_eq!(supervision_pipeline(false, false, false), SUPERVISION_ITEMS));
     });
     g.bench_function("supervised", |b| {
-        b.iter(|| assert_eq!(run_pipeline(true, false), ELEMS));
+        b.iter(|| assert_eq!(supervision_pipeline(true, false, false), SUPERVISION_ITEMS));
     });
     g.bench_function("watchdog", |b| {
-        b.iter(|| assert_eq!(run_pipeline(true, true), ELEMS));
+        b.iter(|| assert_eq!(supervision_pipeline(true, true, false), SUPERVISION_ITEMS));
+    });
+    g.bench_function("journaled", |b| {
+        b.iter(|| assert_eq!(supervision_pipeline(true, false, true), SUPERVISION_ITEMS));
     });
 
     g.finish();
 }
 
-/// One timed execution, as Melems/s.
-fn rate_once(supervised: bool, watchdog: bool) -> f64 {
-    let t0 = std::time::Instant::now();
-    assert_eq!(run_pipeline(supervised, watchdog), ELEMS);
-    ELEMS as f64 / t0.elapsed().as_secs_f64() / 1e6
-}
-
-/// `--json` mode: interleaved best-of-N rates (peak rate is far more
-/// stable than a mean across whole-map executions, which carry thread
-/// spawn and scheduler noise) plus the derived overhead percentages,
-/// recorded at the repo root as `BENCH_supervision.json`.
-fn json_mode() {
-    let mut report = JsonReport::new("supervision");
-
-    // warm-up round for allocator/monitor caches
-    for &(s, w) in &[(false, false), (true, false), (true, true)] {
-        let _ = rate_once(s, w);
-    }
-
-    let mut best = [0.0f64; 3];
-    for _ in 0..8 {
-        for (idx, &(s, w)) in [(false, false), (true, false), (true, true)]
-            .iter()
-            .enumerate()
-        {
-            best[idx] = best[idx].max(rate_once(s, w));
+/// `--json` mode: the interleaved best-of-N series recorded at the repo
+/// root as `BENCH_supervision.json`; `--assert-journal` additionally gates
+/// the journal's fault-free overhead at 5%.
+fn json_mode(gate: bool) {
+    let (path, rates) = supervision_json_series().expect("write BENCH_supervision.json");
+    println!("wrote {}", path.display());
+    if gate {
+        if let Err(msg) = assert_journal_overhead(&rates) {
+            eprintln!("{msg}");
+            std::process::exit(1);
         }
     }
-    let [baseline, supervised, watchdog] = best;
-
-    report.push("pipeline_baseline_melems_per_s", baseline);
-    report.push("pipeline_supervised_melems_per_s", supervised);
-    report.push("pipeline_watchdog_melems_per_s", watchdog);
-    report.push(
-        "supervised_overhead_percent",
-        (baseline - supervised) / baseline * 100.0,
-    );
-    report.push(
-        "watchdog_overhead_percent",
-        (baseline - watchdog) / baseline * 100.0,
-    );
-
-    let path = report.write().expect("write BENCH_supervision.json");
-    println!("wrote {}", path.display());
 }
 
 criterion_group! {
@@ -120,7 +68,7 @@ criterion_group! {
 
 fn main() {
     if std::env::args().any(|a| a == "--json") {
-        json_mode();
+        json_mode(std::env::args().any(|a| a == "--assert-journal"));
         return;
     }
     benches();

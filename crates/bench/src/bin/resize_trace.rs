@@ -25,6 +25,7 @@ fn main() {
         initial_capacity: 4,
         max_capacity: 1 << 14,
         min_capacity: 4,
+        ..Default::default()
     };
     cfg.monitor.delta = std::time::Duration::from_micros(100);
     cfg.monitor.shrink_after_ticks = 40; // shrink during the idle gaps

@@ -39,21 +39,32 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ops::{Deref, DerefMut, Index};
 use std::sync::atomic::{
-    AtomicBool, AtomicU64, AtomicUsize,
-    Ordering::{Acquire, Relaxed, Release},
+    AtomicBool, AtomicU64, AtomicU8, AtomicUsize,
+    Ordering::{AcqRel, Acquire, Relaxed, Release},
 };
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::utils::CachePadded;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::error::{PopError, PushError, TryPopError, TryPushError};
 use crate::fence::{ResizeFence, Role};
+use crate::journal::{AdmissionPolicy, JournalConfig, ReplayWindow};
 use crate::signal::Signal;
 use crate::stats::{FifoStats, StatsSnapshot};
 use crate::wait::{WaitAction, WaitStrategy, Waiter};
 use crate::waker::WakerSlot;
+
+/// Drain levels for the cooperative shutdown protocol (see
+/// [`Fifo::set_drain_level`]). `RUNNING` is normal operation; `DRAINING`
+/// asks sources to stop while in-flight data keeps flowing; `QUIESCED`
+/// fails blocked endpoints fast so a wedged graph still terminates.
+pub const DRAIN_RUNNING: u8 = 0;
+/// Sources stop, in-flight elements still flow (see [`DRAIN_RUNNING`]).
+pub const DRAIN_DRAINING: u8 = 1;
+/// Blocked pushes fail fast and pops on an empty ring report end-of-stream.
+pub const DRAIN_QUIESCED: u8 = 2;
 
 /// Construction parameters for a [`Fifo`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +76,15 @@ pub struct FifoConfig {
     pub max_capacity: usize,
     /// Shrink floor.
     pub min_capacity: usize,
+    /// When set, the link records consumed elements in a replay journal and
+    /// stages produced elements until commit — the exactly-once recovery
+    /// contract (see [`crate::journal`]). Requires `T: Clone` at the wiring
+    /// layer; `None` keeps the historical lossy-restart behavior.
+    pub journal: Option<JournalConfig>,
+    /// What the producer does when the ring is full (see
+    /// [`AdmissionPolicy`]). `Block` preserves the paper's lossless
+    /// blocking-write semantics.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for FifoConfig {
@@ -73,6 +93,8 @@ impl Default for FifoConfig {
             initial_capacity: 64,
             max_capacity: 1 << 22,
             min_capacity: 8,
+            journal: None,
+            admission: AdmissionPolicy::Block,
         }
     }
 }
@@ -85,6 +107,7 @@ impl FifoConfig {
             initial_capacity: c,
             max_capacity: c,
             min_capacity: c,
+            ..Default::default()
         }
     }
 
@@ -94,6 +117,18 @@ impl FifoConfig {
             initial_capacity: initial,
             ..Default::default()
         }
+    }
+
+    /// Enable the exactly-once replay journal on this link.
+    pub fn journaled(mut self, journal: JournalConfig) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Set the overload admission policy for this link.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
     }
 }
 
@@ -176,6 +211,16 @@ struct Shared<T> {
     /// Readiness hook for the producing side: notified when space becomes
     /// visible (pop, batch drain, consumer drop, grow).
     producer_waker: WakerSlot,
+    /// Cooperative drain level ([`DRAIN_RUNNING`] / [`DRAIN_DRAINING`] /
+    /// [`DRAIN_QUIESCED`]); raised monotonically by the monitor or a stop
+    /// handle, never lowered.
+    drain: AtomicU8,
+    /// Elements awaiting replay after a journal rewind. Counted into
+    /// [`Shared::occupancy`] so schedulers see a rewound link as ready and
+    /// `is_finished` stays false until the replay is consumed.
+    journal_pending: AtomicUsize,
+    /// Set once the consumer endpoint enabled its replay journal.
+    journaled: AtomicBool,
     stats: FifoStats,
     cfg: FifoConfig,
     /// Protocol shadow checker (SPSC discipline, monotonic sequences,
@@ -185,11 +230,19 @@ struct Shared<T> {
 }
 
 impl<T> Shared<T> {
+    /// Elements in the ring proper (excluding journal replay).
     #[inline]
-    fn occupancy(&self) -> usize {
+    fn ring_occupancy(&self) -> usize {
         self.tail
             .load(Acquire)
             .saturating_sub(self.head.load(Acquire))
+    }
+
+    /// Elements observable by the consumer: ring contents plus journal
+    /// entries queued for replay after a rewind.
+    #[inline]
+    fn occupancy(&self) -> usize {
+        self.ring_occupancy() + self.journal_pending.load(Acquire)
     }
 
     /// Wake any parked endpoint. Cheap when nobody is waiting (one relaxed
@@ -321,6 +374,7 @@ pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>
             .next_power_of_two(),
         max_capacity: cfg.max_capacity.max(1).next_power_of_two(),
         min_capacity: cfg.min_capacity.max(1).next_power_of_two(),
+        ..cfg
     };
     let shared = Arc::new(Shared {
         storage: RwLock::new(Storage::with_capacity(cfg.initial_capacity)),
@@ -337,6 +391,9 @@ pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>
         unpark: Condvar::new(),
         consumer_waker: WakerSlot::new(),
         producer_waker: WakerSlot::new(),
+        drain: AtomicU8::new(DRAIN_RUNNING),
+        journal_pending: AtomicUsize::new(0),
+        journaled: AtomicBool::new(false),
         stats: FifoStats::new(),
         cfg,
         #[cfg(feature = "raft_protocol_check")]
@@ -350,11 +407,13 @@ pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>
             shared: shared.clone(),
             tail: 0,
             head_cache: 0,
+            staged: None,
         },
         Consumer {
             shared,
             head: 0,
             tail_cache: 0,
+            journal: None,
         },
     )
 }
@@ -392,9 +451,37 @@ impl<T: Send> Fifo<T> {
         self.shared.cfg.min_capacity
     }
 
-    /// `true` once the producer closed and all data has been consumed.
+    /// `true` once the producer closed (or the link quiesced) and all data —
+    /// including journal entries awaiting replay — has been consumed.
     pub fn is_finished(&self) -> bool {
-        self.shared.producer_closed.load(Acquire) && self.shared.occupancy() == 0
+        (self.shared.producer_closed.load(Acquire)
+            || self.shared.drain.load(Acquire) >= DRAIN_QUIESCED)
+            && self.shared.occupancy() == 0
+    }
+
+    /// Raise the cooperative drain level (monotonic; lowering is ignored).
+    /// At [`DRAIN_QUIESCED`] blocked producers fail fast and pops on an
+    /// empty ring observe end-of-stream, so a wedged graph still terminates.
+    pub fn set_drain_level(&self, level: u8) {
+        crate::failpoint!("buffer::fifo::drain");
+        let prev = self.shared.drain.fetch_max(level, AcqRel);
+        if prev < level {
+            // Both endpoints may be parked on conditions that will now never
+            // arrive; the new level must be actionable immediately.
+            self.shared.consumer_waker.notify();
+            self.shared.producer_waker.notify();
+            self.shared.wake();
+        }
+    }
+
+    /// Current cooperative drain level.
+    pub fn drain_level(&self) -> u8 {
+        self.shared.drain.load(Acquire)
+    }
+
+    /// `true` once the consumer endpoint enabled its replay journal.
+    pub fn journaled(&self) -> bool {
+        self.shared.journaled.load(Acquire)
     }
 
     /// Post an asynchronous (out-of-band) signal, immediately visible to the
@@ -408,6 +495,13 @@ impl<T: Send> Fifo<T> {
     /// Take a pending asynchronous signal, if any.
     pub fn take_async(&self) -> Option<Signal> {
         Signal::decode(self.shared.async_signal.swap(0, Acquire))
+    }
+
+    /// `true` while an asynchronous signal is posted and unconsumed. Part
+    /// of the readiness predicate: an async signal is actionable input for
+    /// a consumer kernel even when no data is queued.
+    pub fn has_async(&self) -> bool {
+        self.shared.async_signal.load(Acquire) != 0
     }
 
     /// Resize the ring to `new_capacity` (clamped to config bounds and to
@@ -573,10 +667,25 @@ pub trait Monitorable: Send + Sync {
     fn is_finished(&self) -> bool;
     /// Post an asynchronous signal to the consumer side.
     fn post_async(&self, signal: Signal);
+    /// `true` while an asynchronous signal is posted and unconsumed.
+    fn has_async(&self) -> bool {
+        false
+    }
     /// Waker slot notified when data/EoS becomes visible to the consumer.
     fn consumer_waker(&self) -> &WakerSlot;
     /// Waker slot notified when space becomes visible to the producer.
     fn producer_waker(&self) -> &WakerSlot;
+    /// Raise the cooperative drain level (no-op for links without drain
+    /// support).
+    fn set_drain_level(&self, _level: u8) {}
+    /// Current cooperative drain level.
+    fn drain_level(&self) -> u8 {
+        DRAIN_RUNNING
+    }
+    /// `true` when an exactly-once replay journal records this link.
+    fn journaled(&self) -> bool {
+        false
+    }
 }
 
 impl<T: Send> Monitorable for Fifo<T> {
@@ -613,11 +722,23 @@ impl<T: Send> Monitorable for Fifo<T> {
     fn post_async(&self, signal: Signal) {
         Fifo::post_async(self, signal);
     }
+    fn has_async(&self) -> bool {
+        Fifo::has_async(self)
+    }
     fn consumer_waker(&self) -> &WakerSlot {
         &self.shared.consumer_waker
     }
     fn producer_waker(&self) -> &WakerSlot {
         &self.shared.producer_waker
+    }
+    fn set_drain_level(&self, level: u8) {
+        Fifo::set_drain_level(self, level);
+    }
+    fn drain_level(&self) -> u8 {
+        Fifo::drain_level(self)
+    }
+    fn journaled(&self) -> bool {
+        Fifo::journaled(self)
     }
 }
 
@@ -631,6 +752,11 @@ pub struct Producer<T> {
     /// ring looks full. Never ahead of the true head, so staleness can only
     /// cause a spurious refresh, never an overwrite.
     head_cache: usize,
+    /// When `Some`, pushes are staged here instead of published to the ring;
+    /// [`commit_produced`](Producer::commit_produced) flushes them,
+    /// [`rewind_produced`](Producer::rewind_produced) discards them — the
+    /// output half of the exactly-once contract (see [`crate::journal`]).
+    staged: Option<Vec<(T, Signal)>>,
 }
 
 // SAFETY: the producer handle is the unique owner of the producer role (not
@@ -640,8 +766,23 @@ pub struct Producer<T> {
 unsafe impl<T: Send> Send for Producer<T> {}
 
 impl<T: Send> Producer<T> {
-    /// Non-blocking push of `(value, signal)`.
+    /// Non-blocking push of `(value, signal)`. With staging enabled the
+    /// element lands in the pending buffer (never `Full`) and reaches the
+    /// ring at the next [`commit_produced`](Self::commit_produced).
     pub fn try_push_signal(&mut self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
+        if let Some(pending) = self.staged.as_mut() {
+            if self.shared.consumer_closed.load(Relaxed) {
+                return Err(TryPushError::Closed(value));
+            }
+            pending.push((value, signal));
+            return Ok(());
+        }
+        self.try_push_signal_ring(value, signal)
+    }
+
+    /// Non-blocking push straight to the ring, bypassing any staging buffer
+    /// (used by the commit flush).
+    fn try_push_signal_ring(&mut self, value: T, signal: Signal) -> Result<(), TryPushError<T>> {
         let shared = &*self.shared;
         if shared.consumer_closed.load(Relaxed) {
             return Err(TryPushError::Closed(value));
@@ -685,25 +826,62 @@ impl<T: Send> Producer<T> {
         self.try_push_signal(value, Signal::None)
     }
 
-    /// Blocking push of `(value, signal)`; errs only if the consumer is gone.
+    /// Blocking push of `(value, signal)`; errs only if the consumer is gone
+    /// (or the link quiesced mid-drain). With staging enabled the element is
+    /// buffered instead — see [`try_push_signal`](Self::try_push_signal).
     ///
     /// While blocked, the producer is visible to the monitor through
     /// `writer_blocked_since` — after 3δ of continuous blocking the monitor
-    /// grows this queue (the paper's write-side resize trigger).
+    /// grows this queue (the paper's write-side resize trigger). Under a
+    /// shedding [`AdmissionPolicy`] a full ring drops the element (counted
+    /// in the `shed` statistic) instead of blocking indefinitely.
     pub fn push_signal(&mut self, value: T, signal: Signal) -> Result<(), PushError<T>> {
-        let mut value = match self.try_push_signal(value, signal) {
+        if self.staged.is_some() {
+            return match self.try_push_signal(value, signal) {
+                Ok(()) => Ok(()),
+                Err(TryPushError::Closed(v)) | Err(TryPushError::Full(v)) => Err(PushError(v)),
+            };
+        }
+        self.push_signal_ring(value, signal)
+    }
+
+    /// Blocking push straight to the ring (the commit flush path and the
+    /// unstaged common case). Applies the link's admission policy.
+    fn push_signal_ring(&mut self, value: T, signal: Signal) -> Result<(), PushError<T>> {
+        let mut value = match self.try_push_signal_ring(value, signal) {
             Ok(()) => return Ok(()),
             Err(TryPushError::Closed(v)) => return Err(PushError(v)),
             Err(TryPushError::Full(v)) => v,
         };
         let shared = self.shared.clone();
+        if shared.cfg.admission == AdmissionPolicy::Shed {
+            // Full ring + shedding policy: drop now, count it, stay live.
+            shared.stats.writer.shed.fetch_add(1, Relaxed);
+            return Ok(());
+        }
+        let deadline = match shared.cfg.admission {
+            AdmissionPolicy::BlockTimeout(t) => Some(Instant::now() + t),
+            _ => None,
+        };
         shared.stats.writer_block_begin();
         let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let result = loop {
-            match self.try_push_signal(value, signal) {
+            match self.try_push_signal_ring(value, signal) {
                 Ok(()) => break Ok(()),
                 Err(TryPushError::Closed(v)) => break Err(PushError(v)),
                 Err(TryPushError::Full(v)) => value = v,
+            }
+            if shared.drain.load(Acquire) >= DRAIN_QUIESCED {
+                // Quiesced: nobody will drain this ring — fail fast rather
+                // than wedge the draining graph.
+                break Err(PushError(value));
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    // Burst outlasted the timeout: degrade to shedding.
+                    shared.stats.writer.shed.fetch_add(1, Relaxed);
+                    break Ok(());
+                }
             }
             if waiter.pause_or_park() != WaitAction::Park {
                 continue;
@@ -781,8 +959,21 @@ impl<T: Send> Producer<T> {
 
     /// Blocking batch push: pushes *all* of `items`, waiting for room as
     /// needed. Errs only if the consumer is gone (remaining items stay in
-    /// `items`).
+    /// `items`) or the link quiesced. With staging enabled the whole batch
+    /// is buffered until commit; under a shedding admission policy a full
+    /// ring drops the remainder (counted) instead of blocking.
     pub fn push_batch(&mut self, items: &mut Vec<T>) -> Result<(), PushError<()>> {
+        if let Some(pending) = self.staged.as_mut() {
+            if self.shared.consumer_closed.load(Relaxed) {
+                return Err(PushError(()));
+            }
+            pending.extend(items.drain(..).map(|v| (v, Signal::None)));
+            return Ok(());
+        }
+        let deadline = match self.shared.cfg.admission {
+            AdmissionPolicy::BlockTimeout(t) => Some(Instant::now() + t),
+            _ => None,
+        };
         let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let mut began_block = false;
         while !items.is_empty() {
@@ -791,6 +982,25 @@ impl<T: Send> Producer<T> {
                 break;
             }
             if pushed == 0 {
+                if self.shared.drain.load(Acquire) >= DRAIN_QUIESCED {
+                    if began_block {
+                        self.shared.stats.writer_block_end();
+                    }
+                    return Err(PushError(()));
+                }
+                let shed_now = self.shared.cfg.admission == AdmissionPolicy::Shed
+                    || deadline.is_some_and(|d| Instant::now() >= d);
+                if shed_now {
+                    // Degrade: drop the remainder rather than block on a
+                    // ring nobody is draining fast enough.
+                    self.shared
+                        .stats
+                        .writer
+                        .shed
+                        .fetch_add(items.len() as u64, Relaxed);
+                    items.clear();
+                    break;
+                }
                 if !began_block {
                     self.shared.stats.writer_block_begin();
                     began_block = true;
@@ -826,7 +1036,8 @@ impl<T: Send> Producer<T> {
         let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let mut began_block = false;
         loop {
-            if shared.consumer_closed.load(Relaxed) {
+            if shared.consumer_closed.load(Relaxed) || shared.drain.load(Acquire) >= DRAIN_QUIESCED
+            {
                 if began_block {
                     shared.stats.writer_block_end();
                 }
@@ -887,7 +1098,8 @@ impl<T: Send> Producer<T> {
         let mut waiter = Waiter::new(ENDPOINT_WAIT);
         let mut began_block = false;
         loop {
-            if shared.consumer_closed.load(Relaxed) {
+            if shared.consumer_closed.load(Relaxed) || shared.drain.load(Acquire) >= DRAIN_QUIESCED
+            {
                 if began_block {
                     shared.stats.writer_block_end();
                 }
@@ -925,6 +1137,134 @@ impl<T: Send> Producer<T> {
                 drop(g);
                 shared.writer_waiting.store(false, Relaxed);
             }
+        }
+    }
+
+    /// Stage outputs instead of publishing them: after this call every push
+    /// lands in a pending buffer that only reaches the ring on
+    /// [`commit_produced`](Self::commit_produced) — the output half of the
+    /// exactly-once recovery contract (see [`crate::journal`]). Zero-copy
+    /// writes ([`reserve`](Self::reserve) / [`allocate`](Self::allocate))
+    /// bypass staging and publish directly. Elements still staged when the
+    /// producer closes are discarded.
+    pub fn enable_staging(&mut self) {
+        if self.staged.is_none() {
+            self.staged = Some(Vec::new());
+        }
+    }
+
+    /// `true` once [`enable_staging`](Self::enable_staging) was called.
+    pub fn staging_enabled(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Elements currently staged and not yet published.
+    pub fn staged_len(&self) -> usize {
+        self.staged.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Publish every staged element to the ring, blocking for room as
+    /// needed (the link's admission policy applies). Returns the number
+    /// published; errs if the consumer is gone, in which case the remaining
+    /// staged elements are discarded.
+    pub fn commit_produced(&mut self) -> Result<usize, PushError<()>> {
+        if self.staged.as_ref().map_or(true, Vec::is_empty) {
+            return Ok(0);
+        }
+        // Take the buffer out (push_signal_ring needs `&mut self`) but put
+        // it back with its capacity intact: a transaction per element must
+        // not cost an allocator round-trip per commit.
+        let mut items = self.staged.take().expect("checked above");
+        let mut published = 0;
+        let mut closed = false;
+        while !items.is_empty() {
+            // Fast path: publish whatever fits as one batch — a single
+            // fence entry, tail store, and consumer notify for the whole
+            // run, instead of per-element publication.
+            match self.try_push_pairs(&mut items) {
+                Ok(0) => {
+                    // Ring full: fall back to the blocking single push,
+                    // which applies the admission policy (grow, block,
+                    // shed, or time out) before the loop batches again.
+                    let (v, s) = items.remove(0);
+                    match self.push_signal_ring(v, s) {
+                        Ok(()) => published += 1,
+                        Err(_) => {
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+                Ok(n) => published += n,
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        items.clear();
+        self.staged = Some(items);
+        if closed {
+            return Err(PushError(()));
+        }
+        Ok(published)
+    }
+
+    /// Batch variant of [`try_push_batch`](Self::try_push_batch) that
+    /// preserves each element's [`Signal`] — the staged-commit publish
+    /// path. Pushes as many pairs as currently fit under a single fence
+    /// entry; the rest stay in `items`.
+    fn try_push_pairs(&mut self, items: &mut Vec<(T, Signal)>) -> Result<usize, PushError<()>> {
+        if items.is_empty() {
+            return Ok(0);
+        }
+        let shared = &*self.shared;
+        if shared.consumer_closed.load(Relaxed) {
+            return Err(PushError(()));
+        }
+        shared.arena_enter(Role::Producer);
+        // SAFETY: fence membership held until the exit below.
+        let storage = unsafe { shared.storage_unlocked() };
+        let mut tail = self.tail;
+        if tail.wrapping_sub(self.head_cache) + items.len() > storage.capacity() {
+            self.head_cache = shared.head.load(Acquire);
+        }
+        let room = storage
+            .capacity()
+            .saturating_sub(tail.wrapping_sub(self.head_cache));
+        let n = room.min(items.len());
+        for pair in items.drain(..n) {
+            // SAFETY: single producer; slots [tail, tail+n) are outside the
+            // live region, so nothing reads them until the Release store of
+            // `tail` below publishes the batch.
+            unsafe { (*storage.slot(tail)).write(pair) };
+            tail += 1;
+        }
+        if n > 0 {
+            shared.tail.store(tail, Release);
+            self.tail = tail;
+            shared.stats.writer.pushed.store(tail as u64, Relaxed);
+        }
+        shared.arena_exit(Role::Producer);
+        if n > 0 {
+            shared.consumer_waker.notify();
+            if shared.reader_waiting.load(Relaxed) {
+                shared.wake();
+            }
+        }
+        Ok(n)
+    }
+
+    /// Discard every staged element — the rewind half of a failed
+    /// transaction. Returns how many were discarded.
+    pub fn rewind_produced(&mut self) -> usize {
+        match self.staged.as_mut() {
+            Some(pending) => {
+                let n = pending.len();
+                pending.clear();
+                n
+            }
+            None => 0,
         }
     }
 
@@ -970,6 +1310,7 @@ impl<T: Send> Producer<T> {
             shared: self.shared.clone(),
             tail: self.tail,
             head_cache: self.head_cache,
+            staged: None,
         }
     }
 }
@@ -1145,6 +1486,22 @@ pub struct Consumer<T> {
     /// ring looks empty. Never ahead of the true tail, so staleness can only
     /// hide elements momentarily, never show uninitialized slots.
     tail_cache: usize,
+    /// Replay journal for the exactly-once recovery contract (see
+    /// [`crate::journal`]): records a clone of every popped element until
+    /// the transaction commits, re-serves them after a rewind.
+    journal: Option<Box<ConsumerJournal<T>>>,
+}
+
+/// Consumer-side journal state (boxed: the unjournaled common case pays one
+/// pointer of space and a null check per pop).
+struct ConsumerJournal<T> {
+    window: ReplayWindow<(T, Signal)>,
+    /// Next sequence number to serve. Equal to `window.next_seq()` while
+    /// recording (live); behind it while replaying after a rewind.
+    cursor: u64,
+    /// Captured at [`Consumer::enable_journal`], where `T: Clone` is known;
+    /// keeps the `Clone` bound off the `Consumer` type itself.
+    clone_fn: fn(&T) -> T,
 }
 
 // SAFETY: same argument as `Producer` — one non-Clone handle per role.
@@ -1160,8 +1517,33 @@ impl<T: Send> Consumer<T> {
         self.tail_cache - self.head
     }
 
-    /// Non-blocking pop of `(value, signal)`.
+    /// Non-blocking pop of `(value, signal)`. On a journaled link,
+    /// rewound elements are re-served (as clones, in original order) before
+    /// anything new is taken from the ring, and every live pop is recorded
+    /// for possible replay.
     pub fn try_pop_signal(&mut self) -> Result<(T, Signal), TryPopError> {
+        if let Some(j) = self.journal.as_mut() {
+            if j.cursor < j.window.next_seq() {
+                // Replaying a rewound transaction: serve from the window
+                // without touching the ring.
+                let (v, s) = j
+                    .window
+                    .get(j.cursor)
+                    .expect("replay cursor inside retained window");
+                let pair = ((j.clone_fn)(v), *s);
+                j.cursor += 1;
+                // Saturating: the cursor can trail `next_seq` without a
+                // rewind if recording was interrupted mid-pop (failpoint or
+                // caught panic between the ring pop and the cursor bump);
+                // re-serving that entry must not underflow the counter.
+                let _ = self
+                    .shared
+                    .journal_pending
+                    .fetch_update(AcqRel, Acquire, |v| v.checked_sub(1));
+                self.shared.stats.reader.replayed.fetch_add(1, Relaxed);
+                return Ok(pair);
+            }
+        }
         let head = self.head;
         if head == self.tail_cache && self.refresh_avail() == 0 {
             return if self.shared.producer_closed.load(Acquire) {
@@ -1172,6 +1554,11 @@ impl<T: Send> Consumer<T> {
                 } else {
                     Err(TryPopError::Empty)
                 }
+            } else if self.shared.drain.load(Acquire) >= DRAIN_QUIESCED {
+                // Quiesced mid-drain: report end-of-stream so a blocked
+                // consumer kernel terminates even though its producer is
+                // still alive upstream.
+                Err(TryPopError::Closed)
             } else {
                 Err(TryPopError::Empty)
             };
@@ -1189,6 +1576,12 @@ impl<T: Send> Consumer<T> {
         // Single-writer counter: total popped == head.
         shared.stats.reader.popped.store((head + 1) as u64, Relaxed);
         shared.arena_exit(Role::Consumer);
+        if let Some(j) = self.journal.as_mut() {
+            // Record the live pop for possible replay; the cursor tracks
+            // next_seq while recording.
+            j.window.append(((j.clone_fn)(&pair.0), pair.1));
+            j.cursor = j.window.next_seq();
+        }
         // Freed space is actionable for a parked producer-side task.
         shared.producer_waker.notify();
         if shared.writer_waiting.load(Relaxed) {
@@ -1313,6 +1706,22 @@ impl<T: Send> Consumer<T> {
     fn bulk_pop_into(&mut self, max: usize, out: &mut Vec<T>) -> usize {
         if max == 0 {
             return 0;
+        }
+        if self.journal.is_some() {
+            // Journaled link: route through the per-element path so every
+            // element is recorded (and replay is served first). Gives up the
+            // single-fence batch amortization for the recovery guarantee.
+            let mut moved = 0;
+            while moved < max {
+                match self.try_pop_signal() {
+                    Ok((v, _s)) => {
+                        out.push(v);
+                        moved += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            return moved;
         }
         let head = self.head;
         let avail = if self.tail_cache == head {
@@ -1459,6 +1868,82 @@ impl<T: Send> Consumer<T> {
         k
     }
 
+    /// Enable the consumer-side replay journal — the input half of the
+    /// exactly-once recovery contract (see [`crate::journal`]). Every pop
+    /// records a clone; [`commit_consumed`](Self::commit_consumed)
+    /// acknowledges them, [`rewind_consumed`](Self::rewind_consumed) queues
+    /// them for replay. Call once at wiring time, before the first pop.
+    ///
+    /// Zero-copy read paths (`pop_slice`, `peek_range` + `advance`) bypass
+    /// the journal; journaled links must consume through the per-element or
+    /// `pop_range` paths (the runtime's supervised wiring does).
+    pub fn enable_journal(&mut self, cfg: JournalConfig)
+    where
+        T: Clone,
+    {
+        fn clone_of<T: Clone>(v: &T) -> T {
+            v.clone()
+        }
+        if self.journal.is_none() {
+            self.journal = Some(Box::new(ConsumerJournal {
+                window: ReplayWindow::new(cfg.bound),
+                cursor: 0,
+                clone_fn: clone_of::<T>,
+            }));
+            self.shared.journaled.store(true, Release);
+        }
+    }
+
+    /// `true` once [`enable_journal`](Self::enable_journal) was called.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Elements queued to be re-served after a rewind.
+    pub fn replay_pending(&self) -> usize {
+        self.journal
+            .as_ref()
+            .map_or(0, |j| (j.window.next_seq() - j.cursor) as usize)
+    }
+
+    /// Journal entries force-dropped by the replay bound — elements whose
+    /// replay coverage was lost (see [`JournalConfig::bound`]).
+    pub fn journal_forced_acks(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |j| j.window.forced_acks())
+    }
+
+    /// Commit the current transaction: acknowledge every element popped
+    /// since the last commit, releasing it from the replay window. Returns
+    /// how many entries were released.
+    pub fn commit_consumed(&mut self) -> usize {
+        let Some(j) = self.journal.as_mut() else {
+            return 0;
+        };
+        j.cursor = j.window.next_seq();
+        self.shared.journal_pending.store(0, Release);
+        j.window.ack_all()
+    }
+
+    /// Rewind the current transaction: every unacknowledged element will be
+    /// re-served (as a clone, in original order) by subsequent pops.
+    /// Returns how many elements were queued for replay. A second panic
+    /// before the next commit replays the same elements again.
+    pub fn rewind_consumed(&mut self) -> usize {
+        let Some(j) = self.journal.as_mut() else {
+            return 0;
+        };
+        j.cursor = j.window.acked();
+        let pending = j.window.len();
+        self.shared.journal_pending.store(pending, Release);
+        if pending > 0 {
+            // The restarted kernel's task must observe itself as ready even
+            // though the ring may be empty.
+            self.shared.consumer_waker.notify();
+            self.shared.wake();
+        }
+        pending
+    }
+
     /// Take a pending asynchronous signal, if any.
     pub fn take_async(&mut self) -> Option<Signal> {
         Signal::decode(self.shared.async_signal.swap(0, Acquire))
@@ -1474,9 +1959,12 @@ impl<T: Send> Consumer<T> {
         self.shared.occupancy()
     }
 
-    /// Producer closed and everything consumed.
+    /// Producer closed (or link quiesced) and everything consumed,
+    /// including any journal replay.
     pub fn is_finished(&self) -> bool {
-        self.shared.producer_closed.load(Acquire) && self.shared.occupancy() == 0
+        (self.shared.producer_closed.load(Acquire)
+            || self.shared.drain.load(Acquire) >= DRAIN_QUIESCED)
+            && self.shared.occupancy() == 0
     }
 
     /// Monitor-facing handle for this FIFO.
@@ -1622,6 +2110,7 @@ mod tests {
             initial_capacity: 4,
             max_capacity: 1 << 16,
             min_capacity: 2,
+            ..Default::default()
         })
     }
 
@@ -1677,6 +2166,7 @@ mod tests {
             initial_capacity: 16,
             max_capacity: 64,
             min_capacity: 2,
+            ..Default::default()
         });
         for i in 0..10 {
             p.try_push(i).unwrap();
@@ -2032,6 +2522,7 @@ mod tests {
             initial_capacity: 4,
             max_capacity: 1 << 12,
             min_capacity: 2,
+            ..Default::default()
         });
         const N: u64 = 200_000;
         let monitor = {
@@ -2070,6 +2561,7 @@ mod tests {
             initial_capacity: 4,
             max_capacity: 1 << 12,
             min_capacity: 2,
+            ..Default::default()
         });
         const N: u64 = 100_000;
         const BATCH: usize = 7; // deliberately not a power of two
@@ -2175,5 +2667,125 @@ mod tests {
         assert!(!f.grow());
         assert!(!f.shrink());
         assert_eq!(f.capacity(), 8);
+    }
+
+    #[test]
+    fn journal_rewind_replays_uncommitted_pops() {
+        let (f, mut p, mut c) = fifo_with::<u64>(FifoConfig::default());
+        c.enable_journal(JournalConfig::default());
+        assert!(f.journaled());
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        assert_eq!(c.pop().unwrap(), 0);
+        assert_eq!(c.pop().unwrap(), 1);
+        // Transaction fails: both pops must be re-served, in order.
+        assert_eq!(c.rewind_consumed(), 2);
+        assert_eq!(c.replay_pending(), 2);
+        assert_eq!(f.occupancy(), 4, "replay counts as occupancy");
+        assert_eq!(c.pop().unwrap(), 0);
+        assert_eq!(c.pop().unwrap(), 1);
+        assert_eq!(c.pop().unwrap(), 2);
+        // A second failure before commit replays everything again.
+        assert_eq!(c.rewind_consumed(), 3);
+        assert_eq!(
+            (0..3).map(|_| c.pop().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(c.commit_consumed(), 3);
+        assert_eq!(c.rewind_consumed(), 0, "committed entries stay acked");
+        assert_eq!(c.pop().unwrap(), 3);
+        assert_eq!(f.snapshot().replayed, 5);
+    }
+
+    #[test]
+    fn journal_is_finished_waits_for_replay() {
+        let (f, mut p, mut c) = fifo_with::<u64>(FifoConfig::default());
+        c.enable_journal(JournalConfig::default());
+        p.try_push(7).unwrap();
+        p.close();
+        drop(p);
+        assert_eq!(c.pop().unwrap(), 7);
+        c.rewind_consumed();
+        assert!(!f.is_finished(), "pending replay is unconsumed data");
+        assert_eq!(c.pop().unwrap(), 7);
+        c.commit_consumed();
+        assert!(f.is_finished());
+    }
+
+    #[test]
+    fn staging_publishes_only_on_commit() {
+        let (f, mut p, mut c) = fifo_with::<u64>(FifoConfig::default());
+        p.enable_staging();
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(f.occupancy(), 0, "staged pushes are not published");
+        assert_eq!(p.staged_len(), 2);
+        // Failed transaction: outputs vanish without a trace.
+        assert_eq!(p.rewind_produced(), 2);
+        p.push(3).unwrap();
+        p.push(4).unwrap();
+        assert_eq!(p.commit_produced().unwrap(), 2);
+        assert_eq!(c.pop().unwrap(), 3);
+        assert_eq!(c.pop().unwrap(), 4);
+        assert_eq!(p.commit_produced().unwrap(), 0, "commit is idempotent");
+    }
+
+    #[test]
+    fn shed_policy_drops_on_full_and_counts() {
+        let (f, mut p, _c) =
+            fifo_with::<u64>(FifoConfig::fixed(4).with_admission(AdmissionPolicy::Shed));
+        for i in 0..4 {
+            p.push(i).unwrap();
+        }
+        // Ring full, consumer idle: Block would hang here — Shed returns.
+        p.push(99).unwrap();
+        p.push(100).unwrap();
+        assert_eq!(f.occupancy(), 4);
+        assert_eq!(f.snapshot().shed, 2);
+        let mut batch = vec![1u64, 2, 3];
+        p.push_batch(&mut batch).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(f.snapshot().shed, 5);
+    }
+
+    #[test]
+    fn block_timeout_policy_degrades_to_shed() {
+        let (f, mut p, _c) = fifo_with::<u64>(
+            FifoConfig::fixed(2)
+                .with_admission(AdmissionPolicy::BlockTimeout(Duration::from_millis(5))),
+        );
+        p.push(0).unwrap();
+        p.push(1).unwrap();
+        let t0 = Instant::now();
+        p.push(2).unwrap(); // blocks ~5ms, then sheds
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+        assert_eq!(f.snapshot().shed, 1);
+    }
+
+    #[test]
+    fn quiesce_fails_blocked_endpoints_fast() {
+        let (f, mut p, mut c) = fifo_with::<u64>(FifoConfig::fixed(2));
+        p.push(0).unwrap();
+        p.push(1).unwrap();
+        assert_eq!(f.drain_level(), DRAIN_RUNNING);
+        f.set_drain_level(DRAIN_QUIESCED);
+        // Full ring + quiesce: the blocking push errs instead of wedging.
+        assert!(p.push(2).is_err());
+        // Queued data still drains...
+        assert_eq!(c.pop().unwrap(), 0);
+        assert_eq!(c.pop().unwrap(), 1);
+        // ...then the consumer sees end-of-stream though the producer lives.
+        assert!(matches!(c.try_pop(), Err(TryPopError::Closed)));
+        assert!(c.is_finished());
+        assert!(f.is_finished());
+    }
+
+    #[test]
+    fn drain_level_is_monotonic() {
+        let (f, _p, _c) = fifo_with::<u64>(FifoConfig::default());
+        f.set_drain_level(DRAIN_QUIESCED);
+        f.set_drain_level(DRAIN_DRAINING); // lowering is ignored
+        assert_eq!(f.drain_level(), DRAIN_QUIESCED);
     }
 }

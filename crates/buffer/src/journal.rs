@@ -1,0 +1,327 @@
+//! In-flight journaling: the sequence-numbered replay window behind the
+//! exactly-once recovery contract.
+//!
+//! The paper's runtime assumes kernels never fail; our supervision layer
+//! (restart/replace policies) re-enters a panicked kernel, but historically
+//! anything the kernel had already *popped* in the failing `run()` was gone
+//! and anything it had already *pushed* was published twice on replay —
+//! "lossy panic absorption". The resilient TCP links solved the same
+//! problem across processes with a seq/ack replay window
+//! (`raft-net/src/resilient.rs`); [`ReplayWindow`] is that mechanism
+//! factored out so the in-process FIFOs can journal too.
+//!
+//! ## The recovery contract
+//!
+//! A journaled link treats one `run()` invocation as a transaction:
+//!
+//! * every element popped during the run is **recorded** (a clone) in the
+//!   consumer-side window, unacknowledged;
+//! * every element pushed during the run is **staged** producer-side and
+//!   not yet published to the ring;
+//! * if the run returns, the scheduler **commits**: consumed entries are
+//!   acknowledged (dropped from the window), staged outputs are published;
+//! * if the run panics under a restart/replace policy, the scheduler
+//!   **rewinds**: staged outputs are discarded, and the window's replay
+//!   cursor moves back so the restarted kernel re-pops the exact same
+//!   elements, in order.
+//!
+//! For a deterministic kernel this yields exactly-once *observable*
+//! processing: downstream sees each input's effect once, byte-identical to
+//! a fault-free run. Entries stay in the window until acknowledged, so a
+//! second panic replays again.
+//!
+//! The window is bounded ([`JournalConfig::bound`]); a run that pops more
+//! than `bound` elements force-acknowledges the oldest entries (those can
+//! no longer be replayed — the safety valve is recorded in the
+//! `forced_acks` counter so the loss is visible, never silent).
+
+use std::collections::VecDeque;
+
+/// Per-link journal configuration (see [`crate::FifoConfig::journal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Maximum unacknowledged entries retained for replay. A committed
+    /// transaction acknowledges everything it consumed, so the bound only
+    /// has to cover the pops of a single commit interval.
+    pub bound: usize,
+    /// How many successful `run()` invocations the scheduler folds into one
+    /// transaction before committing (publishing staged outputs and
+    /// acknowledging consumed inputs). `1` commits after every run — the
+    /// tightest replay window, but per-element commit cost. Larger values
+    /// amortize the commit across many runs; a rewind then replays up to
+    /// `commit_interval` runs' worth of pops, all of whose outputs were
+    /// still staged (never published), so exactly-once observability is
+    /// unchanged. Schedulers flush early whenever the kernel goes idle,
+    /// finishes, or winds down, so batching adds bounded latency only while
+    /// the kernel is actively running.
+    pub commit_interval: u32,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            bound: 4096,
+            commit_interval: 32,
+        }
+    }
+}
+
+impl JournalConfig {
+    /// Journal with the given replay bound.
+    pub fn bounded(bound: usize) -> Self {
+        JournalConfig {
+            bound: bound.max(1),
+            ..JournalConfig::default()
+        }
+    }
+
+    /// Override the scheduler commit interval (clamped to at least 1).
+    pub fn with_commit_interval(mut self, runs: u32) -> Self {
+        self.commit_interval = runs.max(1);
+        self
+    }
+}
+
+/// What a producer does when its queue is full — the paper's blocking
+/// write, or an overload-degradation policy (see
+/// [`crate::FifoConfig::admission`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block until the consumer makes room (the default; lossless).
+    #[default]
+    Block,
+    /// Drop the element immediately when the ring is full and count it in
+    /// the `shed` statistic — load shedding for pipelines that prefer
+    /// freshness over completeness.
+    Shed,
+    /// Block up to the given timeout, then shed. A middle ground: absorbs
+    /// short bursts losslessly, degrades under sustained overload.
+    BlockTimeout(std::time::Duration),
+}
+
+impl AdmissionPolicy {
+    /// `true` for any policy that may drop elements.
+    pub fn may_shed(&self) -> bool {
+        !matches!(self, AdmissionPolicy::Block)
+    }
+}
+
+/// A bounded, sequence-numbered window of sent-but-unacknowledged entries.
+///
+/// Generic over the entry type: the in-process consumer journal stores
+/// `(T, Signal)` pairs, the resilient TCP sender stores encoded frames.
+/// Sequence numbers are monotonic from 0 and never reused; acknowledgement
+/// is cumulative (acking `n` releases every entry with `seq < n`).
+#[derive(Debug)]
+pub struct ReplayWindow<E> {
+    entries: VecDeque<(u64, E)>,
+    /// Sequence number the *next* appended entry will get.
+    next_seq: u64,
+    /// Everything below this has been acknowledged and dropped.
+    acked: u64,
+    /// Max retained entries; 0 = unbounded (net links bound by flow
+    /// control instead).
+    bound: usize,
+    /// Entries force-dropped by the bound before acknowledgement — each is
+    /// an element that can no longer be replayed.
+    forced: u64,
+}
+
+impl<E> ReplayWindow<E> {
+    /// Empty window. `bound == 0` disables the cap.
+    pub fn new(bound: usize) -> Self {
+        ReplayWindow {
+            entries: VecDeque::new(),
+            next_seq: 0,
+            acked: 0,
+            bound,
+            forced: 0,
+        }
+    }
+
+    /// Record `entry`, returning its sequence number. If the window is at
+    /// its bound, the oldest entry is force-acknowledged first.
+    pub fn append(&mut self, entry: E) -> u64 {
+        if self.bound != 0 && self.entries.len() >= self.bound {
+            self.entries.pop_front();
+            self.acked += 1;
+            self.forced += 1;
+        }
+        let seq = self.next_seq;
+        self.entries.push_back((seq, entry));
+        self.next_seq += 1;
+        // After the record: an injected crash here models dying right after
+        // the journal write — the recoverable half of the window (the entry
+        // is retained, a rewind replays it). Crashing *before* the record
+        // would lose the element the caller already took from the ring, so
+        // the site sits on the committed side.
+        crate::failpoint!("buffer::journal::append");
+        seq
+    }
+
+    /// Cumulative acknowledgement: drop every entry with `seq <
+    /// next_expected`. Returns how many entries were released.
+    pub fn ack(&mut self, next_expected: u64) -> usize {
+        crate::failpoint!("buffer::journal::ack");
+        let mut released = 0;
+        while let Some(&(seq, _)) = self.entries.front() {
+            if seq < next_expected {
+                self.entries.pop_front();
+                released += 1;
+            } else {
+                break;
+            }
+        }
+        self.acked = self.acked.max(next_expected.min(self.next_seq));
+        released
+    }
+
+    /// Acknowledge everything currently recorded. Equivalent to
+    /// `ack(next_seq)` but skips the per-entry front probes — this is the
+    /// transaction-commit hot path.
+    pub fn ack_all(&mut self) -> usize {
+        crate::failpoint!("buffer::journal::ack");
+        let released = self.entries.len();
+        self.entries.clear();
+        self.acked = self.next_seq;
+        released
+    }
+
+    /// Iterate entries with `seq >= from`, in sequence order — the replay
+    /// suffix retransmitted after a reconnect or rewound after a panic.
+    pub fn iter_from(&self, from: u64) -> impl Iterator<Item = &(u64, E)> {
+        crate::failpoint!("buffer::journal::replay");
+        self.entries.iter().filter(move |(seq, _)| *seq >= from)
+    }
+
+    /// Entry with sequence number `seq`, if still retained.
+    pub fn get(&self, seq: u64) -> Option<&E> {
+        if seq < self.acked || seq >= self.next_seq {
+            return None;
+        }
+        // Entries are dense and ordered: seq - front.seq is the offset.
+        let front = self.entries.front()?.0;
+        self.entries.get((seq - front) as usize).map(|(_, e)| e)
+    }
+
+    /// Unacknowledged entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is awaiting acknowledgement.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sequence number the next [`append`](Self::append) will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Cumulative acknowledgement horizon.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Entries force-dropped by the bound (replay coverage lost).
+    pub fn forced_acks(&self) -> u64 {
+        self.forced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_monotonic_seqs() {
+        let mut w = ReplayWindow::new(0);
+        assert_eq!(w.append("a"), 0);
+        assert_eq!(w.append("b"), 1);
+        assert_eq!(w.append("c"), 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.next_seq(), 3);
+    }
+
+    #[test]
+    fn cumulative_ack_releases_prefix() {
+        let mut w = ReplayWindow::new(0);
+        for s in ["a", "b", "c", "d"] {
+            w.append(s);
+        }
+        assert_eq!(w.ack(2), 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.acked(), 2);
+        // re-acking the same horizon is a no-op
+        assert_eq!(w.ack(2), 0);
+        // ack beyond next_seq clamps
+        assert_eq!(w.ack(100), 2);
+        assert_eq!(w.acked(), 4);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn replay_suffix_in_order() {
+        let mut w = ReplayWindow::new(0);
+        for s in ["a", "b", "c", "d"] {
+            w.append(s);
+        }
+        w.ack(1);
+        let suffix: Vec<_> = w.iter_from(2).map(|(s, e)| (*s, *e)).collect();
+        assert_eq!(suffix, vec![(2, "c"), (3, "d")]);
+        // iter_from below the retained range yields the whole window
+        assert_eq!(w.iter_from(0).count(), 3);
+    }
+
+    #[test]
+    fn get_by_seq() {
+        let mut w = ReplayWindow::new(0);
+        for s in ["a", "b", "c"] {
+            w.append(s);
+        }
+        w.ack(1);
+        assert_eq!(w.get(0), None); // acked
+        assert_eq!(w.get(1), Some(&"b"));
+        assert_eq!(w.get(2), Some(&"c"));
+        assert_eq!(w.get(3), None); // not yet appended
+    }
+
+    #[test]
+    fn bound_forces_oldest_out() {
+        let mut w = ReplayWindow::new(2);
+        w.append(10);
+        w.append(11);
+        w.append(12); // evicts seq 0
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.forced_acks(), 1);
+        assert_eq!(w.acked(), 1);
+        assert_eq!(w.get(0), None);
+        assert_eq!(w.get(1), Some(&11));
+    }
+
+    #[test]
+    fn ack_all_clears() {
+        let mut w = ReplayWindow::new(0);
+        w.append(1u32);
+        w.append(2);
+        assert_eq!(w.ack_all(), 2);
+        assert!(w.is_empty());
+        assert_eq!(w.acked(), 2);
+        assert_eq!(w.forced_acks(), 0);
+    }
+
+    #[test]
+    fn admission_policy_classification() {
+        assert!(!AdmissionPolicy::Block.may_shed());
+        assert!(AdmissionPolicy::Shed.may_shed());
+        assert!(AdmissionPolicy::BlockTimeout(std::time::Duration::from_millis(1)).may_shed());
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::Block);
+    }
+
+    #[test]
+    fn journal_config_bound_floor() {
+        assert_eq!(JournalConfig::bounded(0).bound, 1);
+        assert_eq!(JournalConfig::default().bound, 4096);
+    }
+}

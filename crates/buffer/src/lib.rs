@@ -39,6 +39,7 @@ pub mod error;
 pub mod failpoints;
 pub mod fence;
 pub mod fifo;
+pub mod journal;
 #[cfg(feature = "raft_protocol_check")]
 pub mod protocol;
 pub mod signal;
@@ -52,7 +53,9 @@ pub use error::{PopError, PushError, TryPopError, TryPushError};
 pub use fence::{ResizeFence, Role};
 pub use fifo::{
     fifo_with, Consumer, Fifo, FifoConfig, PeekRange, Producer, SliceView, WriteGuard, WriteSlice,
+    DRAIN_DRAINING, DRAIN_QUIESCED, DRAIN_RUNNING,
 };
+pub use journal::{AdmissionPolicy, JournalConfig, ReplayWindow};
 pub use signal::Signal;
 pub use spsc::BoundedSpsc;
 pub use stats::{FifoStats, StatsSnapshot};

@@ -37,6 +37,12 @@ pub struct WriterCounters {
     pub blocked_since: AtomicU64,
     /// Cumulative nanoseconds the writer spent blocked.
     pub blocked_ns: AtomicU64,
+    /// Elements dropped by a [`Shed`]/[`BlockTimeout`] admission policy on
+    /// a full ring (see [`crate::journal::AdmissionPolicy`]).
+    ///
+    /// [`Shed`]: crate::journal::AdmissionPolicy::Shed
+    /// [`BlockTimeout`]: crate::journal::AdmissionPolicy::BlockTimeout
+    pub shed: AtomicU64,
 }
 
 /// Counters written only by the consumer thread (padded to its own cache
@@ -54,6 +60,9 @@ pub struct ReaderCounters {
     /// `pop_range`); the monitor grows the ring if this exceeds capacity —
     /// the paper's read-side resize trigger.
     pub max_read_request: AtomicU64,
+    /// Elements served again from the consumer-side journal after a
+    /// supervised restart rewound the link (exactly-once replay).
+    pub replayed: AtomicU64,
 }
 
 /// Counters written only by the monitor thread (padded to its own cache
@@ -100,12 +109,14 @@ impl FifoStats {
                 pushed: AtomicU64::new(0),
                 blocked_since: AtomicU64::new(0),
                 blocked_ns: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
             }),
             reader: CachePadded::new(ReaderCounters {
                 popped: AtomicU64::new(0),
                 blocked_since: AtomicU64::new(0),
                 blocked_ns: AtomicU64::new(0),
                 max_read_request: AtomicU64::new(0),
+                replayed: AtomicU64::new(0),
             }),
             monitor: CachePadded::new(MonitorCounters {
                 resizes: AtomicU64::new(0),
@@ -208,6 +219,8 @@ impl FifoStats {
             writer_blocked_ns: self.writer.blocked_ns.load(Relaxed),
             reader_blocked_ns: self.reader.blocked_ns.load(Relaxed),
             max_read_request: self.reader.max_read_request.load(Relaxed) as usize,
+            shed: self.writer.shed.load(Relaxed),
+            replayed: self.reader.replayed.load(Relaxed),
             throughput: if elapsed > 0.0 {
                 popped as f64 / elapsed
             } else {
@@ -240,6 +253,10 @@ pub struct StatsSnapshot {
     pub reader_blocked_ns: u64,
     /// Largest multi-item read request observed.
     pub max_read_request: usize,
+    /// Elements dropped by the link's admission policy on overload.
+    pub shed: u64,
+    /// Elements re-served from the journal after a supervised restart.
+    pub replayed: u64,
     /// Elements per second popped since creation.
     pub throughput: f64,
     /// Log2-bucketed occupancy histogram (see [`HIST_BUCKETS`]).

@@ -43,6 +43,7 @@ proptest! {
             initial_capacity: 2,
             max_capacity: 1 << 10,
             min_capacity: 1,
+            ..Default::default()
         });
         let mut model = std::collections::VecDeque::new();
         let mut seq = 10_000u16; // distinct marker values for batch writes
@@ -140,6 +141,7 @@ proptest! {
             initial_capacity: cap,
             max_capacity: 1 << 12,
             min_capacity: 1,
+            ..Default::default()
         });
         let monitor = std::thread::spawn(move || {
             for i in 0..resizes {
@@ -176,6 +178,7 @@ proptest! {
             initial_capacity: cap,
             max_capacity: 1 << 12,
             min_capacity: 1,
+            ..Default::default()
         });
         let monitor = std::thread::spawn(move || {
             for i in 0..resizes {

@@ -15,6 +15,7 @@ fn clean_spsc_traffic_with_resizes_has_no_violations() {
         initial_capacity: 8,
         max_capacity: 1 << 12,
         min_capacity: 8,
+        ..Default::default()
     });
 
     const N: u64 = 20_000;

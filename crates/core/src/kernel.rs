@@ -96,9 +96,49 @@ pub type ErasedFifo = (AnyEndpoint, AnyEndpoint, Arc<dyn Monitorable>);
 /// Monomorphized FIFO factory, captured at port-declaration time.
 pub type FifoFactory = fn(FifoConfig) -> ErasedFifo;
 
-fn make_fifo<T: Send + 'static>(cfg: FifoConfig) -> ErasedFifo {
-    let (fifo, producer, consumer) = fifo_with::<T>(cfg);
+fn make_fifo<T: Send + Clone + 'static>(cfg: FifoConfig) -> ErasedFifo {
+    let (fifo, mut producer, mut consumer) = fifo_with::<T>(cfg);
+    if let Some(journal) = cfg.journal {
+        // Exactly-once link: pops are recorded for replay, pushes staged
+        // until the transaction commits (see `raft_buffer::journal`).
+        consumer.enable_journal(journal);
+        producer.enable_staging();
+    }
     (Box::new(producer), Box::new(consumer), Arc::new(fifo))
+}
+
+/// Transaction verbs applied to a journaled endpoint at the end of one
+/// `run()` (see `raft_buffer::journal`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOp {
+    /// Acknowledge consumed elements / publish staged outputs.
+    Commit,
+    /// Queue consumed elements for replay / discard staged outputs.
+    Rewind,
+}
+
+/// Monomorphized journal-control eraser captured on a [`PortDef`]: apply
+/// `op` to the input (`is_input == true`) or output port `idx` of `ctx`.
+/// Returns how many elements were affected (acked/queued/published/
+/// discarded).
+pub type JournalCtlFn = fn(&Context, bool, usize, JournalOp) -> u64;
+
+fn journal_ctl<T: Send + 'static>(ctx: &Context, is_input: bool, idx: usize, op: JournalOp) -> u64 {
+    if is_input {
+        let mut port = ctx.input_at::<T>(idx);
+        match op {
+            JournalOp::Commit => port.commit_consumed() as u64,
+            JournalOp::Rewind => port.rewind_consumed() as u64,
+        }
+    } else {
+        let mut port = ctx.output_at::<T>(idx);
+        match op {
+            // A commit that fails (consumer gone) drops the staged elements,
+            // exactly as an unjournaled push to a closed consumer would.
+            JournalOp::Commit => port.commit_produced().unwrap_or(0) as u64,
+            JournalOp::Rewind => port.rewind_produced() as u64,
+        }
+    }
 }
 
 /// Declaration of one port: name, element type, and the factories the
@@ -120,6 +160,9 @@ pub struct PortDef {
     pub batch_pop: BatchPopFn,
     /// Batched-output eraser for this element type (fused-chain tail I/O).
     pub batch_push: BatchPushFn,
+    /// Journal-transaction eraser for this element type (exactly-once
+    /// recovery: commit/rewind through the type-erased [`Context`]).
+    pub journal_ctl: JournalCtlFn,
 }
 
 impl std::fmt::Debug for PortDef {
@@ -133,7 +176,11 @@ impl std::fmt::Debug for PortDef {
 
 impl PortDef {
     /// Declare a port of element type `T`.
-    pub fn of<T: Send + 'static>(name: impl Into<String>) -> Self {
+    ///
+    /// `T: Clone` mirrors C++ RaftLib's requirement that stream types be
+    /// copy-constructible; it is what lets a journaled link keep a replay
+    /// copy of each in-flight element.
+    pub fn of<T: Send + Clone + 'static>(name: impl Into<String>) -> Self {
         PortDef {
             name: name.into(),
             type_id: TypeId::of::<T>(),
@@ -142,6 +189,7 @@ impl PortDef {
             adapters: adapter_factories::<T>,
             batch_pop: batch_pop::<T>,
             batch_push: batch_push::<T>,
+            journal_ctl: journal_ctl::<T>,
         }
     }
 }
@@ -332,8 +380,9 @@ impl PortSpec {
     }
 
     /// Add an input port of element type `T` — the analog of
-    /// `input.addPort<T>("name")` in the paper's Figure 2.
-    pub fn input<T: Send + 'static>(mut self, name: impl Into<String>) -> Self {
+    /// `input.addPort<T>("name")` in the paper's Figure 2. `T: Clone` is
+    /// the stream-type contract (see [`PortDef::of`]).
+    pub fn input<T: Send + Clone + 'static>(mut self, name: impl Into<String>) -> Self {
         let def = PortDef::of::<T>(name);
         assert!(
             self.inputs.iter().all(|p| p.name != def.name),
@@ -344,8 +393,9 @@ impl PortSpec {
         self
     }
 
-    /// Add an output port of element type `T`.
-    pub fn output<T: Send + 'static>(mut self, name: impl Into<String>) -> Self {
+    /// Add an output port of element type `T`. `T: Clone` is the
+    /// stream-type contract (see [`PortDef::of`]).
+    pub fn output<T: Send + Clone + 'static>(mut self, name: impl Into<String>) -> Self {
         let def = PortDef::of::<T>(name);
         assert!(
             self.outputs.iter().all(|p| p.name != def.name),

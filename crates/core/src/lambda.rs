@@ -66,7 +66,7 @@ where
 /// Source lambda: yields items until the closure returns `None`.
 pub fn lambda_source<T, F>(mut f: F) -> impl Kernel
 where
-    T: Send + 'static,
+    T: Send + Clone + 'static,
     F: FnMut() -> Option<T> + Send + 'static,
 {
     SourceLambda {
@@ -90,7 +90,7 @@ struct SourceLambda<T, G> {
 
 impl<T, G> Kernel for SourceLambda<T, G>
 where
-    T: Send + 'static,
+    T: Send + Clone + 'static,
     G: FnMut(&mut crate::port::OutPort<'_, T>) -> KStatus + Send + 'static,
 {
     fn ports(&self) -> PortSpec {
@@ -109,8 +109,8 @@ where
 /// closure is `Clone`, the kernel is replicable by the auto-parallelizer.
 pub fn lambda_map<A, B, F>(f: F) -> MapLambda<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(A) -> B + Clone + Send + 'static,
 {
     MapLambda {
@@ -127,8 +127,8 @@ pub struct MapLambda<A, B, F> {
 
 impl<A, B, F> Kernel for MapLambda<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(A) -> B + Clone + Send + 'static,
 {
     fn ports(&self) -> PortSpec {
@@ -176,7 +176,7 @@ where
 /// Sink lambda: consumes every item.
 pub fn lambda_sink<T, F>(mut f: F) -> impl Kernel
 where
-    T: Send + 'static,
+    T: Send + Clone + 'static,
     F: FnMut(T) + Send + 'static,
 {
     SinkLambda {
@@ -192,7 +192,7 @@ struct SinkLambda<T, G> {
 
 impl<T, G> Kernel for SinkLambda<T, G>
 where
-    T: Send + 'static,
+    T: Send + Clone + 'static,
     G: FnMut(T) + Send + 'static,
 {
     fn ports(&self) -> PortSpec {

@@ -95,19 +95,19 @@ pub use kernel::{
     PortSpec,
 };
 pub use lambda::{lambda_map, lambda_sink, lambda_source, LambdaKernel};
-pub use map::{ExeOpts, KernelId, MapConfig, ParallelConfig, RaftMap};
+pub use map::{ExeOpts, KernelId, MapConfig, ParallelConfig, RaftMap, StopHandle};
 pub use monitor::{
     MonitorConfig, ResizeEvent, ResizeReason, WatchdogEvent, WatchdogKind, WidthEvent,
 };
 pub use parallel::{Reduce, Split, SplitStrategy, WidthControl};
 pub use port::{Context, InPort, OutPort};
 pub use report::render as render_report;
-pub use runtime::{EdgeReport, ExeReport, KernelReport};
+pub use runtime::{DrainEvent, DrainReason, EdgeReport, ExeReport, KernelReport};
 pub use scheduler::{SchedulerKind, WorkerReport};
 pub use supervise::{KernelOutcome, SupervisorPolicy};
 
 // Re-export the signal and FIFO config types users meet at the API surface.
-pub use raft_buffer::{FifoConfig, Signal};
+pub use raft_buffer::{AdmissionPolicy, FifoConfig, JournalConfig, Signal};
 
 /// Everything needed to write and run a streaming application.
 pub mod prelude {
@@ -119,12 +119,12 @@ pub mod prelude {
     pub use crate::error::{ExeError, LinkError, PortClosed};
     pub use crate::kernel::{BatchKernel, KStatus, Kernel, PortSpec};
     pub use crate::lambda::{lambda_map, lambda_sink, lambda_source, LambdaKernel};
-    pub use crate::map::{ExeOpts, KernelId, MapConfig, ParallelConfig, RaftMap};
+    pub use crate::map::{ExeOpts, KernelId, MapConfig, ParallelConfig, RaftMap, StopHandle};
     pub use crate::monitor::{MonitorConfig, WatchdogEvent, WatchdogKind};
     pub use crate::parallel::SplitStrategy;
     pub use crate::port::{Context, InPort, OutPort};
-    pub use crate::runtime::ExeReport;
+    pub use crate::runtime::{DrainEvent, DrainReason, ExeReport};
     pub use crate::scheduler::SchedulerKind;
     pub use crate::supervise::{KernelOutcome, SupervisorPolicy};
-    pub use raft_buffer::{FifoConfig, Signal};
+    pub use raft_buffer::{AdmissionPolicy, FifoConfig, JournalConfig, Signal};
 }

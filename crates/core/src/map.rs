@@ -12,9 +12,11 @@
 //! signal (§4.1: "indicated by the user at link type") that lets the
 //! auto-parallelizer replicate the kernels on either end.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use raft_buffer::FifoConfig;
+use raft_buffer::{FifoConfig, DRAIN_DRAINING, DRAIN_QUIESCED};
 
 use crate::analysis::fusion::FusionConfig;
 use crate::check::CheckConfig;
@@ -48,6 +50,12 @@ pub struct MapConfig {
     /// Kernel-fusion pass settings (chains of stateless single-in/
     /// single-out kernels collapse into one batch-executed kernel).
     pub fusion: FusionConfig,
+    /// Grace period of the drain ladder: how long the runtime waits after
+    /// raising drain level 1 (sources stop, in-flight data flushes) before
+    /// escalating to level 2 (FIFOs fail fast) when the graph has not
+    /// finished on its own. Applies to watchdog deadlines and
+    /// [`StopHandle`] requests alike.
+    pub drain_grace: Duration,
 }
 
 impl Default for MapConfig {
@@ -59,7 +67,43 @@ impl Default for MapConfig {
             parallel: ParallelConfig::default(),
             check: CheckConfig::default(),
             fusion: FusionConfig::default(),
+            drain_grace: Duration::from_millis(500),
         }
+    }
+}
+
+/// Cooperative shutdown lever for a live graph.
+///
+/// Obtained from [`RaftMap::stop_handle`] *before* `exe()` consumes the
+/// map; cloneable and `Send`, so a controller thread can stop a running
+/// pipeline from outside. Requests are monotonic — the drain ladder only
+/// ever goes up:
+///
+/// 1. [`StopHandle::drain`] — sources stop producing, in-flight data
+///    flushes to the sinks (clean, lossless).
+/// 2. [`StopHandle::quiesce`] — additionally, blocked FIFO operations fail
+///    fast (pushes error, pops observe end-of-stream), unsticking kernels
+///    that would never drain on their own. The runtime escalates from 1 to
+///    2 by itself after [`MapConfig::drain_grace`].
+#[derive(Debug, Clone)]
+pub struct StopHandle {
+    requested: Arc<AtomicU8>,
+}
+
+impl StopHandle {
+    /// Request a cooperative drain (ladder level 1).
+    pub fn drain(&self) {
+        self.requested.fetch_max(DRAIN_DRAINING, Ordering::SeqCst);
+    }
+
+    /// Request an immediate quiesce (ladder level 2).
+    pub fn quiesce(&self) {
+        self.requested.fetch_max(DRAIN_QUIESCED, Ordering::SeqCst);
+    }
+
+    /// Highest level requested so far.
+    pub fn requested_level(&self) -> u8 {
+        self.requested.load(Ordering::SeqCst)
     }
 }
 
@@ -148,6 +192,9 @@ pub struct RaftMap {
     pub(crate) kernels: Vec<KernelEntry>,
     pub(crate) links: Vec<LinkEntry>,
     pub(crate) cfg: MapConfig,
+    /// Drain level requested through [`StopHandle`]s (the runtime's ladder
+    /// polls this while the graph runs).
+    pub(crate) drain_request: Arc<AtomicU8>,
 }
 
 impl Default for RaftMap {
@@ -168,6 +215,16 @@ impl RaftMap {
             kernels: Vec::new(),
             links: Vec::new(),
             cfg,
+            drain_request: Arc::new(AtomicU8::new(0)),
+        }
+    }
+
+    /// A [`StopHandle`] for shutting this map down after `exe()` starts.
+    /// Take as many as needed before calling `exe()`; they all drive the
+    /// same drain ladder.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            requested: self.drain_request.clone(),
         }
     }
 

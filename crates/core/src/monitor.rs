@@ -530,6 +530,7 @@ mod tests {
             initial_capacity: 4,
             max_capacity: 64,
             min_capacity: 2,
+            ..Default::default()
         });
         for i in 0..4 {
             p.try_push(i).unwrap();
@@ -563,6 +564,7 @@ mod tests {
             initial_capacity: 64,
             max_capacity: 128,
             min_capacity: 4,
+            ..Default::default()
         });
         let handle = spawn(
             cfg_fast(),
@@ -587,6 +589,7 @@ mod tests {
             initial_capacity: 4,
             max_capacity: 64,
             min_capacity: 4,
+            ..Default::default()
         });
         for i in 0..4 {
             p.try_push(i).unwrap();

@@ -80,7 +80,7 @@ impl WidthControl {
 }
 
 /// Default split adapter: one input `"in"`, outputs `"0"`, `"1"`, ….
-pub struct Split<T: Send + 'static> {
+pub struct Split<T: Send + Clone + 'static> {
     width: usize,
     strategy: SplitStrategy,
     active: Arc<AtomicU32>,
@@ -89,7 +89,7 @@ pub struct Split<T: Send + 'static> {
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
-impl<T: Send + 'static> Split<T> {
+impl<T: Send + Clone + 'static> Split<T> {
     /// Build a split of `width` ways.
     pub fn new(width: usize, strategy: SplitStrategy) -> Self {
         let width = width.max(1);
@@ -112,7 +112,7 @@ impl<T: Send + 'static> Split<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Split<T> {
+impl<T: Send + Clone + 'static> Kernel for Split<T> {
     fn ports(&self) -> PortSpec {
         let mut spec = PortSpec::new().input::<T>("in");
         for i in 0..self.width {
@@ -196,7 +196,7 @@ impl<T: Send + 'static> Kernel for Split<T> {
 /// Default reduce adapter: inputs `"0"`, `"1"`, …, one output `"out"`.
 /// Merges in arrival order (replication only happens on out-of-order-safe
 /// streams, so no sequencing is required).
-pub struct Reduce<T: Send + 'static> {
+pub struct Reduce<T: Send + Clone + 'static> {
     width: usize,
     next: usize,
     scratch: Vec<T>,
@@ -207,7 +207,7 @@ pub struct Reduce<T: Send + 'static> {
 /// data queued (bounds latency for the other inputs).
 const REDUCE_BATCH: usize = 256;
 
-impl<T: Send + 'static> Reduce<T> {
+impl<T: Send + Clone + 'static> Reduce<T> {
     /// Build a reduce of `width` ways.
     pub fn new(width: usize) -> Self {
         Reduce {
@@ -219,7 +219,7 @@ impl<T: Send + 'static> Reduce<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Reduce<T> {
+impl<T: Send + Clone + 'static> Kernel for Reduce<T> {
     fn ports(&self) -> PortSpec {
         let mut spec = PortSpec::new().output::<T>("out");
         for i in 0..self.width {
@@ -283,7 +283,7 @@ pub struct AdapterFactories {
 }
 
 /// Factories for element type `T`.
-pub fn adapter_factories<T: Send + 'static>() -> AdapterFactories {
+pub fn adapter_factories<T: Send + Clone + 'static>() -> AdapterFactories {
     AdapterFactories {
         split: |w, s| {
             let split = Split::<T>::new(w, s);

@@ -23,7 +23,7 @@
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use raft_buffer::fifo::Monitorable;
@@ -53,6 +53,11 @@ pub struct Context {
     output_names: HashMap<String, usize>,
     /// Cooperative stop flag: set by the runtime on global shutdown.
     stop: Arc<AtomicBool>,
+    /// Graph-wide drain level (see `raft_buffer::DRAIN_DRAINING` /
+    /// `DRAIN_QUIESCED`): raised by the runtime's drain ladder; level 1
+    /// asks sources to stop so in-flight data flushes, level 2 makes the
+    /// FIFOs themselves fail fast.
+    drain: Arc<AtomicU8>,
     /// Kernel display name (for port-access panic messages).
     kernel_name: String,
 }
@@ -77,6 +82,7 @@ impl Context {
             outputs: Vec::new(),
             output_names: HashMap::new(),
             stop,
+            drain: Arc::new(AtomicU8::new(0)),
             kernel_name,
         };
         for (name, ep, fifo) in inputs {
@@ -204,6 +210,25 @@ impl Context {
         self.stop.load(Ordering::Relaxed)
     }
 
+    /// Share the graph-wide drain flag with this context. Runtime-internal:
+    /// every kernel of a map observes the same ladder.
+    pub(crate) fn set_drain_flag(&mut self, drain: Arc<AtomicU8>) {
+        self.drain = drain;
+    }
+
+    /// Current graph drain level: 0 = running, 1 = draining (sources asked
+    /// to stop, in-flight data still flushing), 2 = quiesced (FIFOs fail
+    /// fast). Long-running sources should treat ≥ 1 like
+    /// [`Context::stop_requested`].
+    pub fn drain_level(&self) -> u8 {
+        self.drain.load(Ordering::Acquire)
+    }
+
+    /// `true` once a cooperative drain has been requested (level ≥ 1).
+    pub fn drain_requested(&self) -> bool {
+        self.drain_level() >= raft_buffer::DRAIN_DRAINING
+    }
+
     /// `true` when *every* input port is closed and drained — the usual
     /// condition for an intermediate kernel to return [`KStatus::Stop`].
     ///
@@ -310,6 +335,22 @@ impl<'a, T: Send + 'static> InPort<'a, T> {
     pub fn is_finished(&self) -> bool {
         self.guard.is_finished()
     }
+
+    /// Acknowledge everything popped since the last commit: the elements
+    /// can no longer be replayed. No-op on unjournaled links. Called by the
+    /// scheduler after a successful `run()`; kernels with internal
+    /// checkpoints may also call it directly.
+    #[inline]
+    pub fn commit_consumed(&mut self) -> usize {
+        self.guard.commit_consumed()
+    }
+
+    /// Queue every unacknowledged popped element for redelivery (oldest
+    /// first, before any new ring data). No-op on unjournaled links.
+    #[inline]
+    pub fn rewind_consumed(&mut self) -> usize {
+        self.guard.rewind_consumed()
+    }
 }
 
 /// Typed writing handle for one output port, valid for the current `run`.
@@ -391,5 +432,21 @@ impl<'a, T: Send + 'static> OutPort<'a, T> {
     #[inline]
     pub fn is_closed(&self) -> bool {
         self.guard.is_closed()
+    }
+
+    /// Publish every element staged since the last commit. Returns the
+    /// count published; `Err` if the consumer is gone (staged elements are
+    /// dropped, as an unjournaled push to a closed stream would be). No-op
+    /// on links without staging.
+    #[inline]
+    pub fn commit_produced(&mut self) -> Result<usize, PortClosed> {
+        self.guard.commit_produced().map_err(|_| PortClosed)
+    }
+
+    /// Discard every staged element — the aborted transaction's outputs
+    /// never become visible downstream. No-op on links without staging.
+    #[inline]
+    pub fn rewind_produced(&mut self) -> usize {
+        self.guard.rewind_produced()
     }
 }

@@ -166,12 +166,46 @@ pub fn render(report: &ExeReport) -> String {
             let _ = writeln!(out, "  {:>10.3?}  {:?}", ev.at, ev.kind);
         }
     }
+    // Recovery section: only rendered when the run had journaled links or
+    // degradation policies doing something (the common fault-free,
+    // unjournaled run stays visually unchanged).
+    let commits: u64 = report.kernels.iter().map(|k| k.commits).sum();
+    if commits > 0 || report.total_rewinds() > 0 || report.total_shed() > 0 {
+        let _ = writeln!(out, "\nrecovery (journaled links):");
+        let _ = writeln!(out, "  {:<28} {:>9} {:>9}", "kernel", "commits", "rewinds");
+        for k in report.kernels.iter().filter(|k| k.commits + k.rewinds > 0) {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>9} {:>9}",
+                truncate(&k.name, 28),
+                k.commits,
+                k.rewinds
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  totals: {} rewinds, {} elements replayed, {} shed",
+            report.total_rewinds(),
+            report.total_replayed(),
+            report.total_shed()
+        );
+    }
+    if !report.drain_events.is_empty() {
+        let _ = writeln!(out, "\ndrain ladder:");
+        for ev in &report.drain_events {
+            let what = match ev.level {
+                1 => "level 1 (draining: sources stopped)",
+                _ => "level 2 (quiesced: FIFOs fail fast)",
+            };
+            let _ = writeln!(out, "  {:>10.3?}  {}  [{:?}]", ev.at, what, ev.reason);
+        }
+    }
     if !report.workers.is_empty() {
         let _ = writeln!(out, "\nworkers ({}):", report.workers.len());
         let _ = writeln!(
             out,
-            "  {:<8} {:>6} {:>10} {:>8} {:>7} {:>7} {:>14}",
-            "worker", "core", "runs", "steals", "parks", "wakes", "wake→run ns"
+            "  {:<8} {:>6} {:>10} {:>8} {:>7} {:>7} {:>8} {:>14}",
+            "worker", "core", "runs", "steals", "parks", "wakes", "rescues", "wake→run ns"
         );
         for w in &report.workers {
             let mean_wake_ns = w.wake_to_run_ns.checked_div(w.woken_tasks).unwrap_or(0);
@@ -180,8 +214,8 @@ pub fn render(report: &ExeReport) -> String {
                 .map_or_else(|| "-".to_string(), |c| c.to_string());
             let _ = writeln!(
                 out,
-                "  {:<8} {:>6} {:>10} {:>8} {:>7} {:>7} {:>14}",
-                w.worker, core, w.runs, w.steals, w.parks, w.woken_tasks, mean_wake_ns
+                "  {:<8} {:>6} {:>10} {:>8} {:>7} {:>7} {:>8} {:>14}",
+                w.worker, core, w.runs, w.steals, w.parks, w.woken_tasks, w.rescues, mean_wake_ns
             );
         }
     }

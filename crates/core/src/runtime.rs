@@ -13,12 +13,13 @@
 //! parallelization (replica expansion with split/reduce insertion) → FIFO
 //! allocation → monitor start → scheduling → join → report.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use raft_buffer::fifo::Monitorable;
-use raft_buffer::StatsSnapshot;
+use raft_buffer::{StatsSnapshot, DRAIN_DRAINING, DRAIN_QUIESCED};
 
 use crate::error::ExeError;
 use crate::kernel::Kernel;
@@ -59,6 +60,37 @@ pub struct KernelReport {
     /// How execution ended: completed, restarted N times, skipped, or
     /// aborted (see [`SupervisorPolicy`](crate::supervise::SupervisorPolicy)).
     pub outcome: KernelOutcome,
+    /// Journal transactions committed (zero for kernels without journaled
+    /// links).
+    pub commits: u64,
+    /// Journal rewinds — each one is a panicked `run()` whose in-flight
+    /// elements were re-queued and replayed instead of lost.
+    pub rewinds: u64,
+}
+
+/// Why the runtime raised the drain ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainReason {
+    /// The `exe_with_timeout` deadline elapsed.
+    Deadline,
+    /// A [`StopHandle`](crate::map::StopHandle) requested it.
+    Caller,
+    /// Level 1 did not finish the graph within
+    /// [`MapConfig`](crate::map::MapConfig)`::drain_grace`; the runtime
+    /// escalated to level 2 on its own.
+    GraceExpired,
+}
+
+/// One rung of the drain ladder being applied to the live graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainEvent {
+    /// When it fired, relative to execution start.
+    pub at: Duration,
+    /// The level applied: 1 = draining (sources stop), 2 = quiesced
+    /// (FIFOs fail fast).
+    pub level: u8,
+    /// What triggered it.
+    pub reason: DrainReason,
 }
 
 /// Everything `exe()` reports back (the paper's observable statistics:
@@ -94,6 +126,9 @@ pub struct ExeReport {
     /// disabled or nothing was fusable). See
     /// [`crate::analysis::fusion`].
     pub fused: Vec<crate::analysis::fusion::FusedGroupReport>,
+    /// Drain-ladder rungs applied during this execution (empty when the
+    /// graph finished on its own).
+    pub drain_events: Vec<DrainEvent>,
 }
 
 impl ExeReport {
@@ -115,6 +150,21 @@ impl ExeReport {
     /// Find a kernel report whose name contains `needle`.
     pub fn kernel(&self, needle: &str) -> Option<&KernelReport> {
         self.kernels.iter().find(|k| k.name.contains(needle))
+    }
+
+    /// Total elements redelivered from link journals after rewinds.
+    pub fn total_replayed(&self) -> u64 {
+        self.edges.iter().map(|e| e.stats.replayed).sum()
+    }
+
+    /// Total elements dropped by `Shed`/`BlockTimeout` admission policies.
+    pub fn total_shed(&self) -> u64 {
+        self.edges.iter().map(|e| e.stats.shed).sum()
+    }
+
+    /// Total journal rewinds (recovery events) across all kernels.
+    pub fn total_rewinds(&self) -> u64 {
+        self.kernels.iter().map(|k| k.rewinds).sum()
     }
 }
 
@@ -171,6 +221,13 @@ pub fn execute_with_deadline(
 
     let mut out_fifos_of: Vec<Vec<Arc<dyn Monitorable>>> =
         (0..n_kernels).map(|_| Vec::new()).collect();
+    // Journaled endpoints per kernel: `(is_input, port_index, eraser)` —
+    // handed to the runners so one `run()` becomes one transaction.
+    let mut journal_ports_of: Vec<Vec<(bool, usize, crate::kernel::JournalCtlFn)>> =
+        (0..n_kernels).map(|_| Vec::new()).collect();
+    // Per-kernel commit interval: the min across the kernel's journaled
+    // links (u32::MAX = no journaled link yet).
+    let mut journal_interval_of: Vec<u32> = vec![u32::MAX; n_kernels];
     for link in &map.links {
         let src = &map.kernels[link.src];
         let dst = &map.kernels[link.dst];
@@ -185,9 +242,49 @@ pub fn execute_with_deadline(
         edge_names.push(name);
         edge_fifos.push(fifo.clone());
         edge_endpoints.push((link.src, link.dst));
+        if let Some(j) = cfg.journal {
+            journal_ports_of[link.src].push((
+                false,
+                outputs_of[link.src].len(),
+                out_def.journal_ctl,
+            ));
+            journal_ports_of[link.dst].push((true, inputs_of[link.dst].len(), in_def.journal_ctl));
+            let interval = j.commit_interval.max(1);
+            // Producer side: staged outputs live outside the ring, so the
+            // interval needs no capacity clamp.
+            let src_iv = &mut journal_interval_of[link.src];
+            *src_iv = (*src_iv).min(interval);
+            // Consumer side: unacknowledged pops still count into the
+            // link's occupancy. Clamp the open transaction to half the
+            // ring's ceiling so a batching consumer can never wedge a
+            // blocked producer on a fixed-capacity link, and to the replay
+            // bound so a full interval is always replayable.
+            let cap = cfg.max_capacity.min(u32::MAX as usize) as u32;
+            let bound = j.bound.min(u32::MAX as usize) as u32;
+            let dst_iv = &mut journal_interval_of[link.dst];
+            *dst_iv = (*dst_iv).min(interval).min((cap / 2).max(1)).min(bound);
+        }
         outputs_of[link.src].push((out_def.name.clone(), producer));
         out_fifos_of[link.src].push(fifo.clone());
         inputs_of[link.dst].push((in_def.name.clone(), consumer, fifo));
+    }
+
+    // Batched commits are only sound for *fully* journaled kernels: if any
+    // input link is unjournaled, a rewind cannot re-serve pops made in the
+    // open transaction's earlier runs (their loss window would widen from
+    // one run to the whole interval); if any output link is unjournaled,
+    // those earlier runs already published their outputs, so replaying
+    // their inputs would duplicate them. Partially journaled kernels keep
+    // the one-run transaction of the base contract.
+    for k in 0..n_kernels {
+        if journal_ports_of[k].is_empty() {
+            continue;
+        }
+        let jin = journal_ports_of[k].iter().filter(|(i, _, _)| *i).count();
+        let jout = journal_ports_of[k].len() - jin;
+        if jin < inputs_of[k].len() || jout < outputs_of[k].len() {
+            journal_interval_of[k] = 1;
+        }
     }
 
     // --- width targets for the optimizer ---------------------------------
@@ -217,6 +314,11 @@ pub fn execute_with_deadline(
 
     // --- contexts & runners ----------------------------------------------
     let stop = Arc::new(AtomicBool::new(false));
+    // Graph-wide drain level, shared by every context; the ladder thread
+    // below raises it.
+    let drain_flag = Arc::new(AtomicU8::new(0));
+    let drain_request = map.drain_request.clone();
+    let drain_grace = map.cfg.drain_grace;
     let mut runners = Vec::with_capacity(n_kernels);
     let mut telemetries = Vec::with_capacity(n_kernels);
     let mut names = Vec::with_capacity(n_kernels);
@@ -231,13 +333,15 @@ pub fn execute_with_deadline(
         }
     }
     let links_snapshot: Vec<(usize, usize)> = map.links.iter().map(|l| (l.src, l.dst)).collect();
-    for ((((entry, inputs), outputs), succ), out_fifos) in map
+    for ((((((entry, inputs), outputs), succ), out_fifos), journal_ports), journal_interval) in map
         .kernels
         .into_iter()
         .zip(input_iters)
         .zip(output_iters)
         .zip(successors)
         .zip(out_fifos_of)
+        .zip(journal_ports_of)
+        .zip(journal_interval_of)
     {
         let KernelEntry {
             kernel,
@@ -247,7 +351,8 @@ pub fn execute_with_deadline(
         } = entry;
         let input_fifos: Vec<Arc<dyn Monitorable>> =
             inputs.iter().map(|(_, _, f)| f.clone()).collect();
-        let ctx = Context::new(name.clone(), inputs, outputs, stop.clone());
+        let mut ctx = Context::new(name.clone(), inputs, outputs, stop.clone());
+        ctx.set_drain_flag(drain_flag.clone());
         let telemetry = Arc::new(KernelTelemetry::default());
         telemetries.push(telemetry.clone());
         names.push(name.clone());
@@ -261,6 +366,13 @@ pub fn execute_with_deadline(
             output_fifos: out_fifos,
             policy,
             restarts: 0,
+            journal_ports,
+            journal_interval: if journal_interval == u32::MAX {
+                1
+            } else {
+                journal_interval
+            },
+            journal_uncommitted: 0,
         });
     }
 
@@ -286,23 +398,70 @@ pub fn execute_with_deadline(
         Some(stop.clone()),
     );
 
-    // --- watchdog ----------------------------------------------------------
-    let watchdog = deadline.map(|d| {
+    // --- drain ladder (watchdog deadline + StopHandle requests) ------------
+    // One thread drives the graph-wide shutdown protocol: level 1 stops the
+    // sources (cooperative, lossless — in-flight data flushes), and if the
+    // graph still hasn't finished after `drain_grace` (or a handle asked
+    // for level 2 outright), level 2 makes every FIFO fail fast so kernels
+    // blocked mid-push/pop unstick. The watchdog deadline enters the same
+    // ladder instead of just raising `stop`.
+    let drain_events: Arc<Mutex<Vec<DrainEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let ladder = {
         let stop = stop.clone();
+        let drain_flag = drain_flag.clone();
+        let fifos: Vec<Arc<dyn Monitorable>> = edge_fifos.clone();
+        let events = drain_events.clone();
         let cancel = Arc::new(AtomicBool::new(false));
         let cancel2 = cancel.clone();
-        let handle = std::thread::spawn(move || {
-            let end = Instant::now() + d;
-            while Instant::now() < end {
-                if cancel2.load(Ordering::Relaxed) {
-                    return;
+        let handle = std::thread::Builder::new()
+            .name("raft-drain".into())
+            .spawn(move || {
+                let t0 = Instant::now();
+                let deadline_at = deadline.map(|d| t0 + d);
+                let mut applied: u8 = 0;
+                let mut escalate_at: Option<Instant> = None;
+                while !cancel2.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    let mut want = drain_request.load(Ordering::SeqCst);
+                    let mut reason = DrainReason::Caller;
+                    if want < DRAIN_DRAINING && deadline_at.is_some_and(|at| now >= at) {
+                        want = DRAIN_DRAINING;
+                        reason = DrainReason::Deadline;
+                    }
+                    if want == DRAIN_DRAINING
+                        && applied >= DRAIN_DRAINING
+                        && escalate_at.is_some_and(|at| now >= at)
+                    {
+                        want = DRAIN_QUIESCED;
+                        reason = DrainReason::GraceExpired;
+                    }
+                    while applied < want.min(DRAIN_QUIESCED) {
+                        applied += 1;
+                        drain_flag.store(applied, Ordering::SeqCst);
+                        for f in &fifos {
+                            f.set_drain_level(applied);
+                        }
+                        if applied == DRAIN_DRAINING {
+                            // Level 1 doubles as the cooperative stop flag
+                            // long-running sources already poll.
+                            stop.store(true, Ordering::Relaxed);
+                            escalate_at = Some(now + drain_grace);
+                        }
+                        events.lock().push(DrainEvent {
+                            at: t0.elapsed(),
+                            level: applied,
+                            reason,
+                        });
+                    }
+                    if applied >= DRAIN_QUIESCED {
+                        return; // ladder fully applied; nothing left to do
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
                 }
-                std::thread::sleep(Duration::from_millis(1).min(d));
-            }
-            stop.store(true, Ordering::Relaxed);
-        });
+            })
+            .expect("spawn drain ladder");
         (cancel, handle)
-    });
+    };
 
     // --- run ---------------------------------------------------------------
     let timing = true;
@@ -386,7 +545,8 @@ pub fn execute_with_deadline(
     let outcomes = sched_out.outcomes;
     let workers = sched_out.workers;
     let elapsed = started.elapsed();
-    if let Some((cancel, handle)) = watchdog {
+    {
+        let (cancel, handle) = ladder;
         cancel.store(true, Ordering::Relaxed);
         let _ = handle.join();
     }
@@ -431,6 +591,8 @@ pub fn execute_with_deadline(
                 name,
                 panicked: outcome.panicked(),
                 outcome,
+                commits: t.commits.load(Ordering::Relaxed),
+                rewinds: t.rewinds.load(Ordering::Relaxed),
             }
         })
         .collect();
@@ -446,6 +608,7 @@ pub fn execute_with_deadline(
         kernel_classes,
         workers,
         fused: fused_infos.iter().map(|i| i.report()).collect(),
+        drain_events: std::mem::take(&mut *drain_events.lock()),
     };
     if fatal.is_empty() {
         Ok(report)

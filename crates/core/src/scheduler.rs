@@ -33,7 +33,7 @@ use parking_lot::Mutex;
 use raft_buffer::fifo::Monitorable;
 use raft_buffer::{WaitStrategy, Waiter};
 
-use crate::kernel::{KStatus, Kernel};
+use crate::kernel::{JournalCtlFn, JournalOp, KStatus, Kernel};
 use crate::port::Context;
 use crate::supervise::{KernelOutcome, SupervisorPolicy};
 
@@ -98,6 +98,14 @@ pub struct KernelTelemetry {
     /// uses an unchanged `(entered, runs)` pair across its run-budget
     /// window as the "stuck inside one invocation" signal.
     pub entered: AtomicU64,
+    /// Journal transactions committed: `run()` invocations whose consumed
+    /// inputs were acknowledged and staged outputs published (only counted
+    /// for kernels with at least one journaled link).
+    pub commits: AtomicU64,
+    /// Journal rewinds: panicked `run()` invocations whose in-flight
+    /// elements were re-queued for replay and staged outputs discarded —
+    /// each one is a recovery event the final report surfaces.
+    pub rewinds: AtomicU64,
 }
 
 /// Everything needed to execute one kernel to completion.
@@ -125,6 +133,68 @@ pub struct KernelRunner {
     pub policy: SupervisorPolicy,
     /// Restarts consumed so far under a `Restart`/`Replace` policy.
     pub restarts: u32,
+    /// Journaled endpoints of this kernel as `(is_input, port_index,
+    /// eraser)`: one `run()` is one transaction over all of them —
+    /// committed after a clean return, rewound when a panic is absorbed by
+    /// a `Restart`/`Replace` policy. Empty for kernels without journaled
+    /// links (the overwhelmingly common case), which skips the whole path.
+    pub journal_ports: Vec<(bool, usize, JournalCtlFn)>,
+    /// Successful `run()` calls folded into one journal transaction before
+    /// the scheduler commits (min of the journaled links'
+    /// [`raft_buffer::JournalConfig::commit_interval`], clamped so
+    /// unacknowledged pops can never fill a fixed-capacity input ring).
+    /// `1` = commit every run; irrelevant when `journal_ports` is empty.
+    pub journal_interval: u32,
+    /// Successful runs since the last commit (the open transaction's size).
+    pub journal_uncommitted: u32,
+}
+
+impl KernelRunner {
+    /// Commit the open transaction: publish staged outputs, acknowledge
+    /// consumed inputs.
+    fn journal_commit(&mut self) {
+        for &(is_input, idx, ctl) in &self.journal_ports {
+            ctl(&self.ctx, is_input, idx, JournalOp::Commit);
+        }
+        self.journal_uncommitted = 0;
+        self.telemetry.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful run into the open transaction, committing when
+    /// the interval fills.
+    fn journal_tick(&mut self) {
+        if self.journal_ports.is_empty() {
+            return;
+        }
+        self.journal_uncommitted += 1;
+        if self.journal_uncommitted >= self.journal_interval {
+            self.journal_commit();
+        }
+    }
+
+    /// Commit whatever the open transaction holds — called whenever the
+    /// kernel stops making progress (clean completion, wind-down, an idle
+    /// park in a pool scheduler) so staged outputs never sit unpublished
+    /// while the kernel waits.
+    pub(crate) fn journal_flush(&mut self) {
+        if self.journal_uncommitted > 0 {
+            self.journal_commit();
+        }
+    }
+
+    /// Abort the open transaction: re-queue consumed inputs for replay,
+    /// discard staged outputs. The restarted kernel re-pops exactly the
+    /// elements the failed (and any earlier uncommitted) invocations
+    /// consumed, oldest first; none of their outputs were published.
+    fn journal_rewind(&mut self) {
+        for &(is_input, idx, ctl) in &self.journal_ports {
+            ctl(&self.ctx, is_input, idx, JournalOp::Rewind);
+        }
+        self.journal_uncommitted = 0;
+        if !self.journal_ports.is_empty() {
+            self.telemetry.rewinds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// What happened to one kernel.
@@ -167,6 +237,9 @@ pub struct WorkerReport {
     pub woken_tasks: u64,
     /// Total wake-to-run latency across those samples, nanoseconds.
     pub wake_to_run_ns: u64,
+    /// Idle-but-ready tasks re-queued by the park-timeout safety sweep —
+    /// nonzero means a wakeup was delivered late by the net, not lost.
+    pub rescues: u64,
 }
 
 /// Everything a scheduler hands back to `exe()`: one outcome per kernel
@@ -223,24 +296,50 @@ pub(crate) fn step(runner: &mut KernelRunner, timing: bool) -> Option<StepDone> 
     }
     runner.telemetry.runs.fetch_add(1, Ordering::Relaxed);
     match result {
-        Ok(KStatus::Proceed) => None,
-        Ok(KStatus::Stop) => Some(StepDone {
-            outcome: match runner.restarts {
-                0 => KernelOutcome::Completed,
-                n => KernelOutcome::Restarted(n),
-            },
-            fatal: false,
-        }),
-        Err(_) => handle_panic(runner),
+        Ok(status) => {
+            // Clean return: the run joins the open transaction; when the
+            // commit interval fills (or the kernel stops) its effects become
+            // visible — staged outputs publish, consumed inputs are
+            // acknowledged.
+            runner.journal_tick();
+            if matches!(status, KStatus::Stop) {
+                runner.journal_flush();
+            }
+            match status {
+                KStatus::Proceed => None,
+                KStatus::Stop => Some(StepDone {
+                    outcome: match runner.restarts {
+                        0 => KernelOutcome::Completed,
+                        n => KernelOutcome::Restarted(n),
+                    },
+                    fatal: false,
+                }),
+            }
+        }
+        Err(_) => {
+            let done = handle_panic(runner);
+            if done.is_none() {
+                // The policy absorbed the panic (Restart/Replace with
+                // budget left): roll the transaction back so the fresh
+                // instance re-pops exactly what the failed run consumed.
+                // Terminal outcomes skip this — their staged outputs are
+                // simply dropped with the runner, never published.
+                runner.journal_rewind();
+            }
+            done
+        }
     }
 }
 
 /// Cooperative wind-down: on global stop (watchdog deadline, fatal panic
-/// elsewhere) sources must finish instead of producing forever; kernels
-/// with inputs drain naturally as upstream EoS arrives. Every scheduler
-/// consults this after an inconclusive step.
-pub(crate) fn stop_winddown(runner: &KernelRunner, stop: &AtomicBool) -> Option<StepDone> {
-    if stop.load(Ordering::Relaxed) && runner.ctx.input_count() == 0 {
+/// elsewhere) or a level-1 drain request, sources must finish instead of
+/// producing forever; kernels with inputs drain naturally as upstream EoS
+/// arrives. Every scheduler consults this after an inconclusive step.
+pub(crate) fn stop_winddown(runner: &mut KernelRunner, stop: &AtomicBool) -> Option<StepDone> {
+    let wind_down = stop.load(Ordering::Relaxed) || runner.ctx.drain_requested();
+    if wind_down && runner.ctx.input_count() == 0 {
+        // Publish anything still staged before the runner is dropped.
+        runner.journal_flush();
         Some(StepDone {
             outcome: KernelOutcome::Completed,
             fatal: false,
@@ -338,14 +437,10 @@ impl Scheduler for ThreadPerKernel {
                             match step(&mut runner, timing) {
                                 Some(done) => break done,
                                 None => {
-                                    if stop.load(Ordering::Relaxed) && runner.ctx.input_count() == 0
-                                    {
-                                        // Sources wind down on global stop;
-                                        // other kernels drain naturally.
-                                        break StepDone {
-                                            outcome: KernelOutcome::Completed,
-                                            fatal: false,
-                                        };
+                                    // Sources wind down on global stop or
+                                    // drain; other kernels drain naturally.
+                                    if let Some(done) = stop_winddown(&mut runner, &stop) {
+                                        break done;
                                     }
                                 }
                             }
@@ -395,14 +490,16 @@ struct PoolSlot {
 }
 
 /// The readiness rule shared by every pool-style scheduler: sources are
-/// always ready; everything else needs data (or EoS) on *all* inputs.
+/// always ready; everything else needs data (or EoS, or a pending async
+/// signal — e.g. the `Signal::Error` a panicked upstream posts with no
+/// accompanying data) on *all* inputs.
 pub(crate) fn inputs_ready(input_fifos: &[Arc<dyn Monitorable>]) -> bool {
     if input_fifos.is_empty() {
         return true; // sources are always ready
     }
     input_fifos
         .iter()
-        .all(|f| f.occupancy() > 0 || f.is_finished())
+        .all(|f| f.occupancy() > 0 || f.is_finished() || f.has_async())
 }
 
 impl CooperativePool {
@@ -447,6 +544,9 @@ impl Scheduler for CooperativePool {
                                     continue;
                                 };
                                 if !Self::ready(runner) {
+                                    // Idle: don't hold staged outputs (or
+                                    // unacknowledged pops) across the wait.
+                                    runner.journal_flush();
                                     continue;
                                 }
                                 let mut finished: Option<StepDone> = None;
@@ -463,6 +563,7 @@ impl Scheduler for CooperativePool {
                                                 break;
                                             }
                                             if !Self::ready(runner) {
+                                                runner.journal_flush();
                                                 break;
                                             }
                                         }
@@ -550,6 +651,7 @@ impl Scheduler for PartitionedPool {
                             let mut i = 0;
                             while i < mine.len() {
                                 if !CooperativePool::ready(&mine[i]) {
+                                    mine[i].journal_flush();
                                     i += 1;
                                     continue;
                                 }
@@ -562,11 +664,12 @@ impl Scheduler for PartitionedPool {
                                         }
                                         None => {
                                             progressed = true;
-                                            if let Some(done) = stop_winddown(&mine[i], &stop) {
+                                            if let Some(done) = stop_winddown(&mut mine[i], &stop) {
                                                 finished = Some(done);
                                                 break;
                                             }
                                             if !CooperativePool::ready(&mine[i]) {
+                                                mine[i].journal_flush();
                                                 break;
                                             }
                                         }
@@ -670,6 +773,7 @@ impl Scheduler for ChainedPool {
                                         continue;
                                     };
                                     if !CooperativePool::ready(runner) {
+                                        runner.journal_flush();
                                         continue;
                                     }
                                     let mut finished: Option<StepDone> = None;
@@ -686,6 +790,7 @@ impl Scheduler for ChainedPool {
                                                     break;
                                                 }
                                                 if !CooperativePool::ready(runner) {
+                                                    runner.journal_flush();
                                                     break;
                                                 }
                                             }

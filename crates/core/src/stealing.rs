@@ -184,13 +184,26 @@ impl Core {
     /// data, but a multi-input kernel (join, reduce) is only runnable when
     /// *all* inputs have data — enqueueing early just burns a claim → not
     /// ready → re-arm → park cycle per lane (O(width²) churn across a
-    /// row). Dropping the wake is lossless: some input is still empty and
-    /// unfinished, its waker is still armed (only a push/done consumes an
-    /// arm), and inputs of a non-running task are never popped — so the
-    /// push that eventually fills it re-enters here and passes the filter.
+    /// row).
+    ///
+    /// Dropping the wake is only lossless if somebody is guaranteed to fire
+    /// again: the notify that got us here already *consumed* this input's
+    /// arm, so if the filter's view was stale (the data IS there, or lands
+    /// right after the check) no later push would ever re-fire — the
+    /// certified claim-time-disarm lost wakeup (`loom_stealing.rs`). So on
+    /// filter failure we re-arm every input (the arm's SeqCst fence pairs
+    /// with the producer's notify fence) and re-check once: either the
+    /// re-check sees the data and we fall through to enqueue, or any
+    /// subsequent push finds a fresh arm and re-enters here. Spurious arms
+    /// are absorbed at claim time (every claim disarms first).
     fn wake_task(&self, task: usize) {
         if !crate::scheduler::inputs_ready(&self.tasks[task].inputs) {
-            return;
+            for f in &self.tasks[task].inputs {
+                f.consumer_waker().arm();
+            }
+            if !crate::scheduler::inputs_ready(&self.tasks[task].inputs) {
+                return;
+            }
         }
         let state = &self.tasks[task].state;
         let mut cur = state.load(Relaxed);
@@ -213,6 +226,30 @@ impl Core {
                 _ => return,
             }
         }
+    }
+
+    /// Safety-net sweep run by a worker whose park timed out: a task that
+    /// is `IDLE` with ready inputs is the signature of a lost wakeup, so
+    /// re-queue it. [`wake_task`](Self::wake_task)'s re-arm + re-check
+    /// closes every hole the loom model covers; this sweep bounds the
+    /// damage of any residual one to a single park period instead of a
+    /// permanent hang, and turns "flaky after hours" into telemetry
+    /// (`rescues` in the worker report).
+    fn rescue_idle_ready(&self) -> u64 {
+        let mut rescued = 0;
+        for (task, slot) in self.tasks.iter().enumerate() {
+            if slot.state.load(Acquire) != IDLE {
+                continue;
+            }
+            // Skip finished kernels (runner taken); a held lock means the
+            // task is mid-claim, which is not a lost wakeup.
+            let live = slot.runner.try_lock().map_or(false, |g| g.is_some());
+            if live && crate::scheduler::inputs_ready(&slot.inputs) {
+                self.wake_task(task);
+                rescued += 1;
+            }
+        }
+        rescued
     }
 }
 
@@ -253,6 +290,7 @@ struct WorkerStats {
     parks: u64,
     woken_tasks: u64,
     wake_to_run_ns: u64,
+    rescues: u64,
 }
 
 impl WorkStealing {
@@ -375,6 +413,10 @@ impl WorkStealing {
             return None;
         }
 
+        // Going idle: publish staged outputs / acknowledge pops before the
+        // task leaves the deques, so downstream never waits on data held in
+        // an open journal transaction.
+        runner.journal_flush();
         // Blocked on empty inputs: arm every input's waker, then re-check —
         // the Dekker handshake that makes parking lossless (module docs).
         for f in &runner.input_fifos {
@@ -506,11 +548,20 @@ impl Scheduler for WorkStealing {
                             core.sleepers.fetch_add(1, SeqCst);
                             fence(SeqCst);
                             let mut g = core.park_lock.lock();
+                            let mut timed_out = false;
                             if !core.has_work() && core.remaining.load(Acquire) > 0 {
-                                core.unpark.wait_for(&mut g, WORKER_PARK_TIMEOUT);
+                                timed_out = core
+                                    .unpark
+                                    .wait_for(&mut g, WORKER_PARK_TIMEOUT)
+                                    .timed_out();
                             }
                             drop(g);
                             core.sleepers.fetch_sub(1, SeqCst);
+                            if timed_out {
+                                // Nobody woke us inside a full park period:
+                                // sweep for lost wakeups before re-parking.
+                                stats.rescues += core.rescue_idle_ready();
+                            }
                             // No waiter.reset() here: if the wake was real,
                             // find_task succeeds next iteration and resets
                             // it; if it was the safety-net timeout, the
@@ -543,6 +594,7 @@ impl Scheduler for WorkStealing {
                 parks: stats.parks,
                 woken_tasks: stats.woken_tasks,
                 wake_to_run_ns: stats.wake_to_run_ns,
+                rescues: stats.rescues,
             });
         }
         reports.sort_by_key(|r| r.worker);

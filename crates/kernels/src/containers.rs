@@ -25,7 +25,7 @@ pub struct ReadEach<I: Iterator> {
 pub fn read_each<I>(iter: impl IntoIterator<IntoIter = I>) -> ReadEach<I>
 where
     I: Iterator + Send + 'static,
-    I::Item: Send + 'static,
+    I::Item: Send + Clone + 'static,
 {
     ReadEach {
         iter: iter.into_iter(),
@@ -36,7 +36,7 @@ where
 impl<I> Kernel for ReadEach<I>
 where
     I: Iterator + Send + 'static,
-    I::Item: Send + 'static,
+    I::Item: Send + Clone + 'static,
 {
     fn ports(&self) -> PortSpec {
         PortSpec::new().output::<I::Item>("out")
@@ -66,17 +66,17 @@ where
 }
 
 /// Collect a stream into a `Vec` — `write_each(std::back_inserter(o))`.
-pub struct WriteEach<T: Send + 'static> {
+pub struct WriteEach<T: Send + Clone + 'static> {
     out: CollectHandle<T>,
 }
 
 /// Build a [`WriteEach`] plus the handle holding its output.
-pub fn write_each<T: Send + 'static>() -> (WriteEach<T>, CollectHandle<T>) {
+pub fn write_each<T: Send + Clone + 'static>() -> (WriteEach<T>, CollectHandle<T>) {
     let out: CollectHandle<T> = Arc::new(Mutex::new(Vec::new()));
     (WriteEach { out: out.clone() }, out)
 }
 
-impl<T: Send + 'static> Kernel for WriteEach<T> {
+impl<T: Send + Clone + 'static> Kernel for WriteEach<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<T>("in")
     }
@@ -101,7 +101,7 @@ impl<T: Send + 'static> Kernel for WriteEach<T> {
 
 /// A zero-copy slice of a shared array: the element payload never moves,
 /// only `(Arc, range)` descriptors stream between kernels.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ArraySlice<T: Send + Sync + 'static> {
     data: Arc<[T]>,
     /// Start index within the shared array — the paper: "provides an index
@@ -109,6 +109,18 @@ pub struct ArraySlice<T: Send + Sync + 'static> {
     pub start: usize,
     /// End index (exclusive).
     pub end: usize,
+}
+
+// Manual impl: cloning copies the `(Arc, range)` descriptor only, so it
+// must not require `T: Clone` (a derive would).
+impl<T: Send + Sync + 'static> Clone for ArraySlice<T> {
+    fn clone(&self) -> Self {
+        ArraySlice {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.end,
+        }
+    }
 }
 
 impl<T: Send + Sync + 'static> Default for ArraySlice<T> {

@@ -21,7 +21,7 @@ pub struct Generate<I: Iterator> {
 impl<I> Generate<I>
 where
     I: Iterator + Send + 'static,
-    I::Item: Send + 'static,
+    I::Item: Send + Clone + 'static,
 {
     /// Source over `iter`, one item per `run()` call.
     pub fn new(iter: impl IntoIterator<IntoIter = I>) -> Self {
@@ -43,7 +43,7 @@ where
 impl<I> Generate<I>
 where
     I: Iterator + Clone + Send + 'static,
-    I::Item: Send + 'static,
+    I::Item: Send + Clone + 'static,
 {
     /// Allow the auto-parallelizer to replicate this source; every replica
     /// produces the full sequence.
@@ -57,7 +57,7 @@ where
 impl<I> Kernel for Generate<I>
 where
     I: Iterator + Send + 'static,
-    I::Item: Send + 'static,
+    I::Item: Send + Clone + 'static,
 {
     fn ports(&self) -> PortSpec {
         PortSpec::new().output::<I::Item>("out")

@@ -63,17 +63,17 @@ impl<T: Send + Clone + 'static> Kernel for Tee<T> {
 
 /// Joins two streams element-wise into pairs, stopping with the shorter
 /// one — the stream analog of `Iterator::zip`.
-pub struct Zip<A: Send + 'static, B: Send + 'static> {
+pub struct Zip<A: Send + Clone + 'static, B: Send + Clone + 'static> {
     _marker: std::marker::PhantomData<fn(A, B)>,
 }
 
-impl<A: Send + 'static, B: Send + 'static> Default for Zip<A, B> {
+impl<A: Send + Clone + 'static, B: Send + Clone + 'static> Default for Zip<A, B> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<A: Send + 'static, B: Send + 'static> Zip<A, B> {
+impl<A: Send + Clone + 'static, B: Send + Clone + 'static> Zip<A, B> {
     /// New zip kernel.
     pub fn new() -> Self {
         Zip {
@@ -82,7 +82,7 @@ impl<A: Send + 'static, B: Send + 'static> Zip<A, B> {
     }
 }
 
-impl<A: Send + 'static, B: Send + 'static> Kernel for Zip<A, B> {
+impl<A: Send + Clone + 'static, B: Send + Clone + 'static> Kernel for Zip<A, B> {
     fn ports(&self) -> PortSpec {
         PortSpec::new()
             .input::<A>("a")
@@ -120,12 +120,12 @@ impl<A: Send + 'static, B: Send + 'static> Kernel for Zip<A, B> {
 
 /// Forwards the first `n` items, then closes its output (and thereby tells
 /// the upstream kernels to stop via push failure).
-pub struct Take<T: Send + 'static> {
+pub struct Take<T: Send + Clone + 'static> {
     remaining: u64,
     _marker: std::marker::PhantomData<fn(T)>,
 }
 
-impl<T: Send + 'static> Take<T> {
+impl<T: Send + Clone + 'static> Take<T> {
     /// Forward `n` items then stop.
     pub fn new(n: u64) -> Self {
         Take {
@@ -135,7 +135,7 @@ impl<T: Send + 'static> Take<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Take<T> {
+impl<T: Send + Clone + 'static> Kernel for Take<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<T>("in").output::<T>("out")
     }

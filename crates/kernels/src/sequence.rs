@@ -23,18 +23,18 @@ use raftlib::prelude::*;
 pub type Seq<T> = (u64, T);
 
 /// Stamps each item with its position in the stream.
-pub struct Stamp<T: Send + 'static> {
+pub struct Stamp<T: Send + Clone + 'static> {
     next: u64,
     _marker: std::marker::PhantomData<fn(T)>,
 }
 
-impl<T: Send + 'static> Default for Stamp<T> {
+impl<T: Send + Clone + 'static> Default for Stamp<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Send + 'static> Stamp<T> {
+impl<T: Send + Clone + 'static> Stamp<T> {
     /// New stamper starting at sequence 0.
     pub fn new() -> Self {
         Stamp {
@@ -44,7 +44,7 @@ impl<T: Send + 'static> Stamp<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Stamp<T> {
+impl<T: Send + Clone + 'static> Kernel for Stamp<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<T>("in").output::<Seq<T>>("out")
     }
@@ -78,19 +78,19 @@ impl<T: Send + 'static> Kernel for Stamp<T> {
 /// exposes the high-water mark via [`Resequence::high_water`]... (readable
 /// only before `exe()` moves the kernel; use the buffered count in tests
 /// through output ordering instead).
-pub struct Resequence<T: Send + 'static> {
+pub struct Resequence<T: Send + Clone + 'static> {
     next: u64,
     pending: BTreeMap<u64, T>,
     high_water: usize,
 }
 
-impl<T: Send + 'static> Default for Resequence<T> {
+impl<T: Send + Clone + 'static> Default for Resequence<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Send + 'static> Resequence<T> {
+impl<T: Send + Clone + 'static> Resequence<T> {
     /// New resequencer expecting sequence numbers from 0.
     pub fn new() -> Self {
         Resequence {
@@ -114,7 +114,7 @@ impl<T: Send + 'static> Resequence<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Resequence<T> {
+impl<T: Send + Clone + 'static> Kernel for Resequence<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<Seq<T>>("in").output::<T>("out")
     }
@@ -165,8 +165,8 @@ pub fn map_seq<A, B, F>(
     f: F,
 ) -> crate::transforms::Map<Seq<A>, Seq<B>, impl FnMut(Seq<A>) -> Seq<B> + Clone + Send + 'static>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(A) -> B + Clone + Send + 'static,
 {
     let mut f = f;

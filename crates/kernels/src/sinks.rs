@@ -16,13 +16,13 @@ mod parking_lot_shim {
 
 /// The paper's `print` kernel (Figure 3): writes each item and a separator
 /// to a writer (stdout by default).
-pub struct Print<T: Display + Send + 'static> {
+pub struct Print<T: Display + Send + Clone + 'static> {
     sep: char,
     writer: Box<dyn Write + Send>,
     _marker: std::marker::PhantomData<fn(T)>,
 }
 
-impl<T: Display + Send + 'static> Print<T> {
+impl<T: Display + Send + Clone + 'static> Print<T> {
     /// Print to stdout with `sep` after each item (the paper's
     /// `print< std::int64_t, '\n' >`).
     pub fn new(sep: char) -> Self {
@@ -43,7 +43,7 @@ impl<T: Display + Send + 'static> Print<T> {
     }
 }
 
-impl<T: Display + Send + 'static> Kernel for Print<T> {
+impl<T: Display + Send + Clone + 'static> Kernel for Print<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<T>("in")
     }
@@ -69,11 +69,11 @@ impl<T: Display + Send + 'static> Kernel for Print<T> {
 }
 
 /// Collects the stream into a `Vec` the caller holds a handle to.
-pub struct Collect<T: Send + 'static> {
+pub struct Collect<T: Send + Clone + 'static> {
     out: Arc<Mutex<Vec<T>>>,
 }
 
-impl<T: Send + 'static> Collect<T> {
+impl<T: Send + Clone + 'static> Collect<T> {
     /// Create the kernel plus the handle from which the result is read
     /// after `exe()` returns.
     pub fn new() -> (Self, Arc<Mutex<Vec<T>>>) {
@@ -82,7 +82,7 @@ impl<T: Send + 'static> Collect<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Collect<T> {
+impl<T: Send + Clone + 'static> Kernel for Collect<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<T>("in")
     }
@@ -108,12 +108,12 @@ impl<T: Send + 'static> Kernel for Collect<T> {
 
 /// Counts items (and nothing else) — the cheapest possible sink, used by
 /// benchmarks so sink cost never pollutes a measurement.
-pub struct Count<T: Send + 'static> {
+pub struct Count<T: Send + Clone + 'static> {
     n: Arc<AtomicU64>,
     _marker: std::marker::PhantomData<fn(T)>,
 }
 
-impl<T: Send + 'static> Count<T> {
+impl<T: Send + Clone + 'static> Count<T> {
     /// Create the kernel plus the live counter handle.
     pub fn new() -> (Self, Arc<AtomicU64>) {
         let n = Arc::new(AtomicU64::new(0));
@@ -127,7 +127,7 @@ impl<T: Send + 'static> Count<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Count<T> {
+impl<T: Send + Clone + 'static> Kernel for Count<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<T>("in")
     }

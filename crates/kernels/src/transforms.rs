@@ -14,8 +14,8 @@ pub struct Map<A, B, F> {
 
 impl<A, B, F> Map<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(A) -> B + Clone + Send + 'static,
 {
     /// Build from the transform function.
@@ -29,8 +29,8 @@ where
 
 impl<A, B, F> Kernel for Map<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(A) -> B + Clone + Send + 'static,
 {
     fn ports(&self) -> PortSpec {
@@ -103,8 +103,8 @@ pub struct SliceMap<A, B, F> {
 
 impl<A, B, F> SliceMap<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(&A) -> B + Clone + Send + 'static,
 {
     /// Build from the by-reference transform function.
@@ -126,8 +126,8 @@ where
 
 impl<A, B, F> Kernel for SliceMap<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(&A) -> B + Clone + Send + 'static,
 {
     fn ports(&self) -> PortSpec {
@@ -195,8 +195,8 @@ pub struct FilterMap<A, B, F> {
 
 impl<A, B, F> FilterMap<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(A) -> Option<B> + Clone + Send + 'static,
 {
     /// Build from the filtering function.
@@ -210,8 +210,8 @@ where
 
 impl<A, B, F> Kernel for FilterMap<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(A) -> Option<B> + Clone + Send + 'static,
 {
     fn ports(&self) -> PortSpec {
@@ -274,8 +274,8 @@ pub struct Fold<A, B, F> {
 
 impl<A, B, F> Fold<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(&mut B, A) + Send + 'static,
 {
     /// Build from the initial value and fold function; returns the kernel
@@ -295,8 +295,8 @@ where
 
 impl<A, B, F> Kernel for Fold<A, B, F>
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Send + Clone + 'static,
+    B: Send + Clone + 'static,
     F: FnMut(&mut B, A) + Send + 'static,
 {
     fn ports(&self) -> PortSpec {

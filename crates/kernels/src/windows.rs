@@ -61,12 +61,12 @@ impl<T: Send + Clone + 'static> Kernel for SlidingWindow<T> {
 
 /// Groups the stream into non-overlapping `Vec<T>` batches of `n` items
 /// (final partial batch included).
-pub struct Batch<T: Send + 'static> {
+pub struct Batch<T: Send + Clone + 'static> {
     n: usize,
     buf: Vec<T>,
 }
 
-impl<T: Send + 'static> Batch<T> {
+impl<T: Send + Clone + 'static> Batch<T> {
     /// New batcher; panics on `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "batch size must be positive");
@@ -77,7 +77,7 @@ impl<T: Send + 'static> Batch<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Batch<T> {
+impl<T: Send + Clone + 'static> Kernel for Batch<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<T>("in").output::<Vec<T>>("out")
     }
@@ -114,17 +114,17 @@ impl<T: Send + 'static> Kernel for Batch<T> {
 }
 
 /// Inverse of [`Batch`]: flattens `Vec<T>` batches back into single items.
-pub struct Flatten<T: Send + 'static> {
+pub struct Flatten<T: Send + Clone + 'static> {
     _marker: std::marker::PhantomData<fn(T)>,
 }
 
-impl<T: Send + 'static> Default for Flatten<T> {
+impl<T: Send + Clone + 'static> Default for Flatten<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Send + 'static> Flatten<T> {
+impl<T: Send + Clone + 'static> Flatten<T> {
     /// New flattener.
     pub fn new() -> Self {
         Flatten {
@@ -133,7 +133,7 @@ impl<T: Send + 'static> Flatten<T> {
     }
 }
 
-impl<T: Send + 'static> Kernel for Flatten<T> {
+impl<T: Send + Clone + 'static> Kernel for Flatten<T> {
     fn ports(&self) -> PortSpec {
         PortSpec::new().input::<Vec<T>>("in").output::<T>("out")
     }
@@ -205,6 +205,7 @@ mod tests {
                 initial_capacity: 4,
                 max_capacity: 1 << 10,
                 min_capacity: 4,
+                ..Default::default()
             },
             ..Default::default()
         };

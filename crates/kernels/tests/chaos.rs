@@ -168,6 +168,151 @@ fn scheduler_step_failpoint_is_policy_handled() {
     });
 }
 
+/// A crash injected right after the journal records a pop (the
+/// `buffer::journal::append` site): the entry is retained, the scheduler
+/// rewinds the transaction, and the restarted kernel re-pops it from the
+/// replay window — the stream arrives byte-identical with one rewind per
+/// injected crash. `one_in = 1` makes the firing schedule deterministic
+/// regardless of seed: the first `budget` live pops crash (replay serves
+/// don't consult the site, so each crash hits a fresh element).
+#[test]
+fn journal_append_crash_is_replayed_exactly_once() {
+    let _guard = chaos_guard();
+    for_each_scheduler(|sched| {
+        failpoints::set_seed(chaos_seed());
+        failpoints::arm("buffer::journal::append", FailAction::Panic, 1, 3);
+
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let src = map.add(Generate::new(0..800u64));
+        let stage = map.add(lambda_map(|v: u64| v));
+        let (we, handle) = write_each::<u64>();
+        let dst = map.add(we);
+        let journaled = FifoConfig {
+            journal: Some(JournalConfig::default()),
+            ..FifoConfig::default()
+        };
+        map.link_with(src, "out", stage, "0", journaled).unwrap();
+        map.link(stage, "0", dst, "in").unwrap();
+        map.supervise(stage, SupervisorPolicy::restart(5));
+
+        let report = map.exe();
+        let hits = failpoints::hits("buffer::journal::append");
+        failpoints::reset();
+        let report = report.expect("journal-site crashes are absorbed by restart");
+        assert!(hits > 0, "append failpoint site was never consulted");
+        assert_eq!(
+            report.total_rewinds(),
+            3,
+            "each injected crash is exactly one rewind"
+        );
+        assert!(
+            report.total_replayed() >= 3,
+            "rewound elements must be replayed"
+        );
+        let got = std::sync::Arc::try_unwrap(handle)
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        assert_eq!(
+            got,
+            (0..800).collect::<Vec<u64>>(),
+            "recovery must be byte-identical"
+        );
+    });
+}
+
+/// A stall injected at the acknowledgement site (`buffer::journal::ack`,
+/// consulted by the scheduler's post-run commit, outside the unwind
+/// guard): commits slow down but nothing is lost and nothing rewinds.
+#[test]
+fn journal_ack_stall_is_harmless() {
+    let _guard = chaos_guard();
+    for_each_scheduler(|sched| {
+        failpoints::set_seed(chaos_seed());
+        failpoints::arm(
+            "buffer::journal::ack",
+            FailAction::Stall(Duration::from_millis(5)),
+            100,
+            4,
+        );
+
+        let mut map = RaftMap::new();
+        map.config_mut().scheduler = sched;
+        let src = map.add(Generate::new(0..800u64));
+        let stage = map.add(lambda_map(|v: u64| v));
+        let (we, handle) = write_each::<u64>();
+        let dst = map.add(we);
+        let journaled = FifoConfig {
+            journal: Some(JournalConfig::default()),
+            ..FifoConfig::default()
+        };
+        map.link_with(src, "out", stage, "0", journaled).unwrap();
+        map.link(stage, "0", dst, "in").unwrap();
+        map.supervise(stage, SupervisorPolicy::restart(2));
+
+        let report = map.exe();
+        let hits = failpoints::hits("buffer::journal::ack");
+        failpoints::reset();
+        let report = report.expect("ack stalls only delay commits");
+        assert!(hits > 0, "ack failpoint site was never consulted");
+        assert_eq!(report.total_rewinds(), 0, "stalls are not crashes");
+        let got = std::sync::Arc::try_unwrap(handle)
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        assert_eq!(got, (0..800).collect::<Vec<u64>>());
+    });
+}
+
+/// A stall injected at the drain-escalation site (`buffer::fifo::drain`)
+/// while a StopHandle winds down a live graph: the ladder is slowed, not
+/// wedged — `exe()` still returns cleanly with the drain recorded.
+#[test]
+fn drain_ladder_survives_injected_stall() {
+    let _guard = chaos_guard();
+    failpoints::set_seed(chaos_seed());
+    failpoints::arm(
+        "buffer::fifo::drain",
+        FailAction::Stall(Duration::from_millis(10)),
+        1,
+        8,
+    );
+
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        Some(i) // endless: only the drain ladder can stop this graph
+    }));
+    let (we, handle) = write_each::<u64>();
+    let dst = map.add(we);
+    map.link(src, "0", dst, "in").unwrap();
+
+    let stop = map.stop_handle();
+    let controller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        stop.drain();
+    });
+    let report = map.exe();
+    let hits = failpoints::hits("buffer::fifo::drain");
+    failpoints::reset();
+    controller.join().unwrap();
+    let report = report.expect("a stalled drain escalation still completes");
+    assert!(hits > 0, "drain failpoint site was never consulted");
+    assert!(
+        report.drain_events.iter().any(|ev| ev.level >= 1),
+        "drain ladder never fired: {:?}",
+        report.drain_events
+    );
+    let got = std::sync::Arc::try_unwrap(handle)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    let prefix: Vec<u64> = (1..=got.len() as u64).collect();
+    assert_eq!(got, prefix, "drain must deliver an uninterrupted prefix");
+}
+
 /// A stall injected at the step site trips the deadline watchdog.
 #[test]
 fn injected_stall_trips_watchdog() {

@@ -24,12 +24,12 @@
 //! desynchronize the framing, so the protocol is designed to avoid timed
 //! reads entirely once a connection is up.
 
-use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
+use raft_buffer::ReplayWindow;
 use raftlib::prelude::*;
 
 use crate::frame::{Frame, FrameKind};
@@ -174,12 +174,12 @@ pub struct ResilientTcpOut<T: Wire> {
     addr: SocketAddr,
     cfg: NetConfig,
     writer: Option<BufWriter<TcpStream>>,
-    /// Sequence number of the next frame to send.
-    next_seq: u64,
-    /// Everything below this is acknowledged.
-    acked: u64,
-    /// Un-acknowledged frames, in sequence order: `[acked, next_seq)`.
-    replay: VecDeque<(u64, Frame)>,
+    /// Un-acknowledged frames in sequence order — the same seq/ack
+    /// [`ReplayWindow`] the in-process journaled FIFOs use
+    /// (`raft_buffer::journal`), instantiated over encoded frames.
+    /// Unbounded here (`bound == 0`): [`Self::wait_for_window`] enforces
+    /// the flow-control depth instead, so no frame is ever force-dropped.
+    window: ReplayWindow<Frame>,
     rng: u64,
     eos_sent: bool,
     _marker: std::marker::PhantomData<fn(T)>,
@@ -197,9 +197,7 @@ impl<T: Wire> ResilientTcpOut<T> {
             rng: cfg.seed ^ 0x6C62_272E_07BB_0142,
             cfg,
             writer: None,
-            next_seq: 0,
-            acked: 0,
-            replay: VecDeque::new(),
+            window: ReplayWindow::new(0),
             eos_sent: false,
             _marker: std::marker::PhantomData,
         })
@@ -239,13 +237,10 @@ impl<T: Wire> ResilientTcpOut<T> {
         stream.set_read_timeout(None)?;
 
         // Frames below `expected` were delivered before the link died.
-        while self.replay.front().is_some_and(|&(seq, _)| seq < expected) {
-            self.replay.pop_front();
-        }
-        self.acked = self.acked.max(expected);
+        self.window.ack(expected);
 
         let mut writer = BufWriter::new(stream);
-        for (_, f) in &self.replay {
+        for (_, f) in self.window.iter_from(expected) {
             f.write_to(&mut writer)?;
         }
         if self.eos_sent {
@@ -266,7 +261,8 @@ impl<T: Wire> ResilientTcpOut<T> {
             let step = (|| -> io::Result<()> {
                 self.ensure_connected()?;
                 if had_conn {
-                    let (_, frame) = self.replay.back().expect("frame just queued");
+                    let last = self.window.next_seq() - 1;
+                    let frame = self.window.get(last).expect("frame just queued");
                     frame.write_to(self.writer.as_mut().expect("connected"))?;
                 }
                 Ok(())
@@ -284,16 +280,9 @@ impl<T: Wire> ResilientTcpOut<T> {
         }
     }
 
-    /// Pop replay entries the cumulative ack `next_expected` covers.
+    /// Release replay entries the cumulative ack `next_expected` covers.
     fn absorb_ack(&mut self, next_expected: u64) {
-        while self
-            .replay
-            .front()
-            .is_some_and(|&(seq, _)| seq < next_expected)
-        {
-            self.replay.pop_front();
-        }
-        self.acked = self.acked.max(next_expected);
+        self.window.ack(next_expected);
     }
 
     /// Read one frame from the peer (flushing first) and absorb it if it
@@ -323,7 +312,7 @@ impl<T: Wire> ResilientTcpOut<T> {
     fn wait_for_window(&mut self) -> io::Result<()> {
         let window = self.cfg.effective_window();
         let mut cycles = 0u32;
-        while self.replay.len() >= window {
+        while self.window.len() >= window {
             let step = self.ensure_connected().and_then(|()| self.read_one_ack());
             if let Err(e) = step {
                 self.writer = None;
@@ -363,7 +352,7 @@ impl<T: Wire> ResilientTcpOut<T> {
             Frame::eos().write_to(writer)?;
             writer.flush()?;
         }
-        while self.acked < self.next_seq {
+        while !self.window.is_empty() {
             self.read_one_ack()?;
         }
         Ok(())
@@ -382,10 +371,8 @@ impl<T: Wire> Kernel for ResilientTcpOut<T> {
                 drop(input);
                 let mut buf = BytesMut::new();
                 v.encode(&mut buf);
-                let seq = self.next_seq;
-                self.next_seq += 1;
-                self.replay
-                    .push_back((seq, Frame::seq_data(seq, buf.freeze(), sig)));
+                let seq = self.window.next_seq();
+                self.window.append(Frame::seq_data(seq, buf.freeze(), sig));
                 if self.transmit().is_err() || self.wait_for_window().is_err() {
                     return KStatus::Stop; // receiver unreachable beyond retry budget
                 }

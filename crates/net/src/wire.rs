@@ -9,7 +9,12 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A type that can cross a TCP stream link.
-pub trait Wire: Sized + Send + 'static {
+///
+/// `Clone` is part of the stream-type contract (see
+/// `raftlib::PortSpec::input`): resilient links keep replay copies of
+/// unacknowledged elements, and every encodable type here is trivially
+/// clonable anyway.
+pub trait Wire: Sized + Send + Clone + 'static {
     /// Append this value's encoding to `buf`.
     fn encode(&self, buf: &mut BytesMut);
     /// Decode one value from `buf` (which contains exactly one payload).
