@@ -44,7 +44,11 @@ impl Kernel for SkewedWorker {
                 drop(input);
                 // replica 0 is the slow one; skew must exceed the per-item
                 // framework overhead for the strategies to differentiate
-                let spins = if self.replica == 0 { 60 * self.skew } else { 60 };
+                let spins = if self.replica == 0 {
+                    60 * self.skew
+                } else {
+                    60
+                };
                 // black_box inside the fold: without it LLVM collapses the
                 // sum to a closed form and the "slow" replica is not slow.
                 let r = (0..spins).fold(v, |a, b| a.wrapping_add(std::hint::black_box(b)));
@@ -90,16 +94,12 @@ fn bench_split(c: &mut Criterion) {
     g.sampling_mode(criterion::SamplingMode::Flat);
     g.throughput(Throughput::Elements(ITEMS));
     for skew in [1u64, 1_000, 5_000] {
-        g.bench_with_input(
-            BenchmarkId::new("round_robin", skew),
-            &skew,
-            |b, &s| b.iter(|| run(SplitStrategy::RoundRobin, s)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("least_utilized", skew),
-            &skew,
-            |b, &s| b.iter(|| run(SplitStrategy::LeastUtilized, s)),
-        );
+        g.bench_with_input(BenchmarkId::new("round_robin", skew), &skew, |b, &s| {
+            b.iter(|| run(SplitStrategy::RoundRobin, s))
+        });
+        g.bench_with_input(BenchmarkId::new("least_utilized", skew), &skew, |b, &s| {
+            b.iter(|| run(SplitStrategy::LeastUtilized, s))
+        });
     }
     g.finish();
 }

@@ -11,7 +11,11 @@ const ITEMS: usize = 2_000;
 
 fn run(compressed: bool, payloads: Vec<Vec<u8>>) {
     let (tcp_out, tcp_in) = tcp_bridge::<Vec<u8>>().unwrap();
-    let tcp_out = if compressed { tcp_out.compressed() } else { tcp_out };
+    let tcp_out = if compressed {
+        tcp_out.compressed()
+    } else {
+        tcp_out
+    };
     let n_items = payloads.len() as u64;
     let sender = std::thread::spawn(move || {
         let mut map = RaftMap::new();
@@ -32,8 +36,13 @@ fn run(compressed: bool, payloads: Vec<Vec<u8>>) {
 
 fn text_payloads() -> Vec<Vec<u8>> {
     (0..ITEMS)
-        .map(|i| format!("stream element number {} with plenty of repeated text text text", i % 13)
-            .into_bytes())
+        .map(|i| {
+            format!(
+                "stream element number {} with plenty of repeated text text text",
+                i % 13
+            )
+            .into_bytes()
+        })
         .collect()
 }
 

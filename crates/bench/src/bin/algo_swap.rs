@@ -24,10 +24,7 @@ use raftlib::prelude::*;
 
 /// Search kernel over an injected matcher, counting bytes it scanned into a
 /// shared counter (progress instrumentation for the swap trigger).
-fn search_kernel(
-    matcher: Arc<dyn Matcher>,
-    scanned: Arc<AtomicU64>,
-) -> impl Kernel {
+fn search_kernel(matcher: Arc<dyn Matcher>, scanned: Arc<AtomicU64>) -> impl Kernel {
     Map::new(move |chunk: ByteChunk| {
         let mut found = Vec::new();
         matcher.find_into(chunk.as_slice(), chunk.base(), chunk.min_end, &mut found);
@@ -41,12 +38,7 @@ struct RunResult {
     matches: u64,
 }
 
-fn run(
-    data: &Arc<Vec<u8>>,
-    needle: &[u8],
-    swap_at_half: bool,
-    start_algo: usize,
-) -> RunResult {
+fn run(data: &Arc<Vec<u8>>, needle: &[u8], swap_at_half: bool, start_algo: usize) -> RunResult {
     let scanned = Arc::new(AtomicU64::new(0));
     let ac: Box<dyn Kernel> = Box::new(search_kernel(
         Arc::new(AhoCorasick::new(&[needle])),
@@ -60,7 +52,9 @@ fn run(
     let switch = set.switch();
     switch.select(start_algo);
 
-    let overlap = Horspool::new(needle).overlap().max(AhoCorasick::new(&[needle]).overlap());
+    let overlap = Horspool::new(needle)
+        .overlap()
+        .max(AhoCorasick::new(&[needle]).overlap());
     let mut map = RaftMap::new();
     let reader = map.add(ByteChunkSource::new(data.clone(), 1 << 20, overlap));
     let search = map.add(set);

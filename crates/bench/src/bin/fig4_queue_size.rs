@@ -62,10 +62,7 @@ fn main() {
     println!("{:-<74}", "");
 
     // Shape commentary matching the paper's reading of the figure.
-    let best = rows
-        .iter()
-        .min_by(|a, b| a.1.mean.cmp(&b.1.mean))
-        .unwrap();
+    let best = rows.iter().min_by(|a, b| a.1.mean.cmp(&b.1.mean)).unwrap();
     let tiny = &rows[0];
     let huge = rows.last().unwrap();
     println!(

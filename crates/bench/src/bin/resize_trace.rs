@@ -63,7 +63,10 @@ fn main() {
         BURSTS, BURST_LEN, delta, report.elapsed
     );
     println!("{:-<72}", "");
-    println!("{:>10}  {:<34} {:>7} {:>7}  reason", "t", "edge", "from", "to");
+    println!(
+        "{:>10}  {:<34} {:>7} {:>7}  reason",
+        "t", "edge", "from", "to"
+    );
     println!("{:-<72}", "");
     for ev in &report.resize_events {
         println!(

@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 pub struct JsonReport {
     bench: &'static str,
     results: Vec<(String, f64)>,
+    notes: Vec<(String, String)>,
 }
 
 impl JsonReport {
@@ -26,6 +27,7 @@ impl JsonReport {
         JsonReport {
             bench,
             results: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -33,6 +35,20 @@ impl JsonReport {
     /// `"pingpong_resizable_fifo_melems_per_s"`).
     pub fn push(&mut self, key: impl Into<String>, value: f64) {
         self.results.push((key.into(), value));
+    }
+
+    /// The results recorded so far (for gate modes that compare instead
+    /// of writing).
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Attach a prose annotation to a result key — investigation outcomes
+    /// that should travel with the numbers (e.g. why an accepted
+    /// regression is accepted). Notes live in the bench source, so they
+    /// are re-emitted on every run rather than carried forward.
+    pub fn note(&mut self, key: impl Into<String>, text: impl Into<String>) {
+        self.notes.push((key.into(), text.into()));
     }
 
     /// Repo-root path of this report's output file (`BENCH_<bench>.json`).
@@ -66,6 +82,14 @@ impl JsonReport {
             let _ = writeln!(out, "    \"{k}\": {v:.3}{comma}");
         }
         out.push_str("  },\n");
+        if !self.notes.is_empty() {
+            out.push_str("  \"notes\": {\n");
+            for (i, (k, v)) in self.notes.iter().enumerate() {
+                let comma = if i + 1 == self.notes.len() { "" } else { "," };
+                let _ = writeln!(out, "    \"{k}\": \"{}\"{comma}", v.replace('"', "'"));
+            }
+            out.push_str("  },\n");
+        }
         match baseline {
             Some(b) => {
                 let _ = writeln!(out, "  \"baseline\": {b}");
@@ -76,6 +100,52 @@ impl JsonReport {
         std::fs::write(&path, out)?;
         Ok(path)
     }
+}
+
+/// Parse the flat `"key": number` pairs out of a report's `results`
+/// object. Tolerant of the writer's own formatting only — this is the
+/// inverse of [`JsonReport::write`], not a JSON parser.
+pub fn parse_results(src: &str) -> Vec<(String, f64)> {
+    let Some(obj) = extract_object(src, "results") else {
+        return Vec::new();
+    };
+    obj.lines()
+        .filter_map(|line| {
+            let (k, v) = line.trim().split_once(':')?;
+            let k = k.trim().trim_matches('"');
+            let v: f64 = v.trim().trim_end_matches(',').parse().ok()?;
+            (!k.is_empty()).then(|| (k.to_string(), v))
+        })
+        .collect()
+}
+
+/// Compare fresh results against a committed reference: every key present
+/// in both must not have regressed by more than `tolerance` (0.10 = 10%).
+/// Returns one human-readable violation per regressed key; keys only on
+/// one side are ignored (new benches are not regressions).
+///
+/// This is the FIFO regression gate: the committed `BENCH_fifo.json` is
+/// the reference, a fresh `--assert-fifo` run is the candidate, and a
+/// non-empty return fails the bench process.
+pub fn compare_results(
+    fresh: &[(String, f64)],
+    reference: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (key, new) in fresh {
+        let Some((_, old)) = reference.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        if *old > 0.0 && *new < *old * (1.0 - tolerance) {
+            violations.push(format!(
+                "{key}: {new:.1} vs reference {old:.1} ({:+.1}%, tolerance -{:.0}%)",
+                (new / old - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    violations
 }
 
 /// Extract the balanced `{ ... }` object following `"key":` in `src`.
@@ -139,5 +209,52 @@ mod tests {
     #[test]
     fn extract_object_missing_key_is_none() {
         assert!(extract_object("{}", "results").is_none());
+    }
+
+    #[test]
+    fn parse_results_roundtrips_writer_format() {
+        let src = "{\n  \"bench\": \"fifo\",\n  \"results\": {\n    \"a_melems\": 276.901,\n    \"b_melems\": 89.837\n  },\n  \"baseline\": null\n}\n";
+        let got = parse_results(src);
+        assert_eq!(
+            got,
+            vec![
+                ("a_melems".to_string(), 276.901),
+                ("b_melems".to_string(), 89.837)
+            ]
+        );
+    }
+
+    #[test]
+    fn compare_results_flags_only_regressions_beyond_tolerance() {
+        let reference = vec![
+            ("steady".to_string(), 100.0),
+            ("regressed".to_string(), 100.0),
+            ("improved".to_string(), 100.0),
+            ("gone".to_string(), 100.0),
+        ];
+        let fresh = vec![
+            ("steady".to_string(), 91.0),    // -9%: inside 10% tolerance
+            ("regressed".to_string(), 80.0), // -20%: flagged
+            ("improved".to_string(), 150.0),
+            ("brand_new".to_string(), 5.0), // no reference: ignored
+        ];
+        let v = compare_results(&fresh, &reference, 0.10);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].starts_with("regressed:"), "{v:?}");
+    }
+
+    #[test]
+    fn notes_are_written_and_results_still_parse() {
+        let mut r = JsonReport::new("notes_test");
+        r.push("k_melems", 1.5);
+        r.note("k_melems", "an \"annotated\" result");
+        std::env::set_var("RAFT_BENCH_DIR", std::env::temp_dir());
+        let path = r.write().unwrap();
+        std::env::remove_var("RAFT_BENCH_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"notes\""));
+        assert!(text.contains("an 'annotated' result"));
+        assert_eq!(parse_results(&text), vec![("k_melems".to_string(), 1.5)]);
     }
 }

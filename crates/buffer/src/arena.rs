@@ -1,0 +1,610 @@
+//! Pass-by-descriptor payload arena inside a shared segment.
+//!
+//! Rings move fixed-size elements; real workloads move `Vec<u8>`-class
+//! payloads. Copying each payload through ring slots costs a memcpy per
+//! hop (BENCH_fifo.json's `xthread_*` ceilings are exactly that memcpy).
+//! The arena inverts this: the payload is written **once** into a slab
+//! slot inside the segment, and what crosses the ring is a 16-byte
+//! [`Descriptor`] — offset, length, slot, generation.
+//!
+//! ## Layout (segment kind = [`crate::shm::SEG_KIND_ARENA`])
+//!
+//! The data region holds three consecutive arrays, all derivable from the
+//! header's `capacity` (slot count) and `elem_size` (slot size):
+//!
+//! ```text
+//! [ generations: capacity × AtomicU32, 64-padded ]
+//! [ free ring:   capacity.next_power_of_two() × u32, 64-padded ]
+//! [ payloads:    capacity × slot_size bytes ]
+//! ```
+//!
+//! ## Free-slot recycling
+//!
+//! Freed slots flow back from the consuming side ([`ArenaRx`]) to the
+//! allocating side ([`ArenaTx`]) through an embedded SPSC **free ring** —
+//! the same head/tail protocol as every other ring in this crate (fourth
+//! user of `crate::index`), with Rx as its producer and Tx as its
+//! consumer. It is sized to the next power of two ≥ slot count, so with at
+//! most `capacity` slots in flight it can never overflow.
+//!
+//! ## Generations catch use-after-free
+//!
+//! `generations[slot]` is even while the slot is free, odd while live.
+//! [`ArenaTx::alloc`] bumps it odd and stamps the value into the
+//! descriptor; [`ArenaRx::resolve`] and [`ArenaRx::free`] verify the stamp
+//! still matches. A descriptor held past its `free` (use-after-free), a
+//! double-free, or a descriptor forged/corrupted across the boundary all
+//! land on a mismatched or even generation and are rejected as
+//! [`ArenaError::Stale`] — turning the classic shared-memory lifetime bug
+//! into a recoverable error return.
+//!
+//! ## Visibility contract
+//!
+//! The arena itself orders only the generation words. Payload bytes are
+//! published by the **descriptor's ride through a ring**: the producer
+//! writes the payload, then pushes the descriptor (Release store of the
+//! ring tail); the consumer's Acquire pop makes the payload bytes visible
+//! before `resolve` reads them. Handing a descriptor to the peer by any
+//! channel without a release/acquire edge is outside the contract.
+
+use std::io;
+use std::sync::atomic::{
+    AtomicU32,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::Arc;
+
+use crate::index::{consumer_ready_elems, producer_free_slots};
+use crate::shm::{ShmItem, ShmSegment, SEG_KIND_ARENA};
+
+/// Fixed-size ticket for one payload in the arena. 16 bytes, POD, crosses
+/// process boundaries through any `ShmRing<Descriptor>`.
+#[repr(C)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Descriptor {
+    /// Byte offset of the payload inside the arena's payload region
+    /// (always `slot * slot_size`; carried explicitly and re-validated).
+    pub offset: u32,
+    /// Payload length in bytes (≤ slot size).
+    pub len: u32,
+    /// Slab slot index.
+    pub slot: u32,
+    /// Liveness stamp: must match `generations[slot]` (odd) to resolve.
+    pub generation: u32,
+}
+
+// SAFETY: repr(C) struct of four u32s — no padding, every bit pattern is a
+// value, nothing address-space-dependent. A forged descriptor is caught by
+// validation, not UB.
+unsafe impl ShmItem for Descriptor {}
+
+/// Why a descriptor was rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArenaError {
+    /// Generation mismatch: the slot was freed (use-after-free), freed
+    /// twice, or the descriptor was never issued by this arena epoch.
+    Stale,
+    /// Structurally invalid: slot index, offset, or length out of range.
+    Malformed,
+}
+
+impl std::fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArenaError::Stale => write!(f, "stale descriptor (generation mismatch)"),
+            ArenaError::Malformed => write!(f, "malformed descriptor"),
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
+
+/// Factory for descriptor arenas; see the module docs for the protocol.
+pub struct ShmArena;
+
+/// Geometry derived once from the segment header.
+#[derive(Clone, Copy)]
+struct Geometry {
+    slots: usize,
+    slot_size: usize,
+    /// Free-ring capacity (power of two ≥ slots).
+    fcap: usize,
+    gen_off: usize,
+    free_off: usize,
+    payload_off: usize,
+}
+
+fn align64(n: usize) -> usize {
+    (n + 63) & !63
+}
+
+impl Geometry {
+    fn for_counts(slots: usize, slot_size: usize) -> Geometry {
+        let fcap = slots.next_power_of_two();
+        let gen_bytes = align64(slots * 4);
+        let free_bytes = align64(fcap * 4);
+        Geometry {
+            slots,
+            slot_size,
+            fcap,
+            gen_off: 0,
+            free_off: gen_bytes,
+            payload_off: gen_bytes + free_bytes,
+        }
+    }
+
+    fn data_bytes(&self) -> usize {
+        self.payload_off + self.slots * self.slot_size
+    }
+
+    fn of_segment(seg: &ShmSegment) -> Geometry {
+        Geometry::for_counts(seg.capacity(), seg.elem_size())
+    }
+}
+
+/// Shared accessors over an arena segment.
+struct ArenaCore {
+    seg: Arc<ShmSegment>,
+    geo: Geometry,
+}
+
+impl ArenaCore {
+    #[inline]
+    fn generation(&self, slot: usize) -> &AtomicU32 {
+        debug_assert!(slot < self.geo.slots);
+        // SAFETY: slot < slots (validated by every caller), so the word is
+        // inside the generations array, which is inside the mapped data
+        // region; 4-aligned (64-aligned base + 4×slot). AtomicU32 is
+        // layout-compatible with u32 and any bit pattern is valid.
+        unsafe { &*(self.seg.data_ptr().add(self.geo.gen_off + slot * 4) as *const AtomicU32) }
+    }
+
+    #[inline]
+    fn free_entry_ptr(&self, idx: usize) -> *mut u32 {
+        // Masked by fcap-1: always inside the free-ring array.
+        let masked = idx & (self.geo.fcap - 1);
+        // In-bounds: free_off + fcap*4 ≤ payload_off ≤ data_len.
+        self.seg
+            .data_ptr()
+            .wrapping_add(self.geo.free_off + masked * 4)
+            .cast::<u32>()
+    }
+
+    #[inline]
+    fn payload_ptr(&self, offset: usize) -> *mut u8 {
+        self.seg
+            .data_ptr()
+            .wrapping_add(self.geo.payload_off + offset)
+    }
+
+    /// Structural validation shared by resolve/free. Returns the slot.
+    fn validate(&self, d: &Descriptor) -> Result<usize, ArenaError> {
+        let slot = d.slot as usize;
+        if slot >= self.geo.slots
+            || d.len as usize > self.geo.slot_size
+            || d.offset as usize != slot * self.geo.slot_size
+        {
+            return Err(ArenaError::Malformed);
+        }
+        Ok(slot)
+    }
+}
+
+impl ShmArena {
+    fn segment(slots: usize, slot_size: usize, memfd: bool) -> io::Result<ShmSegment> {
+        assert!(slots > 0 && slot_size > 0, "arena geometry");
+        let geo = Geometry::for_counts(slots, slot_size);
+        let seg = if memfd {
+            ShmSegment::create(
+                SEG_KIND_ARENA,
+                slots as u64,
+                slot_size,
+                64,
+                geo.data_bytes(),
+            )?
+        } else {
+            ShmSegment::create_heap(
+                SEG_KIND_ARENA,
+                slots as u64,
+                slot_size,
+                64,
+                geo.data_bytes(),
+            )
+        };
+        // Pre-fill the free ring with every slot: entries [0, slots),
+        // free-ring tail = slots. Single-threaded creation; the fd pass /
+        // Arc clone that shares the segment publishes these writes.
+        let core = ArenaCore {
+            seg: Arc::new(seg),
+            geo,
+        };
+        for i in 0..slots {
+            // SAFETY: index i < fcap, entry inside the free-ring array.
+            unsafe { core.free_entry_ptr(i).write(i as u32) };
+        }
+        core.seg.tail().store(slots as u64, Release);
+        let seg = Arc::try_unwrap(core.seg).ok().expect("sole owner");
+        Ok(seg)
+    }
+
+    /// In-process pair over one segment (memfd when available).
+    pub fn pair(slots: usize, slot_size: usize) -> (ArenaTx, ArenaRx) {
+        let memfd = ShmSegment::memfd_supported();
+        let seg = Self::segment(slots, slot_size, memfd)
+            .unwrap_or_else(|_| Self::segment(slots, slot_size, false).expect("heap arena"));
+        let seg = Arc::new(seg);
+        assert!(seg.claim_role(true) && seg.claim_role(false));
+        (Self::tx_over(seg.clone()), Self::rx_over(seg))
+    }
+
+    /// Create a memfd arena and take the allocating side; pass the fd to
+    /// the consuming process for [`ShmArena::attach_rx`].
+    pub fn create_tx(slots: usize, slot_size: usize) -> io::Result<(ArenaTx, i32)> {
+        let seg = Self::segment(slots, slot_size, true)?;
+        let fd = seg.fd().expect("memfd segment has an fd");
+        assert!(seg.claim_role(true), "fresh segment role");
+        Ok((Self::tx_over(Arc::new(seg)), fd))
+    }
+
+    /// Attach to an inherited arena fd as the consuming side.
+    pub fn attach_rx(fd: i32) -> io::Result<ArenaRx> {
+        let seg = Self::attach_arena(fd)?;
+        if !seg.claim_role(false) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                "arena rx role already claimed",
+            ));
+        }
+        Ok(Self::rx_over(Arc::new(seg)))
+    }
+
+    /// Attach to an inherited arena fd as the allocating side.
+    pub fn attach_tx(fd: i32) -> io::Result<ArenaTx> {
+        let seg = Self::attach_arena(fd)?;
+        if !seg.claim_role(true) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                "arena tx role already claimed",
+            ));
+        }
+        Ok(Self::tx_over(Arc::new(seg)))
+    }
+
+    fn attach_arena(fd: i32) -> io::Result<ShmSegment> {
+        let seg = ShmSegment::attach(fd, SEG_KIND_ARENA)?;
+        let geo = Geometry::of_segment(&seg);
+        if geo.slots == 0 || geo.slot_size == 0 || geo.data_bytes() > seg.data_len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "arena geometry disagrees with segment size",
+            ));
+        }
+        Ok(seg)
+    }
+
+    fn tx_over(seg: Arc<ShmSegment>) -> ArenaTx {
+        let geo = Geometry::of_segment(&seg);
+        let free_head = seg.head().load(Relaxed) as usize;
+        let free_tail_cache = seg.tail().load(Relaxed) as usize;
+        ArenaTx {
+            core: ArenaCore { seg, geo },
+            free_head,
+            free_tail_cache,
+        }
+    }
+
+    fn rx_over(seg: Arc<ShmSegment>) -> ArenaRx {
+        let geo = Geometry::of_segment(&seg);
+        let free_tail = seg.tail().load(Relaxed) as usize;
+        let free_head_cache = seg.head().load(Relaxed) as usize;
+        ArenaRx {
+            core: ArenaCore { seg, geo },
+            free_tail,
+            free_head_cache,
+        }
+    }
+}
+
+/// Allocating side: `alloc` → write payload → `publish` → send the
+/// descriptor through a ring.
+pub struct ArenaTx {
+    core: ArenaCore,
+    /// Free-ring consumer state (mirrors + conservative cache).
+    free_head: usize,
+    free_tail_cache: usize,
+}
+
+/// Consuming side: `resolve` → read payload in place → `free`.
+pub struct ArenaRx {
+    core: ArenaCore,
+    /// Free-ring producer state.
+    free_tail: usize,
+    free_head_cache: usize,
+}
+
+// SAFETY: single handle per side (CAS-claimed role); all shared state is
+// accessed through the free-ring protocol and atomic generation words.
+unsafe impl Send for ArenaTx {}
+// SAFETY: see ArenaTx.
+unsafe impl Send for ArenaRx {}
+
+/// In-flight allocation: write the payload through [`PayloadWrite::bytes`],
+/// then [`PayloadWrite::publish`] to obtain the descriptor. Dropping the
+/// guard without publishing leaks the slot until the arena is recycled —
+/// deliberate, since un-publishing would need a free-ring push from the
+/// wrong side.
+pub struct PayloadWrite<'a> {
+    tx: &'a mut ArenaTx,
+    slot: usize,
+    generation: u32,
+    len: usize,
+}
+
+impl PayloadWrite<'_> {
+    /// The payload bytes to fill (exactly the allocation length).
+    pub fn bytes(&mut self) -> &mut [u8] {
+        let off = self.slot * self.tx.core.geo.slot_size;
+        // SAFETY: the slot is live (alloc popped it from the free ring and
+        // no descriptor exists yet, so the Rx side cannot touch it); the
+        // range [off, off+len) lies inside this slot's payload area, which
+        // is inside the mapped data region. &mut self on the guard makes
+        // the borrow exclusive in this process, and the peer process never
+        // reads a slot before a descriptor for it arrives over a ring.
+        unsafe { std::slice::from_raw_parts_mut(self.tx.core.payload_ptr(off), self.len) }
+    }
+
+    /// Seal the payload and mint its descriptor.
+    pub fn publish(self) -> Descriptor {
+        Descriptor {
+            offset: (self.slot * self.tx.core.geo.slot_size) as u32,
+            len: self.len as u32,
+            slot: self.slot as u32,
+            generation: self.generation,
+        }
+    }
+}
+
+impl ArenaTx {
+    /// Reserve a slot for `len` payload bytes. `None` when `len` exceeds
+    /// the slot size or every slot is in flight (arena full — backpressure
+    /// belongs to the caller, typically the ring push that follows).
+    pub fn alloc(&mut self, len: usize) -> Option<PayloadWrite<'_>> {
+        if len > self.core.geo.slot_size {
+            return None;
+        }
+        // Pop one slot index off the free ring (we are its consumer).
+        let head = self.free_head;
+        let seg = &*self.core.seg;
+        let avail = consumer_ready_elems(head, &mut self.free_tail_cache, || {
+            seg.tail().load(Acquire) as usize
+        });
+        if avail == 0 {
+            return None;
+        }
+        // SAFETY: head < free tail observed via Acquire, pairing with the
+        // Rx side's Release publish of this entry; masked index in-bounds.
+        let slot = unsafe { self.core.free_entry_ptr(head).read() } as usize;
+        if slot >= self.core.geo.slots {
+            // A byzantine peer fed us garbage; drop the entry rather than
+            // index out of range.
+            seg.head().store((head + 1) as u64, Release);
+            self.free_head = head + 1;
+            return None;
+        }
+        seg.head().store((head + 1) as u64, Release);
+        self.free_head = head + 1;
+        // Free slots carry an even generation; bump to odd = live. Release
+        // pairs with resolve's Acquire load.
+        let gen = self.core.generation(slot);
+        let g = gen.load(Relaxed).wrapping_add(1);
+        let g = if g & 1 == 0 { g.wrapping_add(1) } else { g };
+        gen.store(g, Release);
+        Some(PayloadWrite {
+            tx: self,
+            slot,
+            generation: g,
+            len,
+        })
+    }
+
+    /// Convenience: allocate, copy `payload` in, publish.
+    pub fn push_bytes(&mut self, payload: &[u8]) -> Option<Descriptor> {
+        let mut w = self.alloc(payload.len())?;
+        w.bytes().copy_from_slice(payload);
+        Some(w.publish())
+    }
+
+    /// Total payload slots.
+    pub fn slots(&self) -> usize {
+        self.core.geo.slots
+    }
+
+    /// Payload bytes per slot.
+    pub fn slot_size(&self) -> usize {
+        self.core.geo.slot_size
+    }
+
+    /// Slots currently available to allocate (telemetry estimate).
+    pub fn free_slots(&self) -> usize {
+        let seg = &*self.core.seg;
+        (seg.tail().load(Acquire) as usize).saturating_sub(self.free_head)
+    }
+
+    /// The backing segment (fd for the peer attach).
+    pub fn segment(&self) -> &ShmSegment {
+        &self.core.seg
+    }
+}
+
+impl ArenaRx {
+    /// Borrow the payload bytes named by `d`, verifying structure and
+    /// generation. The borrow is tied to `&self`; the producer cannot
+    /// recycle the slot while the descriptor is unfreed, so the bytes
+    /// stay stable for the borrow's life.
+    pub fn resolve(&self, d: &Descriptor) -> Result<&[u8], ArenaError> {
+        let slot = self.core.validate(d)?;
+        // Acquire pairs with alloc's Release store of the odd generation.
+        let g = self.core.generation(slot).load(Acquire);
+        if g != d.generation || g & 1 == 0 {
+            return Err(ArenaError::Stale);
+        }
+        // SAFETY: offset/len validated against the slot geometry; the
+        // bytes were published by the ring edge that delivered `d` (module
+        // docs: visibility contract). The slot stays live until `free`.
+        Ok(unsafe {
+            std::slice::from_raw_parts(self.core.payload_ptr(d.offset as usize), d.len as usize)
+        })
+    }
+
+    /// Return `d`'s slot to the allocator. Rejects stale/forged
+    /// descriptors; a double free is therefore an error, not corruption.
+    pub fn free(&mut self, d: Descriptor) -> Result<(), ArenaError> {
+        let slot = self.core.validate(&d)?;
+        let gen = self.core.generation(slot);
+        // Odd (live) and matching → even (free). The CAS closes the
+        // double-free race with itself: only one free per generation wins.
+        if d.generation & 1 == 0
+            || gen
+                .compare_exchange(d.generation, d.generation.wrapping_add(1), Release, Relaxed)
+                .is_err()
+        {
+            return Err(ArenaError::Stale);
+        }
+        // Push the slot back on the free ring (we are its producer). The
+        // ring can never be full: at most `slots` entries exist in flight
+        // and fcap ≥ slots.
+        let tail = self.free_tail;
+        let seg = &*self.core.seg;
+        let _room = producer_free_slots(
+            tail,
+            &mut self.free_head_cache,
+            self.core.geo.fcap,
+            1,
+            || seg.head().load(Acquire) as usize,
+        );
+        debug_assert!(_room > 0, "free ring overflow impossible by sizing");
+        // SAFETY: slot entry [tail & fmask] is outside the free ring's
+        // live region; published by the Release store below.
+        unsafe { self.core.free_entry_ptr(tail).write(slot as u32) };
+        seg.tail().store((tail + 1) as u64, Release);
+        self.free_tail = tail + 1;
+        Ok(())
+    }
+
+    /// Total payload slots.
+    pub fn slots(&self) -> usize {
+        self.core.geo.slots
+    }
+
+    /// Payload bytes per slot.
+    pub fn slot_size(&self) -> usize {
+        self.core.geo.slot_size
+    }
+
+    /// The backing segment.
+    pub fn segment(&self) -> &ShmSegment {
+        &self.core.seg
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_publish_resolve_free_roundtrip() {
+        let (mut tx, mut rx) = ShmArena::pair(4, 64);
+        let d = tx.push_bytes(b"hello arena").unwrap();
+        assert_eq!(d.len, 11);
+        assert_eq!(rx.resolve(&d).unwrap(), b"hello arena");
+        rx.free(d).unwrap();
+        // Freed slot is recyclable and lands on a new generation.
+        let d2 = tx.push_bytes(b"second").unwrap();
+        assert_eq!(rx.resolve(&d2).unwrap(), b"second");
+    }
+
+    #[test]
+    fn generation_mismatch_rejected_after_free() {
+        let (mut tx, mut rx) = ShmArena::pair(2, 32);
+        let d = tx.push_bytes(b"payload").unwrap();
+        rx.free(d).unwrap();
+        // Use-after-free: the held descriptor no longer resolves…
+        assert_eq!(rx.resolve(&d), Err(ArenaError::Stale));
+        // …and a double free is rejected too.
+        assert_eq!(rx.free(d), Err(ArenaError::Stale));
+    }
+
+    #[test]
+    fn malformed_descriptors_rejected() {
+        let (mut tx, rx) = ShmArena::pair(2, 32);
+        let d = tx.push_bytes(b"x").unwrap();
+        let bad_slot = Descriptor { slot: 99, ..d };
+        assert_eq!(rx.resolve(&bad_slot), Err(ArenaError::Malformed));
+        let bad_len = Descriptor { len: 1000, ..d };
+        assert_eq!(rx.resolve(&bad_len), Err(ArenaError::Malformed));
+        let bad_off = Descriptor {
+            offset: d.offset + 1,
+            ..d
+        };
+        assert_eq!(rx.resolve(&bad_off), Err(ArenaError::Malformed));
+        // Forged generation.
+        let forged = Descriptor {
+            generation: d.generation.wrapping_add(2),
+            ..d
+        };
+        assert_eq!(rx.resolve(&forged), Err(ArenaError::Stale));
+    }
+
+    #[test]
+    fn arena_exhaustion_and_recycling() {
+        let (mut tx, mut rx) = ShmArena::pair(2, 16);
+        let d1 = tx.push_bytes(b"a").unwrap();
+        let d2 = tx.push_bytes(b"b").unwrap();
+        assert!(tx.alloc(1).is_none(), "all slots in flight");
+        rx.free(d1).unwrap();
+        let d3 = tx.push_bytes(b"c").unwrap();
+        assert_eq!(rx.resolve(&d3).unwrap(), b"c");
+        assert_eq!(rx.resolve(&d2).unwrap(), b"b");
+        rx.free(d2).unwrap();
+        rx.free(d3).unwrap();
+        assert_eq!(tx.free_slots(), 2);
+    }
+
+    #[test]
+    fn oversize_alloc_refused() {
+        let (mut tx, _rx) = ShmArena::pair(2, 16);
+        assert!(tx.alloc(17).is_none());
+        assert!(tx.alloc(16).is_some());
+    }
+
+    #[test]
+    fn descriptors_cross_a_ring() {
+        use crate::shm::ShmRing;
+        // The intended composition: payload in the arena, descriptor
+        // through the ring, consumer resolves in place then frees.
+        let (mut tx, mut rx) = ShmArena::pair(8, 128);
+        let (mut p, mut c) = ShmRing::<Descriptor>::pair(8);
+        for i in 0..32u8 {
+            let d = tx.push_bytes(&[i; 100]).unwrap();
+            p.try_push(d).unwrap();
+            let d = c.try_pop().unwrap();
+            let bytes = rx.resolve(&d).unwrap();
+            assert_eq!(bytes, &[i; 100][..]);
+            rx.free(d).unwrap();
+        }
+    }
+
+    #[test]
+    fn cross_process_attach_roundtrip() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        let (mut tx, fd) = ShmArena::create_tx(4, 64).unwrap();
+        let mut rx = ShmArena::attach_rx(fd).unwrap();
+        assert!(ShmArena::attach_rx(fd).is_err(), "rx role exclusive");
+        let d = tx.push_bytes(b"via second mapping").unwrap();
+        assert_eq!(rx.resolve(&d).unwrap(), b"via second mapping");
+        rx.free(d).unwrap();
+    }
+}

@@ -50,6 +50,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::error::{PopError, PushError, TryPopError, TryPushError};
 use crate::fence::{ResizeFence, Role};
+use crate::index::{consumer_ready_elems, producer_free_slots};
 use crate::journal::{AdmissionPolicy, JournalConfig, ReplayWindow};
 use crate::signal::Signal;
 use crate::stats::{FifoStats, StatsSnapshot};
@@ -65,6 +66,50 @@ pub const DRAIN_RUNNING: u8 = 0;
 pub const DRAIN_DRAINING: u8 = 1;
 /// Blocked pushes fail fast and pops on an empty ring report end-of-stream.
 pub const DRAIN_QUIESCED: u8 = 2;
+
+/// Which allocator backs a link's element storage — the paper's three
+/// link allocators (§3): process-local heap, a shared-memory segment for
+/// co-located processes, and TCP for cross-machine edges. The mapper
+/// classifies each link from its placement (DESIGN §14 has the matrix);
+/// `RAFT_LINK_ALLOC` overrides globally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkAlloc {
+    /// Process-local heap ring (the default; fastest within one process).
+    #[default]
+    Heap,
+    /// `memfd`-backed mapped segment (see [`crate::shm`]): zero-copy
+    /// between co-located processes. Implies a fixed capacity — a mapped
+    /// segment cannot be resized under a live peer. Falls back to `Heap`
+    /// (recorded as such) on platforms without `memfd`.
+    Shm,
+    /// Serialized over a TCP link (`raft-net`); the only option across
+    /// machines. In-process FIFOs treat this as `Heap` — the socket pair
+    /// lives at the graph layer, not in the ring.
+    Tcp,
+}
+
+impl LinkAlloc {
+    /// Parse a `RAFT_LINK_ALLOC` value (`heap` | `shm` | `tcp`).
+    pub fn parse(s: &str) -> Option<LinkAlloc> {
+        match s.to_ascii_lowercase().as_str() {
+            "heap" => Some(LinkAlloc::Heap),
+            "shm" => Some(LinkAlloc::Shm),
+            "tcp" => Some(LinkAlloc::Tcp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LinkAlloc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad`, not `write_str`: report tables format this with a width.
+        f.pad(match self {
+            LinkAlloc::Heap => "heap",
+            LinkAlloc::Shm => "shm",
+            LinkAlloc::Tcp => "tcp",
+        })
+    }
+}
 
 /// Construction parameters for a [`Fifo`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +130,10 @@ pub struct FifoConfig {
     /// [`AdmissionPolicy`]). `Block` preserves the paper's lossless
     /// blocking-write semantics.
     pub admission: AdmissionPolicy,
+    /// Storage allocator for the ring (see [`LinkAlloc`]). `Shm` pins the
+    /// capacity to `initial_capacity` and places the slots in a mapped
+    /// segment.
+    pub alloc: LinkAlloc,
 }
 
 impl Default for FifoConfig {
@@ -95,6 +144,7 @@ impl Default for FifoConfig {
             min_capacity: 8,
             journal: None,
             admission: AdmissionPolicy::Block,
+            alloc: LinkAlloc::Heap,
         }
     }
 }
@@ -125,6 +175,12 @@ impl FifoConfig {
         self
     }
 
+    /// Select the storage allocator for this link.
+    pub fn with_alloc(mut self, alloc: LinkAlloc) -> Self {
+        self.alloc = alloc;
+        self
+    }
+
     /// Set the overload admission policy for this link.
     pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
         self.admission = admission;
@@ -135,10 +191,23 @@ impl FifoConfig {
 /// One storage slot: a possibly-uninitialized `(element, signal)` pair.
 type Slot<T> = UnsafeCell<MaybeUninit<(T, Signal)>>;
 
+/// What owns the slot memory. Heap rings own a boxed slice; shm rings own
+/// a mapped segment whose data region *is* the slot array. The hot path
+/// never inspects this — it goes through the cached raw pointer below.
+enum StorageOwner<T> {
+    Heap(#[allow(dead_code)] Box<[Slot<T>]>), // held for Drop, read via `ptr`
+    Seg(#[allow(dead_code)] crate::shm::ShmSegment), // held for Drop/unmap
+}
+
 /// Swappable slot storage; everything else lives in [`Shared`].
 struct Storage<T> {
-    slots: Box<[Slot<T>]>,
+    /// First slot; stride `size_of::<Slot<T>>()`, `capacity` slots long.
+    /// Cached out of `owner` so `slot()` is one add+mask, no branch on the
+    /// backing kind (and no bounds check, unlike the old boxed-slice
+    /// index).
+    ptr: *mut Slot<T>,
     mask: usize,
+    owner: StorageOwner<T>,
 }
 
 // SAFETY: slots are only touched through the head/tail protocol — the
@@ -155,13 +224,49 @@ unsafe impl<T: Send> Sync for Storage<T> {}
 impl<T> Storage<T> {
     fn with_capacity(capacity: usize) -> Self {
         let capacity = capacity.max(1).next_power_of_two();
-        let slots: Box<[Slot<T>]> = (0..capacity)
+        let mut slots: Box<[Slot<T>]> = (0..capacity)
             .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
             .collect();
+        let ptr = slots.as_mut_ptr();
         Storage {
+            ptr,
             mask: capacity - 1,
-            slots,
+            owner: StorageOwner::Heap(slots),
         }
+    }
+
+    /// Place the slot array in a freshly created `memfd` segment — the
+    /// shared-memory link backing (fails on platforms without memfd; the
+    /// caller falls back to the heap and records the downgrade). The
+    /// segment is process-private here (only this process maps it), so
+    /// any `T` is permissible — unlike [`crate::shm::ShmRing`], nothing
+    /// is read from another address space.
+    fn with_segment(capacity: usize) -> std::io::Result<Self> {
+        let capacity = capacity.max(1).next_power_of_two();
+        let (size, align) = (
+            std::mem::size_of::<Slot<T>>(),
+            std::mem::align_of::<Slot<T>>(),
+        );
+        let seg = crate::shm::ShmSegment::create(
+            crate::shm::SEG_KIND_RING,
+            capacity as u64,
+            size,
+            align,
+            capacity * size.max(1),
+        )?;
+        let ptr = seg.data_ptr().cast::<Slot<T>>();
+        // Fresh zeroed segment: every slot starts as an uninitialized
+        // MaybeUninit, exactly like the heap path.
+        Ok(Storage {
+            ptr,
+            mask: capacity - 1,
+            owner: StorageOwner::Seg(seg),
+        })
+    }
+
+    /// `true` when the slots live in a mapped segment.
+    fn is_shm(&self) -> bool {
+        matches!(self.owner, StorageOwner::Seg(_))
     }
 
     #[inline]
@@ -172,7 +277,12 @@ impl<T> Storage<T> {
     /// Raw pointer to the slot for monotonic index `idx`.
     #[inline]
     fn slot(&self, idx: usize) -> *mut MaybeUninit<(T, Signal)> {
-        self.slots[idx & self.mask].get()
+        // SAFETY: the masked index is < capacity, and `ptr` points at a
+        // live array of `capacity` slots owned by `self.owner` (boxed
+        // slice or mapped segment) for exactly as long as `self` lives.
+        // Only the UnsafeCell raw pointer escapes; dereferencing it is the
+        // caller's (protocol-ordered) obligation, as before.
+        unsafe { (*self.ptr.add(idx & self.mask)).get() }
     }
 }
 
@@ -189,6 +299,10 @@ struct Shared<T> {
     /// storage can never be swapped, so endpoints skip the fence entirely
     /// and run at raw SPSC speed.
     resizable: bool,
+    /// The allocator actually backing the slots (a requested `Shm` that
+    /// fell back to the heap is recorded as `Heap`); surfaced per-link in
+    /// `ExeReport`.
+    alloc: LinkAlloc,
     /// Next index to read (monotonic). Own cache line: the producer spins
     /// on this only when its cached copy says the ring is full.
     head: CachePadded<AtomicUsize>,
@@ -367,7 +481,7 @@ impl<T> Clone for Fifo<T> {
 /// Create a FIFO with the given configuration; returns the monitor-facing
 /// handle plus the two endpoints.
 pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>) {
-    let cfg = FifoConfig {
+    let mut cfg = FifoConfig {
         initial_capacity: cfg
             .initial_capacity
             .clamp(1, cfg.max_capacity.max(1))
@@ -376,10 +490,30 @@ pub fn fifo_with<T: Send>(cfg: FifoConfig) -> (Fifo<T>, Producer<T>, Consumer<T>
         min_capacity: cfg.min_capacity.max(1).next_power_of_two(),
         ..cfg
     };
+    // A mapped segment cannot be swapped out under a live peer: an shm
+    // link runs at its initial capacity, fixed (which also means the
+    // endpoints skip the resize fence and run at raw SPSC speed).
+    if cfg.alloc == LinkAlloc::Shm {
+        cfg.max_capacity = cfg.initial_capacity;
+        cfg.min_capacity = cfg.initial_capacity;
+    }
+    let storage = if cfg.alloc == LinkAlloc::Shm {
+        Storage::with_segment(cfg.initial_capacity)
+            .unwrap_or_else(|_| Storage::with_capacity(cfg.initial_capacity))
+    } else {
+        Storage::with_capacity(cfg.initial_capacity)
+    };
+    // Record what actually backs the slots, not what was asked for.
+    let alloc = if storage.is_shm() {
+        LinkAlloc::Shm
+    } else {
+        LinkAlloc::Heap
+    };
     let shared = Arc::new(Shared {
-        storage: RwLock::new(Storage::with_capacity(cfg.initial_capacity)),
+        storage: RwLock::new(storage),
         fence: ResizeFence::new(),
         resizable: cfg.max_capacity != cfg.min_capacity,
+        alloc,
         head: CachePadded::new(AtomicUsize::new(0)),
         tail: CachePadded::new(AtomicUsize::new(0)),
         producer_closed: AtomicBool::new(false),
@@ -439,6 +573,11 @@ impl<T: Send> Fifo<T> {
         self.shared
             .stats
             .snapshot(self.capacity(), self.occupancy())
+    }
+
+    /// The allocator actually backing this link's slots.
+    pub fn link_alloc(&self) -> LinkAlloc {
+        self.shared.alloc
     }
 
     /// The configured growth ceiling.
@@ -571,16 +710,12 @@ impl<T: Send> Fifo<T> {
             unsafe {
                 if src_contig && dst_contig {
                     // Fast path: one memcpy of the whole live region.
-                    std::ptr::copy_nonoverlapping(
-                        guard.slots[src_start].get(),
-                        new.slot(head),
-                        live,
-                    );
+                    std::ptr::copy_nonoverlapping(guard.slot(src_start), new.slot(head), live);
                 } else {
                     // Wrapped on either side: move element-wise.
                     for i in 0..live {
                         std::ptr::copy_nonoverlapping(
-                            guard.slots[(head + i) & old_mask].get(),
+                            guard.slot((head + i) & old_mask),
                             new.slot(head + i),
                             1,
                         );
@@ -682,6 +817,10 @@ pub trait Monitorable: Send + Sync {
     fn drain_level(&self) -> u8 {
         DRAIN_RUNNING
     }
+    /// The allocator backing this link's storage (for `ExeReport`).
+    fn link_alloc(&self) -> LinkAlloc {
+        LinkAlloc::Heap
+    }
     /// `true` when an exactly-once replay journal records this link.
     fn journaled(&self) -> bool {
         false
@@ -691,6 +830,9 @@ pub trait Monitorable: Send + Sync {
 impl<T: Send> Monitorable for Fifo<T> {
     fn capacity(&self) -> usize {
         Fifo::capacity(self)
+    }
+    fn link_alloc(&self) -> LinkAlloc {
+        Fifo::link_alloc(self)
     }
     fn occupancy(&self) -> usize {
         Fifo::occupancy(self)
@@ -791,15 +933,15 @@ impl<T: Send> Producer<T> {
         // SAFETY: fence membership held until the exit below.
         let storage = unsafe { shared.storage_unlocked() };
         let tail = self.tail;
-        if tail.wrapping_sub(self.head_cache) >= storage.capacity() {
-            // Looks full through the cache — refresh. Acquire pairs with the
-            // consumer's Release store of `head`, ordering its read-out of
-            // the slot before our reuse of it.
-            self.head_cache = shared.head.load(Acquire);
-            if tail.wrapping_sub(self.head_cache) >= storage.capacity() {
-                shared.arena_exit(Role::Producer);
-                return Err(TryPushError::Full(value));
-            }
+        // Shared cached-index fast path (see `crate::index`): refresh pairs
+        // Acquire with the consumer's Release store of `head`, ordering its
+        // read-out of the slot before our reuse of it.
+        let room = producer_free_slots(tail, &mut self.head_cache, storage.capacity(), 1, || {
+            shared.head.load(Acquire)
+        });
+        if room == 0 {
+            shared.arena_exit(Role::Producer);
+            return Err(TryPushError::Full(value));
         }
         // SAFETY: single producer; slot [tail] is outside the live region
         // (checked against a conservative head), and the fence keeps the
@@ -928,12 +1070,13 @@ impl<T: Send> Producer<T> {
         // SAFETY: fence membership held until the exit below.
         let storage = unsafe { shared.storage_unlocked() };
         let mut tail = self.tail;
-        if tail.wrapping_sub(self.head_cache) + items.len() > storage.capacity() {
-            self.head_cache = shared.head.load(Acquire);
-        }
-        let room = storage
-            .capacity()
-            .saturating_sub(tail.wrapping_sub(self.head_cache));
+        let room = producer_free_slots(
+            tail,
+            &mut self.head_cache,
+            storage.capacity(),
+            items.len(),
+            || shared.head.load(Acquire),
+        );
         let n = room.min(items.len());
         for v in items.drain(..n) {
             // SAFETY: single producer; slots [tail, tail+n) are outside the
@@ -1055,10 +1198,11 @@ impl<T: Send> Producer<T> {
             // below, or by WriteSlice::drop on success.
             let storage = unsafe { shared.storage_unlocked() };
             let tail = self.tail;
-            if tail.wrapping_sub(self.head_cache) + n > storage.capacity() {
-                self.head_cache = shared.head.load(Acquire);
-            }
-            if tail.wrapping_sub(self.head_cache) + n <= storage.capacity() {
+            let room =
+                producer_free_slots(tail, &mut self.head_cache, storage.capacity(), n, || {
+                    shared.head.load(Acquire)
+                });
+            if room >= n {
                 if began_block {
                     shared.stats.writer_block_end();
                 }
@@ -1110,10 +1254,11 @@ impl<T: Send> Producer<T> {
             // below, or by WriteGuard::drop on success.
             let storage = unsafe { shared.storage_unlocked() };
             let tail = self.tail;
-            if tail.wrapping_sub(self.head_cache) >= storage.capacity() {
-                self.head_cache = shared.head.load(Acquire);
-            }
-            if tail.wrapping_sub(self.head_cache) < storage.capacity() {
+            let room =
+                producer_free_slots(tail, &mut self.head_cache, storage.capacity(), 1, || {
+                    shared.head.load(Acquire)
+                });
+            if room > 0 {
                 if began_block {
                     shared.stats.writer_block_end();
                 }
@@ -1168,7 +1313,7 @@ impl<T: Send> Producer<T> {
     /// published; errs if the consumer is gone, in which case the remaining
     /// staged elements are discarded.
     pub fn commit_produced(&mut self) -> Result<usize, PushError<()>> {
-        if self.staged.as_ref().map_or(true, Vec::is_empty) {
+        if self.staged.as_ref().is_none_or(Vec::is_empty) {
             return Ok(0);
         }
         // Take the buffer out (push_signal_ring needs `&mut self`) but put
@@ -1226,12 +1371,13 @@ impl<T: Send> Producer<T> {
         // SAFETY: fence membership held until the exit below.
         let storage = unsafe { shared.storage_unlocked() };
         let mut tail = self.tail;
-        if tail.wrapping_sub(self.head_cache) + items.len() > storage.capacity() {
-            self.head_cache = shared.head.load(Acquire);
-        }
-        let room = storage
-            .capacity()
-            .saturating_sub(tail.wrapping_sub(self.head_cache));
+        let room = producer_free_slots(
+            tail,
+            &mut self.head_cache,
+            storage.capacity(),
+            items.len(),
+            || shared.head.load(Acquire),
+        );
         let n = room.min(items.len());
         for pair in items.drain(..n) {
             // SAFETY: single producer; slots [tail, tail+n) are outside the
@@ -1512,9 +1658,13 @@ impl<T: Send> Consumer<T> {
     #[inline]
     fn refresh_avail(&mut self) -> usize {
         // Acquire pairs with the producer's Release store of `tail`, making
-        // the slots it published visible before we read them.
-        self.tail_cache = self.shared.tail.load(Acquire);
-        self.tail_cache - self.head
+        // the slots it published visible before we read them. Force the
+        // shared-helper refresh path by treating the cache as spent.
+        self.tail_cache = self.head;
+        let shared = &*self.shared;
+        consumer_ready_elems(self.head, &mut self.tail_cache, || {
+            shared.tail.load(Acquire)
+        })
     }
 
     /// Non-blocking pop of `(value, signal)`. On a journaled link,
@@ -2667,6 +2817,36 @@ mod tests {
         assert!(!f.grow());
         assert!(!f.shrink());
         assert_eq!(f.capacity(), 8);
+    }
+
+    #[test]
+    fn shm_backed_fifo_roundtrip() {
+        let cfg = FifoConfig::fixed(8).with_alloc(LinkAlloc::Shm);
+        let (f, mut p, mut c) = fifo_with::<u64>(cfg);
+        if crate::shm::ShmSegment::memfd_supported() {
+            assert_eq!(f.link_alloc(), LinkAlloc::Shm);
+        } else {
+            assert_eq!(f.link_alloc(), LinkAlloc::Heap);
+        }
+        // Shm storage is fixed-capacity: a mapped segment cannot be
+        // resized under a live peer.
+        assert!(!f.grow());
+        for i in 0..8u64 {
+            p.try_push(i).unwrap();
+        }
+        assert!(matches!(p.try_push(99), Err(TryPushError::Full(_))));
+        // Zero-copy views work over the mapped segment too.
+        let seen = c
+            .pop_slice(8, |view| view.iter().copied().collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        let mut ws = p.reserve(4).unwrap();
+        for i in 0..4u64 {
+            ws.push(i * 10);
+        }
+        drop(ws);
+        assert_eq!(c.try_pop().unwrap(), 0);
+        assert_eq!(c.try_pop().unwrap(), 10);
     }
 
     #[test]

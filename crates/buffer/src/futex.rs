@@ -1,0 +1,304 @@
+//! Cross-process parking over `futex(2)` — the shared-memory counterpart of
+//! the in-process [`crate::waker`] slot.
+//!
+//! A [`crate::waker::WakerSlot`] wakes a *task* inside one scheduler; across
+//! a process boundary there is no shared scheduler, so the only thing two
+//! processes can rendezvous on is a 32-bit word in the mapped segment. This
+//! module provides:
+//!
+//! * thin wrappers over the raw `FUTEX_WAIT` / `FUTEX_WAKE` syscalls
+//!   ([`futex_wait`], [`futex_wake`]) using the same no-`libc` inline-asm
+//!   idiom as `core`'s `affinity.rs`. The *non-private* futex ops are used
+//!   deliberately: `FUTEX_PRIVATE_FLAG` restricts matching to one address
+//!   space, and these words live in a `MAP_SHARED` segment.
+//! * [`FutexWaker`] — an **edge-triggered eventcount** over two in-segment
+//!   words (`armed`, `seq`) that replays the `WakerSlot` contract verbatim:
+//!   `arm` = store + `fence(SeqCst)`, `notify` = fence + `swap(armed)`,
+//!   at most one wake per arm, and an unarmed notify costs one relaxed
+//!   load. The waiter plugs into the same adaptive spin→yield→park
+//!   [`crate::wait::Waiter`] the in-process endpoints use: only when the
+//!   waiter escalates to `Park` does the futex syscall happen.
+//!
+//! ## Why an eventcount (the `seq` word)
+//!
+//! `FUTEX_WAIT` sleeps only while `*uaddr == expected` — a plain flag is
+//! racy: the notifier could set-and-wake between the waiter's recheck and
+//! its `futex_wait`, and the wake would be lost. The `seq` word is a
+//! generation counter bumped by every claimed notify; the waiter snapshots
+//! it *before* arming, so a notify that lands in the race window changes
+//! `seq` and the kernel refuses to put the waiter to sleep (`EAGAIN`).
+//! The store-buffering pairing is the same as `waker.rs`: the waiter's
+//! `armed = 1; fence; re-check stream state` cannot miss a notifier's
+//! `stream write; fence; read armed` — one of the two always observes the
+//! other (DESIGN §14).
+//!
+//! On non-Linux (or non-x86_64) targets the wait degrades to a bounded
+//! `yield`/`sleep`, and under miri (which cannot execute inline asm) the
+//! same fallback is compiled in — the protocol stays correct, only the
+//! parking efficiency is lost.
+
+use std::sync::atomic::{
+    fence, AtomicU32,
+    Ordering::{Relaxed, SeqCst},
+};
+use std::time::Duration;
+
+/// `futex(2)` op codes (non-private: these words are cross-process).
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+const FUTEX_WAIT: usize = 0;
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+const FUTEX_WAKE: usize = 1;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// Raw 6-argument futex syscall. Returns the kernel's result (`-errno` on
+/// failure).
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+fn sys_futex(uaddr: *const AtomicU32, op: usize, val: u32, timeout: *const Timespec) -> isize {
+    let ret: isize;
+    // SAFETY: futex(uaddr, op, val, timeout, NULL, 0) only dereferences
+    // `uaddr` (a live AtomicU32 borrowed by the caller) and `timeout`
+    // (either null or a live Timespec on this stack frame); the clobbers
+    // match the x86_64 Linux syscall ABI (rcx/r11 clobbered, rax returns).
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 202isize => ret, // __NR_futex
+            in("rdi") uaddr,
+            in("rsi") op,
+            in("rdx") val as usize,
+            in("r10") timeout,
+            in("r8") 0usize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Sleep while `*word == expected`, for at most `timeout` (forever if
+/// `None`). Returns `true` if the kernel reports an actual wake and `false`
+/// for every other outcome (value already changed, timeout, signal) — the
+/// caller must re-check its condition either way, exactly like
+/// `Condvar::wait_for`.
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+pub fn futex_wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>) -> bool {
+    let ts;
+    let ts_ptr = match timeout {
+        Some(t) => {
+            ts = Timespec {
+                tv_sec: t.as_secs() as i64,
+                tv_nsec: i64::from(t.subsec_nanos()),
+            };
+            &ts as *const Timespec
+        }
+        None => std::ptr::null(),
+    };
+    sys_futex(word, FUTEX_WAIT, expected, ts_ptr) == 0
+}
+
+/// Portable fallback: no kernel parking available — bounded sleep instead.
+/// Correctness is unaffected (futex waits are always condition-rechecked);
+/// only wake latency and idle efficiency degrade.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", not(miri))))]
+pub fn futex_wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>) -> bool {
+    if word.load(SeqCst) != expected {
+        return false;
+    }
+    let nap = timeout.unwrap_or(Duration::from_millis(1));
+    std::thread::sleep(nap.min(Duration::from_millis(1)));
+    false
+}
+
+/// Wake up to `n` waiters sleeping on `word`. Returns how many were woken.
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+pub fn futex_wake(word: &AtomicU32, n: u32) -> usize {
+    crate::failpoint!("buffer::futex::wake");
+    let ret = sys_futex(word, FUTEX_WAKE, n, std::ptr::null());
+    if ret < 0 {
+        0
+    } else {
+        ret as usize
+    }
+}
+
+/// Portable fallback: sleepers poll, so there is nobody to wake.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", not(miri))))]
+pub fn futex_wake(_word: &AtomicU32, _n: u32) -> usize {
+    crate::failpoint!("buffer::futex::wake");
+    0
+}
+
+/// `true` when real kernel futex parking is compiled in.
+pub fn futex_supported() -> bool {
+    cfg!(all(target_os = "linux", target_arch = "x86_64", not(miri)))
+}
+
+/// Edge-triggered cross-process waker over two words in a mapped segment.
+///
+/// Borrowed views of the segment's control words — the struct itself holds
+/// no state, so both processes can construct one over the same mapping.
+/// Contract (mirrors [`crate::waker::WakerSlot`]):
+///
+/// * **Waiter**: `let epoch = arm();` → re-check the stream condition → if
+///   still blocked, `wait(epoch, timeout)`; if actionable, `disarm()` and
+///   carry on (a racing notify is absorbed as a spurious wake).
+/// * **Notifier**: after every stream state change the other side might be
+///   waiting on, call `notify()` — one relaxed load when unarmed, one
+///   `swap` + `seq` bump + `FUTEX_WAKE` when an arm is claimed.
+#[derive(Clone, Copy)]
+pub struct FutexWaker<'a> {
+    /// 1 while a waiter has announced intent to sleep.
+    armed: &'a AtomicU32,
+    /// Eventcount generation; bumped by every claimed notify.
+    seq: &'a AtomicU32,
+}
+
+impl<'a> FutexWaker<'a> {
+    /// Build a waker over an `(armed, seq)` word pair in shared memory.
+    pub fn new(armed: &'a AtomicU32, seq: &'a AtomicU32) -> Self {
+        FutexWaker { armed, seq }
+    }
+
+    /// Waiter side: snapshot the eventcount and announce intent to sleep.
+    /// The `SeqCst` fence orders the `armed` store before the caller's
+    /// subsequent re-check of the stream condition (store-buffering pairing
+    /// with [`Self::notify`]).
+    #[inline]
+    pub fn arm(&self) -> u32 {
+        let epoch = self.seq.load(Relaxed);
+        self.armed.store(1, Relaxed);
+        fence(SeqCst);
+        epoch
+    }
+
+    /// Waiter side: withdraw interest after the re-check found the stream
+    /// actionable. Returns `false` if a notifier already claimed the arm
+    /// (its wake is in flight and will be absorbed as a spurious one).
+    #[inline]
+    pub fn disarm(&self) -> bool {
+        self.armed.swap(0, Relaxed) == 1
+    }
+
+    /// Waiter side: sleep until notified, the eventcount moves past
+    /// `epoch`, or `timeout` elapses. Always re-check the condition after.
+    #[inline]
+    pub fn wait(&self, epoch: u32, timeout: Option<Duration>) -> bool {
+        futex_wait(self.seq, epoch, timeout)
+    }
+
+    /// Hot-path notify: skip even the `SeqCst` fence when no waiter looks
+    /// armed. The relaxed pre-check admits a narrow lost-wake window
+    /// (store-buffering: our stream write and the waiter's arm can miss
+    /// each other), which the waiter's bounded park timeout absorbs — the
+    /// same trade `fifo.rs` makes with its relaxed `reader_waiting` check.
+    /// Use [`Self::notify`] where a wake must never be lost (close paths).
+    #[inline]
+    pub fn notify_if_armed(&self) {
+        if self.armed.load(Relaxed) == 1 {
+            self.notify();
+        }
+    }
+
+    /// Notifier side: wake the waiter if one is armed. At most one wake per
+    /// arm; an unarmed notify is one `SeqCst` fence + relaxed load.
+    #[inline]
+    pub fn notify(&self) {
+        // Dekker pairing: orders the caller's preceding stream write before
+        // the `armed` read in the SC fence order (see module docs).
+        fence(SeqCst);
+        if self.armed.load(Relaxed) == 1 && self.armed.swap(0, Relaxed) == 1 {
+            self.seq.fetch_add(1, Relaxed);
+            futex_wake(self.seq, u32::MAX);
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn unarmed_notify_is_silent() {
+        let armed = AtomicU32::new(0);
+        let seq = AtomicU32::new(0);
+        let w = FutexWaker::new(&armed, &seq);
+        w.notify();
+        assert_eq!(seq.load(Relaxed), 0, "no arm claimed, no seq bump");
+    }
+
+    #[test]
+    fn one_wake_per_arm() {
+        let armed = AtomicU32::new(0);
+        let seq = AtomicU32::new(0);
+        let w = FutexWaker::new(&armed, &seq);
+        let epoch = w.arm();
+        w.notify();
+        w.notify(); // second notify on the same arm must be absorbed
+        assert_eq!(seq.load(Relaxed), epoch + 1);
+        assert_eq!(armed.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn disarm_reports_claimed_arm() {
+        let armed = AtomicU32::new(0);
+        let seq = AtomicU32::new(0);
+        let w = FutexWaker::new(&armed, &seq);
+        w.arm();
+        assert!(w.disarm(), "arm not yet claimed");
+        w.arm();
+        w.notify();
+        assert!(!w.disarm(), "notify already claimed the arm");
+    }
+
+    #[test]
+    fn wait_returns_when_epoch_stale() {
+        let armed = AtomicU32::new(0);
+        let seq = AtomicU32::new(7);
+        let w = FutexWaker::new(&armed, &seq);
+        // Expected epoch 3 ≠ current 7 → FUTEX_WAIT refuses to sleep.
+        let start = std::time::Instant::now();
+        w.wait(3, Some(Duration::from_secs(5)));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn cross_thread_park_and_wake() {
+        // A real park-and-wake handshake: the consumer thread arms and
+        // sleeps on the futex; the producer flips the condition and
+        // notifies. Bounded by timeouts so a regression fails, not hangs.
+        let armed = Arc::new(AtomicU32::new(0));
+        let seq = Arc::new(AtomicU32::new(0));
+        let cond = Arc::new(AtomicU64::new(0));
+        let (a2, s2, c2) = (armed.clone(), seq.clone(), cond.clone());
+        let waiter = std::thread::spawn(move || {
+            let w = FutexWaker::new(&a2, &s2);
+            let mut spins = 0u32;
+            loop {
+                let epoch = w.arm();
+                if c2.load(SeqCst) == 1 {
+                    w.disarm();
+                    return true;
+                }
+                w.wait(epoch, Some(Duration::from_millis(200)));
+                spins += 1;
+                if spins > 100 {
+                    return false; // ~20s bound; only hit on regression
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        cond.store(1, SeqCst);
+        FutexWaker::new(&armed, &seq).notify();
+        assert!(waiter.join().unwrap(), "waiter observed the condition");
+    }
+}

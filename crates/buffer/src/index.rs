@@ -1,0 +1,147 @@
+//! Cached-index refresh logic shared by every SPSC ring in the crate.
+//!
+//! The FastForward-style fast path (see `spsc.rs` module docs) keeps, per
+//! endpoint, a **stale conservative cache of the opposite counter** and
+//! refreshes it with one Acquire load only when the ring *looks* full
+//! (producer) or empty (consumer). Three rings speak this protocol — the
+//! fixed [`crate::spsc::BoundedSpsc`], the resizable [`crate::fifo::Fifo`],
+//! and the shared-memory [`crate::shm::ShmRing`] — and they must agree on
+//! the arithmetic exactly: the counters are monotonically increasing and
+//! compared with wrapping subtraction, and a cache that is *behind* the true
+//! counter may only ever cause a spurious refresh, never a protocol
+//! violation.
+//!
+//! The helpers are closure-parameterized over the refresh load because the
+//! three rings store their counters differently: `spsc.rs` uses
+//! [`crate::sync`] atomics (loom-instrumented under `--cfg loom`), `fifo.rs`
+//! uses `std` atomics directly, and `shm.rs` reads an `AtomicU64` living
+//! inside a mapped segment. Monomorphization collapses each call site to the
+//! same two-branch sequence the hand-inlined originals compiled to.
+
+/// Free slots visible to the producer, refreshing `head_cache` if the ring
+/// looks too full to accept `want` more elements.
+///
+/// `tail` is the producer's exact local counter, `capacity` the slot count.
+/// `refresh` must perform an **Acquire** load of the shared head counter —
+/// it pairs with the consumer's Release store of `head`, ordering the
+/// consumer's read-out of a slot before the producer's reuse of it.
+///
+/// Returns the number of currently free slots (`capacity - occupancy`)
+/// as seen through the (possibly just refreshed) cache; the caller pushes
+/// at most that many. A return of `0` means genuinely full at refresh time.
+#[inline(always)]
+pub(crate) fn producer_free_slots(
+    tail: usize,
+    head_cache: &mut usize,
+    capacity: usize,
+    want: usize,
+    refresh: impl FnOnce() -> usize,
+) -> usize {
+    if tail.wrapping_sub(*head_cache) + want > capacity {
+        // Looks too full through the cache — refresh. The new value is the
+        // true head or older, so the room we report stays conservative.
+        *head_cache = refresh();
+    }
+    capacity.saturating_sub(tail.wrapping_sub(*head_cache))
+}
+
+/// Elements visible to the consumer, refreshing `tail_cache` if the ring
+/// looks empty.
+///
+/// `head` is the consumer's exact local counter. `refresh` must perform an
+/// **Acquire** load of the shared tail counter — it pairs with the
+/// producer's Release store of `tail`, making the slots it published
+/// visible before the consumer reads them out.
+///
+/// Returns how many elements are ready (`tail - head` through the cache).
+/// A return of `0` means genuinely empty at refresh time (modulo a
+/// concurrent push, which the next call observes).
+#[inline(always)]
+pub(crate) fn consumer_ready_elems(
+    head: usize,
+    tail_cache: &mut usize,
+    refresh: impl FnOnce() -> usize,
+) -> usize {
+    if head == *tail_cache {
+        // Looks empty through the cache — refresh. tail only grows, so the
+        // refreshed value can only reveal more elements, never fewer.
+        *tail_cache = refresh();
+    }
+    tail_cache.wrapping_sub(head)
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn producer_skips_refresh_when_cache_shows_room() {
+        let mut head_cache = 0;
+        let called = Cell::new(false);
+        let room = producer_free_slots(3, &mut head_cache, 8, 1, || {
+            called.set(true);
+            3
+        });
+        assert_eq!(room, 5);
+        assert!(!called.get(), "cache showed room; no shared load needed");
+    }
+
+    #[test]
+    fn producer_refreshes_on_apparent_full() {
+        // tail=8, cache says head=0 → looks full for capacity 8; the
+        // refresh reveals the consumer advanced to 5.
+        let mut head_cache = 0;
+        let room = producer_free_slots(8, &mut head_cache, 8, 1, || 5);
+        assert_eq!(head_cache, 5);
+        assert_eq!(room, 5);
+        // Still full after refresh → zero room.
+        let mut head_cache = 0;
+        let room = producer_free_slots(8, &mut head_cache, 8, 1, || 0);
+        assert_eq!(room, 0);
+    }
+
+    #[test]
+    fn producer_batch_want_triggers_refresh() {
+        // Room for 2 through the cache, but the batch wants 4.
+        let mut head_cache = 0;
+        let room = producer_free_slots(6, &mut head_cache, 8, 4, || 4);
+        assert_eq!(room, 6);
+    }
+
+    #[test]
+    fn consumer_skips_refresh_when_cache_shows_data() {
+        let mut tail_cache = 7;
+        let called = Cell::new(false);
+        let avail = consumer_ready_elems(4, &mut tail_cache, || {
+            called.set(true);
+            7
+        });
+        assert_eq!(avail, 3);
+        assert!(!called.get());
+    }
+
+    #[test]
+    fn consumer_refreshes_on_apparent_empty() {
+        let mut tail_cache = 4;
+        let avail = consumer_ready_elems(4, &mut tail_cache, || 9);
+        assert_eq!(tail_cache, 9);
+        assert_eq!(avail, 5);
+        let mut tail_cache = 4;
+        let avail = consumer_ready_elems(4, &mut tail_cache, || 4);
+        assert_eq!(avail, 0);
+    }
+
+    #[test]
+    fn counters_wrap_safely() {
+        // Counters are monotonically increasing usize values that may wrap;
+        // the arithmetic must survive the wraparound point.
+        let tail = usize::MAX;
+        let mut head_cache = usize::MAX - 2;
+        let room = producer_free_slots(tail, &mut head_cache, 8, 1, || unreachable!());
+        assert_eq!(room, 6);
+        let mut tail_cache = usize::MAX;
+        let avail = consumer_ready_elems(usize::MAX - 3, &mut tail_cache, || unreachable!());
+        assert_eq!(avail, 3);
+    }
+}

@@ -34,14 +34,18 @@
 //! A third party — the monitor — may call [`fifo::Fifo::resize`] and read
 //! stats at any time.
 
+pub mod arena;
 pub mod error;
 #[cfg(feature = "raft_failpoints")]
 pub mod failpoints;
 pub mod fence;
 pub mod fifo;
+pub mod futex;
+pub(crate) mod index;
 pub mod journal;
 #[cfg(feature = "raft_protocol_check")]
 pub mod protocol;
+pub mod shm;
 pub mod signal;
 pub mod spsc;
 pub mod stats;
@@ -49,13 +53,15 @@ pub(crate) mod sync;
 pub mod wait;
 pub mod waker;
 
+pub use arena::{ArenaError, ArenaRx, ArenaTx, Descriptor, ShmArena};
 pub use error::{PopError, PushError, TryPopError, TryPushError};
 pub use fence::{ResizeFence, Role};
 pub use fifo::{
-    fifo_with, Consumer, Fifo, FifoConfig, PeekRange, Producer, SliceView, WriteGuard, WriteSlice,
-    DRAIN_DRAINING, DRAIN_QUIESCED, DRAIN_RUNNING,
+    fifo_with, Consumer, Fifo, FifoConfig, LinkAlloc, PeekRange, Producer, SliceView, WriteGuard,
+    WriteSlice, DRAIN_DRAINING, DRAIN_QUIESCED, DRAIN_RUNNING,
 };
 pub use journal::{AdmissionPolicy, JournalConfig, ReplayWindow};
+pub use shm::{ShmRing, ShmSegment};
 pub use signal::Signal;
 pub use spsc::BoundedSpsc;
 pub use stats::{FifoStats, StatsSnapshot};

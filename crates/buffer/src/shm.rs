@@ -1,0 +1,1197 @@
+//! Shared-memory link backing: mapped segments and a cross-process SPSC
+//! ring — the paper's second link allocator (§3 names heap, shared memory,
+//! and TCP; DESIGN §14 has the selection matrix).
+//!
+//! ## Segments
+//!
+//! [`ShmSegment`] wraps an anonymous `memfd_create(2)` file mapped
+//! `MAP_SHARED`, created with raw syscalls (no `libc`, same idiom as
+//! `core`'s `affinity.rs`). The fd is created **without** `MFD_CLOEXEC`, so
+//! a `std::process::Command` child inherits it and attaches by number —
+//! that fd is the entire cross-process handshake. Every segment starts with
+//! a versioned header (magic, schema, kind, capacity, element layout,
+//! total length) that [`ShmSegment::attach`] validates before trusting a
+//! single byte; a mismatched peer build is a clean error, not corruption.
+//!
+//! A heap-backed twin ([`ShmSegment::create_heap`]) provides the same
+//! layout on plain memory for platforms without `memfd` and for miri (which
+//! cannot execute the inline-asm syscalls). Protocol code never knows the
+//! difference.
+//!
+//! ## The ring
+//!
+//! [`ShmRing`] places the exact `spsc.rs` protocol inside a segment:
+//! cache-line-separated head/tail counters, FastForward-style cached
+//! indices (via the shared [`crate::index`] helpers — the shm ring is the
+//! third user of that logic, not a third copy), and a single-fence batch
+//! publish ([`ShmRingProducer::try_push_batch`]) so PR 7's
+//! commit-is-one-store journaling composes. Blocking `push`/`pop` escalate
+//! through the same adaptive spin→yield→park [`crate::wait::Waiter`], with
+//! the park implemented by [`crate::futex::FutexWaker`] over words in the
+//! segment's control line.
+//!
+//! Elements must be [`ShmItem`] — plain-old-data that is meaningful in
+//! another address space. That excludes pointers/handles by construction;
+//! variable-size payloads cross by descriptor through [`crate::arena`].
+//!
+//! ### Trust model
+//!
+//! `attach` validates the header shape, but a *live* peer is still free to
+//! scribble on its side of the protocol. The handles here stay memory-safe
+//! regardless: every slot index is masked before use, slot types are `Copy`
+//! POD (any bit pattern is a value, never UB), and counters are only
+//! compared with wrapping arithmetic. A byzantine peer can deliver garbage
+//! elements — it cannot make this process read or write out of bounds.
+
+use std::io;
+use std::marker::PhantomData;
+use std::sync::atomic::{
+    AtomicU32, AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::{PopError, PushError, TryPopError, TryPushError};
+use crate::futex::FutexWaker;
+use crate::index::{consumer_ready_elems, producer_free_slots};
+use crate::wait::{WaitAction, WaitStrategy, Waiter};
+
+/// "RAFTSHM\0" — first eight bytes of every segment.
+pub const SEG_MAGIC: u64 = 0x5241_4654_5348_4d00;
+/// Bumped on any incompatible layout change; attach requires equality.
+pub const SEG_SCHEMA: u32 = 1;
+/// Header `kind` for an SPSC ring segment.
+pub const SEG_KIND_RING: u32 = 1;
+/// Header `kind` for an arena segment (see [`crate::arena`]).
+pub const SEG_KIND_ARENA: u32 = 2;
+
+/// Byte offsets of the fixed segment prelude. The header occupies the
+/// first cache line; the head and tail counters each get their own line
+/// (the producer's tail stores must not invalidate the line the consumer
+/// spins on); the fourth line holds the close flags, futex waker words,
+/// role-claim words and a general-purpose mailbox. Data begins at
+/// [`DATA_OFFSET`] (or higher if the element alignment demands it).
+const OFF_MAGIC: usize = 0;
+const OFF_SCHEMA: usize = 8;
+const OFF_KIND: usize = 12;
+const OFF_CAPACITY: usize = 16;
+const OFF_ELEM_SIZE: usize = 24;
+const OFF_ELEM_ALIGN: usize = 32;
+const OFF_TOTAL_LEN: usize = 40;
+const OFF_DATA_OFFSET: usize = 48;
+const OFF_HEAD: usize = 64;
+const OFF_TAIL: usize = 128;
+const OFF_PRODUCER_CLOSED: usize = 192;
+const OFF_CONSUMER_CLOSED: usize = 196;
+const OFF_CONS_ARMED: usize = 200;
+const OFF_CONS_SEQ: usize = 204;
+const OFF_PROD_ARMED: usize = 208;
+const OFF_PROD_SEQ: usize = 212;
+const OFF_CLAIM_PRODUCER: usize = 216;
+const OFF_CLAIM_CONSUMER: usize = 220;
+const OFF_USER_WORD: usize = 224;
+/// First data byte (for alignments ≤ 256).
+pub const DATA_OFFSET: usize = 256;
+
+/// Park bound for futex waits: a lost cross-process wake (the hot path
+/// checks `armed` with a relaxed load; see `futex.rs` module docs) costs at
+/// most one timeout, matching `fifo.rs`'s condvar bound.
+const SHM_PARK_TIMEOUT: Duration = Duration::from_millis(2);
+const SHM_ENDPOINT_WAIT: WaitStrategy = WaitStrategy::parking(SHM_PARK_TIMEOUT);
+
+const PAGE: usize = 4096;
+
+fn align_up(n: usize, a: usize) -> usize {
+    (n + a - 1) & !(a - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Raw syscalls (x86_64 Linux, no libc — affinity.rs idiom).
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+mod sys {
+    use std::io;
+
+    const PROT_READ: usize = 1;
+    const PROT_WRITE: usize = 2;
+    const MAP_SHARED: usize = 1;
+
+    fn check(ret: isize) -> io::Result<isize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// `memfd_create(name, flags=0)`. No `MFD_CLOEXEC`: the fd must
+    /// survive exec so spawned workers can attach by inherited number.
+    pub fn memfd_create() -> io::Result<i32> {
+        let name = b"raft-shm\0";
+        let ret: isize;
+        // SAFETY: memfd_create reads the NUL-terminated name and takes no
+        // other pointers; clobbers match the x86_64 syscall ABI.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 319isize => ret, // __NR_memfd_create
+                in("rdi") name.as_ptr(),
+                in("rsi") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        check(ret).map(|fd| fd as i32)
+    }
+
+    pub fn ftruncate(fd: i32, len: usize) -> io::Result<()> {
+        let ret: isize;
+        // SAFETY: ftruncate takes no pointers; ABI clobbers declared.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 77isize => ret, // __NR_ftruncate
+                in("rdi") fd as usize,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        check(ret).map(|_| ())
+    }
+
+    pub fn mmap_shared(fd: i32, len: usize) -> io::Result<*mut u8> {
+        let ret: isize;
+        // SAFETY: mmap(NULL, len, RW, SHARED, fd, 0) takes no pointers in;
+        // the kernel picks the address. ABI clobbers declared.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 9isize => ret, // __NR_mmap
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_READ | PROT_WRITE,
+                in("r10") MAP_SHARED,
+                in("r8") fd as isize,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        // mmap failures come back as -errno in [-4095, -1].
+        check(ret).map(|p| p as *mut u8)
+    }
+
+    /// # Safety
+    /// `ptr..ptr+len` must be a live mapping created by [`mmap_shared`]
+    /// and never touched again after this call.
+    pub unsafe fn munmap(ptr: *mut u8, len: usize) {
+        let _ret: isize;
+        // SAFETY: caller contract — the range is a whole live mapping.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 11isize => _ret, // __NR_munmap
+                in("rdi") ptr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+    }
+
+    /// `dup(fd)` — attach duplicates the caller's fd so every segment
+    /// owns (and closes) a distinct descriptor.
+    pub fn dup(fd: i32) -> io::Result<i32> {
+        let ret: isize;
+        // SAFETY: dup takes no pointers; ABI clobbers declared.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 32isize => ret, // __NR_dup
+                in("rdi") fd as usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        check(ret).map(|fd| fd as i32)
+    }
+
+    pub fn close(fd: i32) {
+        let _ret: isize;
+        // SAFETY: close takes no pointers; ABI clobbers declared.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 3isize => _ret, // __NR_close
+                in("rdi") fd as usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+    }
+
+    /// `fstat(fd).st_size` — the only field we need, at byte 48 of the
+    /// x86_64 `struct stat`.
+    pub fn fstat_size(fd: i32) -> io::Result<usize> {
+        let mut statbuf = [0u8; 144];
+        let ret: isize;
+        // SAFETY: fstat writes at most 144 bytes (sizeof struct stat on
+        // x86_64) into the live stack buffer; ABI clobbers declared.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 5isize => ret, // __NR_fstat
+                in("rdi") fd as usize,
+                in("rsi") statbuf.as_mut_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        check(ret)?;
+        let mut size = [0u8; 8];
+        size.copy_from_slice(&statbuf[48..56]);
+        Ok(i64::from_ne_bytes(size) as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment
+// ---------------------------------------------------------------------------
+
+/// A mapped shared-memory segment with a validated, versioned header.
+///
+/// Created either over a `memfd` (cross-process capable, fd inheritable) or
+/// over plain heap memory (same layout, single-process — the fallback for
+/// non-Linux targets and for miri). All protocol words live at fixed
+/// offsets in the first four cache lines; see the `OFF_*` constants.
+pub struct ShmSegment {
+    ptr: *mut u8,
+    len: usize,
+    /// Backing memfd, or `-1` when heap-backed.
+    fd: i32,
+    /// Set for heap backing so `Drop` can deallocate.
+    heap: Option<std::alloc::Layout>,
+}
+
+// SAFETY: the segment is a raw memory region; all concurrent access goes
+// through atomics at fixed offsets or through the ring/arena protocols,
+// which impose their own ordering. Moving or sharing the owning struct
+// does not move the mapping.
+unsafe impl Send for ShmSegment {}
+// SAFETY: see Send — `&ShmSegment` only hands out atomic views and raw
+// pointers whose use sites carry their own safety contracts.
+unsafe impl Sync for ShmSegment {}
+
+impl ShmSegment {
+    /// `true` when this build can create real `memfd` segments.
+    pub fn memfd_supported() -> bool {
+        cfg!(all(target_os = "linux", target_arch = "x86_64", not(miri)))
+    }
+
+    fn layout_len(elem_align: usize, data_bytes: usize) -> (usize, usize) {
+        let data_offset = align_up(DATA_OFFSET, elem_align.max(8));
+        let total = align_up(data_offset + data_bytes, PAGE);
+        (data_offset, total)
+    }
+
+    /// Create a memfd-backed segment (errors on unsupported platforms).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+    pub fn create(
+        kind: u32,
+        capacity: u64,
+        elem_size: usize,
+        elem_align: usize,
+        data_bytes: usize,
+    ) -> io::Result<ShmSegment> {
+        let (data_offset, total) = Self::layout_len(elem_align, data_bytes);
+        let fd = sys::memfd_create()?;
+        if let Err(e) = sys::ftruncate(fd, total) {
+            sys::close(fd);
+            return Err(e);
+        }
+        let ptr = match sys::mmap_shared(fd, total) {
+            Ok(p) => p,
+            Err(e) => {
+                sys::close(fd);
+                return Err(e);
+            }
+        };
+        let seg = ShmSegment {
+            ptr,
+            len: total,
+            fd,
+            heap: None,
+        };
+        seg.init_header(kind, capacity, elem_size, elem_align, data_offset);
+        Ok(seg)
+    }
+
+    /// Unsupported platform: always an error (callers fall back to
+    /// [`ShmSegment::create_heap`]).
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64", not(miri))))]
+    pub fn create(
+        _kind: u32,
+        _capacity: u64,
+        _elem_size: usize,
+        _elem_align: usize,
+        _data_bytes: usize,
+    ) -> io::Result<ShmSegment> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memfd segments require x86_64 Linux",
+        ))
+    }
+
+    /// Create a heap-backed segment with the identical layout. Works on
+    /// every platform (and under miri); cannot cross a process boundary.
+    pub fn create_heap(
+        kind: u32,
+        capacity: u64,
+        elem_size: usize,
+        elem_align: usize,
+        data_bytes: usize,
+    ) -> ShmSegment {
+        let (data_offset, total) = Self::layout_len(elem_align, data_bytes);
+        let layout = std::alloc::Layout::from_size_align(total, PAGE).expect("segment layout");
+        // SAFETY: layout has non-zero size (total ≥ one page).
+        let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "segment allocation failed");
+        let seg = ShmSegment {
+            ptr,
+            len: total,
+            fd: -1,
+            heap: Some(layout),
+        };
+        seg.init_header(kind, capacity, elem_size, elem_align, data_offset);
+        seg
+    }
+
+    /// Create a memfd segment when the platform has one, heap otherwise.
+    pub fn create_auto(
+        kind: u32,
+        capacity: u64,
+        elem_size: usize,
+        elem_align: usize,
+        data_bytes: usize,
+    ) -> ShmSegment {
+        Self::create(kind, capacity, elem_size, elem_align, data_bytes).unwrap_or_else(|_| {
+            Self::create_heap(kind, capacity, elem_size, elem_align, data_bytes)
+        })
+    }
+
+    fn init_header(
+        &self,
+        kind: u32,
+        capacity: u64,
+        elem_size: usize,
+        elem_align: usize,
+        data_offset: usize,
+    ) {
+        // Creation is single-threaded (the segment has not been shared
+        // yet), so plain writes through the word views are fine; the first
+        // share (fd pass / Arc clone) provides the ordering.
+        self.u64_at(OFF_MAGIC).store(SEG_MAGIC, Relaxed);
+        self.u32_at(OFF_SCHEMA).store(SEG_SCHEMA, Relaxed);
+        self.u32_at(OFF_KIND).store(kind, Relaxed);
+        self.u64_at(OFF_CAPACITY).store(capacity, Relaxed);
+        self.u64_at(OFF_ELEM_SIZE).store(elem_size as u64, Relaxed);
+        self.u64_at(OFF_ELEM_ALIGN)
+            .store(elem_align as u64, Relaxed);
+        self.u64_at(OFF_TOTAL_LEN).store(self.len as u64, Relaxed);
+        self.u64_at(OFF_DATA_OFFSET)
+            .store(data_offset as u64, Relaxed);
+    }
+
+    /// Map an inherited fd and validate its header against expectations.
+    ///
+    /// Rejects (with `InvalidData`) any magic/schema mismatch, a `kind`
+    /// other than `expect_kind`, or a header whose total length disagrees
+    /// with the file's actual size — a truncated or foreign segment never
+    /// gets a single protocol access. The chaos harness can fail this call
+    /// via the `buffer::shm::attach` failpoint.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+    pub fn attach(fd: i32, expect_kind: u32) -> io::Result<ShmSegment> {
+        crate::failpoint!("buffer::shm::attach");
+        #[cfg(feature = "raft_failpoints")]
+        if matches!(
+            crate::failpoints::check("buffer::shm::attach"),
+            Some(crate::failpoints::FailAction::ShortIo)
+        ) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "failpoint: segment attach rejected",
+            ));
+        }
+        // Own a private duplicate: the caller keeps its fd, and this
+        // segment's Drop closes only what it owns.
+        let fd = sys::dup(fd)?;
+        let total = match sys::fstat_size(fd) {
+            Ok(t) => t,
+            Err(e) => {
+                sys::close(fd);
+                return Err(e);
+            }
+        };
+        if total < DATA_OFFSET || total % PAGE != 0 {
+            sys::close(fd);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "segment too small or unaligned",
+            ));
+        }
+        let ptr = match sys::mmap_shared(fd, total) {
+            Ok(p) => p,
+            Err(e) => {
+                sys::close(fd);
+                return Err(e);
+            }
+        };
+        let seg = ShmSegment {
+            ptr,
+            len: total,
+            fd,
+            heap: None,
+        };
+        seg.validate(expect_kind)?;
+        Ok(seg)
+    }
+
+    /// Unsupported platform: attach always fails.
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64", not(miri))))]
+    pub fn attach(_fd: i32, _expect_kind: u32) -> io::Result<ShmSegment> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memfd segments require x86_64 Linux",
+        ))
+    }
+
+    fn validate(&self, expect_kind: u32) -> io::Result<()> {
+        let fail = |what: &str| Err(io::Error::new(io::ErrorKind::InvalidData, what.to_string()));
+        if self.u64_at(OFF_MAGIC).load(Relaxed) != SEG_MAGIC {
+            return fail("bad segment magic");
+        }
+        if self.u32_at(OFF_SCHEMA).load(Relaxed) != SEG_SCHEMA {
+            return fail("segment schema version mismatch");
+        }
+        if self.u32_at(OFF_KIND).load(Relaxed) != expect_kind {
+            return fail("segment kind mismatch");
+        }
+        if self.u64_at(OFF_TOTAL_LEN).load(Relaxed) != self.len as u64 {
+            return fail("segment length disagrees with header");
+        }
+        let data_offset = self.u64_at(OFF_DATA_OFFSET).load(Relaxed) as usize;
+        if data_offset < DATA_OFFSET || data_offset > self.len {
+            return fail("segment data offset out of range");
+        }
+        Ok(())
+    }
+
+    /// The inheritable backing fd (`None` for heap segments).
+    pub fn fd(&self) -> Option<i32> {
+        (self.fd >= 0).then_some(self.fd)
+    }
+
+    /// `true` when backed by a real memfd (cross-process capable).
+    pub fn is_memfd(&self) -> bool {
+        self.fd >= 0
+    }
+
+    /// Element capacity recorded in the header.
+    pub fn capacity(&self) -> usize {
+        self.u64_at(OFF_CAPACITY).load(Relaxed) as usize
+    }
+
+    /// Element size recorded in the header.
+    pub fn elem_size(&self) -> usize {
+        self.u64_at(OFF_ELEM_SIZE).load(Relaxed) as usize
+    }
+
+    /// Element alignment recorded in the header.
+    pub fn elem_align(&self) -> usize {
+        self.u64_at(OFF_ELEM_ALIGN).load(Relaxed) as usize
+    }
+
+    fn data_offset(&self) -> usize {
+        self.u64_at(OFF_DATA_OFFSET).load(Relaxed) as usize
+    }
+
+    /// Bytes available in the data region.
+    pub fn data_len(&self) -> usize {
+        self.len - self.data_offset()
+    }
+
+    /// First byte of the data region.
+    pub fn data_ptr(&self) -> *mut u8 {
+        // In-bounds by construction: data_offset ≤ len (validated on
+        // attach, computed on create).
+        self.ptr.wrapping_add(self.data_offset())
+    }
+
+    #[inline]
+    fn u64_at(&self, off: usize) -> &AtomicU64 {
+        debug_assert!(off + 8 <= self.len && off.is_multiple_of(8));
+        // SAFETY: the prelude offsets are all within the first page of a
+        // mapping at least one page long, 8-aligned on a page-aligned
+        // base; AtomicU64 has the same layout as u64 and any bit pattern
+        // is valid. The returned borrow cannot outlive the mapping
+        // (lifetime tied to &self, Drop unmaps only with exclusive access).
+        unsafe { &*(self.ptr.add(off) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn u32_at(&self, off: usize) -> &AtomicU32 {
+        debug_assert!(off + 4 <= self.len && off.is_multiple_of(4));
+        // SAFETY: as `u64_at`, with 4-byte alignment.
+        unsafe { &*(self.ptr.add(off) as *const AtomicU32) }
+    }
+
+    /// Shared ring head (next read index).
+    #[inline]
+    pub fn head(&self) -> &AtomicU64 {
+        self.u64_at(OFF_HEAD)
+    }
+
+    /// Shared ring tail (next write index).
+    #[inline]
+    pub fn tail(&self) -> &AtomicU64 {
+        self.u64_at(OFF_TAIL)
+    }
+
+    /// Producer-gone flag.
+    #[inline]
+    pub fn producer_closed(&self) -> &AtomicU32 {
+        self.u32_at(OFF_PRODUCER_CLOSED)
+    }
+
+    /// Consumer-gone flag.
+    #[inline]
+    pub fn consumer_closed(&self) -> &AtomicU32 {
+        self.u32_at(OFF_CONSUMER_CLOSED)
+    }
+
+    /// Waker the producer notifies when data becomes visible.
+    #[inline]
+    pub fn consumer_waker(&self) -> FutexWaker<'_> {
+        FutexWaker::new(self.u32_at(OFF_CONS_ARMED), self.u32_at(OFF_CONS_SEQ))
+    }
+
+    /// Waker the consumer notifies when space becomes visible.
+    #[inline]
+    pub fn producer_waker(&self) -> FutexWaker<'_> {
+        FutexWaker::new(self.u32_at(OFF_PROD_ARMED), self.u32_at(OFF_PROD_SEQ))
+    }
+
+    /// General-purpose mailbox word (benches use it for end-of-run acks).
+    #[inline]
+    pub fn user_word(&self) -> &AtomicU64 {
+        self.u64_at(OFF_USER_WORD)
+    }
+
+    /// Claim the producer or consumer role exactly once per segment
+    /// lifetime; `false` means another handle (possibly in another
+    /// process) already holds it.
+    pub fn claim_role(&self, producer: bool) -> bool {
+        let word = self.u32_at(if producer {
+            OFF_CLAIM_PRODUCER
+        } else {
+            OFF_CLAIM_CONSUMER
+        });
+        word.compare_exchange(0, 1, Acquire, Relaxed).is_ok()
+    }
+}
+
+impl Drop for ShmSegment {
+    fn drop(&mut self) {
+        match self.heap {
+            Some(layout) => {
+                // SAFETY: allocated in create_heap with this exact layout;
+                // Drop has exclusive access, so no views remain.
+                unsafe { std::alloc::dealloc(self.ptr, layout) };
+            }
+            None => {
+                #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+                {
+                    // SAFETY: ptr/len are the live mapping created by
+                    // create/attach; nothing touches it after Drop.
+                    unsafe { sys::munmap(self.ptr, self.len) };
+                    sys::close(self.fd);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShmItem
+// ---------------------------------------------------------------------------
+
+/// Plain-old-data that may cross a process boundary through a shared ring.
+///
+/// # Safety
+/// Implementors must be `Copy` types for which **every bit pattern is a
+/// valid value** and whose meaning does not depend on the address space
+/// (no pointers, no handles, no padding with invariants). The ring reads
+/// elements straight out of shared memory; a type that violates this can
+/// turn a byzantine peer into undefined behavior.
+pub unsafe trait ShmItem: Copy + Send + 'static {}
+
+// SAFETY: fixed-width integers and floats are address-space-independent
+// and valid for every bit pattern.
+unsafe impl ShmItem for u8 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for u16 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for u32 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for u64 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for usize {}
+// SAFETY: see u8.
+unsafe impl ShmItem for i8 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for i16 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for i32 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for i64 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for isize {}
+// SAFETY: see u8.
+unsafe impl ShmItem for f32 {}
+// SAFETY: see u8.
+unsafe impl ShmItem for f64 {}
+// SAFETY: an array of ShmItems has no padding invariants of its own.
+unsafe impl<T: ShmItem, const N: usize> ShmItem for [T; N] {}
+
+// ---------------------------------------------------------------------------
+// Ring
+// ---------------------------------------------------------------------------
+
+/// Factory for shared-memory SPSC rings of `T`.
+///
+/// Same protocol as [`crate::spsc::BoundedSpsc`]; the two handles may live
+/// in different processes, connected by the segment fd.
+pub struct ShmRing<T>(PhantomData<T>);
+
+/// Producing half of a [`ShmRing`]; one per segment, enforced by a
+/// CAS-claimed role word in the header.
+pub struct ShmRingProducer<T> {
+    seg: Arc<ShmSegment>,
+    mask: usize,
+    /// Local mirror of the shared tail — exact between calls.
+    tail: usize,
+    /// Stale conservative copy of the shared head (see `crate::index`).
+    head_cache: usize,
+    _marker: PhantomData<fn(T)>,
+}
+
+/// Consuming half of a [`ShmRing`].
+pub struct ShmRingConsumer<T> {
+    seg: Arc<ShmSegment>,
+    mask: usize,
+    /// Local mirror of the shared head — exact between calls.
+    head: usize,
+    /// Stale conservative copy of the shared tail (see `crate::index`).
+    tail_cache: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: ShmItem> ShmRing<T> {
+    fn ring_segment(capacity: usize, memfd: bool) -> io::Result<ShmSegment> {
+        let capacity = capacity.max(1).next_power_of_two();
+        let bytes = capacity * std::mem::size_of::<T>();
+        let (size, align) = (std::mem::size_of::<T>(), std::mem::align_of::<T>());
+        if memfd {
+            ShmSegment::create(SEG_KIND_RING, capacity as u64, size, align, bytes)
+        } else {
+            Ok(ShmSegment::create_heap(
+                SEG_KIND_RING,
+                capacity as u64,
+                size,
+                align,
+                bytes,
+            ))
+        }
+    }
+
+    /// In-process pair over one segment (memfd when available, heap
+    /// otherwise) — the single-address-space configuration used by tests
+    /// and the descriptor bench.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn pair(capacity: usize) -> (ShmRingProducer<T>, ShmRingConsumer<T>) {
+        let memfd = ShmSegment::memfd_supported();
+        let seg = Arc::new(Self::ring_segment(capacity, memfd).unwrap_or_else(|_| {
+            Self::ring_segment(capacity, false).expect("heap ring segment cannot fail")
+        }));
+        assert!(seg.claim_role(true) && seg.claim_role(false));
+        (Self::producer_over(seg.clone()), Self::consumer_over(seg))
+    }
+
+    /// Create a memfd ring and take the producer role; pass the returned
+    /// fd to the peer process for [`ShmRing::attach_consumer`].
+    pub fn create_producer(capacity: usize) -> io::Result<(ShmRingProducer<T>, i32)> {
+        let seg = Self::ring_segment(capacity, true)?;
+        let fd = seg.fd().expect("memfd segment has an fd");
+        assert!(seg.claim_role(true), "fresh segment role");
+        Ok((Self::producer_over(Arc::new(seg)), fd))
+    }
+
+    /// Create a memfd ring and take the consumer role (for result paths
+    /// flowing child → parent).
+    pub fn create_consumer(capacity: usize) -> io::Result<(ShmRingConsumer<T>, i32)> {
+        let seg = Self::ring_segment(capacity, true)?;
+        let fd = seg.fd().expect("memfd segment has an fd");
+        assert!(seg.claim_role(false), "fresh segment role");
+        Ok((Self::consumer_over(Arc::new(seg)), fd))
+    }
+
+    /// Attach to an inherited fd as the producer. Validates the header
+    /// (magic, schema, kind, capacity, element layout) and claims the
+    /// producer role; both can fail cleanly.
+    pub fn attach_producer(fd: i32) -> io::Result<ShmRingProducer<T>> {
+        let seg = Self::attach_ring(fd)?;
+        if !seg.claim_role(true) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                "producer role already claimed",
+            ));
+        }
+        Ok(Self::producer_over(Arc::new(seg)))
+    }
+
+    /// Attach to an inherited fd as the consumer (see
+    /// [`ShmRing::attach_producer`]).
+    pub fn attach_consumer(fd: i32) -> io::Result<ShmRingConsumer<T>> {
+        let seg = Self::attach_ring(fd)?;
+        if !seg.claim_role(false) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                "consumer role already claimed",
+            ));
+        }
+        Ok(Self::consumer_over(Arc::new(seg)))
+    }
+
+    fn attach_ring(fd: i32) -> io::Result<ShmSegment> {
+        let seg = ShmSegment::attach(fd, SEG_KIND_RING)?;
+        let cap = seg.capacity();
+        let fail = |what: &str| Err(io::Error::new(io::ErrorKind::InvalidData, what.to_string()));
+        if !cap.is_power_of_two() {
+            return fail("ring capacity not a power of two");
+        }
+        if seg.elem_size() != std::mem::size_of::<T>()
+            || seg.elem_align() != std::mem::align_of::<T>()
+        {
+            return fail("ring element layout mismatch");
+        }
+        match cap.checked_mul(seg.elem_size()) {
+            Some(bytes) if bytes <= seg.data_len() => {}
+            _ => return fail("ring data region smaller than capacity"),
+        }
+        Ok(seg)
+    }
+
+    fn producer_over(seg: Arc<ShmSegment>) -> ShmRingProducer<T> {
+        let mask = seg.capacity() - 1;
+        let tail = seg.tail().load(Relaxed) as usize;
+        let head_cache = seg.head().load(Relaxed) as usize;
+        ShmRingProducer {
+            seg,
+            mask,
+            tail,
+            head_cache,
+            _marker: PhantomData,
+        }
+    }
+
+    fn consumer_over(seg: Arc<ShmSegment>) -> ShmRingConsumer<T> {
+        let mask = seg.capacity() - 1;
+        let head = seg.head().load(Relaxed) as usize;
+        let tail_cache = seg.tail().load(Relaxed) as usize;
+        ShmRingConsumer {
+            seg,
+            mask,
+            head,
+            tail_cache,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: ShmItem> ShmRingProducer<T> {
+    #[inline]
+    fn slot_ptr(&self, idx: usize) -> *mut T {
+        // Masked index: always inside the validated data region.
+        self.seg
+            .data_ptr()
+            .cast::<T>()
+            .wrapping_add(idx & self.mask)
+    }
+
+    /// Non-blocking push (same protocol as `spsc.rs::try_push`).
+    #[inline]
+    pub fn try_push(&mut self, value: T) -> Result<(), TryPushError<T>> {
+        let seg = &*self.seg;
+        if seg.consumer_closed().load(Relaxed) == 1 {
+            return Err(TryPushError::Closed(value));
+        }
+        let tail = self.tail;
+        // Shared cached-index fast path (see `crate::index`): refresh pairs
+        // Acquire with the consumer's Release store of `head`.
+        let room = producer_free_slots(tail, &mut self.head_cache, self.mask + 1, 1, || {
+            seg.head().load(Acquire) as usize
+        });
+        if room == 0 {
+            return Err(TryPushError::Full(value));
+        }
+        // SAFETY: slot `tail & mask` is outside the live region (checked
+        // against a conservative head), in-bounds by the attach-time size
+        // validation, and we are the sole producer (role-claimed handle,
+        // `&mut self`). The Release store below publishes the write.
+        unsafe { self.slot_ptr(tail).write(value) };
+        seg.tail().store((tail + 1) as u64, Release);
+        self.tail = tail + 1;
+        seg.consumer_waker().notify_if_armed();
+        Ok(())
+    }
+
+    /// Push as many of `items` as currently fit, publishing the whole
+    /// batch with **one** Release store of `tail` — the single-fence batch
+    /// publish the journaling layer's commit relies on. Returns the count
+    /// actually pushed.
+    pub fn try_push_batch(&mut self, items: &[T]) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let seg = &*self.seg;
+        if seg.consumer_closed().load(Relaxed) == 1 {
+            return 0;
+        }
+        let tail = self.tail;
+        let room = producer_free_slots(
+            tail,
+            &mut self.head_cache,
+            self.mask + 1,
+            items.len(),
+            || seg.head().load(Acquire) as usize,
+        );
+        let n = room.min(items.len());
+        for (i, v) in items[..n].iter().enumerate() {
+            // SAFETY: slots [tail, tail+n) are outside the live region and
+            // in-bounds after masking; nothing reads them until the single
+            // Release store below publishes the batch.
+            unsafe { self.slot_ptr(tail + i).write(*v) };
+        }
+        if n > 0 {
+            seg.tail().store((tail + n) as u64, Release);
+            self.tail = tail + n;
+            seg.consumer_waker().notify_if_armed();
+        }
+        n
+    }
+
+    /// Blocking push: adaptive spin→yield→futex-park until the element
+    /// fits or the consumer disconnects.
+    pub fn push(&mut self, mut value: T) -> Result<(), PushError<T>> {
+        let mut waiter = Waiter::new(SHM_ENDPOINT_WAIT);
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(TryPushError::Closed(v)) => return Err(PushError(v)),
+                Err(TryPushError::Full(v)) => value = v,
+            }
+            if waiter.pause_or_park() == WaitAction::Park {
+                let w = self.seg.producer_waker();
+                let epoch = w.arm();
+                // Re-check under the arm: a pop or close that landed
+                // before the arm's fence is visible here; one that lands
+                // after will observe the arm and notify.
+                let head = self.seg.head().load(Acquire) as usize;
+                if self.tail.wrapping_sub(head) < self.mask + 1
+                    || self.seg.consumer_closed().load(Relaxed) == 1
+                {
+                    w.disarm();
+                    continue;
+                }
+                w.wait(epoch, Some(SHM_PARK_TIMEOUT));
+            }
+        }
+    }
+
+    /// Ring capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Elements currently queued (telemetry estimate).
+    pub fn occupancy(&self) -> usize {
+        let seg = &*self.seg;
+        (seg.tail().load(Acquire) as usize).saturating_sub(seg.head().load(Acquire) as usize)
+    }
+
+    /// `true` once the consumer side is gone.
+    pub fn is_closed(&self) -> bool {
+        self.seg.consumer_closed().load(Relaxed) == 1
+    }
+
+    /// The backing segment (fd, mailbox word, …).
+    pub fn segment(&self) -> &ShmSegment {
+        &self.seg
+    }
+}
+
+impl<T> Drop for ShmRingProducer<T> {
+    fn drop(&mut self) {
+        self.seg.producer_closed().store(1, Release);
+        // Full-contract notify: a consumer parked right now must see EoS.
+        self.seg.consumer_waker().notify();
+    }
+}
+
+impl<T: ShmItem> ShmRingConsumer<T> {
+    #[inline]
+    fn slot_ptr(&self, idx: usize) -> *const T {
+        (self.seg.data_ptr() as *const T).wrapping_add(idx & self.mask)
+    }
+
+    /// Non-blocking pop (same protocol as `spsc.rs::try_pop`).
+    #[inline]
+    pub fn try_pop(&mut self) -> Result<T, TryPopError> {
+        let seg = &*self.seg;
+        let head = self.head;
+        // Shared cached-index fast path (see `crate::index`): refresh pairs
+        // Acquire with the producer's Release store of `tail`.
+        let avail = consumer_ready_elems(head, &mut self.tail_cache, || {
+            seg.tail().load(Acquire) as usize
+        });
+        if avail == 0 {
+            return if seg.producer_closed().load(Acquire) == 1 {
+                // Re-check: the producer may have pushed between our tail
+                // load and its close.
+                self.tail_cache = seg.tail().load(Acquire) as usize;
+                if self.tail_cache == head {
+                    Err(TryPopError::Closed)
+                } else {
+                    Err(TryPopError::Empty)
+                }
+            } else {
+                Err(TryPopError::Empty)
+            };
+        }
+        // SAFETY: `head < tail` observed via Acquire, pairing with the
+        // producer's Release publish — the slot holds a fully written T
+        // (POD: any bit pattern valid), in-bounds after masking, and the
+        // producer will not reuse it until our Release store of `head`.
+        let value = unsafe { self.slot_ptr(head).read() };
+        seg.head().store((head + 1) as u64, Release);
+        self.head = head + 1;
+        seg.producer_waker().notify_if_armed();
+        Ok(value)
+    }
+
+    /// Pop up to `out.len()` elements, freeing the whole run with one
+    /// Release store of `head`. Returns the count written into `out`.
+    pub fn try_pop_batch(&mut self, out: &mut [T]) -> usize {
+        if out.is_empty() {
+            return 0;
+        }
+        let seg = &*self.seg;
+        let head = self.head;
+        let avail = consumer_ready_elems(head, &mut self.tail_cache, || {
+            seg.tail().load(Acquire) as usize
+        });
+        let n = avail.min(out.len());
+        for (i, slot) in out[..n].iter_mut().enumerate() {
+            // SAFETY: indices [head, head+n) are inside the live region
+            // observed through the Acquire tail load above; see try_pop.
+            *slot = unsafe { self.slot_ptr(head + i).read() };
+        }
+        if n > 0 {
+            seg.head().store((head + n) as u64, Release);
+            self.head = head + n;
+            seg.producer_waker().notify_if_armed();
+        }
+        n
+    }
+
+    /// Blocking pop; `Err` once the producer closed *and* the ring
+    /// drained.
+    pub fn pop(&mut self) -> Result<T, PopError> {
+        let mut waiter = Waiter::new(SHM_ENDPOINT_WAIT);
+        loop {
+            match self.try_pop() {
+                Ok(v) => return Ok(v),
+                Err(TryPopError::Closed) => return Err(PopError),
+                Err(TryPopError::Empty) => {}
+            }
+            if waiter.pause_or_park() == WaitAction::Park {
+                let w = self.seg.consumer_waker();
+                let epoch = w.arm();
+                let tail = self.seg.tail().load(Acquire) as usize;
+                if tail != self.head || self.seg.producer_closed().load(Relaxed) == 1 {
+                    w.disarm();
+                    continue;
+                }
+                w.wait(epoch, Some(SHM_PARK_TIMEOUT));
+            }
+        }
+    }
+
+    /// Ring capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Elements currently queued (telemetry estimate).
+    pub fn occupancy(&self) -> usize {
+        let seg = &*self.seg;
+        (seg.tail().load(Acquire) as usize).saturating_sub(seg.head().load(Acquire) as usize)
+    }
+
+    /// `true` once the producer closed and the ring drained.
+    pub fn is_finished(&self) -> bool {
+        self.seg.producer_closed().load(Acquire) == 1 && self.occupancy() == 0
+    }
+
+    /// The backing segment (fd, mailbox word, …).
+    pub fn segment(&self) -> &ShmSegment {
+        &self.seg
+    }
+}
+
+impl<T> Drop for ShmRingConsumer<T> {
+    fn drop(&mut self) {
+        self.seg.consumer_closed().store(1, Release);
+        self.seg.producer_waker().notify();
+    }
+}
+
+// SAFETY: one non-Clone handle per role (CAS-enforced even across
+// processes); moving it moves the role, and elements are ShmItem (POD).
+unsafe impl<T: ShmItem> Send for ShmRingProducer<T> {}
+// SAFETY: see ShmRingProducer.
+unsafe impl<T: ShmItem> Send for ShmRingConsumer<T> {}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_segment_layout_roundtrip() {
+        let seg = ShmSegment::create_heap(SEG_KIND_RING, 8, 8, 8, 64);
+        assert_eq!(seg.capacity(), 8);
+        assert_eq!(seg.elem_size(), 8);
+        assert!(!seg.is_memfd());
+        assert!(seg.data_len() >= 64);
+        assert_eq!(seg.data_ptr() as usize % 8, 0);
+    }
+
+    #[test]
+    fn memfd_segment_create_and_attach() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        let seg = ShmSegment::create(SEG_KIND_RING, 16, 4, 4, 64).unwrap();
+        let fd = seg.fd().unwrap();
+        seg.user_word().store(0xBEEF, Release);
+        // Second mapping of the same fd sees the first one's writes.
+        let peer = ShmSegment::attach(fd, SEG_KIND_RING).unwrap();
+        assert_eq!(peer.user_word().load(Acquire), 0xBEEF);
+        assert_eq!(peer.capacity(), 16);
+        // Kind mismatch rejected.
+        assert!(ShmSegment::attach(fd, SEG_KIND_ARENA).is_err());
+        // attach dups the fd, so each segment closes its own descriptor.
+        drop(peer);
+        drop(seg);
+    }
+
+    #[test]
+    fn ring_push_pop_in_order() {
+        let (mut p, mut c) = ShmRing::<u64>::pair(4);
+        for i in 0..4u64 {
+            p.try_push(i).unwrap();
+        }
+        assert!(matches!(p.try_push(9), Err(TryPushError::Full(9))));
+        for i in 0..4u64 {
+            assert_eq!(c.try_pop().unwrap(), i);
+        }
+        assert!(matches!(c.try_pop(), Err(TryPopError::Empty)));
+    }
+
+    #[test]
+    fn ring_batch_publish_and_drain() {
+        let (mut p, mut c) = ShmRing::<u32>::pair(8);
+        let items: Vec<u32> = (0..6).collect();
+        assert_eq!(p.try_push_batch(&items), 6);
+        let mut out = [0u32; 8];
+        assert_eq!(c.try_pop_batch(&mut out), 6);
+        assert_eq!(&out[..6], &[0, 1, 2, 3, 4, 5]);
+        // Batch larger than room pushes only what fits.
+        let items: Vec<u32> = (0..20).collect();
+        assert_eq!(p.try_push_batch(&items), 8);
+    }
+
+    #[test]
+    fn ring_close_semantics() {
+        let (mut p, mut c) = ShmRing::<u64>::pair(4);
+        p.try_push(1).unwrap();
+        drop(p);
+        assert_eq!(c.try_pop().unwrap(), 1);
+        assert!(matches!(c.try_pop(), Err(TryPopError::Closed)));
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn ring_cross_thread_blocking_transfer() {
+        let (mut p, mut c) = ShmRing::<u64>::pair(16);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                p.push(i).unwrap();
+            }
+        });
+        let mut expected = 0;
+        while let Ok(v) = c.pop() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, N);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn role_claims_are_exclusive() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        let (p, fd) = ShmRing::<u64>::create_producer(8).unwrap();
+        // Producer role is taken; attaching as producer must fail, as
+        // consumer must succeed exactly once.
+        assert!(ShmRing::<u64>::attach_producer(fd).is_err());
+        let c = ShmRing::<u64>::attach_consumer(fd).unwrap();
+        assert!(ShmRing::<u64>::attach_consumer(fd).is_err());
+        drop((p, c));
+    }
+
+    #[test]
+    fn attach_rejects_element_layout_mismatch() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        let (_p, fd) = ShmRing::<u64>::create_producer(8).unwrap();
+        assert!(ShmRing::<u32>::attach_consumer(fd).is_err());
+    }
+}

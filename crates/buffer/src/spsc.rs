@@ -34,6 +34,7 @@ use std::mem::MaybeUninit;
 use crossbeam::utils::CachePadded;
 
 use crate::error::{TryPopError, TryPushError};
+use crate::index::{consumer_ready_elems, producer_free_slots};
 use crate::signal::Signal;
 use crate::sync::{
     Arc, AtomicBool, AtomicUsize,
@@ -217,14 +218,14 @@ impl<T: Send> SpscProducer<T> {
             return Err(TryPushError::Closed(value));
         }
         let tail = self.tail;
-        if tail.wrapping_sub(self.head_cache) >= core.capacity() {
-            // Ring looks full through the cached head — refresh it. Acquire
-            // pairs with the consumer's Release store of `head`, ordering
-            // its slot read-out before our reuse of the slot.
-            self.head_cache = core.head.load(Acquire);
-            if tail.wrapping_sub(self.head_cache) >= core.capacity() {
-                return Err(TryPushError::Full(value));
-            }
+        // Shared cached-index fast path (see `crate::index`): refresh pairs
+        // Acquire with the consumer's Release store of `head`, ordering its
+        // slot read-out before our reuse of the slot.
+        let room = producer_free_slots(tail, &mut self.head_cache, core.capacity(), 1, || {
+            core.head.load(Acquire)
+        });
+        if room == 0 {
+            return Err(TryPushError::Full(value));
         }
         let slot = &core.slots[tail & core.mask];
         slot.value.with_mut(|p| {
@@ -293,25 +294,23 @@ impl<T: Send> SpscConsumer<T> {
     pub fn try_pop_signal(&mut self) -> Result<(T, Signal), TryPopError> {
         let core = &*self.core;
         let head = self.head;
-        if head == self.tail_cache {
-            // Ring looks empty through the cached tail — refresh. Acquire
-            // pairs with the producer's Release store of `tail`, making the
-            // slot contents visible before we read them out.
-            self.tail_cache = core.tail.load(Acquire);
-            if head == self.tail_cache {
-                return if core.producer_closed.load(Acquire) {
-                    // Re-check emptiness: the producer may have pushed
-                    // between our tail load and its close.
-                    self.tail_cache = core.tail.load(Acquire);
-                    if self.tail_cache == head {
-                        Err(TryPopError::Closed)
-                    } else {
-                        Err(TryPopError::Empty)
-                    }
+        // Shared cached-index fast path (see `crate::index`): refresh pairs
+        // Acquire with the producer's Release store of `tail`, making the
+        // slot contents visible before we read them out.
+        let avail = consumer_ready_elems(head, &mut self.tail_cache, || core.tail.load(Acquire));
+        if avail == 0 {
+            return if core.producer_closed.load(Acquire) {
+                // Re-check emptiness: the producer may have pushed
+                // between our tail load and its close.
+                self.tail_cache = core.tail.load(Acquire);
+                if self.tail_cache == head {
+                    Err(TryPopError::Closed)
                 } else {
                     Err(TryPopError::Empty)
-                };
-            }
+                }
+            } else {
+                Err(TryPopError::Empty)
+            };
         }
         let slot = &core.slots[head & core.mask];
         // SAFETY: `head < tail` was observed through an Acquire load of
@@ -344,11 +343,8 @@ impl<T: Send> SpscConsumer<T> {
     pub fn peek(&mut self) -> Option<&T> {
         let core = &*self.core;
         let head = self.head;
-        if head == self.tail_cache {
-            self.tail_cache = core.tail.load(Acquire);
-            if head == self.tail_cache {
-                return None;
-            }
+        if consumer_ready_elems(head, &mut self.tail_cache, || core.tail.load(Acquire)) == 0 {
+            return None;
         }
         let slot = &core.slots[head & core.mask];
         // SAFETY: `head < tail` observed via Acquire (see try_pop_signal),

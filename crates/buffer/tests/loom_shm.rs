@@ -1,0 +1,316 @@
+//! Loom model checks for the shared-memory ring protocol
+//! ([`raft_buffer::shm`]) and its futex eventcount ([`raft_buffer::futex`]).
+//!
+//! These tests only compile and run under the loom cfg:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p raft-buffer --test loom_shm --release
+//! ```
+//!
+//! The real `ShmRing` cannot be model-checked directly: its protocol words
+//! are `std` atomics living at fixed offsets inside an `mmap`ed segment,
+//! and loom can only instrument its own atomic types. So this file models
+//! the protocol over plain (loom-instrumented) backing — a `SegModel`
+//! struct whose fields stand in, one for one, for the segment's control
+//! words (`OFF_HEAD`, `OFF_TAIL`, `OFF_PRODUCER_CLOSED`, the consumer
+//! waker's `armed`/`seq` pair) and whose slot array stands in for the data
+//! region. Every operation below replicates the exact load/store/fence
+//! sequence of its `shm.rs` / `futex.rs` counterpart — same orderings,
+//! same cached-index refresh arithmetic (`crate::index`), same close
+//! double-check — so an interleaving loom rejects here is an interleaving
+//! the mapped-segment code admits. The arithmetic itself (wrapping
+//! counters, conservative caches) is unit-tested natively in `index.rs`;
+//! what loom adds is the C11 ordering argument.
+#![cfg(loom)]
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{
+    fence, AtomicU32, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release, SeqCst},
+};
+use loom::thread;
+use std::sync::Arc;
+
+/// The segment's first four cache lines plus data region, in loom types.
+struct SegModel {
+    /// `OFF_HEAD`: next read index (consumer publishes with Release).
+    head: AtomicUsize,
+    /// `OFF_TAIL`: next write index (producer publishes with Release).
+    tail: AtomicUsize,
+    /// `OFF_PRODUCER_CLOSED`.
+    producer_closed: AtomicU32,
+    /// `OFF_CONS_ARMED`: consumer waker's armed word.
+    cons_armed: AtomicU32,
+    /// `OFF_CONS_SEQ`: consumer waker's eventcount generation.
+    cons_seq: AtomicU32,
+    /// The data region: `capacity` slots of one element each.
+    slots: Box<[UnsafeCell<u64>]>,
+    capacity: usize,
+}
+
+// SAFETY: the slot array is raced on by design — exactly one producer and
+// one consumer, serialized per-slot by the head/tail protocol under test.
+// Loom's instrumented UnsafeCell turns any protocol hole into a model
+// failure instead of silent UB.
+unsafe impl Send for SegModel {}
+// SAFETY: see Send.
+unsafe impl Sync for SegModel {}
+
+impl SegModel {
+    fn new(capacity: usize) -> Arc<SegModel> {
+        assert!(capacity.is_power_of_two());
+        Arc::new(SegModel {
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            producer_closed: AtomicU32::new(0),
+            cons_armed: AtomicU32::new(0),
+            cons_seq: AtomicU32::new(0),
+            slots: (0..capacity).map(|_| UnsafeCell::new(0)).collect(),
+            capacity,
+        })
+    }
+
+    /// `FutexWaker::arm` — seq snapshot, armed store, SeqCst fence.
+    fn arm(&self) -> u32 {
+        let epoch = self.cons_seq.load(Relaxed);
+        self.cons_armed.store(1, Relaxed);
+        fence(SeqCst);
+        epoch
+    }
+
+    /// `FutexWaker::disarm`.
+    fn disarm(&self) -> bool {
+        self.cons_armed.swap(0, Relaxed) == 1
+    }
+
+    /// `FutexWaker::notify` — Dekker fence, claim the arm, bump the
+    /// eventcount (the `FUTEX_WAKE` itself needs no modeling: a waiter
+    /// sleeps only while `seq == epoch`, so the bump *is* the wake).
+    fn notify(&self) {
+        fence(SeqCst);
+        if self.cons_armed.load(Relaxed) == 1 && self.cons_armed.swap(0, Relaxed) == 1 {
+            self.cons_seq.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+/// `ShmRingProducer` state: exact tail mirror + conservative head cache.
+struct ProducerModel {
+    seg: Arc<SegModel>,
+    tail: usize,
+    head_cache: usize,
+}
+
+impl ProducerModel {
+    /// `ShmRingProducer::try_push` minus the close-in check (no consumer
+    /// drop in these models) and with the waker handled by the caller.
+    fn try_push(&mut self, value: u64) -> bool {
+        let seg = &*self.seg;
+        let tail = self.tail;
+        // index::producer_free_slots, inlined: refresh the cache with one
+        // Acquire load only when the ring looks too full through it.
+        if tail.wrapping_sub(self.head_cache) + 1 > seg.capacity {
+            self.head_cache = seg.head.load(Acquire);
+        }
+        if seg
+            .capacity
+            .saturating_sub(tail.wrapping_sub(self.head_cache))
+            == 0
+        {
+            return false;
+        }
+        // SAFETY: slot `tail & mask` is outside the live region (checked
+        // against the conservative head cache); sole producer by
+        // construction. Loom verifies no consumer read overlaps.
+        seg.slots[tail & (seg.capacity - 1)].with_mut(|p| unsafe { *p = value });
+        seg.tail.store(tail + 1, Release);
+        self.tail = tail + 1;
+        true
+    }
+
+    /// `ShmRingProducer::drop` — close flag then full-contract notify.
+    fn close(&self) {
+        self.seg.producer_closed.store(1, Release);
+        self.seg.notify();
+    }
+}
+
+/// `ShmRingConsumer` state: exact head mirror + conservative tail cache.
+struct ConsumerModel {
+    seg: Arc<SegModel>,
+    head: usize,
+    tail_cache: usize,
+}
+
+#[derive(PartialEq, Debug)]
+enum Pop {
+    Value(u64),
+    Empty,
+    Closed,
+}
+
+impl ConsumerModel {
+    /// `ShmRingConsumer::try_pop`, including the close/drain double-check.
+    fn try_pop(&mut self) -> Pop {
+        let seg = &*self.seg;
+        let head = self.head;
+        // index::consumer_ready_elems, inlined.
+        if head == self.tail_cache {
+            self.tail_cache = seg.tail.load(Acquire);
+        }
+        if self.tail_cache.wrapping_sub(head) == 0 {
+            if seg.producer_closed.load(Acquire) == 1 {
+                // Re-check: the producer may have pushed between our tail
+                // load and its close.
+                self.tail_cache = seg.tail.load(Acquire);
+                if self.tail_cache == head {
+                    return Pop::Closed;
+                }
+            }
+            return Pop::Empty;
+        }
+        // SAFETY: head < tail observed through an Acquire load pairing
+        // with the producer's Release publish; sole consumer.
+        let value = seg.slots[head & (seg.capacity - 1)].with(|p| unsafe { *p });
+        seg.head.store(head + 1, Release);
+        self.head = head + 1;
+        Pop::Value(value)
+    }
+}
+
+fn endpoints(capacity: usize) -> (ProducerModel, ConsumerModel) {
+    let seg = SegModel::new(capacity);
+    (
+        ProducerModel {
+            seg: seg.clone(),
+            tail: 0,
+            head_cache: 0,
+        },
+        ConsumerModel {
+            seg,
+            head: 0,
+            tail_cache: 0,
+        },
+    )
+}
+
+/// Capacity 1 forces every element after the first to reuse a slot while
+/// both endpoints run — the cached-index refresh and the slot-reuse
+/// ordering (consumer's Release head store before producer's overwrite)
+/// are both on the critical path of every interleaving.
+#[test]
+fn wraparound_transfer_preserves_order() {
+    loom::model(|| {
+        let (mut p, mut c) = endpoints(1);
+        let producer = thread::spawn(move || {
+            for i in 1..=2u64 {
+                while !p.try_push(i) {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match c.try_pop() {
+                Pop::Value(v) => got.push(v),
+                Pop::Empty => thread::yield_now(),
+                Pop::Closed => panic!("nobody closed"),
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+        producer.join().unwrap();
+    });
+}
+
+/// A push racing the close: the consumer must never observe `Closed` while
+/// the pushed element is still in flight (the double-check in `try_pop`).
+#[test]
+fn close_delivers_only_after_drain() {
+    loom::model(|| {
+        let (mut p, mut c) = endpoints(2);
+        let producer = thread::spawn(move || {
+            assert!(p.try_push(7));
+            p.close();
+        });
+        let mut got = Vec::new();
+        loop {
+            match c.try_pop() {
+                Pop::Value(v) => got.push(v),
+                Pop::Empty => thread::yield_now(),
+                Pop::Closed => break,
+            }
+        }
+        assert_eq!(got, vec![7]);
+        producer.join().unwrap();
+    });
+}
+
+/// Lost-wakeup freedom for the cross-process park (the property the
+/// 2ms-bounded `notify_if_armed` trade explicitly does NOT have, and the
+/// full `notify` on the close path MUST have): a consumer that armed,
+/// re-checked the stream, and found nothing actionable is about to
+/// `FUTEX_WAIT` on `seq == epoch` — if the producer has meanwhile pushed
+/// and notified, the eventcount must have moved past `epoch`, so the
+/// kernel would refuse the sleep. The SeqCst fence in `arm` (after the
+/// armed store, before the re-check) and in `notify` (after the stream
+/// write, before the armed read) forbid the store-buffering interleaving
+/// where both sides miss each other.
+#[test]
+fn armed_park_cannot_sleep_through_a_notify() {
+    loom::model(|| {
+        let (mut p, c) = endpoints(1);
+        let producer = thread::spawn(move || {
+            assert!(p.try_push(1));
+            p.seg.notify();
+        });
+
+        // Consumer side of ShmRingConsumer::pop's park branch.
+        let seg = c.seg.clone();
+        let epoch = seg.arm();
+        let tail = seg.tail.load(Acquire);
+        let blocked = tail == c.head && seg.producer_closed.load(Relaxed) == 0;
+        if !blocked {
+            seg.disarm();
+        }
+
+        producer.join().unwrap();
+
+        if blocked {
+            // The re-check missed the push, so the producer's notify fence
+            // came later in the SC order — its armed read cannot have
+            // missed our arm: the claim bumped seq and futex_wait(epoch)
+            // would return EAGAIN instead of sleeping.
+            assert_ne!(
+                seg.cons_seq.load(Relaxed),
+                epoch,
+                "lost wakeup: parked on observed-empty ring with no seq bump"
+            );
+        }
+    });
+}
+
+/// A disarm racing a notify: the arm is claimed exactly once — either the
+/// waiter withdraws it (disarm returns true, no wake) or the notifier
+/// claims it (seq bumped, disarm returns false) — never both, never
+/// neither. This is what makes "absorb the in-flight wake as spurious"
+/// sound on the `continue` path of blocking push/pop.
+#[test]
+fn arm_is_claimed_exactly_once() {
+    loom::model(|| {
+        let seg = SegModel::new(1);
+        let epoch = seg.arm();
+        let notifier = {
+            let seg = seg.clone();
+            thread::spawn(move || seg.notify())
+        };
+        let claimed_by_us = seg.disarm();
+        notifier.join().unwrap();
+
+        let wake_fired = seg.cons_seq.load(Relaxed) == epoch.wrapping_add(1);
+        assert!(
+            claimed_by_us != wake_fired,
+            "arm claimed {} times (disarm={claimed_by_us}, wake={wake_fired})",
+            claimed_by_us as u32 + wake_fired as u32,
+        );
+    });
+}

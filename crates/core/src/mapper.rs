@@ -17,11 +17,47 @@
 //! streams crossing the cut while keeping the two sides balanced by the
 //! capacity (core count) of each side.
 
+use raft_buffer::LinkAlloc;
+
 /// A leaf compute resource.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Resource {
-    /// Display name (e.g. `"node0/socket0/core3"`).
+    /// Display name (e.g. `"node0/socket0/core3"`). Segments are
+    /// `/`-separated, outermost first; a `procN` segment marks a process
+    /// boundary inside a machine (see [`classify_link`]).
     pub name: String,
+}
+
+impl Resource {
+    /// The machine component: everything before the first `/` (the whole
+    /// name if there is no `/`).
+    pub fn machine(&self) -> &str {
+        self.name.split('/').next().unwrap_or(&self.name)
+    }
+
+    /// The process component, if the name carries a `procN` segment
+    /// (`"node0/proc1/core3"` → `Some("proc1")`). Names without one are
+    /// treated as a single process per machine.
+    pub fn process(&self) -> Option<&str> {
+        self.name
+            .split('/')
+            .find(|seg| seg.starts_with("proc") && seg[4..].bytes().all(|b| b.is_ascii_digit()))
+    }
+}
+
+/// Select the link allocator for a stream between two placed kernels —
+/// the paper's "link allocation type is selected" step (§4), resolved
+/// from the placement: same process → heap ring, same machine but
+/// different processes → shared-memory segment, different machines → TCP.
+/// DESIGN §14 has the full matrix.
+pub fn classify_link(src: &Resource, dst: &Resource) -> LinkAlloc {
+    if src.machine() != dst.machine() {
+        return LinkAlloc::Tcp;
+    }
+    match (src.process(), dst.process()) {
+        (Some(a), Some(b)) if a != b => LinkAlloc::Shm,
+        _ => LinkAlloc::Heap,
+    }
 }
 
 /// A latency domain: either a leaf resource or a group of subdomains whose
@@ -49,6 +85,32 @@ impl Domain {
                     Domain::Leaf(Resource {
                         name: format!("{name}/core{c}"),
                     })
+                })
+                .collect(),
+        }
+    }
+
+    /// A host partitioned into `procs` worker processes of
+    /// `cores_per_proc` cores each. Crossing a process boundary costs
+    /// `proc_latency_ns` (> core latency, < network latency), so the
+    /// partitioner keeps chatty kernels inside one process and
+    /// [`classify_link`] gives the cut edges shared-memory rings.
+    pub fn multi_process_host(
+        name: &str,
+        procs: usize,
+        cores_per_proc: usize,
+        proc_latency_ns: u64,
+        core_latency_ns: u64,
+    ) -> Domain {
+        Domain::Group {
+            internal_latency_ns: proc_latency_ns,
+            children: (0..procs)
+                .map(|p| {
+                    Domain::symmetric_host(
+                        &format!("{name}/proc{p}"),
+                        cores_per_proc,
+                        core_latency_ns,
+                    )
                 })
                 .collect(),
         }
@@ -361,6 +423,58 @@ mod tests {
         let m = map_kernels(&g, &topo);
         assert_eq!(m.assignment[0].name, "h/core0");
         assert_eq!(m.cut_cost_ns, 0);
+    }
+
+    /// The selection matrix of DESIGN §14: heap within a process, shm
+    /// across processes on one machine, TCP across machines.
+    #[test]
+    fn classify_link_selection_matrix() {
+        let r = |name: &str| Resource { name: name.into() };
+        // Same process (explicit proc segment, or none at all).
+        assert_eq!(
+            classify_link(&r("a/proc0/core0"), &r("a/proc0/core1")),
+            LinkAlloc::Heap
+        );
+        assert_eq!(classify_link(&r("a/core0"), &r("a/core1")), LinkAlloc::Heap);
+        // Same machine, different processes.
+        assert_eq!(
+            classify_link(&r("a/proc0/core0"), &r("a/proc1/core0")),
+            LinkAlloc::Shm
+        );
+        // Only one side names a process: conservatively co-resident.
+        assert_eq!(
+            classify_link(&r("a/proc0/core0"), &r("a/core1")),
+            LinkAlloc::Heap
+        );
+        // Different machines always go over the wire, proc or not.
+        assert_eq!(
+            classify_link(&r("a/proc0/core0"), &r("b/proc0/core0")),
+            LinkAlloc::Tcp
+        );
+        assert_eq!(classify_link(&r("a/core0"), &r("b/core0")), LinkAlloc::Tcp);
+        // "processor" is not a proc segment; "proc12" is.
+        assert_eq!(r("a/processor/core0").process(), None);
+        assert_eq!(r("a/proc12/core0").process(), Some("proc12"));
+    }
+
+    /// A chatty pair placed by the partitioner stays inside one process of
+    /// a multi-process host; the cut edge classifies as shm.
+    #[test]
+    fn multi_process_host_cuts_classify_shm() {
+        let mut g = CommGraph::new(4);
+        g.add_edge(0, 1, 1000); // chatty pair
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, 1);
+        let topo = Domain::multi_process_host("node0", 2, 2, 2_000, 100);
+        assert_eq!(topo.capacity(), 4);
+        let m = map_kernels(&g, &topo);
+        let chatty = classify_link(&m.assignment[0], &m.assignment[1]);
+        assert_eq!(chatty, LinkAlloc::Heap, "chatty pair split: {m:?}");
+        // Some pipeline edge crosses the process boundary.
+        let crossings = (0..3)
+            .filter(|&i| classify_link(&m.assignment[i], &m.assignment[i + 1]) == LinkAlloc::Shm)
+            .count();
+        assert!(crossings >= 1, "no shm edge: {m:?}");
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! kernels, [`OutPort::reserve`] and [`InPort::pop_slice`] expose the
 //! FIFO's zero-copy batch views: elements are written into / read out of
 //! the ring storage itself, with the queue's synchronization amortized over
-//! the whole batch.
+//! the whole batch. The views are agnostic to the link's allocator
+//! ([`raft_buffer::LinkAlloc`]): on an shm-backed link the same `reserve` /
+//! `pop_slice` calls read and write the mapped segment directly — the
+//! zero-copy path *is* the shared-memory path, no extra marshalling layer.
 
 use std::any::Any;
 use std::cell::RefCell;

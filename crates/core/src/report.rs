@@ -67,14 +67,15 @@ pub fn render(report: &ExeReport) -> String {
     let _ = writeln!(out, "\nstreams ({}):", report.edges.len());
     let _ = writeln!(
         out,
-        "  {:<44} {:>9} {:>7} {:>9} {:>8}  occupancy (log2 buckets)",
-        "edge", "items", "cap", "mean occ", "resizes"
+        "  {:<44} {:>5} {:>9} {:>7} {:>9} {:>8}  occupancy (log2 buckets)",
+        "edge", "alloc", "items", "cap", "mean occ", "resizes"
     );
     for e in &report.edges {
         let _ = writeln!(
             out,
-            "  {:<44} {:>9} {:>7} {:>9.1} {:>8}  {}",
+            "  {:<44} {:>5} {:>9} {:>7} {:>9.1} {:>8}  {}",
             truncate(&e.name, 44),
+            e.alloc,
             e.stats.popped,
             e.stats.capacity,
             e.stats.mean_occupancy,

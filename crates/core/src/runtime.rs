@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use raft_buffer::fifo::Monitorable;
-use raft_buffer::{StatsSnapshot, DRAIN_DRAINING, DRAIN_QUIESCED};
+use raft_buffer::{LinkAlloc, StatsSnapshot, DRAIN_DRAINING, DRAIN_QUIESCED};
 
 use crate::error::ExeError;
 use crate::kernel::Kernel;
@@ -43,6 +43,10 @@ pub struct EdgeReport {
     pub name: String,
     /// Snapshot at shutdown.
     pub stats: StatsSnapshot,
+    /// Which allocator actually backed this link's element storage
+    /// (the configured choice after fallbacks — a link configured `Shm`
+    /// on a platform without `memfd` reports `Heap`).
+    pub alloc: LinkAlloc,
 }
 
 /// Final statistics of one kernel.
@@ -228,12 +232,22 @@ pub fn execute_with_deadline(
     // Per-kernel commit interval: the min across the kernel's journaled
     // links (u32::MAX = no journaled link yet).
     let mut journal_interval_of: Vec<u32> = vec![u32::MAX; n_kernels];
+    // `RAFT_LINK_ALLOC` overrides every link's allocator choice (the
+    // paper's "link allocation type is selected" step, §4) — a deployed
+    // binary can be flipped to shm or back without recompiling. Invalid
+    // values are ignored rather than fatal, like the other RAFT_* knobs.
+    let env_alloc = std::env::var("RAFT_LINK_ALLOC")
+        .ok()
+        .and_then(|s| LinkAlloc::parse(&s));
     for link in &map.links {
         let src = &map.kernels[link.src];
         let dst = &map.kernels[link.dst];
         let out_def = &src.spec.outputs[link.src_port];
         let in_def = &dst.spec.inputs[link.dst_port];
-        let cfg = link.fifo.unwrap_or(map.cfg.fifo);
+        let mut cfg = link.fifo.unwrap_or(map.cfg.fifo);
+        if let Some(alloc) = env_alloc {
+            cfg.alloc = alloc;
+        }
         let (producer, consumer, fifo) = (out_def.fifo_factory)(cfg);
         let name = format!(
             "{}.{} -> {}.{}",
@@ -559,6 +573,7 @@ pub fn execute_with_deadline(
         .map(|(name, f)| EdgeReport {
             name,
             stats: f.snapshot(),
+            alloc: f.link_alloc(),
         })
         .collect();
     let _ = edge_endpoints;

@@ -243,7 +243,7 @@ impl Core {
             }
             // Skip finished kernels (runner taken); a held lock means the
             // task is mid-claim, which is not a lost wakeup.
-            let live = slot.runner.try_lock().map_or(false, |g| g.is_some());
+            let live = slot.runner.try_lock().is_some_and(|g| g.is_some());
             if live && crate::scheduler::inputs_ready(&slot.inputs) {
                 self.wake_task(task);
                 rescued += 1;

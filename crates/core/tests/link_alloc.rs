@@ -1,0 +1,113 @@
+//! Link-allocator selection end to end: configured and env-overridden
+//! allocators flow through `exe()` into the per-edge report, shm-backed
+//! links carry real data, and mapper placements classify links.
+
+use std::sync::Mutex;
+
+use raft_buffer::shm::ShmSegment;
+use raftlib::lambda::{lambda_sink, lambda_source};
+use raftlib::mapper::{classify_link, map_kernels, CommGraph, Domain};
+use raftlib::prelude::*;
+
+/// `RAFT_LINK_ALLOC` is process-global; serialize the tests that touch it.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn counting_pipeline(n: u64) -> (RaftMap, KernelId, KernelId) {
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(lambda_source(move || {
+        i += 1;
+        (i <= n).then_some(i)
+    }));
+    let sink = map.add(lambda_sink(|_v: u64| {}));
+    (map, src, sink)
+}
+
+#[test]
+fn default_links_report_heap() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let (mut map, src, sink) = counting_pipeline(100);
+    map.link(src, "0", sink, "0").unwrap();
+    let report = map.exe().unwrap();
+    assert_eq!(report.edges.len(), 1);
+    assert_eq!(report.edges[0].alloc, LinkAlloc::Heap);
+    assert_eq!(report.total_items(), 100);
+}
+
+#[test]
+fn shm_configured_link_carries_data_and_reports_backing() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let (mut map, src, sink) = counting_pipeline(1000);
+    map.link_with(
+        src,
+        "0",
+        sink,
+        "0",
+        FifoConfig::fixed(64).with_alloc(LinkAlloc::Shm),
+    )
+    .unwrap();
+    let report = map.exe().unwrap();
+    assert_eq!(report.total_items(), 1000);
+    let expect = if ShmSegment::memfd_supported() {
+        LinkAlloc::Shm
+    } else {
+        LinkAlloc::Heap // recorded fallback, not a silent lie
+    };
+    assert_eq!(report.edges[0].alloc, expect);
+}
+
+#[test]
+fn env_override_flips_every_link() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let (mut map, src, sink) = counting_pipeline(50);
+    map.link(src, "0", sink, "0").unwrap();
+    std::env::set_var("RAFT_LINK_ALLOC", "shm");
+    let report = map.exe();
+    std::env::remove_var("RAFT_LINK_ALLOC");
+    let report = report.unwrap();
+    let expect = if ShmSegment::memfd_supported() {
+        LinkAlloc::Shm
+    } else {
+        LinkAlloc::Heap
+    };
+    assert_eq!(report.edges[0].alloc, expect);
+    assert_eq!(report.total_items(), 50);
+}
+
+#[test]
+fn rendered_report_shows_alloc_column() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let (mut map, src, sink) = counting_pipeline(10);
+    map.link(src, "0", sink, "0").unwrap();
+    let report = map.exe().unwrap();
+    let text = raftlib::report::render(&report);
+    assert!(text.contains("alloc"), "{text}");
+    assert!(text.contains("heap"), "{text}");
+}
+
+#[test]
+fn apply_placement_classifies_links_from_mapping() {
+    let _g = ENV_LOCK.lock().unwrap();
+    // 2 kernels forced onto different processes of one host: the single
+    // pipeline edge must classify shm and survive execution.
+    let (mut map, src, sink) = counting_pipeline(200);
+    map.link(src, "0", sink, "0").unwrap();
+    let mut g = CommGraph::new(2);
+    g.add_edge(0, 1, 1);
+    let topo = Domain::multi_process_host("node0", 2, 1, 2_000, 100);
+    let m = map_kernels(&g, &topo);
+    assert_eq!(
+        classify_link(&m.assignment[0], &m.assignment[1]),
+        LinkAlloc::Shm,
+        "{m:?}"
+    );
+    map.apply_placement(&m.assignment);
+    let report = map.exe().unwrap();
+    assert_eq!(report.total_items(), 200);
+    let expect = if ShmSegment::memfd_supported() {
+        LinkAlloc::Shm
+    } else {
+        LinkAlloc::Heap
+    };
+    assert_eq!(report.edges[0].alloc, expect);
+}

@@ -24,6 +24,10 @@
 //! * [`bytes::ByteChunkSource`] / [`bytes::ByteChunk`] — the "read file &
 //!   distribute" kernel of the text-search topology (Figure 8): shares one
 //!   in-memory corpus and streams zero-copy chunk descriptors;
+//! * [`descriptors::DescChunkSource`] / [`descriptors::DescCount`] — the
+//!   cross-process variant: payload bytes live in a shared-memory arena
+//!   and streams carry 16-byte [`raft_buffer::Descriptor`]s, so the same
+//!   zero-copy pattern survives a process boundary;
 //! * [`routing::Tee`] / [`routing::Zip`] / [`routing::Take`] — stream
 //!   duplication, element-wise joining, truncation;
 //! * [`windows::SlidingWindow`] — the §3 sliding-window access pattern,
@@ -37,6 +41,7 @@ pub mod chaos;
 
 pub mod bytes;
 pub mod containers;
+pub mod descriptors;
 pub mod generate;
 pub mod routing;
 pub mod sequence;
@@ -51,6 +56,7 @@ pub use bytes::{ByteChunk, ByteChunkSource};
 pub use containers::{
     for_each, read_each, write_each, CollectHandle, ForEach, ReadEach, WriteEach,
 };
+pub use descriptors::{DescChunkSource, DescCount, DescFree};
 pub use generate::Generate;
 pub use routing::{Take, Tee, Zip};
 pub use sequence::{map_seq, Resequence, Seq, Stamp};

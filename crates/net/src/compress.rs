@@ -236,7 +236,12 @@ mod tests {
     fn english_like_corpus_roundtrips_and_shrinks() {
         let c = raft_algos_corpus();
         let lz = compress(&c);
-        assert!(lz.len() < c.len(), "text should compress: {} -> {}", c.len(), lz.len());
+        assert!(
+            lz.len() < c.len(),
+            "text should compress: {} -> {}",
+            c.len(),
+            lz.len()
+        );
         roundtrip(&c);
     }
 
@@ -244,7 +249,9 @@ mod tests {
         // A small zipfy text without depending on raft-algos: words drawn
         // from a tiny vocabulary.
         use rand::{rngs::StdRng, Rng, SeedableRng};
-        let vocab = ["stream", "kernel", "queue", "port", "the", "of", "a", "raft"];
+        let vocab = [
+            "stream", "kernel", "queue", "port", "the", "of", "a", "raft",
+        ];
         let mut rng = StdRng::seed_from_u64(3);
         let mut out = Vec::new();
         while out.len() < 100_000 {

@@ -323,7 +323,10 @@ mod tests {
             if peers.iter().any(|p| p.name == "a1" && p.load == 7) {
                 break;
             }
-            assert!(Instant::now() < deadline, "load never propagated: {peers:?}");
+            assert!(
+                Instant::now() < deadline,
+                "load never propagated: {peers:?}"
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
     }

@@ -176,8 +176,7 @@ fn run_job<T: Wire>(stream: TcpStream, registry: &KernelRegistry) -> io::Result<
     let out = map.add(TcpOut::<T>::from_stream(stream)?);
     map.connect(prev, out)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    map.exe()
-        .map_err(|e| io::Error::other(e.to_string()))?;
+    map.exe().map_err(|e| io::Error::other(e.to_string()))?;
     Ok(())
 }
 
@@ -327,8 +326,8 @@ mod tests {
     #[test]
     fn remote_apply_runs_named_chain() {
         let worker = RemoteWorker::<u64>::serve("127.0.0.1:0", registry()).unwrap();
-        let got = remote_apply::<u64>(worker.addr(), &["double", "inc"], (0..100).collect())
-            .unwrap();
+        let got =
+            remote_apply::<u64>(worker.addr(), &["double", "inc"], (0..100).collect()).unwrap();
         assert_eq!(got, (0..100).map(|x| x * 2 + 1).collect::<Vec<u64>>());
     }
 

@@ -69,10 +69,8 @@ fn main() {
     let modeled = |wa: i64, wb: i64| -> f64 {
         let mut g = FlowGraph::new();
         let src = g.add_kernel(FlowKernel::new("src", f64::INFINITY, 1.0));
-        let heavy =
-            g.add_kernel(FlowKernel::new("heavy", mu_heavy, 1.0).with_replicas(wa as u32));
-        let light =
-            g.add_kernel(FlowKernel::new("light", mu_light, 1.0).with_replicas(wb as u32));
+        let heavy = g.add_kernel(FlowKernel::new("heavy", mu_heavy, 1.0).with_replicas(wa as u32));
+        let light = g.add_kernel(FlowKernel::new("light", mu_light, 1.0).with_replicas(wb as u32));
         g.add_edge(src, heavy);
         g.add_edge(heavy, light);
         g.set_source_rate(src, f64::INFINITY);

@@ -56,7 +56,11 @@ fn main() {
         let mut line = vec![b' '; 52];
         line[bar_at(raw).min(51)] = b'.';
         line[bar_at(*s).min(51)] = b'#';
-        println!("{:>3} |{}| raw={raw:+.3} avg={s:+.3}", i, String::from_utf8_lossy(&line));
+        println!(
+            "{:>3} |{}| raw={raw:+.3} avg={s:+.3}",
+            i,
+            String::from_utf8_lossy(&line)
+        );
     }
     println!(
         "\nwindow kernel grew its input ring via peek_range: {} resizes",

@@ -46,14 +46,15 @@ fn main() {
 
     let report = map.exe().expect("execution");
 
-    println!("processed {} items in {:?}", n.load(std::sync::atomic::Ordering::Relaxed), report.elapsed);
+    println!(
+        "processed {} items in {:?}",
+        n.load(std::sync::atomic::Ordering::Relaxed),
+        report.elapsed
+    );
     println!("replicated kernels: {:?}", report.replicated);
     println!("\nper-kernel service statistics:");
     for k in &report.kernels {
-        println!(
-            "  {:24} runs={:8} busy={:?}",
-            k.name, k.runs, k.busy
-        );
+        println!("  {:24} runs={:8} busy={:?}", k.name, k.runs, k.busy);
     }
     println!("\nper-stream telemetry:");
     for e in &report.edges {

@@ -1,0 +1,193 @@
+//! Two OS processes joined by shared-memory zero-copy links.
+//!
+//! The parent runs a RaftMap graph that generates text records, stages
+//! each one in a shared-memory arena, and streams 16-byte descriptors
+//! through an shm-backed SPSC ring. A *separate worker process* (this
+//! same binary, re-executed with `--worker`) attaches both segments by
+//! inherited file descriptor, parses and filters the records in place —
+//! the payload bytes are never copied between the processes — and
+//! reports its sum on stdout. The parent supervises the worker under a
+//! watchdog: a wedged child is killed, not waited on forever.
+//!
+//! The link protocol is the in-process FIFO's (cached indices, single
+//! release publish); blocking sides park on a cross-process futex. On
+//! platforms without `memfd_create` the example skips gracefully.
+//!
+//! ```sh
+//! cargo run --release --example xprocess_pipeline
+//! ```
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use raft_buffer::arena::{ArenaTx, Descriptor, ShmArena};
+use raft_buffer::shm::{ShmRing, ShmRingProducer, ShmSegment};
+use raftlib::prelude::*;
+
+const RECORDS: u64 = 50_000;
+const RING_CAP: usize = 256;
+const ARENA_SLOTS: usize = 512;
+const SLOT_SIZE: usize = 64;
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+fn main() {
+    let mut args = std::env::args();
+    let _exe = args.next();
+    if args.next().as_deref() == Some("--worker") {
+        let ring_fd: i32 = args.next().expect("ring fd").parse().expect("ring fd");
+        let arena_fd: i32 = args.next().expect("arena fd").parse().expect("arena fd");
+        worker(ring_fd, arena_fd);
+        return;
+    }
+    if !ShmSegment::memfd_supported() {
+        println!("memfd_create unavailable; skipping cross-process demo");
+        return;
+    }
+    parent();
+}
+
+/// Source-side kernel: takes generated values, formats each as a
+/// `value:N` text record staged directly in the arena, and pushes the
+/// descriptor into the cross-process ring.
+struct StageAndShip {
+    tx: ArenaTx,
+    ring: ShmRingProducer<Descriptor>,
+}
+
+impl Kernel for StageAndShip {
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<u64>("in")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        let mut input = ctx.input::<u64>("in");
+        let v = match input.pop() {
+            Ok(v) => v,
+            Err(_) => return KStatus::Stop,
+        };
+        let text = format!("value:{v}\n");
+        // Physical back-pressure: no free slot means the worker process
+        // is behind; spin-yield until it recycles one.
+        let d = loop {
+            match self.tx.push_bytes(text.as_bytes()) {
+                Some(d) => break d,
+                None => std::thread::yield_now(),
+            }
+        };
+        // Blocking push parks on the cross-process futex when the ring
+        // stays full.
+        if self.ring.push(d).is_err() {
+            return KStatus::Stop; // worker died; stop producing
+        }
+        KStatus::Proceed
+    }
+
+    fn name(&self) -> String {
+        "stage-and-ship".to_string()
+    }
+}
+
+fn parent() {
+    let (ring, ring_fd) =
+        ShmRing::<Descriptor>::create_producer(RING_CAP).expect("create ring segment");
+    let (tx, arena_fd) = ShmArena::create_tx(ARENA_SLOTS, SLOT_SIZE).expect("create arena");
+
+    // memfd descriptors are created without CLOEXEC, so the worker
+    // inherits them at the same numbers we pass on its command line.
+    let child = Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--worker")
+        .arg(ring_fd.to_string())
+        .arg(arena_fd.to_string())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn worker");
+
+    // The parent half is an ordinary RaftMap graph; the process boundary
+    // hides behind one sink kernel.
+    let mut map = RaftMap::new();
+    let mut i = 0u64;
+    let src = map.add(raftlib::lambda::lambda_source(move || {
+        i += 1;
+        (i <= RECORDS).then_some(i)
+    }));
+    let ship = map.add(StageAndShip { tx, ring });
+    map.link(src, "0", ship, "in").unwrap();
+    let started = Instant::now();
+    let report = map.exe().expect("parent graph");
+    // `StageAndShip` dropped with the map: the ring's closed flag is set
+    // and the futex notified, so the worker drains and exits.
+
+    let out = supervise(child, WATCHDOG);
+    let sum: u64 = out
+        .lines()
+        .find_map(|l| l.strip_prefix("sum=").and_then(|s| s.parse().ok()))
+        .expect("worker reported no sum");
+    let expected: u64 = (1..=RECORDS).filter(|v| v % 2 == 0).sum();
+    assert_eq!(sum, expected, "worker sum mismatch");
+    println!(
+        "parent: {} records ({} bytes staged) shipped as {}-byte descriptors in {:?}",
+        RECORDS,
+        report.total_items() * 12, // ~"value:N\n"
+        std::mem::size_of::<Descriptor>(),
+        started.elapsed()
+    );
+    println!("worker: sum of even records = {sum} (expected {expected}) ✓");
+}
+
+/// Wait for the child under a deadline; kill it if the deadline passes.
+fn supervise(mut child: std::process::Child, deadline: Duration) -> String {
+    let started = Instant::now();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let mut out = String::new();
+                use std::io::Read as _;
+                if let Some(mut stdout) = child.stdout.take() {
+                    let _ = stdout.read_to_string(&mut out);
+                }
+                assert!(status.success(), "worker failed: {status:?}\n{out}");
+                return out;
+            }
+            None if started.elapsed() > deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("watchdog: worker exceeded {deadline:?}, killed");
+            }
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// The worker process: attach both segments by inherited fd, then parse
+/// and filter records in place until the parent closes the ring.
+fn worker(ring_fd: i32, arena_fd: i32) {
+    let mut ring = ShmRing::<Descriptor>::attach_consumer(ring_fd).expect("attach ring");
+    let mut rx = ShmArena::attach_rx(arena_fd).expect("attach arena");
+    let mut sum = 0u64;
+    let mut seen = 0u64;
+    // Blocking pop: parks on the futex while the ring is empty, returns
+    // Err once the producer closed and the ring drained.
+    while let Ok(d) = ring.pop() {
+        // Parse the record bytes *in the parent's segment* — this worker
+        // never copies the payload.
+        if let Ok(bytes) = rx.resolve(&d) {
+            let text = std::str::from_utf8(bytes).unwrap_or("");
+            if let Some(v) = text
+                .trim_end()
+                .strip_prefix("value:")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                if v % 2 == 0 {
+                    sum += v;
+                }
+            }
+            seen += 1;
+        }
+        // Recycle the slot; the parent's next alloc reuses it.
+        let _ = rx.free(d);
+    }
+    let mut stdout = std::io::stdout();
+    writeln!(stdout, "seen={seen}").unwrap();
+    writeln!(stdout, "sum={sum}").unwrap();
+}

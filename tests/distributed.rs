@@ -189,31 +189,28 @@ fn remote_search_stage_counts_matches() {
         .iter()
         .map(|c| corpus.data[c.start..c.end].to_vec())
         .collect();
-    let remote_total: u64 = raft_net::remote_apply::<Vec<u8>>(
-        worker.addr(),
-        &["count_matches"],
-        payloads.clone(),
-    )
-    .unwrap()
-    .iter()
-    .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()))
-    .sum::<u64>()
-        + {
-            // boundary matches (straddling chunk edges) scanned locally
-            let m = Horspool::new(&needle);
-            let mut extra = 0u64;
-            for c in chunks.windows(2) {
-                let edge_start = c[0].end.saturating_sub(overlap);
-                let edge_end = (c[0].end + overlap).min(corpus.data.len());
-                for f in m.find_all(&corpus.data[edge_start..edge_end]) {
-                    let abs = edge_start as u64 + f.offset;
-                    // only count if it truly straddles the boundary
-                    if abs < c[0].end as u64 && abs + needle.len() as u64 > c[0].end as u64 {
-                        extra += 1;
+    let remote_total: u64 =
+        raft_net::remote_apply::<Vec<u8>>(worker.addr(), &["count_matches"], payloads.clone())
+            .unwrap()
+            .iter()
+            .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()))
+            .sum::<u64>()
+            + {
+                // boundary matches (straddling chunk edges) scanned locally
+                let m = Horspool::new(&needle);
+                let mut extra = 0u64;
+                for c in chunks.windows(2) {
+                    let edge_start = c[0].end.saturating_sub(overlap);
+                    let edge_end = (c[0].end + overlap).min(corpus.data.len());
+                    for f in m.find_all(&corpus.data[edge_start..edge_end]) {
+                        let abs = edge_start as u64 + f.offset;
+                        // only count if it truly straddles the boundary
+                        if abs < c[0].end as u64 && abs + needle.len() as u64 > c[0].end as u64 {
+                            extra += 1;
+                        }
                     }
                 }
-            }
-            extra
-        };
+                extra
+            };
     assert_eq!(remote_total, expected);
 }
