@@ -53,9 +53,17 @@ use std::sync::atomic::{
     Ordering::{Acquire, Relaxed, Release},
 };
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::index::{consumer_ready_elems, producer_free_slots};
 use crate::shm::{ShmItem, ShmSegment, SEG_KIND_ARENA};
+use crate::wait::{WaitAction, WaitStrategy, Waiter};
+
+/// Park bound for [`ArenaTx::wait_free_slot`]: the relaxed-armed futex
+/// notify admits the same narrow lost-wake window as the ring endpoints
+/// (see `futex.rs`), so one park costs at most this before a re-check.
+const ARENA_PARK_TIMEOUT: Duration = Duration::from_millis(2);
+const ARENA_WAIT: WaitStrategy = WaitStrategy::parking(ARENA_PARK_TIMEOUT);
 
 /// Fixed-size ticket for one payload in the arena. 16 bytes, POD, crosses
 /// process boundaries through any `ShmRing<Descriptor>`.
@@ -193,6 +201,15 @@ impl ArenaCore {
 impl ShmArena {
     fn segment(slots: usize, slot_size: usize, memfd: bool) -> io::Result<ShmSegment> {
         assert!(slots > 0 && slot_size > 0, "arena geometry");
+        // Descriptors carry offset/len as u32: the payload region must stay
+        // u32-addressable or publish() would mint truncated offsets that
+        // validate() then rejects as Malformed.
+        assert!(
+            slots
+                .checked_mul(slot_size)
+                .is_some_and(|bytes| bytes <= u32::MAX as usize),
+            "arena payload region exceeds u32 descriptor addressing"
+        );
         let geo = Geometry::for_counts(slots, slot_size);
         let seg = if memfd {
             ShmSegment::create(
@@ -272,12 +289,22 @@ impl ShmArena {
 
     fn attach_arena(fd: i32) -> io::Result<ShmSegment> {
         let seg = ShmSegment::attach(fd, SEG_KIND_ARENA)?;
-        let geo = Geometry::of_segment(&seg);
-        if geo.slots == 0 || geo.slot_size == 0 || geo.data_bytes() > seg.data_len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "arena geometry disagrees with segment size",
-            ));
+        let fail = |what: &str| Err(io::Error::new(io::ErrorKind::InvalidData, what.to_string()));
+        // Bound the header counts with checked math BEFORE deriving a
+        // geometry from them: a forged header must not be able to overflow
+        // the layout arithmetic (wrapped data_bytes would falsely pass the
+        // size check) or exceed u32 descriptor addressing.
+        let (slots, slot_size) = (seg.capacity(), seg.elem_size());
+        if slots == 0 || slot_size == 0 {
+            return fail("arena geometry empty");
+        }
+        match slots.checked_mul(slot_size) {
+            Some(bytes) if bytes <= u32::MAX as usize => {}
+            _ => return fail("arena payload region exceeds u32 descriptor addressing"),
+        }
+        let geo = Geometry::for_counts(slots, slot_size);
+        if geo.data_bytes() > seg.data_len() {
+            return fail("arena geometry disagrees with segment size");
         }
         Ok(seg)
     }
@@ -414,6 +441,54 @@ impl ArenaTx {
         Some(w.publish())
     }
 
+    /// Block until a recycled slot is probably available — the arena-full
+    /// analogue of the ring's blocking push, for callers whose [`alloc`]
+    /// came back `None`. Escalates through the same spin→yield→futex-park
+    /// ladder as the ring endpoints, parking on the segment's producer
+    /// waker (which [`ArenaRx::free`] notifies); one park is bounded, so a
+    /// lost cross-process wake costs at most [`ARENA_PARK_TIMEOUT`].
+    ///
+    /// Returns `true` when the caller should retry `alloc` (a slot became
+    /// visible or the bounded park elapsed) and `false` when the consuming
+    /// side is gone — no slot will ever come back, so allocation can never
+    /// succeed again.
+    ///
+    /// [`alloc`]: ArenaTx::alloc
+    pub fn wait_free_slot(&mut self) -> bool {
+        let seg = &*self.core.seg;
+        let mut waiter = Waiter::new(ARENA_WAIT);
+        loop {
+            // Refresh the free-ring tail: any entry past our head means a
+            // slot is ready for the next alloc.
+            let tail = seg.tail().load(Acquire) as usize;
+            if tail != self.free_head {
+                self.free_tail_cache = tail;
+                return true;
+            }
+            if seg.consumer_closed().load(Relaxed) == 1 {
+                return false;
+            }
+            if waiter.pause_or_park() == WaitAction::Park {
+                let w = seg.producer_waker();
+                let epoch = w.arm();
+                // Re-check under the arm: a free or close that landed
+                // before the arm's fence is visible here; one that lands
+                // after will observe the arm and notify.
+                let tail = seg.tail().load(Acquire) as usize;
+                if tail != self.free_head || seg.consumer_closed().load(Relaxed) == 1 {
+                    w.disarm();
+                    continue;
+                }
+                w.wait(epoch, Some(ARENA_PARK_TIMEOUT));
+                // Bounded contract: after one real park, hand control back
+                // so a scheduler-driven caller can observe stop requests.
+                let tail = seg.tail().load(Acquire) as usize;
+                self.free_tail_cache = tail;
+                return tail != self.free_head || seg.consumer_closed().load(Relaxed) != 1;
+            }
+        }
+    }
+
     /// Total payload slots.
     pub fn slots(&self) -> usize {
         self.core.geo.slots
@@ -488,6 +563,8 @@ impl ArenaRx {
         unsafe { self.core.free_entry_ptr(tail).write(slot as u32) };
         seg.tail().store((tail + 1) as u64, Release);
         self.free_tail = tail + 1;
+        // A producer blocked in `wait_free_slot` parks on this waker.
+        seg.producer_waker().notify_if_armed();
         Ok(())
     }
 
@@ -504,6 +581,15 @@ impl ArenaRx {
     /// The backing segment.
     pub fn segment(&self) -> &ShmSegment {
         &self.core.seg
+    }
+}
+
+impl Drop for ArenaRx {
+    fn drop(&mut self) {
+        self.core.seg.consumer_closed().store(1, Release);
+        // Full-contract notify: a producer parked in `wait_free_slot` right
+        // now must see that no slot will ever come back.
+        self.core.seg.producer_waker().notify();
     }
 }
 
@@ -575,6 +661,37 @@ mod tests {
         let (mut tx, _rx) = ShmArena::pair(2, 16);
         assert!(tx.alloc(17).is_none());
         assert!(tx.alloc(16).is_some());
+    }
+
+    #[test]
+    fn wait_free_slot_wakes_on_free_and_fails_on_close() {
+        let (mut tx, mut rx) = ShmArena::pair(1, 32);
+        let d = tx.push_bytes(b"fill").unwrap();
+        // Arena full: a blocked producer thread must wake when the
+        // consumer frees the slot and then allocate successfully.
+        let waiter = std::thread::spawn(move || {
+            while tx.alloc(1).is_none() {
+                if !tx.wait_free_slot() {
+                    return false;
+                }
+            }
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        rx.free(d).unwrap();
+        assert!(waiter.join().unwrap(), "producer woke and allocated");
+    }
+
+    #[test]
+    fn wait_free_slot_observes_consumer_gone() {
+        let (mut tx, rx) = ShmArena::pair(1, 32);
+        let _d = tx.push_bytes(b"fill").unwrap();
+        drop(rx);
+        // The slot can never come back: the wait must report that rather
+        // than spin forever (bounded by the park timeout regardless).
+        let t0 = std::time::Instant::now();
+        assert!(!tx.wait_free_slot());
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
     }
 
     #[test]

@@ -38,10 +38,14 @@
 //!
 //! `attach` validates the header shape, but a *live* peer is still free to
 //! scribble on its side of the protocol. The handles here stay memory-safe
-//! regardless: every slot index is masked before use, slot types are `Copy`
-//! POD (any bit pattern is a value, never UB), and counters are only
-//! compared with wrapping arithmetic. A byzantine peer can deliver garbage
-//! elements — it cannot make this process read or write out of bounds.
+//! regardless: every header-derived quantity (capacity, element layout,
+//! data offset) is **snapshotted into the local `ShmSegment` at
+//! create/attach and never re-read from the mapping** — a peer rewriting
+//! the header after attach changes nothing this process computes with.
+//! Every slot index is masked before use, slot types are `Copy` POD (any
+//! bit pattern is a value, never UB), and counters are only compared with
+//! wrapping arithmetic. A byzantine peer can deliver garbage elements — it
+//! cannot make this process read or write out of bounds.
 
 use std::io;
 use std::marker::PhantomData;
@@ -281,6 +285,14 @@ pub struct ShmSegment {
     fd: i32,
     /// Set for heap backing so `Drop` can deallocate.
     heap: Option<std::alloc::Layout>,
+    // Local snapshot of the header geometry, taken once at create/attach.
+    // Bounds and pointer math use ONLY these fields — never the words in
+    // the mapping, which a live peer can rewrite at any time (see the
+    // trust model in the module docs).
+    capacity: usize,
+    elem_size: usize,
+    elem_align: usize,
+    data_offset: usize,
 }
 
 // SAFETY: the segment is a raw memory region; all concurrent access goes
@@ -331,6 +343,10 @@ impl ShmSegment {
             len: total,
             fd,
             heap: None,
+            capacity: capacity as usize,
+            elem_size,
+            elem_align,
+            data_offset,
         };
         seg.init_header(kind, capacity, elem_size, elem_align, data_offset);
         Ok(seg)
@@ -371,6 +387,10 @@ impl ShmSegment {
             len: total,
             fd: -1,
             heap: Some(layout),
+            capacity: capacity as usize,
+            elem_size,
+            elem_align,
+            data_offset,
         };
         seg.init_header(kind, capacity, elem_size, elem_align, data_offset);
         seg
@@ -456,13 +476,19 @@ impl ShmSegment {
                 return Err(e);
             }
         };
-        let seg = ShmSegment {
+        let mut seg = ShmSegment {
             ptr,
             len: total,
             fd,
             heap: None,
+            capacity: 0,
+            elem_size: 0,
+            elem_align: 0,
+            data_offset: 0,
         };
-        seg.validate(expect_kind)?;
+        // Read the header geometry exactly once, validated, and freeze it
+        // into the local fields; nothing re-reads it afterwards.
+        seg.snapshot_header(expect_kind)?;
         Ok(seg)
     }
 
@@ -475,7 +501,14 @@ impl ShmSegment {
         ))
     }
 
-    fn validate(&self, expect_kind: u32) -> io::Result<()> {
+    /// Validate the mapped header once and copy its geometry into the
+    /// local fields. Called only from `attach`; the header is never read
+    /// again after this returns.
+    #[cfg_attr(
+        not(all(target_os = "linux", target_arch = "x86_64", not(miri))),
+        allow(dead_code)
+    )]
+    fn snapshot_header(&mut self, expect_kind: u32) -> io::Result<()> {
         let fail = |what: &str| Err(io::Error::new(io::ErrorKind::InvalidData, what.to_string()));
         if self.u64_at(OFF_MAGIC).load(Relaxed) != SEG_MAGIC {
             return fail("bad segment magic");
@@ -489,10 +522,23 @@ impl ShmSegment {
         if self.u64_at(OFF_TOTAL_LEN).load(Relaxed) != self.len as u64 {
             return fail("segment length disagrees with header");
         }
+        let elem_align = self.u64_at(OFF_ELEM_ALIGN).load(Relaxed) as usize;
+        if elem_align == 0 || !elem_align.is_power_of_two() {
+            return fail("segment element alignment not a power of two");
+        }
         let data_offset = self.u64_at(OFF_DATA_OFFSET).load(Relaxed) as usize;
         if data_offset < DATA_OFFSET || data_offset > self.len {
             return fail("segment data offset out of range");
         }
+        // Misaligned data would turn every slot (and the arena's atomic
+        // generation words) into UB, not a clean error — reject it here.
+        if !data_offset.is_multiple_of(elem_align.max(8)) {
+            return fail("segment data offset misaligned for element");
+        }
+        self.capacity = self.u64_at(OFF_CAPACITY).load(Relaxed) as usize;
+        self.elem_size = self.u64_at(OFF_ELEM_SIZE).load(Relaxed) as usize;
+        self.elem_align = elem_align;
+        self.data_offset = data_offset;
         Ok(())
     }
 
@@ -506,35 +552,32 @@ impl ShmSegment {
         self.fd >= 0
     }
 
-    /// Element capacity recorded in the header.
+    /// Element capacity (local snapshot taken at create/attach).
     pub fn capacity(&self) -> usize {
-        self.u64_at(OFF_CAPACITY).load(Relaxed) as usize
+        self.capacity
     }
 
-    /// Element size recorded in the header.
+    /// Element size (local snapshot taken at create/attach).
     pub fn elem_size(&self) -> usize {
-        self.u64_at(OFF_ELEM_SIZE).load(Relaxed) as usize
+        self.elem_size
     }
 
-    /// Element alignment recorded in the header.
+    /// Element alignment (local snapshot taken at create/attach).
     pub fn elem_align(&self) -> usize {
-        self.u64_at(OFF_ELEM_ALIGN).load(Relaxed) as usize
-    }
-
-    fn data_offset(&self) -> usize {
-        self.u64_at(OFF_DATA_OFFSET).load(Relaxed) as usize
+        self.elem_align
     }
 
     /// Bytes available in the data region.
     pub fn data_len(&self) -> usize {
-        self.len - self.data_offset()
+        self.len - self.data_offset
     }
 
     /// First byte of the data region.
     pub fn data_ptr(&self) -> *mut u8 {
-        // In-bounds by construction: data_offset ≤ len (validated on
-        // attach, computed on create).
-        self.ptr.wrapping_add(self.data_offset())
+        // In-bounds by construction: data_offset ≤ len, and it is a local
+        // field (validated once at attach, computed at create) that a peer
+        // rewriting the header word cannot move.
+        self.ptr.wrapping_add(self.data_offset)
     }
 
     #[inline]
@@ -1183,6 +1226,46 @@ mod tests {
         let c = ShmRing::<u64>::attach_consumer(fd).unwrap();
         assert!(ShmRing::<u64>::attach_consumer(fd).is_err());
         drop((p, c));
+    }
+
+    #[test]
+    fn geometry_snapshot_ignores_header_rewrites() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        // Attach a peer, then scribble over the header the way a byzantine
+        // process could: the peer's snapshotted geometry must not move.
+        let seg = ShmSegment::create(SEG_KIND_RING, 16, 8, 8, 128).unwrap();
+        let peer = ShmSegment::attach(seg.fd().unwrap(), SEG_KIND_RING).unwrap();
+        let (ptr, len, cap) = (peer.data_ptr(), peer.data_len(), peer.capacity());
+        seg.u64_at(OFF_DATA_OFFSET).store(u64::MAX, Relaxed);
+        seg.u64_at(OFF_CAPACITY).store(u64::MAX, Relaxed);
+        seg.u64_at(OFF_ELEM_SIZE).store(u64::MAX, Relaxed);
+        assert_eq!(peer.data_ptr(), ptr);
+        assert_eq!(peer.data_len(), len);
+        assert_eq!(peer.capacity(), cap);
+    }
+
+    #[test]
+    fn attach_rejects_misaligned_data_offset() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        let seg = ShmSegment::create(SEG_KIND_RING, 16, 8, 8, 128).unwrap();
+        let fd = seg.fd().unwrap();
+        // data_offset = 260: in range, 4-aligned, but not 8-aligned — slot
+        // reads of u64 would be UB, so attach must reject it cleanly.
+        seg.u64_at(OFF_DATA_OFFSET).store(260, Relaxed);
+        assert!(ShmSegment::attach(fd, SEG_KIND_RING).is_err());
+        // Non-power-of-two element alignment is rejected too.
+        seg.u64_at(OFF_DATA_OFFSET).store(DATA_OFFSET as u64, Relaxed);
+        seg.u64_at(OFF_ELEM_ALIGN).store(24, Relaxed);
+        assert!(ShmSegment::attach(fd, SEG_KIND_RING).is_err());
+        // Restoring the header makes attach succeed again.
+        seg.u64_at(OFF_ELEM_ALIGN).store(8, Relaxed);
+        assert!(ShmSegment::attach(fd, SEG_KIND_RING).is_ok());
     }
 
     #[test]

@@ -32,7 +32,8 @@ use raftlib::prelude::*;
 /// at a time, and emits a [`Descriptor`] per chunk on port `"out"`.
 ///
 /// Back-pressure is physical: when every arena slot is in flight the
-/// source yields until the consumer recycles one.
+/// source parks on the arena's recycle waker until the consumer frees one
+/// (or stops, which ends the stream).
 pub struct DescChunkSource {
     tx: ArenaTx,
     data: std::sync::Arc<Vec<u8>>,
@@ -65,10 +66,15 @@ impl Kernel for DescChunkSource {
         }
         let end = (self.pos + self.chunk).min(self.data.len());
         let Some(mut w) = self.tx.alloc(end - self.pos) else {
-            // All slots in flight — yield the core and retry; the
-            // consumer's next free makes the retry succeed.
-            std::thread::yield_now();
-            return KStatus::Proceed;
+            // All slots in flight — park on the arena's recycle waker
+            // (bounded futex wait) instead of busy-spinning through the
+            // scheduler; the consumer's free wakes us. A `false` return
+            // means the consuming side is gone and no slot will ever come
+            // back, so emitting further descriptors is pointless.
+            if self.tx.wait_free_slot() {
+                return KStatus::Proceed;
+            }
+            return KStatus::Stop;
         };
         w.bytes().copy_from_slice(&self.data[self.pos..end]);
         let d = w.publish();
