@@ -20,7 +20,8 @@
 
 use criterion::{criterion_group, Criterion, Throughput};
 use raft_bench::pipelines::{
-    assert_journal_overhead, supervision_json_series, supervision_pipeline, SUPERVISION_ITEMS,
+    assert_journal_overhead, assert_proc_overhead, proc_drain_worker, supervision_json_series,
+    supervision_pipeline, SUPERVISION_ITEMS,
 };
 
 fn bench_supervision(c: &mut Criterion) {
@@ -46,12 +47,20 @@ fn bench_supervision(c: &mut Criterion) {
 
 /// `--json` mode: the interleaved best-of-N series recorded at the repo
 /// root as `BENCH_supervision.json`; `--assert-journal` additionally gates
-/// the journal's fault-free overhead at 5%.
-fn json_mode(gate: bool) {
-    let (path, rates) = supervision_json_series().expect("write BENCH_supervision.json");
+/// the journal's fault-free overhead at 5%, `--assert-proc` gates the
+/// process supervisor's fault-free overhead against a bare fork at 5%.
+fn json_mode(gate_journal: bool, gate_proc: bool) {
+    let (path, rates, proc_rates) =
+        supervision_json_series(true).expect("write BENCH_supervision.json");
     println!("wrote {}", path.display());
-    if gate {
+    if gate_journal {
         if let Err(msg) = assert_journal_overhead(&rates) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+    if gate_proc {
+        if let Err(msg) = assert_proc_overhead(&proc_rates) {
             eprintln!("{msg}");
             std::process::exit(1);
         }
@@ -67,8 +76,18 @@ criterion_group! {
 }
 
 fn main() {
+    // Worker mode first: the proc series re-executes this binary with the
+    // ring fd in the environment; it must never fall through to criterion.
+    if let Ok(fd) = std::env::var("RAFT_BENCH_PROC_WORKER") {
+        let beat = std::env::var("RAFT_BENCH_PROC_BEAT").is_ok();
+        proc_drain_worker(fd.parse().expect("worker ring fd"), beat);
+        return;
+    }
     if std::env::args().any(|a| a == "--json") {
-        json_mode(std::env::args().any(|a| a == "--assert-journal"));
+        json_mode(
+            std::env::args().any(|a| a == "--assert-journal"),
+            std::env::args().any(|a| a == "--assert-proc"),
+        );
         return;
     }
     benches();

@@ -206,8 +206,13 @@ pub type SupervisionRates = (f64, f64, f64, f64);
 /// The series behind `BENCH_supervision.json`: interleaved best-of-N rates
 /// (peak rate is far more stable than a mean across whole-map executions,
 /// which carry thread-spawn and scheduler noise) plus derived overhead
-/// percentages. Returns `(path, rates)`.
-pub fn supervision_json_series() -> std::io::Result<(std::path::PathBuf, SupervisionRates)> {
+/// percentages. `include_proc` adds the cross-process series — supervised
+/// worker process vs bare fork — and is only valid from a binary that
+/// understands `RAFT_BENCH_PROC_WORKER` (the supervision bench). Returns
+/// `(path, rates, proc_rates)`.
+pub fn supervision_json_series(
+    include_proc: bool,
+) -> std::io::Result<(std::path::PathBuf, SupervisionRates, ProcRates)> {
     // (supervised, watchdog, journaled) per variant.
     const VARIANTS: [(bool, bool, bool); 4] = [
         (false, false, false),
@@ -244,8 +249,178 @@ pub fn supervision_json_series() -> std::io::Result<(std::path::PathBuf, Supervi
         "journaled_overhead_percent",
         (supervised - journaled) / supervised * 100.0,
     );
+    let proc_rates = if include_proc { proc_series() } else { None };
+    if let Some((bare, proc_supervised)) = proc_rates {
+        report.push("proc_bare_fork_melems_per_s", bare);
+        report.push("proc_supervised_melems_per_s", proc_supervised);
+        report.push(
+            "proc_supervisor_overhead_percent",
+            (bare - proc_supervised) / bare * 100.0,
+        );
+    }
     let path = report.write()?;
-    Ok((path, (baseline, supervised, watchdog, journaled)))
+    Ok((
+        path,
+        (baseline, supervised, watchdog, journaled),
+        proc_rates,
+    ))
+}
+
+/// Items streamed to the worker process in the proc-supervision series.
+pub const PROC_ITEMS: u64 = 1_000_000;
+
+/// Worker half of the proc series (this bench binary, re-executed with
+/// `RAFT_BENCH_PROC_WORKER=<ring_fd>`): drain u64s from the inherited shm
+/// ring until the producer closes. The supervised variant also sets
+/// `RAFT_BENCH_PROC_BEAT=1`, which makes the worker honour the heartbeat
+/// contract. Beat granularity is the worker's choice — the watcher only
+/// needs progress at least once per wedge interval — so the hot path
+/// batches one beat per [`PROC_BEAT_EVERY`] pops (a beat is a fetch_add,
+/// a `SeqCst` fence, and an RMW on the shared header line; per-element it
+/// would dominate an 8-byte payload) and beats on every empty poll, where
+/// a stall is what the watcher actually needs to distinguish from a wedge.
+pub fn proc_drain_worker(ring_fd: i32, beat: bool) {
+    use raft_buffer::shm::ShmRing;
+    use raft_buffer::TryPopError;
+    const PROC_BEAT_EVERY: u32 = 1024;
+    let mut ring = ShmRing::<u64>::attach_consumer(ring_fd).expect("attach ring");
+    let seg = ring.segment_shared();
+    let mut sink = 0u64;
+    let mut since_beat = 0u32;
+    loop {
+        match ring.try_pop() {
+            Ok(v) => {
+                sink = sink.wrapping_add(v);
+                since_beat += 1;
+                if beat && since_beat >= PROC_BEAT_EVERY {
+                    seg.heartbeat().beat();
+                    since_beat = 0;
+                }
+            }
+            Err(TryPopError::Empty) => {
+                if beat {
+                    seg.heartbeat().beat();
+                    since_beat = 0;
+                }
+                std::thread::yield_now();
+            }
+            Err(TryPopError::Closed) => break,
+        }
+    }
+    if beat {
+        seg.heartbeat().beat(); // final beat: wakes a parked watcher promptly
+    }
+    std::hint::black_box(sink);
+}
+
+/// One timed parent→worker-process stream, as Melems/s: push
+/// [`PROC_ITEMS`] u64s through an shm ring to a re-exec'd worker.
+/// `supervised` runs the worker under [`ProcSupervisor`] (watcher thread,
+/// heartbeat protocol, role bookkeeping); bare mode is a plain
+/// `Command::spawn`. The clock covers spawn + streaming until the worker
+/// drains the last element; the reap is left outside it because its
+/// latencies are fixed constants of a different shape (bare `wait()`
+/// returns on exit, the watcher notices within one park slice) that would
+/// drown the per-element cost this series exists to bound.
+pub fn proc_rate(supervised: bool) -> f64 {
+    use raft_buffer::shm::ShmRing;
+    use raftlib::{ProcPolicy, ProcSupervisor, SegmentLink, WorkerSpec};
+    use std::process::Command;
+    use std::sync::atomic::Ordering::Acquire;
+
+    let (mut producer, fd) = ShmRing::<u64>::create_producer(1024).expect("create ring");
+    let seg_probe = producer.segment_shared();
+    let drained = |seg: &raft_buffer::ShmSegment| {
+        while seg.tail().load(Acquire) != seg.head().load(Acquire) {
+            std::thread::yield_now();
+        }
+    };
+    let exe = std::env::current_exe().expect("current exe");
+    if supervised {
+        let seg = producer.segment_shared();
+        let factory = move |_attempt: u32| {
+            let mut cmd = Command::new(&exe);
+            cmd.env("RAFT_BENCH_PROC_WORKER", fd.to_string())
+                .env("RAFT_BENCH_PROC_BEAT", "1");
+            cmd
+        };
+        let t0 = std::time::Instant::now();
+        let mut sup = ProcSupervisor::new();
+        sup.spawn(
+            WorkerSpec::new("bench-worker", factory)
+                .policy(ProcPolicy::restart(3))
+                .wedge_timeout(std::time::Duration::from_secs(10))
+                .link(SegmentLink::new(seg.clone(), false))
+                .heartbeat_on(seg),
+        )
+        .expect("spawn supervised worker");
+        for i in 0..PROC_ITEMS {
+            let _ = producer.push(i);
+        }
+        drained(&seg_probe);
+        let rate = PROC_ITEMS as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        drop(producer); // close flag + futex notify: worker exits
+        let reports = sup.join(std::time::Duration::from_secs(60));
+        assert_eq!(
+            reports[0].outcome,
+            raftlib::KernelOutcome::Completed,
+            "supervised bench worker did not complete"
+        );
+        rate
+    } else {
+        let t0 = std::time::Instant::now();
+        let mut child = Command::new(&exe)
+            .env("RAFT_BENCH_PROC_WORKER", fd.to_string())
+            .spawn()
+            .expect("spawn bare worker");
+        for i in 0..PROC_ITEMS {
+            let _ = producer.push(i);
+        }
+        drained(&seg_probe);
+        let rate = PROC_ITEMS as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        drop(producer);
+        assert!(child.wait().expect("wait worker").success());
+        rate
+    }
+}
+
+/// Best-of-N rates `(bare fork, supervised)` of the proc series, in
+/// Melems/s. `None` on platforms without `memfd_create`. Only valid when
+/// the current binary understands `RAFT_BENCH_PROC_WORKER` (the
+/// supervision bench does).
+pub type ProcRates = Option<(f64, f64)>;
+
+fn proc_series() -> ProcRates {
+    use raft_buffer::shm::ShmSegment;
+    if !ShmSegment::memfd_supported() {
+        return None;
+    }
+    // warm-up round for page faults and the exec cache
+    let _ = proc_rate(false);
+    let _ = proc_rate(true);
+    let mut best = (0.0f64, 0.0f64);
+    for _ in 0..5 {
+        best.0 = best.0.max(proc_rate(false));
+        best.1 = best.1.max(proc_rate(true));
+    }
+    Some(best)
+}
+
+/// CI gate for the process supervisor's fault-free cost: a supervised
+/// worker process must stream within 5% of a bare `fork`/`wait` of the
+/// same worker, measured interleaved in the same run.
+pub fn assert_proc_overhead(rates: &ProcRates) -> Result<(), String> {
+    let Some((bare, supervised)) = *rates else {
+        return Ok(()); // no memfd: nothing measured, nothing gated
+    };
+    let overhead = (bare - supervised) / bare * 100.0;
+    if overhead >= 5.0 {
+        return Err(format!(
+            "proc supervisor fault-free overhead {overhead:.2}% >= 5% budget \
+             (bare fork {bare:.3} vs supervised {supervised:.3} Melem/s)"
+        ));
+    }
+    Ok(())
 }
 
 /// CI gate for the recovery contract's fault-free cost: journaling every

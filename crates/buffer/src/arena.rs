@@ -46,6 +46,19 @@
 //! ring tail); the consumer's Acquire pop makes the payload bytes visible
 //! before `resolve` reads them. Handing a descriptor to the peer by any
 //! channel without a release/acquire edge is outside the contract.
+//!
+//! ## Surviving a dead consumer
+//!
+//! A SIGKILL'd Rx process leaves live-generation slots it will never free
+//! and possibly a half-finished free (generation flipped even, free-ring
+//! entry never published). After the supervisor has reaped the worker and
+//! revoked its role word, [`ArenaTx::sweep_orphans`] repairs both: it
+//! re-enrolls every slot that is neither free-ring-enrolled nor still
+//! referenced by a journaled in-flight descriptor. [`DescriptorSender`]
+//! packages the full producer-side recovery contract — journaled
+//! descriptor ring ([`crate::shm::JournaledShmProducer`]) plus arena
+//! sweep — so a respawned worker re-attaches and replays exactly the
+//! unacknowledged suffix over payload slots the sweep left untouched.
 
 use std::io;
 use std::sync::atomic::{
@@ -56,7 +69,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::index::{consumer_ready_elems, producer_free_slots};
-use crate::shm::{ShmItem, ShmSegment, SEG_KIND_ARENA};
+use crate::shm::{JournaledShmProducer, ShmItem, ShmRingProducer, ShmSegment, SEG_KIND_ARENA};
 use crate::wait::{WaitAction, WaitStrategy, Waiter};
 
 /// Park bound for [`ArenaTx::wait_free_slot`]: the relaxed-armed futex
@@ -505,9 +518,73 @@ impl ArenaTx {
         (seg.tail().load(Acquire) as usize).saturating_sub(self.free_head)
     }
 
+    /// Reclaim slots orphaned by a dead consumer. Caller contract: the Rx
+    /// role holder is dead **and reaped**, and its role word has been
+    /// revoked — the sweep temporarily acts as the free ring's producer,
+    /// which is sound only while no live Rx exists.
+    ///
+    /// Three crash windows are repaired, keyed off each slot's generation
+    /// word and the free ring's *shared* tail (the dead Rx's local tail
+    /// mirror died with it, so the shared word is authoritative):
+    ///
+    /// * **live orphan** — odd generation, not `in_flight`: the worker
+    ///   died holding the payload past its commit; bump even, re-enroll;
+    /// * **mid-free loss** — even generation, not enrolled in
+    ///   `[head, tail)`: the worker died between its generation CAS and
+    ///   the free-ring publish; re-enroll;
+    /// * **torn enrollment** — an entry written at the shared tail whose
+    ///   publish never landed: overwritten by the re-enrollment there.
+    ///
+    /// `in_flight(slot, generation)` must return `true` for descriptors a
+    /// journal will re-deliver: their payload bytes survive untouched, so
+    /// the replacement worker resolves them as if nothing happened.
+    /// Returns the number of slots re-enrolled.
+    pub fn sweep_orphans(&mut self, in_flight: impl Fn(u32, u32) -> bool) -> usize {
+        let seg = &*self.core.seg;
+        let head = seg.head().load(Acquire) as usize;
+        let mut tail = seg.tail().load(Acquire) as usize;
+        let mut enrolled = vec![false; self.core.geo.slots];
+        for idx in head..tail {
+            // SAFETY: masked index inside the free-ring array; entries in
+            // [head, tail) were published by a Release store of the tail.
+            let s = unsafe { self.core.free_entry_ptr(idx).read() } as usize;
+            if s < self.core.geo.slots {
+                enrolled[s] = true;
+            }
+        }
+        let mut swept = 0;
+        for (slot, slot_enrolled) in enrolled.iter().enumerate() {
+            let gen = self.core.generation(slot);
+            let g = gen.load(Acquire);
+            if g & 1 == 1 {
+                if in_flight(slot as u32, g) {
+                    continue;
+                }
+                gen.store(g.wrapping_add(1), Release);
+            } else if *slot_enrolled {
+                continue;
+            }
+            // SAFETY: acting as the free-ring producer under the caller
+            // contract (Rx dead, role revoked); fcap ≥ slots bounds the
+            // enrolled count so the ring cannot overflow; masked in-bounds.
+            unsafe { self.core.free_entry_ptr(tail).write(slot as u32) };
+            tail += 1;
+            swept += 1;
+        }
+        seg.tail().store(tail as u64, Release);
+        self.free_tail_cache = tail;
+        swept
+    }
+
     /// The backing segment (fd for the peer attach).
     pub fn segment(&self) -> &ShmSegment {
         &self.core.seg
+    }
+
+    /// An owned handle on the backing segment (supervisor bookkeeping
+    /// outlives the endpoint that created it).
+    pub fn segment_shared(&self) -> Arc<ShmSegment> {
+        self.core.seg.clone()
     }
 }
 
@@ -582,6 +659,12 @@ impl ArenaRx {
     pub fn segment(&self) -> &ShmSegment {
         &self.core.seg
     }
+
+    /// An owned handle on the backing segment (see
+    /// [`ArenaTx::segment_shared`]).
+    pub fn segment_shared(&self) -> Arc<ShmSegment> {
+        self.core.seg.clone()
+    }
 }
 
 impl Drop for ArenaRx {
@@ -590,6 +673,141 @@ impl Drop for ArenaRx {
         // Full-contract notify: a producer parked in `wait_free_slot` right
         // now must see that no slot will ever come back.
         self.core.seg.producer_waker().notify();
+    }
+}
+
+/// What [`DescriptorSender::send_bytes`] did with the payload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendOutcome {
+    /// Journaled and pushed (or retained for replay if the ring closed
+    /// mid-push — either way the payload will reach a worker).
+    Sent,
+    /// Not accepted *yet*: every arena slot is in flight, or a recovery
+    /// window is open. Nothing was journaled; retry the same payload.
+    Busy,
+}
+
+/// Producer-side bundle for a supervised descriptor link: an [`ArenaTx`]
+/// for the payload bytes plus a journaled descriptor ring
+/// ([`JournaledShmProducer<Descriptor>`]) for exactly-once re-delivery
+/// across worker deaths.
+///
+/// The worker-side contract that recovery relies on, per descriptor:
+/// resolve → process → *publish the result* → bump the ring segment's
+/// [`commit word`](ShmSegment::commit_word) to `seq + 1` → **then** free
+/// the slot. Freeing before committing would let a sweep-surviving replay
+/// hand the replacement worker a stale descriptor.
+///
+/// Supervisor recovery sequence after kill + reap + role revocation (both
+/// segments): [`Self::begin_recovery`] → reopen roles → respawn →
+/// [`Self::replay`].
+pub struct DescriptorSender {
+    tx: ArenaTx,
+    ring: JournaledShmProducer<Descriptor>,
+}
+
+impl DescriptorSender {
+    /// Bundle `tx` and `ring` with a journal bound of `journal_bound`
+    /// unacknowledged descriptors (see [`JournaledShmProducer::new`]).
+    pub fn new(tx: ArenaTx, ring: ShmRingProducer<Descriptor>, journal_bound: usize) -> Self {
+        DescriptorSender {
+            tx,
+            ring: JournaledShmProducer::new(ring, journal_bound),
+        }
+    }
+
+    /// Stage `payload` into an arena slot and journal + push its
+    /// descriptor. [`SendOutcome::Busy`] (arena full or recovering) leaves
+    /// no trace — the caller retries, typically after
+    /// [`Self::wait_arena_slot`].
+    pub fn send_bytes(&mut self, payload: &[u8]) -> SendOutcome {
+        if self.ring.recovering() {
+            return SendOutcome::Busy;
+        }
+        match self.tx.push_bytes(payload) {
+            Some(d) => {
+                // Cannot return false: the recovering gate was checked
+                // above and nothing in between opens a window.
+                let sent = self.ring.send(d);
+                debug_assert!(sent);
+                SendOutcome::Sent
+            }
+            None => SendOutcome::Busy,
+        }
+    }
+
+    /// Park until a recycled arena slot is probably available; `false`
+    /// means the consuming side is gone (see [`ArenaTx::wait_free_slot`]).
+    pub fn wait_arena_slot(&mut self) -> bool {
+        self.tx.wait_free_slot()
+    }
+
+    /// Retire journal entries the worker has committed.
+    pub fn ack_committed(&mut self) -> usize {
+        self.ring.ack_committed()
+    }
+
+    /// Descriptors journaled but not yet committed by the worker.
+    pub fn pending(&self) -> usize {
+        self.ring.pending()
+    }
+
+    /// `true` while sends are gated by an open recovery window.
+    pub fn recovering(&self) -> bool {
+        self.ring.recovering()
+    }
+
+    /// Open the recovery window: drain the dead worker's un-popped
+    /// descriptor residue, fold its final commit into the journal, and
+    /// sweep arena slots not referenced by the unacknowledged suffix.
+    /// Returns `(ring residue drained, arena slots swept)`.
+    ///
+    /// Caller contract: the worker is dead and reaped, and its consumer
+    /// roles on **both** segments have been revoked.
+    pub fn begin_recovery(&mut self) -> (u64, usize) {
+        let drained = self.ring.begin_recovery();
+        let keep: Vec<(u32, u32)> = self
+            .ring
+            .window()
+            .iter_from(self.ring.window().acked())
+            .map(|&(_, d)| (d.slot, d.generation))
+            .collect();
+        let swept = self
+            .tx
+            .sweep_orphans(|slot, generation| keep.contains(&(slot, generation)));
+        (drained, swept)
+    }
+
+    /// Re-push the unacknowledged descriptors in journal order and close
+    /// the recovery window. Returns descriptors re-pushed.
+    pub fn replay(&mut self) -> usize {
+        self.ring.replay_unacked()
+    }
+
+    /// The descriptor ring's backing segment (roles, commit word,
+    /// heartbeat live here).
+    pub fn ring_segment(&self) -> &ShmSegment {
+        self.ring.segment()
+    }
+
+    /// Owned handle on the descriptor ring's segment.
+    pub fn ring_segment_shared(&self) -> Arc<ShmSegment> {
+        self.ring.segment_shared()
+    }
+
+    /// The arena's backing segment.
+    pub fn arena_segment(&self) -> &ShmSegment {
+        self.tx.segment()
+    }
+
+    /// Owned handle on the arena's segment.
+    pub fn arena_segment_shared(&self) -> Arc<ShmSegment> {
+        self.tx.segment_shared()
+    }
+
+    /// The underlying arena allocator.
+    pub fn arena(&mut self) -> &mut ArenaTx {
+        &mut self.tx
     }
 }
 
@@ -723,5 +941,124 @@ mod tests {
         let d = tx.push_bytes(b"via second mapping").unwrap();
         assert_eq!(rx.resolve(&d).unwrap(), b"via second mapping");
         rx.free(d).unwrap();
+    }
+
+    #[test]
+    fn sweep_reclaims_orphans_and_spares_in_flight() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        let (mut tx, fd) = ShmArena::create_tx(4, 32).unwrap();
+        let mut rx = ShmArena::attach_rx(fd).unwrap();
+        // d1 stays in flight (a journal would replay it), d2 is orphaned
+        // live, d3 was freed properly before the "kill".
+        let d1 = tx.push_bytes(b"keep").unwrap();
+        let d2 = tx.push_bytes(b"orphan").unwrap();
+        let d3 = tx.push_bytes(b"freed").unwrap();
+        rx.free(d3).unwrap();
+        // SIGKILL: no drop glue runs; the role stays claimed.
+        let gen = tx.segment().role_generation(false);
+        std::mem::forget(rx);
+        tx.segment().revoke_role(false, gen).unwrap();
+        let swept = tx.sweep_orphans(|slot, g| (slot, g) == (d1.slot, d1.generation));
+        assert_eq!(swept, 1, "only the orphan is reclaimed");
+        tx.segment().reopen_role(false);
+        // The replacement consumer resolves the surviving in-flight
+        // payload; the swept orphan is stale.
+        let mut rx2 = ShmArena::attach_rx(fd).unwrap();
+        assert_eq!(rx2.resolve(&d1).unwrap(), b"keep");
+        assert_eq!(rx2.resolve(&d2), Err(ArenaError::Stale));
+        rx2.free(d1).unwrap();
+        // Every slot is allocatable again: nothing leaked.
+        for _ in 0..4 {
+            assert!(tx.push_bytes(b"x").is_some());
+        }
+    }
+
+    #[test]
+    fn descriptor_sender_busy_when_arena_full() {
+        use crate::shm::ShmRing;
+        let (arena_tx, arena_rx) = ShmArena::pair(2, 32);
+        let (ring_p, mut ring_c) = ShmRing::<Descriptor>::pair(8);
+        // pair() claims both arena roles; we only exercise the Tx side.
+        let mut rx = arena_rx;
+        let mut sender = DescriptorSender::new(arena_tx, ring_p, 16);
+        assert_eq!(sender.send_bytes(b"a"), SendOutcome::Sent);
+        assert_eq!(sender.send_bytes(b"b"), SendOutcome::Sent);
+        assert_eq!(sender.send_bytes(b"c"), SendOutcome::Busy);
+        assert_eq!(sender.pending(), 2);
+        // Worker frees a slot: the retry goes through.
+        let d = ring_c.try_pop().unwrap();
+        assert_eq!(rx.resolve(&d).unwrap(), b"a");
+        rx.free(d).unwrap();
+        assert!(sender.wait_arena_slot());
+        assert_eq!(sender.send_bytes(b"c"), SendOutcome::Sent);
+    }
+
+    #[test]
+    fn descriptor_sender_recovers_across_simulated_kill() {
+        use crate::shm::ShmRing;
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        let (arena_tx, arena_fd) = ShmArena::create_tx(8, 32).unwrap();
+        let (ring_p, ring_fd) = ShmRing::<Descriptor>::create_producer(8).unwrap();
+        let mut sender = DescriptorSender::new(arena_tx, ring_p, 32);
+        let mut rx = ShmArena::attach_rx(arena_fd).unwrap();
+        let mut c = ShmRing::<Descriptor>::attach_consumer(ring_fd).unwrap();
+
+        for i in 0..6u8 {
+            assert_eq!(sender.send_bytes(&[i; 8]), SendOutcome::Sent);
+        }
+        // Worker contract: resolve → publish result → commit → free.
+        for i in 0..3u8 {
+            let d = c.try_pop().unwrap();
+            assert_eq!(rx.resolve(&d).unwrap(), &[i; 8][..]);
+            sender
+                .ring_segment()
+                .commit_word()
+                .store(i as u64 + 1, Release);
+            rx.free(d).unwrap();
+        }
+        // Pops one more, then dies before committing it: that descriptor
+        // and the two un-popped ones are the unacknowledged suffix.
+        let _in_flight = c.try_pop().unwrap();
+        let ring_gen = sender.ring_segment().role_generation(false);
+        let arena_gen = sender.arena_segment().role_generation(false);
+        std::mem::forget(c);
+        std::mem::forget(rx);
+
+        // Supervisor path: revoke both consumer roles, recover, reopen.
+        sender.ring_segment().revoke_role(false, ring_gen).unwrap();
+        sender
+            .arena_segment()
+            .revoke_role(false, arena_gen)
+            .unwrap();
+        let (drained, swept) = sender.begin_recovery();
+        assert_eq!(drained, 2, "two descriptors never popped");
+        assert_eq!(swept, 0, "every live slot is journal-referenced");
+        assert_eq!(sender.pending(), 3);
+        assert_eq!(sender.send_bytes(b"zz"), SendOutcome::Busy);
+        sender.ring_segment().reopen_role(false);
+        sender.arena_segment().reopen_role(false);
+
+        // Respawned worker re-attaches and receives exactly the
+        // unacknowledged suffix, payload bytes intact.
+        let mut c2 = ShmRing::<Descriptor>::attach_consumer(ring_fd).unwrap();
+        let mut rx2 = ShmArena::attach_rx(arena_fd).unwrap();
+        assert_eq!(sender.replay(), 3);
+        for i in 3..6u8 {
+            let d = c2.try_pop().unwrap();
+            assert_eq!(rx2.resolve(&d).unwrap(), &[i; 8][..]);
+            sender
+                .ring_segment()
+                .commit_word()
+                .store(i as u64 + 1, Release);
+            rx2.free(d).unwrap();
+        }
+        sender.ack_committed();
+        assert_eq!(sender.pending(), 0);
     }
 }

@@ -53,7 +53,9 @@ pub(crate) mod sync;
 pub mod wait;
 pub mod waker;
 
-pub use arena::{ArenaError, ArenaRx, ArenaTx, Descriptor, ShmArena};
+pub use arena::{
+    ArenaError, ArenaRx, ArenaTx, Descriptor, DescriptorSender, SendOutcome, ShmArena,
+};
 pub use error::{PopError, PushError, TryPopError, TryPushError};
 pub use fence::{ResizeFence, Role};
 pub use fifo::{
@@ -61,7 +63,7 @@ pub use fifo::{
     WriteSlice, DRAIN_DRAINING, DRAIN_QUIESCED, DRAIN_RUNNING,
 };
 pub use journal::{AdmissionPolicy, JournalConfig, ReplayWindow};
-pub use shm::{ShmRing, ShmSegment};
+pub use shm::{Heartbeat, JournaledShmProducer, ShmRing, ShmSegment};
 pub use signal::Signal;
 pub use spsc::BoundedSpsc;
 pub use stats::{FifoStats, StatsSnapshot};

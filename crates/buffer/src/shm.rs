@@ -46,6 +46,27 @@
 //! bit pattern is a value, never UB), and counters are only compared with
 //! wrapping arithmetic. A byzantine peer can deliver garbage elements — it
 //! cannot make this process read or write out of bounds.
+//!
+//! ## Role reclaim (generations)
+//!
+//! The producer/consumer role words are **generation counters**: even =
+//! free at generation *g*, odd = claimed. A fresh segment starts at 0;
+//! claiming CASes even→odd, and a supervisor that has *reaped* a dead
+//! role-holder revokes the claim by CASing that exact odd generation back
+//! to even ([`ShmSegment::revoke_role`]) — a mismatched generation is
+//! refused, so a live (or already-reclaimed) worker's role can never be
+//! stolen out from under it. A respawned worker then claims the next odd
+//! generation and resumes over the same mapping. Anything the dead worker
+//! left behind fails cleanly against the new epoch: its arena descriptors
+//! carry stale slot generations, its futex arms cost at most one bounded
+//! park, and its un-popped ring residue is discarded by
+//! [`ShmSegment::drain_residue`] before the journal replays it.
+//!
+//! The header also carries a heartbeat eventcount ([`ShmSegment::heartbeat`])
+//! a worker bumps per processed item and a watcher futex-parks on, plus a
+//! cumulative commit word ([`ShmSegment::commit_word`]) — the cross-process
+//! ack cursor that lets the parent's [`JournaledShmProducer`] retire replay
+//! entries the worker has fully processed.
 
 use std::io;
 use std::marker::PhantomData;
@@ -59,12 +80,17 @@ use std::time::Duration;
 use crate::error::{PopError, PushError, TryPopError, TryPushError};
 use crate::futex::FutexWaker;
 use crate::index::{consumer_ready_elems, producer_free_slots};
+use crate::journal::ReplayWindow;
 use crate::wait::{WaitAction, WaitStrategy, Waiter};
 
 /// "RAFTSHM\0" — first eight bytes of every segment.
 pub const SEG_MAGIC: u64 = 0x5241_4654_5348_4d00;
-/// Bumped on any incompatible layout change; attach requires equality.
-pub const SEG_SCHEMA: u32 = 1;
+/// Bumped on any incompatible layout or protocol change; attach requires
+/// equality. Schema 2 added generation-bumped role reclaim and the
+/// heartbeat/commit supervision words — a schema-1 peer would treat a
+/// revoked role word as "claimed forever", so the bump keeps mixed builds
+/// from silently disagreeing about liveness.
+pub const SEG_SCHEMA: u32 = 2;
 /// Header `kind` for an SPSC ring segment.
 pub const SEG_KIND_RING: u32 = 1;
 /// Header `kind` for an arena segment (see [`crate::arena`]).
@@ -95,6 +121,11 @@ const OFF_PROD_SEQ: usize = 212;
 const OFF_CLAIM_PRODUCER: usize = 216;
 const OFF_CLAIM_CONSUMER: usize = 220;
 const OFF_USER_WORD: usize = 224;
+/// Supervision words (schema 2): heartbeat eventcount (armed + seq) and
+/// the worker's cumulative commit cursor. Bytes 248–255 remain reserved.
+const OFF_HB_ARMED: usize = 232;
+const OFF_HB_SEQ: usize = 236;
+const OFF_COMMIT: usize = 240;
 /// First data byte (for alignments ≤ 256).
 pub const DATA_OFFSET: usize = 256;
 
@@ -640,16 +671,181 @@ impl ShmSegment {
         self.u64_at(OFF_USER_WORD)
     }
 
-    /// Claim the producer or consumer role exactly once per segment
-    /// lifetime; `false` means another handle (possibly in another
-    /// process) already holds it.
-    pub fn claim_role(&self, producer: bool) -> bool {
-        let word = self.u32_at(if producer {
+    #[inline]
+    fn role_word(&self, producer: bool) -> &AtomicU32 {
+        self.u32_at(if producer {
             OFF_CLAIM_PRODUCER
         } else {
             OFF_CLAIM_CONSUMER
-        });
-        word.compare_exchange(0, 1, Acquire, Relaxed).is_ok()
+        })
+    }
+
+    /// Claim the producer or consumer role; `false` means another handle
+    /// (possibly in another process) currently holds it. See
+    /// [`Self::claim_role_generation`] for the generation protocol.
+    pub fn claim_role(&self, producer: bool) -> bool {
+        self.claim_role_generation(producer).is_some()
+    }
+
+    /// Claim a role and return the odd generation the claim landed on.
+    ///
+    /// The role word is a generation counter: even = free, odd = claimed.
+    /// The claim CASes the current even value to the next odd one, so a
+    /// role that was revoked after a worker death ([`Self::revoke_role`])
+    /// is claimable again — at a *new* generation, which is what makes the
+    /// dead worker's leftovers detectable as stale.
+    pub fn claim_role_generation(&self, producer: bool) -> Option<u32> {
+        let word = self.role_word(producer);
+        let mut cur = word.load(Relaxed);
+        loop {
+            if cur & 1 == 1 {
+                return None; // currently claimed
+            }
+            let next = cur.wrapping_add(1);
+            match word.compare_exchange(cur, next, Acquire, Relaxed) {
+                Ok(_) => return Some(next),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Current role-word value (odd = claimed, even = free). The value a
+    /// supervisor snapshots before attempting [`Self::revoke_role`].
+    pub fn role_generation(&self, producer: bool) -> u32 {
+        self.role_word(producer).load(Acquire)
+    }
+
+    /// Revoke a dead holder's role claim: CAS the exact odd generation
+    /// `expected` back to even, freeing the role for a respawned worker.
+    ///
+    /// Returns the new (even) generation on success and the *current* word
+    /// value on refusal. Refusals are the trust model: a caller may only
+    /// revoke a generation it observed from a worker it has itself killed
+    /// and reaped — if the word moved (the role was already reclaimed and
+    /// re-claimed, or `expected` never was the live claim), the CAS fails
+    /// rather than yanking a live worker's role.
+    pub fn revoke_role(&self, producer: bool, expected: u32) -> Result<u32, u32> {
+        if expected & 1 == 0 {
+            return Err(self.role_generation(producer));
+        }
+        let next = expected.wrapping_add(1);
+        match self
+            .role_word(producer)
+            .compare_exchange(expected, next, Acquire, Acquire)
+        {
+            Ok(_) => Ok(next),
+            Err(cur) => Err(cur),
+        }
+    }
+
+    /// Clear one side's closed flag — the respawn path's "reopen": the
+    /// supervisor wrote the dead worker's closed flag at reap time (so
+    /// blocked peers unpark promptly) and clears it here, after the role
+    /// is revoked and before the replacement worker is spawned.
+    pub fn reopen_role(&self, producer: bool) {
+        if producer {
+            self.producer_closed().store(0, Release);
+        } else {
+            self.consumer_closed().store(0, Release);
+        }
+    }
+
+    /// Discard every un-popped element: advance `head` to `tail`, returning
+    /// the number of elements dropped.
+    ///
+    /// Only meaningful on a **ring** segment whose consumer role is dead
+    /// and revoked — the residue is what the dead worker never popped, and
+    /// the journal replays it (plus anything popped-but-uncommitted) to the
+    /// replacement, so dropping it here is what prevents duplicates. The
+    /// producer side only ever observes head moving forward (more room),
+    /// which its cached index absorbs like any other pop.
+    pub fn drain_residue(&self) -> u64 {
+        let tail = self.tail().load(Acquire);
+        let head = self.head().load(Acquire);
+        let n = tail.saturating_sub(head);
+        if n > 0 {
+            self.head().store(tail, Release);
+        }
+        n
+    }
+
+    /// Cross-process heartbeat over the header's eventcount words.
+    #[inline]
+    pub fn heartbeat(&self) -> Heartbeat<'_> {
+        Heartbeat {
+            armed: self.u32_at(OFF_HB_ARMED),
+            seq: self.u32_at(OFF_HB_SEQ),
+        }
+    }
+
+    /// The worker's cumulative commit cursor: how many journal entries it
+    /// has *fully processed* (results published). The parent acks its
+    /// [`JournaledShmProducer`] window up to this value; a worker that
+    /// dies between publishing a result and bumping this word is replayed
+    /// from the last commit, and the duplicate result is deduplicated by
+    /// its sequence number downstream.
+    #[inline]
+    pub fn commit_word(&self) -> &AtomicU64 {
+        self.u64_at(OFF_COMMIT)
+    }
+}
+
+/// Heartbeat eventcount over two header words — like [`FutexWaker`] but
+/// **level-preserving**: every [`Heartbeat::beat`] bumps `seq` whether or
+/// not a watcher is armed, because the count itself is the liveness signal
+/// (a waker-style claimed-arm-only bump would let beats land invisibly
+/// between arms and a healthy worker would read as wedged).
+///
+/// Watcher protocol: `let epoch = arm();` → if `epoch` moved since the last
+/// observation the worker is alive (disarm and record it); otherwise
+/// `wait(epoch, slice)` futex-parks until the next beat or the bounded
+/// slice elapses. The arm/fence pairing with `beat` is the same Dekker
+/// store-buffering argument as `futex.rs`: a beat that misses the armed
+/// flag is visible in the epoch the watcher re-reads, and vice versa.
+#[derive(Clone, Copy)]
+pub struct Heartbeat<'a> {
+    armed: &'a AtomicU32,
+    seq: &'a AtomicU32,
+}
+
+impl Heartbeat<'_> {
+    /// Worker side: bump the count and wake an armed watcher.
+    #[inline]
+    pub fn beat(&self) {
+        self.seq.fetch_add(1, Release);
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        if self.armed.swap(0, Relaxed) == 1 {
+            crate::futex::futex_wake(self.seq, u32::MAX);
+        }
+    }
+
+    /// Current beat count.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.seq.load(Acquire)
+    }
+
+    /// Watcher side: announce intent to sleep, returning the epoch to
+    /// compare/wait against. Any beat ordered before the fence is visible
+    /// in the returned epoch.
+    #[inline]
+    pub fn arm(&self) -> u32 {
+        self.armed.store(1, Relaxed);
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        self.seq.load(Relaxed)
+    }
+
+    /// Watcher side: withdraw interest (the re-check found a fresh beat).
+    #[inline]
+    pub fn disarm(&self) {
+        self.armed.store(0, Relaxed);
+    }
+
+    /// Watcher side: sleep until the count moves past `epoch` or `timeout`
+    /// elapses; always re-read [`Self::count`] after.
+    #[inline]
+    pub fn wait(&self, epoch: u32, timeout: Duration) -> bool {
+        crate::futex::futex_wait(self.seq, epoch, Some(timeout))
     }
 }
 
@@ -991,6 +1187,13 @@ impl<T: ShmItem> ShmRingProducer<T> {
     pub fn segment(&self) -> &ShmSegment {
         &self.seg
     }
+
+    /// An owned handle on the backing segment — what a supervisor keeps so
+    /// it can write close flags and revoke roles while the producer handle
+    /// itself sits behind a lock.
+    pub fn segment_shared(&self) -> Arc<ShmSegment> {
+        self.seg.clone()
+    }
 }
 
 impl<T> Drop for ShmRingProducer<T> {
@@ -1110,6 +1313,12 @@ impl<T: ShmItem> ShmRingConsumer<T> {
     pub fn segment(&self) -> &ShmSegment {
         &self.seg
     }
+
+    /// An owned handle on the backing segment (see
+    /// [`ShmRingProducer::segment_shared`]).
+    pub fn segment_shared(&self) -> Arc<ShmSegment> {
+        self.seg.clone()
+    }
 }
 
 impl<T> Drop for ShmRingConsumer<T> {
@@ -1124,6 +1333,178 @@ impl<T> Drop for ShmRingConsumer<T> {
 unsafe impl<T: ShmItem> Send for ShmRingProducer<T> {}
 // SAFETY: see ShmRingProducer.
 unsafe impl<T: ShmItem> Send for ShmRingConsumer<T> {}
+
+// ---------------------------------------------------------------------------
+// Journaled producer — cross-process exactly-once on top of the ring
+// ---------------------------------------------------------------------------
+
+/// A [`ShmRingProducer`] with a [`ReplayWindow`] in front of it: the
+/// cross-process half of the PR 7 recovery contract.
+///
+/// Every sent element is journaled *before* it is pushed, acknowledged only
+/// when the consuming worker advances the segment's
+/// [`commit word`](ShmSegment::commit_word), and re-delivered in order by
+/// [`Self::replay_unacked`] after the supervisor has reaped the dead
+/// worker, revoked its role, and [drained](ShmSegment::drain_residue) the
+/// un-popped residue. Because an element is journaled first, a push that
+/// fails with `Closed` mid-crash is *not* a loss — the entry is retained
+/// and replayed — so [`Self::send`] treats it as sent.
+///
+/// The journal order is the delivery order: [`Self::begin_recovery`] gates
+/// new sends (they return `false`) until `replay_unacked` has re-pushed the
+/// suffix, so a replacement worker never observes a new element ordered
+/// before a replayed one. The worker-side contract that makes the commit
+/// word safe: *publish the result of element `n`, then store `n+1`* — a
+/// death between the two re-delivers element `n`, and the duplicate result
+/// is deduplicated downstream by its sequence number.
+pub struct JournaledShmProducer<T: ShmItem> {
+    ring: ShmRingProducer<T>,
+    window: ReplayWindow<T>,
+    recovering: bool,
+    /// Journal sequence of the next entry still to be re-pushed after a
+    /// recovery (`None`: no replay backlog outstanding). While a backlog
+    /// exists, new sends queue behind it — journal order is delivery
+    /// order — and it drains opportunistically on every
+    /// [`Self::ack_committed`] pump instead of blocking the caller.
+    backlog: Option<u64>,
+}
+
+impl<T: ShmItem> JournaledShmProducer<T> {
+    /// Journal `ring` with at most `bound` unacknowledged entries
+    /// (0 = unbounded). The bound must cover the ring capacity plus the
+    /// worker's commit lag, or forced acks will puncture replay coverage —
+    /// `2 × capacity` is a comfortable floor.
+    pub fn new(ring: ShmRingProducer<T>, bound: usize) -> Self {
+        JournaledShmProducer {
+            ring,
+            window: ReplayWindow::new(bound),
+            recovering: false,
+            backlog: None,
+        }
+    }
+
+    /// Journal `value` and push it, blocking while the ring is full.
+    /// Returns `false` — value **not** journaled, retry later — only while
+    /// a recovery window is open ([`Self::begin_recovery`] has run and
+    /// [`Self::replay_unacked`] has not). A `Closed` push after the journal
+    /// append still returns `true`: the entry is retained for replay.
+    pub fn send(&mut self, value: T) -> bool {
+        if self.recovering {
+            return false;
+        }
+        self.window.append(value);
+        if self.backlog.is_some() {
+            // A replay backlog is still draining: the new entry queues
+            // behind the cursor so journal order stays delivery order.
+            self.push_backlog();
+        } else {
+            // A Closed error here means the worker died (or its reaper
+            // wrote the flag) after the append — exactly the window
+            // replay covers.
+            let _ = self.ring.push(value);
+        }
+        self.ack_committed();
+        true
+    }
+
+    /// Retire journal entries the worker has committed and drain any
+    /// outstanding replay backlog into free ring space. Returns how many
+    /// entries were released. Call this periodically after a recovery: it
+    /// is the pump that finishes a replay too large to fit the ring in
+    /// one go.
+    pub fn ack_committed(&mut self) -> usize {
+        let committed = self.ring.segment().commit_word().load(Acquire);
+        let acked = self.window.ack(committed);
+        if !self.recovering && self.backlog.is_some() {
+            self.push_backlog();
+        }
+        acked
+    }
+
+    /// Re-push backlog entries with `try_push` until the backlog is gone
+    /// or the ring has no room. Never blocks: a supervisor thread calls
+    /// this from its reaction path, and parking it on ring space would
+    /// deadlock if the replacement worker dies mid-replay (nobody left to
+    /// reap it). Returns entries pushed.
+    fn push_backlog(&mut self) -> usize {
+        let mut pushed = 0;
+        while let Some(cursor) = self.backlog {
+            // Forced acks may have dropped entries at the cursor; resume
+            // from the first journaled sequence at or after it.
+            let next = self.window.iter_from(cursor).next().map(|&(s, e)| (s, e));
+            let Some((seq, entry)) = next else {
+                self.backlog = None;
+                break;
+            };
+            match self.ring.try_push(entry) {
+                Ok(()) => {
+                    self.backlog = Some(seq + 1);
+                    pushed += 1;
+                }
+                // Full: retry on a later pump. Closed: the worker died
+                // again; the next recovery cycle rewinds the cursor.
+                Err(_) => break,
+            }
+        }
+        pushed
+    }
+
+    /// Open the recovery window: discard the dead worker's un-popped ring
+    /// residue, fold its final commit into the journal, and gate new sends
+    /// until [`Self::replay_unacked`]. Returns the residue count dropped.
+    ///
+    /// Caller contract: the worker is dead **and reaped**, and its consumer
+    /// role has been revoked — residue draining moves the shared head, which
+    /// only the (now nonexistent) consumer otherwise owns.
+    pub fn begin_recovery(&mut self) -> u64 {
+        self.recovering = true;
+        let dropped = self.ring.segment().drain_residue();
+        self.ack_committed();
+        dropped
+    }
+
+    /// Rewind the replay cursor to the first unacknowledged entry, close
+    /// the recovery window, and re-push as much of the backlog as fits the
+    /// ring *without blocking*. Whatever does not fit drains on subsequent
+    /// [`Self::ack_committed`] pumps (and ahead of any new sends), so the
+    /// replacement worker still observes strict journal order. Returns
+    /// entries re-pushed immediately.
+    pub fn replay_unacked(&mut self) -> usize {
+        self.backlog = Some(self.window.acked());
+        self.recovering = false;
+        self.push_backlog()
+    }
+
+    /// `true` while sends are gated by an open recovery window.
+    pub fn recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Journal entries not yet committed by the worker.
+    pub fn pending(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The replay window (sequence numbers are send order from 0).
+    pub fn window(&self) -> &ReplayWindow<T> {
+        &self.window
+    }
+
+    /// The underlying producer.
+    pub fn ring(&mut self) -> &mut ShmRingProducer<T> {
+        &mut self.ring
+    }
+
+    /// The backing segment.
+    pub fn segment(&self) -> &ShmSegment {
+        self.ring.segment()
+    }
+
+    /// An owned handle on the backing segment.
+    pub fn segment_shared(&self) -> Arc<ShmSegment> {
+        self.ring.segment_shared()
+    }
+}
 
 #[cfg(all(test, not(loom)))]
 mod tests {
@@ -1260,7 +1641,8 @@ mod tests {
         seg.u64_at(OFF_DATA_OFFSET).store(260, Relaxed);
         assert!(ShmSegment::attach(fd, SEG_KIND_RING).is_err());
         // Non-power-of-two element alignment is rejected too.
-        seg.u64_at(OFF_DATA_OFFSET).store(DATA_OFFSET as u64, Relaxed);
+        seg.u64_at(OFF_DATA_OFFSET)
+            .store(DATA_OFFSET as u64, Relaxed);
         seg.u64_at(OFF_ELEM_ALIGN).store(24, Relaxed);
         assert!(ShmSegment::attach(fd, SEG_KIND_RING).is_err());
         // Restoring the header makes attach succeed again.
@@ -1276,5 +1658,180 @@ mod tests {
         }
         let (_p, fd) = ShmRing::<u64>::create_producer(8).unwrap();
         assert!(ShmRing::<u32>::attach_consumer(fd).is_err());
+    }
+
+    #[test]
+    fn role_generations_reclaim_after_revoke() {
+        let seg = ShmSegment::create_heap(SEG_KIND_RING, 8, 8, 8, 64);
+        // Fresh segment: claim succeeds at generation 1, double-claim fails.
+        assert_eq!(seg.claim_role_generation(true), Some(1));
+        assert_eq!(seg.claim_role_generation(true), None);
+        assert_eq!(seg.role_generation(true), 1);
+        // Revoking a *live* role at a stale generation is refused: the
+        // supervisor must have observed the current odd generation from a
+        // worker it killed and reaped, not a guess.
+        assert_eq!(seg.revoke_role(true, 3), Err(1));
+        assert_eq!(seg.revoke_role(true, 0), Err(1));
+        assert_eq!(seg.role_generation(true), 1);
+        // Revoke at the observed generation frees the role (now even)...
+        assert_eq!(seg.revoke_role(true, 1), Ok(2));
+        // ...and revoking twice is refused (word is even = unclaimed).
+        assert_eq!(seg.revoke_role(true, 2), Err(2));
+        // The replacement claims at the next odd generation.
+        assert_eq!(seg.claim_role_generation(true), Some(3));
+        // Roles are independent per side.
+        assert_eq!(seg.claim_role_generation(false), Some(1));
+    }
+
+    #[test]
+    fn drain_residue_discards_unpopped_elements() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        // drain_residue moves the *shared* head, which only a consumer
+        // whose local mirror is gone (dead + revoked) can tolerate — so
+        // the test follows the real reap sequence, not a live consumer.
+        let (mut p, fd) = ShmRing::<u64>::create_producer(8).unwrap();
+        let mut c = ShmRing::<u64>::attach_consumer(fd).unwrap();
+        for i in 0..5u64 {
+            p.try_push(i).unwrap();
+        }
+        assert_eq!(c.try_pop().unwrap(), 0);
+        assert_eq!(c.try_pop().unwrap(), 1);
+        let gen = p.segment().role_generation(false);
+        std::mem::forget(c);
+        assert_eq!(p.segment().revoke_role(false, gen), Ok(gen + 1));
+        // 3 un-popped elements discarded; a fresh attach reads empty.
+        assert_eq!(p.segment().drain_residue(), 3);
+        p.segment().reopen_role(false);
+        let mut c2 = ShmRing::<u64>::attach_consumer(fd).unwrap();
+        assert!(matches!(c2.try_pop(), Err(TryPopError::Empty)));
+        // The ring stays usable: new pushes land after the drained gap.
+        p.try_push(40).unwrap();
+        assert_eq!(c2.try_pop().unwrap(), 40);
+    }
+
+    #[test]
+    fn heartbeat_beats_are_level_preserving() {
+        let seg = ShmSegment::create_heap(SEG_KIND_RING, 8, 8, 8, 64);
+        let hb = seg.heartbeat();
+        // Beats land even with no watcher armed — a watcher arming later
+        // still sees progress (this is what FutexWaker::notify would lose).
+        hb.beat();
+        hb.beat();
+        assert_eq!(hb.count(), 2);
+        let epoch = hb.arm();
+        assert_eq!(epoch, 2);
+        hb.beat();
+        assert_ne!(hb.count(), epoch);
+        // An armed watcher whose epoch is already stale must not block.
+        assert!(!hb.wait(epoch, Duration::from_millis(50)) || hb.count() != epoch);
+        hb.disarm();
+    }
+
+    #[test]
+    fn journaled_producer_replays_after_simulated_kill() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        let (ring, fd) = ShmRing::<u64>::create_producer(8).unwrap();
+        let mut c = ShmRing::<u64>::attach_consumer(fd).unwrap();
+        let mut p = JournaledShmProducer::new(ring, 32);
+
+        for i in 0..6u64 {
+            assert!(p.send(i * 10));
+        }
+        assert_eq!(p.pending(), 6);
+
+        // Worker consumes 4 and commits them (publish-then-commit order),
+        // then is SIGKILL'd: no drop glue runs, so simulate with forget —
+        // the closed flag stays unset and the role stays claimed.
+        for i in 0..4u64 {
+            assert_eq!(c.try_pop().unwrap(), i * 10);
+        }
+        p.segment().commit_word().store(4, Release);
+        let gen = p.segment().role_generation(false);
+        std::mem::forget(c);
+
+        // Supervisor reap path: revoke at the observed generation, open
+        // the recovery window (drops the 2 un-popped elements, folds the
+        // final commit into the journal), reopen the closed flag.
+        assert_eq!(p.segment().revoke_role(false, gen), Ok(gen + 1));
+        assert_eq!(p.begin_recovery(), 2);
+        assert_eq!(p.pending(), 2);
+        assert!(p.recovering());
+        // New sends are gated (not journaled) until replay closes the window.
+        assert!(!p.send(999));
+        assert_eq!(p.pending(), 2);
+        p.segment().reopen_role(false);
+
+        // Respawned worker re-attaches under the reclaimed role and sees
+        // exactly the unacknowledged suffix, in order.
+        let mut c2 = ShmRing::<u64>::attach_consumer(fd).unwrap();
+        assert_eq!(p.replay_unacked(), 2);
+        assert!(!p.recovering());
+        assert!(p.send(60));
+        assert_eq!(c2.try_pop().unwrap(), 40);
+        assert_eq!(c2.try_pop().unwrap(), 50);
+        assert_eq!(c2.try_pop().unwrap(), 60);
+        p.segment().commit_word().store(7, Release);
+        p.ack_committed();
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn replay_backlog_drains_without_blocking() {
+        if !ShmSegment::memfd_supported() {
+            eprintln!("skipping: no memfd on this platform");
+            return;
+        }
+        // Unacked window (8) larger than the ring (4): a full replay
+        // cannot fit in one go and must never block the caller — the
+        // supervisor thread replays from its reaction path, and parking
+        // there deadlocks if the replacement dies mid-replay.
+        let (ring, fd) = ShmRing::<u64>::create_producer(4).unwrap();
+        let mut c = ShmRing::<u64>::attach_consumer(fd).unwrap();
+        let mut p = JournaledShmProducer::new(ring, 32);
+        for i in 0..8u64 {
+            // Interleave pops (uncommitted) so blocking sends never park.
+            assert!(p.send(i));
+            assert_eq!(c.try_pop().unwrap(), i);
+        }
+        assert_eq!(p.pending(), 8);
+
+        let gen = p.segment().role_generation(false);
+        std::mem::forget(c);
+        assert_eq!(p.segment().revoke_role(false, gen), Ok(gen + 1));
+        assert_eq!(p.begin_recovery(), 0);
+        p.segment().reopen_role(false);
+        let mut c2 = ShmRing::<u64>::attach_consumer(fd).unwrap();
+
+        // Only the ring's worth fits immediately; the rest is backlog.
+        assert_eq!(p.replay_unacked(), 4);
+        assert!(!p.recovering());
+        // New sends while a backlog drains queue *behind* it.
+        assert!(p.send(8));
+        assert_eq!(p.pending(), 9);
+
+        // The replacement drains; ack pumps push the backlog in journal
+        // order until everything (including the queued new send) arrives.
+        let mut got = Vec::new();
+        while got.len() < 9 {
+            match c2.try_pop() {
+                Ok(v) => {
+                    got.push(v);
+                    p.segment().commit_word().store(got.len() as u64, Release);
+                }
+                Err(TryPopError::Empty) => {
+                    p.ack_committed();
+                }
+                Err(TryPopError::Closed) => panic!("ring closed unexpectedly"),
+            }
+        }
+        assert_eq!(got, (0..9u64).collect::<Vec<_>>());
+        p.ack_committed();
+        assert_eq!(p.pending(), 0);
     }
 }

@@ -75,6 +75,7 @@ pub mod mapper;
 pub mod monitor;
 pub mod parallel;
 pub mod port;
+pub mod proc;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
@@ -101,6 +102,10 @@ pub use monitor::{
 };
 pub use parallel::{Reduce, Split, SplitStrategy, WidthControl};
 pub use port::{Context, InPort, OutPort};
+pub use proc::{
+    DescLink, JournaledRingLink, ProcLink, ProcPolicy, ProcReport, ProcSupervisor, SegmentLink,
+    WorkerSpec,
+};
 pub use report::render as render_report;
 pub use runtime::{DrainEvent, DrainReason, EdgeReport, ExeReport, KernelReport};
 pub use scheduler::{SchedulerKind, WorkerReport};
@@ -123,6 +128,7 @@ pub mod prelude {
     pub use crate::monitor::{MonitorConfig, WatchdogEvent, WatchdogKind};
     pub use crate::parallel::SplitStrategy;
     pub use crate::port::{Context, InPort, OutPort};
+    pub use crate::proc::{ProcPolicy, ProcReport, ProcSupervisor, WorkerSpec};
     pub use crate::runtime::{DrainEvent, DrainReason, ExeReport};
     pub use crate::scheduler::SchedulerKind;
     pub use crate::supervise::{KernelOutcome, SupervisorPolicy};

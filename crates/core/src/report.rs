@@ -201,6 +201,29 @@ pub fn render(report: &ExeReport) -> String {
             let _ = writeln!(out, "  {:>10.3?}  {}  [{:?}]", ev.at, what, ev.reason);
         }
     }
+    if !report.procs.is_empty() {
+        let _ = writeln!(out, "\nworker processes ({}):", report.procs.len());
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>14} {:>8} {:>7} {:>9} {:>7}",
+            "worker", "outcome", "crashes", "wedges", "respawns", "status"
+        );
+        for p in &report.procs {
+            let status = p
+                .last_status
+                .map_or_else(|| "signal".to_string(), |c| c.to_string());
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>14} {:>8} {:>7} {:>9} {:>7}",
+                truncate(&p.name, 16),
+                p.outcome.to_string(),
+                p.crashes,
+                p.wedges,
+                p.respawns,
+                status
+            );
+        }
+    }
     if !report.workers.is_empty() {
         let _ = writeln!(out, "\nworkers ({}):", report.workers.len());
         let _ = writeln!(

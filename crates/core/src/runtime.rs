@@ -133,6 +133,11 @@ pub struct ExeReport {
     /// Drain-ladder rungs applied during this execution (empty when the
     /// graph finished on its own).
     pub drain_events: Vec<DrainEvent>,
+    /// Per-worker-**process** supervision outcomes. The in-process runtime
+    /// never fills this itself — a caller running part of the graph in
+    /// supervised worker processes ([`crate::proc::ProcSupervisor`])
+    /// assigns the fleet's reports here so one report covers both scopes.
+    pub procs: Vec<crate::proc::ProcReport>,
 }
 
 impl ExeReport {
@@ -624,6 +629,7 @@ pub fn execute_with_deadline(
         workers,
         fused: fused_infos.iter().map(|i| i.report()).collect(),
         drain_events: std::mem::take(&mut *drain_events.lock()),
+        procs: Vec::new(),
     };
     if fatal.is_empty() {
         Ok(report)

@@ -16,7 +16,11 @@
 //!   ([`raft_algos::simd::count_byte`]), frees the slot, and emits the
 //!   per-chunk count;
 //! * [`DescFree`] — terminal drain that just recycles descriptors (for
-//!   graphs whose scan stage must not own the arena receiver).
+//!   graphs whose scan stage must not own the arena receiver);
+//! * [`DescShip`] — journaled cross-process shipper: encodes elements into
+//!   arena slots and sends descriptors through a
+//!   [`raft_buffer::arena::DescriptorSender`], surviving worker-process
+//!   respawns under `raftlib::proc` supervision.
 //!
 //! The Tx and Rx endpoints of one arena live in *different* kernels — the
 //! descriptors themselves travel through an ordinary stream, whose
@@ -25,7 +29,10 @@
 //! arena ([`raft_buffer::arena::ShmArena::pair`] falls back automatically),
 //! so graphs are testable without `memfd`.
 
-use raft_buffer::arena::{ArenaRx, ArenaTx, Descriptor};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use raft_buffer::arena::{ArenaRx, ArenaTx, Descriptor, DescriptorSender, SendOutcome};
 use raftlib::prelude::*;
 
 /// Source kernel: stages a shared corpus into arena slots, `chunk` bytes
@@ -142,6 +149,115 @@ impl Kernel for DescCount {
     }
 }
 
+/// Sink kernel that ships each input element to a **supervised worker
+/// process**: encode it to bytes, stage the bytes in the arena, and
+/// journal-and-push the descriptor through the [`DescriptorSender`] — the
+/// producer-side half of cross-process exactly-once delivery
+/// (`raftlib::proc`).
+///
+/// The sender is shared with the supervisor's recovery path behind a
+/// mutex, so the lock is taken once per send *attempt* and never held
+/// while yielding back to the scheduler — a worker respawn can always
+/// grab it between attempts. A [`SendOutcome::Busy`] attempt (arena full,
+/// or a recovery window open while the worker respawns) is retried on the
+/// next `run`; the `halt` flag (typically
+/// `ProcSupervisor::terminal_flag`) breaks the retry loop once the worker
+/// is terminally gone and the `Busy` can never clear.
+pub struct DescShip<T, F> {
+    sender: Arc<Mutex<DescriptorSender>>,
+    encode: F,
+    halt: Option<Arc<AtomicBool>>,
+    buf: Vec<u8>,
+    pending: bool,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T, F> DescShip<T, F>
+where
+    T: Send + Clone + 'static,
+    F: Fn(&T, &mut Vec<u8>) + Send + 'static,
+{
+    /// Ship every element arriving on `"in"`, encoded by `encode`, through
+    /// `sender`. `halt` (usually the supervisor's terminal flag) stops the
+    /// kernel when the consuming worker is gone for good.
+    pub fn new(
+        sender: Arc<Mutex<DescriptorSender>>,
+        encode: F,
+        halt: Option<Arc<AtomicBool>>,
+    ) -> Self {
+        DescShip {
+            sender,
+            encode,
+            halt,
+            buf: Vec::new(),
+            pending: false,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.halt.as_ref().is_some_and(|h| h.load(Relaxed))
+    }
+}
+
+impl<T, F> Kernel for DescShip<T, F>
+where
+    T: Send + Clone + 'static,
+    F: Fn(&T, &mut Vec<u8>) + Send + 'static,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::new().input::<T>("in")
+    }
+
+    fn run(&mut self, ctx: &Context) -> KStatus {
+        if !self.pending {
+            let mut input = ctx.input::<T>("in");
+            let v = match input.pop() {
+                Ok(v) => v,
+                Err(_) => return KStatus::Stop,
+            };
+            self.buf.clear();
+            (self.encode)(&v, &mut self.buf);
+            self.pending = true;
+        }
+        // One attempt per lock acquisition.
+        let outcome = self
+            .sender
+            .lock()
+            .expect("sender lock")
+            .send_bytes(&self.buf);
+        match outcome {
+            SendOutcome::Sent => {
+                self.pending = false;
+                KStatus::Proceed
+            }
+            SendOutcome::Busy => {
+                if self.halted() || ctx.stop_requested() {
+                    return KStatus::Stop;
+                }
+                // Arena full: park on the recycle waker (bounded) unless a
+                // recovery window is open — then the slot drought clears
+                // when the respawned worker starts freeing, so just come
+                // back. The wait's `false` ("consumer gone") is advisory
+                // here: during a restart the closed flag is transiently
+                // set, so the halt flag above is the real stop signal.
+                {
+                    let mut s = self.sender.lock().expect("sender lock");
+                    if !s.recovering() {
+                        let _ = s.wait_arena_slot();
+                    }
+                }
+                std::thread::yield_now();
+                KStatus::Proceed
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "desc-ship".to_string()
+    }
+}
+
 /// Terminal sink that recycles every descriptor it receives without
 /// touching the payload. The `ArenaRx` is single-owner, so exactly one
 /// kernel in a graph can resolve and free; `DescFree` is that kernel for
@@ -208,6 +324,50 @@ mod tests {
         assert_eq!(got.lock().unwrap().iter().sum::<u64>(), expected);
         // 16 chunks of 4096 bytes crossed as 16-byte descriptors.
         assert_eq!(report.edge("desc-chunk-source").unwrap().stats.popped, 16);
+    }
+
+    #[test]
+    fn desc_ship_delivers_encoded_payloads_in_order() {
+        use raft_buffer::shm::ShmRing;
+        const N: u64 = 64;
+        let (arena_tx, mut arena_rx) = ShmArena::pair(8, 32);
+        let (ring_p, mut ring_c) = ShmRing::<Descriptor>::pair(8);
+        let sender = Arc::new(Mutex::new(DescriptorSender::new(arena_tx, ring_p, 32)));
+
+        // "Worker": pops descriptors, checks payload order, commits, frees.
+        // Count-based termination — the sender side stays open until the
+        // map is dropped, so EoS is not the signal here.
+        let commit_seg = sender.lock().unwrap().ring_segment_shared();
+        let worker = std::thread::spawn(move || {
+            let mut seen = 0u64;
+            while seen < N {
+                let Ok(d) = ring_c.pop() else { break };
+                let bytes = arena_rx.resolve(&d).unwrap().to_vec();
+                assert_eq!(bytes, format!("v:{seen}").into_bytes());
+                commit_seg.commit_word().store(seen + 1, Relaxed);
+                arena_rx.free(d).unwrap();
+                seen += 1;
+            }
+            seen
+        });
+
+        let mut map = RaftMap::new();
+        let mut i = 0u64;
+        let src = map.add(raftlib::lambda::lambda_source(move || {
+            i += 1;
+            (i <= N).then_some(i - 1)
+        }));
+        let ship = map.add(DescShip::new(
+            sender.clone(),
+            |v: &u64, buf: &mut Vec<u8>| buf.extend_from_slice(format!("v:{v}").as_bytes()),
+            None,
+        ));
+        map.link(src, "0", ship, "in").unwrap();
+        map.exe().unwrap();
+        assert_eq!(worker.join().unwrap(), N);
+        let mut s = sender.lock().unwrap();
+        s.ack_committed();
+        assert_eq!(s.pending(), 0, "worker committed everything");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use bytes::{ByteChunk, ByteChunkSource};
 pub use containers::{
     for_each, read_each, write_each, CollectHandle, ForEach, ReadEach, WriteEach,
 };
-pub use descriptors::{DescChunkSource, DescCount, DescFree};
+pub use descriptors::{DescChunkSource, DescCount, DescFree, DescShip};
 pub use generate::Generate;
 pub use routing::{Take, Tee, Zip};
 pub use sequence::{map_seq, Resequence, Seq, Stamp};

@@ -1,35 +1,66 @@
-//! Two OS processes joined by shared-memory zero-copy links.
+//! Two OS processes joined by shared-memory zero-copy links, run under
+//! the process supervisor.
 //!
 //! The parent runs a RaftMap graph that generates text records, stages
 //! each one in a shared-memory arena, and streams 16-byte descriptors
-//! through an shm-backed SPSC ring. A *separate worker process* (this
-//! same binary, re-executed with `--worker`) attaches both segments by
-//! inherited file descriptor, parses and filters the records in place —
-//! the payload bytes are never copied between the processes — and
-//! reports its sum on stdout. The parent supervises the worker under a
-//! watchdog: a wedged child is killed, not waited on forever.
+//! through an shm-backed SPSC ring via [`DescShip`]. A *separate worker
+//! process* (this same binary, re-executed with `--worker`) attaches the
+//! segments by inherited file descriptor, parses the records in place —
+//! the payload bytes are never copied between the processes — and ships
+//! per-record results back on a second ring.
 //!
-//! The link protocol is the in-process FIFO's (cached indices, single
-//! release publish); blocking sides park on a cross-process futex. On
-//! platforms without `memfd_create` the example skips gracefully.
+//! The worker runs under [`ProcSupervisor`]: a heartbeat word in the
+//! descriptor ring's header proves liveness (futex-parked watcher, no
+//! polling), and a crashed worker is reaped, its segment roles reclaimed
+//! by generation bump, and a replacement respawned which resumes from
+//! the journaled replay window. Set `RAFT_XPROC_KILL_SEED=<n>` to make
+//! the first worker incarnation SIGKILL itself mid-stream at a seeded
+//! offset; the run still completes with the exact fault-free sum because
+//! consumed-but-uncommitted records are replayed to the replacement and
+//! the parent deduplicates results by sequence number.
 //!
 //! ```sh
 //! cargo run --release --example xprocess_pipeline
+//! RAFT_XPROC_KILL_SEED=42 cargo run --release --example xprocess_pipeline
 //! ```
 
-use std::io::Write as _;
-use std::process::{Command, Stdio};
+use std::process::Command;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use raft_buffer::arena::{ArenaTx, Descriptor, ShmArena};
-use raft_buffer::shm::{ShmRing, ShmRingProducer, ShmSegment};
+use raft_buffer::arena::{DescriptorSender, ShmArena};
+use raft_buffer::shm::{ShmItem, ShmRing, ShmSegment};
+use raft_buffer::{Descriptor, TryPopError};
+use raft_kernels::DescShip;
 use raftlib::prelude::*;
+use raftlib::{report, DescLink, SegmentLink};
 
 const RECORDS: u64 = 50_000;
 const RING_CAP: usize = 256;
 const ARENA_SLOTS: usize = 512;
 const SLOT_SIZE: usize = 64;
-const WATCHDOG: Duration = Duration::from_secs(30);
+const RESULT_CAP: usize = 1024;
+/// Journal bound: comfortably above the maximum unacked window (bounded
+/// by arena slots in flight plus ring occupancy).
+const JOURNAL_BOUND: usize = 2048;
+
+/// One per-record result shipped worker → parent. `seq` is the worker's
+/// commit cursor for the record (its position in the descriptor stream),
+/// which the parent uses to deduplicate replays: a worker that dies
+/// between publishing a result and committing it will re-emit the same
+/// `seq` after respawn.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct ResultRec {
+    seq: u64,
+    value: u64,
+}
+
+// SAFETY: ResultRec is Copy, repr(C), contains only u64s (no padding,
+// no pointers, any bit pattern valid), so it round-trips through shared
+// memory byte-wise.
+unsafe impl ShmItem for ResultRec {}
 
 fn main() {
     let mut args = std::env::args();
@@ -37,7 +68,8 @@ fn main() {
     if args.next().as_deref() == Some("--worker") {
         let ring_fd: i32 = args.next().expect("ring fd").parse().expect("ring fd");
         let arena_fd: i32 = args.next().expect("arena fd").parse().expect("arena fd");
-        worker(ring_fd, arena_fd);
+        let result_fd: i32 = args.next().expect("result fd").parse().expect("result fd");
+        worker(ring_fd, arena_fd, result_fd);
         return;
     }
     if !ShmSegment::memfd_supported() {
@@ -47,147 +79,265 @@ fn main() {
     parent();
 }
 
-/// Source-side kernel: takes generated values, formats each as a
-/// `value:N` text record staged directly in the arena, and pushes the
-/// descriptor into the cross-process ring.
-struct StageAndShip {
-    tx: ArenaTx,
-    ring: ShmRingProducer<Descriptor>,
+/// Derive the kill offset from a chaos seed: an xorshift step over the
+/// seed, mapped into the first half of the stream so the crash always
+/// lands mid-flight.
+fn kill_offset(seed: u64) -> u64 {
+    let mut x = seed ^ 0xcbf2_9ce4_8422_2325;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    1 + x % (RECORDS / 2)
 }
 
-impl Kernel for StageAndShip {
-    fn ports(&self) -> PortSpec {
-        PortSpec::new().input::<u64>("in")
-    }
-
-    fn run(&mut self, ctx: &Context) -> KStatus {
-        let mut input = ctx.input::<u64>("in");
-        let v = match input.pop() {
-            Ok(v) => v,
-            Err(_) => return KStatus::Stop,
-        };
-        let text = format!("value:{v}\n");
-        // Physical back-pressure: no free slot means the worker process
-        // is behind; spin-yield until it recycles one.
-        let d = loop {
-            match self.tx.push_bytes(text.as_bytes()) {
-                Some(d) => break d,
-                None => std::thread::yield_now(),
-            }
-        };
-        // Blocking push parks on the cross-process futex when the ring
-        // stays full.
-        if self.ring.push(d).is_err() {
-            return KStatus::Stop; // worker died; stop producing
+/// Deliver SIGKILL to ourselves: no drop glue, no atexit, no chance to
+/// flip close flags — exactly what the supervisor must tolerate.
+fn die_hard() -> ! {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        // SYS_kill = 62.
+        let mut nr: u64 = 62;
+        // SAFETY: kill(getpid(), SIGKILL) targets only this process and
+        // never returns; registers follow the x86-64 syscall ABI
+        // (rcx/r11 clobbered by the instruction).
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inout("rax") nr,
+                in("rdi") u64::from(std::process::id()),
+                in("rsi") 9u64, // SIGKILL
+                out("rcx") _,
+                out("r11") _,
+            );
         }
-        KStatus::Proceed
+        let _ = nr;
     }
-
-    fn name(&self) -> String {
-        "stage-and-ship".to_string()
-    }
+    // Fallback (and unreachable-on-Linux tail): abort still skips all
+    // drop glue.
+    std::process::abort();
 }
 
 fn parent() {
+    let kill_seed = std::env::var("RAFT_XPROC_KILL_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok());
+
     let (ring, ring_fd) =
         ShmRing::<Descriptor>::create_producer(RING_CAP).expect("create ring segment");
     let (tx, arena_fd) = ShmArena::create_tx(ARENA_SLOTS, SLOT_SIZE).expect("create arena");
+    let (mut results, result_fd) =
+        ShmRing::<ResultRec>::create_consumer(RESULT_CAP).expect("create result ring");
 
-    // memfd descriptors are created without CLOEXEC, so the worker
-    // inherits them at the same numbers we pass on its command line.
-    let child = Command::new(std::env::current_exe().expect("current exe"))
-        .arg("--worker")
-        .arg(ring_fd.to_string())
-        .arg(arena_fd.to_string())
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn worker");
+    let sender = Arc::new(Mutex::new(DescriptorSender::new(tx, ring, JOURNAL_BOUND)));
+    let hb_seg = sender.lock().unwrap().ring_segment_shared();
+    let result_seg = results.segment_shared();
+
+    // memfd descriptors are created without CLOEXEC, so every worker
+    // incarnation inherits them at the same numbers we pass on its
+    // command line. The factory receives the attempt number; the worker
+    // uses it to fire the seeded self-kill only on its first life.
+    let exe = std::env::current_exe().expect("current exe");
+    let factory = move |attempt: u32| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--worker")
+            .arg(ring_fd.to_string())
+            .arg(arena_fd.to_string())
+            .arg(result_fd.to_string())
+            .env("RAFT_XPROC_ATTEMPT", attempt.to_string());
+        cmd
+    };
+
+    let mut sup = ProcSupervisor::new();
+    sup.spawn(
+        WorkerSpec::new("xproc-worker", factory)
+            .policy(ProcPolicy::Restart {
+                max_restarts: 5,
+                backoff: Duration::from_millis(10),
+            })
+            .wedge_timeout(Duration::from_secs(10))
+            .link(DescLink::new(sender.clone()))
+            .link(SegmentLink::new(result_seg, true))
+            .heartbeat_on(hb_seg),
+    )
+    .expect("spawn worker");
+    let terminal = sup.terminal_flag();
+
+    // Collector: drains the result ring, deduplicating by sequence
+    // number. Termination is count-based, not end-of-stream-based: the
+    // supervisor's reap path transiently sets close flags on the result
+    // ring during a respawn, so `Closed` only ends the run once the
+    // supervisor says the worker is terminally gone.
+    let tflag = terminal.clone();
+    let collector = std::thread::spawn(move || {
+        let mut seen = vec![false; RECORDS as usize];
+        let mut distinct = 0u64;
+        let mut sum = 0u64;
+        let mut dupes = 0u64;
+        while distinct < RECORDS {
+            match results.try_pop() {
+                Ok(r) => {
+                    let i = r.seq as usize;
+                    if i < seen.len() && !seen[i] {
+                        seen[i] = true;
+                        distinct += 1;
+                        sum += r.value;
+                    } else {
+                        dupes += 1;
+                    }
+                }
+                Err(TryPopError::Empty) => std::thread::sleep(Duration::from_micros(200)),
+                Err(TryPopError::Closed) => {
+                    if tflag.load(Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        (distinct, sum, dupes)
+    });
 
     // The parent half is an ordinary RaftMap graph; the process boundary
-    // hides behind one sink kernel.
+    // hides behind the DescShip sink.
     let mut map = RaftMap::new();
     let mut i = 0u64;
     let src = map.add(raftlib::lambda::lambda_source(move || {
         i += 1;
         (i <= RECORDS).then_some(i)
     }));
-    let ship = map.add(StageAndShip { tx, ring });
+    let ship = map.add(DescShip::new(
+        sender.clone(),
+        |v: &u64, buf: &mut Vec<u8>| {
+            buf.extend_from_slice(format!("value:{v}\n").as_bytes());
+        },
+        Some(terminal.clone()),
+    ));
     map.link(src, "0", ship, "in").unwrap();
     let started = Instant::now();
-    let report = map.exe().expect("parent graph");
-    // `StageAndShip` dropped with the map: the ring's closed flag is set
-    // and the futex notified, so the worker drains and exits.
+    let mut exe_report = map.exe().expect("parent graph");
 
-    let out = supervise(child, WATCHDOG);
-    let sum: u64 = out
-        .lines()
-        .find_map(|l| l.strip_prefix("sum=").and_then(|s| s.parse().ok()))
-        .expect("worker reported no sum");
+    // Every record is journaled and pushed. Wait for the worker to
+    // commit them all (acks drain the replay window), then signal
+    // end-of-stream by closing the producer side of the descriptor ring.
+    loop {
+        {
+            let mut s = sender.lock().unwrap();
+            s.ack_committed();
+            if s.pending() == 0 && !s.recovering() {
+                break;
+            }
+        }
+        if terminal.load(Relaxed) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    {
+        let s = sender.lock().unwrap();
+        let seg = s.ring_segment();
+        seg.producer_closed().store(1, Release);
+        seg.consumer_waker().notify();
+    }
+
+    let (distinct, sum, dupes) = collector.join().expect("collector thread");
+    let procs = sup.join(Duration::from_secs(60));
+    exe_report.procs = procs;
+
     let expected: u64 = (1..=RECORDS).filter(|v| v % 2 == 0).sum();
+    assert_eq!(
+        distinct, RECORDS,
+        "collector saw {distinct}/{RECORDS} distinct records"
+    );
     assert_eq!(sum, expected, "worker sum mismatch");
+
     println!(
-        "parent: {} records ({} bytes staged) shipped as {}-byte descriptors in {:?}",
+        "parent: {} records shipped as {}-byte descriptors in {:?}",
         RECORDS,
-        report.total_items() * 12, // ~"value:N\n"
         std::mem::size_of::<Descriptor>(),
         started.elapsed()
     );
-    println!("worker: sum of even records = {sum} (expected {expected}) ✓");
-}
-
-/// Wait for the child under a deadline; kill it if the deadline passes.
-fn supervise(mut child: std::process::Child, deadline: Duration) -> String {
-    let started = Instant::now();
-    loop {
-        match child.try_wait().expect("try_wait") {
-            Some(status) => {
-                let mut out = String::new();
-                use std::io::Read as _;
-                if let Some(mut stdout) = child.stdout.take() {
-                    let _ = stdout.read_to_string(&mut out);
-                }
-                assert!(status.success(), "worker failed: {status:?}\n{out}");
-                return out;
-            }
-            None if started.elapsed() > deadline => {
-                let _ = child.kill();
-                let _ = child.wait();
-                panic!("watchdog: worker exceeded {deadline:?}, killed");
-            }
-            None => std::thread::sleep(Duration::from_millis(5)),
-        }
+    if let Some(seed) = kill_seed {
+        println!(
+            "chaos: seed {} killed the worker after {} records; replay re-delivered the window",
+            seed,
+            kill_offset(seed)
+        );
     }
+    println!(
+        "worker: sum of even records = {sum} (expected {expected}, {dupes} replays deduplicated) ✓"
+    );
+    print!("{}", report::render(&exe_report));
 }
 
-/// The worker process: attach both segments by inherited fd, then parse
+/// The worker process: attach the segments by inherited fd, then parse
 /// and filter records in place until the parent closes the ring.
-fn worker(ring_fd: i32, arena_fd: i32) {
+///
+/// The exactly-once contract per record: pop the descriptor, resolve and
+/// process the payload, *publish the result*, then advance the commit
+/// word, then free the arena slot, then beat the heartbeat. A crash
+/// before the commit means the record is replayed to the replacement (a
+/// duplicate result is possible — the parent dedups by `seq`); a crash
+/// after means the parent acks it and never re-sends it.
+fn worker(ring_fd: i32, arena_fd: i32, result_fd: i32) {
     let mut ring = ShmRing::<Descriptor>::attach_consumer(ring_fd).expect("attach ring");
     let mut rx = ShmArena::attach_rx(arena_fd).expect("attach arena");
-    let mut sum = 0u64;
-    let mut seen = 0u64;
-    // Blocking pop: parks on the futex while the ring is empty, returns
-    // Err once the producer closed and the ring drained.
-    while let Ok(d) = ring.pop() {
-        // Parse the record bytes *in the parent's segment* — this worker
-        // never copies the payload.
-        if let Ok(bytes) = rx.resolve(&d) {
-            let text = std::str::from_utf8(bytes).unwrap_or("");
-            if let Some(v) = text
-                .trim_end()
-                .strip_prefix("value:")
-                .and_then(|s| s.parse::<u64>().ok())
-            {
-                if v % 2 == 0 {
-                    sum += v;
+    let mut results = ShmRing::<ResultRec>::attach_producer(result_fd).expect("attach results");
+    let seg = ring.segment_shared();
+
+    let attempt: u32 = std::env::var("RAFT_XPROC_ATTEMPT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let chaos = std::env::var("RAFT_XPROC_KILL_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(kill_offset);
+
+    // Resume point: the commit word survives us. A replacement worker
+    // starts numbering where its predecessor's last committed record
+    // left off, which is exactly where the parent's replay restarts.
+    let mut seq = seg.commit_word().load(Acquire);
+    let mut processed_this_run = 0u64;
+
+    loop {
+        // Beat per iteration — on the hot path and on empty polls — so
+        // the watcher sees progress even when the stream stalls.
+        seg.heartbeat().beat();
+        match ring.try_pop() {
+            Ok(d) => {
+                let value = rx
+                    .resolve(&d)
+                    .ok()
+                    .and_then(|bytes| {
+                        std::str::from_utf8(bytes)
+                            .ok()?
+                            .trim_end()
+                            .strip_prefix("value:")?
+                            .parse::<u64>()
+                            .ok()
+                    })
+                    .unwrap_or(0);
+                let rec = ResultRec {
+                    seq,
+                    value: if value.is_multiple_of(2) { value } else { 0 },
+                };
+                if results.push(rec).is_err() {
+                    break; // parent collector gone; nothing left to do
                 }
+                // The seeded crash lands in the nastiest window: result
+                // published, commit not yet advanced. The replacement
+                // re-processes this record and re-emits the same `seq`;
+                // the parent's dedup makes it count once.
+                if attempt == 0 && chaos == Some(processed_this_run + 1) {
+                    die_hard();
+                }
+                seg.commit_word().store(seq + 1, Release);
+                let _ = rx.free(d);
+                seq += 1;
+                processed_this_run += 1;
             }
-            seen += 1;
+            Err(TryPopError::Empty) => std::thread::sleep(Duration::from_micros(200)),
+            Err(TryPopError::Closed) => break,
         }
-        // Recycle the slot; the parent's next alloc reuses it.
-        let _ = rx.free(d);
     }
-    let mut stdout = std::io::stdout();
-    writeln!(stdout, "seen={seen}").unwrap();
-    writeln!(stdout, "sum={sum}").unwrap();
 }
